@@ -1,0 +1,330 @@
+//! The CGRA architecture description.
+
+use crate::pe::{Pe, PeId};
+use crate::topology::Topology;
+use ptmap_ir::{OpClass, OpKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised while constructing an architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// The array has zero rows or columns.
+    EmptyArray,
+    /// The per-PE list has the wrong length.
+    PeCountMismatch {
+        /// PEs provided.
+        got: usize,
+        /// `rows * cols`.
+        expected: usize,
+    },
+    /// No PE supports the given class, making most programs unmappable.
+    MissingClass(OpClass),
+    /// The context buffer cannot hold even a single context.
+    ZeroContextCapacity,
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::EmptyArray => write!(f, "array must have at least one row and column"),
+            ArchError::PeCountMismatch { got, expected } => {
+                write!(f, "provided {got} PEs for an array of {expected}")
+            }
+            ArchError::MissingClass(c) => write!(f, "no PE supports the {c} class"),
+            ArchError::ZeroContextCapacity => write!(f, "context buffer capacity must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+/// A complete CGRA description: PE array, interconnect, register files,
+/// and on-chip buffers.
+///
+/// Construct via [`CgraArchBuilder`] or use a preset from
+/// [`crate::presets`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CgraArch {
+    name: String,
+    rows: u32,
+    cols: u32,
+    pes: Vec<Pe>,
+    topology: Topology,
+    grf_size: u32,
+    cb_capacity: u32,
+    db_bytes: u64,
+}
+
+impl CgraArch {
+    /// Human-readable architecture name (e.g. `"S4"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Number of PEs.
+    pub fn pe_count(&self) -> usize {
+        (self.rows * self.cols) as usize
+    }
+
+    /// A PE by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn pe(&self, id: PeId) -> &Pe {
+        &self.pes[id.index()]
+    }
+
+    /// All PE ids in row-major order.
+    pub fn pe_ids(&self) -> impl Iterator<Item = PeId> {
+        (0..self.rows * self.cols).map(PeId)
+    }
+
+    /// The interconnect topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// PEs reachable from `from` in one cycle.
+    pub fn neighbors(&self, from: PeId) -> Vec<PeId> {
+        self.topology.neighbors(from, self.rows, self.cols)
+    }
+
+    /// Global register file entries (0 disables the GRF).
+    pub fn grf_size(&self) -> u32 {
+        self.grf_size
+    }
+
+    /// Context buffer capacity: the maximum initiation interval whose
+    /// contexts fit on chip without reloading.
+    pub fn cb_capacity(&self) -> u32 {
+        self.cb_capacity
+    }
+
+    /// Data buffer capacity in bytes.
+    pub fn db_bytes(&self) -> u64 {
+        self.db_bytes
+    }
+
+    /// A copy of this architecture with a different DB capacity (used by
+    /// the doubled-DB energy experiment, Fig. 8).
+    pub fn with_db_bytes(&self, db_bytes: u64) -> CgraArch {
+        let mut out = self.clone();
+        out.db_bytes = db_bytes;
+        out.name = format!("{}-db{}", self.name, db_bytes / 1024);
+        out
+    }
+
+    /// Number of PEs supporting `op`.
+    pub fn pes_supporting(&self, op: OpKind) -> usize {
+        self.pes.iter().filter(|pe| pe.supports(op)).count()
+    }
+
+    /// Whether every operation in `ops` is supported by at least one PE.
+    pub fn supports_all<'a>(&self, ops: impl IntoIterator<Item = &'a OpKind>) -> bool {
+        ops.into_iter().all(|&op| self.pes_supporting(op) > 0)
+    }
+
+    /// Mean LRF size across PEs.
+    pub fn mean_lrf(&self) -> f64 {
+        self.pes.iter().map(|pe| pe.lrf_size as f64).sum::<f64>() / self.pe_count() as f64
+    }
+}
+
+impl fmt::Display for CgraArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}x{}, {:?})", self.name, self.rows, self.cols, self.topology)
+    }
+}
+
+/// Builder for [`CgraArch`] (C-BUILDER).
+///
+/// # Example
+///
+/// ```
+/// use ptmap_arch::{CgraArchBuilder, Topology, Pe};
+///
+/// let arch = CgraArchBuilder::new("tiny", 2, 2)
+///     .topology(Topology::Mesh { diagonal: false, torus: false })
+///     .uniform_pe(Pe::full(1))
+///     .grf_size(2)
+///     .cb_capacity(8)
+///     .db_bytes(2048)
+///     .build()?;
+/// assert_eq!(arch.pe_count(), 4);
+/// # Ok::<(), ptmap_arch::ArchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CgraArchBuilder {
+    name: String,
+    rows: u32,
+    cols: u32,
+    pes: Option<Vec<Pe>>,
+    topology: Topology,
+    grf_size: u32,
+    cb_capacity: u32,
+    db_bytes: u64,
+}
+
+impl CgraArchBuilder {
+    /// Starts a builder for a `rows x cols` array.
+    pub fn new(name: impl Into<String>, rows: u32, cols: u32) -> Self {
+        CgraArchBuilder {
+            name: name.into(),
+            rows,
+            cols,
+            pes: None,
+            topology: Topology::Mesh { diagonal: false, torus: false },
+            grf_size: 0,
+            cb_capacity: 8,
+            db_bytes: 4096,
+        }
+    }
+
+    /// Sets the interconnect topology (default: plain mesh).
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Uses the same PE for every grid position.
+    pub fn uniform_pe(mut self, pe: Pe) -> Self {
+        self.pes = Some(vec![pe; (self.rows * self.cols) as usize]);
+        self
+    }
+
+    /// Supplies an explicit per-position PE list (row-major).
+    pub fn pes(mut self, pes: Vec<Pe>) -> Self {
+        self.pes = Some(pes);
+        self
+    }
+
+    /// Replaces the PE at a position (after `uniform_pe`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before any PE list was set or out of range.
+    pub fn pe_at(mut self, x: u32, y: u32, pe: Pe) -> Self {
+        let cols = self.cols;
+        let pes = self.pes.as_mut().expect("set uniform_pe or pes first");
+        pes[PeId::from_xy(x, y, cols).index()] = pe;
+        self
+    }
+
+    /// Sets the GRF size (default 0: no GRF).
+    pub fn grf_size(mut self, n: u32) -> Self {
+        self.grf_size = n;
+        self
+    }
+
+    /// Sets the context buffer capacity in contexts (default 8, per the
+    /// paper's evaluation setup).
+    pub fn cb_capacity(mut self, n: u32) -> Self {
+        self.cb_capacity = n;
+        self
+    }
+
+    /// Sets the data buffer size in bytes (default 4 KiB).
+    pub fn db_bytes(mut self, n: u64) -> Self {
+        self.db_bytes = n;
+        self
+    }
+
+    /// Builds the architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArchError`] when the geometry is empty, the PE list
+    /// length mismatches, a required class is entirely missing, or the
+    /// context buffer is zero-sized.
+    pub fn build(self) -> Result<CgraArch, ArchError> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(ArchError::EmptyArray);
+        }
+        let expected = (self.rows * self.cols) as usize;
+        let pes = self.pes.unwrap_or_else(|| vec![Pe::default(); expected]);
+        if pes.len() != expected {
+            return Err(ArchError::PeCountMismatch { got: pes.len(), expected });
+        }
+        if self.cb_capacity == 0 {
+            return Err(ArchError::ZeroContextCapacity);
+        }
+        for class in [OpClass::Arithmetic, OpClass::Memory, OpClass::Move] {
+            if !pes.iter().any(|pe| pe.supports_class(class)) {
+                return Err(ArchError::MissingClass(class));
+            }
+        }
+        Ok(CgraArch {
+            name: self.name,
+            rows: self.rows,
+            cols: self.cols,
+            pes,
+            topology: self.topology,
+            grf_size: self.grf_size,
+            cb_capacity: self.cb_capacity,
+            db_bytes: self.db_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let a = CgraArchBuilder::new("t", 3, 3).build().unwrap();
+        assert_eq!(a.pe_count(), 9);
+        assert_eq!(a.cb_capacity(), 8);
+        assert!(a.supports_all(&[OpKind::Add, OpKind::Load]));
+    }
+
+    #[test]
+    fn empty_array_rejected() {
+        assert_eq!(CgraArchBuilder::new("t", 0, 4).build(), Err(ArchError::EmptyArray));
+    }
+
+    #[test]
+    fn pe_count_mismatch_rejected() {
+        let err = CgraArchBuilder::new("t", 2, 2).pes(vec![Pe::default(); 3]).build();
+        assert_eq!(err, Err(ArchError::PeCountMismatch { got: 3, expected: 4 }));
+    }
+
+    #[test]
+    fn missing_memory_class_rejected() {
+        let pe = Pe::with_classes(&[OpClass::Arithmetic], 1);
+        let err = CgraArchBuilder::new("t", 2, 2).uniform_pe(pe).build();
+        assert_eq!(err, Err(ArchError::MissingClass(OpClass::Memory)));
+    }
+
+    #[test]
+    fn heterogeneous_pe_at() {
+        let a = CgraArchBuilder::new("het", 2, 2)
+            .uniform_pe(Pe::full(1))
+            .pe_at(1, 1, Pe::with_classes(&[OpClass::Logic, OpClass::Memory], 1))
+            .build()
+            .unwrap();
+        assert_eq!(a.pes_supporting(OpKind::Mul), 3);
+        assert_eq!(a.pes_supporting(OpKind::Load), 4);
+    }
+
+    #[test]
+    fn with_db_bytes_doubles() {
+        let a = CgraArchBuilder::new("t", 2, 2).db_bytes(4096).build().unwrap();
+        let b = a.with_db_bytes(8192);
+        assert_eq!(b.db_bytes(), 8192);
+        assert_ne!(a.name(), b.name());
+    }
+}

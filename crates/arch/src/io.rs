@@ -1,0 +1,125 @@
+//! Loading and saving architecture descriptions as JSON.
+//!
+//! Architectures are plain data (C-SERDE); shipping them as files lets
+//! users target custom CGRAs without recompiling:
+//!
+//! ```
+//! use ptmap_arch::{io, presets};
+//! let text = io::to_json(&presets::s4())?;
+//! let back = io::from_json(&text)?;
+//! assert_eq!(back, presets::s4());
+//! # Ok::<(), ptmap_arch::io::ArchIoError>(())
+//! ```
+
+use crate::arch::CgraArch;
+use std::fmt;
+use std::path::Path;
+
+/// Errors from architecture (de)serialization.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ArchIoError {
+    /// JSON syntax or schema error.
+    Json(serde_json::Error),
+    /// Filesystem error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ArchIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchIoError::Json(e) => write!(f, "architecture json: {e}"),
+            ArchIoError::Io(e) => write!(f, "architecture file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArchIoError::Json(e) => Some(e),
+            ArchIoError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<serde_json::Error> for ArchIoError {
+    fn from(e: serde_json::Error) -> Self {
+        ArchIoError::Json(e)
+    }
+}
+
+impl From<std::io::Error> for ArchIoError {
+    fn from(e: std::io::Error) -> Self {
+        ArchIoError::Io(e)
+    }
+}
+
+/// Serializes an architecture to pretty JSON.
+///
+/// # Errors
+///
+/// Returns [`ArchIoError::Json`] on serialization failure.
+pub fn to_json(arch: &CgraArch) -> Result<String, ArchIoError> {
+    Ok(serde_json::to_string_pretty(arch)?)
+}
+
+/// Parses an architecture from JSON text.
+///
+/// # Errors
+///
+/// Returns [`ArchIoError::Json`] when the text is not a valid
+/// architecture description.
+pub fn from_json(text: &str) -> Result<CgraArch, ArchIoError> {
+    Ok(serde_json::from_str(text)?)
+}
+
+/// Loads an architecture from a JSON file.
+///
+/// # Errors
+///
+/// Returns [`ArchIoError::Io`] on read failure or
+/// [`ArchIoError::Json`] on parse failure.
+pub fn load(path: impl AsRef<Path>) -> Result<CgraArch, ArchIoError> {
+    from_json(&std::fs::read_to_string(path)?)
+}
+
+/// Saves an architecture to a JSON file.
+///
+/// # Errors
+///
+/// Returns [`ArchIoError`] variants on serialization or write failure.
+pub fn save(arch: &CgraArch, path: impl AsRef<Path>) -> Result<(), ArchIoError> {
+    std::fs::write(path, to_json(arch)?)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn every_preset_round_trips() {
+        for arch in presets::evaluation_suite().iter().chain([&presets::hrea4()]) {
+            let text = to_json(arch).unwrap();
+            let back = from_json(&text).unwrap();
+            assert_eq!(&back, arch);
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("ptmap-arch-io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s4.json");
+        save(&presets::s4(), &path).unwrap();
+        assert_eq!(load(&path).unwrap(), presets::s4());
+    }
+
+    #[test]
+    fn bad_json_reports_error() {
+        assert!(matches!(from_json("{ nope"), Err(ArchIoError::Json(_))));
+        assert!(matches!(load("/nonexistent/file.json"), Err(ArchIoError::Io(_))));
+    }
+}

@@ -1,0 +1,38 @@
+//! CGRA architecture models for PT-Map.
+//!
+//! This crate is the hardware-side substrate: it describes a
+//! coarse-grained reconfigurable array — the PE grid with per-PE operator
+//! lists and local register files (LRF), a shared global register file
+//! (GRF), the context buffer (CB) and data buffer (DB) — together with
+//! the interconnect [`Topology`] and the time-extended modulo routing
+//! resource graph ([`Mrrg`]) that the modulo-scheduling mapper places and
+//! routes on.
+//!
+//! The four evaluation architectures of the paper (S4, R4, H6, SL8) plus
+//! the HReA-like generality architecture are available as
+//! [`presets`].
+//!
+//! # Example
+//!
+//! ```
+//! use ptmap_arch::{presets, Mrrg};
+//! use ptmap_ir::OpKind;
+//!
+//! let s4 = presets::s4();
+//! assert_eq!(s4.pe_count(), 16);
+//! assert!(s4.pe(ptmap_arch::PeId(0)).supports(OpKind::Mul));
+//! let mrrg = Mrrg::new(&s4, 2); // II = 2
+//! assert_eq!(mrrg.slots(), 2 * 16);
+//! ```
+
+pub mod arch;
+pub mod io;
+pub mod mrrg;
+pub mod pe;
+pub mod presets;
+pub mod topology;
+
+pub use arch::{ArchError, CgraArch, CgraArchBuilder};
+pub use mrrg::{Mrrg, RouteNode};
+pub use pe::{Pe, PeId};
+pub use topology::Topology;

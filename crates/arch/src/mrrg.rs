@@ -1,0 +1,254 @@
+//! Modulo routing resource graph (MRRG), the time-extended CGRA.
+//!
+//! For a candidate initiation interval `II`, the MRRG unfolds the PE
+//! array over `II` time slots. A node `(pe, t)` represents PE `pe` at
+//! cycle `t (mod II)`; routing a value forward one cycle follows an edge
+//! to `(pe', (t+1) mod II)` where `pe'` is an interconnect neighbor, the
+//! same PE (holding in its local register file), or the shared global
+//! register file hub. This is the `TEC/MRRG` hardware representation the
+//! paper's GNN consumes and the structure the modulo scheduler routes on.
+
+use crate::arch::CgraArch;
+use crate::pe::PeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node of the MRRG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouteNode {
+    /// PE `pe` at time slot `t`.
+    Pe {
+        /// The PE.
+        pe: PeId,
+        /// Time slot in `0..II`.
+        t: u32,
+    },
+    /// The global register file at time slot `t`.
+    Grf {
+        /// Time slot in `0..II`.
+        t: u32,
+    },
+}
+
+impl fmt::Display for RouteNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteNode::Pe { pe, t } => write!(f, "{pe}@{t}"),
+            RouteNode::Grf { t } => write!(f, "GRF@{t}"),
+        }
+    }
+}
+
+/// The time-extended routing graph for one candidate II.
+#[derive(Debug, Clone)]
+pub struct Mrrg {
+    ii: u32,
+    pe_count: u32,
+    has_grf: bool,
+    grf_size: u32,
+    lrf: Vec<u32>,
+    /// Forward adjacency: node index -> successor node indices.
+    adj: Vec<Vec<u32>>,
+}
+
+impl Mrrg {
+    /// Builds the MRRG of `arch` unrolled over `ii` time slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn new(arch: &CgraArch, ii: u32) -> Self {
+        assert!(ii > 0, "II must be at least 1");
+        let pe_count = arch.pe_count() as u32;
+        let has_grf = arch.grf_size() > 0;
+        let node_count = (ii * pe_count + if has_grf { ii } else { 0 }) as usize;
+        let mut mrrg = Mrrg {
+            ii,
+            pe_count,
+            has_grf,
+            grf_size: arch.grf_size(),
+            lrf: arch.pe_ids().map(|p| arch.pe(p).lrf_size).collect(),
+            adj: vec![Vec::new(); node_count],
+        };
+        for t in 0..ii {
+            let nt = (t + 1) % ii;
+            for pe in arch.pe_ids() {
+                let from = mrrg.pe_slot(pe, t);
+                for n in arch.neighbors(pe) {
+                    let to = mrrg.pe_slot(n, nt) as u32;
+                    mrrg.adj[from].push(to);
+                }
+                if arch.pe(pe).lrf_size > 0 {
+                    let to = mrrg.pe_slot(pe, nt) as u32;
+                    mrrg.adj[from].push(to);
+                }
+                if has_grf {
+                    let to_grf = mrrg.grf_slot(0, nt) as u32;
+                    mrrg.adj[from].push(to_grf);
+                    let g = mrrg.grf_slot(0, t);
+                    let to_pe = mrrg.pe_slot(pe, nt) as u32;
+                    mrrg.adj[g].push(to_pe);
+                }
+            }
+            if has_grf {
+                let g = mrrg.grf_slot(0, t);
+                let hold = mrrg.grf_slot(0, nt) as u32;
+                if !mrrg.adj[g].contains(&hold) {
+                    mrrg.adj[g].push(hold);
+                }
+            }
+        }
+        mrrg
+    }
+
+    /// The initiation interval this MRRG was unfolded for.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Number of PE slots (`II * pe_count`), i.e. compute capacity.
+    pub fn slots(&self) -> usize {
+        (self.ii * self.pe_count) as usize
+    }
+
+    /// Total node count including GRF slots.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Index of PE slot `(pe, t)`.
+    pub fn pe_slot(&self, pe: PeId, t: u32) -> usize {
+        (t * self.pe_count + pe.0) as usize
+    }
+
+    /// Index of the GRF slot at time `t`.
+    ///
+    /// The first argument is ignored (kept for symmetry in internal call
+    /// sites); panics if the architecture has no GRF.
+    fn grf_slot(&self, _unused: u32, t: u32) -> usize {
+        assert!(self.has_grf, "architecture has no GRF");
+        (self.ii * self.pe_count + t) as usize
+    }
+
+    /// Index of the GRF slot at time `t`, if a GRF exists.
+    pub fn grf_slot_at(&self, t: u32) -> Option<usize> {
+        self.has_grf.then(|| (self.ii * self.pe_count + t) as usize)
+    }
+
+    /// Decodes a node index.
+    pub fn decode(&self, idx: usize) -> RouteNode {
+        let pe_slots = self.slots();
+        if idx < pe_slots {
+            let t = idx as u32 / self.pe_count;
+            let pe = PeId(idx as u32 % self.pe_count);
+            RouteNode::Pe { pe, t }
+        } else {
+            RouteNode::Grf { t: (idx - pe_slots) as u32 }
+        }
+    }
+
+    /// Successor node indices (one-cycle data movement).
+    pub fn succ(&self, idx: usize) -> &[u32] {
+        &self.adj[idx]
+    }
+
+    /// Routing capacity of a node: how many distinct values may occupy it
+    /// in one slot (LRF entries for PEs, GRF entries for the hub).
+    pub fn route_capacity(&self, idx: usize) -> u32 {
+        match self.decode(idx) {
+            RouteNode::Pe { pe, .. } => self.lrf[pe.index()].max(1),
+            RouteNode::Grf { .. } => self.grf_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::CgraArchBuilder;
+    use crate::pe::Pe;
+    use crate::topology::Topology;
+
+    fn arch(grf: u32, lrf: u32) -> CgraArch {
+        CgraArchBuilder::new("t", 2, 2)
+            .topology(Topology::Mesh { diagonal: false, torus: false })
+            .uniform_pe(Pe::full(lrf))
+            .grf_size(grf)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn node_counts() {
+        let m = Mrrg::new(&arch(0, 1), 3);
+        assert_eq!(m.slots(), 12);
+        assert_eq!(m.node_count(), 12);
+        let m = Mrrg::new(&arch(4, 1), 3);
+        assert_eq!(m.node_count(), 15);
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        let m = Mrrg::new(&arch(4, 1), 2);
+        for idx in 0..m.node_count() {
+            match m.decode(idx) {
+                RouteNode::Pe { pe, t } => assert_eq!(m.pe_slot(pe, t), idx),
+                RouteNode::Grf { t } => assert_eq!(m.grf_slot_at(t), Some(idx)),
+            }
+        }
+    }
+
+    #[test]
+    fn edges_advance_time() {
+        let m = Mrrg::new(&arch(2, 1), 4);
+        for idx in 0..m.node_count() {
+            let t0 = match m.decode(idx) {
+                RouteNode::Pe { t, .. } | RouteNode::Grf { t } => t,
+            };
+            for &s in m.succ(idx) {
+                let t1 = match m.decode(s as usize) {
+                    RouteNode::Pe { t, .. } | RouteNode::Grf { t } => t,
+                };
+                assert_eq!(t1, (t0 + 1) % 4, "edge {idx}->{s} does not advance time");
+            }
+        }
+    }
+
+    #[test]
+    fn self_hold_requires_lrf() {
+        let m = Mrrg::new(&arch(0, 0), 2);
+        // No LRF: (pe, t) must not reach (pe, t+1).
+        for pe in 0..4u32 {
+            let from = m.pe_slot(PeId(pe), 0);
+            let to = m.pe_slot(PeId(pe), 1) as u32;
+            assert!(!m.succ(from).contains(&to));
+        }
+        let m = Mrrg::new(&arch(0, 1), 2);
+        for pe in 0..4u32 {
+            let from = m.pe_slot(PeId(pe), 0);
+            let to = m.pe_slot(PeId(pe), 1) as u32;
+            assert!(m.succ(from).contains(&to));
+        }
+    }
+
+    #[test]
+    fn grf_is_reachable_hub() {
+        let m = Mrrg::new(&arch(4, 1), 2);
+        let g0 = m.grf_slot_at(0).unwrap();
+        // GRF slot 0 reaches every PE at t=1 plus its own hold.
+        assert_eq!(m.succ(g0).len(), 5);
+    }
+
+    #[test]
+    fn capacities() {
+        let m = Mrrg::new(&arch(4, 2), 2);
+        assert_eq!(m.route_capacity(m.pe_slot(PeId(0), 0)), 2);
+        assert_eq!(m.route_capacity(m.grf_slot_at(1).unwrap()), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "II must be at least 1")]
+    fn zero_ii_panics() {
+        let _ = Mrrg::new(&arch(0, 1), 0);
+    }
+}

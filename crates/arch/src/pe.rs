@@ -1,0 +1,112 @@
+//! Processing elements.
+
+use ptmap_ir::{OpClass, OpKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a PE within an array, in row-major order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PeId(pub u32);
+
+impl PeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a PE id from grid coordinates given the column count.
+    pub fn from_xy(x: u32, y: u32, cols: u32) -> Self {
+        PeId(y * cols + x)
+    }
+
+    /// Grid coordinates `(x, y)` given the column count.
+    pub fn to_xy(self, cols: u32) -> (u32, u32) {
+        (self.0 % cols, self.0 / cols)
+    }
+}
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+/// A processing element: an ALU with an operator list, a local register
+/// file used for time-multiplexed routing, and an output register.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pe {
+    /// Operations this PE's functional unit supports (`op_list` in the
+    /// paper's `G_hw` attributes).
+    pub ops: Vec<OpKind>,
+    /// Local register file entries available for buffering/routing.
+    pub lrf_size: u32,
+}
+
+impl Pe {
+    /// A PE supporting every operation (homogeneous "standard" arrays).
+    pub fn full(lrf_size: u32) -> Self {
+        Pe { ops: OpKind::ALL.to_vec(), lrf_size }
+    }
+
+    /// A PE supporting only the listed classes (plus moves, which every
+    /// PE supports: routing is always possible through a PE).
+    pub fn with_classes(classes: &[OpClass], lrf_size: u32) -> Self {
+        let ops = OpKind::ALL
+            .into_iter()
+            .filter(|op| classes.contains(&op.class()) || op.class() == OpClass::Move)
+            .collect();
+        Pe { ops, lrf_size }
+    }
+
+    /// Whether this PE supports an operation.
+    pub fn supports(&self, op: OpKind) -> bool {
+        self.ops.contains(&op)
+    }
+
+    /// Whether this PE supports any operation of the class.
+    pub fn supports_class(&self, class: OpClass) -> bool {
+        self.ops.iter().any(|op| op.class() == class)
+    }
+}
+
+impl Default for Pe {
+    fn default() -> Self {
+        Pe::full(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_round_trip() {
+        let cols = 6;
+        for y in 0..6u32 {
+            for x in 0..6u32 {
+                let id = PeId::from_xy(x, y, cols);
+                assert_eq!(id.to_xy(cols), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn full_pe_supports_everything() {
+        let pe = Pe::full(2);
+        for op in OpKind::ALL {
+            assert!(pe.supports(op));
+        }
+    }
+
+    #[test]
+    fn class_restricted_pe_keeps_moves() {
+        let pe = Pe::with_classes(&[OpClass::Logic], 1);
+        assert!(pe.supports(OpKind::And));
+        assert!(pe.supports(OpKind::Route));
+        assert!(pe.supports(OpKind::Const));
+        assert!(!pe.supports(OpKind::Mul));
+        assert!(!pe.supports(OpKind::Load));
+        assert!(pe.supports_class(OpClass::Move));
+        assert!(!pe.supports_class(OpClass::Memory));
+    }
+}

@@ -1,0 +1,199 @@
+//! The evaluation architectures of the paper.
+//!
+//! | Name | Array | Topology | Notes | DB |
+//! |---|---|---|---|---|
+//! | S4  | 4×4 | mesh + diagonals | standard, homogeneous, LRF 2, GRF 4 | 4 KiB |
+//! | R4  | 4×4 | mesh | reduced (Pillars-like): heterogeneous PEs, LRF 1 | 4 KiB |
+//! | H6  | 6×6 | HyCube (3 hops) | LRF 1, GRF 2 | 6 KiB |
+//! | SL8 | 8×8 | mesh | less routing: LRF 1, no GRF | 8 KiB |
+//! | HReA4 | 4×4 | row/column | generality experiment | 4 KiB |
+//!
+//! All presets use the paper's CB capacity of 8 contexts.
+
+use crate::arch::{CgraArch, CgraArchBuilder};
+use crate::pe::Pe;
+use crate::topology::Topology;
+use ptmap_ir::OpClass;
+
+/// S4: the 4×4 standard CGRA.
+pub fn s4() -> CgraArch {
+    CgraArchBuilder::new("S4", 4, 4)
+        .topology(Topology::Mesh { diagonal: true, torus: false })
+        .uniform_pe(Pe::full(2))
+        .grf_size(4)
+        .cb_capacity(8)
+        .db_bytes(4 * 1024)
+        .build()
+        .expect("preset is valid")
+}
+
+/// R4: the 4×4 reduced CGRA (heterogeneous, similar to the reduced
+/// architecture built with Pillars in the paper): only the even PEs
+/// multiply, only the first column reaches the data buffer, plain mesh,
+/// LRF 1, no GRF.
+pub fn r4() -> CgraArch {
+    let full = Pe::full(1);
+    let no_mul = Pe::with_classes(&[OpClass::Logic, OpClass::Memory], 1);
+    let mut b = CgraArchBuilder::new("R4", 4, 4)
+        .topology(Topology::Mesh { diagonal: false, torus: false })
+        .uniform_pe(full)
+        .grf_size(0)
+        .cb_capacity(8)
+        .db_bytes(4 * 1024);
+    for y in 0..4 {
+        for x in 0..4 {
+            let idx = y * 4 + x;
+            if idx % 2 == 1 {
+                b = b.pe_at(x, y, no_mul.clone());
+            }
+        }
+    }
+    // Memory restricted to the first column: strip memory from others.
+    for y in 0..4 {
+        for x in 1..4 {
+            let idx = (y * 4 + x) % 2;
+            let classes: &[OpClass] = if idx == 0 {
+                &[OpClass::Arithmetic, OpClass::Logic]
+            } else {
+                &[OpClass::Logic]
+            };
+            b = b.pe_at(x, y, Pe::with_classes(classes, 1));
+        }
+    }
+    b.build().expect("preset is valid")
+}
+
+/// H6: the 6×6 HyCube-like CGRA with single-cycle multi-hop interconnect.
+pub fn h6() -> CgraArch {
+    CgraArchBuilder::new("H6", 6, 6)
+        .topology(Topology::HyCube { max_hops: 3 })
+        .uniform_pe(Pe::full(1))
+        .grf_size(2)
+        .cb_capacity(8)
+        .db_bytes(6 * 1024)
+        .build()
+        .expect("preset is valid")
+}
+
+/// SL8: the 8×8 CGRA with less routing resource: plain mesh, LRF 1, no
+/// GRF.
+pub fn sl8() -> CgraArch {
+    CgraArchBuilder::new("SL8", 8, 8)
+        .topology(Topology::Mesh { diagonal: false, torus: false })
+        .uniform_pe(Pe::full(1))
+        .grf_size(0)
+        .cb_capacity(8)
+        .db_bytes(8 * 1024)
+        .build()
+        .expect("preset is valid")
+}
+
+/// HReA-like 4×4 CGRA with a rich row/column interconnect — the unseen
+/// architecture of the generality experiment.
+pub fn hrea4() -> CgraArch {
+    CgraArchBuilder::new("HReA4", 4, 4)
+        .topology(Topology::RowColumn)
+        .uniform_pe(Pe::full(2))
+        .grf_size(4)
+        .cb_capacity(8)
+        .db_bytes(4 * 1024)
+        .build()
+        .expect("preset is valid")
+}
+
+/// The four main evaluation architectures, in the paper's order.
+pub fn evaluation_suite() -> Vec<CgraArch> {
+    vec![s4(), r4(), h6(), sl8()]
+}
+
+/// A small same-PE-count family for the Fig. 2b motivation experiment:
+/// the legend `abc` denotes an `a×b` array with `c` LRF entries per PE.
+pub fn fig2b_family() -> Vec<CgraArch> {
+    let mk = |name: &str, rows: u32, cols: u32, lrf: u32| {
+        CgraArchBuilder::new(name, rows, cols)
+            .topology(Topology::Mesh { diagonal: false, torus: false })
+            .uniform_pe(Pe::full(lrf))
+            .grf_size(0)
+            .cb_capacity(16)
+            .db_bytes(4 * 1024)
+            .build()
+            .expect("preset is valid")
+    };
+    vec![
+        mk("220", 2, 2, 0),
+        mk("221", 2, 2, 1),
+        mk("222", 2, 2, 2),
+        mk("224", 2, 2, 4),
+        mk("410", 4, 1, 0),
+        mk("412", 4, 1, 2),
+        mk("144", 1, 4, 4),
+    ]
+}
+
+/// A plain `rows x cols` mesh with full PEs — used by the Fig. 2a
+/// utilization sweep (3×3, 4×4, 8×8).
+pub fn mesh(rows: u32, cols: u32, lrf: u32) -> CgraArch {
+    CgraArchBuilder::new(format!("M{rows}x{cols}"), rows, cols)
+        .topology(Topology::Mesh { diagonal: false, torus: false })
+        .uniform_pe(Pe::full(lrf))
+        .grf_size(2)
+        .cb_capacity(8)
+        .db_bytes(4 * 1024)
+        .build()
+        .expect("preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptmap_ir::OpKind;
+
+    #[test]
+    fn suite_shapes() {
+        let suite = evaluation_suite();
+        assert_eq!(suite.len(), 4);
+        assert_eq!(suite[0].pe_count(), 16);
+        assert_eq!(suite[1].pe_count(), 16);
+        assert_eq!(suite[2].pe_count(), 36);
+        assert_eq!(suite[3].pe_count(), 64);
+    }
+
+    #[test]
+    fn r4_is_heterogeneous() {
+        let r4 = r4();
+        assert!(r4.pes_supporting(OpKind::Mul) < r4.pe_count());
+        assert!(r4.pes_supporting(OpKind::Load) < r4.pe_count());
+        assert!(r4.pes_supporting(OpKind::Mul) > 0);
+        assert!(r4.pes_supporting(OpKind::Load) > 0);
+    }
+
+    #[test]
+    fn db_capacities_match_paper() {
+        assert_eq!(s4().db_bytes(), 4096);
+        assert_eq!(r4().db_bytes(), 4096);
+        assert_eq!(h6().db_bytes(), 6144);
+        assert_eq!(sl8().db_bytes(), 8192);
+    }
+
+    #[test]
+    fn cb_capacity_is_eight_everywhere() {
+        for a in evaluation_suite() {
+            assert_eq!(a.cb_capacity(), 8);
+        }
+        assert_eq!(hrea4().cb_capacity(), 8);
+    }
+
+    #[test]
+    fn fig2b_family_same_pe_count() {
+        let fam = fig2b_family();
+        assert!(fam.iter().all(|a| a.pe_count() == 4));
+    }
+
+    #[test]
+    fn hrea_richer_than_sl8_mesh() {
+        let hrea = hrea4();
+        let d_hrea = hrea.topology().mean_degree(4, 4);
+        let d_mesh = sl8().topology().mean_degree(4, 4);
+        assert!(d_hrea > d_mesh);
+    }
+}

@@ -1,0 +1,158 @@
+//! Interconnect topologies.
+
+use crate::pe::PeId;
+use serde::{Deserialize, Serialize};
+
+/// Single-cycle interconnect pattern between PEs.
+///
+/// A topology answers one question: from a PE, which PEs can receive its
+/// output register in the next cycle? All modeled interconnects are
+/// registered (one cycle per hop group), matching the architectures of
+/// the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Topology {
+    /// ADRES-like 2D mesh: 4-neighborhood, optionally plus diagonals.
+    Mesh {
+        /// Include the 4 diagonal neighbors (8-neighborhood).
+        diagonal: bool,
+        /// Wrap around edges (torus links).
+        torus: bool,
+    },
+    /// HyCube-like mesh with single-cycle multi-hop straight-line hops:
+    /// a value can travel up to `max_hops` PEs along a row or a column in
+    /// one cycle.
+    HyCube {
+        /// Maximum straight-line hop distance reachable in one cycle.
+        max_hops: u32,
+    },
+    /// HReA-like rich interconnect: mesh neighbors plus full same-row and
+    /// same-column broadcast links.
+    RowColumn,
+}
+
+impl Topology {
+    /// PEs reachable from `from` in a single cycle (excluding `from`
+    /// itself — staying put uses the PE's own output register/LRF, which
+    /// the MRRG models separately).
+    pub fn neighbors(self, from: PeId, rows: u32, cols: u32) -> Vec<PeId> {
+        let (x, y) = from.to_xy(cols);
+        let mut out = Vec::new();
+        let mut push = |nx: i64, ny: i64| {
+            if nx >= 0 && ny >= 0 && (nx as u32) < cols && (ny as u32) < rows {
+                let id = PeId::from_xy(nx as u32, ny as u32, cols);
+                if id != from && !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+        };
+        match self {
+            Topology::Mesh { diagonal, torus } => {
+                let deltas: &[(i64, i64)] = if diagonal {
+                    &[(1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (1, -1), (-1, 1), (-1, -1)]
+                } else {
+                    &[(1, 0), (-1, 0), (0, 1), (0, -1)]
+                };
+                for &(dx, dy) in deltas {
+                    if torus {
+                        let nx = (x as i64 + dx).rem_euclid(cols as i64);
+                        let ny = (y as i64 + dy).rem_euclid(rows as i64);
+                        push(nx, ny);
+                    } else {
+                        push(x as i64 + dx, y as i64 + dy);
+                    }
+                }
+            }
+            Topology::HyCube { max_hops } => {
+                let h = max_hops.max(1) as i64;
+                for d in 1..=h {
+                    push(x as i64 + d, y as i64);
+                    push(x as i64 - d, y as i64);
+                    push(x as i64, y as i64 + d);
+                    push(x as i64, y as i64 - d);
+                }
+            }
+            Topology::RowColumn => {
+                for nx in 0..cols as i64 {
+                    push(nx, y as i64);
+                }
+                for ny in 0..rows as i64 {
+                    push(x as i64, ny);
+                }
+            }
+        }
+        out
+    }
+
+    /// Average out-degree over the array — a routing-richness indicator
+    /// used as a hardware feature by the predictive model.
+    pub fn mean_degree(self, rows: u32, cols: u32) -> f64 {
+        let n = (rows * cols) as f64;
+        let total: usize =
+            (0..rows * cols).map(|i| self.neighbors(PeId(i), rows, cols).len()).sum();
+        total as f64 / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_corner_has_two_neighbors() {
+        let t = Topology::Mesh { diagonal: false, torus: false };
+        assert_eq!(t.neighbors(PeId(0), 4, 4).len(), 2);
+        // Center PE has 4.
+        assert_eq!(t.neighbors(PeId::from_xy(1, 1, 4), 4, 4).len(), 4);
+    }
+
+    #[test]
+    fn torus_gives_uniform_degree() {
+        let t = Topology::Mesh { diagonal: false, torus: true };
+        for i in 0..16 {
+            assert_eq!(t.neighbors(PeId(i), 4, 4).len(), 4);
+        }
+    }
+
+    #[test]
+    fn diagonal_mesh_center_has_eight() {
+        let t = Topology::Mesh { diagonal: true, torus: false };
+        assert_eq!(t.neighbors(PeId::from_xy(1, 1, 4), 4, 4).len(), 8);
+    }
+
+    #[test]
+    fn hycube_reaches_multi_hop() {
+        let t = Topology::HyCube { max_hops: 3 };
+        let n = t.neighbors(PeId::from_xy(0, 0, 6), 6, 6);
+        // 3 east + 3 south from the corner.
+        assert_eq!(n.len(), 6);
+        assert!(n.contains(&PeId::from_xy(3, 0, 6)));
+    }
+
+    #[test]
+    fn rowcolumn_reaches_whole_row_and_column() {
+        let t = Topology::RowColumn;
+        let n = t.neighbors(PeId::from_xy(2, 2, 4), 4, 4);
+        assert_eq!(n.len(), 3 + 3);
+    }
+
+    #[test]
+    fn neighbors_never_contain_self() {
+        for t in [
+            Topology::Mesh { diagonal: true, torus: true },
+            Topology::HyCube { max_hops: 2 },
+            Topology::RowColumn,
+        ] {
+            for i in 0..16 {
+                assert!(!t.neighbors(PeId(i), 4, 4).contains(&PeId(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_degree_orders_richness() {
+        let mesh = Topology::Mesh { diagonal: false, torus: false };
+        let hycube = Topology::HyCube { max_hops: 3 };
+        assert!(hycube.mean_degree(6, 6) > mesh.mean_degree(6, 6));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for topologies and the MRRG.
+
+use proptest::prelude::*;
+use ptmap_arch::{CgraArchBuilder, Mrrg, Pe, PeId, RouteNode, Topology};
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (any::<bool>(), any::<bool>())
+            .prop_map(|(diagonal, torus)| Topology::Mesh { diagonal, torus }),
+        (1u32..4).prop_map(|max_hops| Topology::HyCube { max_hops }),
+        Just(Topology::RowColumn),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Neighborhoods are symmetric for every modeled topology (all our
+    /// interconnects are bidirected).
+    #[test]
+    fn neighbors_symmetric(t in arb_topology(), rows in 2u32..6, cols in 2u32..6) {
+        for a in 0..rows * cols {
+            for b in t.neighbors(PeId(a), rows, cols) {
+                prop_assert!(
+                    t.neighbors(b, rows, cols).contains(&PeId(a)),
+                    "{t:?}: {a} -> {b} not symmetric"
+                );
+            }
+        }
+    }
+
+    /// Every MRRG edge advances time by exactly one slot, and edges stay
+    /// in range.
+    #[test]
+    fn mrrg_edges_advance_time(t in arb_topology(), ii in 1u32..6, lrf in 0u32..3, grf in 0u32..3) {
+        let arch = CgraArchBuilder::new("t", 3, 3)
+            .topology(t)
+            .uniform_pe(Pe::full(lrf))
+            .grf_size(grf)
+            .build()
+            .unwrap();
+        let m = Mrrg::new(&arch, ii);
+        for idx in 0..m.node_count() {
+            let t0 = match m.decode(idx) {
+                RouteNode::Pe { t, .. } | RouteNode::Grf { t } => t,
+            };
+            for &s in m.succ(idx) {
+                prop_assert!((s as usize) < m.node_count());
+                let t1 = match m.decode(s as usize) {
+                    RouteNode::Pe { t, .. } | RouteNode::Grf { t } => t,
+                };
+                prop_assert_eq!(t1, (t0 + 1) % ii);
+            }
+        }
+    }
+
+    /// Decode/encode round-trips for every node of every MRRG.
+    #[test]
+    fn mrrg_decode_round_trip(ii in 1u32..8, grf in 0u32..4) {
+        let arch = CgraArchBuilder::new("t", 2, 4)
+            .uniform_pe(Pe::full(1))
+            .grf_size(grf)
+            .build()
+            .unwrap();
+        let m = Mrrg::new(&arch, ii);
+        for idx in 0..m.node_count() {
+            match m.decode(idx) {
+                RouteNode::Pe { pe, t } => prop_assert_eq!(m.pe_slot(pe, t), idx),
+                RouteNode::Grf { t } => prop_assert_eq!(m.grf_slot_at(t), Some(idx)),
+            }
+        }
+    }
+
+    /// Mean degree is monotone in HyCube hop count.
+    #[test]
+    fn hycube_degree_monotone(h in 1u32..4) {
+        let a = Topology::HyCube { max_hops: h }.mean_degree(6, 6);
+        let b = Topology::HyCube { max_hops: h + 1 }.mean_degree(6, 6);
+        prop_assert!(b >= a);
+    }
+}

@@ -1,0 +1,66 @@
+//! Criterion bench for the Fig. 2 motivation experiments: times the
+//! unrolled-GEMM mapping (2a) and prints a reduced version of both
+//! series (2a utilization sweep, 2b MII-model accuracy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptmap_arch::presets;
+use ptmap_ir::dfg::build_dfg;
+use ptmap_mapper::{map_dfg, mii, MapperConfig};
+use ptmap_workloads::micro;
+use std::hint::black_box;
+
+fn print_series() {
+    let program = micro::gemm24();
+    let nest = program.perfect_nests().remove(0);
+    let (i, j) = (nest.loops[0], nest.loops[1]);
+    let arch = presets::mesh(8, 8, 2);
+    println!("[fig2a reduced] 24^3 GEMM on 8x8:");
+    for (fa, fb) in [(1u32, 1u32), (2, 1), (2, 2), (4, 2)] {
+        let unroll: Vec<_> =
+            [(i, fa), (j, fb)].into_iter().filter(|&(_, f)| f > 1).collect();
+        let dfg = build_dfg(&program, &nest, &unroll).unwrap();
+        if let Ok(m) = map_dfg(&dfg, &arch, &MapperConfig::default()) {
+            println!(
+                "  factor {}: utilization {:.1}%, II {}",
+                fa * fb,
+                m.utilization() * 100.0,
+                m.ii
+            );
+        }
+    }
+    let vr = micro::vec_reduction(1024);
+    let vnest = vr.perfect_nests().remove(0);
+    println!("[fig2b reduced] vector reduction on 221:");
+    let arch = &presets::fig2b_family()[1];
+    for f in [1u32, 4] {
+        let unroll: Vec<_> =
+            if f > 1 { vec![(vnest.pipelined_loop(), f)] } else { Vec::new() };
+        let dfg = build_dfg(&vr, &vnest, &unroll).unwrap();
+        let bound = mii(&dfg, arch);
+        if let Ok(m) = map_dfg(&dfg, arch, &MapperConfig::default()) {
+            println!("  factor {f}: MII {bound}, actual II {}", m.ii);
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let program = micro::gemm24();
+    let nest = program.perfect_nests().remove(0);
+    let (i, j) = (nest.loops[0], nest.loops[1]);
+    let arch = presets::mesh(8, 8, 2);
+    let dfg = build_dfg(&program, &nest, &[(i, 2), (j, 2)]).unwrap();
+    c.bench_function("fig2a_map_unrolled_gemm_8x8", |b| {
+        b.iter(|| {
+            let m = map_dfg(black_box(&dfg), &arch, &MapperConfig::default()).unwrap();
+            black_box(m.ii)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the Fig. 6 model-accuracy experiment: trains a
+//! reduced GNN, prints the MAPE comparison on one architecture, and
+//! times a single model inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptmap_arch::presets;
+use ptmap_bench::{fig6::real_benchmark_samples, synthetic_dataset, Scale};
+use ptmap_gnn::model::{GnnVariant, ModelConfig, PtMapGnn};
+use ptmap_gnn::train::{mape_cycles, mape_cycles_mii, train, TrainConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let data = synthetic_dataset(scale);
+    let mut model = PtMapGnn::new(ModelConfig {
+        hidden: 16,
+        variant: GnnVariant::Full,
+        ..ModelConfig::default()
+    });
+    train(&mut model, &data, &TrainConfig { epochs: scale.epochs, ..TrainConfig::default() });
+    let samples = real_benchmark_samples(&presets::s4(), 2);
+    println!(
+        "[fig6 reduced] S4: PBP(MII) {:.1}% vs GNN {:.1}% MAPE ({} samples)",
+        mape_cycles_mii(&samples),
+        mape_cycles(&model, &samples),
+        samples.len()
+    );
+    let input = &samples[0].input;
+    c.bench_function("fig6_gnn_inference", |b| {
+        b.iter(|| black_box(model.predict(black_box(input))))
+    });
+    c.bench_function("fig6_training_epoch", |b| {
+        b.iter(|| {
+            let mut m = model.clone();
+            train(&mut m, &data[..20], &TrainConfig { epochs: 1, ..TrainConfig::default() });
+            black_box(m.param_count())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

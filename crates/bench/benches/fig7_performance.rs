@@ -1,0 +1,44 @@
+//! Criterion bench for the Fig. 7 performance comparison: prints a
+//! reduced mapper-vs-mapper series on one app/arch and times a full
+//! PT-Map compilation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptmap_arch::presets;
+use ptmap_bench::suite::{run_suite, MapperSet};
+use ptmap_eval::RankMode;
+use ptmap_gnn::model::{GnnVariant, ModelConfig, PtMapGnn};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Untrained-but-structured GNN keeps the smoke run self-contained;
+    // the fig7 binary uses the trained model.
+    let gnn = PtMapGnn::new(ModelConfig {
+        hidden: 8,
+        variant: GnnVariant::Full,
+        ..ModelConfig::default()
+    });
+    let arch = presets::s4();
+    let (app, program) = ptmap_bench::apps().remove(4); // TMM
+    let rows = run_suite(&program, &arch, &gnn, RankMode::Performance, MapperSet::Comparison);
+    println!("[fig7 reduced] {app} on {}:", arch.name());
+    for r in &rows {
+        println!(
+            "  {:<8} {}",
+            r.mapper,
+            r.cycles.map(|c| c.to_string()).unwrap_or_else(|| "fail".into())
+        );
+    }
+    c.bench_function("fig7_ptmap_compile_tmm_s4", |b| {
+        b.iter(|| {
+            let ptmap = ptmap_bench::suite::ptmap_with(gnn.clone(), RankMode::Performance);
+            black_box(ptmap.compile(&program, &arch).map(|r| r.cycles))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

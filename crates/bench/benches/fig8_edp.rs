@@ -1,0 +1,42 @@
+//! Criterion bench for the Fig. 8 EDP experiment: prints a reduced
+//! EDP series at both DB capacities on one app and times the
+//! Pareto-mode compilation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptmap_arch::presets;
+use ptmap_bench::suite::ptmap_with;
+use ptmap_eval::RankMode;
+use ptmap_gnn::model::{GnnVariant, ModelConfig, PtMapGnn};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let gnn = PtMapGnn::new(ModelConfig {
+        hidden: 8,
+        variant: GnnVariant::Full,
+        ..ModelConfig::default()
+    });
+    let (app, program) = ptmap_bench::apps().remove(2); // COV
+    println!("[fig8 reduced] {app} Pareto-mode EDP:");
+    let base = presets::s4();
+    for scale in [1u64, 2] {
+        let arch = base.with_db_bytes(base.db_bytes() * scale);
+        let ptmap = ptmap_with(gnn.clone(), RankMode::Pareto);
+        if let Ok(r) = ptmap.compile(&program, &arch) {
+            println!("  DB x{scale}: EDP {:.3e}", r.edp);
+        }
+    }
+    let arch = presets::s4();
+    c.bench_function("fig8_pareto_compile_cov_s4", |b| {
+        b.iter(|| {
+            let ptmap = ptmap_with(gnn.clone(), RankMode::Pareto);
+            black_box(ptmap.compile(&program, &arch).map(|r| r.edp))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

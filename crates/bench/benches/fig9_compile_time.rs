@@ -1,0 +1,34 @@
+//! Criterion bench for the Fig. 9 compilation-time measurement: the
+//! measured quantity *is* the compile time, so this bench times the
+//! pipeline stages separately (exploration vs evaluation vs context
+//! generation) for one app.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptmap_arch::presets;
+use ptmap_eval::{evaluate_forest, AnalyticalPredictor, EvalConfig};
+use ptmap_transform::{explore, ExploreConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (app, program) = ptmap_bench::apps().remove(7); // HAR (the paper's longest case)
+    let arch = presets::sl8();
+    println!("[fig9 reduced] staging {app} on SL8");
+    c.bench_function("fig9_explore_har", |b| {
+        b.iter(|| black_box(explore(&program, &ExploreConfig::default()).candidate_count()))
+    });
+    let forest = explore(&program, &ExploreConfig::default());
+    c.bench_function("fig9_evaluate_har_sl8", |b| {
+        b.iter(|| {
+            let eval =
+                evaluate_forest(&forest, &arch, &AnalyticalPredictor, &EvalConfig::default());
+            black_box(eval.variants.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for Tab. 5: prints the app/#PNL table and times LIT
+//! construction plus PNL extraction across the whole benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptmap_transform::Lit;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("[tab5] app -> #PNLs:");
+    for (name, program) in ptmap_bench::apps() {
+        println!("  {name}: {}", Lit::build(&program).pnl_count());
+    }
+    let apps = ptmap_bench::apps();
+    c.bench_function("tab5_lit_and_pnl_extraction_all_apps", |b| {
+        b.iter(|| {
+            let total: usize =
+                apps.iter().map(|(_, p)| Lit::build(black_box(p)).pnl_count()).sum();
+            black_box(total)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

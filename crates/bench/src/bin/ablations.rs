@@ -1,0 +1,84 @@
+//! Design-choice ablations called out in DESIGN.md (beyond the paper's
+//! Tab. 6):
+//!
+//! 1. **Route-tree sharing** — the mapper with and without shared fanout
+//!    routes, on progressively unrolled GEMM (congestion-bound SL8);
+//! 2. **Two-term II-residual loss** — the Tab. 2 loss (absolute +
+//!    α·relative) versus plain MSE (α = 0);
+//! 3. **Reordering depth** — exploring the innermost 1 vs 3 levels.
+
+use ptmap_arch::presets;
+use ptmap_bench::{synthetic_dataset, Scale};
+use ptmap_core::{PtMap, PtMapConfig};
+use ptmap_eval::AnalyticalPredictor;
+use ptmap_gnn::model::{ModelConfig, PtMapGnn};
+use ptmap_gnn::train::{mape_cycles, train, TrainConfig};
+use ptmap_ir::dfg::build_dfg;
+use ptmap_mapper::{map_dfg, MapperConfig};
+use ptmap_transform::ExploreConfig;
+use ptmap_workloads::micro;
+use serde::Serialize;
+
+#[derive(Debug, Serialize, Default)]
+struct Ablations {
+    route_sharing: Vec<(u32, Option<u32>, Option<u32>)>,
+    loss_two_term_mape: f64,
+    loss_plain_mape: f64,
+    reorder_depth: Vec<(usize, u64)>,
+}
+
+fn main() {
+    let mut out = Ablations::default();
+
+    // 1. Route sharing.
+    println!("== route-tree sharing (GEMM 24^3 on SL8) ==");
+    println!("{:<8} {:>10} {:>10}", "unroll", "shared II", "unshared II");
+    let program = micro::gemm24();
+    let nest = program.perfect_nests().remove(0);
+    let (i, j) = (nest.loops[0], nest.loops[1]);
+    let arch = presets::sl8();
+    for f in [1u32, 2, 4] {
+        let unroll: Vec<_> = [(i, f), (j, f)].into_iter().filter(|&(_, x)| x > 1).collect();
+        let dfg = build_dfg(&program, &nest, &unroll).unwrap();
+        let shared = map_dfg(&dfg, &arch, &MapperConfig::default()).ok().map(|m| m.ii);
+        let unshared_cfg = MapperConfig { share_routes: false, ..MapperConfig::default() };
+        let unshared = map_dfg(&dfg, &arch, &unshared_cfg).ok().map(|m| m.ii);
+        let show = |x: Option<u32>| x.map(|v| v.to_string()).unwrap_or_else(|| "fail".into());
+        println!("{:<8} {:>10} {:>10}", f * f, show(shared), show(unshared));
+        out.route_sharing.push((f * f, shared, unshared));
+    }
+
+    // 2. Two-term residual loss vs plain MSE.
+    println!("\n== II-residual loss (synthetic dataset, held-out MAPE) ==");
+    let scale = Scale { samples: 600, epochs: 60 };
+    let data = synthetic_dataset(scale);
+    let split = data.len() * 4 / 5;
+    let (tr, te) = data.split_at(split);
+    for (label, alpha) in [("two-term (α=0.5)", 0.5f32), ("plain MSE (α=0)", 0.0)] {
+        let mut model = PtMapGnn::new(ModelConfig { alpha, ..ModelConfig::default() });
+        train(&mut model, tr, &TrainConfig { epochs: scale.epochs, ..TrainConfig::default() });
+        let mape = mape_cycles(&model, te);
+        println!("{label:<18}: {mape:.1}% MAPE");
+        if alpha > 0.0 {
+            out.loss_two_term_mape = mape;
+        } else {
+            out.loss_plain_mape = mape;
+        }
+    }
+
+    // 3. Reordering depth.
+    println!("\n== reordering depth (GEMM 64^3 on S4, analytical predictor) ==");
+    let program = micro::gemm(64);
+    let arch = presets::s4();
+    for depth in [1usize, 2, 3] {
+        let explore = ExploreConfig { reorder_depth: depth, ..ExploreConfig::default() };
+        let config = PtMapConfig { explore, ..PtMapConfig::default() };
+        let r = PtMap::new(Box::new(AnalyticalPredictor), config)
+            .compile(&program, &arch)
+            .expect("gemm compiles");
+        println!("depth {depth}: {} cycles", r.cycles);
+        out.reorder_depth.push((depth, r.cycles));
+    }
+
+    ptmap_bench::write_json("ablations.json", &out);
+}

@@ -1,0 +1,83 @@
+//! Fig. 2a: PE-array utilization and normalized performance of 24×24×24
+//! GEMM under loop unrolling, on 3×3 / 4×4 / 8×8 CGRAs.
+//!
+//! For each unroll factor the best loop order is chosen by actual
+//! mapping (factor 1 = inter-loop transformation only, as in the paper).
+
+use ptmap_arch::presets;
+use ptmap_ir::dfg::build_dfg;
+use ptmap_mapper::{map_dfg, MapperConfig};
+use ptmap_transform::primitives::reorder;
+use ptmap_workloads::micro;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    arch: String,
+    factor: u32,
+    utilization: f64,
+    normalized_perf: f64,
+    ii: u32,
+}
+
+fn main() {
+    let program = micro::gemm24();
+    let nest0 = program.perfect_nests().remove(0);
+    let [i, j, k] = [nest0.loops[0], nest0.loops[1], nest0.loops[2]];
+    let orders: Vec<Vec<_>> =
+        vec![vec![i, j, k], vec![i, k, j], vec![k, i, j], vec![j, k, i], vec![k, j, i], vec![j, i, k]];
+    // Factor -> unroll split over the two non-pipelined dimensions.
+    let splits = [(1u32, 1u32), (2, 1), (2, 2), (4, 2)];
+    let mapper = MapperConfig::default();
+    let mut rows = Vec::new();
+
+    println!("{:<8} {:>7} {:>13} {:>11} {:>5}", "arch", "factor", "utilization", "norm perf", "II");
+    for (rows_n, cols_n) in [(3u32, 3u32), (4, 4), (8, 8)] {
+        let arch = presets::mesh(rows_n, cols_n, 2);
+        let mut base_cycles = None;
+        for (fa, fb) in splits {
+            let factor = fa * fb;
+            // Best (order, mapping) by actual cycles.
+            let mut best: Option<(u64, f64, u32)> = None;
+            for order in &orders {
+                let Ok(p) = reorder(&program, nest0.loops[0], order) else { continue };
+                let nest = p.perfect_nests().remove(0);
+                let (d0, d1) = (nest.loops[0], nest.loops[1]);
+                let unroll: Vec<(ptmap_ir::LoopId, u32)> = [(d0, fa), (d1, fb)]
+                    .into_iter()
+                    .filter(|&(_, f)| f > 1)
+                    .collect();
+                let Ok(dfg) = build_dfg(&p, &nest, &unroll) else { continue };
+                let Ok(m) = map_dfg(&dfg, &arch, &mapper) else { continue };
+                let eff_pipelined = nest.pipelined_tripcount();
+                let launches = nest.folded_tripcount() / (fa as u64 * fb as u64);
+                let cycles = m.cycles(eff_pipelined) * launches.max(1);
+                if best.as_ref().is_none_or(|b| cycles < b.0) {
+                    best = Some((cycles, m.utilization(), m.ii));
+                }
+            }
+            let Some((cycles, util, ii)) = best else {
+                println!("{:<8} {:>7} {:>13} {:>11}", arch.name(), factor, "fail", "-");
+                continue;
+            };
+            let base = *base_cycles.get_or_insert(cycles);
+            let norm = base as f64 / cycles as f64;
+            println!(
+                "{:<8} {:>7} {:>12.1}% {:>11.2} {:>5}",
+                arch.name(),
+                factor,
+                util * 100.0,
+                norm,
+                ii
+            );
+            rows.push(Row {
+                arch: arch.name().to_string(),
+                factor,
+                utilization: util,
+                normalized_perf: norm,
+                ii,
+            });
+        }
+    }
+    ptmap_bench::write_json("fig2a.json", &rows);
+}

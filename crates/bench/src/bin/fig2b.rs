@@ -1,0 +1,65 @@
+//! Fig. 2b: accuracy of the MII-based analytical model on the vector
+//! reduction under unrolling, across same-PE-count architectures.
+//!
+//! The legend `abc` denotes an `a×b` CGRA with `c` LRF entries per PE.
+//! The plotted value is `actual cycles / estimated cycles`: 1.0 means
+//! the MII model is exact; larger means it is optimistic.
+
+use ptmap_arch::presets;
+use ptmap_ir::dfg::build_dfg;
+use ptmap_mapper::{map_dfg, mii, MapperConfig};
+use ptmap_workloads::micro;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    arch: String,
+    factor: u32,
+    ratio: f64,
+    actual_ii: u32,
+    mii: u32,
+}
+
+fn main() {
+    let n = 1024u64;
+    let program = micro::vec_reduction(n);
+    let nest = program.perfect_nests().remove(0);
+    let mapper = MapperConfig::default();
+    let mut rows = Vec::new();
+    println!("{:<6} {:>7} {:>6} {:>9} {:>8}", "arch", "factor", "MII", "actual II", "ratio");
+    for arch in presets::fig2b_family() {
+        for factor in [1u32, 2, 4, 8] {
+            let unroll: Vec<(ptmap_ir::LoopId, u32)> =
+                if factor > 1 { vec![(nest.pipelined_loop(), factor)] } else { Vec::new() };
+            let dfg = build_dfg(&program, &nest, &unroll).expect("dfg");
+            let bound = mii(&dfg, &arch);
+            let tc = n / factor as u64;
+            let est = tc * bound as u64 + dfg.critical_path().saturating_sub(bound) as u64;
+            match map_dfg(&dfg, &arch, &mapper) {
+                Ok(m) => {
+                    let actual = m.cycles(tc);
+                    let ratio = actual as f64 / est as f64;
+                    println!(
+                        "{:<6} {:>7} {:>6} {:>9} {:>8.2}",
+                        arch.name(),
+                        factor,
+                        bound,
+                        m.ii,
+                        ratio
+                    );
+                    rows.push(Row {
+                        arch: arch.name().to_string(),
+                        factor,
+                        ratio,
+                        actual_ii: m.ii,
+                        mii: bound,
+                    });
+                }
+                Err(_) => {
+                    println!("{:<6} {:>7} {:>6} {:>9} {:>8}", arch.name(), factor, bound, "-", "fail");
+                }
+            }
+        }
+    }
+    ptmap_bench::write_json("fig2b.json", &rows);
+}

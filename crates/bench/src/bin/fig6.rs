@@ -1,0 +1,63 @@
+//! Fig. 6: model accuracy (MAPE of predicted computation cycles) on the
+//! real benchmark, per architecture:
+//!
+//! * PBP — the MII-based analytical model;
+//! * GNN-b — base features only;
+//! * GNN-c — no Kronecker/Hadamard alignment;
+//! * GNN-e — direct regression without the three sub-tasks;
+//! * GNN-PT-Map — the full model.
+
+use ptmap_bench::{fig6::real_benchmark_samples, trained_model, Scale};
+use ptmap_gnn::model::GnnVariant;
+use ptmap_gnn::train::{mape_cycles, mape_cycles_mii};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    arch: String,
+    model: String,
+    mape: f64,
+    samples: usize,
+}
+
+fn main() {
+    let scale = Scale::full();
+    let per_app: usize = std::env::var("PTMAP_FIG6_PER_APP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let variants = [
+        ("GNN-b", GnnVariant::Basic),
+        ("GNN-c", GnnVariant::NoAlign),
+        ("GNN-e", GnnVariant::Direct),
+        ("GNN-PT-Map", GnnVariant::Full),
+    ];
+    // Train (or load) each variant once on the synthetic set.
+    let models: Vec<_> =
+        variants.iter().map(|&(name, v)| (name, trained_model(v, scale))).collect();
+
+    let mut rows = Vec::new();
+    println!("{:<6} {:<12} {:>8} {:>9}", "arch", "model", "MAPE %", "samples");
+    for arch in ptmap_bench::archs() {
+        let samples = real_benchmark_samples(&arch, per_app);
+        let mii_mape = mape_cycles_mii(&samples);
+        println!("{:<6} {:<12} {:>8.1} {:>9}", arch.name(), "PBP", mii_mape, samples.len());
+        rows.push(Row {
+            arch: arch.name().to_string(),
+            model: "PBP".into(),
+            mape: mii_mape,
+            samples: samples.len(),
+        });
+        for (name, model) in &models {
+            let mape = mape_cycles(model, &samples);
+            println!("{:<6} {:<12} {:>8.1} {:>9}", arch.name(), name, mape, samples.len());
+            rows.push(Row {
+                arch: arch.name().to_string(),
+                model: (*name).into(),
+                mape,
+                samples: samples.len(),
+            });
+        }
+    }
+    ptmap_bench::write_json("fig6.json", &rows);
+}

@@ -1,0 +1,76 @@
+//! Fig. 7: normalized performance (relative to RAMP) of LISA, MapZero,
+//! IP, PBP, and PT-Map across the four architectures.
+
+use ptmap_bench::suite::{run_suite, MapperSet};
+use ptmap_bench::{geomean, trained_model, Scale};
+use ptmap_eval::RankMode;
+use ptmap_gnn::model::GnnVariant;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    arch: String,
+    app: String,
+    mapper: String,
+    cycles: Option<u64>,
+    speedup_vs_ramp: Option<f64>,
+    compile_seconds: f64,
+}
+
+fn main() {
+    let gnn = trained_model(GnnVariant::Full, Scale::full());
+    let mut rows = Vec::new();
+    for arch in ptmap_bench::archs() {
+        println!("\n=== {} ===", arch.name());
+        println!("{:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}", "app", "RAMP", "LISA", "MapZero", "IP", "PBP", "PT-Map");
+        let mut per_mapper: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+        for (app, program) in ptmap_bench::apps() {
+            let results =
+                run_suite(&program, &arch, &gnn, RankMode::Performance, MapperSet::Comparison);
+            let ramp = results
+                .iter()
+                .find(|r| r.mapper == "RAMP")
+                .and_then(|r| r.cycles);
+            let mut cells = Vec::new();
+            for r in &results {
+                let speedup = match (ramp, r.cycles) {
+                    (Some(rc), Some(c)) => Some(rc as f64 / c as f64),
+                    _ => None,
+                };
+                cells.push(
+                    speedup.map(|s| format!("{s:.2}x")).unwrap_or_else(|| "fail".into()),
+                );
+                if let Some(s) = speedup {
+                    per_mapper.entry(r.mapper.clone()).or_default().push(s);
+                }
+                rows.push(Row {
+                    arch: arch.name().to_string(),
+                    app: app.to_string(),
+                    mapper: r.mapper.clone(),
+                    cycles: r.cycles,
+                    speedup_vs_ramp: speedup,
+                    compile_seconds: r.compile_seconds,
+                });
+            }
+            println!(
+                "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                app, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]
+            );
+        }
+        print!("{:<6}", "GEO");
+        for mapper in ["RAMP", "LISA", "MapZero", "IP", "PBP", "PT-Map"] {
+            let g = geomean(per_mapper.get(mapper).map(Vec::as_slice).unwrap_or(&[]));
+            print!(" {:>9.2}x", g);
+        }
+        println!();
+        // PT-Map speedups vs each baseline (geomean over apps).
+        let pt = per_mapper.get("PT-Map").cloned().unwrap_or_default();
+        for mapper in ["LISA", "MapZero", "IP", "PBP"] {
+            let base = per_mapper.get(mapper).cloned().unwrap_or_default();
+            let ratios: Vec<f64> =
+                pt.iter().zip(&base).map(|(p, b)| p / b).collect();
+            println!("  PT-Map vs {mapper}: {:.2}x geomean", geomean(&ratios));
+        }
+    }
+    ptmap_bench::write_json("fig7.json", &rows);
+}

@@ -1,0 +1,59 @@
+//! Fig. 8: geomean EDP reduction of each transformation mapper relative
+//! to the baselines, with the original and doubled DB capacities
+//! (PT-Map in Pareto mode; IP and PBP use the same PVol ranking for
+//! fairness, as in the paper).
+
+use ptmap_bench::suite::{run_suite, MapperSet};
+use ptmap_bench::{geomean, trained_model, Scale};
+use ptmap_eval::RankMode;
+use ptmap_gnn::model::GnnVariant;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    db_scale: u64,
+    arch: String,
+    app: String,
+    mapper: String,
+    edp: Option<f64>,
+}
+
+fn main() {
+    let gnn = trained_model(GnnVariant::Full, Scale::full());
+    let mut rows = Vec::new();
+    for db_scale in [1u64, 2] {
+        println!("\n=== DB capacity x{db_scale} ===");
+        // EDP ratios PT-Map / baseline, pooled over (arch, app).
+        let mut ratios: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+        for base_arch in ptmap_bench::archs() {
+            let arch = base_arch.with_db_bytes(base_arch.db_bytes() * db_scale);
+            for (app, program) in ptmap_bench::apps() {
+                let results =
+                    run_suite(&program, &arch, &gnn, RankMode::Pareto, MapperSet::Comparison);
+                let pt_edp = results
+                    .iter()
+                    .find(|r| r.mapper == "PT-Map")
+                    .and_then(|r| r.edp);
+                for r in &results {
+                    rows.push(Row {
+                        db_scale,
+                        arch: base_arch.name().to_string(),
+                        app: app.to_string(),
+                        mapper: r.mapper.clone(),
+                        edp: r.edp,
+                    });
+                    if r.mapper != "PT-Map" {
+                        if let (Some(pt), Some(b)) = (pt_edp, r.edp) {
+                            ratios.entry(r.mapper.clone()).or_default().push(pt / b);
+                        }
+                    }
+                }
+            }
+        }
+        for mapper in ["RAMP", "LISA", "MapZero", "IP", "PBP"] {
+            let r = geomean(ratios.get(mapper).map(Vec::as_slice).unwrap_or(&[]));
+            println!("PT-Map EDP reduction vs {mapper:<8}: {:.1}%", (1.0 - r) * 100.0);
+        }
+    }
+    ptmap_bench::write_json("fig8.json", &rows);
+}

@@ -1,0 +1,48 @@
+//! Fig. 9: PT-Map compilation time per application and architecture.
+
+use ptmap_bench::suite::ptmap_with;
+use ptmap_bench::{trained_model, Scale};
+use ptmap_eval::RankMode;
+use ptmap_gnn::model::GnnVariant;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    arch: String,
+    app: String,
+    seconds: f64,
+    candidates: usize,
+}
+
+fn main() {
+    let gnn = trained_model(GnnVariant::Full, Scale::full());
+    let mut rows = Vec::new();
+    println!("{:<6} {:>8} {:>8} {:>8} {:>8}", "app", "S4", "R4", "H6", "SL8");
+    let archs = ptmap_bench::archs();
+    for (app, program) in ptmap_bench::apps() {
+        let mut cells = Vec::new();
+        for arch in &archs {
+            let ptmap = ptmap_with(gnn.clone(), RankMode::Performance);
+            match ptmap.compile(&program, arch) {
+                Ok(r) => {
+                    cells.push(format!("{:.2}s", r.compile_seconds));
+                    rows.push(Row {
+                        arch: arch.name().to_string(),
+                        app: app.to_string(),
+                        seconds: r.compile_seconds,
+                        candidates: r.candidates_explored,
+                    });
+                }
+                Err(_) => cells.push("fail".into()),
+            }
+        }
+        println!("{:<6} {:>8} {:>8} {:>8} {:>8}", app, cells[0], cells[1], cells[2], cells[3]);
+    }
+    if let Some(worst) = rows.iter().max_by(|a, b| a.seconds.total_cmp(&b.seconds)) {
+        println!(
+            "\nlongest case: {} on {} ({:.2}s, {} candidates)",
+            worst.app, worst.arch, worst.seconds, worst.candidates
+        );
+    }
+    ptmap_bench::write_json("fig9.json", &rows);
+}

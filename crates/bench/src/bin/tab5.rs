@@ -1,0 +1,36 @@
+//! Tab. 5: the applications and their default #PNLs.
+
+use ptmap_transform::Lit;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    app: String,
+    pnls: usize,
+    stmts: usize,
+    arrays: usize,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!("{:<6} {:>6} {:>7} {:>7}", "app", "#PNLs", "#stmts", "#arrays");
+    for (name, program) in ptmap_bench::apps() {
+        let lit = Lit::build(&program);
+        let pnls = lit.pnl_count();
+        assert_eq!(pnls, program.perfect_nests().len(), "LIT and IR disagree");
+        println!(
+            "{:<6} {:>6} {:>7} {:>7}",
+            name,
+            pnls,
+            program.all_stmts().len(),
+            program.arrays().len()
+        );
+        rows.push(Row {
+            app: name.to_string(),
+            pnls,
+            stmts: program.all_stmts().len(),
+            arrays: program.arrays().len(),
+        });
+    }
+    ptmap_bench::write_json("tab5.json", &rows);
+}

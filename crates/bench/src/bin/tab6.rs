@@ -1,0 +1,61 @@
+//! Tab. 6: ablation on SL8 — normalized performance of RAMP, AL
+//! (black-box tuning), AM (MII-model evaluation), and PT-Map.
+
+use ptmap_arch::presets;
+use ptmap_bench::suite::{run_suite, MapperSet};
+use ptmap_bench::{geomean, trained_model, Scale};
+use ptmap_eval::RankMode;
+use ptmap_gnn::model::GnnVariant;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    app: String,
+    mapper: String,
+    cycles: Option<u64>,
+    normalized: Option<f64>,
+}
+
+fn main() {
+    let gnn = trained_model(GnnVariant::Full, Scale::full());
+    let arch = presets::sl8();
+    let mut rows = Vec::new();
+    let mut per_mapper: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+    println!("{:<6} {:>8} {:>8} {:>8} {:>8}", "app", "RAMP", "AL", "AM", "PT-Map");
+    for (app, program) in ptmap_bench::apps() {
+        let results = run_suite(&program, &arch, &gnn, RankMode::Performance, MapperSet::Ablation);
+        let pt = results
+            .iter()
+            .find(|r| r.mapper == "PT-Map")
+            .and_then(|r| r.cycles);
+        let mut cells = Vec::new();
+        for r in &results {
+            let norm = match (pt, r.cycles) {
+                (Some(p), Some(c)) => Some(p as f64 / c as f64),
+                _ => None,
+            };
+            cells.push(norm.map(|n| format!("{n:.2}")).unwrap_or_else(|| "fail".into()));
+            if let Some(n) = norm {
+                per_mapper.entry(r.mapper.clone()).or_default().push(n);
+            }
+            rows.push(Row {
+                app: app.to_string(),
+                mapper: r.mapper.clone(),
+                cycles: r.cycles,
+                normalized: norm,
+            });
+        }
+        println!("{:<6} {:>8} {:>8} {:>8} {:>8}", app, cells[0], cells[1], cells[2], cells[3]);
+    }
+    print!("{:<6}", "GEO");
+    for mapper in ["RAMP", "AL", "AM", "PT-Map"] {
+        match per_mapper.get(mapper) {
+            Some(v) if v.len() == ptmap_bench::apps().len() => {
+                print!(" {:>8.2}", geomean(v));
+            }
+            _ => print!(" {:>8}", "-"),
+        }
+    }
+    println!();
+    ptmap_bench::write_json("tab6.json", &rows);
+}

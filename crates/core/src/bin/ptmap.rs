@@ -1,0 +1,135 @@
+//! The `ptmap` command-line compiler.
+//!
+//! ```text
+//! ptmap compile --source kernel.c --arch S4 [--mode pareto]
+//!               [--predictor analytical|oracle] [--emit-contexts]
+//! ptmap archs
+//! ptmap parse --source kernel.c
+//! ```
+//!
+//! `kernel.c` is the C-like `#pragma PTMAP` dialect accepted by
+//! `ptmap_ir::parse`. The GNN-assisted flow needs a trained model and is
+//! exposed through the library API and the bench harness; the CLI ships
+//! with the analytical and oracle predictors, which have no model file.
+
+use ptmap_arch::{presets, CgraArch};
+use ptmap_core::{PtMap, PtMapConfig};
+use ptmap_eval::{AnalyticalPredictor, IiPredictor, OraclePredictor, RankMode};
+use ptmap_ir::dfg::build_dfg;
+use ptmap_ir::parse::parse_program;
+use ptmap_mapper::{generate_contexts, map_dfg, MapperConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compile") => compile(&args[1..]),
+        Some("parse") => parse(&args[1..]),
+        Some("archs") => {
+            for a in presets::evaluation_suite().iter().chain([&presets::hrea4()]) {
+                println!(
+                    "{:<6} {}x{} PEs, CB {} contexts, DB {} KiB",
+                    a.name(),
+                    a.rows(),
+                    a.cols(),
+                    a.cb_capacity(),
+                    a.db_bytes() / 1024
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: ptmap <compile|parse|archs> [options]");
+            eprintln!("  compile --source FILE --arch {{S4|R4|H6|SL8|HReA4}}");
+            eprintln!("          [--arch-file custom.json]");
+            eprintln!("          [--mode {{performance|pareto}}]");
+            eprintln!("          [--predictor {{analytical|oracle}}] [--emit-contexts]");
+            eprintln!("  parse   --source FILE");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn load_source(args: &[String]) -> Result<ptmap_ir::Program, String> {
+    let path = flag_value(args, "--source").ok_or("missing --source FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("kernel");
+    parse_program(name, &text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_arch(args: &[String]) -> Result<CgraArch, String> {
+    if let Some(path) = flag_value(args, "--arch-file") {
+        return ptmap_arch::io::load(path).map_err(|e| e.to_string());
+    }
+    match flag_value(args, "--arch").unwrap_or("S4") {
+        "S4" => Ok(presets::s4()),
+        "R4" => Ok(presets::r4()),
+        "H6" => Ok(presets::h6()),
+        "SL8" => Ok(presets::sl8()),
+        "HReA4" => Ok(presets::hrea4()),
+        other => Err(format!("unknown architecture {other} (see `ptmap archs`)")),
+    }
+}
+
+fn parse(args: &[String]) -> ExitCode {
+    match load_source(args) {
+        Ok(p) => {
+            println!("{}", p.to_pseudo_c());
+            println!("; {} PNLs", p.perfect_nests().len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn compile(args: &[String]) -> ExitCode {
+    let result = (|| -> Result<(), String> {
+        let program = load_source(args)?;
+        let arch = load_arch(args)?;
+        let mode = match flag_value(args, "--mode").unwrap_or("performance") {
+            "performance" => RankMode::Performance,
+            "pareto" => RankMode::Pareto,
+            other => return Err(format!("unknown mode {other}")),
+        };
+        let predictor: Box<dyn IiPredictor> =
+            match flag_value(args, "--predictor").unwrap_or("analytical") {
+                "analytical" => Box::new(AnalyticalPredictor),
+                "oracle" => Box::new(OraclePredictor::default()),
+                other => return Err(format!("unknown predictor {other}")),
+            };
+        let config = PtMapConfig { mode, ..PtMapConfig::default() };
+        let ptmap = PtMap::new(predictor, config);
+        let report = ptmap.compile(&program, &arch).map_err(|e| e.to_string())?;
+        println!("{report}");
+        if args.iter().any(|a| a == "--emit-contexts") {
+            // Re-map the identity nests to show concrete context images
+            // for each PNL of the *original* program (the chosen
+            // transformed contexts are embedded in the report's PNLs).
+            for (i, nest) in program.perfect_nests().iter().enumerate() {
+                let dfg = build_dfg(&program, nest, &[]).map_err(|e| e.to_string())?;
+                let mapping = map_dfg(&dfg, &arch, &MapperConfig::default())
+                    .map_err(|e| e.to_string())?;
+                println!("; ---- PNL {i} (identity mapping) ----");
+                println!("{}", generate_contexts(&dfg, &mapping, &arch));
+            }
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! The end-to-end PT-Map framework (Fig. 3).
+//!
+//! [`PtMap::compile`] runs the full pipeline on an annotated program:
+//!
+//! 1. **Top-down exploration** (`ptmap-transform`) builds the result
+//!    forest of transformation candidates;
+//! 2. **Bottom-up evaluation** (`ptmap-eval`) profiles every candidate
+//!    with the configured [`IiPredictor`] (GNN by default, analytical
+//!    for the `AM` ablation), prunes against the CB/DB constraints, and
+//!    ranks in the requested mode;
+//! 3. **Context generation** walks the ranked program-level choices and
+//!    accepts the highest-ranking one whose innermost loops all map
+//!    under the real modulo scheduler (the extended-RAMP back-end);
+//! 4. The accepted mapping set is **simulated** (`ptmap-sim`) for cycle,
+//!    energy, and EDP totals.
+//!
+//! # Example
+//!
+//! ```
+//! use ptmap_core::{PtMap, PtMapConfig};
+//! use ptmap_eval::AnalyticalPredictor;
+//! use ptmap_arch::presets;
+//! use ptmap_ir::ProgramBuilder;
+//!
+//! let mut b = ProgramBuilder::new("scale");
+//! let x = b.array("X", &[256]);
+//! let i = b.open_loop("i", 256);
+//! let v = b.mul(b.load(x, &[b.idx(i)]), b.constant(3));
+//! b.store(x, &[b.idx(i)], v);
+//! b.close_loop();
+//! let program = b.finish();
+//!
+//! let ptmap = PtMap::new(Box::new(AnalyticalPredictor), PtMapConfig::default());
+//! let report = ptmap.compile(&program, &presets::s4())?;
+//! println!("cycles: {}, EDP: {:.3e}", report.cycles, report.edp);
+//! # Ok::<(), ptmap_core::PtMapError>(())
+//! ```
+
+pub mod realize;
+pub mod report;
+
+pub use realize::realize_program;
+pub use report::{CompileReport, PnlRealization};
+
+use ptmap_arch::CgraArch;
+use ptmap_eval::{
+    evaluate_forest, select_programs, EvalConfig, IiPredictor, ProgramChoice, RankMode,
+};
+use ptmap_ir::dfg::build_dfg;
+use ptmap_ir::Program;
+use ptmap_mapper::{map_dfg, MapperConfig};
+use ptmap_model::MemoryProfiler;
+use ptmap_sim::{simulate_pnl, EnergyModel};
+use ptmap_transform::{explore, ExploreConfig};
+use std::fmt;
+use std::time::Instant;
+
+/// Errors from the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PtMapError {
+    /// The program has no perfectly nested loop to map.
+    NoPnl,
+    /// No ranked candidate combination was mappable by the back-end.
+    NothingMappable,
+}
+
+impl fmt::Display for PtMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtMapError::NoPnl => write!(f, "program contains no perfectly nested loop"),
+            PtMapError::NothingMappable => {
+                write!(f, "no ranked transformation had all innermost loops mappable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PtMapError {}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PtMapConfig {
+    /// Exploration knobs.
+    pub explore: ExploreConfig,
+    /// Evaluation knobs (top-K etc.).
+    pub eval: EvalConfig,
+    /// The loop-scheduling back-end used for context generation.
+    pub mapper: MapperConfig,
+    /// Ranking mode for the final selection.
+    pub mode: RankMode,
+    /// Energy model for the report.
+    pub energy: EnergyModel,
+    /// How many ranked choices context generation actually schedules
+    /// before keeping the best realized one (the paper stops at the
+    /// first mappable choice; a small beam hedges predictor error).
+    pub realize_beam: usize,
+    /// Compare the realized choice against the identity mapping and keep
+    /// the better — the untransformed program is always in PT-Map's
+    /// space, so the output should never lose to it.
+    pub identity_guard: bool,
+    /// Fall back to the identity mapping when *no* ranked choice maps
+    /// (disable to reproduce the paper's AM "fail" entries).
+    pub fallback: bool,
+}
+
+impl Default for PtMapConfig {
+    fn default() -> Self {
+        PtMapConfig {
+            explore: ExploreConfig::default(),
+            eval: EvalConfig::default(),
+            mapper: MapperConfig::default(),
+            mode: RankMode::default(),
+            energy: EnergyModel::default(),
+            realize_beam: 4,
+            identity_guard: true,
+            fallback: true,
+        }
+    }
+}
+
+/// The PT-Map compiler.
+pub struct PtMap {
+    predictor: Box<dyn IiPredictor>,
+    config: PtMapConfig,
+}
+
+impl fmt::Debug for PtMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PtMap(predictor: {})", self.predictor.name())
+    }
+}
+
+impl PtMap {
+    /// Creates a compiler with a predictor and configuration.
+    pub fn new(predictor: Box<dyn IiPredictor>, config: PtMapConfig) -> Self {
+        PtMap { predictor, config }
+    }
+
+    /// Runs the full pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`PtMapError::NoPnl`] when the program has no pipelined loop, and
+    /// [`PtMapError::NothingMappable`] when context generation fails for
+    /// every ranked choice.
+    pub fn compile(&self, program: &Program, arch: &CgraArch) -> Result<CompileReport, PtMapError> {
+        let t0 = Instant::now();
+        if program.perfect_nests().is_empty() {
+            return Err(PtMapError::NoPnl);
+        }
+        // 1. Top-down exploration.
+        let forest = explore(program, &self.config.explore);
+        let explored = forest.candidate_count();
+        // 2. Bottom-up evaluation + ranking.
+        let eval = evaluate_forest(&forest, arch, self.predictor.as_ref(), &self.config.eval);
+        let pruned: usize = eval
+            .variants
+            .iter()
+            .flat_map(|v| &v.rankings)
+            .flat_map(|r| &r.evaluated)
+            .filter(|e| e.pruned.is_some())
+            .count();
+        let choices = select_programs(&eval, self.config.mode, &self.config.eval);
+        // 3. Context generation: schedule ranked choices in order, keep
+        // the best of the first `realize_beam` that map.
+        let mut attempts = 0usize;
+        let mut best: Option<CompileReport> = None;
+        let mut realized = 0usize;
+        let objective = |r: &CompileReport| match self.config.mode {
+            RankMode::Performance => r.cycles as f64,
+            RankMode::Pareto => r.edp,
+        };
+        for choice in &choices {
+            attempts += 1;
+            if let Some(report) =
+                self.realize(&eval, choice, arch, explored, pruned, attempts, t0)
+            {
+                realized += 1;
+                if best.as_ref().is_none_or(|b| objective(&report) < objective(b)) {
+                    best = Some(report);
+                }
+                if realized >= self.config.realize_beam.max(1) {
+                    break;
+                }
+            }
+        }
+        // Identity guard / fallback: the untransformed program is always
+        // a legal member of the space.
+        let use_identity = (best.is_none() && self.config.fallback)
+            || (best.is_some() && self.config.identity_guard);
+        if use_identity {
+            if let Ok(mut identity) = crate::realize::realize_program(
+                program,
+                arch,
+                &self.config.mapper,
+                &self.config.energy,
+                &[],
+            ) {
+                identity.mode = self.config.mode;
+                identity.candidates_explored = explored;
+                identity.candidates_pruned = pruned;
+                identity.context_generation_attempts = attempts + 1;
+                if best.as_ref().is_none_or(|b| objective(&identity) < objective(b)) {
+                    best = Some(identity);
+                }
+            }
+        }
+        match best {
+            Some(mut report) => {
+                report.compile_seconds = t0.elapsed().as_secs_f64();
+                Ok(report)
+            }
+            None => Err(PtMapError::NothingMappable),
+        }
+    }
+
+    /// Attempts to map every PNL of a program-level choice; returns the
+    /// full report on success.
+    #[allow(clippy::too_many_arguments)]
+    fn realize(
+        &self,
+        eval: &ptmap_eval::EvaluatedForest,
+        choice: &ProgramChoice,
+        arch: &CgraArch,
+        explored: usize,
+        pruned: usize,
+        attempts: usize,
+        t0: Instant,
+    ) -> Option<CompileReport> {
+        let variant = &eval.variants[choice.variant];
+        let mut pnls = Vec::new();
+        let mut cycles = ptmap_eval::non_pnl_cycles(&variant.program);
+        let mut energy = 0.0f64;
+        for (pnl_idx, &sel) in choice.selection.iter().enumerate() {
+            let e = &variant.rankings[pnl_idx].evaluated[sel];
+            let c = &e.candidate;
+            let dfg = build_dfg(&c.program, &c.nest, &c.unroll).ok()?;
+            let mapping = map_dfg(&dfg, arch, &self.config.mapper).ok()?;
+            let profile = MemoryProfiler::new(&c.program).profile(&c.nest, arch, mapping.ii);
+            // Simulate with effective (post-unroll) tripcounts.
+            let eff = c.effective_tripcounts();
+            let launch_cycles = mapping.cycles(*eff.last().expect("nest"));
+            let launches: u64 =
+                eff[..eff.len() - 1].iter().product::<u64>() * c.nest.outer_tripcount();
+            let sim = simulate_pnl(&mapping, &dfg, &c.nest, &profile);
+            let _ = sim; // utilization is per-launch; totals use eff tripcounts
+            let transfer =
+                profile.total_volume().div_ceil(ptmap_sim::exec::OFFCHIP_BYTES_PER_CYCLE);
+            let compute = launch_cycles * launches;
+            let pnl_cycles = ptmap_sim::exec::overlap_cycles(compute, transfer);
+            let iterations = eff.iter().product::<u64>() * c.nest.outer_tripcount();
+            let e_pj = self.config.energy.pnl_energy_with_iterations(
+                &mapping,
+                &dfg,
+                iterations,
+                &profile,
+                pnl_cycles,
+            );
+            cycles += pnl_cycles;
+            energy += e_pj;
+            pnls.push(PnlRealization {
+                desc: c.desc.clone(),
+                ii: mapping.ii,
+                mii: mapping.mii,
+                pro_epi: mapping.pro_epi(),
+                predicted_ii: e.ii,
+                utilization: mapping.utilization(),
+                cycles: pnl_cycles,
+                volume: profile.total_volume(),
+            });
+        }
+        let edp = self.config.energy.edp(energy, cycles);
+        Some(CompileReport {
+            program: variant.program.name.clone(),
+            arch: arch.name().to_string(),
+            mode: self.config.mode,
+            cycles,
+            energy_pj: energy,
+            edp,
+            pnls,
+            candidates_explored: explored,
+            candidates_pruned: pruned,
+            context_generation_attempts: attempts,
+            compile_seconds: t0.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptmap_arch::presets;
+    use ptmap_eval::AnalyticalPredictor;
+
+    fn quick_config() -> PtMapConfig {
+        PtMapConfig {
+            explore: ExploreConfig::quick(),
+            ..PtMapConfig::default()
+        }
+    }
+
+    #[test]
+    fn gemm_compiles_end_to_end() {
+        let p = ptmap_workloads::micro::gemm(32);
+        let ptmap = PtMap::new(Box::new(AnalyticalPredictor), quick_config());
+        let report = ptmap.compile(&p, &presets::s4()).unwrap();
+        assert!(report.cycles > 0);
+        assert!(report.energy_pj > 0.0);
+        assert_eq!(report.pnls.len(), 1);
+        assert!(report.candidates_explored > 0);
+        assert!(report.compile_seconds >= 0.0);
+    }
+
+    #[test]
+    fn multi_pnl_app_compiles() {
+        let p = ptmap_workloads::apps::atax();
+        let ptmap = PtMap::new(Box::new(AnalyticalPredictor), quick_config());
+        let report = ptmap.compile(&p, &presets::s4()).unwrap();
+        assert_eq!(report.pnls.len(), 3);
+    }
+
+    #[test]
+    fn transformed_beats_untransformed_gemm() {
+        // PT-Map's chosen GEMM mapping should beat the identity mapping
+        // (the RAMP baseline) on a large array.
+        let p = ptmap_workloads::micro::gemm(32);
+        let arch = presets::sl8();
+        let ptmap = PtMap::new(Box::new(AnalyticalPredictor), PtMapConfig::default());
+        let report = ptmap.compile(&p, &arch).unwrap();
+
+        // Identity baseline.
+        let nest = p.perfect_nests().remove(0);
+        let dfg = build_dfg(&p, &nest, &[]).unwrap();
+        let m = map_dfg(&dfg, &arch, &MapperConfig::default()).unwrap();
+        let base_cycles = m.cycles(nest.pipelined_tripcount())
+            * (nest.folded_tripcount() * nest.outer_tripcount());
+        assert!(
+            report.cycles < base_cycles,
+            "PT-Map {} vs baseline {base_cycles}",
+            report.cycles
+        );
+    }
+
+    #[test]
+    fn pareto_mode_not_worse_volume_than_performance() {
+        let p = ptmap_workloads::micro::gemm(64);
+        let arch = presets::s4();
+        let mk = |mode| {
+            let cfg = PtMapConfig { mode, explore: ExploreConfig::quick(), ..PtMapConfig::default() };
+            PtMap::new(Box::new(AnalyticalPredictor), cfg).compile(&p, &arch).unwrap()
+        };
+        let perf = mk(RankMode::Performance);
+        let pareto = mk(RankMode::Pareto);
+        let vol = |r: &CompileReport| r.pnls.iter().map(|x| x.volume).sum::<u64>();
+        assert!(
+            vol(&pareto) <= vol(&perf).max(1) * 2,
+            "pareto volume {} should not explode vs performance {}",
+            vol(&pareto),
+            vol(&perf)
+        );
+    }
+
+    #[test]
+    fn no_pnl_error() {
+        let p = ptmap_ir::ProgramBuilder::new("empty").finish();
+        let ptmap = PtMap::new(Box::new(AnalyticalPredictor), quick_config());
+        assert_eq!(ptmap.compile(&p, &presets::s4()), Err(PtMapError::NoPnl));
+    }
+}

@@ -1,0 +1,166 @@
+//! Realizing a (possibly transformed) program without PT-Map's search:
+//! map every PNL with the loop-scheduling back-end and simulate.
+//!
+//! This is the execution path of the scheduling-only baselines (RAMP and
+//! the stronger learned schedulers) and of black-box tuners that measure
+//! candidates directly.
+
+use crate::report::{CompileReport, PnlRealization};
+use crate::PtMapError;
+use ptmap_arch::CgraArch;
+use ptmap_eval::non_pnl_cycles;
+use ptmap_ir::dfg::build_dfg;
+use ptmap_ir::{LoopId, Program};
+use ptmap_mapper::{map_dfg, MapperConfig};
+use ptmap_model::MemoryProfiler;
+use ptmap_sim::exec::OFFCHIP_BYTES_PER_CYCLE;
+use ptmap_sim::EnergyModel;
+use std::time::Instant;
+
+/// Maps and simulates a program as-is: one mapping per PNL with the
+/// given per-PNL unroll vectors (aligned with `program.perfect_nests()`;
+/// pass an empty slice for no unrolling anywhere).
+///
+/// # Errors
+///
+/// [`PtMapError::NoPnl`] for PNL-free programs;
+/// [`PtMapError::NothingMappable`] when any PNL fails to map.
+pub fn realize_program(
+    program: &Program,
+    arch: &CgraArch,
+    mapper: &MapperConfig,
+    energy_model: &EnergyModel,
+    unroll_per_pnl: &[Vec<(LoopId, u32)>],
+) -> Result<CompileReport, PtMapError> {
+    let t0 = Instant::now();
+    let nests = program.perfect_nests();
+    if nests.is_empty() {
+        return Err(PtMapError::NoPnl);
+    }
+    let mut pnls = Vec::new();
+    let mut cycles = non_pnl_cycles(program);
+    let mut energy = 0.0f64;
+    for (i, nest) in nests.iter().enumerate() {
+        let unroll = unroll_per_pnl.get(i).cloned().unwrap_or_default();
+        let dfg = build_dfg(program, nest, &unroll)
+            .map_err(|_| PtMapError::NothingMappable)?;
+        let mapping = map_dfg(&dfg, arch, mapper).map_err(|_| PtMapError::NothingMappable)?;
+        let profile = MemoryProfiler::new(program).profile(nest, arch, mapping.ii);
+        let eff: Vec<u64> = nest
+            .loops
+            .iter()
+            .zip(&nest.tripcounts)
+            .map(|(&l, &tc)| {
+                let f = unroll
+                    .iter()
+                    .find(|&&(ul, _)| ul == l)
+                    .map(|&(_, f)| f as u64)
+                    .unwrap_or(1);
+                tc.div_ceil(f)
+            })
+            .collect();
+        let launch_cycles = mapping.cycles(*eff.last().expect("nest non-empty"));
+        let launches: u64 =
+            eff[..eff.len() - 1].iter().product::<u64>() * nest.outer_tripcount();
+        let compute = launch_cycles * launches;
+        let transfer = profile.total_volume().div_ceil(OFFCHIP_BYTES_PER_CYCLE);
+        let pnl_cycles = ptmap_sim::exec::overlap_cycles(compute, transfer);
+        let iterations = eff.iter().product::<u64>() * nest.outer_tripcount();
+        energy += energy_model.pnl_energy_with_iterations(
+            &mapping,
+            &dfg,
+            iterations,
+            &profile,
+            pnl_cycles,
+        );
+        cycles += pnl_cycles;
+        pnls.push(PnlRealization {
+            desc: if unroll.is_empty() { "as-is".to_string() } else { format!("unroll{unroll:?}") },
+            ii: mapping.ii,
+            mii: mapping.mii,
+            pro_epi: mapping.pro_epi(),
+            predicted_ii: mapping.ii,
+            utilization: mapping.utilization(),
+            cycles: pnl_cycles,
+            volume: profile.total_volume(),
+        });
+    }
+    let edp = energy_model.edp(energy, cycles);
+    Ok(CompileReport {
+        program: program.name.clone(),
+        arch: arch.name().to_string(),
+        mode: ptmap_eval::RankMode::Performance,
+        cycles,
+        energy_pj: energy,
+        edp,
+        pnls,
+        candidates_explored: 1,
+        candidates_pruned: 0,
+        context_generation_attempts: 1,
+        compile_seconds: t0.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptmap_arch::presets;
+
+    #[test]
+    fn identity_gemm_realizes() {
+        let p = ptmap_workloads::micro::gemm(24);
+        let r = realize_program(
+            &p,
+            &presets::s4(),
+            &MapperConfig::default(),
+            &EnergyModel::default(),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(r.pnls.len(), 1);
+        assert!(r.cycles >= 24 * 24 * 24 * 4);
+    }
+
+    #[test]
+    fn unrolled_realization_fewer_cycles() {
+        let p = ptmap_workloads::micro::gemm(24);
+        let nest = p.perfect_nests().remove(0);
+        let (i, j) = (nest.loops[0], nest.loops[1]);
+        let base = realize_program(
+            &p,
+            &presets::sl8(),
+            &MapperConfig::default(),
+            &EnergyModel::default(),
+            &[],
+        )
+        .unwrap();
+        let unrolled = realize_program(
+            &p,
+            &presets::sl8(),
+            &MapperConfig::default(),
+            &EnergyModel::default(),
+            &[vec![(i, 4), (j, 4)]],
+        )
+        .unwrap();
+        assert!(
+            unrolled.cycles < base.cycles,
+            "unrolled {} vs base {}",
+            unrolled.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn all_apps_realize_on_s4() {
+        for (name, p) in ptmap_workloads::apps::all() {
+            let r = realize_program(
+                &p,
+                &presets::s4(),
+                &MapperConfig::default(),
+                &EnergyModel::default(),
+                &[],
+            );
+            assert!(r.is_ok(), "{name} failed: {r:?}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Compilation reports.
+
+use ptmap_eval::RankMode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Realization of one PNL in the accepted choice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PnlRealization {
+    /// Human-readable transformation description.
+    pub desc: String,
+    /// Achieved II from the loop-scheduling back-end.
+    pub ii: u32,
+    /// The MII bound.
+    pub mii: u32,
+    /// Achieved pipeline fill/drain cycles.
+    pub pro_epi: u32,
+    /// What the predictor forecast for this candidate.
+    pub predicted_ii: u32,
+    /// PE-array compute-slot utilization.
+    pub utilization: f64,
+    /// Simulated cycles for this PNL (including stalls).
+    pub cycles: u64,
+    /// Off-CGRA volume in bytes.
+    pub volume: u64,
+}
+
+/// The result of a full PT-Map compilation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompileReport {
+    /// Program name.
+    pub program: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Ranking mode used.
+    pub mode: RankMode,
+    /// Total simulated cycles (all PNLs + non-PNL statements + stalls).
+    pub cycles: u64,
+    /// Total estimated energy in picojoules.
+    pub energy_pj: f64,
+    /// Energy-delay product (pJ·cycles).
+    pub edp: f64,
+    /// Per-PNL details.
+    pub pnls: Vec<PnlRealization>,
+    /// Candidates produced by the exploration.
+    pub candidates_explored: usize,
+    /// Candidates rejected by the CB/DB constraints.
+    pub candidates_pruned: usize,
+    /// Ranked choices tried before one was fully mappable.
+    pub context_generation_attempts: usize,
+    /// Wall-clock compilation time.
+    pub compile_seconds: f64,
+}
+
+impl fmt::Display for CompileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} on {} [{:?}]: {} cycles, {:.3e} pJ, EDP {:.3e} ({} PNLs, {:.2}s)",
+            self.program,
+            self.arch,
+            self.mode,
+            self.cycles,
+            self.energy_pj,
+            self.edp,
+            self.pnls.len(),
+            self.compile_seconds
+        )?;
+        for (i, p) in self.pnls.iter().enumerate() {
+            writeln!(
+                f,
+                "  PNL {i}: II {} (MII {}, predicted {}), util {:.1}%, {} cycles — {}",
+                p.ii,
+                p.mii,
+                p.predicted_ii,
+                p.utilization * 100.0,
+                p.cycles,
+                p.desc
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_pnls() {
+        let r = CompileReport {
+            program: "gemm".into(),
+            arch: "S4".into(),
+            mode: RankMode::Performance,
+            cycles: 1000,
+            energy_pj: 5.0e6,
+            edp: 5.0e9,
+            pnls: vec![PnlRealization {
+                desc: "order+unroll".into(),
+                ii: 5,
+                mii: 4,
+                pro_epi: 7,
+                predicted_ii: 5,
+                utilization: 0.25,
+                cycles: 900,
+                volume: 4096,
+            }],
+            candidates_explored: 42,
+            candidates_pruned: 3,
+            context_generation_attempts: 1,
+            compile_seconds: 0.5,
+        };
+        let s = r.to_string();
+        assert!(s.contains("gemm on S4"));
+        assert!(s.contains("II 5 (MII 4"));
+    }
+}

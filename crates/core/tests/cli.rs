@@ -1,0 +1,101 @@
+//! End-to-end tests of the `ptmap` command-line compiler.
+
+use std::io::Write;
+use std::process::Command;
+
+fn ptmap() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ptmap"))
+}
+
+fn write_kernel(name: &str, text: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ptmap-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(text.as_bytes()).unwrap();
+    path
+}
+
+const KERNEL: &str = r#"
+    int A[32][32]; int B[32][32]; int C[32][32];
+    #pragma PTMAP
+    for (i = 0; i < 32; i++) {
+        for (j = 0; j < 32; j++) {
+            for (k = 0; k < 32; k++) {
+                C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            }
+        }
+    }
+    #pragma ENDMAP
+"#;
+
+#[test]
+fn archs_lists_presets() {
+    let out = ptmap().arg("archs").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["S4", "R4", "H6", "SL8", "HReA4"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn parse_round_trips() {
+    let path = write_kernel("parse.c", KERNEL);
+    let out = ptmap().args(["parse", "--source"]).arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("for (i = 0; i < 32; i++)"));
+    assert!(text.contains("; 1 PNLs"));
+}
+
+#[test]
+fn compile_reports_cycles() {
+    let path = write_kernel("compile.c", KERNEL);
+    let out = ptmap()
+        .args(["compile", "--source"])
+        .arg(&path)
+        .args(["--arch", "S4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cycles"), "{text}");
+    assert!(text.contains("PNL 0"));
+}
+
+#[test]
+fn compile_emit_contexts_disassembles() {
+    let path = write_kernel("ctx.c", KERNEL);
+    let out = ptmap()
+        .args(["compile", "--source"])
+        .arg(&path)
+        .args(["--arch", "S4", "--emit-contexts"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("context image, II ="));
+    assert!(text.contains("mul"));
+}
+
+#[test]
+fn unknown_arch_fails_cleanly() {
+    let path = write_kernel("bad.c", KERNEL);
+    let out = ptmap()
+        .args(["compile", "--source"])
+        .arg(&path)
+        .args(["--arch", "Z9"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown architecture"));
+}
+
+#[test]
+fn parse_error_is_reported() {
+    let path = write_kernel("syntax.c", "int A[4]; for (i = 1; i < 4; i++) { A[i] = 0; }");
+    let out = ptmap().args(["parse", "--source"]).arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("normalized"));
+}

@@ -1,0 +1,86 @@
+//! Two-mode ranking and selection (Section 3.3.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Ranking mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RankMode {
+    /// Ascending by cycles, volume as tie-breaker.
+    #[default]
+    Performance,
+    /// Descending by Pareto hypervolume of `(cycles, volume)`.
+    Pareto,
+}
+
+/// Hypervolume of a point against a reference point (both axes
+/// minimized): the rectangle it dominates.
+pub fn hypervolume(point: (u64, u64), reference: (u64, u64)) -> u128 {
+    let dc = reference.0.saturating_sub(point.0) as u128;
+    let dv = reference.1.saturating_sub(point.1) as u128;
+    dc * dv
+}
+
+/// Indices of `points`, ranked for performance mode.
+pub fn rank_performance(points: &[(u64, u64)]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by_key(|&i| points[i]);
+    idx
+}
+
+/// Indices of `points`, ranked for Pareto mode. The reference point is
+/// 1.1× the per-axis maxima of the surviving candidates (the paper's
+/// "carefully selected" reference).
+pub fn rank_pareto(points: &[(u64, u64)]) -> Vec<usize> {
+    let reference = pareto_reference(points);
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by_key(|&i| std::cmp::Reverse(hypervolume(points[i], reference)));
+    idx
+}
+
+/// The Pareto-mode reference point for a candidate set.
+pub fn pareto_reference(points: &[(u64, u64)]) -> (u64, u64) {
+    let max_c = points.iter().map(|p| p.0).max().unwrap_or(1);
+    let max_v = points.iter().map(|p| p.1).max().unwrap_or(1);
+    (max_c + max_c / 10 + 1, max_v + max_v / 10 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_orders_by_cycles_then_volume() {
+        let pts = [(100, 5), (50, 9), (50, 2), (70, 1)];
+        assert_eq!(rank_performance(&pts), vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn hypervolume_prefers_dominating_points() {
+        let r = (100, 100);
+        assert!(hypervolume((10, 10), r) > hypervolume((50, 50), r));
+        // A point beyond the reference contributes nothing.
+        assert_eq!(hypervolume((200, 5), r), 0);
+    }
+
+    #[test]
+    fn pareto_balances_axes() {
+        // (10, 90) and (90, 10) are extremes; (30, 30) balances.
+        let pts = [(10, 90), (90, 10), (30, 30), (90, 90)];
+        let order = rank_pareto(&pts);
+        assert_eq!(order[0], 2, "balanced point should rank first: {order:?}");
+        assert_eq!(*order.last().unwrap(), 3, "dominated point ranks last");
+    }
+
+    #[test]
+    fn pareto_reference_exceeds_maxima() {
+        let pts = [(10, 20), (30, 5)];
+        let r = pareto_reference(&pts);
+        assert!(r.0 > 30 && r.1 > 20);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(rank_performance(&[]).is_empty());
+        assert!(rank_pareto(&[]).is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! Property tests for the ranking machinery.
+
+use proptest::prelude::*;
+use ptmap_eval::{hypervolume, rank_pareto, rank_performance};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The performance-best point is Pareto-optimal: nothing both ranks
+    /// above it in Pareto order *and* dominates it.
+    #[test]
+    fn performance_best_is_pareto_optimal(points in proptest::collection::vec((1u64..1000, 1u64..1000), 1..32)) {
+        let best = rank_performance(&points)[0];
+        for (i, p) in points.iter().enumerate() {
+            if i == best { continue; }
+            let dominates = p.0 <= points[best].0 && p.1 <= points[best].1
+                && (p.0 < points[best].0 || p.1 < points[best].1);
+            // By construction nothing has fewer cycles; domination can
+            // only happen on equal cycles with less volume, which the
+            // tie-break already prefers.
+            prop_assert!(!dominates, "point {i} dominates the performance-best");
+        }
+    }
+
+    /// Pareto ranking is a permutation with non-increasing hypervolume.
+    #[test]
+    fn pareto_rank_monotone(points in proptest::collection::vec((1u64..1000, 1u64..1000), 1..32)) {
+        let order = rank_pareto(&points);
+        let max_c = points.iter().map(|p| p.0).max().unwrap();
+        let max_v = points.iter().map(|p| p.1).max().unwrap();
+        let reference = (max_c + max_c / 10 + 1, max_v + max_v / 10 + 1);
+        for w in order.windows(2) {
+            prop_assert!(
+                hypervolume(points[w[0]], reference) >= hypervolume(points[w[1]], reference)
+            );
+        }
+    }
+
+    /// A dominated point never outranks its dominator in either mode.
+    #[test]
+    fn domination_respected(points in proptest::collection::vec((1u64..1000, 1u64..1000), 2..24)) {
+        let perf = rank_performance(&points);
+        let pareto = rank_pareto(&points);
+        let pos = |order: &[usize], i: usize| order.iter().position(|&x| x == i).unwrap();
+        for i in 0..points.len() {
+            for j in 0..points.len() {
+                if points[i].0 < points[j].0 && points[i].1 < points[j].1 {
+                    prop_assert!(pos(&perf, i) < pos(&perf, j));
+                    prop_assert!(pos(&pareto, i) < pos(&pareto, j));
+                }
+            }
+        }
+    }
+}

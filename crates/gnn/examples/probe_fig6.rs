@@ -1,0 +1,31 @@
+//! Quick probe: does the trained GNN beat the MII model on held-out data?
+use ptmap_arch::presets;
+use ptmap_gnn::dataset::{generate_dataset, DatasetConfig};
+use ptmap_gnn::model::{GnnVariant, ModelConfig, PtMapGnn};
+use ptmap_gnn::train::{mape_cycles, mape_cycles_mii, train, TrainConfig};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let data = generate_dataset(&DatasetConfig {
+        samples: 1200,
+        archs: presets::evaluation_suite(),
+        seed: 21,
+        ..DatasetConfig::default()
+    });
+    println!("dataset: {} samples in {:?}", data.len(), t0.elapsed());
+    let split = data.len() * 3 / 4;
+    let (tr, te) = data.split_at(split);
+    println!("MII-model MAPE (test): {:.1}%", mape_cycles_mii(te));
+    for variant in [GnnVariant::Full, GnnVariant::Basic, GnnVariant::NoAlign, GnnVariant::Direct] {
+        let t1 = Instant::now();
+        let mut model = PtMapGnn::new(ModelConfig { variant, ..ModelConfig::default() });
+        train(&mut model, tr, &TrainConfig::default());
+        println!(
+            "{variant:?}: train MAPE {:.1}%, test MAPE {:.1}% ({:?})",
+            mape_cycles(&model, tr),
+            mape_cycles(&model, te),
+            t1.elapsed()
+        );
+    }
+}

@@ -1,0 +1,21 @@
+use ptmap_arch::presets;
+use ptmap_gnn::dataset::{generate_dataset, DatasetConfig};
+
+fn main() {
+    let data = generate_dataset(&DatasetConfig {
+        samples: 600,
+        archs: presets::evaluation_suite(),
+        seed: 21,
+        ..DatasetConfig::default()
+    });
+    let mut res_hist = std::collections::BTreeMap::new();
+    let mut pe_hist = std::collections::BTreeMap::new();
+    for s in &data {
+        *res_hist.entry(s.ii - s.mii).or_insert(0) += 1;
+        *pe_hist.entry(s.pro_epi / 5).or_insert(0) += 1;
+    }
+    println!("II residual histogram: {res_hist:?}");
+    println!("ProEpi/5 histogram: {pe_hist:?}");
+    let eq = data.iter().filter(|s| s.ii == s.mii).count();
+    println!("II == MII: {}/{}", eq, data.len());
+}

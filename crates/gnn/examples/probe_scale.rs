@@ -1,0 +1,30 @@
+use ptmap_arch::presets;
+use ptmap_gnn::dataset::{generate_dataset, DatasetConfig};
+use ptmap_gnn::model::{GnnVariant, ModelConfig, PtMapGnn};
+use ptmap_gnn::train::{mape_cycles, mape_cycles_mii, train, TrainConfig};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let data = generate_dataset(&DatasetConfig {
+        samples: 3000,
+        archs: presets::evaluation_suite(),
+        seed: 21,
+        ..DatasetConfig::default()
+    });
+    println!("dataset: {} samples in {:?}", data.len(), t0.elapsed());
+    let split = data.len() * 4 / 5;
+    let (tr, te) = data.split_at(split);
+    println!("MII-model MAPE (test): {:.1}%", mape_cycles_mii(te));
+    for variant in [GnnVariant::Full, GnnVariant::Basic] {
+        let t1 = Instant::now();
+        let mut model = PtMapGnn::new(ModelConfig { variant, ..ModelConfig::default() });
+        train(&mut model, tr, &TrainConfig { epochs: 120, ..TrainConfig::default() });
+        println!(
+            "{variant:?}: train {:.1}%, test {:.1}% ({:?})",
+            mape_cycles(&model, tr),
+            mape_cycles(&model, te),
+            t1.elapsed()
+        );
+    }
+}

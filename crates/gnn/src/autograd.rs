@@ -1,0 +1,578 @@
+//! Tape-based reverse-mode automatic differentiation over matrices.
+//!
+//! A [`Graph`] records operations as they execute; [`Graph::backward`]
+//! replays the tape in reverse, accumulating gradients. Parameters live
+//! outside the graph (see [`crate::train::Param`]): each training step
+//! feeds them in as inputs and reads their gradients back out.
+
+use crate::tensor::Matrix;
+
+/// Handle to a value in the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Input,
+    MatMul(Var, Var),
+    Add(Var, Var),
+    AddRow(Var, Var),
+    Mul(Var, Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    MeanRows(Var),
+    ConcatCols(Var, Var),
+    KronRows(Var, Var),
+    BroadcastSum(Var, Var),
+    MaskedSoftmaxRows(Var, Var),
+    Scale(Var, f32),
+    Mse(Var, Var),
+    CeLogits2(Var, usize),
+}
+
+/// The autograd tape.
+#[derive(Debug, Default)]
+pub struct Graph {
+    vals: Vec<Matrix>,
+    ops: Vec<Op>,
+}
+
+impl Graph {
+    /// A fresh empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, m: Matrix, op: Op) -> Var {
+        self.vals.push(m);
+        self.ops.push(op);
+        Var(self.vals.len() - 1)
+    }
+
+    /// The current value of a variable.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.vals[v.0]
+    }
+
+    /// Registers an input (leaf) value.
+    pub fn input(&mut self, m: Matrix) -> Var {
+        self.push(m, Op::Input)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let m = self.vals[a.0].matmul(&self.vals[b.0]);
+        self.push(m, Op::MatMul(a, b))
+    }
+
+    /// Element-wise sum of same-shape matrices.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let mut m = self.vals[a.0].clone();
+        m.add_assign(&self.vals[b.0]);
+        self.push(m, Op::Add(a, b))
+    }
+
+    /// Adds a `[1, d]` bias row to every row of `[n, d]`.
+    pub fn add_row(&mut self, a: Var, bias: Var) -> Var {
+        let x = &self.vals[a.0];
+        let r = &self.vals[bias.0];
+        assert_eq!(x.cols(), r.cols());
+        let mut m = x.clone();
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                m.set(i, j, m.get(i, j) + r.get(0, j));
+            }
+        }
+        self.push(m, Op::AddRow(a, bias))
+    }
+
+    /// Element-wise (Hadamard) product of same-shape matrices.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let x = &self.vals[a.0];
+        let y = &self.vals[b.0];
+        assert_eq!((x.rows(), x.cols()), (y.rows(), y.cols()));
+        let data = x.as_slice().iter().zip(y.as_slice()).map(|(p, q)| p * q).collect();
+        let m = Matrix::from_vec(x.rows(), x.cols(), data);
+        self.push(m, Op::Mul(a, b))
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let m = self.vals[a.0].map(|x| x.max(0.0));
+        self.push(m, Op::Relu(a))
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
+        let m = self.vals[a.0].map(|x| if x > 0.0 { x } else { alpha * x });
+        self.push(m, Op::LeakyRelu(a, alpha))
+    }
+
+    /// Mean over rows: `[n, d] -> [1, d]` (the average pooling operator).
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let x = &self.vals[a.0];
+        let n = x.rows().max(1);
+        let mut m = Matrix::zeros(1, x.cols());
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                m.set(0, j, m.get(0, j) + x.get(i, j) / n as f32);
+            }
+        }
+        self.push(m, Op::MeanRows(a))
+    }
+
+    /// Concatenates two row vectors.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let x = &self.vals[a.0];
+        let y = &self.vals[b.0];
+        assert_eq!(x.rows(), 1);
+        assert_eq!(y.rows(), 1);
+        let mut data = x.as_slice().to_vec();
+        data.extend_from_slice(y.as_slice());
+        let m = Matrix::row(data);
+        self.push(m, Op::ConcatCols(a, b))
+    }
+
+    /// Kronecker product of two row vectors: `[1,m] ⊗ [1,n] -> [1,mn]`
+    /// (the SW×HW feature-alignment operator).
+    pub fn kron_rows(&mut self, a: Var, b: Var) -> Var {
+        let x = &self.vals[a.0];
+        let y = &self.vals[b.0];
+        assert_eq!(x.rows(), 1);
+        assert_eq!(y.rows(), 1);
+        let mut data = Vec::with_capacity(x.cols() * y.cols());
+        for i in 0..x.cols() {
+            for j in 0..y.cols() {
+                data.push(x.get(0, i) * y.get(0, j));
+            }
+        }
+        let m = Matrix::row(data);
+        self.push(m, Op::KronRows(a, b))
+    }
+
+    /// `S_ij = a_i + b_j` from two `[n,1]` columns (attention scores).
+    pub fn broadcast_sum(&mut self, a: Var, b: Var) -> Var {
+        let x = &self.vals[a.0];
+        let y = &self.vals[b.0];
+        assert_eq!(x.cols(), 1);
+        assert_eq!(y.cols(), 1);
+        assert_eq!(x.rows(), y.rows());
+        let n = x.rows();
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m.set(i, j, x.get(i, 0) + y.get(j, 0));
+            }
+        }
+        self.push(m, Op::BroadcastSum(a, b))
+    }
+
+    /// Row-wise softmax restricted to `mask` (1 = edge, 0 = none); masked
+    /// entries output 0, all-zero rows stay zero. The mask is treated as
+    /// a constant.
+    pub fn masked_softmax_rows(&mut self, scores: Var, mask: Var) -> Var {
+        let s = &self.vals[scores.0];
+        let k = &self.vals[mask.0];
+        assert_eq!((s.rows(), s.cols()), (k.rows(), k.cols()));
+        let mut m = Matrix::zeros(s.rows(), s.cols());
+        for i in 0..s.rows() {
+            let mut maxv = f32::NEG_INFINITY;
+            for j in 0..s.cols() {
+                if k.get(i, j) > 0.0 {
+                    maxv = maxv.max(s.get(i, j));
+                }
+            }
+            if maxv == f32::NEG_INFINITY {
+                continue;
+            }
+            let mut denom = 0.0;
+            for j in 0..s.cols() {
+                if k.get(i, j) > 0.0 {
+                    denom += (s.get(i, j) - maxv).exp();
+                }
+            }
+            for j in 0..s.cols() {
+                if k.get(i, j) > 0.0 {
+                    m.set(i, j, (s.get(i, j) - maxv).exp() / denom);
+                }
+            }
+        }
+        self.push(m, Op::MaskedSoftmaxRows(scores, mask))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let m = self.vals[a.0].map(|x| c * x);
+        self.push(m, Op::Scale(a, c))
+    }
+
+    /// Mean-squared-error loss against a constant target of the same
+    /// shape; returns a `[1,1]` scalar.
+    pub fn mse(&mut self, pred: Var, target: Var) -> Var {
+        let p = &self.vals[pred.0];
+        let t = &self.vals[target.0];
+        assert_eq!((p.rows(), p.cols()), (t.rows(), t.cols()));
+        let k = (p.rows() * p.cols()) as f32;
+        let loss: f32 = p
+            .as_slice()
+            .iter()
+            .zip(t.as_slice())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / k;
+        self.push(Matrix::from_vec(1, 1, vec![loss]), Op::Mse(pred, target))
+    }
+
+    /// Two-class cross-entropy over `[1,2]` logits; returns `[1,1]`.
+    pub fn ce_logits2(&mut self, logits: Var, label: usize) -> Var {
+        let l = &self.vals[logits.0];
+        assert_eq!((l.rows(), l.cols()), (1, 2));
+        assert!(label < 2);
+        let m = l.get(0, 0).max(l.get(0, 1));
+        let z = (l.get(0, 0) - m).exp() + (l.get(0, 1) - m).exp();
+        let logp = l.get(0, label) - m - z.ln();
+        self.push(Matrix::from_vec(1, 1, vec![-logp]), Op::CeLogits2(logits, label))
+    }
+
+    /// Runs backpropagation from the scalar `loss`, returning gradients
+    /// for every variable (indexable via [`Gradients::get`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not `[1,1]`.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!((self.vals[loss.0].rows(), self.vals[loss.0].cols()), (1, 1));
+        let mut grads: Vec<Matrix> = self
+            .vals
+            .iter()
+            .map(|v| Matrix::zeros(v.rows(), v.cols()))
+            .collect();
+        grads[loss.0].set(0, 0, 1.0);
+        for idx in (0..self.ops.len()).rev() {
+            let g = grads[idx].clone();
+            if g.norm() == 0.0 {
+                continue;
+            }
+            match &self.ops[idx] {
+                Op::Input => {}
+                Op::MatMul(a, b) => {
+                    let da = g.matmul(&self.vals[b.0].transpose());
+                    let db = self.vals[a.0].transpose().matmul(&g);
+                    grads[a.0].add_assign(&da);
+                    grads[b.0].add_assign(&db);
+                }
+                Op::Add(a, b) => {
+                    grads[a.0].add_assign(&g);
+                    grads[b.0].add_assign(&g);
+                }
+                Op::AddRow(a, bias) => {
+                    grads[a.0].add_assign(&g);
+                    let mut dr = Matrix::zeros(1, g.cols());
+                    for i in 0..g.rows() {
+                        for j in 0..g.cols() {
+                            dr.set(0, j, dr.get(0, j) + g.get(i, j));
+                        }
+                    }
+                    grads[bias.0].add_assign(&dr);
+                }
+                Op::Mul(a, b) => {
+                    let da = hadamard(&g, &self.vals[b.0]);
+                    let db = hadamard(&g, &self.vals[a.0]);
+                    grads[a.0].add_assign(&da);
+                    grads[b.0].add_assign(&db);
+                }
+                Op::Relu(a) => {
+                    let x = &self.vals[a.0];
+                    let da = Matrix::from_vec(
+                        x.rows(),
+                        x.cols(),
+                        x.as_slice()
+                            .iter()
+                            .zip(g.as_slice())
+                            .map(|(&xi, &gi)| if xi > 0.0 { gi } else { 0.0 })
+                            .collect(),
+                    );
+                    grads[a.0].add_assign(&da);
+                }
+                Op::LeakyRelu(a, alpha) => {
+                    let x = &self.vals[a.0];
+                    let da = Matrix::from_vec(
+                        x.rows(),
+                        x.cols(),
+                        x.as_slice()
+                            .iter()
+                            .zip(g.as_slice())
+                            .map(|(&xi, &gi)| if xi > 0.0 { gi } else { alpha * gi })
+                            .collect(),
+                    );
+                    grads[a.0].add_assign(&da);
+                }
+                Op::MeanRows(a) => {
+                    let n = self.vals[a.0].rows().max(1);
+                    let mut da = Matrix::zeros(self.vals[a.0].rows(), g.cols());
+                    for i in 0..da.rows() {
+                        for j in 0..da.cols() {
+                            da.set(i, j, g.get(0, j) / n as f32);
+                        }
+                    }
+                    grads[a.0].add_assign(&da);
+                }
+                Op::ConcatCols(a, b) => {
+                    let ca = self.vals[a.0].cols();
+                    let da = Matrix::row(g.as_slice()[..ca].to_vec());
+                    let db = Matrix::row(g.as_slice()[ca..].to_vec());
+                    grads[a.0].add_assign(&da);
+                    grads[b.0].add_assign(&db);
+                }
+                Op::KronRows(a, b) => {
+                    let x = &self.vals[a.0];
+                    let y = &self.vals[b.0];
+                    let mut da = Matrix::zeros(1, x.cols());
+                    let mut db = Matrix::zeros(1, y.cols());
+                    for i in 0..x.cols() {
+                        for j in 0..y.cols() {
+                            let gij = g.get(0, i * y.cols() + j);
+                            da.set(0, i, da.get(0, i) + gij * y.get(0, j));
+                            db.set(0, j, db.get(0, j) + gij * x.get(0, i));
+                        }
+                    }
+                    grads[a.0].add_assign(&da);
+                    grads[b.0].add_assign(&db);
+                }
+                Op::BroadcastSum(a, b) => {
+                    let n = g.rows();
+                    let mut da = Matrix::zeros(n, 1);
+                    let mut db = Matrix::zeros(n, 1);
+                    for i in 0..n {
+                        for j in 0..n {
+                            da.set(i, 0, da.get(i, 0) + g.get(i, j));
+                            db.set(j, 0, db.get(j, 0) + g.get(i, j));
+                        }
+                    }
+                    grads[a.0].add_assign(&da);
+                    grads[b.0].add_assign(&db);
+                }
+                Op::MaskedSoftmaxRows(s, _mask) => {
+                    let y = &self.vals[idx];
+                    let mut ds = Matrix::zeros(y.rows(), y.cols());
+                    for i in 0..y.rows() {
+                        let dot: f32 =
+                            (0..y.cols()).map(|j| g.get(i, j) * y.get(i, j)).sum();
+                        for j in 0..y.cols() {
+                            let yj = y.get(i, j);
+                            if yj != 0.0 {
+                                ds.set(i, j, yj * (g.get(i, j) - dot));
+                            }
+                        }
+                    }
+                    grads[s.0].add_assign(&ds);
+                }
+                Op::Scale(a, c) => {
+                    let da = g.map(|x| c * x);
+                    grads[a.0].add_assign(&da);
+                }
+                Op::Mse(pred, target) => {
+                    let p = &self.vals[pred.0];
+                    let t = &self.vals[target.0];
+                    let k = (p.rows() * p.cols()) as f32;
+                    let scale = 2.0 * g.get(0, 0) / k;
+                    let dp = Matrix::from_vec(
+                        p.rows(),
+                        p.cols(),
+                        p.as_slice()
+                            .iter()
+                            .zip(t.as_slice())
+                            .map(|(a, b)| scale * (a - b))
+                            .collect(),
+                    );
+                    grads[pred.0].add_assign(&dp);
+                }
+                Op::CeLogits2(logits, label) => {
+                    let l = &self.vals[logits.0];
+                    let m = l.get(0, 0).max(l.get(0, 1));
+                    let e0 = (l.get(0, 0) - m).exp();
+                    let e1 = (l.get(0, 1) - m).exp();
+                    let z = e0 + e1;
+                    let p = [e0 / z, e1 / z];
+                    let gd = g.get(0, 0);
+                    let mut dl = Matrix::zeros(1, 2);
+                    for j in 0..2 {
+                        let onehot = if j == *label { 1.0 } else { 0.0 };
+                        dl.set(0, j, gd * (p[j] - onehot));
+                    }
+                    grads[logits.0].add_assign(&dl);
+                }
+            }
+        }
+        Gradients { grads }
+    }
+}
+
+fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
+    Matrix::from_vec(
+        a.rows(),
+        a.cols(),
+        a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x * y).collect(),
+    )
+}
+
+/// Gradients produced by [`Graph::backward`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Matrix>,
+}
+
+impl Gradients {
+    /// Gradient of the loss with respect to `v`.
+    pub fn get(&self, v: Var) -> &Matrix {
+        &self.grads[v.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central-difference gradient check for a scalar-valued function of
+    /// one input matrix.
+    fn grad_check(
+        input: Matrix,
+        f: impl Fn(&mut Graph, Var) -> Var,
+        tol: f32,
+    ) {
+        let mut g = Graph::new();
+        let x = g.input(input.clone());
+        let loss = f(&mut g, x);
+        let grads = g.backward(loss);
+        let analytic = grads.get(x).clone();
+
+        let eps = 1e-3;
+        for r in 0..input.rows() {
+            for c in 0..input.cols() {
+                let eval = |delta: f32| {
+                    let mut m = input.clone();
+                    m.set(r, c, m.get(r, c) + delta);
+                    let mut g = Graph::new();
+                    let x = g.input(m);
+                    let loss = f(&mut g, x);
+                    g.value(loss).get(0, 0)
+                };
+                let numeric = (eval(eps) - eval(-eps)) / (2.0 * eps);
+                let a = analytic.get(r, c);
+                assert!(
+                    (numeric - a).abs() < tol,
+                    "grad mismatch at ({r},{c}): numeric {numeric}, analytic {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_matmul_mse() {
+        let w = Matrix::from_vec(3, 2, vec![0.5, -0.2, 0.1, 0.4, -0.3, 0.2]);
+        let target = Matrix::row(vec![1.0, -1.0]);
+        let input = Matrix::row(vec![0.3, -0.7, 0.9]);
+        grad_check(
+            input,
+            move |g, x| {
+                let w = g.input(w.clone());
+                let t = g.input(target.clone());
+                let y = g.matmul(x, w);
+                g.mse(y, t)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_relu_chain() {
+        let input = Matrix::row(vec![0.5, -0.5, 1.5]);
+        grad_check(
+            input,
+            |g, x| {
+                let r = g.relu(x);
+                let s = g.scale(r, 2.0);
+                let t = g.input(Matrix::row(vec![1.0, 0.0, 0.0]));
+                g.mse(s, t)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_kron() {
+        let b = Matrix::row(vec![0.2, -0.4]);
+        let input = Matrix::row(vec![1.0, 2.0, 3.0]);
+        grad_check(
+            input,
+            move |g, x| {
+                let bv = g.input(b.clone());
+                let k = g.kron_rows(x, bv);
+                let t = g.input(Matrix::row(vec![0.0; 6]));
+                g.mse(k, t)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_masked_softmax_attention() {
+        // 3 nodes, attention over a small mask.
+        let mask =
+            Matrix::from_vec(3, 3, vec![1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 1.0]);
+        let input = Matrix::from_vec(3, 1, vec![0.3, -0.2, 0.8]);
+        grad_check(
+            input,
+            move |g, x| {
+                let m = g.input(mask.clone());
+                let s = g.broadcast_sum(x, x);
+                let a = g.masked_softmax_rows(s, m);
+                let pooled = g.mean_rows(a);
+                let t = g.input(Matrix::row(vec![0.1, 0.2, 0.3]));
+                g.mse(pooled, t)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_ce_logits() {
+        let input = Matrix::row(vec![0.7, -0.3]);
+        grad_check(
+            input,
+            |g, x| g.ce_logits2(x, 1),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_mean_rows_and_concat() {
+        let input = Matrix::from_vec(2, 2, vec![0.1, 0.9, -0.4, 0.2]);
+        grad_check(
+            input,
+            |g, x| {
+                let p = g.mean_rows(x);
+                let q = g.concat_cols(p, p);
+                let t = g.input(Matrix::row(vec![0.0; 4]));
+                g.mse(q, t)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_add_row_bias() {
+        let input = Matrix::row(vec![0.3, -0.1]);
+        grad_check(
+            input,
+            |g, bias| {
+                let x = g.input(Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+                let y = g.add_row(x, bias);
+                let p = g.mean_rows(y);
+                let t = g.input(Matrix::row(vec![0.0, 0.0]));
+                g.mse(p, t)
+            },
+            1e-2,
+        );
+    }
+}

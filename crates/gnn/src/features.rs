@@ -1,0 +1,216 @@
+//! Input representations for the predictive model (Tab. 3).
+//!
+//! * `G_sw`: the DFG with base attributes (operation one-hot, fan-in/out)
+//!   and extended attributes (ASAP/ALAP schedules, in/out-degree);
+//! * `G_hw`: the PE graph with the array shape/topology as adjacency and
+//!   per-PE attributes (`op_list` multi-hot, LRF size, GRF size); the GRF
+//!   appears as an extra node with an empty op list, connected to all;
+//! * `Vec`: mapping meta-data — MII prior, max fanout, critical path.
+
+use crate::tensor::Matrix;
+use ptmap_arch::CgraArch;
+use ptmap_ir::{Dfg, OpKind};
+
+/// Software node feature width: op one-hot + [fan-in, fan-out, asap,
+/// alap, latency].
+pub const SW_FEATS: usize = OpKind::ALL.len() + 5;
+/// Hardware node feature width: op multi-hot + [lrf, grf, x, y].
+pub const HW_FEATS: usize = OpKind::ALL.len() + 4;
+/// Meta-data width: [MII, max fanout, critical path length].
+pub const VEC_FEATS: usize = 3;
+
+/// Offset of the first *extended* software feature (everything past the
+/// op one-hot and fan-in/out base attributes).
+pub const SW_EXT_START: usize = OpKind::ALL.len() + 2;
+/// Offset of the first *extended* hardware feature (LRF/GRF sizes).
+pub const HW_EXT_START: usize = OpKind::ALL.len();
+
+/// Dense model inputs for one (DFG, architecture) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GnnInput {
+    /// `[n_sw, SW_FEATS]` node features of the DFG.
+    pub sw_x: Matrix,
+    /// `[n_sw, n_sw]` attention mask (directed edges both ways plus self
+    /// loops).
+    pub sw_mask: Matrix,
+    /// `[n_hw, HW_FEATS]` node features of the PE graph.
+    pub hw_x: Matrix,
+    /// `[n_hw, n_hw]` symmetric-normalized adjacency with self loops.
+    pub hw_adj: Matrix,
+    /// `[1, VEC_FEATS]` meta-data (scaled).
+    pub vec: Matrix,
+    /// Raw MII prior.
+    pub mii: u32,
+}
+
+/// Builds the full-featured input for a DFG/architecture pair.
+pub fn build_input(dfg: &Dfg, arch: &CgraArch) -> GnnInput {
+    let n = dfg.len();
+    let asap = dfg.asap();
+    let alap = dfg.alap();
+    let mut sw_x = Matrix::zeros(n, SW_FEATS);
+    for (i, node) in dfg.nodes().iter().enumerate() {
+        sw_x.set(i, node.op.code(), 1.0);
+        let base = OpKind::ALL.len();
+        sw_x.set(i, base, dfg.in_degree(node.id) as f32 / 4.0);
+        sw_x.set(i, base + 1, dfg.out_degree(node.id) as f32 / 4.0);
+        sw_x.set(i, base + 2, asap[i] as f32 / 16.0);
+        sw_x.set(i, base + 3, alap[i] as f32 / 16.0);
+        sw_x.set(i, base + 4, node.latency() as f32 / 4.0);
+    }
+    let mut sw_mask = Matrix::zeros(n, n);
+    for i in 0..n {
+        sw_mask.set(i, i, 1.0);
+    }
+    for e in dfg.edges() {
+        sw_mask.set(e.src.index(), e.dst.index(), 1.0);
+        sw_mask.set(e.dst.index(), e.src.index(), 1.0);
+    }
+
+    let pe_count = arch.pe_count();
+    let has_grf = arch.grf_size() > 0;
+    let m = pe_count + usize::from(has_grf);
+    let mut hw_x = Matrix::zeros(m, HW_FEATS);
+    for (i, pe) in arch.pe_ids().enumerate() {
+        for op in &arch.pe(pe).ops {
+            hw_x.set(i, op.code(), 1.0);
+        }
+        let (x, y) = pe.to_xy(arch.cols());
+        hw_x.set(i, HW_EXT_START, arch.pe(pe).lrf_size as f32 / 8.0);
+        hw_x.set(i, HW_EXT_START + 1, arch.grf_size() as f32 / 8.0);
+        hw_x.set(i, HW_EXT_START + 2, x as f32 / 8.0);
+        hw_x.set(i, HW_EXT_START + 3, y as f32 / 8.0);
+    }
+    if has_grf {
+        // GRF: empty op list, LRF 0, full GRF feature.
+        hw_x.set(pe_count, HW_EXT_START + 1, arch.grf_size() as f32 / 8.0);
+    }
+    let mut adj = Matrix::zeros(m, m);
+    for i in 0..m {
+        adj.set(i, i, 1.0);
+    }
+    for (i, pe) in arch.pe_ids().enumerate() {
+        for n in arch.neighbors(pe) {
+            adj.set(i, n.index(), 1.0);
+            adj.set(n.index(), i, 1.0);
+        }
+        if has_grf {
+            adj.set(i, pe_count, 1.0);
+            adj.set(pe_count, i, 1.0);
+        }
+    }
+    let hw_adj = sym_normalize(&adj);
+
+    let mii = ptmap_mapper::mii(dfg, arch);
+    let vec = Matrix::row(vec![
+        mii as f32 / 16.0,
+        dfg.max_fanout() as f32 / 8.0,
+        dfg.critical_path() as f32 / 32.0,
+    ]);
+
+    GnnInput { sw_x, sw_mask, hw_x, hw_adj, vec, mii }
+}
+
+/// Zeroes the extended attributes, producing the GNN-b ablation's input.
+pub fn strip_extended(input: &GnnInput) -> GnnInput {
+    let mut out = input.clone();
+    for i in 0..out.sw_x.rows() {
+        for j in SW_EXT_START..SW_FEATS {
+            out.sw_x.set(i, j, 0.0);
+        }
+    }
+    for i in 0..out.hw_x.rows() {
+        for j in HW_EXT_START..HW_FEATS {
+            out.hw_x.set(i, j, 0.0);
+        }
+    }
+    out
+}
+
+/// `D^{-1/2} (A) D^{-1/2}` (A already contains self loops).
+fn sym_normalize(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    let deg: Vec<f32> = (0..n)
+        .map(|i| (0..n).map(|j| a.get(i, j)).sum::<f32>().max(1e-6))
+        .collect();
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let v = a.get(i, j);
+            if v != 0.0 {
+                out.set(i, j, v / (deg[i].sqrt() * deg[j].sqrt()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptmap_arch::presets;
+    use ptmap_ir::{dfg::build_dfg, ProgramBuilder};
+
+    fn sample_dfg() -> Dfg {
+        let mut b = ProgramBuilder::new("k");
+        let x = b.array("X", &[64]);
+        let s = b.scalar("s");
+        let i = b.open_loop("i", 64);
+        let v = b.add(b.read_scalar(s), b.load(x, &[b.idx(i)]));
+        b.assign(s, v);
+        b.close_loop();
+        let p = b.finish();
+        let nest = p.perfect_nests().remove(0);
+        build_dfg(&p, &nest, &[]).unwrap()
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let dfg = sample_dfg();
+        let arch = presets::s4();
+        let input = build_input(&dfg, &arch);
+        assert_eq!(input.sw_x.rows(), dfg.len());
+        assert_eq!(input.sw_x.cols(), SW_FEATS);
+        assert_eq!(input.sw_mask.rows(), dfg.len());
+        // S4 has a GRF -> 17 hardware nodes.
+        assert_eq!(input.hw_x.rows(), 17);
+        assert_eq!(input.vec.cols(), VEC_FEATS);
+        assert!(input.mii >= 1);
+    }
+
+    #[test]
+    fn grfless_arch_has_no_hub_node() {
+        let dfg = sample_dfg();
+        let input = build_input(&dfg, &presets::sl8());
+        assert_eq!(input.hw_x.rows(), 64);
+    }
+
+    #[test]
+    fn normalization_entries_bounded() {
+        let dfg = sample_dfg();
+        let input = build_input(&dfg, &presets::s4());
+        for i in 0..input.hw_adj.rows() {
+            for j in 0..input.hw_adj.cols() {
+                let v = input.hw_adj.get(i, j);
+                assert!((0.0..=1.0).contains(&v), "entry ({i},{j}) = {v}");
+                assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn strip_extended_zeroes_only_extended() {
+        let dfg = sample_dfg();
+        let input = build_input(&dfg, &presets::s4());
+        let basic = strip_extended(&input);
+        // Base one-hot preserved.
+        for i in 0..basic.sw_x.rows() {
+            let onehot: f32 = (0..OpKind::ALL.len()).map(|j| basic.sw_x.get(i, j)).sum();
+            assert_eq!(onehot, 1.0);
+            for j in SW_EXT_START..SW_FEATS {
+                assert_eq!(basic.sw_x.get(i, j), 0.0);
+            }
+        }
+        assert_ne!(&basic, &input);
+    }
+}

@@ -1,0 +1,37 @@
+//! Model persistence tests: the bench harness caches trained models as
+//! JSON, so serialization must round-trip exactly.
+
+use ptmap_arch::presets;
+use ptmap_gnn::dataset::{generate_dataset, DatasetConfig};
+use ptmap_gnn::model::{GnnVariant, ModelConfig, PtMapGnn};
+use ptmap_gnn::train::{train, TrainConfig};
+
+#[test]
+fn serde_round_trip_preserves_predictions() {
+    let data = generate_dataset(&DatasetConfig {
+        samples: 12,
+        archs: vec![presets::s4()],
+        seed: 33,
+        ..DatasetConfig::default()
+    });
+    let mut model = PtMapGnn::new(ModelConfig { hidden: 8, ..ModelConfig::default() });
+    train(&mut model, &data, &TrainConfig { epochs: 3, ..TrainConfig::default() });
+
+    let json = serde_json::to_string(&model).unwrap();
+    let restored: PtMapGnn = serde_json::from_str(&json).unwrap();
+    for s in &data {
+        assert_eq!(model.predict(&s.input), restored.predict(&s.input));
+    }
+}
+
+#[test]
+fn all_variants_serialize() {
+    for variant in [GnnVariant::Full, GnnVariant::Basic, GnnVariant::NoAlign, GnnVariant::Direct]
+    {
+        let model = PtMapGnn::new(ModelConfig { hidden: 8, variant, ..ModelConfig::default() });
+        let json = serde_json::to_string(&model).unwrap();
+        let restored: PtMapGnn = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.config.variant, variant);
+        assert_eq!(restored.param_count(), model.param_count());
+    }
+}

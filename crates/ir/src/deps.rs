@@ -1,0 +1,746 @@
+//! Data-dependence analysis on affine loop nests.
+//!
+//! For *uniform* dependences — access pairs whose subscripts share the same
+//! loop coefficients and differ only in constants, which covers the
+//! PolyBench/image/DL kernels of the paper's evaluation — the analysis
+//! produces exact distance vectors. Anything else degrades conservatively
+//! to an unknown (`Star`) direction that blocks reordering-style
+//! transformations, mirroring how PT-Map's PLuTo front-end only applies
+//! transformations it can prove legal.
+
+use crate::access::ArrayAccess;
+use crate::expr::{LValue, Stmt};
+use crate::id::{ArrayId, LoopId, ScalarId, StmtId};
+use crate::program::{Node, Program};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Dependence distance (`iteration(dst) - iteration(src)`) on one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Distance {
+    /// Exactly this many iterations apart.
+    Exact(i64),
+    /// Carried forward by one or more iterations (distance ≥ 1).
+    Plus,
+    /// Unknown direction.
+    Star,
+}
+
+impl Distance {
+    /// Whether the component is known to be zero.
+    pub fn is_zero(self) -> bool {
+        self == Distance::Exact(0)
+    }
+
+    /// Whether the component is known to be strictly positive.
+    pub fn is_positive(self) -> bool {
+        matches!(self, Distance::Exact(d) if d > 0) || self == Distance::Plus
+    }
+
+    /// Whether the component could be negative.
+    pub fn may_be_negative(self) -> bool {
+        matches!(self, Distance::Star) || matches!(self, Distance::Exact(d) if d < 0)
+    }
+}
+
+impl fmt::Display for Distance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Distance::Exact(d) => write!(f, "{d}"),
+            Distance::Plus => write!(f, "+"),
+            Distance::Star => write!(f, "*"),
+        }
+    }
+}
+
+/// Classification of a dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DepKind {
+    /// Write then read (true dependence).
+    Flow,
+    /// Read then write.
+    Anti,
+    /// Write then write.
+    Output,
+}
+
+/// A single data dependence between two statements.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dependence {
+    /// Source statement (executes first).
+    pub src: StmtId,
+    /// Destination statement (executes later, depends on `src`).
+    pub dst: StmtId,
+    /// The array carrying the dependence, or `None` for scalar deps.
+    pub array: Option<ArrayId>,
+    /// The scalar carrying the dependence, when `array` is `None`.
+    pub scalar: Option<ScalarId>,
+    /// Kind of the dependence.
+    pub kind: DepKind,
+    /// Common enclosing loops, outermost first.
+    pub loops: Vec<LoopId>,
+    /// One distance component per common loop.
+    pub distance: Vec<Distance>,
+    /// Whether the dependence stems from an associative reduction
+    /// (reordering-tolerant; still constrains the pipeline recurrence).
+    pub is_reduction: bool,
+}
+
+impl Dependence {
+    /// Distance component for a given loop, if the loop is common.
+    pub fn distance_on(&self, l: LoopId) -> Option<Distance> {
+        self.loops.iter().position(|&x| x == l).map(|i| self.distance[i])
+    }
+
+    /// Whether the dependence is carried by (first nonzero at) loop `l`
+    /// or could be.
+    pub fn may_be_carried_by(&self, l: LoopId) -> bool {
+        for (&lp, &d) in self.loops.iter().zip(&self.distance) {
+            if lp == l {
+                return !d.is_zero();
+            }
+            if d.is_positive() || d.may_be_negative() {
+                return false; // carried (or killed) at an outer level
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for Dependence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            DepKind::Flow => "flow",
+            DepKind::Anti => "anti",
+            DepKind::Output => "output",
+        };
+        write!(f, "{} -> {} [{kind}] (", self.src, self.dst)?;
+        for (i, d) in self.distance.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")?;
+        if self.is_reduction {
+            write!(f, " [reduction]")?;
+        }
+        Ok(())
+    }
+}
+
+/// All dependences of a program, with legality queries used by the
+/// transformation engine.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DependenceSet {
+    deps: Vec<Dependence>,
+}
+
+impl DependenceSet {
+    /// Runs the dependence analysis over a whole program.
+    pub fn analyze(program: &Program) -> Self {
+        let mut ctx = AnalysisCtx::default();
+        collect_stmts(&program.roots, &mut Vec::new(), &mut ctx);
+        let mut deps = Vec::new();
+        for i in 0..ctx.stmts.len() {
+            for j in i..ctx.stmts.len() {
+                analyze_pair(&ctx, i, j, &mut deps);
+            }
+        }
+        DependenceSet { deps }
+    }
+
+    /// The raw dependences.
+    pub fn iter(&self) -> impl Iterator<Item = &Dependence> {
+        self.deps.iter()
+    }
+
+    /// Number of dependences found.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Whether no dependence was found.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Dependences whose common loops include `l`.
+    pub fn involving(&self, l: LoopId) -> impl Iterator<Item = &Dependence> {
+        self.deps.iter().filter(move |d| d.loops.contains(&l))
+    }
+
+    /// Checks whether reordering the loops of a band to `new_order`
+    /// preserves every dependence.
+    ///
+    /// `new_order` lists the band's loop ids outermost-first. Loops of a
+    /// dependence that are outside the band keep their position; band
+    /// loops are permuted *in place* (the band is assumed contiguous in
+    /// the nesting, which holds for the PNL chains PT-Map reorders).
+    ///
+    /// Reduction dependences are exempt (associativity allows reordering).
+    pub fn permutation_legal(&self, new_order: &[LoopId]) -> bool {
+        self.deps.iter().all(|dep| {
+            if dep.is_reduction {
+                return true;
+            }
+            // Permute the mentioned loops in place within dep.loops.
+            let mentioned: Vec<LoopId> =
+                new_order.iter().copied().filter(|l| dep.loops.contains(l)).collect();
+            let mut next = mentioned.iter();
+            let mut seq: Vec<Distance> = Vec::with_capacity(dep.loops.len());
+            for (&l, &d) in dep.loops.iter().zip(&dep.distance) {
+                if new_order.contains(&l) {
+                    let repl = *next.next().expect("same multiset of band loops");
+                    seq.push(dep.distance_on(repl).expect("band loop is common"));
+                } else {
+                    seq.push(d);
+                }
+            }
+            lex_non_negative(&seq)
+        })
+    }
+
+    /// Checks whether fusing loop `l2` into loop `l1` (adjacent siblings,
+    /// same tripcount) is legal: every dependence from a statement under
+    /// `l1` to a statement under `l2` must have non-negative distance on
+    /// the fused index.
+    ///
+    /// The caller provides `fused_deps`, the dependence set of the
+    /// *speculatively fused* program; this method then checks it contains
+    /// no negative or unknown component on `fused_loop`.
+    pub fn fusion_legal(fused_deps: &DependenceSet, fused_loop: LoopId) -> bool {
+        fused_deps.iter().all(|dep| {
+            if dep.is_reduction {
+                return true;
+            }
+            match dep.distance_on(fused_loop) {
+                Some(Distance::Exact(d)) => {
+                    if d != 0 {
+                        // Carried on the fused loop: the full vector must
+                        // stay lexicographically non-negative.
+                        let seq: Vec<Distance> = dep.distance.clone();
+                        lex_non_negative(&seq)
+                    } else {
+                        true
+                    }
+                }
+                Some(Distance::Plus) | None => true,
+                Some(Distance::Star) => {
+                    // Unknown on the fused loop: legal only if killed by an
+                    // outer positive component.
+                    let mut killed = false;
+                    for (&lp, &d) in dep.loops.iter().zip(&dep.distance) {
+                        if lp == fused_loop {
+                            break;
+                        }
+                        if d.is_positive() {
+                            killed = true;
+                            break;
+                        }
+                    }
+                    killed
+                }
+            }
+        })
+    }
+}
+
+impl<'a> IntoIterator for &'a DependenceSet {
+    type Item = &'a Dependence;
+    type IntoIter = std::slice::Iter<'a, Dependence>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.deps.iter()
+    }
+}
+
+/// A distance vector is acceptable if its first non-zero component is
+/// known positive (`Exact(>0)` or `Plus`); all-zero is acceptable too
+/// (program order within the body is preserved by the transformations we
+/// check). `Star` before any positive component is rejected.
+fn lex_non_negative(seq: &[Distance]) -> bool {
+    for &d in seq {
+        match d {
+            Distance::Exact(0) => continue,
+            Distance::Exact(x) if x > 0 => return true,
+            Distance::Plus => return true,
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[derive(Default)]
+struct AnalysisCtx {
+    /// (statement, enclosing loops outermost-first, program-order index)
+    stmts: Vec<(Stmt, Vec<LoopId>)>,
+}
+
+fn collect_stmts(nodes: &[Node], loops: &mut Vec<LoopId>, ctx: &mut AnalysisCtx) {
+    for n in nodes {
+        match n {
+            Node::Stmt(s) => ctx.stmts.push((s.clone(), loops.clone())),
+            Node::Loop(l) => {
+                loops.push(l.id);
+                collect_stmts(&l.body, loops, ctx);
+                loops.pop();
+            }
+        }
+    }
+}
+
+fn common_loops(a: &[LoopId], b: &[LoopId]) -> Vec<LoopId> {
+    a.iter().zip(b).take_while(|(x, y)| x == y).map(|(x, _)| *x).collect()
+}
+
+fn analyze_pair(ctx: &AnalysisCtx, i: usize, j: usize, out: &mut Vec<Dependence>) {
+    let (s1, l1) = &ctx.stmts[i];
+    let (s2, l2) = &ctx.stmts[j];
+    let common = common_loops(l1, l2);
+
+    // Array dependences.
+    let (r1, w1) = s1.accesses();
+    let (r2, w2) = s2.accesses();
+    let mut pairs: Vec<(&ArrayAccess, &ArrayAccess, DepKind)> = Vec::new();
+    if let Some(w) = w1 {
+        for r in &r2 {
+            if r.array == w.array {
+                pairs.push((w, r, DepKind::Flow));
+            }
+        }
+        if let Some(w2a) = w2 {
+            if w2a.array == w.array {
+                pairs.push((w, w2a, DepKind::Output));
+            }
+        }
+    }
+    if let Some(w) = w2 {
+        for r in &r1 {
+            if r.array == w.array {
+                pairs.push((r, w, DepKind::Anti));
+            }
+        }
+    }
+    // Self-pair special case: when i == j the (w, r) flow pair above
+    // already covers read-after-write across iterations; the (r, w) anti
+    // pair duplicates distances but with src == dst it is still useful
+    // for RecMII, so we keep both.
+    let reduction = i == j && s1.is_reduction();
+    for (src_acc, dst_acc, kind) in pairs {
+        if let Some(dist) = solve_uniform(src_acc, dst_acc, &common) {
+            if let Some(dep) =
+                normalize(s1.id, s2.id, Some(src_acc.array), None, kind, &common, dist, reduction, i == j)
+            {
+                out.push(dep);
+            }
+        }
+    }
+
+    // Scalar dependences.
+    scalar_deps(ctx, i, j, &common, out);
+}
+
+/// Solves for the distance vector (`iteration(dst) - iteration(src)`)
+/// of an access pair over the given common loops. Returns `None` when
+/// the accesses provably never overlap; returns per-loop distances with
+/// `Plus`/`Star` for anything it cannot pin down.
+///
+/// Exposed for clients (like loop fusion) that must reason about
+/// dependences between statements whose *original* execution order is
+/// not the lexical order of a single program (C-INTERMEDIATE).
+pub fn access_distance(
+    src: &ArrayAccess,
+    dst: &ArrayAccess,
+    common: &[LoopId],
+) -> Option<Vec<Distance>> {
+    solve_uniform(src, dst, common)
+}
+
+/// Solves for the distance vector of a uniform access pair. Returns `None`
+/// when the accesses provably never overlap; returns per-loop distances
+/// with `Star` for anything it cannot pin down.
+fn solve_uniform(
+    src: &ArrayAccess,
+    dst: &ArrayAccess,
+    common: &[LoopId],
+) -> Option<Vec<Distance>> {
+    if src.indices.len() != dst.indices.len() || !src.is_uniform_with(dst) {
+        // Non-uniform: conservative Star on every common loop.
+        return Some(vec![Distance::Star; common.len()]);
+    }
+    // Per dimension: sum_l c_l * delta_l = k_src - k_dst.
+    // Private (non-common) loops make the equation under-determined ->
+    // treat that dimension as unconstraining (Star influence handled by
+    // leaving loops unpinned).
+    let mut pinned: BTreeMap<LoopId, i64> = BTreeMap::new();
+    let mut equations: Vec<(BTreeMap<LoopId, i64>, i64)> = Vec::new();
+    for (e_src, e_dst) in src.indices.iter().zip(&dst.indices) {
+        let rhs = e_src.constant_term() - e_dst.constant_term();
+        let mut coeffs: BTreeMap<LoopId, i64> = BTreeMap::new();
+        let mut has_private = false;
+        let mut loops: Vec<LoopId> = e_src.loops().chain(e_dst.loops()).collect();
+        loops.sort_unstable();
+        loops.dedup();
+        for l in loops {
+            let c = e_src.coeff(l); // uniform: same in both
+            if c == 0 {
+                continue;
+            }
+            if common.contains(&l) {
+                coeffs.insert(l, c);
+            } else {
+                has_private = true;
+            }
+        }
+        if has_private {
+            continue; // under-determined dimension
+        }
+        equations.push((coeffs, rhs));
+    }
+    // Iteratively pin single-variable equations and substitute.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (coeffs, rhs) in &mut equations {
+            // Substitute already-pinned loops.
+            let pins: Vec<(LoopId, i64)> = coeffs
+                .iter()
+                .filter(|(l, _)| pinned.contains_key(l))
+                .map(|(&l, &c)| (l, c))
+                .collect();
+            for (l, c) in pins {
+                *rhs -= c * pinned[&l];
+                coeffs.remove(&l);
+                changed = true;
+            }
+            if coeffs.len() == 1 {
+                let (&l, &c) = coeffs.iter().next().expect("len 1");
+                if *rhs % c != 0 {
+                    return None; // no integer solution: independent
+                }
+                pinned.insert(l, *rhs / c);
+                coeffs.clear();
+                *rhs = 0;
+                changed = true;
+            } else if coeffs.is_empty() && *rhs != 0 {
+                return None; // contradictory: independent
+            }
+        }
+        equations.retain(|(c, r)| !(c.is_empty() && *r == 0));
+    }
+    let dist = common
+        .iter()
+        .map(|l| match pinned.get(l) {
+            Some(&d) => Distance::Exact(d),
+            // Unpinned common loop: element reuse across all its
+            // iterations. Distances of both signs exist; normalization
+            // keeps the forward (>=1) direction as `Plus` and the
+            // backward one is represented by the symmetric record of the
+            // swapped pair.
+            None => Distance::Plus,
+        })
+        .collect();
+    Some(dist)
+}
+
+/// Scalar dependences between two statements (or a statement with itself).
+fn scalar_deps(
+    ctx: &AnalysisCtx,
+    i: usize,
+    j: usize,
+    common: &[LoopId],
+    out: &mut Vec<Dependence>,
+) {
+    let (s1, _) = &ctx.stmts[i];
+    let (s2, _) = &ctx.stmts[j];
+    let w1 = match &s1.target {
+        LValue::Scalar(s) => Some(*s),
+        _ => None,
+    };
+    let w2 = match &s2.target {
+        LValue::Scalar(s) => Some(*s),
+        _ => None,
+    };
+    let r1 = s1.value.scalar_reads();
+    let r2 = s2.value.scalar_reads();
+
+    let mut push = |kind: DepKind, scalar: ScalarId, reduction: bool, zero_ok: bool| {
+        let dist = if reduction {
+            // Reduction recurrence: carried once around the innermost
+            // common loop.
+            let mut d = vec![Distance::Exact(0); common.len()];
+            if let Some(last) = d.last_mut() {
+                *last = Distance::Exact(1);
+            }
+            d
+        } else if zero_ok {
+            // Privatizable temporary: defined before use each iteration.
+            vec![Distance::Exact(0); common.len()]
+        } else {
+            vec![Distance::Star; common.len()]
+        };
+        if let Some(dep) = normalize(s1.id, s2.id, None, Some(scalar), kind, common, dist, reduction, i == j)
+        {
+            out.push(dep);
+        }
+    };
+
+    if i == j {
+        if let Some(w) = w1 {
+            if r1.contains(&w) {
+                // Self recurrence: reduction when associative.
+                push(DepKind::Flow, w, s1.is_reduction(), false);
+            }
+        }
+        return;
+    }
+    if let Some(w) = w1 {
+        if r2.contains(&w) {
+            // Write in s1 (textually earlier), read in s2: treat as a
+            // privatizable within-iteration def-use (distance 0) — the
+            // standard scalar privatization assumption for temporaries.
+            push(DepKind::Flow, w, false, true);
+        }
+        if w2 == Some(w) {
+            push(DepKind::Output, w, false, true);
+        }
+    }
+    if let Some(w) = w2 {
+        if r1.contains(&w) {
+            // Read before write across statements: loop-carried use.
+            push(DepKind::Anti, w, false, false);
+        }
+    }
+}
+
+/// Normalizes a raw distance vector: drops provably-backward exact vectors
+/// by reversing src/dst (the symmetric pair enumeration produces the
+/// forward record too), keeps forward and unknown ones.
+#[allow(clippy::too_many_arguments)]
+fn normalize(
+    src: StmtId,
+    dst: StmtId,
+    array: Option<ArrayId>,
+    scalar: Option<ScalarId>,
+    kind: DepKind,
+    common: &[LoopId],
+    dist: Vec<Distance>,
+    is_reduction: bool,
+    self_pair: bool,
+) -> Option<Dependence> {
+    // A statement instance never depends on itself.
+    if self_pair && dist.iter().all(|d| d.is_zero()) {
+        return None;
+    }
+    // Determine the lexicographic sign of the exact prefix.
+    for &d in &dist {
+        match d {
+            Distance::Exact(0) => continue,
+            Distance::Exact(x) if x > 0 => break,
+            Distance::Plus => break,
+            Distance::Exact(_) => {
+                // Backward vector: for a self pair the forward direction
+                // is the meaningful one, so flip it; for distinct
+                // statements the swapped enumeration (j,i is never
+                // visited since we enumerate i<=j) requires flipping too.
+                let flipped: Vec<Distance> = dist
+                    .iter()
+                    .map(|&d| match d {
+                        Distance::Exact(x) => Distance::Exact(-x),
+                        other => other,
+                    })
+                    .collect();
+                let kind = match kind {
+                    DepKind::Flow => DepKind::Anti,
+                    DepKind::Anti => DepKind::Flow,
+                    DepKind::Output => DepKind::Output,
+                };
+                return Some(Dependence {
+                    src: dst,
+                    dst: src,
+                    array,
+                    scalar,
+                    kind,
+                    loops: common.to_vec(),
+                    distance: flipped,
+                    is_reduction,
+                });
+            }
+            Distance::Star => break,
+        }
+    }
+    Some(Dependence {
+        src,
+        dst,
+        array,
+        scalar,
+        kind,
+        loops: common.to_vec(),
+        distance: dist,
+        is_reduction,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    /// C[i][j] += A[i][k] * B[k][j]
+    fn gemm() -> Program {
+        let mut b = ProgramBuilder::new("gemm");
+        let a = b.array("A", &[8, 8]);
+        let bb = b.array("B", &[8, 8]);
+        let c = b.array("C", &[8, 8]);
+        let i = b.open_loop("i", 8);
+        let j = b.open_loop("j", 8);
+        let k = b.open_loop("k", 8);
+        let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+        let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
+        b.store(c, &[b.idx(i), b.idx(j)], sum);
+        b.close_loop();
+        b.close_loop();
+        b.close_loop();
+        b.finish()
+    }
+
+    #[test]
+    fn gemm_accumulation_dep() {
+        let p = gemm();
+        let deps = DependenceSet::analyze(&p);
+        // The C[i][j] self-dependence: (0, 0, +) flow.
+        let flow: Vec<_> = deps.iter().filter(|d| d.kind == DepKind::Flow).collect();
+        assert!(!flow.is_empty());
+        let d = flow[0];
+        assert_eq!(d.distance[0], Distance::Exact(0));
+        assert_eq!(d.distance[1], Distance::Exact(0));
+        assert_eq!(d.distance[2], Distance::Plus);
+        assert!(d.is_reduction, "C[i][j] += ... is an array reduction");
+    }
+
+    #[test]
+    fn gemm_all_permutations_legal() {
+        let p = gemm();
+        let deps = DependenceSet::analyze(&p);
+        let nest = p.perfect_nests().remove(0);
+        let [i, j, k] = [nest.loops[0], nest.loops[1], nest.loops[2]];
+        for order in [[i, j, k], [i, k, j], [k, i, j], [j, i, k], [k, j, i], [j, k, i]] {
+            assert!(deps.permutation_legal(&order), "order {order:?} should be legal");
+        }
+    }
+
+    #[test]
+    fn stencil_forward_dep_blocks_reversal_like_orders() {
+        // A[i][j] = A[i-1][j] + A[i][j-1]: distances (1,0) and (0,1).
+        let mut b = ProgramBuilder::new("stencil");
+        let a = b.array("A", &[16, 16]);
+        let i = b.open_loop("i", 16);
+        let j = b.open_loop("j", 16);
+        let up = b.load(a, &[b.idx(i) - AffineExpr::constant(1), b.idx(j)]);
+        let left = b.load(a, &[b.idx(i), b.idx(j) - AffineExpr::constant(1)]);
+        let v = b.add(up, left);
+        b.store(a, &[b.idx(i), b.idx(j)], v);
+        b.close_loop();
+        b.close_loop();
+        let p = b.finish();
+        let deps = DependenceSet::analyze(&p);
+        let nest = p.perfect_nests().remove(0);
+        let (i, j) = (nest.loops[0], nest.loops[1]);
+        // (1,0) and (0,1) stay legal under interchange (both non-negative).
+        assert!(deps.permutation_legal(&[j, i]));
+        // Exact distances were extracted.
+        let exact: Vec<_> = deps
+            .iter()
+            .filter(|d| d.kind == DepKind::Flow)
+            .map(|d| d.distance.clone())
+            .collect();
+        assert!(exact.contains(&vec![Distance::Exact(1), Distance::Exact(0)]));
+        assert!(exact.contains(&vec![Distance::Exact(0), Distance::Exact(1)]));
+    }
+
+    use crate::affine::AffineExpr;
+
+    #[test]
+    fn anti_lexicographic_dep_blocks_interchange() {
+        // A[i][j] = A[i-1][j+1]: distance (1, -1); interchange -> (-1, 1) illegal.
+        let mut b = ProgramBuilder::new("skew");
+        let a = b.array("A", &[16, 16]);
+        let i = b.open_loop("i", 16);
+        let j = b.open_loop("j", 16);
+        let v = b.load(a, &[b.idx(i) - AffineExpr::constant(1), b.idx(j) + AffineExpr::constant(1)]);
+        b.store(a, &[b.idx(i), b.idx(j)], v);
+        b.close_loop();
+        b.close_loop();
+        let p = b.finish();
+        let deps = DependenceSet::analyze(&p);
+        let nest = p.perfect_nests().remove(0);
+        let (i, j) = (nest.loops[0], nest.loops[1]);
+        assert!(deps.permutation_legal(&[i, j]));
+        assert!(!deps.permutation_legal(&[j, i]));
+    }
+
+    #[test]
+    fn independent_constant_offsets() {
+        // A[2i] vs A[2i+1] never alias.
+        let mut b = ProgramBuilder::new("strided");
+        let a = b.array("A", &[32]);
+        let i = b.open_loop("i", 16);
+        let v = b.load(a, &[b.idx(i) * 2 + AffineExpr::constant(1)]);
+        b.store(a, &[b.idx(i) * 2], v);
+        b.close_loop();
+        let p = b.finish();
+        let deps = DependenceSet::analyze(&p);
+        // No array dependence should be recorded (gcd test fails).
+        assert!(deps.iter().all(|d| d.array.is_none()), "{:?}", deps);
+    }
+
+    #[test]
+    fn scalar_reduction_is_marked() {
+        let mut b = ProgramBuilder::new("red");
+        let a = b.array("A", &[64]);
+        let s = b.scalar("s");
+        let i = b.open_loop("i", 64);
+        let v = b.add(b.read_scalar(s), b.load(a, &[b.idx(i)]));
+        b.assign(s, v);
+        b.close_loop();
+        let p = b.finish();
+        let deps = DependenceSet::analyze(&p);
+        let red: Vec<_> = deps.iter().filter(|d| d.is_reduction).collect();
+        assert_eq!(red.len(), 1);
+        assert_eq!(red[0].distance, vec![Distance::Exact(1)]);
+    }
+
+    #[test]
+    fn non_uniform_access_gives_star() {
+        // A[i] vs A[2i]: non-uniform -> Star.
+        let mut b = ProgramBuilder::new("nonuniform");
+        let a = b.array("A", &[64]);
+        let x = b.array("X", &[64]);
+        let i = b.open_loop("i", 32);
+        let v = b.load(a, &[b.idx(i) * 2]);
+        b.store(x, &[b.idx(i)], v);
+        b.store(a, &[b.idx(i)], b.constant(0));
+        b.close_loop();
+        let p = b.finish();
+        let deps = DependenceSet::analyze(&p);
+        let star = deps
+            .iter()
+            .any(|d| d.array.is_some() && d.distance.contains(&Distance::Star));
+        assert!(star);
+        let nest = p.perfect_nests().remove(0);
+        assert!(!deps.permutation_legal(&[nest.loops[0]]) || deps.permutation_legal(&[nest.loops[0]]));
+        // (single-loop permutation is identity; just ensure no panic)
+    }
+
+    #[test]
+    fn carried_by_queries() {
+        let p = gemm();
+        let deps = DependenceSet::analyze(&p);
+        let nest = p.perfect_nests().remove(0);
+        let k = nest.loops[2];
+        assert!(deps.iter().any(|d| d.may_be_carried_by(k)));
+        let i = nest.loops[0];
+        assert!(!deps.iter().filter(|d| d.kind == DepKind::Flow).any(|d| d.may_be_carried_by(i)));
+    }
+}

@@ -1,0 +1,144 @@
+//! Graphviz (DOT) exports for programs and DFGs.
+//!
+//! Rendering the loop tree or the dataflow graph is the fastest way to
+//! see what a transformation did:
+//!
+//! ```sh
+//! cargo run --release -p ptmap-core --bin ptmap -- parse --source k.c
+//! # or from code:
+//! ```
+//!
+//! ```
+//! use ptmap_ir::{ProgramBuilder, dot};
+//! let mut b = ProgramBuilder::new("k");
+//! let a = b.array("A", &[16]);
+//! let i = b.open_loop("i", 16);
+//! let v = b.add(b.load(a, &[b.idx(i)]), b.constant(1));
+//! b.store(a, &[b.idx(i)], v);
+//! b.close_loop();
+//! let p = b.finish();
+//! let text = dot::program_to_dot(&p);
+//! assert!(text.starts_with("digraph"));
+//! ```
+
+use crate::dfg::{Dfg, EdgeKind};
+use crate::program::{Node, Program};
+use std::fmt::Write as _;
+
+/// Renders the loop-nest tree of a program as DOT.
+pub fn program_to_dot(program: &Program) -> String {
+    let mut out = String::from("digraph program {\n  rankdir=TB;\n  node [shape=box];\n");
+    let _ = writeln!(out, "  root [label=\"{}\", shape=ellipse];", program.name);
+    let mut next = 0usize;
+    fn rec(nodes: &[Node], parent: &str, next: &mut usize, out: &mut String) {
+        for n in nodes {
+            let id = format!("n{}", *next);
+            *next += 1;
+            match n {
+                Node::Loop(l) => {
+                    let _ = writeln!(
+                        out,
+                        "  {id} [label=\"for {} < {}\"];\n  {parent} -> {id};",
+                        l.name, l.tripcount
+                    );
+                    rec(&l.body, &id, next, out);
+                }
+                Node::Stmt(s) => {
+                    let _ = writeln!(
+                        out,
+                        "  {id} [label=\"{}\", shape=note];\n  {parent} -> {id};",
+                        s.id
+                    );
+                }
+            }
+        }
+    }
+    rec(&program.roots, "root", &mut next, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a DFG as DOT: solid edges are routed dataflow, dashed edges
+/// are memory/ordering constraints; loop-carried edges are labeled with
+/// their distance.
+pub fn dfg_to_dot(dfg: &Dfg) -> String {
+    let mut out = String::from("digraph dfg {\n  rankdir=LR;\n");
+    for n in dfg.nodes() {
+        let extra = match (&n.access, n.imm) {
+            (Some(a), _) => format!("\\n{a}"),
+            (None, Some(c)) => format!("\\n#{c}"),
+            _ => String::new(),
+        };
+        let _ = writeln!(out, "  {} [label=\"{}: {}{}\"];", n.id, n.id, n.op, extra);
+    }
+    for e in dfg.edges() {
+        let style = match e.kind {
+            EdgeKind::Data => "solid",
+            EdgeKind::Order => "dashed",
+        };
+        if e.dist > 0 {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [style={style}, label=\"{}\", constraint=false];",
+                e.src, e.dst, e.dist
+            );
+        } else {
+            let _ = writeln!(out, "  {} -> {} [style={style}];", e.src, e.dst);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::build_dfg;
+    use crate::program::ProgramBuilder;
+
+    fn kernel() -> Program {
+        let mut b = ProgramBuilder::new("k");
+        let a = b.array("A", &[16]);
+        let s = b.scalar("s");
+        let i = b.open_loop("i", 16);
+        let v = b.add(b.read_scalar(s), b.load(a, &[b.idx(i)]));
+        b.assign(s, v);
+        b.close_loop();
+        b.finish()
+    }
+
+    #[test]
+    fn program_dot_structure() {
+        let text = program_to_dot(&kernel());
+        assert!(text.starts_with("digraph program"));
+        assert!(text.contains("for i < 16"));
+        assert!(text.contains("root ->"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dfg_dot_marks_carried_edges() {
+        let p = kernel();
+        let nest = p.perfect_nests().remove(0);
+        let dfg = build_dfg(&p, &nest, &[]).unwrap();
+        let text = dfg_to_dot(&dfg);
+        assert!(text.contains("label=\"1\""), "carried edge labeled: {text}");
+        assert!(text.contains("add"));
+        assert!(text.contains("load"));
+    }
+
+    #[test]
+    fn order_edges_render_dashed() {
+        let mut b = ProgramBuilder::new("rmw");
+        let a = b.array("A", &[16]);
+        let i = b.open_loop("i", 16);
+        let v = b.add(b.load(a, &[b.idx(i)]), b.constant(1));
+        b.store(a, &[b.idx(i)], v);
+        b.close_loop();
+        let p = b.finish();
+        let nest = p.perfect_nests().remove(0);
+        let dfg = build_dfg(&p, &nest, &[]).unwrap();
+        let text = dfg_to_dot(&dfg);
+        assert!(text.contains("style=dashed"));
+    }
+}

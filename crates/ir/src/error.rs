@@ -1,0 +1,86 @@
+//! Error type for IR construction and analysis.
+
+use crate::id::{ArrayId, LoopId};
+use std::fmt;
+
+/// Errors produced while building or analyzing IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A loop id was referenced but does not exist in the program.
+    UnknownLoop(LoopId),
+    /// An array id was referenced but does not exist in the program.
+    UnknownArray(ArrayId),
+    /// An array access has the wrong number of subscripts.
+    SubscriptArity {
+        /// The offending array.
+        array: ArrayId,
+        /// Subscripts supplied.
+        got: usize,
+        /// Dimensions declared.
+        expected: usize,
+    },
+    /// `close_loop` was called with no loop open.
+    NoOpenLoop,
+    /// `finish` was called while loops were still open.
+    UnclosedLoops(usize),
+    /// The requested nest is not a perfectly nested loop.
+    NotPerfectNest,
+    /// An unroll factor vector refers to more loops than the nest has.
+    BadUnrollArity {
+        /// Loops in the nest.
+        loops: usize,
+        /// Factors supplied.
+        factors: usize,
+    },
+    /// An unroll factor was zero.
+    ZeroUnrollFactor,
+    /// A tripcount of zero was supplied for a loop.
+    ZeroTripcount(LoopId),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownLoop(l) => write!(f, "unknown loop {l}"),
+            IrError::UnknownArray(a) => write!(f, "unknown array {a}"),
+            IrError::SubscriptArity { array, got, expected } => {
+                write!(f, "array {array} accessed with {got} subscripts, declared with {expected}")
+            }
+            IrError::NoOpenLoop => write!(f, "close_loop called with no loop open"),
+            IrError::UnclosedLoops(n) => write!(f, "program finished with {n} unclosed loops"),
+            IrError::NotPerfectNest => write!(f, "loop nest is not perfectly nested"),
+            IrError::BadUnrollArity { loops, factors } => {
+                write!(f, "unroll vector has {factors} factors for a nest of {loops} loops")
+            }
+            IrError::ZeroUnrollFactor => write!(f, "unroll factor must be at least 1"),
+            IrError::ZeroTripcount(l) => write!(f, "loop {l} has zero tripcount"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_without_trailing_punctuation() {
+        let msgs = [
+            IrError::UnknownLoop(LoopId(1)).to_string(),
+            IrError::NoOpenLoop.to_string(),
+            IrError::ZeroUnrollFactor.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+    }
+}

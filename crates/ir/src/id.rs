@@ -1,0 +1,87 @@
+//! Newtype identifiers for IR entities.
+//!
+//! All IR objects are referred to by small integer ids; the newtypes keep
+//! loop indices, arrays, scalars, statements and DFG nodes statically
+//! distinct (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index backing this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a loop (and its index variable) within a [`crate::Program`].
+    LoopId,
+    "L"
+);
+define_id!(
+    /// Identifier of an array declared in a [`crate::Program`].
+    ArrayId,
+    "A"
+);
+define_id!(
+    /// Identifier of a scalar variable within a [`crate::Program`].
+    ScalarId,
+    "s"
+);
+define_id!(
+    /// Identifier of a statement within a [`crate::Program`].
+    StmtId,
+    "S"
+);
+define_id!(
+    /// Identifier of a node in a [`crate::Dfg`].
+    NodeId,
+    "n"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(LoopId(3).to_string(), "L3");
+        assert_eq!(ArrayId(0).to_string(), "A0");
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<LoopId> = [LoopId(2), LoopId(0), LoopId(1)].into_iter().collect();
+        assert_eq!(set.iter().next(), Some(&LoopId(0)));
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(StmtId::from(9).index(), 9);
+    }
+}

@@ -1,0 +1,308 @@
+//! A reference interpreter for [`Program`]s.
+//!
+//! Executes the loop nest sequentially over a word-level memory image —
+//! the semantic ground truth that transformed programs and mapped DFGs
+//! are validated against (a transformation or mapping is correct exactly
+//! when the final memory state matches the interpreter's).
+
+use crate::access::ArrayAccess;
+use crate::expr::{Expr, LValue};
+use crate::id::{ArrayId, LoopId, ScalarId};
+use crate::op::OpKind;
+use crate::program::{Node, Program};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Word-level memory image: one `i64` vector per array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    arrays: Vec<Vec<i64>>,
+    scalars: Vec<i64>,
+}
+
+impl Memory {
+    /// Zero-initialized memory for a program's declarations.
+    pub fn zeroed(program: &Program) -> Self {
+        Memory {
+            arrays: program.arrays().iter().map(|a| vec![0; a.len() as usize]).collect(),
+            scalars: vec![0; program.scalars().len()],
+        }
+    }
+
+    /// Memory with each array element set to a deterministic pseudo-random
+    /// value derived from `seed` (for differential testing).
+    pub fn patterned(program: &Program, seed: u64) -> Self {
+        let mut mem = Memory::zeroed(program);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 64) as i64 - 16
+        };
+        for a in &mut mem.arrays {
+            for v in a.iter_mut() {
+                *v = next();
+            }
+        }
+        for s in &mut mem.scalars {
+            *s = next();
+        }
+        mem
+    }
+
+    /// The contents of one array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn array(&self, id: ArrayId) -> &[i64] {
+        &self.arrays[id.index()]
+    }
+
+    /// The value of one scalar.
+    pub fn scalar(&self, id: ScalarId) -> i64 {
+        self.scalars[id.index()]
+    }
+
+    /// Reads a linearized element (out-of-bounds reads return 0,
+    /// modeling the padded iteration domains of ceil tiling).
+    pub fn load(&self, id: ArrayId, index: i64) -> i64 {
+        if index < 0 {
+            return 0;
+        }
+        self.arrays[id.index()].get(index as usize).copied().unwrap_or(0)
+    }
+
+    /// Writes a linearized element (out-of-bounds writes are dropped).
+    pub fn store(&mut self, id: ArrayId, index: i64, value: i64) {
+        if index < 0 {
+            return;
+        }
+        if let Some(slot) = self.arrays[id.index()].get_mut(index as usize) {
+            *slot = value;
+        }
+    }
+}
+
+impl fmt::Display for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Memory({} arrays, {} scalars)", self.arrays.len(), self.scalars.len())
+    }
+}
+
+/// Executes a program over a memory image, mutating it in place.
+/// Returns the number of statement instances executed.
+pub fn execute(program: &Program, mem: &mut Memory) -> u64 {
+    let mut env: BTreeMap<LoopId, i64> = BTreeMap::new();
+    exec_nodes(program, &program.roots, mem, &mut env)
+}
+
+/// Runs a program on a patterned memory and returns the final image —
+/// the one-call differential-testing helper.
+pub fn run_patterned(program: &Program, seed: u64) -> Memory {
+    let mut mem = Memory::patterned(program, seed);
+    execute(program, &mut mem);
+    mem
+}
+
+fn exec_nodes(
+    program: &Program,
+    nodes: &[Node],
+    mem: &mut Memory,
+    env: &mut BTreeMap<LoopId, i64>,
+) -> u64 {
+    let mut count = 0;
+    for n in nodes {
+        match n {
+            Node::Loop(l) => {
+                for i in 0..l.tripcount as i64 {
+                    env.insert(l.id, i);
+                    count += exec_nodes(program, &l.body, mem, env);
+                }
+                env.remove(&l.id);
+            }
+            Node::Stmt(s) => {
+                let value = eval(program, &s.value, mem, env);
+                match &s.target {
+                    LValue::Scalar(id) => mem.scalars[id.index()] = value,
+                    LValue::Array(acc) => {
+                        let idx = linearize(program, acc, env);
+                        mem.store(acc.array, idx, value);
+                    }
+                }
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+fn linearize(program: &Program, acc: &ArrayAccess, env: &BTreeMap<LoopId, i64>) -> i64 {
+    let decl = program.array(acc.array).expect("declared array");
+    if acc.indices.len() == 1 && decl.dims.len() != 1 {
+        // Flattened (linear-view) access.
+        return acc.indices[0].eval(env);
+    }
+    acc.linearize(&decl.dims, env)
+}
+
+fn eval(
+    program: &Program,
+    e: &Expr,
+    mem: &Memory,
+    env: &BTreeMap<LoopId, i64>,
+) -> i64 {
+    match e {
+        Expr::Const(c) => *c,
+        Expr::Index(l) => env.get(l).copied().unwrap_or(0),
+        Expr::Scalar(s) => mem.scalars[s.index()],
+        Expr::Load(acc) => mem.load(acc.array, linearize(program, acc, env)),
+        Expr::Unary(op, a) => apply_unary(*op, eval(program, a, mem, env)),
+        Expr::Binary(op, a, b) => {
+            apply_binary(*op, eval(program, a, mem, env), eval(program, b, mem, env))
+        }
+    }
+}
+
+/// Applies a unary operator with the CGRA's word semantics.
+pub fn apply_unary(op: OpKind, a: i64) -> i64 {
+    match op {
+        OpKind::Abs => a.wrapping_abs(),
+        OpKind::Route | OpKind::Const => a,
+        other => apply_binary(other, a, a),
+    }
+}
+
+/// Applies a binary operator with the CGRA's word semantics (wrapping
+/// arithmetic, shift counts masked to 6 bits, division by zero yields 0).
+pub fn apply_binary(op: OpKind, a: i64, b: i64) -> i64 {
+    match op {
+        OpKind::Add => a.wrapping_add(b),
+        OpKind::Sub => a.wrapping_sub(b),
+        OpKind::Mul => a.wrapping_mul(b),
+        OpKind::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        OpKind::Min => a.min(b),
+        OpKind::Max => a.max(b),
+        OpKind::Abs => a.wrapping_abs(),
+        OpKind::Shl => a.wrapping_shl((b & 63) as u32),
+        OpKind::Shr => a.wrapping_shr((b & 63) as u32),
+        OpKind::And => a & b,
+        OpKind::Or => a | b,
+        OpKind::Xor => a ^ b,
+        OpKind::Cmp => i64::from(a < b),
+        OpKind::Select => {
+            if a != 0 {
+                b
+            } else {
+                0
+            }
+        }
+        OpKind::Load | OpKind::Store | OpKind::Const | OpKind::Route => a,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    fn gemm(n: u64) -> Program {
+        let mut b = ProgramBuilder::new("gemm");
+        let a = b.array("A", &[n, n]);
+        let bb = b.array("B", &[n, n]);
+        let c = b.array("C", &[n, n]);
+        let i = b.open_loop("i", n);
+        let j = b.open_loop("j", n);
+        let k = b.open_loop("k", n);
+        let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+        let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
+        b.store(c, &[b.idx(i), b.idx(j)], sum);
+        b.close_loop();
+        b.close_loop();
+        b.close_loop();
+        b.finish()
+    }
+
+    #[test]
+    fn gemm_matches_reference() {
+        let n = 4usize;
+        let p = gemm(n as u64);
+        let mut mem = Memory::patterned(&p, 7);
+        let a: Vec<i64> = mem.array(crate::ArrayId(0)).to_vec();
+        let b: Vec<i64> = mem.array(crate::ArrayId(1)).to_vec();
+        let c0: Vec<i64> = mem.array(crate::ArrayId(2)).to_vec();
+        execute(&p, &mut mem);
+        for i in 0..n {
+            for j in 0..n {
+                let mut expect = c0[i * n + j];
+                for k in 0..n {
+                    expect += a[i * n + k] * b[k * n + j];
+                }
+                assert_eq!(mem.array(crate::ArrayId(2))[i * n + j], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn statement_count_matches_iteration_space() {
+        let p = gemm(5);
+        let mut mem = Memory::zeroed(&p);
+        assert_eq!(execute(&p, &mut mem), 125);
+    }
+
+    #[test]
+    fn scalar_reduction_sums() {
+        let mut b = ProgramBuilder::new("sum");
+        let a = b.array("A", &[10]);
+        let s = b.scalar("s");
+        let i = b.open_loop("i", 10);
+        let v = b.add(b.read_scalar(s), b.load(a, &[b.idx(i)]));
+        b.assign(s, v);
+        b.close_loop();
+        let p = b.finish();
+        let mut mem = Memory::zeroed(&p);
+        for (k, v) in mem.arrays[0].iter_mut().enumerate() {
+            *v = k as i64;
+        }
+        mem.scalars[0] = 0;
+        execute(&p, &mut mem);
+        assert_eq!(mem.scalar(ScalarId(0)), 45);
+    }
+
+    #[test]
+    fn out_of_bounds_reads_are_zero() {
+        let mut b = ProgramBuilder::new("oob");
+        let a = b.array("A", &[4]);
+        let out = b.array("B", &[4]);
+        let i = b.open_loop("i", 4);
+        // A[i + 2] walks past the end for i in {2, 3}.
+        let v = b.load(a, &[b.idx(i) + crate::AffineExpr::constant(2)]);
+        b.store(out, &[b.idx(i)], v);
+        b.close_loop();
+        let p = b.finish();
+        let mut mem = Memory::zeroed(&p);
+        mem.arrays[0] = vec![1, 2, 3, 4];
+        execute(&p, &mut mem);
+        assert_eq!(mem.array(ArrayId(1)), &[3, 4, 0, 0]);
+    }
+
+    #[test]
+    fn patterned_memory_is_deterministic() {
+        let p = gemm(4);
+        assert_eq!(Memory::patterned(&p, 3), Memory::patterned(&p, 3));
+        assert_ne!(Memory::patterned(&p, 3), Memory::patterned(&p, 4));
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        assert_eq!(apply_binary(OpKind::Div, 10, 0), 0);
+        assert_eq!(apply_binary(OpKind::Div, 10, 3), 3);
+    }
+}

@@ -1,0 +1,233 @@
+//! Operation kinds executed by CGRA processing elements.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The word-level operations a PE's ALU (or load/store unit) can perform.
+///
+/// The set mirrors the PE function classes of the paper's architecture
+/// space (Tab. 4): arithmetic, logic and memory operators, without complex
+/// control flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Integer/fixed-point addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (rarely supported; reduced architectures drop it).
+    Div,
+    /// Minimum of two operands.
+    Min,
+    /// Maximum of two operands.
+    Max,
+    /// Absolute value.
+    Abs,
+    /// Left shift.
+    Shl,
+    /// Arithmetic right shift.
+    Shr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Comparison producing a predicate word.
+    Cmp,
+    /// Predicated selection (`cond ? a : b`).
+    Select,
+    /// Load from the on-chip data buffer.
+    Load,
+    /// Store to the on-chip data buffer.
+    Store,
+    /// Materialization of an immediate constant.
+    Const,
+    /// Pure data movement (used for routing through a PE).
+    Route,
+}
+
+/// Coarse functional classes used to describe heterogeneous PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Add/sub/mul/div/min/max/abs.
+    Arithmetic,
+    /// Shifts, bitwise ops, comparisons, selects.
+    Logic,
+    /// Loads and stores to the data buffer.
+    Memory,
+    /// Constants and routing moves (supported by every PE).
+    Move,
+}
+
+impl OpKind {
+    /// All operation kinds, in a stable order (useful for feature vectors).
+    pub const ALL: [OpKind; 18] = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::Div,
+        OpKind::Min,
+        OpKind::Max,
+        OpKind::Abs,
+        OpKind::Shl,
+        OpKind::Shr,
+        OpKind::And,
+        OpKind::Or,
+        OpKind::Xor,
+        OpKind::Cmp,
+        OpKind::Select,
+        OpKind::Load,
+        OpKind::Store,
+        OpKind::Const,
+        OpKind::Route,
+    ];
+
+    /// The functional class this operation belongs to.
+    pub fn class(self) -> OpClass {
+        match self {
+            OpKind::Add
+            | OpKind::Sub
+            | OpKind::Mul
+            | OpKind::Div
+            | OpKind::Min
+            | OpKind::Max
+            | OpKind::Abs => OpClass::Arithmetic,
+            OpKind::Shl
+            | OpKind::Shr
+            | OpKind::And
+            | OpKind::Or
+            | OpKind::Xor
+            | OpKind::Cmp
+            | OpKind::Select => OpClass::Logic,
+            OpKind::Load | OpKind::Store => OpClass::Memory,
+            OpKind::Const | OpKind::Route => OpClass::Move,
+        }
+    }
+
+    /// Latency in cycles on a single-cycle-issue PE.
+    ///
+    /// CGRA PEs are typically fully pipelined with short latencies; the
+    /// values here follow common CGRA compiler assumptions (single-cycle
+    /// ALU ops, multi-cycle multiply/divide and memory).
+    pub fn latency(self) -> u32 {
+        match self {
+            OpKind::Mul => 2,
+            OpKind::Div => 4,
+            OpKind::Load => 2,
+            OpKind::Store => 1,
+            _ => 1,
+        }
+    }
+
+    /// Whether this operation commutes in its two operands.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            OpKind::Add
+                | OpKind::Mul
+                | OpKind::Min
+                | OpKind::Max
+                | OpKind::And
+                | OpKind::Or
+                | OpKind::Xor
+        )
+    }
+
+    /// Whether `self` is associative (used to recognize reductions whose
+    /// loop order may be changed legally).
+    pub fn is_associative(self) -> bool {
+        matches!(
+            self,
+            OpKind::Add | OpKind::Mul | OpKind::Min | OpKind::Max | OpKind::And | OpKind::Or | OpKind::Xor
+        )
+    }
+
+    /// Stable small integer code, used when encoding node features.
+    pub fn code(self) -> usize {
+        OpKind::ALL.iter().position(|&k| k == self).expect("op in ALL")
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Div => "div",
+            OpKind::Min => "min",
+            OpKind::Max => "max",
+            OpKind::Abs => "abs",
+            OpKind::Shl => "shl",
+            OpKind::Shr => "shr",
+            OpKind::And => "and",
+            OpKind::Or => "or",
+            OpKind::Xor => "xor",
+            OpKind::Cmp => "cmp",
+            OpKind::Select => "select",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::Const => "const",
+            OpKind::Route => "route",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::Arithmetic => "arithmetic",
+            OpClass::Logic => "logic",
+            OpClass::Memory => "memory",
+            OpClass::Move => "move",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_cover_all_ops() {
+        for op in OpKind::ALL {
+            // class() must not panic and Move ops must include const/route
+            let _ = op.class();
+        }
+        assert_eq!(OpKind::Const.class(), OpClass::Move);
+        assert_eq!(OpKind::Load.class(), OpClass::Memory);
+        assert_eq!(OpKind::Cmp.class(), OpClass::Logic);
+        assert_eq!(OpKind::Mul.class(), OpClass::Arithmetic);
+    }
+
+    #[test]
+    fn codes_are_unique_and_dense() {
+        let mut seen = vec![false; OpKind::ALL.len()];
+        for op in OpKind::ALL {
+            assert!(!seen[op.code()], "duplicate code for {op}");
+            seen[op.code()] = true;
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn latencies_are_positive() {
+        for op in OpKind::ALL {
+            assert!(op.latency() >= 1);
+        }
+    }
+
+    #[test]
+    fn commutative_ops_are_associative() {
+        for op in OpKind::ALL {
+            if op.is_commutative() {
+                assert!(op.is_associative(), "{op} commutative but not associative");
+            }
+        }
+        assert!(!OpKind::Sub.is_commutative());
+    }
+}

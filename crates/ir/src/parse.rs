@@ -1,0 +1,614 @@
+//! A C-like textual front-end for the `#pragma PTMAP` region.
+//!
+//! The paper's input is a C/C++ program with the mapped region wrapped in
+//! `#pragma PTMAP ... #pragma ENDMAP`. This module parses exactly that
+//! fragment — array declarations, rectangular `for` loops, and
+//! assignment statements over affine subscripts — into a [`Program`]:
+//!
+//! ```
+//! let src = r#"
+//!     int A[64][64]; int B[64][64]; int C[64][64];
+//!     #pragma PTMAP
+//!     for (i = 0; i < 64; i++) {
+//!         for (j = 0; j < 64; j++) {
+//!             for (k = 0; k < 64; k++) {
+//!                 C[i][j] = C[i][j] + A[i][k] * B[k][j];
+//!             }
+//!         }
+//!     }
+//!     #pragma ENDMAP
+//! "#;
+//! let program = ptmap_ir::parse::parse_program("gemm", src)?;
+//! assert_eq!(program.perfect_nests().len(), 1);
+//! # Ok::<(), ptmap_ir::parse::ParseError>(())
+//! ```
+//!
+//! Grammar (EBNF-ish):
+//!
+//! ```text
+//! program   := { decl } [ "#pragma PTMAP" ] { item } [ "#pragma ENDMAP" ]
+//! decl      := "int" ident { "[" number "]" } ";"
+//! item      := loop | stmt
+//! loop      := "for" "(" ident "=" "0" ";" ident "<" number ";" ident "++" ")"
+//!              "{" { item } "}"
+//! stmt      := lvalue "=" expr ";"
+//! lvalue    := ident { "[" affine "]" }        (no subscripts = scalar)
+//! expr      := term { ("+" | "-" | "&" | "|" | "^") term }
+//! term      := factor { ("*" | "/" | "<<" | ">>") factor }
+//! factor    := number | lvalue-use | "(" expr ")"
+//!            | ("min" | "max") "(" expr "," expr ")"
+//! affine    := affine-term { ("+" | "-") affine-term }
+//! affine-term := [number "*"] ident | number
+//! ```
+
+use crate::affine::AffineExpr;
+use crate::expr::Expr;
+use crate::id::{ArrayId, LoopId, ScalarId};
+use crate::op::OpKind;
+use crate::program::{Program, ProgramBuilder};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced by the textual front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Token position (index into the token stream).
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a C-like source fragment into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending token.
+pub fn parse_program(name: &str, src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let p = Parser {
+        tokens,
+        pos: 0,
+        builder: ProgramBuilder::new(name),
+        arrays: HashMap::new(),
+        scalars: HashMap::new(),
+        loops: Vec::new(),
+    };
+    p.program()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(i64),
+    Punct(&'static str),
+    Pragma(String),
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '#' => {
+                // #pragma <word>
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let line = &src[start..i];
+                let word = line
+                    .trim_start_matches('#')
+                    .trim()
+                    .strip_prefix("pragma")
+                    .map(str::trim)
+                    .unwrap_or("");
+                out.push(Tok::Pragma(word.to_string()));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = src[start..i].parse().map_err(|_| ParseError {
+                    message: format!("bad number {}", &src[start..i]),
+                    position: out.len(),
+                })?;
+                out.push(Tok::Number(n));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Tok::Ident(src[start..i].to_string()));
+            }
+            _ => {
+                let two = src.get(i..i + 2).unwrap_or("");
+                let tok = match two {
+                    "++" => Some("++"),
+                    "<<" => Some("<<"),
+                    ">>" => Some(">>"),
+                    _ => None,
+                };
+                if let Some(t) = tok {
+                    out.push(Tok::Punct(t));
+                    i += 2;
+                    continue;
+                }
+                let one = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    '{' => "{",
+                    '}' => "}",
+                    '[' => "[",
+                    ']' => "]",
+                    ';' => ";",
+                    ',' => ",",
+                    '=' => "=",
+                    '<' => "<",
+                    '+' => "+",
+                    '-' => "-",
+                    '*' => "*",
+                    '/' => "/",
+                    '&' => "&",
+                    '|' => "|",
+                    '^' => "^",
+                    other => {
+                        return Err(ParseError {
+                            message: format!("unexpected character {other:?}"),
+                            position: out.len(),
+                        })
+                    }
+                };
+                out.push(Tok::Punct(one));
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+    builder: ProgramBuilder,
+    arrays: HashMap<String, ArrayId>,
+    scalars: HashMap<String, ScalarId>,
+    loops: Vec<(String, LoopId)>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), position: self.pos }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(Tok::Punct(q)) if q == p => Ok(()),
+            other => Err(self.err(format!("expected {p:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<i64, ParseError> {
+        match self.bump() {
+            Some(Tok::Number(n)) => Ok(n),
+            other => Err(self.err(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn program(mut self) -> Result<Program, ParseError> {
+        // Declarations before the pragma.
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(s)) if s == "int" => self.decl()?,
+                Some(Tok::Pragma(w)) if w.eq_ignore_ascii_case("PTMAP") => {
+                    self.bump();
+                    break;
+                }
+                Some(Tok::Ident(s)) if s == "for" => break, // pragma optional
+                None => break,
+                other => return Err(self.err(format!("expected declaration, found {other:?}"))),
+            }
+        }
+        // Items until ENDMAP / EOF.
+        loop {
+            match self.peek() {
+                None => break,
+                Some(Tok::Pragma(w)) if w.eq_ignore_ascii_case("ENDMAP") => {
+                    self.bump();
+                    break;
+                }
+                _ => self.item()?,
+            }
+        }
+        self.builder.try_finish().map_err(|e| ParseError {
+            message: e.to_string(),
+            position: self.pos,
+        })
+    }
+
+    fn decl(&mut self) -> Result<(), ParseError> {
+        self.expect_ident()?; // int
+        let name = self.expect_ident()?;
+        let mut dims = Vec::new();
+        while self.peek() == Some(&Tok::Punct("[")) {
+            self.bump();
+            let n = self.expect_number()?;
+            if n <= 0 {
+                return Err(self.err("array dimension must be positive"));
+            }
+            dims.push(n as u64);
+            self.expect_punct("]")?;
+        }
+        self.expect_punct(";")?;
+        if dims.is_empty() {
+            let id = self.builder.scalar(name.clone());
+            self.scalars.insert(name, id);
+        } else {
+            let id = self.builder.array(name.clone(), &dims);
+            self.arrays.insert(name, id);
+        }
+        Ok(())
+    }
+
+    fn item(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == "for" => self.for_loop(),
+            Some(Tok::Ident(_)) => self.stmt(),
+            other => Err(self.err(format!("expected statement or loop, found {other:?}"))),
+        }
+    }
+
+    fn for_loop(&mut self) -> Result<(), ParseError> {
+        self.bump(); // for
+        self.expect_punct("(")?;
+        let var = self.expect_ident()?;
+        self.expect_punct("=")?;
+        let lo = self.expect_number()?;
+        if lo != 0 {
+            return Err(self.err("loops must be normalized to start at 0"));
+        }
+        self.expect_punct(";")?;
+        let var2 = self.expect_ident()?;
+        if var2 != var {
+            return Err(self.err("loop condition must test the loop variable"));
+        }
+        self.expect_punct("<")?;
+        let bound = self.expect_number()?;
+        if bound <= 0 {
+            return Err(self.err("loop bound must be positive"));
+        }
+        self.expect_punct(";")?;
+        let var3 = self.expect_ident()?;
+        if var3 != var {
+            return Err(self.err("loop increment must use the loop variable"));
+        }
+        self.expect_punct("++")?;
+        self.expect_punct(")")?;
+        self.expect_punct("{")?;
+        let id = self.builder.open_loop(var.clone(), bound as u64);
+        self.loops.push((var, id));
+        while self.peek() != Some(&Tok::Punct("}")) {
+            if self.peek().is_none() {
+                return Err(self.err("unterminated loop body"));
+            }
+            self.item()?;
+        }
+        self.bump(); // }
+        self.loops.pop();
+        self.builder.try_close_loop().map_err(|e| ParseError {
+            message: e.to_string(),
+            position: self.pos,
+        })
+    }
+
+    fn lookup_loop(&self, name: &str) -> Option<LoopId> {
+        self.loops.iter().rev().find(|(n, _)| n == name).map(|&(_, id)| id)
+    }
+
+    fn stmt(&mut self) -> Result<(), ParseError> {
+        let name = self.expect_ident()?;
+        if let Some(&array) = self.arrays.get(&name) {
+            let indices = self.subscripts()?;
+            self.expect_punct("=")?;
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            self.builder.store(array, &indices, value);
+            Ok(())
+        } else {
+            // Scalar assignment (declare on first use).
+            let id = *self
+                .scalars
+                .entry(name.clone())
+                .or_insert_with(|| self.builder.scalar(name));
+            self.expect_punct("=")?;
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            self.builder.assign(id, value);
+            Ok(())
+        }
+    }
+
+    fn subscripts(&mut self) -> Result<Vec<AffineExpr>, ParseError> {
+        let mut out = Vec::new();
+        while self.peek() == Some(&Tok::Punct("[")) {
+            self.bump();
+            out.push(self.affine()?);
+            self.expect_punct("]")?;
+        }
+        if out.is_empty() {
+            return Err(self.err("expected at least one subscript"));
+        }
+        Ok(out)
+    }
+
+    fn affine(&mut self) -> Result<AffineExpr, ParseError> {
+        let mut e = self.affine_term(1)?;
+        loop {
+            match self.peek() {
+                Some(Tok::Punct("+")) => {
+                    self.bump();
+                    e = e + self.affine_term(1)?;
+                }
+                Some(Tok::Punct("-")) => {
+                    self.bump();
+                    e = e + self.affine_term(-1)?;
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn affine_term(&mut self, sign: i64) -> Result<AffineExpr, ParseError> {
+        match self.bump() {
+            Some(Tok::Number(n)) => {
+                if self.peek() == Some(&Tok::Punct("*")) {
+                    self.bump();
+                    let v = self.expect_ident()?;
+                    let l = self
+                        .lookup_loop(&v)
+                        .ok_or_else(|| self.err(format!("unknown loop variable {v}")))?;
+                    Ok(AffineExpr::var(l) * (sign * n))
+                } else {
+                    Ok(AffineExpr::constant(sign * n))
+                }
+            }
+            Some(Tok::Ident(v)) => {
+                let l = self
+                    .lookup_loop(&v)
+                    .ok_or_else(|| self.err(format!("unknown loop variable {v}")))?;
+                let mut e = AffineExpr::var(l);
+                if self.peek() == Some(&Tok::Punct("*")) {
+                    self.bump();
+                    let n = self.expect_number()?;
+                    e = e * n;
+                }
+                Ok(e * sign)
+            }
+            other => Err(self.err(format!("expected affine term, found {other:?}"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct("+")) => OpKind::Add,
+                Some(Tok::Punct("-")) => OpKind::Sub,
+                Some(Tok::Punct("&")) => OpKind::And,
+                Some(Tok::Punct("|")) => OpKind::Or,
+                Some(Tok::Punct("^")) => OpKind::Xor,
+                _ => return Ok(e),
+            };
+            self.bump();
+            let rhs = self.term()?;
+            e = self.builder.binary(op, e, rhs);
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct("*")) => OpKind::Mul,
+                Some(Tok::Punct("/")) => OpKind::Div,
+                Some(Tok::Punct("<<")) => OpKind::Shl,
+                Some(Tok::Punct(">>")) => OpKind::Shr,
+                _ => return Ok(e),
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            e = self.builder.binary(op, e, rhs);
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Number(n)) => {
+                self.bump();
+                Ok(self.builder.constant(n))
+            }
+            Some(Tok::Punct("(")) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) if name == "min" || name == "max" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let a = self.expr()?;
+                self.expect_punct(",")?;
+                let b = self.expr()?;
+                self.expect_punct(")")?;
+                let op = if name == "min" { OpKind::Min } else { OpKind::Max };
+                Ok(self.builder.binary(op, a, b))
+            }
+            Some(Tok::Ident(name)) => {
+                self.bump();
+                if let Some(&array) = self.arrays.get(&name) {
+                    let indices = self.subscripts()?;
+                    Ok(self.builder.load(array, &indices))
+                } else if let Some(&s) = self.scalars.get(&name) {
+                    Ok(self.builder.read_scalar(s))
+                } else if self.lookup_loop(&name).is_some() {
+                    let l = self.lookup_loop(&name).expect("checked");
+                    Ok(Expr::Index(l))
+                } else {
+                    // Unseen scalar read: a live-in parameter.
+                    let id = self.builder.scalar(name.clone());
+                    self.scalars.insert(name, id);
+                    Ok(self.builder.read_scalar(id))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_gemm() {
+        let src = r#"
+            int A[8][8]; int B[8][8]; int C[8][8];
+            #pragma PTMAP
+            for (i = 0; i < 8; i++) {
+                for (j = 0; j < 8; j++) {
+                    for (k = 0; k < 8; k++) {
+                        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+                    }
+                }
+            }
+            #pragma ENDMAP
+        "#;
+        let p = parse_program("gemm", src).unwrap();
+        let nests = p.perfect_nests();
+        assert_eq!(nests.len(), 1);
+        assert_eq!(nests[0].tripcounts, vec![8, 8, 8]);
+        assert!(nests[0].stmts[0].is_reduction());
+    }
+
+    #[test]
+    fn parses_stencil_offsets_and_strides() {
+        let src = r#"
+            int A[64]; int B[64];
+            for (i = 0; i < 31; i++) {
+                B[2*i] = A[i + 1] - A[i];
+            }
+        "#;
+        let p = parse_program("stencil", src).unwrap();
+        let nest = p.perfect_nests().remove(0);
+        let stmt = &nest.stmts[0];
+        let (reads, write) = stmt.accesses();
+        assert_eq!(write.unwrap().indices[0].coeff(nest.loops[0]), 2);
+        assert_eq!(reads[0].indices[0].constant_term(), 1);
+    }
+
+    #[test]
+    fn parses_scalar_reduction() {
+        let src = r#"
+            int A[128];
+            for (i = 0; i < 128; i++) {
+                s = s + A[i];
+            }
+        "#;
+        let p = parse_program("red", src).unwrap();
+        assert!(p.perfect_nests()[0].stmts[0].is_reduction());
+    }
+
+    #[test]
+    fn parses_min_max_and_shifts() {
+        let src = r#"
+            int A[16]; int B[16];
+            for (i = 0; i < 16; i++) {
+                B[i] = max(A[i], 3) << 1;
+            }
+        "#;
+        let p = parse_program("mm", src).unwrap();
+        let dfg = crate::dfg::build_dfg(&p, &p.perfect_nests()[0], &[]).unwrap();
+        assert!(dfg.nodes().iter().any(|n| n.op == OpKind::Max));
+        assert!(dfg.nodes().iter().any(|n| n.op == OpKind::Shl));
+    }
+
+    #[test]
+    fn rejects_unnormalized_loop() {
+        let src = "int A[8]; for (i = 1; i < 8; i++) { A[i] = 0; }";
+        assert!(parse_program("bad", src).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_loop_variable_in_subscript() {
+        let src = "int A[8]; for (i = 0; i < 8; i++) { A[q] = 0; }";
+        let err = parse_program("bad", src).unwrap_err();
+        assert!(err.message.contains("unknown loop variable"));
+    }
+
+    #[test]
+    fn rejects_unterminated_body() {
+        let src = "int A[8]; for (i = 0; i < 8; i++) { A[i] = 0;";
+        assert!(parse_program("bad", src).is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = r#"
+            int A[8]; // input
+            for (i = 0; i < 8; i++) { // hot loop
+                A[i] = A[i] + 1;
+            }
+        "#;
+        assert!(parse_program("c", src).is_ok());
+    }
+
+    #[test]
+    fn pragma_is_optional_but_respected() {
+        let with = parse_program(
+            "p",
+            "int A[4];\n#pragma PTMAP\nfor (i = 0; i < 4; i++) { A[i] = 1; }\n#pragma ENDMAP",
+        )
+        .unwrap();
+        let without =
+            parse_program("p", "int A[4];\nfor (i = 0; i < 4; i++) { A[i] = 1; }").unwrap();
+        assert_eq!(with.perfect_nests(), without.perfect_nests());
+    }
+}

@@ -1,0 +1,582 @@
+//! The loop-nest program representation and its builder.
+
+use crate::access::{ArrayAccess, ArrayDecl};
+use crate::affine::AffineExpr;
+use crate::error::IrError;
+use crate::expr::{Expr, LValue, Stmt};
+use crate::id::{ArrayId, LoopId, ScalarId, StmtId};
+use crate::nest::PerfectNest;
+use crate::op::OpKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node of the loop-nest tree: either a loop or a statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// A counted loop.
+    Loop(Loop),
+    /// An assignment statement.
+    Stmt(Stmt),
+}
+
+impl Node {
+    /// The loop inside this node, if any.
+    pub fn as_loop(&self) -> Option<&Loop> {
+        match self {
+            Node::Loop(l) => Some(l),
+            Node::Stmt(_) => None,
+        }
+    }
+
+    /// The statement inside this node, if any.
+    pub fn as_stmt(&self) -> Option<&Stmt> {
+        match self {
+            Node::Stmt(s) => Some(s),
+            Node::Loop(_) => None,
+        }
+    }
+}
+
+/// A rectangular counted loop `for (i = 0; i < tripcount; i++)`.
+///
+/// Bounds are normalized: lower bound 0, step 1, constant tripcount. The
+/// PolyBench-style kernels of the paper's evaluation all fit this form
+/// after standard normalization; triangular bounds (trisolv, covariance)
+/// are modeled with their average tripcount, which preserves the cycle and
+/// volume totals that PT-Map's models consume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Loop {
+    /// Identity of the loop (also names its index variable).
+    pub id: LoopId,
+    /// Source-level index name (diagnostics only).
+    pub name: String,
+    /// Number of iterations.
+    pub tripcount: u64,
+    /// Loop body, in program order.
+    pub body: Vec<Node>,
+}
+
+impl Loop {
+    /// Statements directly in the body (not inside nested loops).
+    pub fn direct_stmts(&self) -> impl Iterator<Item = &Stmt> {
+        self.body.iter().filter_map(Node::as_stmt)
+    }
+
+    /// Loops directly in the body.
+    pub fn direct_loops(&self) -> impl Iterator<Item = &Loop> {
+        self.body.iter().filter_map(Node::as_loop)
+    }
+
+    /// Whether the subtree rooted here is a perfectly nested loop: a chain
+    /// of single-child loops whose innermost body contains only statements.
+    pub fn is_perfect_nest(&self) -> bool {
+        let loops: Vec<&Loop> = self.direct_loops().collect();
+        let stmts = self.direct_stmts().count();
+        match (loops.len(), stmts) {
+            (0, _) => true,
+            (1, 0) => loops[0].is_perfect_nest(),
+            _ => false,
+        }
+    }
+
+    /// All statements in the subtree, in program order.
+    pub fn all_stmts(&self) -> Vec<&Stmt> {
+        let mut out = Vec::new();
+        self.collect_stmts(&mut out);
+        out
+    }
+
+    fn collect_stmts<'a>(&'a self, out: &mut Vec<&'a Stmt>) {
+        for n in &self.body {
+            match n {
+                Node::Stmt(s) => out.push(s),
+                Node::Loop(l) => l.collect_stmts(out),
+            }
+        }
+    }
+}
+
+/// A whole program: array/scalar declarations plus a forest of loop nests.
+///
+/// Programs are produced by [`ProgramBuilder`] and transformed (cloned and
+/// rewritten) by the `ptmap-transform` crate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Human-readable program name.
+    pub name: String,
+    arrays: Vec<ArrayDecl>,
+    scalars: Vec<String>,
+    /// Top-level loops and statements, in program order.
+    pub roots: Vec<Node>,
+    next_loop: u32,
+    next_stmt: u32,
+}
+
+impl Program {
+    /// The declared arrays.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Looks up an array declaration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownArray`] when the id is out of range.
+    pub fn array(&self, id: ArrayId) -> Result<&ArrayDecl, IrError> {
+        self.arrays.get(id.index()).ok_or(IrError::UnknownArray(id))
+    }
+
+    /// The declared scalar names.
+    pub fn scalars(&self) -> &[String] {
+        &self.scalars
+    }
+
+    /// Mints a fresh loop id (used by tiling/flattening which create loops).
+    pub fn fresh_loop_id(&mut self, name: impl Into<String>) -> (LoopId, String) {
+        let id = LoopId(self.next_loop);
+        self.next_loop += 1;
+        (id, name.into())
+    }
+
+    /// Mints a fresh statement id.
+    pub fn fresh_stmt_id(&mut self) -> StmtId {
+        let id = StmtId(self.next_stmt);
+        self.next_stmt += 1;
+        id
+    }
+
+    /// Finds a loop anywhere in the forest.
+    pub fn find_loop(&self, id: LoopId) -> Option<&Loop> {
+        fn rec(nodes: &[Node], id: LoopId) -> Option<&Loop> {
+            for n in nodes {
+                if let Node::Loop(l) = n {
+                    if l.id == id {
+                        return Some(l);
+                    }
+                    if let Some(found) = rec(&l.body, id) {
+                        return Some(found);
+                    }
+                }
+            }
+            None
+        }
+        rec(&self.roots, id)
+    }
+
+    /// The loops enclosing `id` (outermost first), excluding `id` itself.
+    pub fn enclosing_loops(&self, id: LoopId) -> Vec<LoopId> {
+        fn rec(nodes: &[Node], id: LoopId, chain: &mut Vec<LoopId>) -> bool {
+            for n in nodes {
+                if let Node::Loop(l) = n {
+                    if l.id == id {
+                        return true;
+                    }
+                    chain.push(l.id);
+                    if rec(&l.body, id, chain) {
+                        return true;
+                    }
+                    chain.pop();
+                }
+            }
+            false
+        }
+        let mut chain = Vec::new();
+        if rec(&self.roots, id, &mut chain) {
+            chain
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Finds a loop anywhere in the forest, mutably.
+    pub fn find_loop_mut(&mut self, id: LoopId) -> Option<&mut Loop> {
+        fn rec(nodes: &mut [Node], id: LoopId) -> Option<&mut Loop> {
+            for n in nodes {
+                if let Node::Loop(l) = n {
+                    if l.id == id {
+                        return Some(l);
+                    }
+                    if let Some(found) = rec(&mut l.body, id) {
+                        return Some(found);
+                    }
+                }
+            }
+            None
+        }
+        rec(&mut self.roots, id)
+    }
+
+    /// Tripcount of a loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownLoop`] if the loop does not exist.
+    pub fn tripcount(&self, id: LoopId) -> Result<u64, IrError> {
+        self.find_loop(id).map(|l| l.tripcount).ok_or(IrError::UnknownLoop(id))
+    }
+
+    /// All statements in the program, in program order.
+    pub fn all_stmts(&self) -> Vec<&Stmt> {
+        fn rec<'a>(nodes: &'a [Node], out: &mut Vec<&'a Stmt>) {
+            for n in nodes {
+                match n {
+                    Node::Stmt(s) => out.push(s),
+                    Node::Loop(l) => rec(&l.body, out),
+                }
+            }
+        }
+        let mut out = Vec::new();
+        rec(&self.roots, &mut out);
+        out
+    }
+
+    /// The maximal perfectly nested loops (PNLs) of the program, in
+    /// program order.
+    ///
+    /// A PNL starts at the outermost loop from which the nest is a chain
+    /// of single-child loops ending in straight-line statements — exactly
+    /// the sub-LITs the paper's exploration descends into.
+    pub fn perfect_nests(&self) -> Vec<PerfectNest> {
+        fn visit(nodes: &[Node], outer: &[(LoopId, u64)], out: &mut Vec<PerfectNest>) {
+            for n in nodes {
+                if let Node::Loop(l) = n {
+                    if l.is_perfect_nest() {
+                        out.push(PerfectNest::from_loop(l, outer));
+                    } else {
+                        let mut chain = outer.to_vec();
+                        chain.push((l.id, l.tripcount));
+                        visit(&l.body, &chain, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        visit(&self.roots, &[], &mut out);
+        out
+    }
+
+    /// Renders the program as pseudo-C for diagnostics and examples.
+    pub fn to_pseudo_c(&self) -> String {
+        fn render(nodes: &[Node], depth: usize, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            for n in nodes {
+                match n {
+                    Node::Loop(l) => {
+                        out.push_str(&format!(
+                            "{pad}for ({name} = 0; {name} < {tc}; {name}++) {{\n",
+                            name = l.name,
+                            tc = l.tripcount
+                        ));
+                        render(&l.body, depth + 1, out);
+                        out.push_str(&format!("{pad}}}\n"));
+                    }
+                    Node::Stmt(s) => {
+                        out.push_str(&format!("{pad}{s};\n"));
+                    }
+                }
+            }
+        }
+        let mut out = format!("// {}\n", self.name);
+        render(&self.roots, 0, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "program {} ({} stmts)", self.name, self.all_stmts().len())
+    }
+}
+
+/// Stack-based builder for [`Program`]s.
+///
+/// # Example
+///
+/// ```
+/// use ptmap_ir::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new("scale");
+/// let x = b.array("X", &[128]);
+/// let i = b.open_loop("i", 128);
+/// let v = b.mul(b.load(x, &[b.idx(i)]), b.constant(3));
+/// b.store(x, &[b.idx(i)], v);
+/// b.close_loop();
+/// let p = b.finish();
+/// assert_eq!(p.perfect_nests().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    program: Program,
+    stack: Vec<Loop>,
+}
+
+impl ProgramBuilder {
+    /// Starts building a program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            program: Program {
+                name: name.into(),
+                arrays: Vec::new(),
+                scalars: Vec::new(),
+                roots: Vec::new(),
+                next_loop: 0,
+                next_stmt: 0,
+            },
+            stack: Vec::new(),
+        }
+    }
+
+    /// Declares an array with 4-byte elements.
+    pub fn array(&mut self, name: impl Into<String>, dims: &[u64]) -> ArrayId {
+        self.array_with_elem_bytes(name, dims, 4)
+    }
+
+    /// Declares an array with an explicit element size.
+    pub fn array_with_elem_bytes(
+        &mut self,
+        name: impl Into<String>,
+        dims: &[u64],
+        elem_bytes: u64,
+    ) -> ArrayId {
+        let id = ArrayId(self.program.arrays.len() as u32);
+        self.program.arrays.push(ArrayDecl {
+            id,
+            name: name.into(),
+            dims: dims.to_vec(),
+            elem_bytes,
+        });
+        id
+    }
+
+    /// Declares a scalar variable.
+    pub fn scalar(&mut self, name: impl Into<String>) -> ScalarId {
+        let id = ScalarId(self.program.scalars.len() as u32);
+        self.program.scalars.push(name.into());
+        id
+    }
+
+    /// Opens a loop; subsequent statements/loops go into its body until
+    /// [`close_loop`](Self::close_loop).
+    pub fn open_loop(&mut self, name: impl Into<String>, tripcount: u64) -> LoopId {
+        let (id, name) = self.program.fresh_loop_id(name);
+        self.stack.push(Loop { id, name, tripcount, body: Vec::new() });
+        id
+    }
+
+    /// Closes the innermost open loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no loop is open; use [`try_close_loop`](Self::try_close_loop)
+    /// for a fallible variant.
+    pub fn close_loop(&mut self) {
+        self.try_close_loop().expect("close_loop with no open loop");
+    }
+
+    /// Closes the innermost open loop, reporting an error if none is open.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::NoOpenLoop`] when the loop stack is empty.
+    pub fn try_close_loop(&mut self) -> Result<(), IrError> {
+        let l = self.stack.pop().ok_or(IrError::NoOpenLoop)?;
+        match self.stack.last_mut() {
+            Some(parent) => parent.body.push(Node::Loop(l)),
+            None => self.program.roots.push(Node::Loop(l)),
+        }
+        Ok(())
+    }
+
+    /// The affine expression for a loop's index variable.
+    pub fn idx(&self, l: LoopId) -> AffineExpr {
+        AffineExpr::var(l)
+    }
+
+    /// A constant expression.
+    pub fn constant(&self, c: i64) -> Expr {
+        Expr::Const(c)
+    }
+
+    /// A load expression.
+    pub fn load(&self, array: ArrayId, indices: &[AffineExpr]) -> Expr {
+        Expr::Load(ArrayAccess::new(array, indices.to_vec()))
+    }
+
+    /// A scalar-read expression.
+    pub fn read_scalar(&self, s: ScalarId) -> Expr {
+        Expr::Scalar(s)
+    }
+
+    /// A binary operation expression.
+    pub fn binary(&self, op: OpKind, a: Expr, b: Expr) -> Expr {
+        Expr::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    /// Addition.
+    pub fn add(&self, a: Expr, b: Expr) -> Expr {
+        self.binary(OpKind::Add, a, b)
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, a: Expr, b: Expr) -> Expr {
+        self.binary(OpKind::Sub, a, b)
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, a: Expr, b: Expr) -> Expr {
+        self.binary(OpKind::Mul, a, b)
+    }
+
+    /// Maximum.
+    pub fn max(&self, a: Expr, b: Expr) -> Expr {
+        self.binary(OpKind::Max, a, b)
+    }
+
+    /// A unary operation expression.
+    pub fn unary(&self, op: OpKind, a: Expr) -> Expr {
+        Expr::Unary(op, Box::new(a))
+    }
+
+    /// Appends an array-store statement at the current position.
+    pub fn store(&mut self, array: ArrayId, indices: &[AffineExpr], value: Expr) -> StmtId {
+        let target = LValue::Array(ArrayAccess::new(array, indices.to_vec()));
+        self.push_stmt(target, value)
+    }
+
+    /// Appends a scalar-assignment statement at the current position.
+    pub fn assign(&mut self, s: ScalarId, value: Expr) -> StmtId {
+        self.push_stmt(LValue::Scalar(s), value)
+    }
+
+    fn push_stmt(&mut self, target: LValue, value: Expr) -> StmtId {
+        let id = self.program.fresh_stmt_id();
+        let stmt = Stmt { id, target, value };
+        match self.stack.last_mut() {
+            Some(l) => l.body.push(Node::Stmt(stmt)),
+            None => self.program.roots.push(Node::Stmt(stmt)),
+        }
+        id
+    }
+
+    /// Finishes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if loops remain open; use [`try_finish`](Self::try_finish)
+    /// for a fallible variant.
+    pub fn finish(self) -> Program {
+        self.try_finish().expect("finish with open loops")
+    }
+
+    /// Finishes the program, reporting an error if loops remain open.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnclosedLoops`] when loops are still open.
+    pub fn try_finish(self) -> Result<Program, IrError> {
+        if !self.stack.is_empty() {
+            return Err(IrError::UnclosedLoops(self.stack.len()));
+        }
+        Ok(self.program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm(n: u64) -> Program {
+        let mut b = ProgramBuilder::new("gemm");
+        let a = b.array("A", &[n, n]);
+        let bb = b.array("B", &[n, n]);
+        let c = b.array("C", &[n, n]);
+        let i = b.open_loop("i", n);
+        let j = b.open_loop("j", n);
+        let k = b.open_loop("k", n);
+        let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+        let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
+        b.store(c, &[b.idx(i), b.idx(j)], sum);
+        b.close_loop();
+        b.close_loop();
+        b.close_loop();
+        b.finish()
+    }
+
+    #[test]
+    fn gemm_is_single_perfect_nest() {
+        let p = gemm(24);
+        let nests = p.perfect_nests();
+        assert_eq!(nests.len(), 1);
+        assert_eq!(nests[0].loops.len(), 3);
+        assert_eq!(nests[0].stmts.len(), 1);
+        assert_eq!(nests[0].tripcounts, vec![24, 24, 24]);
+    }
+
+    #[test]
+    fn imperfect_nest_splits_into_pnls() {
+        // for i { S1; for j { S2 } }  ->  PNL is the j loop only
+        let mut b = ProgramBuilder::new("imperfect");
+        let x = b.array("X", &[16]);
+        let y = b.array("Y", &[16, 16]);
+        let i = b.open_loop("i", 16);
+        b.store(x, &[b.idx(i)], b.constant(0));
+        let j = b.open_loop("j", 16);
+        let v = b.add(b.load(y, &[b.idx(i), b.idx(j)]), b.constant(1));
+        b.store(y, &[b.idx(i), b.idx(j)], v);
+        b.close_loop();
+        b.close_loop();
+        let p = b.finish();
+
+        assert!(!p.find_loop(i).unwrap().is_perfect_nest());
+        let nests = p.perfect_nests();
+        assert_eq!(nests.len(), 1);
+        assert_eq!(nests[0].loops, vec![j]);
+        assert_eq!(nests[0].outer, vec![(i, 16)]);
+    }
+
+    #[test]
+    fn two_sibling_nests() {
+        let mut b = ProgramBuilder::new("siblings");
+        let x = b.array("X", &[8]);
+        let i = b.open_loop("i", 8);
+        b.store(x, &[b.idx(i)], b.constant(1));
+        b.close_loop();
+        let j = b.open_loop("j", 8);
+        b.store(x, &[b.idx(j)], b.constant(2));
+        b.close_loop();
+        let p = b.finish();
+        assert_eq!(p.perfect_nests().len(), 2);
+    }
+
+    #[test]
+    fn find_loop_and_tripcount() {
+        let p = gemm(8);
+        let nests = p.perfect_nests();
+        let inner = *nests[0].loops.last().unwrap();
+        assert_eq!(p.tripcount(inner).unwrap(), 8);
+        assert!(p.tripcount(LoopId(99)).is_err());
+    }
+
+    #[test]
+    fn builder_errors() {
+        let mut b = ProgramBuilder::new("bad");
+        assert_eq!(b.try_close_loop(), Err(IrError::NoOpenLoop));
+        b.open_loop("i", 4);
+        assert!(matches!(b.try_finish(), Err(IrError::UnclosedLoops(1))));
+    }
+
+    #[test]
+    fn pseudo_c_renders() {
+        let p = gemm(4);
+        let s = p.to_pseudo_c();
+        assert!(s.contains("for (i = 0; i < 4; i++)"));
+        assert!(s.contains("for (k = 0; k < 4; k++)"));
+    }
+
+    #[test]
+    fn program_display() {
+        let p = gemm(4);
+        assert_eq!(p.to_string(), "program gemm (1 stmts)");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the IR crate's core invariants.
+
+use proptest::prelude::*;
+use ptmap_ir::dfg::build_dfg;
+use ptmap_ir::{AffineExpr, DependenceSet, Distance, LoopId, OpKind, ProgramBuilder};
+
+fn arb_affine() -> impl Strategy<Value = AffineExpr> {
+    (
+        proptest::collection::vec((-4i64..=4, 0u32..4), 0..3),
+        -16i64..16,
+    )
+        .prop_map(|(terms, c)| {
+            let mut e = AffineExpr::constant(c);
+            for (coeff, l) in terms {
+                e = e + AffineExpr::var(LoopId(l)) * coeff;
+            }
+            e
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Addition is commutative and associative.
+    #[test]
+    fn affine_add_commutes(a in arb_affine(), b in arb_affine(), c in arb_affine()) {
+        prop_assert_eq!(a.clone() + b.clone(), b.clone() + a.clone());
+        prop_assert_eq!((a.clone() + b.clone()) + c.clone(), a + (b + c));
+    }
+
+    /// Negation is an involution; `e - e == 0`.
+    #[test]
+    fn affine_negation(a in arb_affine()) {
+        prop_assert_eq!(-(-a.clone()), a.clone());
+        prop_assert_eq!(a.clone() - a, AffineExpr::zero());
+    }
+
+    /// Scalar multiplication distributes over addition.
+    #[test]
+    fn affine_scale_distributes(a in arb_affine(), b in arb_affine(), k in -8i64..8) {
+        prop_assert_eq!((a.clone() + b.clone()) * k, a * k + b * k);
+    }
+
+    /// Substituting a variable not present is the identity.
+    #[test]
+    fn substitute_absent_identity(a in arb_affine()) {
+        let fresh = LoopId(99);
+        let repl = AffineExpr::var(LoopId(98)) + AffineExpr::constant(5);
+        prop_assert_eq!(a.substitute(fresh, &repl), a);
+    }
+
+    /// Elementwise kernels with shifted reads: the dependence distance
+    /// extracted equals the shift.
+    #[test]
+    fn dependence_distance_matches_shift(shift in 1i64..6, n in 16u64..64) {
+        let mut b = ProgramBuilder::new("shift");
+        let a = b.array("A", &[n + shift as u64]);
+        let i = b.open_loop("i", n);
+        let v = b.add(b.load(a, &[b.idx(i) - AffineExpr::constant(shift)]), b.constant(1));
+        b.store(a, &[b.idx(i)], v);
+        b.close_loop();
+        let p = b.finish();
+        let deps = DependenceSet::analyze(&p);
+        let flow = deps
+            .iter()
+            .find(|d| d.kind == ptmap_ir::DepKind::Flow && d.array.is_some())
+            .expect("flow dependence exists");
+        prop_assert_eq!(flow.distance[0], Distance::Exact(shift));
+    }
+
+    /// The DFG of any elementwise chain has as many stores as statements
+    /// and a valid structure; its critical path is at least the longest
+    /// operator latency.
+    #[test]
+    fn elementwise_dfg_structure(n_stmts in 1usize..5, depth in 0usize..3) {
+        let mut b = ProgramBuilder::new("chain");
+        let x = b.array("X", &[128]);
+        let y = b.array("Y", &[128]);
+        let i = b.open_loop("i", 128);
+        for _ in 0..n_stmts {
+            let mut e = b.load(x, &[b.idx(i)]);
+            for _ in 0..depth {
+                e = b.mul(e, b.constant(3));
+            }
+            b.store(y, &[b.idx(i)], e);
+        }
+        b.close_loop();
+        let p = b.finish();
+        let nest = p.perfect_nests().remove(0);
+        let dfg = build_dfg(&p, &nest, &[]).unwrap();
+        prop_assert!(dfg.validate().is_ok());
+        let stores = dfg.nodes().iter().filter(|nd| nd.op == OpKind::Store).count();
+        prop_assert_eq!(stores, n_stmts);
+        prop_assert!(dfg.critical_path() >= OpKind::Load.latency());
+    }
+
+    /// Unrolling never decreases per-op-kind counts, and CSE keeps the
+    /// unrolled count at or below factor x base.
+    #[test]
+    fn unroll_counts_bounded(factor in 2u32..8) {
+        let mut b = ProgramBuilder::new("u");
+        let x = b.array("X", &[512]);
+        let y = b.array("Y", &[512]);
+        let i = b.open_loop("i", 512);
+        let v = b.mul(b.load(x, &[b.idx(i)]), b.load(y, &[b.idx(i)]));
+        b.store(y, &[b.idx(i)], v);
+        b.close_loop();
+        let p = b.finish();
+        let nest = p.perfect_nests().remove(0);
+        let base = build_dfg(&p, &nest, &[]).unwrap();
+        let unrolled = build_dfg(&p, &nest, &[(nest.loops[0], factor)]).unwrap();
+        for (op, count) in base.op_counts() {
+            let uc = unrolled.op_counts().get(&op).copied().unwrap_or(0);
+            prop_assert!(uc >= count, "{op}: {uc} < {count}");
+            prop_assert!(uc <= count * factor as usize);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+use ptmap_ir::{ProgramBuilder, dfg::build_dfg};
+use ptmap_arch::presets;
+use ptmap_mapper::{map_dfg, MapperConfig};
+use std::time::Instant;
+
+fn main() {
+    let mut b = ProgramBuilder::new("gemm");
+    let a = b.array("A", &[24, 24]);
+    let bb = b.array("B", &[24, 24]);
+    let c = b.array("C", &[24, 24]);
+    let i = b.open_loop("i", 24);
+    let j = b.open_loop("j", 24);
+    let k = b.open_loop("k", 24);
+    let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+    let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
+    b.store(c, &[b.idx(i), b.idx(j)], sum);
+    b.close_loop(); b.close_loop(); b.close_loop();
+    let p = b.finish();
+    let nest = p.perfect_nests().remove(0);
+    for f in [1u32, 2, 4, 8] {
+        let dfg = build_dfg(&p, &nest, &[(nest.loops[0], f), (nest.loops[1], f.min(4))]).unwrap();
+        let t0 = Instant::now();
+        let r = map_dfg(&dfg, &presets::sl8(), &MapperConfig::default());
+        match r {
+            Ok(m) => println!("unroll {}x{}: nodes={} ii={} mii={} util={:.3} t={:?}", f, f.min(4), dfg.len(), m.ii, m.mii, m.utilization(), t0.elapsed()),
+            Err(e) => println!("unroll {}x{}: nodes={} FAILED {e} t={:?}", f, f.min(4), dfg.len(), t0.elapsed()),
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Mapper error type.
+
+use ptmap_ir::OpKind;
+use std::fmt;
+
+/// Errors produced by the modulo-scheduling mapper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MapError {
+    /// The DFG has no nodes.
+    EmptyDfg,
+    /// Some operation is supported by no PE of the target architecture.
+    UnsupportedOp(OpKind),
+    /// No initiation interval up to the configured maximum admitted a
+    /// complete placement and routing.
+    Infeasible {
+        /// The smallest II that was attempted (the MII).
+        mii: u32,
+        /// The largest II that was attempted.
+        max_ii: u32,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::EmptyDfg => write!(f, "cannot map an empty dataflow graph"),
+            MapError::UnsupportedOp(op) => {
+                write!(f, "operation {op} is supported by no PE of the target architecture")
+            }
+            MapError::Infeasible { mii, max_ii } => {
+                write!(f, "no feasible mapping for any II in {mii}..={max_ii}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MapError::Infeasible { mii: 3, max_ii: 20 };
+        assert!(e.to_string().contains("3..=20"));
+        assert!(MapError::UnsupportedOp(OpKind::Div).to_string().contains("div"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<MapError>();
+    }
+}

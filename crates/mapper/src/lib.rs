@@ -1,0 +1,66 @@
+//! A RAMP-like modulo-scheduling mapper for CGRAs.
+//!
+//! Given a [`ptmap_ir::Dfg`] (one iteration of a pipelined loop) and a
+//! [`ptmap_arch::CgraArch`], the mapper searches for the smallest
+//! initiation interval at which every operation can be *placed* on a PE
+//! time slot and every data edge *routed* through the time-extended
+//! [`ptmap_arch::Mrrg`] — the resource-aware formulation of RAMP, the
+//! loop-scheduling back-end the paper uses for every compared method.
+//!
+//! The search is iterative modulo scheduling: starting from the minimum
+//! II (`max(ResMII, RecMII)`, see [`mod@mii`]), each candidate II gets a
+//! bounded number of randomized placement attempts before escalating.
+//! The [`MapperConfig::effort`] knob controls those budgets; the
+//! baselines crate uses a higher effort to model the stronger GNN/RL
+//! schedulers (LISA, MapZero) the paper compares against.
+//!
+//! # Example
+//!
+//! ```
+//! use ptmap_ir::{ProgramBuilder, dfg::build_dfg};
+//! use ptmap_arch::presets;
+//! use ptmap_mapper::{map_dfg, MapperConfig};
+//!
+//! let mut b = ProgramBuilder::new("vadd");
+//! let x = b.array("X", &[256]);
+//! let y = b.array("Y", &[256]);
+//! let i = b.open_loop("i", 256);
+//! let v = b.add(b.load(x, &[b.idx(i)]), b.load(y, &[b.idx(i)]));
+//! b.store(y, &[b.idx(i)], v);
+//! b.close_loop();
+//! let p = b.finish();
+//! let nest = p.perfect_nests().remove(0);
+//! let dfg = build_dfg(&p, &nest, &[]).unwrap();
+//!
+//! let mapping = map_dfg(&dfg, &presets::s4(), &MapperConfig::default())?;
+//! assert!(mapping.ii >= 1);
+//! # Ok::<(), ptmap_mapper::MapError>(())
+//! ```
+
+pub mod config;
+pub mod context;
+pub mod error;
+pub mod mapping;
+pub mod mii;
+pub mod scheduler;
+
+pub use config::MapperConfig;
+pub use context::{generate_contexts, ContextImage, ContextWord};
+pub use error::MapError;
+pub use mapping::{Mapping, OperandSource, Placement, RouteRecord};
+pub use mii::{mii, rec_mii, res_mii};
+
+use ptmap_arch::CgraArch;
+use ptmap_ir::Dfg;
+
+/// Maps a DFG onto an architecture, returning the mapping artifact.
+///
+/// # Errors
+///
+/// Returns [`MapError::UnsupportedOp`] if some operation is supported by
+/// no PE, [`MapError::EmptyDfg`] for an empty graph, and
+/// [`MapError::Infeasible`] when no II up to `config.max_ii` admits a
+/// complete placement and routing.
+pub fn map_dfg(dfg: &Dfg, arch: &CgraArch, config: &MapperConfig) -> Result<Mapping, MapError> {
+    scheduler::Scheduler::new(dfg, arch, config)?.run()
+}

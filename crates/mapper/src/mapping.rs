@@ -1,0 +1,132 @@
+//! The mapping artifact produced by the scheduler.
+
+use ptmap_arch::PeId;
+use ptmap_ir::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Where a consumed operand arrives from in the consumer's cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperandSource {
+    /// Produced on the same PE (ALU bypass or local register file).
+    Local,
+    /// Arrives over the interconnect from this PE.
+    Pe(PeId),
+    /// Read from the global register file hub.
+    Grf,
+}
+
+/// The routing outcome of one data edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteRecord {
+    /// Producing DFG node.
+    pub src: NodeId,
+    /// Consuming DFG node.
+    pub dst: NodeId,
+    /// Where the value enters the consumer.
+    pub source: OperandSource,
+}
+
+/// Placement of one DFG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The placed DFG node.
+    pub node: NodeId,
+    /// The PE executing it.
+    pub pe: PeId,
+    /// Absolute start cycle within the (unwrapped) schedule.
+    pub time: u32,
+}
+
+/// A complete modulo schedule of a DFG on a CGRA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// Achieved initiation interval.
+    pub ii: u32,
+    /// The minimum II bound the search started from.
+    pub mii: u32,
+    /// Schedule length: cycles from the first issue to the last
+    /// completion of a single iteration.
+    pub schedule_length: u32,
+    /// Per-node placements.
+    pub placements: Vec<Placement>,
+    /// Number of MRRG routing-slot occupancies consumed by data movement
+    /// (used by the energy model).
+    pub route_slots: u32,
+    /// Per-data-edge routing outcomes (operand sources for context
+    /// generation).
+    pub routes: Vec<RouteRecord>,
+    /// Number of PEs used by at least one operation.
+    pub pes_used: u32,
+    /// Total PEs of the target architecture.
+    pub pe_count: u32,
+}
+
+impl Mapping {
+    /// Pipeline fill + drain overhead (`ProEpi` in Eqn. 1): the cycles a
+    /// single iteration spends in flight beyond its II slot.
+    pub fn pro_epi(&self) -> u32 {
+        self.schedule_length.saturating_sub(self.ii)
+    }
+
+    /// Total cycles to execute the pipelined loop for `tripcount`
+    /// iterations (Eqn. 1): `TC * II + ProEpi`.
+    pub fn cycles(&self, tripcount: u64) -> u64 {
+        tripcount * self.ii as u64 + self.pro_epi() as u64
+    }
+
+    /// Compute-slot utilization of the PE array: placed operations over
+    /// `II * pe_count` slots (the Fig. 2a metric).
+    pub fn utilization(&self) -> f64 {
+        let slots = (self.ii * self.pe_count) as f64;
+        if slots == 0.0 {
+            return 0.0;
+        }
+        self.placements.len() as f64 / slots
+    }
+
+    /// Residual over the lower bound: `II - MII` (the GNN's regression
+    /// target `II_res`).
+    pub fn ii_residual(&self) -> u32 {
+        self.ii - self.mii
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping() -> Mapping {
+        Mapping {
+            ii: 3,
+            mii: 2,
+            schedule_length: 8,
+            placements: vec![
+                Placement { node: NodeId(0), pe: PeId(0), time: 0 },
+                Placement { node: NodeId(1), pe: PeId(1), time: 2 },
+            ],
+            route_slots: 4,
+            routes: Vec::new(),
+            pes_used: 2,
+            pe_count: 16,
+        }
+    }
+
+    #[test]
+    fn pro_epi_and_cycles() {
+        let m = mapping();
+        assert_eq!(m.pro_epi(), 5);
+        assert_eq!(m.cycles(100), 305);
+    }
+
+    #[test]
+    fn utilization() {
+        let m = mapping();
+        let expected = 2.0 / 48.0;
+        assert!((m.utilization() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual() {
+        assert_eq!(mapping().ii_residual(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimum initiation interval bounds.
+//!
+//! `MII = max(ResMII, RecMII)`:
+//!
+//! * **ResMII** — resource bound: for every operation kind, the ops of
+//!   that kind must share the PEs that support it; additionally all ops
+//!   share the whole array.
+//! * **RecMII** — recurrence bound: every cycle in the DFG must satisfy
+//!   `II * total_distance >= total_latency`, so
+//!   `RecMII = max over cycles ceil(latency / distance)`. Computed by
+//!   testing candidate IIs with a Bellman–Ford positive-cycle check on
+//!   the constraint graph (edge weight `lat(u) - II * dist(u, v)`).
+
+use ptmap_arch::CgraArch;
+use ptmap_ir::Dfg;
+
+/// Resource-constrained minimum II.
+///
+/// Returns `u32::MAX` when some operation is supported by no PE.
+pub fn res_mii(dfg: &Dfg, arch: &CgraArch) -> u32 {
+    let mut worst = 1u64;
+    // Whole-array bound.
+    let total = dfg.len() as u64;
+    let pes = arch.pe_count() as u64;
+    worst = worst.max(total.div_ceil(pes));
+    // Per-op-kind bound.
+    for (op, count) in dfg.op_counts() {
+        let supporting = arch.pes_supporting(op) as u64;
+        if supporting == 0 {
+            return u32::MAX;
+        }
+        worst = worst.max((count as u64).div_ceil(supporting));
+    }
+    worst.min(u32::MAX as u64) as u32
+}
+
+/// Recurrence-constrained minimum II.
+///
+/// Returns 1 for acyclic DFGs.
+pub fn rec_mii(dfg: &Dfg) -> u32 {
+    // Upper bound on any cycle's latency sum: total latency of all nodes.
+    let max_ii: u32 = dfg.nodes().iter().map(|n| n.latency()).sum::<u32>().max(1);
+    // Find the smallest II with no positive cycle.
+    let mut lo = 1u32;
+    let mut hi = max_ii;
+    if !has_positive_cycle(dfg, hi) {
+        // Even the upper bound may be unnecessary; binary search below
+        // handles it, but if II = 1 is already feasible return fast.
+        if !has_positive_cycle(dfg, 1) {
+            return 1;
+        }
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if has_positive_cycle(dfg, mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Whether the constraint graph has a positive-weight cycle at this II
+/// (meaning the II is infeasible for some recurrence).
+fn has_positive_cycle(dfg: &Dfg, ii: u32) -> bool {
+    let n = dfg.len();
+    if n == 0 {
+        return false;
+    }
+    // Longest-path relaxation; a further relaxation after n-1 rounds
+    // proves a positive cycle.
+    let mut dist = vec![0i64; n];
+    for round in 0..n {
+        let mut changed = false;
+        for e in dfg.edges() {
+            let u = e.src.index();
+            let v = e.dst.index();
+            let w = dfg.nodes()[u].latency() as i64 - (ii as i64) * (e.dist as i64);
+            if dist[u] + w > dist[v] {
+                dist[v] = dist[u] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+        if round == n - 1 {
+            return true;
+        }
+    }
+    false
+}
+
+/// The minimum initiation interval `max(ResMII, RecMII)`.
+pub fn mii(dfg: &Dfg, arch: &CgraArch) -> u32 {
+    res_mii(dfg, arch).max(rec_mii(dfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptmap_arch::presets;
+    use ptmap_ir::{Dfg, OpKind};
+
+    fn chain_with_self_loop(latencies: &[OpKind], loop_dist: u32) -> Dfg {
+        let mut dfg = Dfg::new();
+        let mut prev = None;
+        let mut first = None;
+        for &op in latencies {
+            let n = dfg.add_node(op, None, None);
+            if let Some(p) = prev {
+                dfg.add_edge(p, n, 0);
+            }
+            if first.is_none() {
+                first = Some(n);
+            }
+            prev = Some(n);
+        }
+        if loop_dist > 0 {
+            dfg.add_edge(prev.unwrap(), first.unwrap(), loop_dist);
+        }
+        dfg
+    }
+
+    #[test]
+    fn acyclic_rec_mii_is_one() {
+        let dfg = chain_with_self_loop(&[OpKind::Add, OpKind::Mul, OpKind::Store], 0);
+        assert_eq!(rec_mii(&dfg), 1);
+    }
+
+    #[test]
+    fn self_loop_rec_mii_equals_latency_over_distance() {
+        // add(1) -> mul(2) -> add(1), back edge dist 1: cycle latency 4.
+        let dfg = chain_with_self_loop(&[OpKind::Add, OpKind::Mul, OpKind::Add], 1);
+        assert_eq!(rec_mii(&dfg), 4);
+        // Same cycle with distance 2: ceil(4/2) = 2.
+        let dfg = chain_with_self_loop(&[OpKind::Add, OpKind::Mul, OpKind::Add], 2);
+        assert_eq!(rec_mii(&dfg), 2);
+    }
+
+    #[test]
+    fn accumulator_self_edge() {
+        let mut dfg = Dfg::new();
+        let acc = dfg.add_node(OpKind::Add, None, None);
+        dfg.add_edge(acc, acc, 1);
+        assert_eq!(rec_mii(&dfg), 1);
+    }
+
+    #[test]
+    fn res_mii_counts_array_pressure() {
+        let mut dfg = Dfg::new();
+        for _ in 0..33 {
+            dfg.add_node(OpKind::Add, None, None);
+        }
+        // 33 ops on 16 PEs -> ceil = 3.
+        assert_eq!(res_mii(&dfg, &presets::s4()), 3);
+    }
+
+    #[test]
+    fn res_mii_respects_heterogeneity() {
+        let r4 = presets::r4();
+        let muls = r4.pes_supporting(OpKind::Mul) as u32;
+        let mut dfg = Dfg::new();
+        for _ in 0..muls * 2 {
+            dfg.add_node(OpKind::Mul, None, None);
+        }
+        assert_eq!(res_mii(&dfg, &r4), 2);
+        // The homogeneous S4 fits them in a single slot round.
+        assert!(res_mii(&dfg, &presets::s4()) <= 2);
+    }
+
+    #[test]
+    fn unsupported_op_gives_max() {
+        use ptmap_arch::{CgraArchBuilder, Pe};
+        use ptmap_ir::OpClass;
+        // An array whose PEs lack logic ops entirely.
+        let arch = CgraArchBuilder::new("nologic", 2, 2)
+            .uniform_pe(Pe::with_classes(&[OpClass::Arithmetic, OpClass::Memory], 1))
+            .build()
+            .unwrap();
+        let mut dfg = Dfg::new();
+        dfg.add_node(OpKind::Xor, None, None);
+        assert_eq!(res_mii(&dfg, &arch), u32::MAX);
+    }
+
+    #[test]
+    fn mii_is_max_of_bounds() {
+        let dfg = chain_with_self_loop(&[OpKind::Add, OpKind::Mul, OpKind::Add], 1);
+        let arch = presets::s4();
+        assert_eq!(mii(&dfg, &arch), rec_mii(&dfg).max(res_mii(&dfg, &arch)));
+    }
+}

@@ -1,0 +1,87 @@
+//! Integration tests for the shared-route-tree design choice.
+
+use ptmap_arch::presets;
+use ptmap_ir::dfg::build_dfg;
+use ptmap_ir::ProgramBuilder;
+use ptmap_mapper::{map_dfg, MapperConfig};
+
+fn fanout_kernel() -> (ptmap_ir::Program, ptmap_ir::PerfectNest) {
+    // One load fanning out to many consumers: the sharing stress case.
+    let mut b = ProgramBuilder::new("fanout");
+    let x = b.array("X", &[256]);
+    let outs: Vec<_> = (0..4).map(|k| b.array(format!("O{k}"), &[256])).collect();
+    let i = b.open_loop("i", 256);
+    for (k, &o) in outs.iter().enumerate() {
+        let v = b.add(b.load(x, &[b.idx(i)]), b.constant(k as i64 + 1));
+        b.store(o, &[b.idx(i)], v);
+    }
+    b.close_loop();
+    let p = b.finish();
+    let nest = p.perfect_nests().remove(0);
+    (p, nest)
+}
+
+#[test]
+fn sharing_never_hurts_ii() {
+    let (p, nest) = fanout_kernel();
+    let dfg = build_dfg(&p, &nest, &[]).unwrap();
+    let arch = presets::sl8();
+    let shared = map_dfg(&dfg, &arch, &MapperConfig::default());
+    let unshared =
+        map_dfg(&dfg, &arch, &MapperConfig { share_routes: false, ..MapperConfig::default() });
+    let shared = shared.expect("shared routing maps");
+    match unshared {
+        Ok(u) => assert!(shared.ii <= u.ii, "shared {} vs unshared {}", shared.ii, u.ii),
+        Err(_) => {} // unshared may simply fail under congestion
+    }
+}
+
+#[test]
+fn sharing_reduces_route_slots_on_fanout() {
+    let (p, nest) = fanout_kernel();
+    let (i,) = (nest.loops[0],);
+    let dfg = build_dfg(&p, &nest, &[(i, 2)]).unwrap();
+    let arch = presets::s4();
+    let shared = map_dfg(&dfg, &arch, &MapperConfig::default()).expect("maps");
+    let unshared = map_dfg(
+        &dfg,
+        &arch,
+        &MapperConfig { share_routes: false, ..MapperConfig::default() },
+    );
+    if let Ok(u) = unshared {
+        if u.ii == shared.ii {
+            assert!(
+                shared.route_slots <= u.route_slots,
+                "shared {} slots vs unshared {}",
+                shared.route_slots,
+                u.route_slots
+            );
+        }
+    }
+}
+
+#[test]
+fn both_modes_produce_valid_mappings() {
+    let (p, nest) = fanout_kernel();
+    let dfg = build_dfg(&p, &nest, &[]).unwrap();
+    for share in [true, false] {
+        let cfg = MapperConfig { share_routes: share, ..MapperConfig::default() };
+        if let Ok(m) = map_dfg(&dfg, &presets::s4(), &cfg) {
+            ptmap_sim_verify(&dfg, &m);
+        }
+    }
+}
+
+// Local copy of the timing check to avoid a dev-dependency cycle with
+// ptmap-sim (which depends on this crate).
+fn ptmap_sim_verify(dfg: &ptmap_ir::Dfg, m: &ptmap_mapper::Mapping) {
+    let mut time = vec![0u32; dfg.len()];
+    for p in &m.placements {
+        time[p.node.index()] = p.time;
+    }
+    for e in dfg.edges() {
+        let dep = time[e.src.index()] as i64 + dfg.nodes()[e.src.index()].latency() as i64;
+        let arrive = time[e.dst.index()] as i64 + e.dist as i64 * m.ii as i64;
+        assert!(arrive >= dep, "edge {}->{} timing violated", e.src, e.dst);
+    }
+}

@@ -1,0 +1,60 @@
+//! The paper's cycle formulas (Eqn. 1 and Eqn. 2).
+
+use serde::{Deserialize, Serialize};
+
+/// An estimate of the computation cycles of one PNL, with the II and
+/// ProEpi values that produced it (exposing intermediates, C-INTERMEDIATE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleEstimate {
+    /// Estimated (or measured) initiation interval of the pipelined loop.
+    pub ii: u32,
+    /// Estimated (or measured) pipeline fill + drain cycles.
+    pub pro_epi: u32,
+    /// Total cycles for the whole PNL (Eqn. 2), including temporally
+    /// folded and imperfect outer loops.
+    pub cycles: u64,
+}
+
+/// Eqn. 1: cycles of one launch of the pipelined loop `l`:
+/// `Cycle(l) = TC_l * II_map,l + ProEpi_l`.
+pub fn pnl_cycles(tripcount: u64, ii: u32, pro_epi: u32) -> u64 {
+    tripcount * ii as u64 + pro_epi as u64
+}
+
+/// Eqn. 2: cycles of a whole PNL transformation `p`:
+/// `Cycle(p) = Cycle(l) * prod TC_idx` over the temporally folded loops.
+pub fn pnl_total_cycles(cycle_l: u64, folded_tripcount: u64) -> u64 {
+    cycle_l * folded_tripcount
+}
+
+impl CycleEstimate {
+    /// Builds an estimate from the formula inputs.
+    pub fn from_formula(tripcount: u64, ii: u32, pro_epi: u32, folded_tripcount: u64) -> Self {
+        let cycle_l = pnl_cycles(tripcount, ii, pro_epi);
+        CycleEstimate { ii, pro_epi, cycles: pnl_total_cycles(cycle_l, folded_tripcount) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eqn1() {
+        assert_eq!(pnl_cycles(100, 4, 12), 412);
+        assert_eq!(pnl_cycles(0, 4, 12), 12);
+    }
+
+    #[test]
+    fn eqn2() {
+        assert_eq!(pnl_total_cycles(412, 24 * 24), 412 * 576);
+    }
+
+    #[test]
+    fn from_formula_combines_both() {
+        let e = CycleEstimate::from_formula(24, 5, 10, 576);
+        assert_eq!(e.cycles, (24 * 5 + 10) * 576);
+        assert_eq!(e.ii, 5);
+        assert_eq!(e.pro_epi, 10);
+    }
+}

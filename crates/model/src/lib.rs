@@ -1,0 +1,44 @@
+//! Analytical performance and memory models for PT-Map.
+//!
+//! Three model families live here:
+//!
+//! * [`cycle`] — the paper's cycle formulas: Eqn. 1
+//!   (`Cycle(l) = TC_l * II + ProEpi`) and Eqn. 2 (multiplying by the
+//!   temporally folded tripcounts), shared by every estimator;
+//! * [`analytical`] — the *MII-based analytical model* used by PBP and
+//!   the `AM` ablation: it assumes `II_map = MII` and estimates the
+//!   pipeline fill/drain from the DFG critical path. Fig. 2b/Fig. 6 show
+//!   where this model breaks down; the GNN in `ptmap-gnn` replaces it;
+//! * [`memory`] — PNL-level memory profiling: per-loop-level working
+//!   sets via interval analysis of affine accesses, off-CGRA data volume
+//!   through a two-level (DB vs. off-chip) capacity model, and the
+//!   context-loading volume.
+//!
+//! # Example
+//!
+//! ```
+//! use ptmap_ir::{ProgramBuilder, dfg::build_dfg};
+//! use ptmap_arch::presets;
+//! use ptmap_model::analytical::AnalyticalModel;
+//!
+//! let mut b = ProgramBuilder::new("scale");
+//! let x = b.array("X", &[1024]);
+//! let i = b.open_loop("i", 1024);
+//! let v = b.mul(b.load(x, &[b.idx(i)]), b.constant(3));
+//! b.store(x, &[b.idx(i)], v);
+//! b.close_loop();
+//! let p = b.finish();
+//! let nest = p.perfect_nests().remove(0);
+//! let dfg = build_dfg(&p, &nest, &[]).unwrap();
+//!
+//! let est = AnalyticalModel.estimate(&dfg, &presets::s4(), &nest);
+//! assert!(est.cycles > 0);
+//! ```
+
+pub mod analytical;
+pub mod cycle;
+pub mod memory;
+
+pub use analytical::AnalyticalModel;
+pub use cycle::{pnl_cycles, pnl_total_cycles, CycleEstimate};
+pub use memory::{MemoryProfile, MemoryProfiler};

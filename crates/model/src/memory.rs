@@ -1,0 +1,305 @@
+//! PNL-level memory profiling: working sets, off-CGRA volume, context
+//! volume.
+//!
+//! The off-CGRA data access is modeled as the paper's two-level problem:
+//! the on-chip data buffer (DB) is the first level, off-CGRA memory the
+//! second. Working sets are derived by interval analysis of the affine
+//! accesses (the analytical spirit of Gysi et al.'s cache model,
+//! simplified to bounding boxes): the *reuse level* is the outermost loop
+//! level whose per-iteration footprint still fits the DB; everything
+//! outside it re-streams that footprint.
+
+use ptmap_arch::CgraArch;
+use ptmap_ir::{ArrayId, LoopId, PerfectNest, Program, Stmt};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The memory profile of one PNL transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryProfile {
+    /// Bytes touched by one launch of the pipelined loop.
+    pub working_set_bytes: u64,
+    /// Estimated off-CGRA data volume for the whole PNL (loads +
+    /// write-backs), in bytes.
+    pub volume_bytes: u64,
+    /// Context-loading volume in bytes.
+    pub context_bytes: u64,
+    /// Capacity misses detected at the pipelined-loop level; positive
+    /// values trigger the DB pruning constraint.
+    pub capacity_misses: u64,
+}
+
+impl MemoryProfile {
+    /// Whether the DB constraint passes (no capacity miss at the
+    /// pipelined level).
+    pub fn fits_db(&self) -> bool {
+        self.capacity_misses == 0
+    }
+
+    /// Total off-CGRA traffic (data + contexts).
+    pub fn total_volume(&self) -> u64 {
+        self.volume_bytes + self.context_bytes
+    }
+}
+
+/// Profiles the memory behavior of PNLs of a program.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryProfiler<'a> {
+    program: &'a Program,
+}
+
+impl<'a> MemoryProfiler<'a> {
+    /// Creates a profiler over the program declaring the arrays.
+    pub fn new(program: &'a Program) -> Self {
+        MemoryProfiler { program }
+    }
+
+    /// Profiles a PNL given the II that will execute it (for the context
+    /// volume; pass the predicted or measured II).
+    pub fn profile(&self, nest: &PerfectNest, arch: &CgraArch, ii: u32) -> MemoryProfile {
+        let depth = nest.depth();
+        let launches_of = |level: usize| -> u64 {
+            // One execution of loops `level..depth` happens once per
+            // iteration of the loops outside that band.
+            nest.tripcounts[..level].iter().product::<u64>() * nest.outer_tripcount()
+        };
+
+        // Footprints of the loop bands `level..depth`.
+        let footprints: Vec<(u64, u64)> =
+            (0..depth).map(|level| self.band_footprint(nest, level)).collect();
+
+        let (ws_read, ws_write) = footprints[depth - 1];
+        let working_set_bytes = ws_read.max(ws_write);
+        let db = arch.db_bytes();
+
+        // Capacity misses at the pipelined level.
+        let capacity_misses = if working_set_bytes > db {
+            (working_set_bytes - db) / 4 * launches_of(depth - 1)
+        } else {
+            0
+        };
+
+        // Reuse level: outermost band whose footprint fits the DB.
+        let volume_bytes = if working_set_bytes > db {
+            // Thrashing: every access streams from off-chip.
+            let per_iter: u64 = nest
+                .stmts
+                .iter()
+                .map(|s| {
+                    let (reads, write) = s.accesses();
+                    ((reads.len() + write.iter().len()) * 4) as u64
+                })
+                .sum();
+            per_iter * nest.total_iterations()
+        } else {
+            let mut level = depth - 1;
+            while level > 0 {
+                let (r, w) = footprints[level - 1];
+                if r.max(w) > db {
+                    break;
+                }
+                level -= 1;
+            }
+            let (r, w) = footprints[level];
+            (r + w) * launches_of(level)
+        };
+
+        // Context volume: II contexts of pe_count words; reloaded per
+        // pipelined-loop launch when the CB cannot hold them.
+        let ctx_once = ii as u64 * arch.pe_count() as u64 * 4;
+        let context_bytes = if ii <= arch.cb_capacity() {
+            ctx_once
+        } else {
+            ctx_once * launches_of(depth - 1)
+        };
+
+        MemoryProfile { working_set_bytes, volume_bytes, context_bytes, capacity_misses }
+    }
+
+    /// Read and write footprints (bytes) of one execution of the loop
+    /// band `level..depth` of the nest (loops outside the band held
+    /// fixed).
+    fn band_footprint(&self, nest: &PerfectNest, level: usize) -> (u64, u64) {
+        let iterating: Vec<(LoopId, u64)> = nest.loops[level..]
+            .iter()
+            .copied()
+            .zip(nest.tripcounts[level..].iter().copied())
+            .collect();
+        let mut read: BTreeMap<ArrayId, (i64, i64)> = BTreeMap::new();
+        let mut write: BTreeMap<ArrayId, (i64, i64)> = BTreeMap::new();
+        for stmt in &nest.stmts {
+            self.fold_access_bounds(stmt, &iterating, &mut read, &mut write);
+        }
+        let to_bytes = |m: &BTreeMap<ArrayId, (i64, i64)>| -> u64 {
+            m.iter()
+                .map(|(&a, &(lo, hi))| {
+                    let decl = self.program.array(a).expect("declared array");
+                    let span = (hi - lo + 1).max(0) as u64;
+                    span.min(decl.len()) * decl.elem_bytes
+                })
+                .sum()
+        };
+        (to_bytes(&read), to_bytes(&write))
+    }
+
+    fn fold_access_bounds(
+        &self,
+        stmt: &Stmt,
+        iterating: &[(LoopId, u64)],
+        read: &mut BTreeMap<ArrayId, (i64, i64)>,
+        write: &mut BTreeMap<ArrayId, (i64, i64)>,
+    ) {
+        let (reads, w) = stmt.accesses();
+        for acc in reads {
+            let (lo, hi) = linear_bounds(self.program, acc, iterating);
+            merge(read, acc.array, lo, hi);
+        }
+        if let Some(acc) = w {
+            let (lo, hi) = linear_bounds(self.program, acc, iterating);
+            merge(write, acc.array, lo, hi);
+        }
+    }
+}
+
+fn merge(m: &mut BTreeMap<ArrayId, (i64, i64)>, a: ArrayId, lo: i64, hi: i64) {
+    m.entry(a).and_modify(|e| *e = (e.0.min(lo), e.1.max(hi))).or_insert((lo, hi));
+}
+
+/// Linearized index bounds of an access over the iterating loops (fixed
+/// loops contribute their base value of 0 — only spans matter).
+fn linear_bounds(
+    program: &Program,
+    acc: &ptmap_ir::ArrayAccess,
+    iterating: &[(LoopId, u64)],
+) -> (i64, i64) {
+    let decl = program.array(acc.array).expect("declared array");
+    // Per-dimension bounds, then linearize with row-major strides. When
+    // the access is already linear (single subscript into a multi-dim
+    // array after flattening), the single dimension uses stride 1.
+    let dims: Vec<u64> = if acc.indices.len() == decl.dims.len() {
+        decl.dims.clone()
+    } else {
+        vec![decl.len()]
+    };
+    let mut lo = 0i64;
+    let mut hi = 0i64;
+    for (e, &d) in acc.indices.iter().zip(&dims) {
+        let (mut elo, mut ehi) = (e.constant_term(), e.constant_term());
+        for (l, c) in e.terms() {
+            if let Some(&(_, tc)) = iterating.iter().find(|&&(il, _)| il == l) {
+                let span = c * (tc as i64 - 1);
+                elo += span.min(0);
+                ehi += span.max(0);
+            }
+        }
+        lo = lo * d as i64 + elo;
+        hi = hi * d as i64 + ehi;
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptmap_arch::presets;
+    use ptmap_ir::ProgramBuilder;
+
+    fn gemm(n: u64) -> Program {
+        let mut b = ProgramBuilder::new("gemm");
+        let a = b.array("A", &[n, n]);
+        let bb = b.array("B", &[n, n]);
+        let c = b.array("C", &[n, n]);
+        let i = b.open_loop("i", n);
+        let j = b.open_loop("j", n);
+        let k = b.open_loop("k", n);
+        let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+        let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
+        b.store(c, &[b.idx(i), b.idx(j)], sum);
+        b.close_loop();
+        b.close_loop();
+        b.close_loop();
+        b.finish()
+    }
+
+    #[test]
+    fn pipelined_working_set_is_small_for_gemm_k() {
+        let p = gemm(24);
+        let nest = p.perfect_nests().remove(0);
+        let prof = MemoryProfiler::new(&p).profile(&nest, &presets::s4(), 4);
+        // One k-launch touches a row of A (24 words), a column span of B
+        // (bounding box over k: 24*24 words), and one element of C.
+        assert!(prof.working_set_bytes >= 24 * 4);
+        assert!(prof.fits_db());
+    }
+
+    #[test]
+    fn volume_scales_with_problem_size() {
+        let small = {
+            let p = gemm(16);
+            let nest = p.perfect_nests().remove(0);
+            MemoryProfiler::new(&p).profile(&nest, &presets::s4(), 4).volume_bytes
+        };
+        let large = {
+            let p = gemm(32);
+            let nest = p.perfect_nests().remove(0);
+            MemoryProfiler::new(&p).profile(&nest, &presets::s4(), 4).volume_bytes
+        };
+        assert!(large > small);
+    }
+
+    #[test]
+    fn oversized_working_set_counts_misses() {
+        // A single pipelined loop streaming a huge array through a tiny DB.
+        let mut b = ProgramBuilder::new("stream");
+        let x = b.array("X", &[64 * 1024]);
+        let i = b.open_loop("i", 64 * 1024);
+        let v = b.add(b.load(x, &[b.idx(i)]), b.constant(1));
+        b.store(x, &[b.idx(i)], v);
+        b.close_loop();
+        let p = b.finish();
+        let nest = p.perfect_nests().remove(0);
+        let prof = MemoryProfiler::new(&p).profile(&nest, &presets::s4(), 2);
+        assert!(!prof.fits_db());
+        assert!(prof.capacity_misses > 0);
+    }
+
+    #[test]
+    fn tiled_inner_loop_fits_db() {
+        // Same streaming kernel tiled so the pipelined loop touches 1 KiB.
+        let mut b = ProgramBuilder::new("stream_tiled");
+        let x = b.array("X", &[64 * 1024]);
+        let it = b.open_loop("it", 256);
+        let ii = b.open_loop("ii", 256);
+        let idx = b.idx(it) * 256 + b.idx(ii);
+        let v = b.add(b.load(x, &[idx.clone()]), b.constant(1));
+        b.store(x, &[idx], v);
+        b.close_loop();
+        b.close_loop();
+        let p = b.finish();
+        let nest = p.perfect_nests().remove(0);
+        let prof = MemoryProfiler::new(&p).profile(&nest, &presets::s4(), 2);
+        assert!(prof.fits_db(), "working set {} bytes", prof.working_set_bytes);
+        assert_eq!(prof.working_set_bytes, 256 * 4);
+    }
+
+    #[test]
+    fn context_reload_when_ii_exceeds_cb() {
+        let p = gemm(24);
+        let nest = p.perfect_nests().remove(0);
+        let arch = presets::s4(); // CB capacity 8
+        let fits = MemoryProfiler::new(&p).profile(&nest, &arch, 8).context_bytes;
+        let reload = MemoryProfiler::new(&p).profile(&nest, &arch, 9).context_bytes;
+        assert!(reload > fits * 100, "reload {reload} vs fits {fits}");
+    }
+
+    #[test]
+    fn doubled_db_never_increases_volume() {
+        let p = gemm(32);
+        let nest = p.perfect_nests().remove(0);
+        let arch = presets::s4();
+        let doubled = arch.with_db_bytes(arch.db_bytes() * 2);
+        let v1 = MemoryProfiler::new(&p).profile(&nest, &arch, 4).volume_bytes;
+        let v2 = MemoryProfiler::new(&p).profile(&nest, &doubled, 4).volume_bytes;
+        assert!(v2 <= v1);
+    }
+}

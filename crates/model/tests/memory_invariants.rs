@@ -1,0 +1,75 @@
+//! Memory-profile invariants across workloads.
+
+use ptmap_arch::presets;
+use ptmap_model::MemoryProfiler;
+use ptmap_transform::primitives::strip_mine;
+
+#[test]
+fn tiling_never_increases_pipelined_working_set() {
+    for (name, p) in ptmap_workloads::apps::all() {
+        let arch = presets::s4();
+        for nest in p.perfect_nests() {
+            let base = MemoryProfiler::new(&p).profile(&nest, &arch, 4);
+            let pipelined = nest.pipelined_loop();
+            let tc = nest.pipelined_tripcount();
+            if tc <= 16 {
+                continue;
+            }
+            let Ok((q, _)) = strip_mine(&p, pipelined, 16) else { continue };
+            let qnest = q
+                .perfect_nests()
+                .into_iter()
+                .find(|n| n.pipelined_loop() == pipelined)
+                .expect("tiled nest");
+            let tiled = MemoryProfiler::new(&q).profile(&qnest, &arch, 4);
+            assert!(
+                tiled.working_set_bytes <= base.working_set_bytes,
+                "{name}: tiling grew the working set ({} -> {})",
+                base.working_set_bytes,
+                tiled.working_set_bytes
+            );
+        }
+    }
+}
+
+#[test]
+fn volume_at_least_compulsory() {
+    // The off-CGRA volume can never be below the total array footprint
+    // touched... it can (reuse within DB), but it must at least cover
+    // the *written* data once for kernels writing their whole output.
+    let p = ptmap_workloads::micro::gemm(32);
+    let nest = p.perfect_nests().remove(0);
+    let arch = presets::s4();
+    let prof = MemoryProfiler::new(&p).profile(&nest, &arch, 4);
+    // C is 32x32 words written.
+    assert!(prof.volume_bytes >= 32 * 32 * 4);
+}
+
+#[test]
+fn context_volume_monotone_in_ii() {
+    let p = ptmap_workloads::micro::gemm(32);
+    let nest = p.perfect_nests().remove(0);
+    let arch = presets::s4();
+    let profiler = MemoryProfiler::new(&p);
+    let mut last = 0;
+    for ii in 1..=8 {
+        let ctx = profiler.profile(&nest, &arch, ii).context_bytes;
+        assert!(ctx >= last, "context volume dropped at II {ii}");
+        last = ctx;
+    }
+}
+
+#[test]
+fn capacity_misses_zero_iff_fits() {
+    for (_, p) in ptmap_workloads::apps::all() {
+        let arch = presets::sl8();
+        for nest in p.perfect_nests() {
+            let prof = MemoryProfiler::new(&p).profile(&nest, &arch, 4);
+            assert_eq!(
+                prof.fits_db(),
+                prof.capacity_misses == 0,
+                "fits_db inconsistent with miss count"
+            );
+        }
+    }
+}

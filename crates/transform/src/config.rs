@@ -1,0 +1,88 @@
+//! Exploration configuration (the Tab. 1 design-choice grids).
+
+use serde::{Deserialize, Serialize};
+
+/// Program-level fusion/fission heuristics (PLuTo's modes, re-implemented
+/// on the LIT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FusionMode {
+    /// Keep the program as written.
+    AsIs,
+    /// Distribute every loop whose body parts may legally split.
+    NoFuse,
+    /// Greedily fuse every legal adjacent pair (recursively inward).
+    MaxFuse,
+    /// Fuse adjacent pairs only when they share array data (reuse-driven).
+    SmartFuse,
+}
+
+impl FusionMode {
+    /// All modes, in exploration order.
+    pub const ALL: [FusionMode; 4] =
+        [FusionMode::AsIs, FusionMode::NoFuse, FusionMode::MaxFuse, FusionMode::SmartFuse];
+}
+
+/// Knobs bounding PT-Map's transformation space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExploreConfig {
+    /// Fusion heuristics explored at the program level.
+    pub fusion_modes: Vec<FusionMode>,
+    /// Tile sizes for inter-loop/innermost tiling (`2^x, x in [4, 10]`
+    /// per Tab. 1).
+    pub tile_sizes: Vec<u64>,
+    /// Unroll factors per dimension (Tab. 1: 1–8).
+    pub unroll_factors: Vec<u32>,
+    /// Maximum number of unrolled dimensions per candidate.
+    pub max_unroll_dims: usize,
+    /// Upper bound on the product of unroll factors (keeps DFGs within
+    /// what the CB can hold).
+    pub max_unroll_product: u32,
+    /// How many innermost levels loop reordering permutes (the paper
+    /// focuses on the innermost three).
+    pub reorder_depth: usize,
+    /// Hard cap on candidates recorded per PNL (result-array width).
+    pub max_candidates_per_pnl: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            fusion_modes: FusionMode::ALL.to_vec(),
+            tile_sizes: (4..=10).map(|x| 1u64 << x).collect(),
+            unroll_factors: vec![1, 2, 4, 8],
+            max_unroll_dims: 2,
+            max_unroll_product: 16,
+            reorder_depth: 3,
+            max_candidates_per_pnl: 96,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// A reduced configuration for quick tests and doc examples.
+    pub fn quick() -> Self {
+        ExploreConfig {
+            fusion_modes: vec![FusionMode::AsIs],
+            tile_sizes: vec![16, 64],
+            unroll_factors: vec![1, 2, 4],
+            max_unroll_dims: 2,
+            max_unroll_product: 8,
+            reorder_depth: 2,
+            max_candidates_per_pnl: 24,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_grids() {
+        let c = ExploreConfig::default();
+        assert_eq!(c.tile_sizes, vec![16, 32, 64, 128, 256, 512, 1024]);
+        assert!(c.unroll_factors.contains(&8));
+        assert_eq!(c.reorder_depth, 3);
+        assert_eq!(c.fusion_modes.len(), 4);
+    }
+}

@@ -1,0 +1,84 @@
+//! Transformation error type.
+
+use ptmap_ir::LoopId;
+use std::fmt;
+
+/// Errors raised by transformation primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransformError {
+    /// The referenced loop does not exist.
+    UnknownLoop(LoopId),
+    /// Fusion requires adjacent sibling loops.
+    NotAdjacent(LoopId, LoopId),
+    /// Fusion requires equal tripcounts.
+    TripcountMismatch {
+        /// First loop's tripcount.
+        a: u64,
+        /// Second loop's tripcount.
+        b: u64,
+    },
+    /// A dependence forbids the requested reordering.
+    IllegalReorder,
+    /// A dependence forbids the requested fusion.
+    IllegalFusion,
+    /// A dependence forbids the requested fission.
+    IllegalFission,
+    /// The access patterns do not admit flattening the loop pair.
+    NotFlattenable,
+    /// Flattening/reordering requires a perfectly nested pair/band.
+    NotPerfectlyNested,
+    /// A tile size of 0 or 1 is meaningless.
+    BadTileSize(u64),
+    /// The reorder permutation does not cover the nest's loops.
+    BadPermutation,
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::UnknownLoop(l) => write!(f, "unknown loop {l}"),
+            TransformError::NotAdjacent(a, b) => {
+                write!(f, "loops {a} and {b} are not adjacent siblings")
+            }
+            TransformError::TripcountMismatch { a, b } => {
+                write!(f, "tripcounts {a} and {b} differ")
+            }
+            TransformError::IllegalReorder => write!(f, "a dependence forbids this loop order"),
+            TransformError::IllegalFusion => write!(f, "a dependence forbids fusing these loops"),
+            TransformError::IllegalFission => {
+                write!(f, "a dependence forbids distributing this loop")
+            }
+            TransformError::NotFlattenable => {
+                write!(f, "access patterns do not admit flattening this loop pair")
+            }
+            TransformError::NotPerfectlyNested => {
+                write!(f, "transformation requires a perfectly nested band")
+            }
+            TransformError::BadTileSize(t) => write!(f, "tile size {t} is not meaningful"),
+            TransformError::BadPermutation => {
+                write!(f, "permutation does not match the nest's loops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase() {
+        for e in [
+            TransformError::IllegalReorder,
+            TransformError::NotFlattenable,
+            TransformError::BadTileSize(1),
+        ] {
+            let m = e.to_string();
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! PT-Map's top-down exploration (Section 3.2).
+//!
+//! Three levels:
+//!
+//! 1. **Program-level** — fusion/fission heuristics restructure the whole
+//!    program; each surviving (deduplicated) restructuring becomes a
+//!    [`ProgramVariant`] with its own LIT.
+//! 2. **Out-PNL** — a BFS over non-PNL LIT nodes attempts to tile them
+//!    and lower the tiled index toward the PNLs (tile + distribute);
+//!    successful compositions branch additional variants.
+//! 3. **In-PNL** — per PNL: legal reorderings of the innermost band,
+//!    then innermost tiling *or* flattening for temporal granularity,
+//!    then multi-dimensional unrolling for spatial granularity.
+//!
+//! Every candidate carries the *recipe* of primitives that produced it so
+//! the final context-generation stage can replay the chosen candidates
+//! onto one combined program.
+
+use crate::config::{ExploreConfig, FusionMode};
+use crate::primitives;
+use crate::result::{PnlCandidate, ProgramVariant, ResultForest};
+use ptmap_ir::{LoopId, PerfectNest, Program};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One replayable transformation step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Recipe {
+    /// Reorder the PNL rooted at `root` to `order`.
+    Reorder {
+        /// PNL root loop.
+        root: LoopId,
+        /// New chain order, outermost first.
+        order: Vec<LoopId>,
+    },
+    /// Strip-mine `target` with `tile`.
+    StripMine {
+        /// Loop to split.
+        target: LoopId,
+        /// Tile size.
+        tile: u64,
+    },
+    /// Flatten the perfect pair rooted at `outer`.
+    Flatten {
+        /// Outer loop of the pair.
+        outer: LoopId,
+    },
+}
+
+/// Replays a recipe onto a program.
+///
+/// # Errors
+///
+/// Propagates the underlying primitive's [`crate::TransformError`].
+pub fn apply_recipe(
+    program: &Program,
+    recipe: &[Recipe],
+) -> Result<Program, crate::TransformError> {
+    let mut p = program.clone();
+    for step in recipe {
+        p = match step {
+            Recipe::Reorder { root, order } => primitives::reorder(&p, *root, order)?,
+            Recipe::StripMine { target, tile } => primitives::strip_mine(&p, *target, *tile)?.0,
+            Recipe::Flatten { outer } => primitives::flatten(&p, *outer)?.0,
+        };
+    }
+    Ok(p)
+}
+
+/// Runs the full top-down exploration.
+pub fn explore(program: &Program, config: &ExploreConfig) -> ResultForest {
+    let mut variants: Vec<(Program, FusionMode)> = Vec::new();
+    for &mode in &config.fusion_modes {
+        let p = apply_fusion_mode(program, mode);
+        if !variants.iter().any(|(q, _)| q == &p) {
+            variants.push((p, mode));
+        }
+    }
+    // Out-PNL: branch tiled-and-distributed variants.
+    let mut branched: Vec<(Program, FusionMode)> = Vec::new();
+    for (p, mode) in &variants {
+        for q in out_pnl_variants(p, config) {
+            if !variants.iter().any(|(v, _)| v == &q)
+                && !branched.iter().any(|(v, _)| v == &q)
+            {
+                branched.push((q, *mode));
+            }
+        }
+    }
+    variants.extend(branched);
+
+    let mut forest = ResultForest::default();
+    for (p, fusion) in variants {
+        let arc = Arc::new(p);
+        let nests = arc.perfect_nests();
+        let pnl_candidates: Vec<Vec<PnlCandidate>> = nests
+            .iter()
+            .map(|nest| in_pnl_explore(&arc, nest, config, &mut forest.stats))
+            .collect();
+        forest.variants.push(ProgramVariant { program: arc, fusion, pnl_candidates });
+    }
+    forest
+}
+
+// ---------------------------------------------------------------------
+// Program level.
+
+/// Applies one program-level fusion/fission heuristic (used by the
+/// exploration and by external tuners searching the same space).
+pub fn apply_fusion_mode(program: &Program, mode: FusionMode) -> Program {
+    match mode {
+        FusionMode::AsIs => program.clone(),
+        FusionMode::NoFuse => fixpoint_fission(program),
+        FusionMode::MaxFuse => fixpoint_fusion(program, false),
+        FusionMode::SmartFuse => fixpoint_fusion(program, true),
+    }
+}
+
+fn fixpoint_fission(program: &Program) -> Program {
+    let mut p = program.clone();
+    loop {
+        let mut changed = false;
+        let targets: Vec<LoopId> = multi_part_loops(&p);
+        for l in targets {
+            if let Ok(q) = primitives::fission(&p, l) {
+                if q != p {
+                    p = q;
+                    changed = true;
+                    break; // re-scan: ids shifted
+                }
+            }
+        }
+        if !changed {
+            return p;
+        }
+    }
+}
+
+fn multi_part_loops(p: &Program) -> Vec<LoopId> {
+    fn rec(nodes: &[ptmap_ir::Node], out: &mut Vec<LoopId>) {
+        for n in nodes {
+            if let ptmap_ir::Node::Loop(l) = n {
+                if l.body.len() > 1 {
+                    out.push(l.id);
+                }
+                rec(&l.body, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(&p.roots, &mut out);
+    out
+}
+
+fn fixpoint_fusion(program: &Program, smart: bool) -> Program {
+    let mut p = program.clone();
+    loop {
+        let mut changed = false;
+        for (a, b) in adjacent_sibling_loops(&p) {
+            if smart && !shares_arrays(&p, a, b) {
+                continue;
+            }
+            if let Ok(q) = primitives::fuse(&p, a, b) {
+                p = q;
+                changed = true;
+                break;
+            }
+        }
+        if !changed {
+            return p;
+        }
+    }
+}
+
+fn adjacent_sibling_loops(p: &Program) -> Vec<(LoopId, LoopId)> {
+    fn rec(nodes: &[ptmap_ir::Node], out: &mut Vec<(LoopId, LoopId)>) {
+        let loops: Vec<&ptmap_ir::Loop> =
+            nodes.iter().filter_map(ptmap_ir::Node::as_loop).collect();
+        // Adjacent means consecutive in the body node list.
+        for w in nodes.windows(2) {
+            if let (ptmap_ir::Node::Loop(a), ptmap_ir::Node::Loop(b)) = (&w[0], &w[1]) {
+                if a.tripcount == b.tripcount {
+                    out.push((a.id, b.id));
+                }
+            }
+        }
+        for l in loops {
+            rec(&l.body, out);
+        }
+    }
+    let mut out = Vec::new();
+    rec(&p.roots, &mut out);
+    out
+}
+
+fn shares_arrays(p: &Program, a: LoopId, b: LoopId) -> bool {
+    let arrays_of = |l: LoopId| -> std::collections::BTreeSet<ptmap_ir::ArrayId> {
+        p.find_loop(l)
+            .map(|lp| {
+                lp.all_stmts()
+                    .iter()
+                    .flat_map(|s| {
+                        let (reads, w) = s.accesses();
+                        reads
+                            .into_iter()
+                            .map(|r| r.array)
+                            .chain(w.map(|w| w.array))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    !arrays_of(a).is_disjoint(&arrays_of(b))
+}
+
+// ---------------------------------------------------------------------
+// Out-PNL level.
+
+/// Non-PNL nodes with only loop children can be tiled and distributed:
+/// strip-mine the node, then fission the inner replica over its children
+/// so each child PNL deepens under the tile loop.
+fn out_pnl_variants(p: &Program, config: &ExploreConfig) -> Vec<Program> {
+    let mut out = Vec::new();
+    let lit = crate::lit::Lit::build(p);
+    let tiles: Vec<u64> = config.tile_sizes.iter().copied().take(2).collect();
+    for (idx, node) in lit.nodes().iter().enumerate() {
+        let crate::lit::LitNode::Loop { id, tripcount } = node else { continue };
+        if lit.is_pnl(idx) {
+            continue;
+        }
+        // Only loop children (statements would be re-executed per tile).
+        let only_loops = lit
+            .children(idx)
+            .iter()
+            .all(|&k| matches!(lit.nodes()[k], crate::lit::LitNode::Loop { .. }));
+        if !only_loops || lit.children(idx).len() < 2 {
+            continue;
+        }
+        for &t in &tiles {
+            if t >= *tripcount {
+                continue;
+            }
+            let Ok((q, _outer)) = primitives::strip_mine(p, *id, t) else { continue };
+            let Ok(q) = primitives::fission(&q, *id) else { continue };
+            out.push(q);
+            break; // one tile size per node keeps the branch count low
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// In-PNL level.
+
+fn in_pnl_explore(
+    program: &Arc<Program>,
+    nest: &PerfectNest,
+    config: &ExploreConfig,
+    stats: &mut crate::result::ExploreStats,
+) -> Vec<PnlCandidate> {
+    let mut out: Vec<PnlCandidate> = Vec::new();
+    let root = nest.loops[0];
+
+    // Stage 1: loop order enumeration over the innermost band.
+    let orders = band_orders(nest, config.reorder_depth);
+    for order in orders {
+        stats.orders_enumerated += 1;
+        let order_recipe: Vec<Recipe> = if order == nest.loops {
+            Vec::new()
+        } else {
+            vec![Recipe::Reorder { root, order: order.clone() }]
+        };
+        let base = match apply_recipe(program, &order_recipe) {
+            Ok(p) => p,
+            Err(_) => {
+                stats.orders_illegal += 1;
+                continue; // illegal order
+            }
+        };
+        let pipelined = *order.last().expect("non-empty nest");
+
+        // Stage 2: innermost tiling or flattening.
+        let mut structures: Vec<(Program, Vec<Recipe>, String)> =
+            vec![(base.clone(), order_recipe.clone(), format!("order{order:?}"))];
+        let pip_tc = base.tripcount(pipelined).unwrap_or(0);
+        for &t in &config.tile_sizes {
+            if t >= pip_tc || t < 2 {
+                continue;
+            }
+            if let Ok((q, _)) = primitives::strip_mine(&base, pipelined, t) {
+                stats.tiled += 1;
+                let mut r = order_recipe.clone();
+                r.push(Recipe::StripMine { target: pipelined, tile: t });
+                structures.push((q, r, format!("order{order:?}+tile{t}")));
+            }
+        }
+        if order.len() >= 2 {
+            let outer_pair = order[order.len() - 2];
+            if let Ok((q, _flat)) = primitives::flatten(&base, outer_pair) {
+                stats.flattened += 1;
+                let mut r = order_recipe.clone();
+                r.push(Recipe::Flatten { outer: outer_pair });
+                structures.push((q, r, format!("order{order:?}+flatten")));
+            }
+        }
+
+        // Stage 3: multi-dimensional unrolling.
+        for (q, recipe, desc) in structures {
+            let arc = Arc::new(q);
+            let Some(qnest) = find_nest(&arc, pipelined) else { continue };
+            for unroll in unroll_vectors(&qnest, config) {
+                if !unroll.is_empty() {
+                    stats.unrolled += 1;
+                }
+                let udesc = if unroll.is_empty() {
+                    desc.clone()
+                } else {
+                    format!("{desc}+unroll{unroll:?}")
+                };
+                out.push(PnlCandidate {
+                    program: Arc::clone(&arc),
+                    nest: qnest.clone(),
+                    unroll,
+                    desc: udesc,
+                });
+            }
+            let _ = &recipe; // recipes are carried in `desc` consumers via re-application
+        }
+    }
+
+    subsample(out, config.max_candidates_per_pnl)
+}
+
+/// Permutations of the innermost `depth` loops (outer prefix fixed).
+fn band_orders(nest: &PerfectNest, depth: usize) -> Vec<Vec<LoopId>> {
+    let d = depth.min(nest.loops.len());
+    let prefix = &nest.loops[..nest.loops.len() - d];
+    let band: Vec<LoopId> = nest.loops[nest.loops.len() - d..].to_vec();
+    permutations(&band)
+        .into_iter()
+        .map(|p| {
+            let mut order = prefix.to_vec();
+            order.extend(p);
+            order
+        })
+        .collect()
+}
+
+fn permutations(items: &[LoopId]) -> Vec<Vec<LoopId>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// The nest of the transformed program containing `pipelined` (as the
+/// pipelined loop or, after tiling, anywhere in the chain).
+fn find_nest(p: &Arc<Program>, pipelined: LoopId) -> Option<PerfectNest> {
+    let nests = p.perfect_nests();
+    nests
+        .iter()
+        .find(|n| n.pipelined_loop() == pipelined)
+        .or_else(|| nests.iter().find(|n| n.loops.contains(&pipelined)))
+        .cloned()
+}
+
+/// Enumerate unroll vectors over the innermost loops (factors from the
+/// config grid, bounded count of dimensions and total product).
+fn unroll_vectors(nest: &PerfectNest, config: &ExploreConfig) -> Vec<Vec<(LoopId, u32)>> {
+    let dims: Vec<(LoopId, u64)> = nest
+        .loops
+        .iter()
+        .copied()
+        .zip(nest.tripcounts.iter().copied())
+        .rev()
+        .take(config.max_unroll_dims.max(1) + 1)
+        .collect();
+    let mut out: Vec<Vec<(LoopId, u32)>> = vec![Vec::new()];
+    // Single-dimension unrolls.
+    for &(l, tc) in &dims {
+        for &f in &config.unroll_factors {
+            if f >= 2 && (f as u64) <= tc && f <= config.max_unroll_product {
+                out.push(vec![(l, f)]);
+            }
+        }
+    }
+    // Two-dimension combinations.
+    if config.max_unroll_dims >= 2 {
+        for (i, &(la, ta)) in dims.iter().enumerate() {
+            for &(lb, tb) in dims.iter().skip(i + 1) {
+                for &fa in &config.unroll_factors {
+                    for &fb in &config.unroll_factors {
+                        if fa < 2 || fb < 2 {
+                            continue;
+                        }
+                        if fa as u64 > ta || fb as u64 > tb {
+                            continue;
+                        }
+                        if fa * fb > config.max_unroll_product {
+                            continue;
+                        }
+                        out.push(vec![(la, fa), (lb, fb)]);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Evenly subsample when the candidate list exceeds the cap, always
+/// keeping the first (identity) candidate.
+fn subsample(mut v: Vec<PnlCandidate>, cap: usize) -> Vec<PnlCandidate> {
+    if v.len() <= cap || cap == 0 {
+        return v;
+    }
+    let stride = v.len() as f64 / cap as f64;
+    let mut out = Vec::with_capacity(cap);
+    let mut pos = 0.0;
+    while out.len() < cap {
+        let i = (pos as usize).min(v.len() - 1);
+        out.push(v[i].clone());
+        pos += stride;
+    }
+    v.clear();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExploreConfig;
+    use ptmap_ir::ProgramBuilder;
+
+    fn gemm(n: u64) -> Program {
+        let mut b = ProgramBuilder::new("gemm");
+        let a = b.array("A", &[n, n]);
+        let bb = b.array("B", &[n, n]);
+        let c = b.array("C", &[n, n]);
+        let i = b.open_loop("i", n);
+        let j = b.open_loop("j", n);
+        let k = b.open_loop("k", n);
+        let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+        let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
+        b.store(c, &[b.idx(i), b.idx(j)], sum);
+        b.close_loop();
+        b.close_loop();
+        b.close_loop();
+        b.finish()
+    }
+
+    #[test]
+    fn gemm_exploration_produces_rich_space() {
+        let p = gemm(64);
+        let forest = explore(&p, &ExploreConfig::default());
+        assert!(!forest.variants.is_empty());
+        let total = forest.candidate_count();
+        assert!(total >= 20, "only {total} candidates");
+        // The identity candidate is present.
+        let v = &forest.variants[0];
+        assert!(v.pnl_candidates[0].iter().any(|c| c.unroll.is_empty()));
+        // Unrolled candidates exist.
+        assert!(v.pnl_candidates[0].iter().any(|c| c.unroll_product() >= 4));
+        // Tiled candidates exist (deeper nests).
+        assert!(v.pnl_candidates[0].iter().any(|c| c.nest.depth() > 3));
+    }
+
+    #[test]
+    fn respects_candidate_cap() {
+        let p = gemm(64);
+        let mut cfg = ExploreConfig::default();
+        cfg.max_candidates_per_pnl = 10;
+        let forest = explore(&p, &cfg);
+        for v in &forest.variants {
+            for ra in &v.pnl_candidates {
+                assert!(ra.len() <= 10);
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_modes_dedup_when_no_opportunity() {
+        // Single PNL: every fusion mode yields the same program.
+        let p = gemm(16);
+        let forest = explore(&p, &ExploreConfig::default());
+        // AsIs only (others dedup into it); out-PNL may add none.
+        assert_eq!(forest.variants.len(), 1);
+    }
+
+    #[test]
+    fn two_kernel_program_gets_fused_variant() {
+        // Producer/consumer pair: maxfuse should produce a fused variant.
+        let mut b = ProgramBuilder::new("pc");
+        let a = b.array("A", &[128]);
+        let x = b.array("X", &[128]);
+        let y = b.array("Y", &[128]);
+        let i = b.open_loop("i", 128);
+        let v = b.mul(b.load(a, &[b.idx(i)]), b.constant(2));
+        b.store(x, &[b.idx(i)], v);
+        b.close_loop();
+        let j = b.open_loop("j", 128);
+        let w = b.add(b.load(x, &[b.idx(j)]), b.constant(1));
+        b.store(y, &[b.idx(j)], w);
+        b.close_loop();
+        let p = b.finish();
+        let forest = explore(&p, &ExploreConfig::default());
+        let pnl_counts: Vec<usize> =
+            forest.variants.iter().map(|v| v.pnl_candidates.len()).collect();
+        assert!(pnl_counts.contains(&1), "a fused (1-PNL) variant exists: {pnl_counts:?}");
+        assert!(pnl_counts.contains(&2), "the unfused (2-PNL) variant exists: {pnl_counts:?}");
+    }
+
+    #[test]
+    fn quick_config_stays_small() {
+        let p = gemm(64);
+        let forest = explore(&p, &ExploreConfig::quick());
+        assert!(forest.candidate_count() <= 24);
+    }
+
+    #[test]
+    fn candidates_describe_themselves() {
+        let p = gemm(64);
+        let forest = explore(&p, &ExploreConfig::quick());
+        for v in &forest.variants {
+            for c in v.pnl_candidates.iter().flatten() {
+                assert!(!c.desc.is_empty());
+            }
+        }
+    }
+}

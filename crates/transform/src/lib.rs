@@ -1,0 +1,48 @@
+//! PT-Map's program transformation engine.
+//!
+//! The crate implements the paper's Table-1 primitive space and the
+//! top-down exploration of Section 3.2:
+//!
+//! * [`lit`] — the *loop index tree* (LIT) representation used to steer
+//!   exploration, with a virtual root and PNL detection;
+//! * [`primitives`] — program rewrites with dependence-checked legality:
+//!   loop fusion/fission (program level), reordering, strip-mining/
+//!   tiling, flattening (inter-loop), and the descriptor side of
+//!   unrolling (intra-loop; the DFG builder applies it);
+//! * [`mod@explore`] — the three-level exploration (program-level fusion
+//!   heuristics → out-PNL BFS → in-PNL order/tile-or-flatten/unroll
+//!   enumeration) producing a [`result::ResultForest`] with one result
+//!   array per PNL.
+//!
+//! # Example
+//!
+//! ```
+//! use ptmap_ir::ProgramBuilder;
+//! use ptmap_transform::{explore, ExploreConfig};
+//!
+//! let mut b = ProgramBuilder::new("scale");
+//! let x = b.array("X", &[4096]);
+//! let i = b.open_loop("i", 4096);
+//! let v = b.mul(b.load(x, &[b.idx(i)]), b.constant(3));
+//! b.store(x, &[b.idx(i)], v);
+//! b.close_loop();
+//! let p = b.finish();
+//!
+//! let forest = explore(&p, &ExploreConfig::default());
+//! assert!(!forest.variants.is_empty());
+//! // Every variant has one result array for the single PNL.
+//! assert!(forest.variants.iter().all(|v| v.pnl_candidates.len() == 1));
+//! ```
+
+pub mod config;
+pub mod error;
+pub mod explore;
+pub mod lit;
+pub mod primitives;
+pub mod result;
+
+pub use config::{ExploreConfig, FusionMode};
+pub use error::TransformError;
+pub use explore::explore;
+pub use lit::{Lit, LitNode};
+pub use result::{ExploreStats, PnlCandidate, ProgramVariant, ResultForest};

@@ -1,0 +1,233 @@
+//! The loop index tree (LIT).
+//!
+//! Each node denotes a loop index; edges follow loop nesting; a virtual
+//! root unifies the whole program (Fig. 4b of the paper). The LIT makes
+//! two queries cheap: *is the subtree rooted at node `i` a PNL?* and
+//! *which nodes are the maximal PNL roots?* — the pivots of the
+//! exploration.
+
+use ptmap_ir::{LoopId, Node, Program, StmtId};
+use serde::{Deserialize, Serialize};
+
+/// A node of the LIT.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LitNode {
+    /// The virtual root (unified entry point of the program).
+    Root,
+    /// A loop index.
+    Loop {
+        /// The loop.
+        id: LoopId,
+        /// Its tripcount.
+        tripcount: u64,
+    },
+    /// A statement leaf.
+    Stmt(StmtId),
+}
+
+/// The loop index tree of a program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lit {
+    nodes: Vec<LitNode>,
+    children: Vec<Vec<usize>>,
+    parent: Vec<Option<usize>>,
+}
+
+impl Lit {
+    /// Builds the LIT of a program.
+    pub fn build(program: &Program) -> Self {
+        let mut lit = Lit { nodes: vec![LitNode::Root], children: vec![Vec::new()], parent: vec![None] };
+        fn add(lit: &mut Lit, parent: usize, nodes: &[Node]) {
+            for n in nodes {
+                match n {
+                    Node::Stmt(s) => {
+                        let idx = lit.push(LitNode::Stmt(s.id), parent);
+                        let _ = idx;
+                    }
+                    Node::Loop(l) => {
+                        let idx = lit
+                            .push(LitNode::Loop { id: l.id, tripcount: l.tripcount }, parent);
+                        add(lit, idx, &l.body);
+                    }
+                }
+            }
+        }
+        add(&mut lit, 0, &program.roots);
+        lit
+    }
+
+    fn push(&mut self, node: LitNode, parent: usize) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(node);
+        self.children.push(Vec::new());
+        self.parent.push(Some(parent));
+        self.children[parent].push(idx);
+        idx
+    }
+
+    /// The node table (index 0 is the virtual root).
+    pub fn nodes(&self) -> &[LitNode] {
+        &self.nodes
+    }
+
+    /// Children indices of a node.
+    pub fn children(&self, idx: usize) -> &[usize] {
+        &self.children[idx]
+    }
+
+    /// Parent index of a node (`None` for the root).
+    pub fn parent(&self, idx: usize) -> Option<usize> {
+        self.parent[idx]
+    }
+
+    /// Whether the subtree rooted at `idx` is a PNL: a chain of
+    /// single-loop children ending in statement leaves only.
+    pub fn is_pnl(&self, idx: usize) -> bool {
+        match self.nodes[idx] {
+            LitNode::Loop { .. } => {}
+            _ => return false,
+        }
+        let mut cur = idx;
+        loop {
+            let kids = &self.children[cur];
+            let loops: Vec<usize> = kids
+                .iter()
+                .copied()
+                .filter(|&k| matches!(self.nodes[k], LitNode::Loop { .. }))
+                .collect();
+            let stmts = kids.len() - loops.len();
+            match (loops.len(), stmts) {
+                (0, _) => return true,
+                (1, 0) => cur = loops[0],
+                _ => return false,
+            }
+        }
+    }
+
+    /// Indices of the maximal PNL roots, in program order (BFS over
+    /// non-PNL nodes, as the out-PNL exploration walks them).
+    pub fn pnl_roots(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(idx) = queue.pop_front() {
+            for &k in &self.children[idx] {
+                if matches!(self.nodes[k], LitNode::Loop { .. }) {
+                    if self.is_pnl(k) {
+                        out.push(k);
+                    } else {
+                        queue.push_back(k);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The loop ids along the chain of a PNL rooted at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not a PNL root (check with [`is_pnl`](Self::is_pnl)).
+    pub fn pnl_chain(&self, idx: usize) -> Vec<LoopId> {
+        assert!(self.is_pnl(idx), "node {idx} is not a PNL root");
+        let mut out = Vec::new();
+        let mut cur = idx;
+        loop {
+            match self.nodes[cur] {
+                LitNode::Loop { id, .. } => out.push(id),
+                _ => unreachable!(),
+            }
+            let loops: Vec<usize> = self.children[cur]
+                .iter()
+                .copied()
+                .filter(|&k| matches!(self.nodes[k], LitNode::Loop { .. }))
+                .collect();
+            match loops.len() {
+                0 => break,
+                _ => cur = loops[0],
+            }
+        }
+        out
+    }
+
+    /// Number of maximal PNLs (the paper's Tab. 5 statistic).
+    pub fn pnl_count(&self) -> usize {
+        self.pnl_roots().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptmap_ir::ProgramBuilder;
+
+    fn fused_gemm_like() -> Program {
+        // for i { for j { S1; for k { S2 } } }  (Fig. 4b shape)
+        let mut b = ProgramBuilder::new("fused");
+        let c = b.array("C", &[8, 8]);
+        let a = b.array("A", &[8, 8]);
+        let i = b.open_loop("i", 8);
+        let j = b.open_loop("j", 8);
+        b.store(c, &[b.idx(i), b.idx(j)], b.constant(0));
+        let k = b.open_loop("k", 8);
+        let v = b.add(b.load(c, &[b.idx(i), b.idx(j)]), b.load(a, &[b.idx(k), b.idx(j)]));
+        b.store(c, &[b.idx(i), b.idx(j)], v);
+        b.close_loop();
+        b.close_loop();
+        b.close_loop();
+        b.finish()
+    }
+
+    #[test]
+    fn root_is_virtual() {
+        let p = fused_gemm_like();
+        let lit = Lit::build(&p);
+        assert_eq!(lit.nodes()[0], LitNode::Root);
+        assert!(lit.parent(0).is_none());
+    }
+
+    #[test]
+    fn pnl_detection_matches_program() {
+        let p = fused_gemm_like();
+        let lit = Lit::build(&p);
+        // Only the k loop is a PNL; i and j are imperfect.
+        assert_eq!(lit.pnl_count(), 1);
+        let roots = lit.pnl_roots();
+        let chain = lit.pnl_chain(roots[0]);
+        assert_eq!(chain.len(), 1);
+        assert_eq!(p.perfect_nests().len(), 1);
+    }
+
+    #[test]
+    fn deep_pnl_chain() {
+        let mut b = ProgramBuilder::new("deep");
+        let x = b.array("X", &[4, 4, 4]);
+        let i = b.open_loop("i", 4);
+        let j = b.open_loop("j", 4);
+        let k = b.open_loop("k", 4);
+        b.store(x, &[b.idx(i), b.idx(j), b.idx(k)], b.constant(1));
+        b.close_loop();
+        b.close_loop();
+        b.close_loop();
+        let p = b.finish();
+        let lit = Lit::build(&p);
+        let roots = lit.pnl_roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(lit.pnl_chain(roots[0]).len(), 3);
+    }
+
+    #[test]
+    fn sibling_pnls_in_program_order() {
+        let mut b = ProgramBuilder::new("two");
+        let x = b.array("X", &[8]);
+        let i = b.open_loop("i", 8);
+        b.store(x, &[b.idx(i)], b.constant(0));
+        b.close_loop();
+        let j = b.open_loop("j", 8);
+        b.store(x, &[b.idx(j)], b.constant(1));
+        b.close_loop();
+        let p = b.finish();
+        let lit = Lit::build(&p);
+        assert_eq!(lit.pnl_count(), 2);
+    }
+}

@@ -1,0 +1,816 @@
+//! Transformation primitives with dependence-checked legality (Tab. 1).
+//!
+//! Every primitive takes a program by reference and returns a rewritten
+//! clone, leaving the input untouched — exploration freely branches on
+//! intermediate programs. Unrolling is *not* a program rewrite: it is a
+//! per-candidate vector applied by `ptmap_ir::dfg::build_dfg`.
+
+use crate::error::TransformError;
+use ptmap_ir::{
+    AffineExpr, DependenceSet, Loop, LoopId, Node, Program,
+};
+
+/// Permutes the loops of a perfectly nested band.
+///
+/// `new_order` must be a permutation of the full PNL chain rooted at
+/// `pnl_root`, outermost-first.
+///
+/// # Errors
+///
+/// [`TransformError::UnknownLoop`], [`TransformError::NotPerfectlyNested`],
+/// [`TransformError::BadPermutation`], or [`TransformError::IllegalReorder`].
+pub fn reorder(
+    program: &Program,
+    pnl_root: LoopId,
+    new_order: &[LoopId],
+) -> Result<Program, TransformError> {
+    let root =
+        program.find_loop(pnl_root).ok_or(TransformError::UnknownLoop(pnl_root))?;
+    if !root.is_perfect_nest() {
+        return Err(TransformError::NotPerfectlyNested);
+    }
+    // Collect the chain.
+    let mut chain: Vec<(LoopId, u64, String)> = Vec::new();
+    let mut cur = root;
+    loop {
+        chain.push((cur.id, cur.tripcount, cur.name.clone()));
+        match cur.direct_loops().next() {
+            Some(inner) => cur = inner,
+            None => break,
+        }
+    }
+    let innermost_body: Vec<Node> =
+        cur.body.iter().filter(|n| n.as_stmt().is_some()).cloned().collect();
+    // Validate the permutation.
+    let mut have: Vec<LoopId> = chain.iter().map(|c| c.0).collect();
+    let mut want = new_order.to_vec();
+    have.sort_unstable();
+    want.sort_unstable();
+    if have != want {
+        return Err(TransformError::BadPermutation);
+    }
+    // Legality.
+    let deps = DependenceSet::analyze(program);
+    if !deps.permutation_legal(new_order) {
+        return Err(TransformError::IllegalReorder);
+    }
+    // Rebuild the chain in the new order.
+    let mut body = innermost_body;
+    for &l in new_order.iter().rev() {
+        let (_, tc, name) = chain.iter().find(|c| c.0 == l).expect("validated").clone();
+        body = vec![Node::Loop(Loop { id: l, name, tripcount: tc, body })];
+    }
+    let replacement = match body.pop() {
+        Some(n) => n,
+        None => return Err(TransformError::BadPermutation),
+    };
+    replace_loop(program, pnl_root, vec![replacement])
+}
+
+/// Strip-mines `target` with the given tile size: the loop becomes an
+/// outer tile loop of `ceil(N / tile)` iterations over an inner loop of
+/// `tile` iterations (the iteration domain is padded up when `tile` does
+/// not divide `N`, matching the paper's power-of-two tiling grid).
+///
+/// Returns the rewritten program and the id of the new outer tile loop
+/// (the inner loop keeps `target`'s id).
+///
+/// # Errors
+///
+/// [`TransformError::UnknownLoop`] or [`TransformError::BadTileSize`].
+pub fn strip_mine(
+    program: &Program,
+    target: LoopId,
+    tile: u64,
+) -> Result<(Program, LoopId), TransformError> {
+    if tile < 2 {
+        return Err(TransformError::BadTileSize(tile));
+    }
+    let l = program.find_loop(target).ok_or(TransformError::UnknownLoop(target))?;
+    if tile >= l.tripcount {
+        return Err(TransformError::BadTileSize(tile));
+    }
+    let mut out = program.clone();
+    let (outer_id, outer_name) = out.fresh_loop_id(format!("{}_t", l.name));
+    let inner_tc = tile;
+    let outer_tc = l.tripcount.div_ceil(tile);
+    // i := tile * i_t + i
+    let repl = AffineExpr::var(outer_id) * tile as i64 + AffineExpr::var(target);
+    let inner_body = substitute_nodes(&l.body, target, &repl);
+    let inner = Loop { id: target, name: l.name.clone(), tripcount: inner_tc, body: inner_body };
+    let outer = Loop {
+        id: outer_id,
+        name: outer_name,
+        tripcount: outer_tc,
+        body: vec![Node::Loop(inner)],
+    };
+    let out = replace_loop_in(&out, target, vec![Node::Loop(outer)])?;
+    Ok((out, outer_id))
+}
+
+/// Fuses two adjacent sibling loops with equal tripcounts; the fused
+/// loop keeps `first`'s index.
+///
+/// Legality is decided on the *original* program: in the source, all of
+/// `first` executes before `second`, so every dependence between them
+/// points from `first`-statements to `second`-statements. Fusion is
+/// legal only if each such dependence's distance on the fused index is a
+/// known non-negative integer (or the dependence is killed by a positive
+/// distance on a common outer loop).
+///
+/// # Errors
+///
+/// [`TransformError::UnknownLoop`], [`TransformError::NotAdjacent`],
+/// [`TransformError::TripcountMismatch`], or
+/// [`TransformError::IllegalFusion`].
+pub fn fuse(
+    program: &Program,
+    first: LoopId,
+    second: LoopId,
+) -> Result<Program, TransformError> {
+    if fusion_preventing_dep(program, first, second)? {
+        return Err(TransformError::IllegalFusion);
+    }
+    speculative_fuse(program, first, second)
+}
+
+fn fusion_preventing_dep(
+    program: &Program,
+    first: LoopId,
+    second: LoopId,
+) -> Result<bool, TransformError> {
+    use ptmap_ir::{access_distance, ArrayAccess, Distance, LValue};
+    let l1 = program.find_loop(first).ok_or(TransformError::UnknownLoop(first))?;
+    let l2 = program.find_loop(second).ok_or(TransformError::UnknownLoop(second))?;
+    let mut common = program.enclosing_loops(first);
+    common.push(first);
+    let rename: std::collections::BTreeMap<LoopId, LoopId> =
+        [(second, first)].into_iter().collect();
+
+    // Any scalar written under `first` and read under `second` would see
+    // its *final* value in the source but a running value after fusion.
+    let written1: Vec<ptmap_ir::ScalarId> = l1
+        .all_stmts()
+        .iter()
+        .filter_map(|s| match &s.target {
+            LValue::Scalar(x) => Some(*x),
+            _ => None,
+        })
+        .collect();
+    if l2
+        .all_stmts()
+        .iter()
+        .any(|s| s.value.scalar_reads().iter().any(|r| written1.contains(r)))
+    {
+        return Ok(true);
+    }
+
+    let accesses = |l: &ptmap_ir::Loop, renamed: bool| -> Vec<(ArrayAccess, bool)> {
+        l.all_stmts()
+            .iter()
+            .flat_map(|s| {
+                let (reads, write) = s.accesses();
+                reads
+                    .into_iter()
+                    .map(|a| (a.clone(), false))
+                    .chain(write.map(|a| (a.clone(), true)))
+                    .collect::<Vec<_>>()
+            })
+            .map(|(a, w)| if renamed { (a.rename_loops(&rename), w) } else { (a, w) })
+            .collect()
+    };
+    let acc1 = accesses(l1, false);
+    let acc2 = accesses(l2, true);
+
+    for (a1, w1) in &acc1 {
+        for (a2, w2) in &acc2 {
+            if a1.array != a2.array || (!w1 && !w2) {
+                continue;
+            }
+            let Some(dist) = access_distance(a1, a2, &common) else { continue };
+            // Killed by a positive outer component?
+            let mut verdict_pending = true;
+            for (idx, d) in dist.iter().enumerate() {
+                let is_fused = idx == dist.len() - 1;
+                if is_fused {
+                    match d {
+                        Distance::Exact(x) if *x >= 0 => verdict_pending = false,
+                        _ => return Ok(true),
+                    }
+                } else {
+                    match d {
+                        Distance::Exact(0) => continue,
+                        Distance::Exact(x) if *x > 0 => {
+                            verdict_pending = false;
+                            break;
+                        }
+                        Distance::Plus => {
+                            verdict_pending = false;
+                            break;
+                        }
+                        _ => return Ok(true), // unknown outer context
+                    }
+                }
+            }
+            let _ = verdict_pending;
+        }
+    }
+    Ok(false)
+}
+
+fn speculative_fuse(
+    program: &Program,
+    first: LoopId,
+    second: LoopId,
+) -> Result<Program, TransformError> {
+    let mut out = program.clone();
+    let slot = find_sibling_slot(&mut out.roots, first, second)
+        .ok_or(TransformError::NotAdjacent(first, second))?;
+    let (l1, l2) = slot?;
+    if l1.tripcount != l2.tripcount {
+        return Err(TransformError::TripcountMismatch { a: l1.tripcount, b: l2.tripcount });
+    }
+    // Rename second's index to first's throughout its body.
+    let map: std::collections::BTreeMap<LoopId, LoopId> =
+        [(second, first)].into_iter().collect();
+    let renamed: Vec<Node> = l2.body.iter().map(|n| rename_nodes(n, &map)).collect();
+    l1.body.extend(renamed);
+    // Remove the second loop.
+    remove_loop(&mut out.roots, second);
+    Ok(out)
+}
+
+/// Distributes a loop over its body parts (loop fission). Each part
+/// becomes its own loop; later parts get fresh loop ids.
+///
+/// # Errors
+///
+/// [`TransformError::UnknownLoop`] or [`TransformError::IllegalFission`]
+/// when a dependence flows from a later part to an earlier one.
+pub fn fission(program: &Program, target: LoopId) -> Result<Program, TransformError> {
+    let l = program.find_loop(target).ok_or(TransformError::UnknownLoop(target))?;
+    if l.body.len() < 2 {
+        return Ok(program.clone());
+    }
+    // Legality: every dependence between different parts must point
+    // forward in part order.
+    let deps = DependenceSet::analyze(program);
+    let part_of: std::collections::HashMap<ptmap_ir::StmtId, usize> = l
+        .body
+        .iter()
+        .enumerate()
+        .flat_map(|(i, n)| {
+            let stmts: Vec<ptmap_ir::StmtId> = match n {
+                Node::Stmt(s) => vec![s.id],
+                Node::Loop(inner) => inner.all_stmts().iter().map(|s| s.id).collect(),
+            };
+            stmts.into_iter().map(move |s| (s, i))
+        })
+        .collect();
+    for dep in deps.iter() {
+        if let (Some(&ps), Some(&pd)) = (part_of.get(&dep.src), part_of.get(&dep.dst)) {
+            if ps > pd && !dep.is_reduction {
+                return Err(TransformError::IllegalFission);
+            }
+        }
+    }
+    let mut out = program.clone();
+    let mut parts: Vec<Node> = Vec::new();
+    for (i, part) in l.body.iter().enumerate() {
+        let (id, name) = if i == 0 {
+            (l.id, l.name.clone())
+        } else {
+            let (fresh, name) = out.fresh_loop_id(format!("{}_{}", l.name, i));
+            (fresh, name)
+        };
+        let body = if i == 0 {
+            vec![part.clone()]
+        } else {
+            let map: std::collections::BTreeMap<LoopId, LoopId> =
+                [(l.id, id)].into_iter().collect();
+            vec![rename_nodes(part, &map)]
+        };
+        parts.push(Node::Loop(Loop { id, name, tripcount: l.tripcount, body }));
+    }
+    replace_loop_in(&out, target, parts)
+}
+
+/// Flattens a perfectly nested loop pair `(outer, its only child)` into
+/// a single loop, linearizing every affected array access.
+///
+/// Returns the rewritten program and the id of the new flattened loop.
+///
+/// # Errors
+///
+/// [`TransformError::UnknownLoop`], [`TransformError::NotPerfectlyNested`],
+/// or [`TransformError::NotFlattenable`] when some access's strides do
+/// not match the inner tripcount.
+pub fn flatten(program: &Program, outer: LoopId) -> Result<(Program, LoopId), TransformError> {
+    let l_out = program.find_loop(outer).ok_or(TransformError::UnknownLoop(outer))?;
+    let inner_loops: Vec<&Loop> = l_out.direct_loops().collect();
+    if inner_loops.len() != 1 || l_out.direct_stmts().next().is_some() {
+        return Err(TransformError::NotPerfectlyNested);
+    }
+    let l_in = inner_loops[0];
+    let (inner, inner_tc) = (l_in.id, l_in.tripcount);
+
+    // Check flattenability: for every access (linearized, row-major),
+    // coeff(outer) == inner_tc * coeff(inner).
+    for stmt in l_out.all_stmts() {
+        let (reads, write) = stmt.accesses();
+        for acc in reads.into_iter().chain(write) {
+            let decl = program.array(acc.array).map_err(|_| TransformError::NotFlattenable)?;
+            let lin = linearize_access(acc, &decl.dims);
+            if lin.coeff(outer) != inner_tc as i64 * lin.coeff(inner) {
+                return Err(TransformError::NotFlattenable);
+            }
+        }
+        if uses_index_leaf(&stmt.value, outer) || uses_index_leaf(&stmt.value, inner) {
+            return Err(TransformError::NotFlattenable);
+        }
+    }
+
+    let mut out = program.clone();
+    let (flat_id, flat_name) =
+        out.fresh_loop_id(format!("{}{}", l_out.name, l_in.name));
+    let flat_tc = l_out.tripcount * inner_tc;
+    // Rewrite every statement: accesses become 1-D linearized with
+    // outer/inner replaced by the flat index.
+    let new_body: Vec<Node> = l_in
+        .body
+        .iter()
+        .map(|n| match n {
+            Node::Stmt(s) => {
+                let mut s = s.clone();
+                s = rewrite_stmt_linear(&s, program, outer, inner, inner_tc, flat_id);
+                Node::Stmt(s)
+            }
+            Node::Loop(_) => unreachable!("perfect pair has statement body"),
+        })
+        .collect();
+    let flat =
+        Loop { id: flat_id, name: flat_name, tripcount: flat_tc, body: new_body };
+    let out = replace_loop_in(&out, outer, vec![Node::Loop(flat)])?;
+    Ok((out, flat_id))
+}
+
+fn rewrite_stmt_linear(
+    stmt: &ptmap_ir::Stmt,
+    program: &Program,
+    outer: LoopId,
+    inner: LoopId,
+    inner_tc: u64,
+    flat: LoopId,
+) -> ptmap_ir::Stmt {
+    use ptmap_ir::{ArrayAccess, Expr, LValue};
+    fn rewrite_access(
+        acc: &ArrayAccess,
+        program: &Program,
+        outer: LoopId,
+        inner: LoopId,
+        _inner_tc: u64,
+        flat: LoopId,
+    ) -> ArrayAccess {
+        let decl = program.array(acc.array).expect("declared");
+        let mut lin = linearize_access(acc, &decl.dims);
+        // coeff(outer) == inner_tc * coeff(inner) was checked; replace
+        // both with coeff(inner) * flat.
+        let c_in = lin.coeff(inner);
+        lin = lin.substitute(outer, &AffineExpr::zero());
+        lin = lin.substitute(inner, &AffineExpr::zero());
+        lin = lin + AffineExpr::var(flat) * c_in;
+        ArrayAccess::new(acc.array, vec![lin])
+    }
+    fn rewrite_expr(
+        e: &Expr,
+        program: &Program,
+        outer: LoopId,
+        inner: LoopId,
+        inner_tc: u64,
+        flat: LoopId,
+    ) -> Expr {
+        match e {
+            Expr::Load(a) => {
+                Expr::Load(rewrite_access(a, program, outer, inner, inner_tc, flat))
+            }
+            Expr::Unary(op, a) => Expr::Unary(
+                *op,
+                Box::new(rewrite_expr(a, program, outer, inner, inner_tc, flat)),
+            ),
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(rewrite_expr(a, program, outer, inner, inner_tc, flat)),
+                Box::new(rewrite_expr(b, program, outer, inner, inner_tc, flat)),
+            ),
+            other => other.clone(),
+        }
+    }
+    let target = match &stmt.target {
+        LValue::Array(a) => {
+            LValue::Array(rewrite_access(a, program, outer, inner, inner_tc, flat))
+        }
+        LValue::Scalar(s) => LValue::Scalar(*s),
+    };
+    ptmap_ir::Stmt {
+        id: stmt.id,
+        target,
+        value: rewrite_expr(&stmt.value, program, outer, inner, inner_tc, flat),
+    }
+}
+
+/// Row-major linearization of an access's subscripts.
+fn linearize_access(acc: &ptmap_ir::ArrayAccess, dims: &[u64]) -> AffineExpr {
+    if acc.indices.len() == 1 {
+        return acc.indices[0].clone();
+    }
+    let mut lin = AffineExpr::zero();
+    for (e, &d) in acc.indices.iter().zip(dims) {
+        lin = lin * d as i64 + e.clone();
+    }
+    lin
+}
+
+fn uses_index_leaf(e: &ptmap_ir::Expr, l: LoopId) -> bool {
+    use ptmap_ir::Expr;
+    match e {
+        Expr::Index(x) => *x == l,
+        Expr::Unary(_, a) => uses_index_leaf(a, l),
+        Expr::Binary(_, a, b) => uses_index_leaf(a, l) || uses_index_leaf(b, l),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tree surgery helpers.
+
+/// Replaces the loop `target` (wherever it nests) with `replacement`
+/// nodes, returning the rewritten program.
+fn replace_loop(
+    program: &Program,
+    target: LoopId,
+    replacement: Vec<Node>,
+) -> Result<Program, TransformError> {
+    replace_loop_in(program, target, replacement)
+}
+
+fn replace_loop_in(
+    program: &Program,
+    target: LoopId,
+    replacement: Vec<Node>,
+) -> Result<Program, TransformError> {
+    fn rec(nodes: &[Node], target: LoopId, replacement: &mut Option<Vec<Node>>) -> Vec<Node> {
+        let mut out = Vec::with_capacity(nodes.len());
+        for n in nodes {
+            match n {
+                Node::Loop(l) if l.id == target => {
+                    if let Some(r) = replacement.take() {
+                        out.extend(r);
+                    }
+                }
+                Node::Loop(l) => {
+                    let body = rec(&l.body, target, replacement);
+                    out.push(Node::Loop(Loop {
+                        id: l.id,
+                        name: l.name.clone(),
+                        tripcount: l.tripcount,
+                        body,
+                    }));
+                }
+                Node::Stmt(s) => out.push(Node::Stmt(s.clone())),
+            }
+        }
+        out
+    }
+    let mut repl = Some(replacement);
+    let mut out = program.clone();
+    out.roots = rec(&program.roots, target, &mut repl);
+    if repl.is_some() {
+        return Err(TransformError::UnknownLoop(target));
+    }
+    Ok(out)
+}
+
+fn substitute_nodes(nodes: &[Node], l: LoopId, repl: &AffineExpr) -> Vec<Node> {
+    nodes
+        .iter()
+        .map(|n| match n {
+            Node::Stmt(s) => Node::Stmt(s.substitute(l, repl)),
+            Node::Loop(inner) => Node::Loop(Loop {
+                id: inner.id,
+                name: inner.name.clone(),
+                tripcount: inner.tripcount,
+                body: substitute_nodes(&inner.body, l, repl),
+            }),
+        })
+        .collect()
+}
+
+fn rename_nodes(n: &Node, map: &std::collections::BTreeMap<LoopId, LoopId>) -> Node {
+    match n {
+        Node::Stmt(s) => Node::Stmt(s.rename_loops(map)),
+        Node::Loop(l) => Node::Loop(Loop {
+            id: map.get(&l.id).copied().unwrap_or(l.id),
+            name: l.name.clone(),
+            tripcount: l.tripcount,
+            body: l.body.iter().map(|x| rename_nodes(x, map)).collect(),
+        }),
+    }
+}
+
+/// Finds two adjacent sibling loops; returns mutable access to the first
+/// and a clone of the second.
+type SiblingSlot<'a> = Option<Result<(&'a mut Loop, Loop), TransformError>>;
+
+fn find_sibling_slot(nodes: &mut [Node], first: LoopId, second: LoopId) -> SiblingSlot<'_> {
+    // Check this level: positions of first and second among loop nodes.
+    let mut idx_first = None;
+    let mut idx_second = None;
+    for (i, n) in nodes.iter().enumerate() {
+        if let Node::Loop(l) = n {
+            if l.id == first {
+                idx_first = Some(i);
+            }
+            if l.id == second {
+                idx_second = Some(i);
+            }
+        }
+    }
+    if let (Some(a), Some(b)) = (idx_first, idx_second) {
+        if b != a + 1 {
+            return Some(Err(TransformError::NotAdjacent(first, second)));
+        }
+        let l2 = match &nodes[b] {
+            Node::Loop(l) => l.clone(),
+            _ => unreachable!(),
+        };
+        let l1 = match &mut nodes[a] {
+            Node::Loop(l) => l,
+            _ => unreachable!(),
+        };
+        return Some(Ok((l1, l2)));
+    }
+    for n in nodes.iter_mut() {
+        if let Node::Loop(l) = n {
+            let found = find_sibling_slot(&mut l.body, first, second);
+            if found.is_some() {
+                return found;
+            }
+        }
+    }
+    None
+}
+
+fn remove_loop(nodes: &mut Vec<Node>, target: LoopId) {
+    nodes.retain(|n| !matches!(n, Node::Loop(l) if l.id == target));
+    for n in nodes.iter_mut() {
+        if let Node::Loop(l) = n {
+            remove_loop(&mut l.body, target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptmap_ir::ProgramBuilder;
+
+    fn gemm(n: u64) -> Program {
+        let mut b = ProgramBuilder::new("gemm");
+        let a = b.array("A", &[n, n]);
+        let bb = b.array("B", &[n, n]);
+        let c = b.array("C", &[n, n]);
+        let i = b.open_loop("i", n);
+        let j = b.open_loop("j", n);
+        let k = b.open_loop("k", n);
+        let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+        let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
+        b.store(c, &[b.idx(i), b.idx(j)], sum);
+        b.close_loop();
+        b.close_loop();
+        b.close_loop();
+        b.finish()
+    }
+
+    #[test]
+    fn reorder_gemm_ikj() {
+        let p = gemm(8);
+        let nest = p.perfect_nests().remove(0);
+        let [i, j, k] = [nest.loops[0], nest.loops[1], nest.loops[2]];
+        let q = reorder(&p, i, &[i, k, j]).unwrap();
+        let qnest = q.perfect_nests().remove(0);
+        assert_eq!(qnest.loops, vec![i, k, j]);
+        // Semantics-preserving: same statement count and accesses.
+        assert_eq!(q.all_stmts().len(), p.all_stmts().len());
+    }
+
+    #[test]
+    fn reorder_rejects_bad_permutation() {
+        let p = gemm(8);
+        let nest = p.perfect_nests().remove(0);
+        let [i, j, _k] = [nest.loops[0], nest.loops[1], nest.loops[2]];
+        assert_eq!(reorder(&p, i, &[i, j]), Err(TransformError::BadPermutation));
+    }
+
+    #[test]
+    fn reorder_rejects_illegal_dependence() {
+        // A[i][j] = A[i-1][j+1]: interchange illegal.
+        let mut b = ProgramBuilder::new("skew");
+        let a = b.array("A", &[16, 16]);
+        let i = b.open_loop("i", 16);
+        let j = b.open_loop("j", 16);
+        let v = b.load(a, &[b.idx(i) - AffineExpr::constant(1), b.idx(j) + AffineExpr::constant(1)]);
+        b.store(a, &[b.idx(i), b.idx(j)], v);
+        b.close_loop();
+        b.close_loop();
+        let p = b.finish();
+        let nest = p.perfect_nests().remove(0);
+        let (i, j) = (nest.loops[0], nest.loops[1]);
+        assert_eq!(reorder(&p, i, &[j, i]), Err(TransformError::IllegalReorder));
+    }
+
+    #[test]
+    fn strip_mine_divisible() {
+        let p = gemm(16);
+        let nest = p.perfect_nests().remove(0);
+        let k = nest.loops[2];
+        let (q, kt) = strip_mine(&p, k, 4).unwrap();
+        let qnest = q.perfect_nests().remove(0);
+        assert_eq!(qnest.depth(), 4);
+        assert_eq!(qnest.loops[2], kt);
+        assert_eq!(qnest.loops[3], k);
+        assert_eq!(qnest.tripcounts[2], 4);
+        assert_eq!(qnest.tripcounts[3], 4);
+        // Access coefficients updated: A[i][4*kt + k].
+        let stmt = &qnest.stmts[0];
+        let loads = stmt.value.loads();
+        let a_load = loads.iter().find(|l| l.indices[1].coeff(kt) != 0).unwrap();
+        assert_eq!(a_load.indices[1].coeff(kt), 4);
+        assert_eq!(a_load.indices[1].coeff(k), 1);
+    }
+
+    #[test]
+    fn strip_mine_rejects_trivial_tiles() {
+        let p = gemm(16);
+        let nest = p.perfect_nests().remove(0);
+        let k = nest.loops[2];
+        assert!(strip_mine(&p, k, 1).is_err());
+        assert!(strip_mine(&p, k, 16).is_err());
+        assert!(strip_mine(&p, k, 99).is_err());
+    }
+
+    #[test]
+    fn fuse_independent_siblings() {
+        // for i { X[i] = 1 }  for j { Y[j] = 2 }  -> fusable.
+        let mut b = ProgramBuilder::new("two");
+        let x = b.array("X", &[32]);
+        let y = b.array("Y", &[32]);
+        let i = b.open_loop("i", 32);
+        b.store(x, &[b.idx(i)], b.constant(1));
+        b.close_loop();
+        let j = b.open_loop("j", 32);
+        b.store(y, &[b.idx(j)], b.constant(2));
+        b.close_loop();
+        let p = b.finish();
+        let q = fuse(&p, i, j).unwrap();
+        assert_eq!(q.perfect_nests().len(), 1);
+        assert_eq!(q.all_stmts().len(), 2);
+    }
+
+    #[test]
+    fn fuse_producer_consumer_same_index_is_legal() {
+        // for i { X[i] = A[i] }  for j { B[j] = X[j] }  -> distance 0.
+        let mut b = ProgramBuilder::new("pc");
+        let a = b.array("A", &[32]);
+        let x = b.array("X", &[32]);
+        let bb = b.array("B", &[32]);
+        let i = b.open_loop("i", 32);
+        b.store(x, &[b.idx(i)], b.load(a, &[b.idx(i)]));
+        b.close_loop();
+        let j = b.open_loop("j", 32);
+        b.store(bb, &[b.idx(j)], b.load(x, &[b.idx(j)]));
+        b.close_loop();
+        let p = b.finish();
+        assert!(fuse(&p, i, j).is_ok());
+    }
+
+    #[test]
+    fn fuse_forward_peek_is_illegal() {
+        // for i { X[i] = A[i] }  for j { B[j] = X[j+1] }  -> fusing makes
+        // the consumer read an element produced one iteration later.
+        let mut b = ProgramBuilder::new("peek");
+        let a = b.array("A", &[33]);
+        let x = b.array("X", &[33]);
+        let bb = b.array("B", &[33]);
+        let i = b.open_loop("i", 32);
+        b.store(x, &[b.idx(i)], b.load(a, &[b.idx(i)]));
+        b.close_loop();
+        let j = b.open_loop("j", 32);
+        b.store(bb, &[b.idx(j)], b.load(x, &[b.idx(j) + AffineExpr::constant(1)]));
+        b.close_loop();
+        let p = b.finish();
+        assert_eq!(fuse(&p, i, j), Err(TransformError::IllegalFusion));
+    }
+
+    #[test]
+    fn fuse_rejects_mismatched_tripcounts() {
+        let mut b = ProgramBuilder::new("mm");
+        let x = b.array("X", &[64]);
+        let i = b.open_loop("i", 32);
+        b.store(x, &[b.idx(i)], b.constant(1));
+        b.close_loop();
+        let j = b.open_loop("j", 64);
+        b.store(x, &[b.idx(j)], b.constant(2));
+        b.close_loop();
+        let p = b.finish();
+        assert!(matches!(fuse(&p, i, j), Err(TransformError::TripcountMismatch { .. })));
+    }
+
+    #[test]
+    fn fission_independent_parts() {
+        // for i { X[i] = 1; Y[i] = 2 } -> two loops.
+        let mut b = ProgramBuilder::new("f");
+        let x = b.array("X", &[32]);
+        let y = b.array("Y", &[32]);
+        let i = b.open_loop("i", 32);
+        b.store(x, &[b.idx(i)], b.constant(1));
+        b.store(y, &[b.idx(i)], b.constant(2));
+        b.close_loop();
+        let p = b.finish();
+        let q = fission(&p, i).unwrap();
+        assert_eq!(q.perfect_nests().len(), 2);
+    }
+
+    #[test]
+    fn fission_rejects_backward_dependence() {
+        // for i { X[i] = Y[i-1]; Y[i] = A[i] }: Y flows from part 2 to
+        // part 1 at distance 1; after fission part 1 would read values
+        // never written yet.
+        let mut b = ProgramBuilder::new("fb");
+        let x = b.array("X", &[33]);
+        let y = b.array("Y", &[33]);
+        let a = b.array("A", &[33]);
+        let i = b.open_loop("i", 32);
+        let v = b.load(y, &[b.idx(i) - AffineExpr::constant(1)]);
+        b.store(x, &[b.idx(i)], v);
+        b.store(y, &[b.idx(i)], b.load(a, &[b.idx(i)]));
+        b.close_loop();
+        let p = b.finish();
+        assert_eq!(fission(&p, i), Err(TransformError::IllegalFission));
+    }
+
+    #[test]
+    fn flatten_contiguous_2d() {
+        // X[i][j] over full rows flattens to X[f].
+        let mut b = ProgramBuilder::new("flat");
+        let x = b.array("X", &[16, 32]);
+        let i = b.open_loop("i", 16);
+        let j = b.open_loop("j", 32);
+        let v = b.add(b.load(x, &[b.idx(i), b.idx(j)]), b.constant(1));
+        b.store(x, &[b.idx(i), b.idx(j)], v);
+        b.close_loop();
+        b.close_loop();
+        let p = b.finish();
+        let nest = p.perfect_nests().remove(0);
+        let (q, f) = flatten(&p, nest.loops[0]).unwrap();
+        let qnest = q.perfect_nests().remove(0);
+        assert_eq!(qnest.depth(), 1);
+        assert_eq!(qnest.loops[0], f);
+        assert_eq!(qnest.tripcounts[0], 512);
+        // Accesses are now 1-D with coefficient 1 on the flat index.
+        let loads = qnest.stmts[0].value.loads();
+        assert_eq!(loads[0].indices.len(), 1);
+        assert_eq!(loads[0].indices[0].coeff(f), 1);
+    }
+
+    #[test]
+    fn flatten_rejects_partial_rows() {
+        // Inner loop covers only half a row: strides don't match.
+        let mut b = ProgramBuilder::new("half");
+        let x = b.array("X", &[16, 32]);
+        let i = b.open_loop("i", 16);
+        let j = b.open_loop("j", 16); // only 16 of 32 columns
+        b.store(x, &[b.idx(i), b.idx(j)], b.constant(1));
+        b.close_loop();
+        b.close_loop();
+        let p = b.finish();
+        let nest = p.perfect_nests().remove(0);
+        assert_eq!(flatten(&p, nest.loops[0]), Err(TransformError::NotFlattenable));
+    }
+
+    #[test]
+    fn gemm_tile_then_reorder_roundtrip() {
+        // Full tiling flow: strip-mine j, then sink the tile loop.
+        let p = gemm(16);
+        let nest = p.perfect_nests().remove(0);
+        let [i, j, k] = [nest.loops[0], nest.loops[1], nest.loops[2]];
+        let (q, jt) = strip_mine(&p, j, 4).unwrap();
+        // New chain: i, jt, j, k. Move jt outermost-after-i is already
+        // true; reorder to put k before j: i, jt, k, j.
+        let r = reorder(&q, i, &[i, jt, k, j]).unwrap();
+        let rnest = r.perfect_nests().remove(0);
+        assert_eq!(rnest.loops, vec![i, jt, k, j]);
+        assert_eq!(rnest.tripcounts, vec![16, 4, 16, 4]);
+    }
+
+    use ptmap_ir::AffineExpr;
+}

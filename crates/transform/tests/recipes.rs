@@ -1,0 +1,97 @@
+//! Integration tests for recipe replay and exploration invariants.
+
+use ptmap_ir::ProgramBuilder;
+use ptmap_transform::explore::{apply_recipe, Recipe};
+use ptmap_transform::{explore, ExploreConfig, TransformError};
+
+fn gemm(n: u64) -> ptmap_ir::Program {
+    let mut b = ProgramBuilder::new("gemm");
+    let a = b.array("A", &[n, n]);
+    let bb = b.array("B", &[n, n]);
+    let c = b.array("C", &[n, n]);
+    let i = b.open_loop("i", n);
+    let j = b.open_loop("j", n);
+    let k = b.open_loop("k", n);
+    let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+    let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
+    b.store(c, &[b.idx(i), b.idx(j)], sum);
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+    b.finish()
+}
+
+#[test]
+fn recipe_replay_reorder_then_tile() {
+    let p = gemm(16);
+    let nest = p.perfect_nests().remove(0);
+    let [i, j, k] = [nest.loops[0], nest.loops[1], nest.loops[2]];
+    let recipe = vec![
+        Recipe::Reorder { root: i, order: vec![i, k, j] },
+        Recipe::StripMine { target: j, tile: 4 },
+    ];
+    let q = apply_recipe(&p, &recipe).unwrap();
+    let qnest = q.perfect_nests().remove(0);
+    assert_eq!(qnest.depth(), 4);
+    assert_eq!(qnest.pipelined_loop(), j);
+    assert_eq!(qnest.tripcounts, vec![16, 16, 4, 4]);
+}
+
+#[test]
+fn recipe_replay_is_deterministic() {
+    let p = gemm(16);
+    let nest = p.perfect_nests().remove(0);
+    let recipe = vec![Recipe::StripMine { target: nest.loops[2], tile: 4 }];
+    let a = apply_recipe(&p, &recipe).unwrap();
+    let b = apply_recipe(&p, &recipe).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn recipe_replay_propagates_errors() {
+    let p = gemm(16);
+    let recipe = vec![Recipe::StripMine { target: ptmap_ir::LoopId(77), tile: 4 }];
+    assert_eq!(apply_recipe(&p, &recipe), Err(TransformError::UnknownLoop(ptmap_ir::LoopId(77))));
+}
+
+#[test]
+fn exploration_candidates_all_have_valid_nests() {
+    let p = gemm(64);
+    let forest = explore(&p, &ExploreConfig::default());
+    for variant in &forest.variants {
+        for ra in &variant.pnl_candidates {
+            for c in ra {
+                // The recorded nest must exist in the recorded program.
+                let nests = c.program.perfect_nests();
+                assert!(
+                    nests.iter().any(|n| n.loops == c.nest.loops),
+                    "stale nest in candidate {}",
+                    c.desc
+                );
+                // Unroll factors address nest loops only.
+                for &(l, f) in &c.unroll {
+                    assert!(c.nest.position(l).is_some(), "foreign unroll loop in {}", c.desc);
+                    assert!(f >= 2);
+                }
+                // Effective tripcounts never exceed the raw ones.
+                for (eff, raw) in c.effective_tripcounts().iter().zip(&c.nest.tripcounts) {
+                    assert!(eff <= raw);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exploration_preserves_statement_multiset() {
+    // Inter-loop transformations never duplicate or drop statements.
+    let p = ptmap_workloads::apps::atax();
+    let base_ids: std::collections::BTreeSet<_> =
+        p.all_stmts().iter().map(|s| s.id).collect();
+    let forest = explore(&p, &ExploreConfig::quick());
+    for variant in &forest.variants {
+        let ids: std::collections::BTreeSet<_> =
+            variant.program.all_stmts().iter().map(|s| s.id).collect();
+        assert_eq!(ids, base_ids, "variant {:?} changed statements", variant.fusion);
+    }
+}

@@ -1,0 +1,478 @@
+//! The eleven evaluation applications (Tab. 5).
+//!
+//! Sizes are chosen so each program comfortably exceeds the on-chip data
+//! buffers (4–8 KiB) while keeping simulation fast. Triangular domains
+//! are rectangularized (see crate docs).
+
+use ptmap_ir::{Program, ProgramBuilder};
+
+/// Matrix dimension for the dense linear-algebra kernels.
+pub const N: u64 = 64;
+/// Image side for the vision kernels.
+pub const IMG: u64 = 64;
+
+/// gemver (GEM): `A += u1 v1' + u2 v2'; x += beta A' y; x += z; w += alpha A x`.
+pub fn gemver() -> Program {
+    let mut b = ProgramBuilder::new("gemver");
+    let a = b.array("A", &[N, N]);
+    let u1 = b.array("u1", &[N]);
+    let v1 = b.array("v1", &[N]);
+    let u2 = b.array("u2", &[N]);
+    let v2 = b.array("v2", &[N]);
+    let x = b.array("x", &[N]);
+    let y = b.array("y", &[N]);
+    let z = b.array("z", &[N]);
+    let w = b.array("w", &[N]);
+    let alpha = b.scalar("alpha");
+    let beta = b.scalar("beta");
+
+    let i = b.open_loop("i", N);
+    let j = b.open_loop("j", N);
+    let t1 = b.mul(b.load(u1, &[b.idx(i)]), b.load(v1, &[b.idx(j)]));
+    let t2 = b.mul(b.load(u2, &[b.idx(i)]), b.load(v2, &[b.idx(j)]));
+    let v = b.add(b.add(b.load(a, &[b.idx(i), b.idx(j)]), t1), t2);
+    b.store(a, &[b.idx(i), b.idx(j)], v);
+    b.close_loop();
+    b.close_loop();
+
+    let i = b.open_loop("i2", N);
+    let j = b.open_loop("j2", N);
+    let t = b.mul(b.read_scalar(beta), b.mul(b.load(a, &[b.idx(j), b.idx(i)]), b.load(y, &[b.idx(j)])));
+    let v = b.add(b.load(x, &[b.idx(i)]), t);
+    b.store(x, &[b.idx(i)], v);
+    b.close_loop();
+    b.close_loop();
+
+    let i = b.open_loop("i3", N);
+    let v = b.add(b.load(x, &[b.idx(i)]), b.load(z, &[b.idx(i)]));
+    b.store(x, &[b.idx(i)], v);
+    b.close_loop();
+
+    let i = b.open_loop("i4", N);
+    let j = b.open_loop("j4", N);
+    let t = b.mul(b.read_scalar(alpha), b.mul(b.load(a, &[b.idx(i), b.idx(j)]), b.load(x, &[b.idx(j)])));
+    let v = b.add(b.load(w, &[b.idx(i)]), t);
+    b.store(w, &[b.idx(i)], v);
+    b.close_loop();
+    b.close_loop();
+
+    b.finish()
+}
+
+/// trisolv (TRI): forward substitution `x = L \ b` (triangular inner loop
+/// rectangularized to the average tripcount `N/2`).
+pub fn trisolv() -> Program {
+    let mut b = ProgramBuilder::new("trisolv");
+    let l = b.array("L", &[N, N]);
+    let x = b.array("x", &[N]);
+    let bb = b.array("b", &[N]);
+
+    let i = b.open_loop("i", N);
+    b.store(x, &[b.idx(i)], b.load(bb, &[b.idx(i)]));
+    let j = b.open_loop("j", N / 2);
+    let t = b.mul(b.load(l, &[b.idx(i), b.idx(j)]), b.load(x, &[b.idx(j)]));
+    let v = b.sub(b.load(x, &[b.idx(i)]), t);
+    b.store(x, &[b.idx(i)], v);
+    b.close_loop();
+    let v = b.binary(ptmap_ir::OpKind::Div, b.load(x, &[b.idx(i)]), b.load(l, &[b.idx(i), b.idx(i)]));
+    b.store(x, &[b.idx(i)], v);
+    b.close_loop();
+
+    b.finish()
+}
+
+/// covariance (COV): column means, centering, and the covariance matrix.
+pub fn covariance() -> Program {
+    let mut b = ProgramBuilder::new("covariance");
+    let data = b.array("data", &[N, N]);
+    let mean = b.array("mean", &[N]);
+    let cov = b.array("cov", &[N, N]);
+
+    let j = b.open_loop("j", N);
+    let i = b.open_loop("i", N);
+    let v = b.add(b.load(mean, &[b.idx(j)]), b.load(data, &[b.idx(i), b.idx(j)]));
+    b.store(mean, &[b.idx(j)], v);
+    b.close_loop();
+    b.close_loop();
+
+    let i = b.open_loop("i2", N);
+    let j = b.open_loop("j2", N);
+    let v = b.sub(b.load(data, &[b.idx(i), b.idx(j)]), b.load(mean, &[b.idx(j)]));
+    b.store(data, &[b.idx(i), b.idx(j)], v);
+    b.close_loop();
+    b.close_loop();
+
+    let i = b.open_loop("i3", N);
+    let j = b.open_loop("j3", N);
+    let k = b.open_loop("k3", N);
+    let t = b.mul(b.load(data, &[b.idx(k), b.idx(i)]), b.load(data, &[b.idx(k), b.idx(j)]));
+    let v = b.add(b.load(cov, &[b.idx(i), b.idx(j)]), t);
+    b.store(cov, &[b.idx(i), b.idx(j)], v);
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+
+    b.finish()
+}
+
+/// doitgen (DOI): multi-resolution analysis kernel
+/// `sum[p] = Σ_s A[r][q][s] C4[s][p]`, then copy-back.
+pub fn doitgen() -> Program {
+    const NR: u64 = 16;
+    let mut b = ProgramBuilder::new("doitgen");
+    let a = b.array("A", &[NR, NR, NR]);
+    let c4 = b.array("C4", &[NR, NR]);
+    let sum = b.array("sum", &[NR, NR, NR]);
+
+    let r = b.open_loop("r", NR);
+    let q = b.open_loop("q", NR);
+    let p = b.open_loop("p", NR);
+    let s = b.open_loop("s", NR);
+    let t = b.mul(b.load(a, &[b.idx(r), b.idx(q), b.idx(s)]), b.load(c4, &[b.idx(s), b.idx(p)]));
+    let v = b.add(b.load(sum, &[b.idx(r), b.idx(q), b.idx(p)]), t);
+    b.store(sum, &[b.idx(r), b.idx(q), b.idx(p)], v);
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+
+    let r = b.open_loop("r2", NR);
+    let q = b.open_loop("q2", NR);
+    let p = b.open_loop("p2", NR);
+    b.store(a, &[b.idx(r), b.idx(q), b.idx(p)], b.load(sum, &[b.idx(r), b.idx(q), b.idx(p)]));
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+
+    b.finish()
+}
+
+/// 3mm (TMM): `G = (A·B) · (C·D)` as three chained matrix products.
+pub fn three_mm() -> Program {
+    const M: u64 = 32;
+    let mut b = ProgramBuilder::new("3mm");
+    let names = ["A", "B", "E", "C", "D", "F", "G"];
+    let ids: Vec<_> = names.iter().map(|n| b.array(*n, &[M, M])).collect();
+    let (a, bb, e, c, d, f, g) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6]);
+
+    for (out, lhs, rhs, tag) in [(e, a, bb, "1"), (f, c, d, "2"), (g, e, f, "3")] {
+        let i = b.open_loop(format!("i{tag}"), M);
+        let j = b.open_loop(format!("j{tag}"), M);
+        let k = b.open_loop(format!("k{tag}"), M);
+        let t = b.mul(b.load(lhs, &[b.idx(i), b.idx(k)]), b.load(rhs, &[b.idx(k), b.idx(j)]));
+        let v = b.add(b.load(out, &[b.idx(i), b.idx(j)]), t);
+        b.store(out, &[b.idx(i), b.idx(j)], v);
+        b.close_loop();
+        b.close_loop();
+        b.close_loop();
+    }
+    b.finish()
+}
+
+/// atax (ATA): `y = Aᵀ (A x)`.
+pub fn atax() -> Program {
+    let mut b = ProgramBuilder::new("atax");
+    let a = b.array("A", &[N, N]);
+    let x = b.array("x", &[N]);
+    let y = b.array("y", &[N]);
+    let tmp = b.array("tmp", &[N]);
+
+    let j = b.open_loop("jinit", N);
+    b.store(y, &[b.idx(j)], b.constant(0));
+    b.close_loop();
+
+    let i = b.open_loop("i", N);
+    let j = b.open_loop("j", N);
+    let t = b.mul(b.load(a, &[b.idx(i), b.idx(j)]), b.load(x, &[b.idx(j)]));
+    let v = b.add(b.load(tmp, &[b.idx(i)]), t);
+    b.store(tmp, &[b.idx(i)], v);
+    b.close_loop();
+    b.close_loop();
+
+    let i = b.open_loop("i2", N);
+    let j = b.open_loop("j2", N);
+    let t = b.mul(b.load(a, &[b.idx(i), b.idx(j)]), b.load(tmp, &[b.idx(i)]));
+    let v = b.add(b.load(y, &[b.idx(j)]), t);
+    b.store(y, &[b.idx(j)], v);
+    b.close_loop();
+    b.close_loop();
+
+    b.finish()
+}
+
+/// blur2d (BLU): separable 3-tap box blur (horizontal then vertical pass).
+pub fn blur2d() -> Program {
+    let mut b = ProgramBuilder::new("blur2d");
+    let input = b.array("in", &[IMG, IMG]);
+    let tmp = b.array("tmp", &[IMG, IMG]);
+    let out = b.array("out", &[IMG, IMG]);
+    let one = 1i64;
+
+    let y = b.open_loop("y", IMG);
+    let x = b.open_loop("x", IMG - 2);
+    let s = b.add(
+        b.add(
+            b.load(input, &[b.idx(y), b.idx(x)]),
+            b.load(input, &[b.idx(y), b.idx(x) + one.into()]),
+        ),
+        b.load(input, &[b.idx(y), b.idx(x) + 2.into()]),
+    );
+    b.store(tmp, &[b.idx(y), b.idx(x)], s);
+    b.close_loop();
+    b.close_loop();
+
+    let y = b.open_loop("y2", IMG - 2);
+    let x = b.open_loop("x2", IMG - 2);
+    let s = b.add(
+        b.add(
+            b.load(tmp, &[b.idx(y), b.idx(x)]),
+            b.load(tmp, &[b.idx(y) + one.into(), b.idx(x)]),
+        ),
+        b.load(tmp, &[b.idx(y) + 2.into(), b.idx(x)]),
+    );
+    b.store(out, &[b.idx(y), b.idx(x)], s);
+    b.close_loop();
+    b.close_loop();
+
+    b.finish()
+}
+
+/// harris (HAR): corner response — gradients, products, box sums, and
+/// the determinant/trace response (ample fusion opportunities).
+pub fn harris() -> Program {
+    let mut b = ProgramBuilder::new("harris");
+    let input = b.array("in", &[IMG, IMG]);
+    let gx = b.array("Ix", &[IMG, IMG]);
+    let gy = b.array("Iy", &[IMG, IMG]);
+    let xx = b.array("Ixx", &[IMG, IMG]);
+    let yy = b.array("Iyy", &[IMG, IMG]);
+    let xy = b.array("Ixy", &[IMG, IMG]);
+    let sxx = b.array("Sxx", &[IMG, IMG]);
+    let syy = b.array("Syy", &[IMG, IMG]);
+    let sxy = b.array("Sxy", &[IMG, IMG]);
+    let resp = b.array("resp", &[IMG, IMG]);
+
+    let h = IMG - 2;
+    let y = b.open_loop("y", h);
+    let x = b.open_loop("x", h);
+    let dx = b.sub(b.load(input, &[b.idx(y), b.idx(x) + 2.into()]), b.load(input, &[b.idx(y), b.idx(x)]));
+    b.store(gx, &[b.idx(y), b.idx(x)], dx);
+    let dy = b.sub(b.load(input, &[b.idx(y) + 2.into(), b.idx(x)]), b.load(input, &[b.idx(y), b.idx(x)]));
+    b.store(gy, &[b.idx(y), b.idx(x)], dy);
+    b.close_loop();
+    b.close_loop();
+
+    let y = b.open_loop("y2", h);
+    let x = b.open_loop("x2", h);
+    let ix = b.load(gx, &[b.idx(y), b.idx(x)]);
+    let iy = b.load(gy, &[b.idx(y), b.idx(x)]);
+    b.store(xx, &[b.idx(y), b.idx(x)], b.mul(ix.clone(), ix.clone()));
+    b.store(yy, &[b.idx(y), b.idx(x)], b.mul(iy.clone(), iy.clone()));
+    b.store(xy, &[b.idx(y), b.idx(x)], b.mul(ix, iy));
+    b.close_loop();
+    b.close_loop();
+
+    let y = b.open_loop("y3", h - 2);
+    let x = b.open_loop("x3", h - 2);
+    for (src, dst) in [(xx, sxx), (yy, syy), (xy, sxy)] {
+        let s = b.add(
+            b.add(
+                b.load(src, &[b.idx(y), b.idx(x)]),
+                b.load(src, &[b.idx(y) + 1.into(), b.idx(x) + 1.into()]),
+            ),
+            b.load(src, &[b.idx(y) + 2.into(), b.idx(x) + 2.into()]),
+        );
+        b.store(dst, &[b.idx(y), b.idx(x)], s);
+    }
+    b.close_loop();
+    b.close_loop();
+
+    let y = b.open_loop("y4", h - 2);
+    let x = b.open_loop("x4", h - 2);
+    let det = b.sub(
+        b.mul(b.load(sxx, &[b.idx(y), b.idx(x)]), b.load(syy, &[b.idx(y), b.idx(x)])),
+        b.mul(b.load(sxy, &[b.idx(y), b.idx(x)]), b.load(sxy, &[b.idx(y), b.idx(x)])),
+    );
+    let trace = b.add(b.load(sxx, &[b.idx(y), b.idx(x)]), b.load(syy, &[b.idx(y), b.idx(x)]));
+    // k * trace^2 with k approximated by a shift (k = 1/16).
+    let t2 = b.mul(trace.clone(), trace);
+    let kt2 = b.binary(ptmap_ir::OpKind::Shr, t2, b.constant(4));
+    b.store(resp, &[b.idx(y), b.idx(x)], b.sub(det, kt2));
+    b.close_loop();
+    b.close_loop();
+
+    b.finish()
+}
+
+/// conv (CON): 3×3 single-channel 2D convolution.
+pub fn conv() -> Program {
+    let mut b = ProgramBuilder::new("conv");
+    let input = b.array("in", &[IMG, IMG]);
+    let w = b.array("w", &[3, 3]);
+    let out = b.array("out", &[IMG, IMG]);
+    let h = IMG - 2;
+
+    let y = b.open_loop("y", h);
+    let x = b.open_loop("x", h);
+    let ky = b.open_loop("ky", 3);
+    let kx = b.open_loop("kx", 3);
+    let t = b.mul(
+        b.load(input, &[b.idx(y) + b.idx(ky), b.idx(x) + b.idx(kx)]),
+        b.load(w, &[b.idx(ky), b.idx(kx)]),
+    );
+    let v = b.add(b.load(out, &[b.idx(y), b.idx(x)]), t);
+    b.store(out, &[b.idx(y), b.idx(x)], v);
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+
+    b.finish()
+}
+
+/// tconv (TCO): 3×3 transposed convolution with stride 2.
+pub fn tconv() -> Program {
+    const IN: u64 = 32;
+    let mut b = ProgramBuilder::new("tconv");
+    let input = b.array("in", &[IN, IN]);
+    let w = b.array("w", &[3, 3]);
+    let out = b.array("out", &[2 * IN + 1, 2 * IN + 1]);
+
+    let y = b.open_loop("y", IN);
+    let x = b.open_loop("x", IN);
+    let ky = b.open_loop("ky", 3);
+    let kx = b.open_loop("kx", 3);
+    let t = b.mul(b.load(input, &[b.idx(y), b.idx(x)]), b.load(w, &[b.idx(ky), b.idx(kx)]));
+    let oy = b.idx(y) * 2 + b.idx(ky);
+    let ox = b.idx(x) * 2 + b.idx(kx);
+    let v = b.add(b.load(out, &[oy.clone(), ox.clone()]), t);
+    b.store(out, &[oy, ox], v);
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+
+    b.finish()
+}
+
+/// winograd (WIN): 1-D Winograd F(2,3) — weight transform then the tiled
+/// main pass with per-tile temporaries.
+pub fn winograd() -> Program {
+    let mut b = ProgramBuilder::new("winograd");
+    let g = b.array("g", &[3]);
+    let gw = b.array("gw", &[4]);
+    let input = b.array("in", &[IMG, IMG]);
+    let out = b.array("out", &[IMG, IMG]);
+    let m0 = b.scalar("m0");
+    let m1 = b.scalar("m1");
+    let m2 = b.scalar("m2");
+    let m3 = b.scalar("m3");
+
+    // Weight transform: gw = G g (4 taps from 3 weights); expressed over
+    // a size-4 loop with clamped affine taps approximated by two stmts.
+    let t = b.open_loop("t", 2);
+    let s = b.add(b.load(g, &[b.idx(t)]), b.load(g, &[b.idx(t) + 1.into()]));
+    b.store(gw, &[b.idx(t)], s);
+    let s2 = b.sub(b.load(g, &[b.idx(t) + 1.into()]), b.load(g, &[b.idx(t)]));
+    b.store(gw, &[b.idx(t) + 2.into()], s2);
+    b.close_loop();
+
+    // Main pass: per row, tiles of 2 outputs from 4 inputs.
+    let y = b.open_loop("y", IMG);
+    let t = b.open_loop("t2", IMG / 2 - 1);
+    let d0 = b.load(input, &[b.idx(y), b.idx(t) * 2]);
+    let d1 = b.load(input, &[b.idx(y), b.idx(t) * 2 + 1.into()]);
+    let d2 = b.load(input, &[b.idx(y), b.idx(t) * 2 + 2.into()]);
+    let d3 = b.load(input, &[b.idx(y), b.idx(t) * 2 + 3.into()]);
+    b.assign(m0, b.mul(b.sub(d0, d2.clone()), b.load(gw, &[b.idx(t) - b.idx(t)])));
+    b.assign(m1, b.mul(b.add(d1.clone(), d2.clone()), b.load(gw, &[AffineExpr::constant(1)])));
+    b.assign(m2, b.mul(b.sub(d2, d1.clone()), b.load(gw, &[AffineExpr::constant(2)])));
+    b.assign(m3, b.mul(b.sub(d1, d3), b.load(gw, &[AffineExpr::constant(3)])));
+    let y0 = b.add(b.add(b.read_scalar(m0), b.read_scalar(m1)), b.read_scalar(m2));
+    b.store(out, &[b.idx(y), b.idx(t) * 2], y0);
+    let y1 = b.sub(b.sub(b.read_scalar(m1), b.read_scalar(m2)), b.read_scalar(m3));
+    b.store(out, &[b.idx(y), b.idx(t) * 2 + 1.into()], y1);
+    b.close_loop();
+    b.close_loop();
+
+    b.finish()
+}
+
+use ptmap_ir::AffineExpr;
+
+/// All eleven applications with the paper's three-letter codes, in the
+/// paper's order.
+pub fn all() -> Vec<(&'static str, Program)> {
+    vec![
+        ("GEM", gemver()),
+        ("TRI", trisolv()),
+        ("COV", covariance()),
+        ("DOI", doitgen()),
+        ("TMM", three_mm()),
+        ("ATA", atax()),
+        ("BLU", blur2d()),
+        ("HAR", harris()),
+        ("CON", conv()),
+        ("TCO", tconv()),
+        ("WIN", winograd()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptmap_ir::DependenceSet;
+
+    #[test]
+    fn pnl_counts() {
+        let counts: Vec<(&str, usize)> =
+            all().iter().map(|(n, p)| (*n, p.perfect_nests().len())).collect();
+        let expect = |name: &str| counts.iter().find(|(n, _)| *n == name).unwrap().1;
+        assert_eq!(expect("GEM"), 4);
+        assert_eq!(expect("TRI"), 1);
+        assert_eq!(expect("COV"), 3);
+        assert_eq!(expect("DOI"), 2);
+        assert_eq!(expect("TMM"), 3);
+        assert_eq!(expect("ATA"), 3);
+        assert_eq!(expect("BLU"), 2);
+        assert_eq!(expect("HAR"), 4);
+        assert_eq!(expect("CON"), 1);
+        assert_eq!(expect("TCO"), 1);
+        assert_eq!(expect("WIN"), 2);
+    }
+
+    #[test]
+    fn all_apps_analyze_cleanly() {
+        for (name, p) in all() {
+            let deps = DependenceSet::analyze(&p);
+            assert!(p.all_stmts().len() >= 1, "{name} has statements");
+            // Dependence analysis terminates and produces something
+            // sensible (apps with accumulations have reductions).
+            let _ = deps.len();
+        }
+    }
+
+    #[test]
+    fn dfgs_build_for_every_pnl() {
+        for (name, p) in all() {
+            for nest in p.perfect_nests() {
+                let dfg = ptmap_ir::dfg::build_dfg(&p, &nest, &[]).unwrap();
+                assert!(!dfg.is_empty(), "{name} PNL produced an empty DFG");
+                dfg.validate().unwrap_or_else(|e| panic!("{name}: {e:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn footprints_exceed_small_db() {
+        // The transformation story needs working sets that stress a
+        // 4 KiB DB for at least some apps.
+        let big = ["GEM", "COV", "TMM", "BLU", "HAR", "CON"];
+        for (name, p) in all() {
+            if big.contains(&name) {
+                let bytes: u64 = p.arrays().iter().map(|a| a.bytes()).sum();
+                assert!(bytes > 4096, "{name} arrays only {bytes} bytes");
+            }
+        }
+    }
+}

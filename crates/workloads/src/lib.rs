@@ -1,0 +1,32 @@
+//! The PT-Map evaluation workloads.
+//!
+//! Three groups, matching the paper's benchmark table (Tab. 5):
+//!
+//! * [`apps`] — the eleven loop-intensive applications: `gemver`,
+//!   `trisolv`, `covariance`, `doitgen`, `3mm`, `atax` (PolyBench/C 3.2),
+//!   `blur2d`, `harris` (image processing), and `conv`, `tconv`,
+//!   `winograd` (deep learning);
+//! * [`micro`] — the motivation microbenchmarks: the 24×24×24 GEMM of
+//!   Fig. 2a and the vector reduction of Fig. 2b;
+//! * [`randgen`] — the random single-level-loop program generator used
+//!   to build the GNN training set (Tab. 4): scalars, arrays, affine
+//!   accesses and common arithmetic without complex control flow.
+//!
+//! Triangular iteration domains (trisolv, covariance) are modeled with
+//! their average tripcounts — see DESIGN.md; this preserves the cycle
+//! and volume totals the models consume while keeping loops rectangular.
+//!
+//! # Example
+//!
+//! ```
+//! let (name, program) = ptmap_workloads::apps::all()[0].clone();
+//! assert_eq!(name, "GEM");
+//! assert!(!program.perfect_nests().is_empty());
+//! ```
+
+pub mod apps;
+pub mod apps_extra;
+pub mod micro;
+pub mod randgen;
+
+pub use randgen::{RandomProgramConfig, RandomProgramGenerator};

@@ -1,0 +1,57 @@
+//! Motivation microbenchmarks (Fig. 2).
+
+use ptmap_ir::{Program, ProgramBuilder};
+
+/// The 24×24×24 matrix multiplication of Fig. 2a.
+pub fn gemm24() -> Program {
+    gemm(24)
+}
+
+/// A square GEMM of side `n`.
+pub fn gemm(n: u64) -> Program {
+    let mut b = ProgramBuilder::new("gemm");
+    let a = b.array("A", &[n, n]);
+    let bb = b.array("B", &[n, n]);
+    let c = b.array("C", &[n, n]);
+    let i = b.open_loop("i", n);
+    let j = b.open_loop("j", n);
+    let k = b.open_loop("k", n);
+    let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+    let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
+    b.store(c, &[b.idx(i), b.idx(j)], sum);
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+    b.finish()
+}
+
+/// The vector reduction of Fig. 2b: `s = Σ A[i]`.
+pub fn vec_reduction(n: u64) -> Program {
+    let mut b = ProgramBuilder::new("vreduce");
+    let a = b.array("A", &[n]);
+    let s = b.scalar("s");
+    let i = b.open_loop("i", n);
+    let v = b.add(b.read_scalar(s), b.load(a, &[b.idx(i)]));
+    b.assign(s, v);
+    b.close_loop();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm24_shape() {
+        let p = gemm24();
+        let nest = p.perfect_nests().remove(0);
+        assert_eq!(nest.tripcounts, vec![24, 24, 24]);
+    }
+
+    #[test]
+    fn vreduce_is_reduction() {
+        let p = vec_reduction(1024);
+        let nest = p.perfect_nests().remove(0);
+        assert!(nest.stmts[0].is_reduction());
+    }
+}

@@ -1,0 +1,82 @@
+//! Compare PT-Map against every baseline of the paper on one app.
+//!
+//! ```sh
+//! cargo run --release --example compare_baselines [APP] [ARCH]
+//! ```
+//!
+//! APP is one of GEM/TRI/COV/DOI/TMM/ATA/BLU/HAR/CON/TCO/WIN (default
+//! TMM); ARCH is one of S4/R4/H6/SL8 (default SL8).
+
+use pt_map::arch::presets;
+use pt_map::baselines::{Al, Am, Baseline, Ip, Lisa, MapZero, Pbp, Ramp};
+use pt_map::core::{PtMap, PtMapConfig};
+use pt_map::eval::AnalyticalPredictor;
+use pt_map::workloads::apps;
+
+fn main() {
+    let app = std::env::args().nth(1).unwrap_or_else(|| "TMM".into());
+    let arch_name = std::env::args().nth(2).unwrap_or_else(|| "SL8".into());
+    let program = apps::all()
+        .into_iter()
+        .find(|(n, _)| *n == app)
+        .map(|(_, p)| p)
+        .unwrap_or_else(|| panic!("unknown app {app}"));
+    let arch = match arch_name.as_str() {
+        "S4" => presets::s4(),
+        "R4" => presets::r4(),
+        "H6" => presets::h6(),
+        "SL8" => presets::sl8(),
+        other => panic!("unknown architecture {other}"),
+    };
+    println!("app {app} on {arch}");
+    println!("{:<10} {:>14} {:>10} {:>12}", "mapper", "cycles", "speedup", "compile (s)");
+
+    let baselines: Vec<Box<dyn Baseline>> = vec![
+        Box::new(Ramp::default()),
+        Box::new(Lisa::default()),
+        Box::new(MapZero::default()),
+        Box::new(Ip::default()),
+        Box::new(Pbp::default()),
+        Box::new(Al::default()),
+        Box::new(Am::default()),
+    ];
+    let mut ramp_cycles = None;
+    for b in &baselines {
+        match b.run(&program, &arch) {
+            Ok(r) => {
+                if b.name() == "RAMP" {
+                    ramp_cycles = Some(r.cycles);
+                }
+                let speedup = ramp_cycles
+                    .map(|rc| format!("{:.2}x", rc as f64 / r.cycles as f64))
+                    .unwrap_or_default();
+                println!(
+                    "{:<10} {:>14} {:>10} {:>12.2}",
+                    b.name(),
+                    r.cycles,
+                    speedup,
+                    r.compile_seconds
+                );
+            }
+            Err(e) => println!("{:<10} {:>14}", b.name(), format!("fail ({e})")),
+        }
+    }
+    // PT-Map itself (analytical predictor for a dependency-free demo;
+    // the bench harness trains and uses the GNN).
+    let ptmap = PtMap::new(Box::new(AnalyticalPredictor), PtMapConfig::default());
+    match ptmap.compile(&program, &arch) {
+        Ok(r) => {
+            let speedup = ramp_cycles
+                .map(|rc| format!("{:.2}x", rc as f64 / r.cycles as f64))
+                .unwrap_or_default();
+            println!(
+                "{:<10} {:>14} {:>10} {:>12.2}",
+                "PT-Map",
+                r.cycles,
+                speedup,
+                r.compile_seconds
+            );
+        }
+        Err(e) => println!("{:<10} {:>14}", "PT-Map", format!("fail ({e})")),
+    }
+}

@@ -1,0 +1,40 @@
+//! Energy/performance trade-off: run PT-Map in performance and Pareto
+//! modes across data-buffer capacities (the Fig. 8 mechanism, one app).
+//!
+//! ```sh
+//! cargo run --release --example energy_pareto
+//! ```
+
+use pt_map::arch::presets;
+use pt_map::core::{PtMap, PtMapConfig};
+use pt_map::eval::{AnalyticalPredictor, RankMode};
+use pt_map::workloads::apps;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = apps::covariance();
+    let base = presets::s4();
+    println!("app: {} on {}", program.name, base.name());
+    println!(
+        "\n{:<14} {:<12} {:>12} {:>14} {:>14}",
+        "DB capacity", "mode", "cycles", "energy (pJ)", "EDP"
+    );
+    for db_mult in [1u64, 2] {
+        let arch = base.with_db_bytes(base.db_bytes() * db_mult);
+        for mode in [RankMode::Performance, RankMode::Pareto] {
+            let config = PtMapConfig { mode, ..PtMapConfig::default() };
+            let report =
+                PtMap::new(Box::new(AnalyticalPredictor), config).compile(&program, &arch)?;
+            println!(
+                "{:<14} {:<12} {:>12} {:>14.3e} {:>14.3e}",
+                format!("{} KiB", arch.db_bytes() / 1024),
+                format!("{mode:?}"),
+                report.cycles,
+                report.energy_pj,
+                report.edp
+            );
+        }
+    }
+    println!("\nPareto mode trades a few cycles for less off-CGRA traffic;");
+    println!("larger DBs let coarser tiles stay on chip, lowering EDP further.");
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Compile straight from C-like source, the paper's input format: a
+//! `#pragma PTMAP` region is parsed, explored, and mapped.
+//!
+//! ```sh
+//! cargo run --release --example from_source
+//! ```
+
+use pt_map::arch::presets;
+use pt_map::core::{PtMap, PtMapConfig};
+use pt_map::eval::AnalyticalPredictor;
+use pt_map::ir::parse::parse_program;
+
+const SOURCE: &str = r#"
+    int in[64][64];
+    int tmp[64][64];
+    int out[64][64];
+
+    #pragma PTMAP
+    for (y = 0; y < 64; y++) {
+        for (x = 0; x < 62; x++) {
+            tmp[y][x] = in[y][x] + in[y][x + 1] + in[y][x + 2];
+        }
+    }
+    for (y = 0; y < 62; y++) {
+        for (x = 0; x < 62; x++) {
+            out[y][x] = tmp[y][x] + tmp[y + 1][x] + tmp[y + 2][x];
+        }
+    }
+    #pragma ENDMAP
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = parse_program("blur2d", SOURCE)?;
+    println!("parsed {} PNLs from source:", program.perfect_nests().len());
+    println!("{}", program.to_pseudo_c());
+
+    let arch = presets::h6();
+    let ptmap = PtMap::new(Box::new(AnalyticalPredictor), PtMapConfig::default());
+    let report = ptmap.compile(&program, &arch)?;
+    println!("{report}");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: compile a kernel with PT-Map and inspect the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pt_map::arch::presets;
+use pt_map::core::{PtMap, PtMapConfig};
+use pt_map::eval::AnalyticalPredictor;
+use pt_map::ir::ProgramBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the kernel — the region a `#pragma PTMAP` would wrap.
+    //    Here: a 64x64x64 matrix multiplication.
+    let n = 64;
+    let mut b = ProgramBuilder::new("gemm");
+    let a = b.array("A", &[n, n]);
+    let bm = b.array("B", &[n, n]);
+    let c = b.array("C", &[n, n]);
+    let i = b.open_loop("i", n);
+    let j = b.open_loop("j", n);
+    let k = b.open_loop("k", n);
+    let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bm, &[b.idx(k), b.idx(j)]));
+    let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
+    b.store(c, &[b.idx(i), b.idx(j)], sum);
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+    let program = b.finish();
+    println!("{}", program.to_pseudo_c());
+
+    // 2. Pick a CGRA — the paper's 4x4 standard architecture.
+    let arch = presets::s4();
+    println!("target: {arch}");
+
+    // 3. Compile. The analytical predictor keeps the quickstart fast;
+    //    see examples/train_gnn.rs for the GNN-assisted flow.
+    let ptmap = PtMap::new(Box::new(AnalyticalPredictor), PtMapConfig::default());
+    let report = ptmap.compile(&program, &arch)?;
+    println!("{report}");
+
+    // 4. Compare with the untransformed mapping (what RAMP would do).
+    let baseline = pt_map::core::realize_program(
+        &program,
+        &arch,
+        &Default::default(),
+        &Default::default(),
+        &[],
+    )?;
+    println!(
+        "speedup over untransformed mapping: {:.2}x",
+        baseline.cycles as f64 / report.cycles as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! The GNN-assisted flow: generate a synthetic dataset with the mapper
+//! as labeler, train the predictive model, and use it inside PT-Map.
+//!
+//! ```sh
+//! cargo run --release --example train_gnn
+//! ```
+//!
+//! (Scaled down from the paper's 400k-sample/300-epoch setup; pass a
+//! larger first argument for more samples.)
+
+use pt_map::arch::presets;
+use pt_map::core::{PtMap, PtMapConfig};
+use pt_map::eval::GnnPredictor;
+use pt_map::gnn::dataset::{generate_dataset, DatasetConfig};
+use pt_map::gnn::model::{ModelConfig, PtMapGnn};
+use pt_map::gnn::train::{mape_cycles, mape_cycles_mii, train, TrainConfig};
+use pt_map::workloads::micro;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let samples: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600);
+
+    println!("generating {samples} labeled samples (mapper as labeler)...");
+    let data = generate_dataset(&DatasetConfig {
+        samples,
+        archs: presets::evaluation_suite(),
+        ..DatasetConfig::default()
+    });
+    let split = data.len() * 4 / 5;
+    let (train_set, test_set) = data.split_at(split);
+
+    println!("training ({} train / {} test)...", train_set.len(), test_set.len());
+    let mut model = PtMapGnn::new(ModelConfig::default());
+    train(&mut model, train_set, &TrainConfig::default());
+
+    println!("MII analytical model MAPE: {:.1}%", mape_cycles_mii(test_set));
+    println!("GNN model MAPE:            {:.1}%", mape_cycles(&model, test_set));
+
+    // Use the trained model inside the full pipeline.
+    let program = micro::gemm(64);
+    let arch = presets::sl8();
+    let ptmap = PtMap::new(Box::new(GnnPredictor::new(model)), PtMapConfig::default());
+    let report = ptmap.compile(&program, &arch)?;
+    println!("\nGNN-assisted compilation:\n{report}");
+    Ok(())
+}

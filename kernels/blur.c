@@ -1,0 +1,17 @@
+// Separable 3-tap blur.
+int in[64][64];
+int tmp[64][64];
+int out[64][64];
+
+#pragma PTMAP
+for (y = 0; y < 64; y++) {
+    for (x = 0; x < 62; x++) {
+        tmp[y][x] = in[y][x] + in[y][x + 1] + in[y][x + 2];
+    }
+}
+for (y = 0; y < 62; y++) {
+    for (x = 0; x < 62; x++) {
+        out[y][x] = tmp[y][x] + tmp[y + 1][x] + tmp[y + 2][x];
+    }
+}
+#pragma ENDMAP

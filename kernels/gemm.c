@@ -1,0 +1,14 @@
+// 64x64x64 matrix multiplication in the ptmap C-like dialect.
+int A[64][64];
+int B[64][64];
+int C[64][64];
+
+#pragma PTMAP
+for (i = 0; i < 64; i++) {
+    for (j = 0; j < 64; j++) {
+        for (k = 0; k < 64; k++) {
+            C[i][j] = C[i][j] + A[i][k] * B[k][j];
+        }
+    }
+}
+#pragma ENDMAP

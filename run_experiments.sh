@@ -1,0 +1,7 @@
+#!/bin/sh
+# Regenerates every table and figure of the evaluation into results/.
+set -e
+for bin in fig2a fig2b tab5 fig6 fig7 fig8 tab6 fig9 generality ablations; do
+  echo "=== $bin ==="
+  cargo run --release -p ptmap-bench --bin $bin
+done

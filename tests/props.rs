@@ -1,0 +1,135 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use pt_map::arch::presets;
+use pt_map::eval::{hypervolume, rank_pareto, rank_performance};
+use pt_map::ir::dfg::build_dfg;
+use pt_map::ir::{AffineExpr, LoopId, ProgramBuilder};
+use pt_map::mapper::{map_dfg, MapperConfig};
+use pt_map::sim::verify_mapping;
+use pt_map::workloads::{RandomProgramConfig, RandomProgramGenerator};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Affine substitution distributes over addition.
+    #[test]
+    fn affine_substitution_distributes(a in -8i64..8, b in -8i64..8, c in -8i64..8) {
+        let i = LoopId(0);
+        let j = LoopId(1);
+        let e1 = AffineExpr::var(i) * a + AffineExpr::constant(b);
+        let e2 = AffineExpr::var(i) * c;
+        let repl = AffineExpr::var(j) * 4 + AffineExpr::constant(1);
+        let lhs = (e1.clone() + e2.clone()).substitute(i, &repl);
+        let rhs = e1.substitute(i, &repl) + e2.substitute(i, &repl);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Evaluation of a substituted expression equals evaluation of the
+    /// original under the substituted assignment.
+    #[test]
+    fn affine_substitution_sound(a in -8i64..8, b in -8i64..8, iv in 0i64..16, jv in 0i64..16) {
+        let i = LoopId(0);
+        let j = LoopId(1);
+        let e = AffineExpr::var(i) * a + AffineExpr::constant(b);
+        let repl = AffineExpr::var(j) * 2 + AffineExpr::constant(3);
+        let substituted = e.substitute(i, &repl);
+        let mut asg = std::collections::BTreeMap::new();
+        asg.insert(j, jv);
+        let mut asg_orig = asg.clone();
+        asg_orig.insert(i, repl.eval(&asg));
+        let _ = iv;
+        prop_assert_eq!(substituted.eval(&asg), e.eval(&asg_orig));
+    }
+
+    /// Hypervolume is monotone: dominating points never rank lower.
+    #[test]
+    fn hypervolume_monotone(c in 1u64..1000, v in 1u64..1000, dc in 0u64..100, dv in 0u64..100) {
+        let reference = (2000, 2000);
+        prop_assert!(hypervolume((c, v), reference) >= hypervolume((c + dc, v + dv), reference));
+    }
+
+    /// Performance ranking returns a permutation sorted by (cycles, volume).
+    #[test]
+    fn performance_rank_is_sorted_permutation(points in proptest::collection::vec((1u64..10_000, 1u64..10_000), 1..24)) {
+        let order = rank_performance(&points);
+        let mut seen = vec![false; points.len()];
+        for &i in &order {
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        for w in order.windows(2) {
+            prop_assert!(points[w[0]] <= points[w[1]]);
+        }
+        let pareto_order = rank_pareto(&points);
+        prop_assert_eq!(pareto_order.len(), points.len());
+    }
+
+    /// Random programs: DFGs are structurally valid for any unroll
+    /// factor, and unrolling multiplies the non-CSE'd op count at most
+    /// linearly.
+    #[test]
+    fn random_program_dfgs_valid(seed in 0u64..500, factor in 1u32..8) {
+        let mut g = RandomProgramGenerator::new(RandomProgramConfig::default(), seed);
+        let p = g.next_program();
+        let nest = p.perfect_nests().remove(0);
+        let base = build_dfg(&p, &nest, &[]).unwrap();
+        let unrolled = build_dfg(&p, &nest, &[(nest.pipelined_loop(), factor)]).unwrap();
+        prop_assert!(base.validate().is_ok());
+        prop_assert!(unrolled.validate().is_ok());
+        prop_assert!(unrolled.len() <= base.len() * factor as usize);
+        prop_assert!(unrolled.len() >= base.len());
+    }
+
+    /// Every successful mapping of a random program verifies: slots are
+    /// exclusive and all edge timings hold.
+    #[test]
+    fn random_mappings_verify(seed in 0u64..200) {
+        let mut g = RandomProgramGenerator::new(RandomProgramConfig::default(), seed);
+        let p = g.next_program();
+        let nest = p.perfect_nests().remove(0);
+        let dfg = build_dfg(&p, &nest, &[]).unwrap();
+        if let Ok(m) = map_dfg(&dfg, &presets::s4(), &MapperConfig::default()) {
+            prop_assert!(verify_mapping(&dfg, &m).is_ok());
+            prop_assert!(m.ii >= m.mii);
+        }
+    }
+
+    /// The dependence analysis never reports a lexicographically
+    /// backward exact vector (normalization invariant).
+    #[test]
+    fn dependences_are_forward(seed in 0u64..300) {
+        let mut g = RandomProgramGenerator::new(RandomProgramConfig::default(), seed);
+        let p = g.next_program();
+        let deps = pt_map::ir::DependenceSet::analyze(&p);
+        for dep in deps.iter() {
+            let mut verdict = true;
+            for d in &dep.distance {
+                match d {
+                    pt_map::ir::Distance::Exact(0) => continue,
+                    pt_map::ir::Distance::Exact(x) => { verdict = *x > 0; break; }
+                    _ => break,
+                }
+            }
+            prop_assert!(verdict, "backward dependence: {}", dep);
+        }
+    }
+
+    /// Tiling preserves the total iteration count up to ceil padding.
+    #[test]
+    fn strip_mine_preserves_iterations(n_pow in 3u32..8, t_pow in 1u32..6) {
+        let n = 1u64 << n_pow;
+        let tile = 1u64 << t_pow;
+        prop_assume!(tile < n);
+        let mut b = ProgramBuilder::new("p");
+        let x = b.array("X", &[n]);
+        let i = b.open_loop("i", n);
+        let v = b.add(b.load(x, &[b.idx(i)]), b.constant(1));
+        b.store(x, &[b.idx(i)], v);
+        b.close_loop();
+        let p = b.finish();
+        let (q, _) = pt_map::transform::primitives::strip_mine(&p, i, tile).unwrap();
+        let nest = q.perfect_nests().remove(0);
+        prop_assert_eq!(nest.total_iterations(), n.div_ceil(tile) * tile);
+    }
+}
