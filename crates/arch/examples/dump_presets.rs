@@ -3,7 +3,10 @@ use ptmap_arch::{io, presets};
 
 fn main() {
     std::fs::create_dir_all("archs").expect("create archs dir");
-    for arch in presets::evaluation_suite().iter().chain([&presets::hrea4()]) {
+    for arch in presets::evaluation_suite()
+        .iter()
+        .chain([&presets::hrea4()])
+    {
         let path = format!("archs/{}.json", arch.name().to_lowercase());
         io::save(arch, &path).expect("write arch file");
         println!("wrote {path}");

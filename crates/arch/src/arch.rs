@@ -145,7 +145,11 @@ impl CgraArch {
 
 impl fmt::Display for CgraArch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}x{}, {:?})", self.name, self.rows, self.cols, self.topology)
+        write!(
+            f,
+            "{} ({}x{}, {:?})",
+            self.name, self.rows, self.cols, self.topology
+        )
     }
 }
 
@@ -186,7 +190,10 @@ impl CgraArchBuilder {
             rows,
             cols,
             pes: None,
-            topology: Topology::Mesh { diagonal: false, torus: false },
+            topology: Topology::Mesh {
+                diagonal: false,
+                torus: false,
+            },
             grf_size: 0,
             cb_capacity: 8,
             db_bytes: 4096,
@@ -256,7 +263,10 @@ impl CgraArchBuilder {
         let expected = (self.rows * self.cols) as usize;
         let pes = self.pes.unwrap_or_else(|| vec![Pe::default(); expected]);
         if pes.len() != expected {
-            return Err(ArchError::PeCountMismatch { got: pes.len(), expected });
+            return Err(ArchError::PeCountMismatch {
+                got: pes.len(),
+                expected,
+            });
         }
         if self.cb_capacity == 0 {
             return Err(ArchError::ZeroContextCapacity);
@@ -293,13 +303,24 @@ mod tests {
 
     #[test]
     fn empty_array_rejected() {
-        assert_eq!(CgraArchBuilder::new("t", 0, 4).build(), Err(ArchError::EmptyArray));
+        assert_eq!(
+            CgraArchBuilder::new("t", 0, 4).build(),
+            Err(ArchError::EmptyArray)
+        );
     }
 
     #[test]
     fn pe_count_mismatch_rejected() {
-        let err = CgraArchBuilder::new("t", 2, 2).pes(vec![Pe::default(); 3]).build();
-        assert_eq!(err, Err(ArchError::PeCountMismatch { got: 3, expected: 4 }));
+        let err = CgraArchBuilder::new("t", 2, 2)
+            .pes(vec![Pe::default(); 3])
+            .build();
+        assert_eq!(
+            err,
+            Err(ArchError::PeCountMismatch {
+                got: 3,
+                expected: 4
+            })
+        );
     }
 
     #[test]
@@ -313,7 +334,11 @@ mod tests {
     fn heterogeneous_pe_at() {
         let a = CgraArchBuilder::new("het", 2, 2)
             .uniform_pe(Pe::full(1))
-            .pe_at(1, 1, Pe::with_classes(&[OpClass::Logic, OpClass::Memory], 1))
+            .pe_at(
+                1,
+                1,
+                Pe::with_classes(&[OpClass::Logic, OpClass::Memory], 1),
+            )
             .build()
             .unwrap();
         assert_eq!(a.pes_supporting(OpKind::Mul), 3);
@@ -322,7 +347,10 @@ mod tests {
 
     #[test]
     fn with_db_bytes_doubles() {
-        let a = CgraArchBuilder::new("t", 2, 2).db_bytes(4096).build().unwrap();
+        let a = CgraArchBuilder::new("t", 2, 2)
+            .db_bytes(4096)
+            .build()
+            .unwrap();
         let b = a.with_db_bytes(8192);
         assert_eq!(b.db_bytes(), 8192);
         assert_ne!(a.name(), b.name());

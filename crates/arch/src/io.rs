@@ -101,7 +101,10 @@ mod tests {
 
     #[test]
     fn every_preset_round_trips() {
-        for arch in presets::evaluation_suite().iter().chain([&presets::hrea4()]) {
+        for arch in presets::evaluation_suite()
+            .iter()
+            .chain([&presets::hrea4()])
+        {
             let text = to_json(arch).unwrap();
             let back = from_json(&text).unwrap();
             assert_eq!(&back, arch);
@@ -120,6 +123,9 @@ mod tests {
     #[test]
     fn bad_json_reports_error() {
         assert!(matches!(from_json("{ nope"), Err(ArchIoError::Json(_))));
-        assert!(matches!(load("/nonexistent/file.json"), Err(ArchIoError::Io(_))));
+        assert!(matches!(
+            load("/nonexistent/file.json"),
+            Err(ArchIoError::Io(_))
+        ));
     }
 }

@@ -143,7 +143,9 @@ impl Mrrg {
             let pe = PeId(idx as u32 % self.pe_count);
             RouteNode::Pe { pe, t }
         } else {
-            RouteNode::Grf { t: (idx - pe_slots) as u32 }
+            RouteNode::Grf {
+                t: (idx - pe_slots) as u32,
+            }
         }
     }
 
@@ -171,7 +173,10 @@ mod tests {
 
     fn arch(grf: u32, lrf: u32) -> CgraArch {
         CgraArchBuilder::new("t", 2, 2)
-            .topology(Topology::Mesh { diagonal: false, torus: false })
+            .topology(Topology::Mesh {
+                diagonal: false,
+                torus: false,
+            })
             .uniform_pe(Pe::full(lrf))
             .grf_size(grf)
             .build()

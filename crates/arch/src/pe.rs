@@ -45,7 +45,10 @@ pub struct Pe {
 impl Pe {
     /// A PE supporting every operation (homogeneous "standard" arrays).
     pub fn full(lrf_size: u32) -> Self {
-        Pe { ops: OpKind::ALL.to_vec(), lrf_size }
+        Pe {
+            ops: OpKind::ALL.to_vec(),
+            lrf_size,
+        }
     }
 
     /// A PE supporting only the listed classes (plus moves, which every

@@ -18,7 +18,10 @@ use ptmap_ir::OpClass;
 /// S4: the 4×4 standard CGRA.
 pub fn s4() -> CgraArch {
     CgraArchBuilder::new("S4", 4, 4)
-        .topology(Topology::Mesh { diagonal: true, torus: false })
+        .topology(Topology::Mesh {
+            diagonal: true,
+            torus: false,
+        })
         .uniform_pe(Pe::full(2))
         .grf_size(4)
         .cb_capacity(8)
@@ -35,7 +38,10 @@ pub fn r4() -> CgraArch {
     let full = Pe::full(1);
     let no_mul = Pe::with_classes(&[OpClass::Logic, OpClass::Memory], 1);
     let mut b = CgraArchBuilder::new("R4", 4, 4)
-        .topology(Topology::Mesh { diagonal: false, torus: false })
+        .topology(Topology::Mesh {
+            diagonal: false,
+            torus: false,
+        })
         .uniform_pe(full)
         .grf_size(0)
         .cb_capacity(8)
@@ -79,7 +85,10 @@ pub fn h6() -> CgraArch {
 /// GRF.
 pub fn sl8() -> CgraArch {
     CgraArchBuilder::new("SL8", 8, 8)
-        .topology(Topology::Mesh { diagonal: false, torus: false })
+        .topology(Topology::Mesh {
+            diagonal: false,
+            torus: false,
+        })
         .uniform_pe(Pe::full(1))
         .grf_size(0)
         .cb_capacity(8)
@@ -111,7 +120,10 @@ pub fn evaluation_suite() -> Vec<CgraArch> {
 pub fn fig2b_family() -> Vec<CgraArch> {
     let mk = |name: &str, rows: u32, cols: u32, lrf: u32| {
         CgraArchBuilder::new(name, rows, cols)
-            .topology(Topology::Mesh { diagonal: false, torus: false })
+            .topology(Topology::Mesh {
+                diagonal: false,
+                torus: false,
+            })
             .uniform_pe(Pe::full(lrf))
             .grf_size(0)
             .cb_capacity(16)
@@ -134,7 +146,10 @@ pub fn fig2b_family() -> Vec<CgraArch> {
 /// utilization sweep (3×3, 4×4, 8×8).
 pub fn mesh(rows: u32, cols: u32, lrf: u32) -> CgraArch {
     CgraArchBuilder::new(format!("M{rows}x{cols}"), rows, cols)
-        .topology(Topology::Mesh { diagonal: false, torus: false })
+        .topology(Topology::Mesh {
+            diagonal: false,
+            torus: false,
+        })
         .uniform_pe(Pe::full(lrf))
         .grf_size(2)
         .cb_capacity(8)

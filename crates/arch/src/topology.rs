@@ -49,7 +49,16 @@ impl Topology {
         match self {
             Topology::Mesh { diagonal, torus } => {
                 let deltas: &[(i64, i64)] = if diagonal {
-                    &[(1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (1, -1), (-1, 1), (-1, -1)]
+                    &[
+                        (1, 0),
+                        (-1, 0),
+                        (0, 1),
+                        (0, -1),
+                        (1, 1),
+                        (1, -1),
+                        (-1, 1),
+                        (-1, -1),
+                    ]
                 } else {
                     &[(1, 0), (-1, 0), (0, 1), (0, -1)]
                 };
@@ -88,8 +97,9 @@ impl Topology {
     /// used as a hardware feature by the predictive model.
     pub fn mean_degree(self, rows: u32, cols: u32) -> f64 {
         let n = (rows * cols) as f64;
-        let total: usize =
-            (0..rows * cols).map(|i| self.neighbors(PeId(i), rows, cols).len()).sum();
+        let total: usize = (0..rows * cols)
+            .map(|i| self.neighbors(PeId(i), rows, cols).len())
+            .sum();
         total as f64 / n
     }
 }
@@ -100,7 +110,10 @@ mod tests {
 
     #[test]
     fn mesh_corner_has_two_neighbors() {
-        let t = Topology::Mesh { diagonal: false, torus: false };
+        let t = Topology::Mesh {
+            diagonal: false,
+            torus: false,
+        };
         assert_eq!(t.neighbors(PeId(0), 4, 4).len(), 2);
         // Center PE has 4.
         assert_eq!(t.neighbors(PeId::from_xy(1, 1, 4), 4, 4).len(), 4);
@@ -108,7 +121,10 @@ mod tests {
 
     #[test]
     fn torus_gives_uniform_degree() {
-        let t = Topology::Mesh { diagonal: false, torus: true };
+        let t = Topology::Mesh {
+            diagonal: false,
+            torus: true,
+        };
         for i in 0..16 {
             assert_eq!(t.neighbors(PeId(i), 4, 4).len(), 4);
         }
@@ -116,7 +132,10 @@ mod tests {
 
     #[test]
     fn diagonal_mesh_center_has_eight() {
-        let t = Topology::Mesh { diagonal: true, torus: false };
+        let t = Topology::Mesh {
+            diagonal: true,
+            torus: false,
+        };
         assert_eq!(t.neighbors(PeId::from_xy(1, 1, 4), 4, 4).len(), 8);
     }
 
@@ -139,7 +158,10 @@ mod tests {
     #[test]
     fn neighbors_never_contain_self() {
         for t in [
-            Topology::Mesh { diagonal: true, torus: true },
+            Topology::Mesh {
+                diagonal: true,
+                torus: true,
+            },
             Topology::HyCube { max_hops: 2 },
             Topology::RowColumn,
         ] {
@@ -151,7 +173,10 @@ mod tests {
 
     #[test]
     fn mean_degree_orders_richness() {
-        let mesh = Topology::Mesh { diagonal: false, torus: false };
+        let mesh = Topology::Mesh {
+            diagonal: false,
+            torus: false,
+        };
         let hycube = Topology::HyCube { max_hops: 3 };
         assert!(hycube.mean_degree(6, 6) > mesh.mean_degree(6, 6));
     }

@@ -48,12 +48,7 @@ impl Default for Al {
 impl Al {
     /// Draws and evaluates one random candidate; `None` when the sampled
     /// transformation is illegal or unmappable.
-    fn trial(
-        &self,
-        program: &Program,
-        arch: &CgraArch,
-        rng: &mut StdRng,
-    ) -> Option<CompileReport> {
+    fn trial(&self, program: &Program, arch: &CgraArch, rng: &mut StdRng) -> Option<CompileReport> {
         let mode = *[
             FusionMode::AsIs,
             FusionMode::NoFuse,
@@ -86,7 +81,11 @@ impl Al {
             }
             // Random unroll of the (current) pipelined loop.
             let f = *[1u32, 2, 4, 8].choose(rng).expect("non-empty");
-            unroll_per_pnl.push(if f > 1 { vec![(pipelined, f)] } else { Vec::new() });
+            unroll_per_pnl.push(if f > 1 {
+                vec![(pipelined, f)]
+            } else {
+                Vec::new()
+            });
         }
         // Re-align unroll vectors with the transformed program's nests.
         let nests_now = p.perfect_nests();
@@ -124,7 +123,10 @@ mod tests {
     #[test]
     fn al_finds_some_mapping_on_gemm() {
         let p = ptmap_workloads::micro::gemm(24);
-        let al = Al { budget: 12, ..Al::default() };
+        let al = Al {
+            budget: 12,
+            ..Al::default()
+        };
         let r = al.run(&p, &presets::s4()).unwrap();
         assert!(r.cycles > 0);
     }
@@ -133,8 +135,18 @@ mod tests {
     fn al_is_seed_sensitive() {
         let p = ptmap_workloads::micro::gemm(24);
         let arch = presets::s4();
-        let a = Al { budget: 6, seed: 1, ..Al::default() }.run(&p, &arch);
-        let b = Al { budget: 6, seed: 2, ..Al::default() }.run(&p, &arch);
+        let a = Al {
+            budget: 6,
+            seed: 1,
+            ..Al::default()
+        }
+        .run(&p, &arch);
+        let b = Al {
+            budget: 6,
+            seed: 2,
+            ..Al::default()
+        }
+        .run(&p, &arch);
         // Different seeds explore different candidates; both may succeed
         // but typically with different quality (volatility).
         if let (Ok(a), Ok(b)) = (a, b) {
@@ -147,8 +159,18 @@ mod tests {
     fn bigger_budget_not_worse() {
         let p = ptmap_workloads::micro::gemm(24);
         let arch = presets::s4();
-        let small = Al { budget: 4, seed: 7, ..Al::default() }.run(&p, &arch);
-        let large = Al { budget: 24, seed: 7, ..Al::default() }.run(&p, &arch);
+        let small = Al {
+            budget: 4,
+            seed: 7,
+            ..Al::default()
+        }
+        .run(&p, &arch);
+        let large = Al {
+            budget: 24,
+            seed: 7,
+            ..Al::default()
+        }
+        .run(&p, &arch);
         if let (Ok(s), Ok(l)) = (small, large) {
             assert!(l.cycles <= s.cycles);
         }

@@ -73,7 +73,10 @@ pub struct Lisa {
 
 impl Default for Lisa {
     fn default() -> Self {
-        Lisa { mapper: MapperConfig::default().with_effort(3), energy: EnergyModel::default() }
+        Lisa {
+            mapper: MapperConfig::default().with_effort(3),
+            energy: EnergyModel::default(),
+        }
     }
 }
 
@@ -245,7 +248,10 @@ impl Baseline for Am {
     fn run(&self, program: &Program, arch: &CgraArch) -> Result<CompileReport, PtMapError> {
         let config = PtMapConfig {
             explore: ExploreConfig::default(),
-            eval: EvalConfig { top_k: 20, combine_k: 1 },
+            eval: EvalConfig {
+                top_k: 20,
+                combine_k: 1,
+            },
             mapper: self.mapper.clone(),
             mode: RankMode::Performance,
             energy: self.energy,
@@ -254,6 +260,7 @@ impl Baseline for Am {
             realize_beam: 1,
             identity_guard: false,
             fallback: false,
+            eval_workers: 1,
         };
         PtMap::new(Box::new(AnalyticalPredictor), config).compile(program, arch)
     }
@@ -268,7 +275,11 @@ mod tests {
     fn scheduling_baselines_never_transform() {
         let p = ptmap_workloads::micro::gemm(24);
         let arch = presets::s4();
-        for b in [&Ramp::default() as &dyn Baseline, &Lisa::default(), &MapZero::default()] {
+        for b in [
+            &Ramp::default() as &dyn Baseline,
+            &Lisa::default(),
+            &MapZero::default(),
+        ] {
             let r = b.run(&p, &arch).unwrap();
             assert_eq!(r.pnls.len(), 1);
             assert_eq!(r.pnls[0].desc, "as-is", "{} transformed the loop", b.name());
@@ -305,7 +316,12 @@ mod tests {
         let arch = presets::s4();
         let ramp = Ramp::default().run(&p, &arch).unwrap();
         let pbp = Pbp::default().run(&p, &arch).unwrap();
-        assert!(pbp.cycles <= ramp.cycles, "PBP {} vs RAMP {}", pbp.cycles, ramp.cycles);
+        assert!(
+            pbp.cycles <= ramp.cycles,
+            "PBP {} vs RAMP {}",
+            pbp.cycles,
+            ramp.cycles
+        );
     }
 
     #[test]

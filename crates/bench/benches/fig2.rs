@@ -16,8 +16,10 @@ fn print_series() {
     let arch = presets::mesh(8, 8, 2);
     println!("[fig2a reduced] 24^3 GEMM on 8x8:");
     for (fa, fb) in [(1u32, 1u32), (2, 1), (2, 2), (4, 2)] {
-        let unroll: Vec<_> =
-            [(i, fa), (j, fb)].into_iter().filter(|&(_, f)| f > 1).collect();
+        let unroll: Vec<_> = [(i, fa), (j, fb)]
+            .into_iter()
+            .filter(|&(_, f)| f > 1)
+            .collect();
         let dfg = build_dfg(&program, &nest, &unroll).unwrap();
         if let Ok(m) = map_dfg(&dfg, &arch, &MapperConfig::default()) {
             println!(
@@ -33,8 +35,11 @@ fn print_series() {
     println!("[fig2b reduced] vector reduction on 221:");
     let arch = &presets::fig2b_family()[1];
     for f in [1u32, 4] {
-        let unroll: Vec<_> =
-            if f > 1 { vec![(vnest.pipelined_loop(), f)] } else { Vec::new() };
+        let unroll: Vec<_> = if f > 1 {
+            vec![(vnest.pipelined_loop(), f)]
+        } else {
+            Vec::new()
+        };
         let dfg = build_dfg(&vr, &vnest, &unroll).unwrap();
         let bound = mii(&dfg, arch);
         if let Ok(m) = map_dfg(&dfg, arch, &MapperConfig::default()) {

@@ -17,7 +17,14 @@ fn bench(c: &mut Criterion) {
         variant: GnnVariant::Full,
         ..ModelConfig::default()
     });
-    train(&mut model, &data, &TrainConfig { epochs: scale.epochs, ..TrainConfig::default() });
+    train(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: scale.epochs,
+            ..TrainConfig::default()
+        },
+    );
     let samples = real_benchmark_samples(&presets::s4(), 2);
     println!(
         "[fig6 reduced] S4: PBP(MII) {:.1}% vs GNN {:.1}% MAPE ({} samples)",
@@ -32,7 +39,14 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig6_training_epoch", |b| {
         b.iter(|| {
             let mut m = model.clone();
-            train(&mut m, &data[..20], &TrainConfig { epochs: 1, ..TrainConfig::default() });
+            train(
+                &mut m,
+                &data[..20],
+                &TrainConfig {
+                    epochs: 1,
+                    ..TrainConfig::default()
+                },
+            );
             black_box(m.param_count())
         })
     });

@@ -19,13 +19,21 @@ fn bench(c: &mut Criterion) {
     });
     let arch = presets::s4();
     let (app, program) = ptmap_bench::apps().remove(4); // TMM
-    let rows = run_suite(&program, &arch, &gnn, RankMode::Performance, MapperSet::Comparison);
+    let rows = run_suite(
+        &program,
+        &arch,
+        &gnn,
+        RankMode::Performance,
+        MapperSet::Comparison,
+    );
     println!("[fig7 reduced] {app} on {}:", arch.name());
     for r in &rows {
         println!(
             "  {:<8} {}",
             r.mapper,
-            r.cycles.map(|c| c.to_string()).unwrap_or_else(|| "fail".into())
+            r.cycles
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "fail".into())
         );
     }
     c.bench_function("fig7_ptmap_compile_tmm_s4", |b| {

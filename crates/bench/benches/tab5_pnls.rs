@@ -13,8 +13,10 @@ fn bench(c: &mut Criterion) {
     let apps = ptmap_bench::apps();
     c.bench_function("tab5_lit_and_pnl_extraction_all_apps", |b| {
         b.iter(|| {
-            let total: usize =
-                apps.iter().map(|(_, p)| Lit::build(black_box(p)).pnl_count()).sum();
+            let total: usize = apps
+                .iter()
+                .map(|(_, p)| Lit::build(black_box(p)).pnl_count())
+                .sum();
             black_box(total)
         })
     });

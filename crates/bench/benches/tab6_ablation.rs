@@ -17,18 +17,29 @@ fn bench(c: &mut Criterion) {
     });
     let arch = presets::sl8();
     let (app, program) = ptmap_bench::apps().remove(4); // TMM
-    let rows = run_suite(&program, &arch, &gnn, RankMode::Performance, MapperSet::Ablation);
+    let rows = run_suite(
+        &program,
+        &arch,
+        &gnn,
+        RankMode::Performance,
+        MapperSet::Ablation,
+    );
     println!("[tab6 reduced] {app} on SL8:");
     for r in &rows {
         println!(
             "  {:<8} {}",
             r.mapper,
-            r.cycles.map(|c| c.to_string()).unwrap_or_else(|| "fail".into())
+            r.cycles
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "fail".into())
         );
     }
     c.bench_function("tab6_al_tuning_budget8", |b| {
         b.iter(|| {
-            let al = Al { budget: 8, ..Al::default() };
+            let al = Al {
+                budget: 8,
+                ..Al::default()
+            };
             black_box(al.run(&program, &arch).map(|r| r.cycles))
         })
     });

@@ -38,10 +38,18 @@ fn main() {
     let (i, j) = (nest.loops[0], nest.loops[1]);
     let arch = presets::sl8();
     for f in [1u32, 2, 4] {
-        let unroll: Vec<_> = [(i, f), (j, f)].into_iter().filter(|&(_, x)| x > 1).collect();
+        let unroll: Vec<_> = [(i, f), (j, f)]
+            .into_iter()
+            .filter(|&(_, x)| x > 1)
+            .collect();
         let dfg = build_dfg(&program, &nest, &unroll).unwrap();
-        let shared = map_dfg(&dfg, &arch, &MapperConfig::default()).ok().map(|m| m.ii);
-        let unshared_cfg = MapperConfig { share_routes: false, ..MapperConfig::default() };
+        let shared = map_dfg(&dfg, &arch, &MapperConfig::default())
+            .ok()
+            .map(|m| m.ii);
+        let unshared_cfg = MapperConfig {
+            share_routes: false,
+            ..MapperConfig::default()
+        };
         let unshared = map_dfg(&dfg, &arch, &unshared_cfg).ok().map(|m| m.ii);
         let show = |x: Option<u32>| x.map(|v| v.to_string()).unwrap_or_else(|| "fail".into());
         println!("{:<8} {:>10} {:>10}", f * f, show(shared), show(unshared));
@@ -50,13 +58,26 @@ fn main() {
 
     // 2. Two-term residual loss vs plain MSE.
     println!("\n== II-residual loss (synthetic dataset, held-out MAPE) ==");
-    let scale = Scale { samples: 600, epochs: 60 };
+    let scale = Scale {
+        samples: 600,
+        epochs: 60,
+    };
     let data = synthetic_dataset(scale);
     let split = data.len() * 4 / 5;
     let (tr, te) = data.split_at(split);
     for (label, alpha) in [("two-term (α=0.5)", 0.5f32), ("plain MSE (α=0)", 0.0)] {
-        let mut model = PtMapGnn::new(ModelConfig { alpha, ..ModelConfig::default() });
-        train(&mut model, tr, &TrainConfig { epochs: scale.epochs, ..TrainConfig::default() });
+        let mut model = PtMapGnn::new(ModelConfig {
+            alpha,
+            ..ModelConfig::default()
+        });
+        train(
+            &mut model,
+            tr,
+            &TrainConfig {
+                epochs: scale.epochs,
+                ..TrainConfig::default()
+            },
+        );
         let mape = mape_cycles(&model, te);
         println!("{label:<18}: {mape:.1}% MAPE");
         if alpha > 0.0 {
@@ -71,8 +92,14 @@ fn main() {
     let program = micro::gemm(64);
     let arch = presets::s4();
     for depth in [1usize, 2, 3] {
-        let explore = ExploreConfig { reorder_depth: depth, ..ExploreConfig::default() };
-        let config = PtMapConfig { explore, ..PtMapConfig::default() };
+        let explore = ExploreConfig {
+            reorder_depth: depth,
+            ..ExploreConfig::default()
+        };
+        let config = PtMapConfig {
+            explore,
+            ..PtMapConfig::default()
+        };
         let r = PtMap::new(Box::new(AnalyticalPredictor), config)
             .compile(&program, &arch)
             .expect("gemm compiles");

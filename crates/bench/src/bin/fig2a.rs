@@ -24,14 +24,23 @@ fn main() {
     let program = micro::gemm24();
     let nest0 = program.perfect_nests().remove(0);
     let [i, j, k] = [nest0.loops[0], nest0.loops[1], nest0.loops[2]];
-    let orders: Vec<Vec<_>> =
-        vec![vec![i, j, k], vec![i, k, j], vec![k, i, j], vec![j, k, i], vec![k, j, i], vec![j, i, k]];
+    let orders: Vec<Vec<_>> = vec![
+        vec![i, j, k],
+        vec![i, k, j],
+        vec![k, i, j],
+        vec![j, k, i],
+        vec![k, j, i],
+        vec![j, i, k],
+    ];
     // Factor -> unroll split over the two non-pipelined dimensions.
     let splits = [(1u32, 1u32), (2, 1), (2, 2), (4, 2)];
     let mapper = MapperConfig::default();
     let mut rows = Vec::new();
 
-    println!("{:<8} {:>7} {:>13} {:>11} {:>5}", "arch", "factor", "utilization", "norm perf", "II");
+    println!(
+        "{:<8} {:>7} {:>13} {:>11} {:>5}",
+        "arch", "factor", "utilization", "norm perf", "II"
+    );
     for (rows_n, cols_n) in [(3u32, 3u32), (4, 4), (8, 8)] {
         let arch = presets::mesh(rows_n, cols_n, 2);
         let mut base_cycles = None;
@@ -40,15 +49,21 @@ fn main() {
             // Best (order, mapping) by actual cycles.
             let mut best: Option<(u64, f64, u32)> = None;
             for order in &orders {
-                let Ok(p) = reorder(&program, nest0.loops[0], order) else { continue };
+                let Ok(p) = reorder(&program, nest0.loops[0], order) else {
+                    continue;
+                };
                 let nest = p.perfect_nests().remove(0);
                 let (d0, d1) = (nest.loops[0], nest.loops[1]);
                 let unroll: Vec<(ptmap_ir::LoopId, u32)> = [(d0, fa), (d1, fb)]
                     .into_iter()
                     .filter(|&(_, f)| f > 1)
                     .collect();
-                let Ok(dfg) = build_dfg(&p, &nest, &unroll) else { continue };
-                let Ok(m) = map_dfg(&dfg, &arch, &mapper) else { continue };
+                let Ok(dfg) = build_dfg(&p, &nest, &unroll) else {
+                    continue;
+                };
+                let Ok(m) = map_dfg(&dfg, &arch, &mapper) else {
+                    continue;
+                };
                 let eff_pipelined = nest.pipelined_tripcount();
                 let launches = nest.folded_tripcount() / (fa as u64 * fb as u64);
                 let cycles = m.cycles(eff_pipelined) * launches.max(1);
@@ -57,7 +72,13 @@ fn main() {
                 }
             }
             let Some((cycles, util, ii)) = best else {
-                println!("{:<8} {:>7} {:>13} {:>11}", arch.name(), factor, "fail", "-");
+                println!(
+                    "{:<8} {:>7} {:>13} {:>11}",
+                    arch.name(),
+                    factor,
+                    "fail",
+                    "-"
+                );
                 continue;
             };
             let base = *base_cycles.get_or_insert(cycles);

@@ -26,11 +26,17 @@ fn main() {
     let nest = program.perfect_nests().remove(0);
     let mapper = MapperConfig::default();
     let mut rows = Vec::new();
-    println!("{:<6} {:>7} {:>6} {:>9} {:>8}", "arch", "factor", "MII", "actual II", "ratio");
+    println!(
+        "{:<6} {:>7} {:>6} {:>9} {:>8}",
+        "arch", "factor", "MII", "actual II", "ratio"
+    );
     for arch in presets::fig2b_family() {
         for factor in [1u32, 2, 4, 8] {
-            let unroll: Vec<(ptmap_ir::LoopId, u32)> =
-                if factor > 1 { vec![(nest.pipelined_loop(), factor)] } else { Vec::new() };
+            let unroll: Vec<(ptmap_ir::LoopId, u32)> = if factor > 1 {
+                vec![(nest.pipelined_loop(), factor)]
+            } else {
+                Vec::new()
+            };
             let dfg = build_dfg(&program, &nest, &unroll).expect("dfg");
             let bound = mii(&dfg, &arch);
             let tc = n / factor as u64;
@@ -56,7 +62,14 @@ fn main() {
                     });
                 }
                 Err(_) => {
-                    println!("{:<6} {:>7} {:>6} {:>9} {:>8}", arch.name(), factor, bound, "-", "fail");
+                    println!(
+                        "{:<6} {:>7} {:>6} {:>9} {:>8}",
+                        arch.name(),
+                        factor,
+                        bound,
+                        "-",
+                        "fail"
+                    );
                 }
             }
         }

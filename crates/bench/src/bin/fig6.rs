@@ -33,15 +33,26 @@ fn main() {
         ("GNN-PT-Map", GnnVariant::Full),
     ];
     // Train (or load) each variant once on the synthetic set.
-    let models: Vec<_> =
-        variants.iter().map(|&(name, v)| (name, trained_model(v, scale))).collect();
+    let models: Vec<_> = variants
+        .iter()
+        .map(|&(name, v)| (name, trained_model(v, scale)))
+        .collect();
 
     let mut rows = Vec::new();
-    println!("{:<6} {:<12} {:>8} {:>9}", "arch", "model", "MAPE %", "samples");
+    println!(
+        "{:<6} {:<12} {:>8} {:>9}",
+        "arch", "model", "MAPE %", "samples"
+    );
     for arch in ptmap_bench::archs() {
         let samples = real_benchmark_samples(&arch, per_app);
         let mii_mape = mape_cycles_mii(&samples);
-        println!("{:<6} {:<12} {:>8.1} {:>9}", arch.name(), "PBP", mii_mape, samples.len());
+        println!(
+            "{:<6} {:<12} {:>8.1} {:>9}",
+            arch.name(),
+            "PBP",
+            mii_mape,
+            samples.len()
+        );
         rows.push(Row {
             arch: arch.name().to_string(),
             model: "PBP".into(),
@@ -50,7 +61,13 @@ fn main() {
         });
         for (name, model) in &models {
             let mape = mape_cycles(model, &samples);
-            println!("{:<6} {:<12} {:>8.1} {:>9}", arch.name(), name, mape, samples.len());
+            println!(
+                "{:<6} {:<12} {:>8.1} {:>9}",
+                arch.name(),
+                name,
+                mape,
+                samples.len()
+            );
             rows.push(Row {
                 arch: arch.name().to_string(),
                 model: (*name).into(),

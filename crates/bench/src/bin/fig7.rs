@@ -1,8 +1,13 @@
 //! Fig. 7: normalized performance (relative to RAMP) of LISA, MapZero,
 //! IP, PBP, and PT-Map across the four architectures.
+//!
+//! The PT-Map compilations run through the batch pipeline
+//! (`ptmap-pipeline`): parallel across (app, arch) jobs, cached under
+//! `results/ptmap-cache` (a re-run after warming is nearly free), with
+//! per-stage metrics written to `results/fig7_metrics.json`.
 
-use ptmap_bench::suite::{run_suite, MapperSet};
-use ptmap_bench::{geomean, trained_model, Scale};
+use ptmap_bench::suite::{baseline_suite, MapperResult, MapperSet};
+use ptmap_bench::{geomean, ptmap_app_batch, trained_model, Scale};
 use ptmap_eval::RankMode;
 use ptmap_gnn::model::GnnVariant;
 use serde::Serialize;
@@ -19,14 +24,25 @@ struct Row {
 
 fn main() {
     let gnn = trained_model(GnnVariant::Full, Scale::full());
+    // All PT-Map jobs up front, through the scheduler + cache.
+    let ptmap = ptmap_app_batch(&gnn, RankMode::Performance, "fig7_metrics.json");
     let mut rows = Vec::new();
     for arch in ptmap_bench::archs() {
         println!("\n=== {} ===", arch.name());
-        println!("{:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}", "app", "RAMP", "LISA", "MapZero", "IP", "PBP", "PT-Map");
+        println!(
+            "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "app", "RAMP", "LISA", "MapZero", "IP", "PBP", "PT-Map"
+        );
         let mut per_mapper: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
         for (app, program) in ptmap_bench::apps() {
-            let results =
-                run_suite(&program, &arch, &gnn, RankMode::Performance, MapperSet::Comparison);
+            let mut results = baseline_suite(
+                &program,
+                &arch,
+                RankMode::Performance,
+                MapperSet::Comparison,
+            );
+            let outcome = &ptmap[&format!("{app}@{}", arch.name())];
+            results.push(MapperResult::from_option("PT-Map", outcome.report.clone()));
             let ramp = results
                 .iter()
                 .find(|r| r.mapper == "RAMP")
@@ -38,7 +54,9 @@ fn main() {
                     _ => None,
                 };
                 cells.push(
-                    speedup.map(|s| format!("{s:.2}x")).unwrap_or_else(|| "fail".into()),
+                    speedup
+                        .map(|s| format!("{s:.2}x"))
+                        .unwrap_or_else(|| "fail".into()),
                 );
                 if let Some(s) = speedup {
                     per_mapper.entry(r.mapper.clone()).or_default().push(s);
@@ -67,8 +85,7 @@ fn main() {
         let pt = per_mapper.get("PT-Map").cloned().unwrap_or_default();
         for mapper in ["LISA", "MapZero", "IP", "PBP"] {
             let base = per_mapper.get(mapper).cloned().unwrap_or_default();
-            let ratios: Vec<f64> =
-                pt.iter().zip(&base).map(|(p, b)| p / b).collect();
+            let ratios: Vec<f64> = pt.iter().zip(&base).map(|(p, b)| p / b).collect();
             println!("  PT-Map vs {mapper}: {:.2}x geomean", geomean(&ratios));
         }
     }

@@ -28,8 +28,13 @@ fn main() {
         for base_arch in ptmap_bench::archs() {
             let arch = base_arch.with_db_bytes(base_arch.db_bytes() * db_scale);
             for (app, program) in ptmap_bench::apps() {
-                let results =
-                    run_suite(&program, &arch, &gnn, RankMode::Pareto, MapperSet::Comparison);
+                let results = run_suite(
+                    &program,
+                    &arch,
+                    &gnn,
+                    RankMode::Pareto,
+                    MapperSet::Comparison,
+                );
                 let pt_edp = results
                     .iter()
                     .find(|r| r.mapper == "PT-Map")
@@ -52,7 +57,10 @@ fn main() {
         }
         for mapper in ["RAMP", "LISA", "MapZero", "IP", "PBP"] {
             let r = geomean(ratios.get(mapper).map(Vec::as_slice).unwrap_or(&[]));
-            println!("PT-Map EDP reduction vs {mapper:<8}: {:.1}%", (1.0 - r) * 100.0);
+            println!(
+                "PT-Map EDP reduction vs {mapper:<8}: {:.1}%",
+                (1.0 - r) * 100.0
+            );
         }
     }
     ptmap_bench::write_json("fig8.json", &rows);

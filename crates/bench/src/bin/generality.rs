@@ -30,18 +30,43 @@ fn main() {
         seed: 77,
         ..DatasetConfig::default()
     });
-    train(&mut gnn, &tune, &TrainConfig { epochs: 30, ..TrainConfig::default() });
+    train(
+        &mut gnn,
+        &tune,
+        &TrainConfig {
+            epochs: 30,
+            ..TrainConfig::default()
+        },
+    );
 
     let mut rows = Vec::new();
     let mut per_mapper: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
-    println!("{:<6} {:>10} {:>10} {:>10} {:>10}", "app", "MapZero", "IP", "PBP", "PT-Map");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10}",
+        "app", "MapZero", "IP", "PBP", "PT-Map"
+    );
     for (app, program) in ptmap_bench::apps() {
         let mut results: Vec<(String, Option<u64>)> = Vec::new();
-        results.push(("MapZero".into(), MapZero::default().run(&program, &arch).ok().map(|r| r.cycles)));
-        results.push(("IP".into(), Ip::default().run(&program, &arch).ok().map(|r| r.cycles)));
-        results.push(("PBP".into(), Pbp::default().run(&program, &arch).ok().map(|r| r.cycles)));
+        results.push((
+            "MapZero".into(),
+            MapZero::default()
+                .run(&program, &arch)
+                .ok()
+                .map(|r| r.cycles),
+        ));
+        results.push((
+            "IP".into(),
+            Ip::default().run(&program, &arch).ok().map(|r| r.cycles),
+        ));
+        results.push((
+            "PBP".into(),
+            Pbp::default().run(&program, &arch).ok().map(|r| r.cycles),
+        ));
         let ptmap = ptmap_with(gnn.clone(), RankMode::Performance);
-        results.push(("PT-Map".into(), ptmap.compile(&program, &arch).ok().map(|r| r.cycles)));
+        results.push((
+            "PT-Map".into(),
+            ptmap.compile(&program, &arch).ok().map(|r| r.cycles),
+        ));
         let pt = results.last().and_then(|(_, c)| *c);
         let mut cells = Vec::new();
         for (mapper, cycles) in &results {
@@ -50,14 +75,23 @@ fn main() {
                 _ => None,
             };
             cells.push(
-                speedup.map(|s| format!("{s:.2}x")).unwrap_or_else(|| "fail".into()),
+                speedup
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_else(|| "fail".into()),
             );
             if let Some(s) = speedup {
                 per_mapper.entry(mapper.clone()).or_default().push(s);
             }
-            rows.push(Row { app: app.to_string(), mapper: mapper.clone(), cycles: *cycles });
+            rows.push(Row {
+                app: app.to_string(),
+                mapper: mapper.clone(),
+                cycles: *cycles,
+            });
         }
-        println!("{:<6} {:>10} {:>10} {:>10} {:>10}", app, cells[0], cells[1], cells[2], cells[3]);
+        println!(
+            "{:<6} {:>10} {:>10} {:>10} {:>10}",
+            app, cells[0], cells[1], cells[2], cells[3]
+        );
     }
     println!("\nPT-Map geomean speedups on the unseen architecture:");
     for mapper in ["MapZero", "IP", "PBP"] {

@@ -13,7 +13,10 @@ struct Row {
 
 fn main() {
     let mut rows = Vec::new();
-    println!("{:<6} {:>6} {:>7} {:>7}", "app", "#PNLs", "#stmts", "#arrays");
+    println!(
+        "{:<6} {:>6} {:>7} {:>7}",
+        "app", "#PNLs", "#stmts", "#arrays"
+    );
     for (name, program) in ptmap_bench::apps() {
         let lit = Lit::build(&program);
         let pnls = lit.pnl_count();

@@ -21,9 +21,18 @@ fn main() {
     let arch = presets::sl8();
     let mut rows = Vec::new();
     let mut per_mapper: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
-    println!("{:<6} {:>8} {:>8} {:>8} {:>8}", "app", "RAMP", "AL", "AM", "PT-Map");
+    println!(
+        "{:<6} {:>8} {:>8} {:>8} {:>8}",
+        "app", "RAMP", "AL", "AM", "PT-Map"
+    );
     for (app, program) in ptmap_bench::apps() {
-        let results = run_suite(&program, &arch, &gnn, RankMode::Performance, MapperSet::Ablation);
+        let results = run_suite(
+            &program,
+            &arch,
+            &gnn,
+            RankMode::Performance,
+            MapperSet::Ablation,
+        );
         let pt = results
             .iter()
             .find(|r| r.mapper == "PT-Map")
@@ -34,7 +43,10 @@ fn main() {
                 (Some(p), Some(c)) => Some(p as f64 / c as f64),
                 _ => None,
             };
-            cells.push(norm.map(|n| format!("{n:.2}")).unwrap_or_else(|| "fail".into()));
+            cells.push(
+                norm.map(|n| format!("{n:.2}"))
+                    .unwrap_or_else(|| "fail".into()),
+            );
             if let Some(n) = norm {
                 per_mapper.entry(r.mapper.clone()).or_default().push(n);
             }
@@ -45,7 +57,10 @@ fn main() {
                 normalized: norm,
             });
         }
-        println!("{:<6} {:>8} {:>8} {:>8} {:>8}", app, cells[0], cells[1], cells[2], cells[3]);
+        println!(
+            "{:<6} {:>8} {:>8} {:>8} {:>8}",
+            app, cells[0], cells[1], cells[2], cells[3]
+        );
     }
     print!("{:<6}", "GEO");
     for mapper in ["RAMP", "AL", "AM", "PT-Map"] {

@@ -6,10 +6,14 @@
 //! scaled-down version. See DESIGN.md's experiment index.
 
 use ptmap_arch::{presets, CgraArch};
+use ptmap_core::PtMapConfig;
+use ptmap_eval::RankMode;
 use ptmap_gnn::dataset::{generate_dataset, DatasetConfig, Sample};
 use ptmap_gnn::model::{GnnVariant, ModelConfig, PtMapGnn};
 use ptmap_gnn::train::{train, TrainConfig};
 use ptmap_ir::Program;
+use ptmap_pipeline::{run_batch, BatchConfig, Job, JobOutcome, PredictorSpec};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 pub mod fig6;
@@ -61,12 +65,18 @@ impl Scale {
 
     /// Reduced scale for Criterion smoke runs.
     pub fn quick() -> Self {
-        Scale { samples: 120, epochs: 12 }
+        Scale {
+            samples: 120,
+            epochs: 12,
+        }
     }
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Trains (or loads from the results cache) a GNN variant on the
@@ -80,11 +90,17 @@ pub fn trained_model(variant: GnnVariant, scale: Scale) -> PtMapGnn {
         }
     }
     let data = synthetic_dataset(scale);
-    let mut model = PtMapGnn::new(ModelConfig { variant, ..ModelConfig::default() });
+    let mut model = PtMapGnn::new(ModelConfig {
+        variant,
+        ..ModelConfig::default()
+    });
     train(
         &mut model,
         &data,
-        &TrainConfig { epochs: scale.epochs, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: scale.epochs,
+            ..TrainConfig::default()
+        },
     );
     if let Ok(text) = serde_json::to_string(&model) {
         let _ = std::fs::write(&path, text);
@@ -100,6 +116,49 @@ pub fn synthetic_dataset(scale: Scale) -> Vec<Sample> {
         seed: 21,
         ..DatasetConfig::default()
     })
+}
+
+/// Runs every (app × arch) PT-Map compilation through the batch
+/// pipeline: parallel across jobs (`PTMAP_JOBS`, default = available
+/// cores), persistent report cache under `results/ptmap-cache`, batch
+/// metrics written as a JSON artifact. Returns the outcomes keyed by
+/// `"<app>@<arch>"`.
+pub fn ptmap_app_batch(
+    gnn: &PtMapGnn,
+    mode: RankMode,
+    metrics_name: &str,
+) -> BTreeMap<String, JobOutcome> {
+    let model = Box::new(gnn.clone());
+    let mut jobs = Vec::new();
+    for arch in archs() {
+        for (app, program) in apps() {
+            jobs.push(Job {
+                name: format!("{app}@{}", arch.name()),
+                program,
+                arch: arch.clone(),
+                predictor: PredictorSpec::Gnn(model.clone()),
+                mode,
+            });
+        }
+    }
+    let default_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let config = BatchConfig {
+        workers: env_usize("PTMAP_JOBS", default_workers),
+        cache_dir: Some(results_dir().join("ptmap-cache")),
+        base: PtMapConfig {
+            eval_workers: env_usize("PTMAP_EVAL_WORKERS", 1),
+            ..PtMapConfig::default()
+        },
+    };
+    let batch = run_batch(&jobs, &config);
+    write_json(metrics_name, &batch.metrics);
+    batch
+        .outcomes
+        .into_iter()
+        .map(|o| (o.name.clone(), o))
+        .collect()
 }
 
 /// Writes a JSON result artifact.

@@ -25,15 +25,21 @@ pub struct MapperResult {
 
 impl MapperResult {
     fn from_report(mapper: &str, r: Result<CompileReport, ptmap_core::PtMapError>) -> Self {
+        MapperResult::from_option(mapper, r.ok())
+    }
+
+    /// Builds a row from an optional report (`None` = fail) — the shape
+    /// batch-pipeline outcomes arrive in.
+    pub fn from_option(mapper: &str, r: Option<CompileReport>) -> Self {
         match r {
-            Ok(r) => MapperResult {
+            Some(r) => MapperResult {
                 mapper: mapper.to_string(),
                 cycles: Some(r.cycles),
                 edp: Some(r.edp),
                 volume: Some(r.pnls.iter().map(|p| p.volume).sum()),
                 compile_seconds: r.compile_seconds,
             },
-            Err(_) => MapperResult {
+            None => MapperResult {
                 mapper: mapper.to_string(),
                 cycles: None,
                 edp: None,
@@ -46,7 +52,10 @@ impl MapperResult {
 
 /// Builds a PT-Map instance around a trained GNN.
 pub fn ptmap_with(model: PtMapGnn, mode: RankMode) -> PtMap {
-    let config = PtMapConfig { mode, ..PtMapConfig::default() };
+    let config = PtMapConfig {
+        mode,
+        ..PtMapConfig::default()
+    };
     PtMap::new(Box::new(GnnPredictor::new(model)), config)
 }
 
@@ -68,32 +77,71 @@ pub fn run_suite(
     mode: RankMode,
     set: MapperSet,
 ) -> Vec<MapperResult> {
+    let mut out = baseline_suite(program, arch, mode, set);
+    let ptmap = ptmap_with(gnn.clone(), mode);
+    out.push(MapperResult::from_report(
+        "PT-Map",
+        ptmap.compile(program, arch),
+    ));
+    out
+}
+
+/// Runs only the baseline mappers of a set — figure binaries that push
+/// their PT-Map compilations through the batch pipeline combine this
+/// with the batch outcomes.
+pub fn baseline_suite(
+    program: &Program,
+    arch: &CgraArch,
+    mode: RankMode,
+    set: MapperSet,
+) -> Vec<MapperResult> {
     let mut out = Vec::new();
     match set {
         MapperSet::Comparison => {
-            out.push(MapperResult::from_report("RAMP", Ramp::default().run(program, arch)));
-            out.push(MapperResult::from_report("LISA", Lisa::default().run(program, arch)));
+            out.push(MapperResult::from_report(
+                "RAMP",
+                Ramp::default().run(program, arch),
+            ));
+            out.push(MapperResult::from_report(
+                "LISA",
+                Lisa::default().run(program, arch),
+            ));
             out.push(MapperResult::from_report(
                 "MapZero",
                 MapZero::default().run(program, arch),
             ));
             out.push(MapperResult::from_report(
                 "IP",
-                Ip { mode, ..Ip::default() }.run(program, arch),
+                Ip {
+                    mode,
+                    ..Ip::default()
+                }
+                .run(program, arch),
             ));
             out.push(MapperResult::from_report(
                 "PBP",
-                Pbp { mode, ..Pbp::default() }.run(program, arch),
+                Pbp {
+                    mode,
+                    ..Pbp::default()
+                }
+                .run(program, arch),
             ));
         }
         MapperSet::Ablation => {
-            out.push(MapperResult::from_report("RAMP", Ramp::default().run(program, arch)));
-            out.push(MapperResult::from_report("AL", Al::default().run(program, arch)));
-            out.push(MapperResult::from_report("AM", Am::default().run(program, arch)));
+            out.push(MapperResult::from_report(
+                "RAMP",
+                Ramp::default().run(program, arch),
+            ));
+            out.push(MapperResult::from_report(
+                "AL",
+                Al::default().run(program, arch),
+            ));
+            out.push(MapperResult::from_report(
+                "AM",
+                Am::default().run(program, arch),
+            ));
         }
     }
-    let ptmap = ptmap_with(gnn.clone(), mode);
-    out.push(MapperResult::from_report("PT-Map", ptmap.compile(program, arch)));
     out
 }
 
@@ -106,8 +154,17 @@ mod tests {
     #[test]
     fn suite_produces_all_rows() {
         let p = ptmap_workloads::micro::gemm(24);
-        let gnn = PtMapGnn::new(ModelConfig { hidden: 8, ..ModelConfig::default() });
-        let rows = run_suite(&p, &presets::s4(), &gnn, RankMode::Performance, MapperSet::Comparison);
+        let gnn = PtMapGnn::new(ModelConfig {
+            hidden: 8,
+            ..ModelConfig::default()
+        });
+        let rows = run_suite(
+            &p,
+            &presets::s4(),
+            &gnn,
+            RankMode::Performance,
+            MapperSet::Comparison,
+        );
         assert_eq!(rows.len(), 6);
         assert!(rows.iter().all(|r| r.cycles.is_some()), "{rows:?}");
     }

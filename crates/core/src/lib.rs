@@ -36,15 +36,17 @@
 //! # Ok::<(), ptmap_core::PtMapError>(())
 //! ```
 
+pub mod metrics;
 pub mod realize;
 pub mod report;
 
+pub use metrics::CompileMetrics;
 pub use realize::realize_program;
 pub use report::{CompileReport, PnlRealization};
 
 use ptmap_arch::CgraArch;
 use ptmap_eval::{
-    evaluate_forest, select_programs, EvalConfig, IiPredictor, ProgramChoice, RankMode,
+    evaluate_forest_sharded, select_programs, EvalConfig, IiPredictor, ProgramChoice, RankMode,
 };
 use ptmap_ir::dfg::build_dfg;
 use ptmap_ir::Program;
@@ -52,6 +54,7 @@ use ptmap_mapper::{map_dfg, MapperConfig};
 use ptmap_model::MemoryProfiler;
 use ptmap_sim::{simulate_pnl, EnergyModel};
 use ptmap_transform::{explore, ExploreConfig};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Instant;
 
@@ -70,7 +73,10 @@ impl fmt::Display for PtMapError {
         match self {
             PtMapError::NoPnl => write!(f, "program contains no perfectly nested loop"),
             PtMapError::NothingMappable => {
-                write!(f, "no ranked transformation had all innermost loops mappable")
+                write!(
+                    f,
+                    "no ranked transformation had all innermost loops mappable"
+                )
             }
         }
     }
@@ -79,7 +85,12 @@ impl fmt::Display for PtMapError {
 impl std::error::Error for PtMapError {}
 
 /// Pipeline configuration.
-#[derive(Debug, Clone)]
+///
+/// Serializes for content-addressed caching in `ptmap-pipeline`; every
+/// field that changes compilation *results* is part of the serialized
+/// form, while [`eval_workers`](PtMapConfig::eval_workers) (a pure
+/// throughput knob with bit-identical output) is skipped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PtMapConfig {
     /// Exploration knobs.
     pub explore: ExploreConfig,
@@ -102,6 +113,11 @@ pub struct PtMapConfig {
     /// Fall back to the identity mapping when *no* ranked choice maps
     /// (disable to reproduce the paper's AM "fail" entries).
     pub fallback: bool,
+    /// Threads sharding the independent per-candidate evaluations
+    /// (`<= 1` = serial). Does not affect results, so it is excluded
+    /// from the cache-key serialization.
+    #[serde(skip)]
+    pub eval_workers: usize,
 }
 
 impl Default for PtMapConfig {
@@ -115,13 +131,14 @@ impl Default for PtMapConfig {
             realize_beam: 4,
             identity_guard: true,
             fallback: true,
+            eval_workers: 1,
         }
     }
 }
 
 /// The PT-Map compiler.
 pub struct PtMap {
-    predictor: Box<dyn IiPredictor>,
+    predictor: Box<dyn IiPredictor + Send + Sync>,
     config: PtMapConfig,
 }
 
@@ -133,8 +150,18 @@ impl fmt::Debug for PtMap {
 
 impl PtMap {
     /// Creates a compiler with a predictor and configuration.
-    pub fn new(predictor: Box<dyn IiPredictor>, config: PtMapConfig) -> Self {
+    pub fn new(predictor: Box<dyn IiPredictor + Send + Sync>, config: PtMapConfig) -> Self {
         PtMap { predictor, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PtMapConfig {
+        &self.config
+    }
+
+    /// The predictor's short name (for cache keys and reports).
+    pub fn predictor_name(&self) -> &'static str {
+        self.predictor.name()
     }
 
     /// Runs the full pipeline.
@@ -145,15 +172,48 @@ impl PtMap {
     /// [`PtMapError::NothingMappable`] when context generation fails for
     /// every ranked choice.
     pub fn compile(&self, program: &Program, arch: &CgraArch) -> Result<CompileReport, PtMapError> {
+        self.compile_instrumented(program, arch).0
+    }
+
+    /// Runs the full pipeline, returning the per-stage
+    /// [`CompileMetrics`] alongside the result (the metrics are filled
+    /// even when compilation fails).
+    pub fn compile_instrumented(
+        &self,
+        program: &Program,
+        arch: &CgraArch,
+    ) -> (Result<CompileReport, PtMapError>, CompileMetrics) {
+        let mut m = CompileMetrics::default();
+        let result = self.compile_inner(program, arch, &mut m);
+        (result, m)
+    }
+
+    fn compile_inner(
+        &self,
+        program: &Program,
+        arch: &CgraArch,
+        m: &mut CompileMetrics,
+    ) -> Result<CompileReport, PtMapError> {
         let t0 = Instant::now();
         if program.perfect_nests().is_empty() {
             return Err(PtMapError::NoPnl);
         }
         // 1. Top-down exploration.
+        let t = Instant::now();
         let forest = explore(program, &self.config.explore);
+        m.explore_seconds += t.elapsed().as_secs_f64();
         let explored = forest.candidate_count();
-        // 2. Bottom-up evaluation + ranking.
-        let eval = evaluate_forest(&forest, arch, self.predictor.as_ref(), &self.config.eval);
+        m.candidates_explored = explored;
+        // 2. Bottom-up evaluation + ranking (candidates are independent,
+        // so this stage shards across `eval_workers` threads).
+        let t = Instant::now();
+        let eval = evaluate_forest_sharded(
+            &forest,
+            arch,
+            self.predictor.as_ref(),
+            &self.config.eval,
+            self.config.eval_workers,
+        );
         let pruned: usize = eval
             .variants
             .iter()
@@ -161,7 +221,9 @@ impl PtMap {
             .flat_map(|r| &r.evaluated)
             .filter(|e| e.pruned.is_some())
             .count();
+        m.candidates_pruned = pruned;
         let choices = select_programs(&eval, self.config.mode, &self.config.eval);
+        m.evaluate_seconds += t.elapsed().as_secs_f64();
         // 3. Context generation: schedule ranked choices in order, keep
         // the best of the first `realize_beam` that map.
         let mut attempts = 0usize;
@@ -174,10 +236,13 @@ impl PtMap {
         for choice in &choices {
             attempts += 1;
             if let Some(report) =
-                self.realize(&eval, choice, arch, explored, pruned, attempts, t0)
+                self.realize(&eval, choice, arch, explored, pruned, attempts, t0, m)
             {
                 realized += 1;
-                if best.as_ref().is_none_or(|b| objective(&report) < objective(b)) {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| objective(&report) < objective(b))
+                {
                     best = Some(report);
                 }
                 if realized >= self.config.realize_beam.max(1) {
@@ -190,22 +255,32 @@ impl PtMap {
         let use_identity = (best.is_none() && self.config.fallback)
             || (best.is_some() && self.config.identity_guard);
         if use_identity {
-            if let Ok(mut identity) = crate::realize::realize_program(
+            let t = Instant::now();
+            let identity_result = crate::realize::realize_program(
                 program,
                 arch,
                 &self.config.mapper,
                 &self.config.energy,
                 &[],
-            ) {
+            );
+            // The identity pass interleaves scheduling and simulation;
+            // charge it to the mapping stage.
+            m.map_seconds += t.elapsed().as_secs_f64();
+            if let Ok(mut identity) = identity_result {
+                m.mapper_accepts += identity.pnls.len();
                 identity.mode = self.config.mode;
                 identity.candidates_explored = explored;
                 identity.candidates_pruned = pruned;
                 identity.context_generation_attempts = attempts + 1;
-                if best.as_ref().is_none_or(|b| objective(&identity) < objective(b)) {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| objective(&identity) < objective(b))
+                {
                     best = Some(identity);
                 }
             }
         }
+        m.context_generation_attempts = attempts;
         match best {
             Some(mut report) => {
                 report.compile_seconds = t0.elapsed().as_secs_f64();
@@ -227,6 +302,7 @@ impl PtMap {
         pruned: usize,
         attempts: usize,
         t0: Instant,
+        m: &mut CompileMetrics,
     ) -> Option<CompileReport> {
         let variant = &eval.variants[choice.variant];
         let mut pnls = Vec::new();
@@ -235,8 +311,21 @@ impl PtMap {
         for (pnl_idx, &sel) in choice.selection.iter().enumerate() {
             let e = &variant.rankings[pnl_idx].evaluated[sel];
             let c = &e.candidate;
-            let dfg = build_dfg(&c.program, &c.nest, &c.unroll).ok()?;
-            let mapping = map_dfg(&dfg, arch, &self.config.mapper).ok()?;
+            let t = Instant::now();
+            let mapped = build_dfg(&c.program, &c.nest, &c.unroll)
+                .ok()
+                .and_then(|dfg| {
+                    map_dfg(&dfg, arch, &self.config.mapper)
+                        .ok()
+                        .map(|mp| (dfg, mp))
+                });
+            m.map_seconds += t.elapsed().as_secs_f64();
+            let Some((dfg, mapping)) = mapped else {
+                m.mapper_rejects += 1;
+                return None;
+            };
+            m.mapper_accepts += 1;
+            let t = Instant::now();
             let profile = MemoryProfiler::new(&c.program).profile(&c.nest, arch, mapping.ii);
             // Simulate with effective (post-unroll) tripcounts.
             let eff = c.effective_tripcounts();
@@ -245,18 +334,16 @@ impl PtMap {
                 eff[..eff.len() - 1].iter().product::<u64>() * c.nest.outer_tripcount();
             let sim = simulate_pnl(&mapping, &dfg, &c.nest, &profile);
             let _ = sim; // utilization is per-launch; totals use eff tripcounts
-            let transfer =
-                profile.total_volume().div_ceil(ptmap_sim::exec::OFFCHIP_BYTES_PER_CYCLE);
+            let transfer = profile
+                .total_volume()
+                .div_ceil(ptmap_sim::exec::OFFCHIP_BYTES_PER_CYCLE);
             let compute = launch_cycles * launches;
             let pnl_cycles = ptmap_sim::exec::overlap_cycles(compute, transfer);
             let iterations = eff.iter().product::<u64>() * c.nest.outer_tripcount();
-            let e_pj = self.config.energy.pnl_energy_with_iterations(
-                &mapping,
-                &dfg,
-                iterations,
-                &profile,
-                pnl_cycles,
-            );
+            let e_pj = self
+                .config
+                .energy
+                .pnl_energy_with_iterations(&mapping, &dfg, iterations, &profile, pnl_cycles);
             cycles += pnl_cycles;
             energy += e_pj;
             pnls.push(PnlRealization {
@@ -269,6 +356,7 @@ impl PtMap {
                 cycles: pnl_cycles,
                 volume: profile.total_volume(),
             });
+            m.simulate_seconds += t.elapsed().as_secs_f64();
         }
         let edp = self.config.energy.edp(energy, cycles);
         Some(CompileReport {
@@ -347,8 +435,14 @@ mod tests {
         let p = ptmap_workloads::micro::gemm(64);
         let arch = presets::s4();
         let mk = |mode| {
-            let cfg = PtMapConfig { mode, explore: ExploreConfig::quick(), ..PtMapConfig::default() };
-            PtMap::new(Box::new(AnalyticalPredictor), cfg).compile(&p, &arch).unwrap()
+            let cfg = PtMapConfig {
+                mode,
+                explore: ExploreConfig::quick(),
+                ..PtMapConfig::default()
+            };
+            PtMap::new(Box::new(AnalyticalPredictor), cfg)
+                .compile(&p, &arch)
+                .unwrap()
         };
         let perf = mk(RankMode::Performance);
         let pareto = mk(RankMode::Pareto);
@@ -359,6 +453,36 @@ mod tests {
             vol(&pareto),
             vol(&perf)
         );
+    }
+
+    #[test]
+    fn instrumented_compile_fills_metrics() {
+        let p = ptmap_workloads::micro::gemm(24);
+        let ptmap = PtMap::new(Box::new(AnalyticalPredictor), quick_config());
+        let (report, m) = ptmap.compile_instrumented(&p, &presets::s4());
+        let report = report.unwrap();
+        assert_eq!(m.candidates_explored, report.candidates_explored);
+        assert_eq!(m.candidates_pruned, report.candidates_pruned);
+        assert!(m.explore_seconds >= 0.0 && m.evaluate_seconds > 0.0);
+        assert!(m.map_seconds > 0.0, "context generation must be timed");
+        assert!(m.mapper_accepts > 0);
+        assert!(m.staged_seconds() <= report.compile_seconds * 1.5 + 0.1);
+    }
+
+    #[test]
+    fn eval_workers_do_not_change_result() {
+        let p = ptmap_workloads::micro::gemm(32);
+        let arch = presets::s4();
+        let mk = |workers| {
+            let cfg = PtMapConfig {
+                eval_workers: workers,
+                ..quick_config()
+            };
+            PtMap::new(Box::new(AnalyticalPredictor), cfg)
+                .compile(&p, &arch)
+                .unwrap()
+        };
+        assert_eq!(mk(1).without_timing(), mk(4).without_timing());
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Per-compilation stage metrics.
+//!
+//! [`PtMap::compile_instrumented`](crate::PtMap::compile_instrumented)
+//! fills a [`CompileMetrics`] while it runs, splitting the wall clock
+//! across the four pipeline stages (exploration, evaluation, modulo
+//! scheduling, simulation) and counting how the search spent its
+//! effort. The batch pipeline (`ptmap-pipeline`) aggregates these per
+//! job and across a whole manifest.
+
+use serde::{Deserialize, Serialize};
+
+/// Stage timings and effort counters for one compilation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompileMetrics {
+    /// Wall-clock seconds in top-down exploration.
+    pub explore_seconds: f64,
+    /// Wall-clock seconds in bottom-up evaluation (prediction, memory
+    /// profiling, pruning, ranking).
+    pub evaluate_seconds: f64,
+    /// Wall-clock seconds in the modulo-scheduling back-end (context
+    /// generation `map_dfg` calls, including failed attempts).
+    pub map_seconds: f64,
+    /// Wall-clock seconds simulating accepted mappings (memory
+    /// profiling, cycle/energy totals).
+    pub simulate_seconds: f64,
+    /// Candidates produced by the exploration.
+    pub candidates_explored: usize,
+    /// Candidates rejected by the CB/DB constraints.
+    pub candidates_pruned: usize,
+    /// `map_dfg` calls that produced a valid mapping.
+    pub mapper_accepts: usize,
+    /// `map_dfg` calls rejected by the scheduler.
+    pub mapper_rejects: usize,
+    /// Ranked program-level choices tried during context generation.
+    pub context_generation_attempts: usize,
+}
+
+impl CompileMetrics {
+    /// Total instrumented time (sum of the four stages).
+    pub fn staged_seconds(&self) -> f64 {
+        self.explore_seconds + self.evaluate_seconds + self.map_seconds + self.simulate_seconds
+    }
+
+    /// Accumulates another compilation's metrics into `self`.
+    pub fn absorb(&mut self, other: &CompileMetrics) {
+        self.explore_seconds += other.explore_seconds;
+        self.evaluate_seconds += other.evaluate_seconds;
+        self.map_seconds += other.map_seconds;
+        self.simulate_seconds += other.simulate_seconds;
+        self.candidates_explored += other.candidates_explored;
+        self.candidates_pruned += other.candidates_pruned;
+        self.mapper_accepts += other.mapper_accepts;
+        self.mapper_rejects += other.mapper_rejects;
+        self.context_generation_attempts += other.context_generation_attempts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = CompileMetrics {
+            explore_seconds: 1.0,
+            candidates_explored: 3,
+            mapper_accepts: 1,
+            ..CompileMetrics::default()
+        };
+        let b = CompileMetrics {
+            explore_seconds: 0.5,
+            candidates_explored: 2,
+            mapper_rejects: 4,
+            ..CompileMetrics::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.explore_seconds, 1.5);
+        assert_eq!(a.candidates_explored, 5);
+        assert_eq!(a.mapper_accepts, 1);
+        assert_eq!(a.mapper_rejects, 4);
+        assert!(a.staged_seconds() > 1.49);
+    }
+}

@@ -42,8 +42,7 @@ pub fn realize_program(
     let mut energy = 0.0f64;
     for (i, nest) in nests.iter().enumerate() {
         let unroll = unroll_per_pnl.get(i).cloned().unwrap_or_default();
-        let dfg = build_dfg(program, nest, &unroll)
-            .map_err(|_| PtMapError::NothingMappable)?;
+        let dfg = build_dfg(program, nest, &unroll).map_err(|_| PtMapError::NothingMappable)?;
         let mapping = map_dfg(&dfg, arch, mapper).map_err(|_| PtMapError::NothingMappable)?;
         let profile = MemoryProfiler::new(program).profile(nest, arch, mapping.ii);
         let eff: Vec<u64> = nest
@@ -60,22 +59,20 @@ pub fn realize_program(
             })
             .collect();
         let launch_cycles = mapping.cycles(*eff.last().expect("nest non-empty"));
-        let launches: u64 =
-            eff[..eff.len() - 1].iter().product::<u64>() * nest.outer_tripcount();
+        let launches: u64 = eff[..eff.len() - 1].iter().product::<u64>() * nest.outer_tripcount();
         let compute = launch_cycles * launches;
         let transfer = profile.total_volume().div_ceil(OFFCHIP_BYTES_PER_CYCLE);
         let pnl_cycles = ptmap_sim::exec::overlap_cycles(compute, transfer);
         let iterations = eff.iter().product::<u64>() * nest.outer_tripcount();
-        energy += energy_model.pnl_energy_with_iterations(
-            &mapping,
-            &dfg,
-            iterations,
-            &profile,
-            pnl_cycles,
-        );
+        energy += energy_model
+            .pnl_energy_with_iterations(&mapping, &dfg, iterations, &profile, pnl_cycles);
         cycles += pnl_cycles;
         pnls.push(PnlRealization {
-            desc: if unroll.is_empty() { "as-is".to_string() } else { format!("unroll{unroll:?}") },
+            desc: if unroll.is_empty() {
+                "as-is".to_string()
+            } else {
+                format!("unroll{unroll:?}")
+            },
             ii: mapping.ii,
             mii: mapping.mii,
             pro_epi: mapping.pro_epi(),

@@ -52,6 +52,19 @@ pub struct CompileReport {
     pub compile_seconds: f64,
 }
 
+impl CompileReport {
+    /// A copy with the wall-clock timing zeroed. Compilation results
+    /// are deterministic; the clock is not. Identity comparisons (cache
+    /// validation, serial-vs-parallel batch equivalence) compare this
+    /// form.
+    pub fn without_timing(&self) -> CompileReport {
+        CompileReport {
+            compile_seconds: 0.0,
+            ..self.clone()
+        }
+    }
+}
+
 impl fmt::Display for CompileReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

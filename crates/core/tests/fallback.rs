@@ -11,7 +11,10 @@ fn harris_on_r4_falls_back_gracefully() {
     // Historically the hard case: heterogeneous R4 makes the MII model's
     // favorite (coarse) candidates unmappable.
     let p = ptmap_workloads::apps::harris();
-    let config = PtMapConfig { explore: ExploreConfig::quick(), ..PtMapConfig::default() };
+    let config = PtMapConfig {
+        explore: ExploreConfig::quick(),
+        ..PtMapConfig::default()
+    };
     let report = PtMap::new(Box::new(AnalyticalPredictor), config)
         .compile(&p, &presets::r4())
         .expect("fallback must produce a mapping");
@@ -26,17 +29,16 @@ fn fallback_equals_ramp_identity() {
     // realization (RAMP's output).
     let p = ptmap_workloads::apps::harris();
     let arch = presets::r4();
-    let config = PtMapConfig { explore: ExploreConfig::quick(), ..PtMapConfig::default() };
-    let report =
-        PtMap::new(Box::new(AnalyticalPredictor), config).compile(&p, &arch).unwrap();
-    let identity = ptmap_core::realize_program(
-        &p,
-        &arch,
-        &Default::default(),
-        &Default::default(),
-        &[],
-    )
-    .unwrap();
+    let config = PtMapConfig {
+        explore: ExploreConfig::quick(),
+        ..PtMapConfig::default()
+    };
+    let report = PtMap::new(Box::new(AnalyticalPredictor), config)
+        .compile(&p, &arch)
+        .unwrap();
+    let identity =
+        ptmap_core::realize_program(&p, &arch, &Default::default(), &Default::default(), &[])
+            .unwrap();
     // Either a ranked candidate mapped (better or equal), or the
     // fallback produced exactly the identity cycles.
     assert!(

@@ -20,7 +20,10 @@ pub mod predictor;
 pub mod program;
 pub mod rank;
 
-pub use pnl::{evaluate_candidate, evaluate_forest, EvaluatedCandidate, PnlRanking, PruneReason};
+pub use pnl::{
+    evaluate_candidate, evaluate_forest, evaluate_forest_sharded, evaluate_result_array,
+    evaluate_result_array_sharded, EvaluatedCandidate, PnlRanking, PruneReason,
+};
 pub use predictor::{AnalyticalPredictor, GnnPredictor, IiPredictor, OraclePredictor};
 pub use program::{non_pnl_cycles, select_programs, EvaluatedForest, ProgramChoice};
 pub use rank::{hypervolume, rank_pareto, rank_performance, RankMode};
@@ -39,6 +42,9 @@ pub struct EvalConfig {
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        EvalConfig { top_k: 20, combine_k: 3 }
+        EvalConfig {
+            top_k: 20,
+            combine_k: 3,
+        }
     }
 }

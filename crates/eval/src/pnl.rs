@@ -86,15 +86,21 @@ pub fn evaluate_candidate(
     let profile = MemoryProfiler::new(&candidate.program).profile(&candidate.nest, arch, ii);
     // Rank on the same double-buffered total the simulator will charge:
     // memory-bound candidates must not look fast.
-    let transfer =
-        profile.total_volume().div_ceil(ptmap_sim::exec::OFFCHIP_BYTES_PER_CYCLE);
+    let transfer = profile
+        .total_volume()
+        .div_ceil(ptmap_sim::exec::OFFCHIP_BYTES_PER_CYCLE);
     let cycles = compute.max(transfer);
 
     let mut pruned = None;
     if ii > arch.cb_capacity() {
-        pruned = Some(PruneReason::ContextBuffer { ii, capacity: arch.cb_capacity() });
+        pruned = Some(PruneReason::ContextBuffer {
+            ii,
+            capacity: arch.cb_capacity(),
+        });
     } else if profile.capacity_misses > 0 {
-        pruned = Some(PruneReason::DataBuffer { misses: profile.capacity_misses });
+        pruned = Some(PruneReason::DataBuffer {
+            misses: profile.capacity_misses,
+        });
     }
 
     EvaluatedCandidate {
@@ -115,20 +121,69 @@ pub fn evaluate_result_array(
     predictor: &dyn IiPredictor,
     config: &EvalConfig,
 ) -> PnlRanking {
-    let evaluated: Vec<EvaluatedCandidate> =
-        candidates.iter().map(|c| evaluate_candidate(c, arch, predictor)).collect();
-    let survivors: Vec<usize> =
-        (0..evaluated.len()).filter(|&i| evaluated[i].pruned.is_none()).collect();
-    let points: Vec<(u64, u64)> =
-        survivors.iter().map(|&i| (evaluated[i].cycles, evaluated[i].volume)).collect();
+    let evaluated: Vec<EvaluatedCandidate> = candidates
+        .iter()
+        .map(|c| evaluate_candidate(c, arch, predictor))
+        .collect();
+    rank_evaluated(evaluated, config)
+}
+
+/// Like [`evaluate_result_array`] but shards candidate profiling across
+/// `workers` scoped threads. Candidates are independent, so the merged
+/// (exploration-ordered) result is bit-identical to the serial path —
+/// batch compilations lean on this for within-job parallelism.
+pub fn evaluate_result_array_sharded(
+    candidates: &[PnlCandidate],
+    arch: &CgraArch,
+    predictor: &(dyn IiPredictor + Sync),
+    config: &EvalConfig,
+    workers: usize,
+) -> PnlRanking {
+    if workers <= 1 || candidates.len() < 2 {
+        return evaluate_result_array(candidates, arch, predictor, config);
+    }
+    let chunk = candidates.len().div_ceil(workers.min(candidates.len()));
+    let mut evaluated: Vec<Option<EvaluatedCandidate>> = vec![None; candidates.len()];
+    std::thread::scope(|s| {
+        for (out, work) in evaluated.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
+            s.spawn(move || {
+                for (slot, c) in out.iter_mut().zip(work) {
+                    *slot = Some(evaluate_candidate(c, arch, predictor));
+                }
+            });
+        }
+    });
+    let evaluated: Vec<EvaluatedCandidate> = evaluated
+        .into_iter()
+        .map(|e| e.expect("shard filled"))
+        .collect();
+    rank_evaluated(evaluated, config)
+}
+
+/// Ranking stage shared by the serial and sharded paths.
+fn rank_evaluated(evaluated: Vec<EvaluatedCandidate>, config: &EvalConfig) -> PnlRanking {
+    let survivors: Vec<usize> = (0..evaluated.len())
+        .filter(|&i| evaluated[i].pruned.is_none())
+        .collect();
+    let points: Vec<(u64, u64)> = survivors
+        .iter()
+        .map(|&i| (evaluated[i].cycles, evaluated[i].volume))
+        .collect();
     let performance: Vec<usize> = rank_performance(&points)
         .into_iter()
         .map(|r| survivors[r])
         .take(config.top_k)
         .collect();
-    let pareto: Vec<usize> =
-        rank_pareto(&points).into_iter().map(|r| survivors[r]).take(config.top_k).collect();
-    PnlRanking { evaluated, performance, pareto }
+    let pareto: Vec<usize> = rank_pareto(&points)
+        .into_iter()
+        .map(|r| survivors[r])
+        .take(config.top_k)
+        .collect();
+    PnlRanking {
+        evaluated,
+        performance,
+        pareto,
+    }
 }
 
 /// Profiles a whole result forest.
@@ -146,6 +201,35 @@ pub fn evaluate_forest(
                 .pnl_candidates
                 .iter()
                 .map(|ra| evaluate_result_array(ra, arch, predictor, config))
+                .collect();
+            crate::program::EvaluatedVariant {
+                program: v.program.clone(),
+                fusion: v.fusion,
+                rankings,
+            }
+        })
+        .collect();
+    crate::program::EvaluatedForest { variants }
+}
+
+/// Profiles a whole result forest with sharded candidate evaluation
+/// (see [`evaluate_result_array_sharded`]). `workers <= 1` degenerates
+/// to the serial path.
+pub fn evaluate_forest_sharded(
+    forest: &ResultForest,
+    arch: &CgraArch,
+    predictor: &(dyn IiPredictor + Sync),
+    config: &EvalConfig,
+    workers: usize,
+) -> crate::program::EvaluatedForest {
+    let variants = forest
+        .variants
+        .iter()
+        .map(|v| {
+            let rankings: Vec<PnlRanking> = v
+                .pnl_candidates
+                .iter()
+                .map(|ra| evaluate_result_array_sharded(ra, arch, predictor, config, workers))
                 .collect();
             crate::program::EvaluatedVariant {
                 program: v.program.clone(),
@@ -208,8 +292,43 @@ mod tests {
         for &i in ranking.performance.iter().chain(&ranking.pareto) {
             assert!(ranking.evaluated[i].pruned.is_none());
         }
-        let pruned = ranking.evaluated.iter().filter(|e| e.pruned.is_some()).count();
+        let pruned = ranking
+            .evaluated
+            .iter()
+            .filter(|e| e.pruned.is_some())
+            .count();
         assert!(pruned > 0, "expected some pruned candidate on R4");
+    }
+
+    #[test]
+    fn sharded_matches_serial() {
+        let p = micro::gemm(48);
+        let forest = explore(&p, &ExploreConfig::default());
+        let arch = presets::s4();
+        let cfg = EvalConfig::default();
+        let serial = evaluate_result_array(
+            &forest.variants[0].pnl_candidates[0],
+            &arch,
+            &AnalyticalPredictor,
+            &cfg,
+        );
+        for workers in [2, 3, 8, 64] {
+            let sharded = evaluate_result_array_sharded(
+                &forest.variants[0].pnl_candidates[0],
+                &arch,
+                &AnalyticalPredictor,
+                &cfg,
+                workers,
+            );
+            assert_eq!(serial.performance, sharded.performance, "workers={workers}");
+            assert_eq!(serial.pareto, sharded.pareto, "workers={workers}");
+            assert_eq!(serial.evaluated.len(), sharded.evaluated.len());
+            for (a, b) in serial.evaluated.iter().zip(&sharded.evaluated) {
+                assert_eq!(a.cycles, b.cycles);
+                assert_eq!(a.ii, b.ii);
+                assert_eq!(a.pruned, b.pruned);
+            }
+        }
     }
 
     #[test]
@@ -220,7 +339,10 @@ mod tests {
             &forest.variants[0].pnl_candidates[0],
             &presets::s4(),
             &AnalyticalPredictor,
-            &EvalConfig { top_k: 5, combine_k: 2 },
+            &EvalConfig {
+                top_k: 5,
+                combine_k: 2,
+            },
         );
         assert!(ranking.performance.len() <= 5);
         assert!(ranking.pareto.len() <= 5);

@@ -95,8 +95,10 @@ pub fn select_programs(
             continue; // some PNL has no mappable candidate in this variant
         }
         // Enumerate the (capped) cartesian product of shortlists.
-        let caps: Vec<usize> =
-            shortlists.iter().map(|s| s.len().min(config.combine_k.max(1))).collect();
+        let caps: Vec<usize> = shortlists
+            .iter()
+            .map(|s| s.len().min(config.combine_k.max(1)))
+            .collect();
         let total: usize = caps.iter().product();
         for combo in 0..total.min(1024) {
             let mut rem = combo;
@@ -111,7 +113,12 @@ pub fn select_programs(
                 cycles = cycles.saturating_add(e.cycles);
                 volume = volume.saturating_add(e.volume);
             }
-            choices.push(ProgramChoice { variant: vi, selection, cycles, volume });
+            choices.push(ProgramChoice {
+                variant: vi,
+                selection,
+                cycles,
+                volume,
+            });
         }
     }
     // Rank program-level choices.
@@ -120,9 +127,8 @@ pub fn select_programs(
         RankMode::Pareto => {
             let pts: Vec<(u64, u64)> = choices.iter().map(|c| (c.cycles, c.volume)).collect();
             let reference = pareto_reference(&pts);
-            choices.sort_by_key(|c| {
-                std::cmp::Reverse(hypervolume((c.cycles, c.volume), reference))
-            });
+            choices
+                .sort_by_key(|c| std::cmp::Reverse(hypervolume((c.cycles, c.volume), reference)));
         }
     }
     choices.truncate(config.top_k);

@@ -17,9 +17,17 @@ fn main() {
     let split = data.len() * 3 / 4;
     let (tr, te) = data.split_at(split);
     println!("MII-model MAPE (test): {:.1}%", mape_cycles_mii(te));
-    for variant in [GnnVariant::Full, GnnVariant::Basic, GnnVariant::NoAlign, GnnVariant::Direct] {
+    for variant in [
+        GnnVariant::Full,
+        GnnVariant::Basic,
+        GnnVariant::NoAlign,
+        GnnVariant::Direct,
+    ] {
         let t1 = Instant::now();
-        let mut model = PtMapGnn::new(ModelConfig { variant, ..ModelConfig::default() });
+        let mut model = PtMapGnn::new(ModelConfig {
+            variant,
+            ..ModelConfig::default()
+        });
         train(&mut model, tr, &TrainConfig::default());
         println!(
             "{variant:?}: train MAPE {:.1}%, test MAPE {:.1}% ({:?})",

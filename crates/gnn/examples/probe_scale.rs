@@ -18,8 +18,18 @@ fn main() {
     println!("MII-model MAPE (test): {:.1}%", mape_cycles_mii(te));
     for variant in [GnnVariant::Full, GnnVariant::Basic] {
         let t1 = Instant::now();
-        let mut model = PtMapGnn::new(ModelConfig { variant, ..ModelConfig::default() });
-        train(&mut model, tr, &TrainConfig { epochs: 120, ..TrainConfig::default() });
+        let mut model = PtMapGnn::new(ModelConfig {
+            variant,
+            ..ModelConfig::default()
+        });
+        train(
+            &mut model,
+            tr,
+            &TrainConfig {
+                epochs: 120,
+                ..TrainConfig::default()
+            },
+        );
         println!(
             "{variant:?}: train {:.1}%, test {:.1}% ({:?})",
             mape_cycles(&model, tr),

@@ -91,7 +91,12 @@ impl Graph {
         let x = &self.vals[a.0];
         let y = &self.vals[b.0];
         assert_eq!((x.rows(), x.cols()), (y.rows(), y.cols()));
-        let data = x.as_slice().iter().zip(y.as_slice()).map(|(p, q)| p * q).collect();
+        let data = x
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(p, q)| p * q)
+            .collect();
         let m = Matrix::from_vec(x.rows(), x.cols(), data);
         self.push(m, Op::Mul(a, b))
     }
@@ -231,7 +236,10 @@ impl Graph {
         let m = l.get(0, 0).max(l.get(0, 1));
         let z = (l.get(0, 0) - m).exp() + (l.get(0, 1) - m).exp();
         let logp = l.get(0, label) - m - z.ln();
-        self.push(Matrix::from_vec(1, 1, vec![-logp]), Op::CeLogits2(logits, label))
+        self.push(
+            Matrix::from_vec(1, 1, vec![-logp]),
+            Op::CeLogits2(logits, label),
+        )
     }
 
     /// Runs backpropagation from the scalar `loss`, returning gradients
@@ -356,8 +364,7 @@ impl Graph {
                     let y = &self.vals[idx];
                     let mut ds = Matrix::zeros(y.rows(), y.cols());
                     for i in 0..y.rows() {
-                        let dot: f32 =
-                            (0..y.cols()).map(|j| g.get(i, j) * y.get(i, j)).sum();
+                        let dot: f32 = (0..y.cols()).map(|j| g.get(i, j) * y.get(i, j)).sum();
                         for j in 0..y.cols() {
                             let yj = y.get(i, j);
                             if yj != 0.0 {
@@ -396,9 +403,9 @@ impl Graph {
                     let p = [e0 / z, e1 / z];
                     let gd = g.get(0, 0);
                     let mut dl = Matrix::zeros(1, 2);
-                    for j in 0..2 {
+                    for (j, &pj) in p.iter().enumerate() {
                         let onehot = if j == *label { 1.0 } else { 0.0 };
-                        dl.set(0, j, gd * (p[j] - onehot));
+                        dl.set(0, j, gd * (pj - onehot));
                     }
                     grads[logits.0].add_assign(&dl);
                 }
@@ -412,7 +419,11 @@ fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
     Matrix::from_vec(
         a.rows(),
         a.cols(),
-        a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x * y).collect(),
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| x * y)
+            .collect(),
     )
 }
 
@@ -435,11 +446,7 @@ mod tests {
 
     /// Central-difference gradient check for a scalar-valued function of
     /// one input matrix.
-    fn grad_check(
-        input: Matrix,
-        f: impl Fn(&mut Graph, Var) -> Var,
-        tol: f32,
-    ) {
+    fn grad_check(input: Matrix, f: impl Fn(&mut Graph, Var) -> Var, tol: f32) {
         let mut g = Graph::new();
         let x = g.input(input.clone());
         let loss = f(&mut g, x);
@@ -518,8 +525,7 @@ mod tests {
     #[test]
     fn grad_masked_softmax_attention() {
         // 3 nodes, attention over a small mask.
-        let mask =
-            Matrix::from_vec(3, 3, vec![1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 1.0]);
+        let mask = Matrix::from_vec(3, 3, vec![1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 1.0]);
         let input = Matrix::from_vec(3, 1, vec![0.3, -0.2, 0.8]);
         grad_check(
             input,
@@ -538,11 +544,7 @@ mod tests {
     #[test]
     fn grad_ce_logits() {
         let input = Matrix::row(vec![0.7, -0.3]);
-        grad_check(
-            input,
-            |g, x| g.ce_logits2(x, 1),
-            1e-2,
-        );
+        grad_check(input, |g, x| g.ce_logits2(x, 1), 1e-2);
     }
 
     #[test]

@@ -156,12 +156,21 @@ mod tests {
             ..DatasetConfig::default()
         });
         let with_res = data.iter().filter(|s| s.ii > s.mii).count();
-        assert!(with_res > 0, "no sample with II > MII out of {}", data.len());
+        assert!(
+            with_res > 0,
+            "no sample with II > MII out of {}",
+            data.len()
+        );
     }
 
     #[test]
     fn deterministic() {
-        let cfg = DatasetConfig { samples: 10, archs: vec![presets::s4()], seed: 4, ..DatasetConfig::default() };
+        let cfg = DatasetConfig {
+            samples: 10,
+            archs: vec![presets::s4()],
+            seed: 4,
+            ..DatasetConfig::default()
+        };
         let a = generate_dataset(&cfg);
         let b = generate_dataset(&cfg);
         assert_eq!(a.len(), b.len());

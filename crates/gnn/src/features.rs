@@ -108,7 +108,14 @@ pub fn build_input(dfg: &Dfg, arch: &CgraArch) -> GnnInput {
         dfg.critical_path() as f32 / 32.0,
     ]);
 
-    GnnInput { sw_x, sw_mask, hw_x, hw_adj, vec, mii }
+    GnnInput {
+        sw_x,
+        sw_mask,
+        hw_x,
+        hw_adj,
+        vec,
+        mii,
+    }
 }
 
 /// Zeroes the extended attributes, producing the GNN-b ablation's input.

@@ -56,7 +56,13 @@ pub struct ModelConfig {
 
 impl Default for ModelConfig {
     fn default() -> Self {
-        ModelConfig { hidden: 32, layers: 3, variant: GnnVariant::Full, alpha: 0.5, seed: 17 }
+        ModelConfig {
+            hidden: 32,
+            layers: 3,
+            variant: GnnVariant::Full,
+            alpha: 0.5,
+            seed: 17,
+        }
     }
 }
 
@@ -137,9 +143,16 @@ impl PtMapGnn {
                 a_dst: Param::xavier(h, 1, &mut rng),
                 b: Param::zeros(1, h),
             });
-            gcn.push(GcnParams { w: Param::xavier(hw_in, h, &mut rng), b: Param::zeros(1, h) });
+            gcn.push(GcnParams {
+                w: Param::xavier(hw_in, h, &mut rng),
+                b: Param::zeros(1, h),
+            });
         }
-        let align_in = if config.variant == GnnVariant::NoAlign { 2 * h } else { h * h };
+        let align_in = if config.variant == GnnVariant::NoAlign {
+            2 * h
+        } else {
+            h * h
+        };
         PtMapGnn {
             gat,
             gcn,
@@ -227,7 +240,10 @@ impl PtMapGnn {
 
     /// Number of trainable scalars.
     pub fn param_count(&self) -> usize {
-        self.params().iter().map(|p| p.value.rows() * p.value.cols()).sum()
+        self.params()
+            .iter()
+            .map(|p| p.value.rows() * p.value.cols())
+            .sum()
     }
 
     /// Runs the forward pass on a tape.
@@ -240,8 +256,11 @@ impl PtMapGnn {
             input
         };
         // Feed parameters in `params()` order, remembering their vars.
-        let param_vars: Vec<Var> =
-            self.params().iter().map(|p| g.input(p.value.clone())).collect();
+        let param_vars: Vec<Var> = self
+            .params()
+            .iter()
+            .map(|p| g.input(p.value.clone()))
+            .collect();
         let mut k = 0usize;
         let mut next = || {
             let v = param_vars[k];
@@ -329,15 +348,21 @@ impl PtMapGnn {
         let (pe_w, pe_b) = (next(), next());
         let pe = g.matmul(shared, pe_w);
         let pro_epi = g.add_row(pe, pe_b);
-        Forward { eq_logits, res, pro_epi, param_vars }
+        Forward {
+            eq_logits,
+            res,
+            pro_epi,
+            param_vars,
+        }
     }
 
     /// Predicts integer metrics per Eqn. 3–4.
     pub fn predict(&self, input: &GnnInput) -> Prediction {
         let mut g = Graph::new();
         let out = self.forward(&mut g, input);
-        let pro_epi =
-            (g.value(out.pro_epi).get(0, 0) / PROEPI_SCALE).round().max(0.0) as u32;
+        let pro_epi = (g.value(out.pro_epi).get(0, 0) / PROEPI_SCALE)
+            .round()
+            .max(0.0) as u32;
         let ii = match self.config.variant {
             GnnVariant::Direct => {
                 // Direct variant: `res` regresses the raw II.
@@ -349,8 +374,7 @@ impl PtMapGnn {
                 if equal {
                     input.mii
                 } else {
-                    let res =
-                        (g.value(out.res).get(0, 0) / RES_SCALE).round().max(0.0) as u32;
+                    let res = (g.value(out.res).get(0, 0) / RES_SCALE).round().max(0.0) as u32;
                     input.mii + res.max(1)
                 }
             }
@@ -402,10 +426,24 @@ mod tests {
 
     #[test]
     fn variants_share_param_ordering() {
-        for variant in [GnnVariant::Full, GnnVariant::Basic, GnnVariant::NoAlign, GnnVariant::Direct]
-        {
-            let model = PtMapGnn::new(ModelConfig { variant, ..ModelConfig::default() });
-            assert_eq!(model.params().len(), model.param_count().min(usize::MAX).max(1).min(model.params().len()).max(model.params().len()));
+        for variant in [
+            GnnVariant::Full,
+            GnnVariant::Basic,
+            GnnVariant::NoAlign,
+            GnnVariant::Direct,
+        ] {
+            let model = PtMapGnn::new(ModelConfig {
+                variant,
+                ..ModelConfig::default()
+            });
+            assert_eq!(
+                model.params().len(),
+                model
+                    .param_count()
+                    .max(1)
+                    .min(model.params().len())
+                    .max(model.params().len())
+            );
             let mut g = Graph::new();
             let out = model.forward(&mut g, &input());
             assert_eq!(out.param_vars.len(), model.params().len());
@@ -415,8 +453,11 @@ mod tests {
     #[test]
     fn param_lists_agree() {
         let mut model = PtMapGnn::new(ModelConfig::default());
-        let shapes: Vec<(usize, usize)> =
-            model.params().iter().map(|p| (p.value.rows(), p.value.cols())).collect();
+        let shapes: Vec<(usize, usize)> = model
+            .params()
+            .iter()
+            .map(|p| (p.value.rows(), p.value.cols()))
+            .collect();
         let shapes_mut: Vec<(usize, usize)> = model
             .params_mut()
             .iter()

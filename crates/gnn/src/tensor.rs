@@ -14,7 +14,11 @@ pub struct Matrix {
 impl Matrix {
     /// A matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds from a row-major data vector.
@@ -30,13 +34,19 @@ impl Matrix {
     /// A 1×n row vector.
     pub fn row(data: Vec<f32>) -> Self {
         let cols = data.len();
-        Matrix { rows: 1, cols, data }
+        Matrix {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// Xavier-uniform initialization.
     pub fn xavier(rows: usize, cols: usize, rng: &mut impl rand::Rng) -> Self {
         let bound = (6.0 / (rows + cols) as f32).sqrt();
-        let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
         Matrix { rows, cols, data }
     }
 
@@ -109,7 +119,11 @@ impl Matrix {
     ///
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, rhs: &Matrix) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a += b;
         }

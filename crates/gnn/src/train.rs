@@ -73,7 +73,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { lr: 1e-3, batch: 32, epochs: 90, seed: 3 }
+        TrainConfig {
+            lr: 1e-3,
+            batch: 32,
+            epochs: 90,
+            seed: 3,
+        }
     }
 }
 
@@ -118,8 +123,7 @@ pub fn train(model: &mut PtMapGnn, dataset: &[Sample], config: &TrainConfig) -> 
                 .iter()
                 .map(|p| (p.value.rows(), p.value.cols()))
                 .collect();
-            let mut acc: Vec<Matrix> =
-                shapes.iter().map(|&(r, c)| Matrix::zeros(r, c)).collect();
+            let mut acc: Vec<Matrix> = shapes.iter().map(|&(r, c)| Matrix::zeros(r, c)).collect();
             let mut batch_loss = 0.0f32;
             for &si in chunk {
                 let s = &dataset[si];
@@ -145,8 +149,7 @@ pub fn train(model: &mut PtMapGnn, dataset: &[Sample], config: &TrainConfig) -> 
                         g.add(abs, rel)
                     }
                     (Task::ProEpi, _) => {
-                        let t =
-                            g.input(Matrix::row(vec![s.pro_epi as f32 * PROEPI_SCALE]));
+                        let t = g.input(Matrix::row(vec![s.pro_epi as f32 * PROEPI_SCALE]));
                         g.mse(out.pro_epi, t)
                     }
                     // Direct variant: one regression on the raw II for
@@ -164,7 +167,7 @@ pub fn train(model: &mut PtMapGnn, dataset: &[Sample], config: &TrainConfig) -> 
             }
             step += 1;
             let scale = 1.0 / chunk.len() as f32;
-            for (p, mut g) in model.params_mut().into_iter().zip(acc.into_iter()) {
+            for (p, mut g) in model.params_mut().into_iter().zip(acc) {
                 for x in g.as_mut_slice() {
                     *x *= scale;
                 }
@@ -233,11 +236,18 @@ mod tests {
     fn adam_reduces_loss() {
         let data = tiny_dataset();
         assert!(data.len() >= 20, "only {} samples", data.len());
-        let mut model = PtMapGnn::new(ModelConfig { hidden: 16, ..ModelConfig::default() });
+        let mut model = PtMapGnn::new(ModelConfig {
+            hidden: 16,
+            ..ModelConfig::default()
+        });
         let stats = train(
             &mut model,
             &data,
-            &TrainConfig { epochs: 12, batch: 8, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 12,
+                batch: 8,
+                ..TrainConfig::default()
+            },
         );
         // Compare first vs last epoch of the same task (stride 3).
         let first = stats.epoch_losses[2];
@@ -252,13 +262,20 @@ mod tests {
     #[test]
     fn trained_model_beats_untrained() {
         let data = tiny_dataset();
-        let untrained = PtMapGnn::new(ModelConfig { hidden: 16, ..ModelConfig::default() });
+        let untrained = PtMapGnn::new(ModelConfig {
+            hidden: 16,
+            ..ModelConfig::default()
+        });
         let before = mape_cycles(&untrained, &data);
         let mut model = untrained.clone();
         train(
             &mut model,
             &data,
-            &TrainConfig { epochs: 90, batch: 8, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 90,
+                batch: 8,
+                ..TrainConfig::default()
+            },
         );
         let after = mape_cycles(&model, &data);
         // Small-sample training is noisy; it must at least not blow up

@@ -14,8 +14,18 @@ fn serde_round_trip_preserves_predictions() {
         seed: 33,
         ..DatasetConfig::default()
     });
-    let mut model = PtMapGnn::new(ModelConfig { hidden: 8, ..ModelConfig::default() });
-    train(&mut model, &data, &TrainConfig { epochs: 3, ..TrainConfig::default() });
+    let mut model = PtMapGnn::new(ModelConfig {
+        hidden: 8,
+        ..ModelConfig::default()
+    });
+    train(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        },
+    );
 
     let json = serde_json::to_string(&model).unwrap();
     let restored: PtMapGnn = serde_json::from_str(&json).unwrap();
@@ -26,9 +36,17 @@ fn serde_round_trip_preserves_predictions() {
 
 #[test]
 fn all_variants_serialize() {
-    for variant in [GnnVariant::Full, GnnVariant::Basic, GnnVariant::NoAlign, GnnVariant::Direct]
-    {
-        let model = PtMapGnn::new(ModelConfig { hidden: 8, variant, ..ModelConfig::default() });
+    for variant in [
+        GnnVariant::Full,
+        GnnVariant::Basic,
+        GnnVariant::NoAlign,
+        GnnVariant::Direct,
+    ] {
+        let model = PtMapGnn::new(ModelConfig {
+            hidden: 8,
+            variant,
+            ..ModelConfig::default()
+        });
         let json = serde_json::to_string(&model).unwrap();
         let restored: PtMapGnn = serde_json::from_str(&json).unwrap();
         assert_eq!(restored.config.variant, variant);

@@ -60,7 +60,11 @@ impl ArrayAccess {
     pub fn substitute(&self, loop_id: LoopId, repl: &AffineExpr) -> ArrayAccess {
         ArrayAccess {
             array: self.array,
-            indices: self.indices.iter().map(|e| e.substitute(loop_id, repl)).collect(),
+            indices: self
+                .indices
+                .iter()
+                .map(|e| e.substitute(loop_id, repl))
+                .collect(),
         }
     }
 
@@ -117,7 +121,12 @@ mod tests {
     use super::*;
 
     fn decl() -> ArrayDecl {
-        ArrayDecl { id: ArrayId(0), name: "A".into(), dims: vec![24, 24], elem_bytes: 4 }
+        ArrayDecl {
+            id: ArrayId(0),
+            name: "A".into(),
+            dims: vec![24, 24],
+            elem_bytes: 4,
+        }
     }
 
     #[test]

@@ -38,14 +38,20 @@ impl AffineExpr {
 
     /// A constant expression.
     pub fn constant(c: i64) -> Self {
-        AffineExpr { coeffs: BTreeMap::new(), constant: c }
+        AffineExpr {
+            coeffs: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// The expression consisting of a single loop index with coefficient 1.
     pub fn var(loop_id: LoopId) -> Self {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(loop_id, 1);
-        AffineExpr { coeffs, constant: 0 }
+        AffineExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// Coefficient of `loop_id` (zero when absent).
@@ -108,7 +114,10 @@ impl AffineExpr {
             *coeffs.entry(target).or_insert(0) += c;
         }
         coeffs.retain(|_, c| *c != 0);
-        AffineExpr { coeffs, constant: self.constant }
+        AffineExpr {
+            coeffs,
+            constant: self.constant,
+        }
     }
 
     fn normalized(mut self) -> Self {

@@ -90,7 +90,10 @@ pub struct Dependence {
 impl Dependence {
     /// Distance component for a given loop, if the loop is common.
     pub fn distance_on(&self, l: LoopId) -> Option<Distance> {
-        self.loops.iter().position(|&x| x == l).map(|i| self.distance[i])
+        self.loops
+            .iter()
+            .position(|&x| x == l)
+            .map(|i| self.distance[i])
     }
 
     /// Whether the dependence is carried by (first nonzero at) loop `l`
@@ -186,8 +189,11 @@ impl DependenceSet {
                 return true;
             }
             // Permute the mentioned loops in place within dep.loops.
-            let mentioned: Vec<LoopId> =
-                new_order.iter().copied().filter(|l| dep.loops.contains(l)).collect();
+            let mentioned: Vec<LoopId> = new_order
+                .iter()
+                .copied()
+                .filter(|l| dep.loops.contains(l))
+                .collect();
             let mut next = mentioned.iter();
             let mut seq: Vec<Distance> = Vec::with_capacity(dep.loops.len());
             for (&l, &d) in dep.loops.iter().zip(&dep.distance) {
@@ -291,7 +297,11 @@ fn collect_stmts(nodes: &[Node], loops: &mut Vec<LoopId>, ctx: &mut AnalysisCtx)
 }
 
 fn common_loops(a: &[LoopId], b: &[LoopId]) -> Vec<LoopId> {
-    a.iter().zip(b).take_while(|(x, y)| x == y).map(|(x, _)| *x).collect()
+    a.iter()
+        .zip(b)
+        .take_while(|(x, y)| x == y)
+        .map(|(x, _)| *x)
+        .collect()
 }
 
 fn analyze_pair(ctx: &AnalysisCtx, i: usize, j: usize, out: &mut Vec<Dependence>) {
@@ -329,9 +339,17 @@ fn analyze_pair(ctx: &AnalysisCtx, i: usize, j: usize, out: &mut Vec<Dependence>
     let reduction = i == j && s1.is_reduction();
     for (src_acc, dst_acc, kind) in pairs {
         if let Some(dist) = solve_uniform(src_acc, dst_acc, &common) {
-            if let Some(dep) =
-                normalize(s1.id, s2.id, Some(src_acc.array), None, kind, &common, dist, reduction, i == j)
-            {
+            if let Some(dep) = normalize(
+                s1.id,
+                s2.id,
+                Some(src_acc.array),
+                None,
+                kind,
+                &common,
+                dist,
+                reduction,
+                i == j,
+            ) {
                 out.push(dep);
             }
         }
@@ -360,11 +378,7 @@ pub fn access_distance(
 /// Solves for the distance vector of a uniform access pair. Returns `None`
 /// when the accesses provably never overlap; returns per-loop distances
 /// with `Star` for anything it cannot pin down.
-fn solve_uniform(
-    src: &ArrayAccess,
-    dst: &ArrayAccess,
-    common: &[LoopId],
-) -> Option<Vec<Distance>> {
+fn solve_uniform(src: &ArrayAccess, dst: &ArrayAccess, common: &[LoopId]) -> Option<Vec<Distance>> {
     if src.indices.len() != dst.indices.len() || !src.is_uniform_with(dst) {
         // Non-uniform: conservative Star on every common loop.
         return Some(vec![Distance::Star; common.len()]);
@@ -480,8 +494,17 @@ fn scalar_deps(
         } else {
             vec![Distance::Star; common.len()]
         };
-        if let Some(dep) = normalize(s1.id, s2.id, None, Some(scalar), kind, common, dist, reduction, i == j)
-        {
+        if let Some(dep) = normalize(
+            s1.id,
+            s2.id,
+            None,
+            Some(scalar),
+            kind,
+            common,
+            dist,
+            reduction,
+            i == j,
+        ) {
             out.push(dep);
         }
     };
@@ -596,7 +619,10 @@ mod tests {
         let i = b.open_loop("i", 8);
         let j = b.open_loop("j", 8);
         let k = b.open_loop("k", 8);
-        let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+        let prod = b.mul(
+            b.load(a, &[b.idx(i), b.idx(k)]),
+            b.load(bb, &[b.idx(k), b.idx(j)]),
+        );
         let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
         b.store(c, &[b.idx(i), b.idx(j)], sum);
         b.close_loop();
@@ -625,8 +651,18 @@ mod tests {
         let deps = DependenceSet::analyze(&p);
         let nest = p.perfect_nests().remove(0);
         let [i, j, k] = [nest.loops[0], nest.loops[1], nest.loops[2]];
-        for order in [[i, j, k], [i, k, j], [k, i, j], [j, i, k], [k, j, i], [j, k, i]] {
-            assert!(deps.permutation_legal(&order), "order {order:?} should be legal");
+        for order in [
+            [i, j, k],
+            [i, k, j],
+            [k, i, j],
+            [j, i, k],
+            [k, j, i],
+            [j, k, i],
+        ] {
+            assert!(
+                deps.permutation_legal(&order),
+                "order {order:?} should be legal"
+            );
         }
     }
 
@@ -668,7 +704,13 @@ mod tests {
         let a = b.array("A", &[16, 16]);
         let i = b.open_loop("i", 16);
         let j = b.open_loop("j", 16);
-        let v = b.load(a, &[b.idx(i) - AffineExpr::constant(1), b.idx(j) + AffineExpr::constant(1)]);
+        let v = b.load(
+            a,
+            &[
+                b.idx(i) - AffineExpr::constant(1),
+                b.idx(j) + AffineExpr::constant(1),
+            ],
+        );
         b.store(a, &[b.idx(i), b.idx(j)], v);
         b.close_loop();
         b.close_loop();
@@ -729,7 +771,9 @@ mod tests {
             .any(|d| d.array.is_some() && d.distance.contains(&Distance::Star));
         assert!(star);
         let nest = p.perfect_nests().remove(0);
-        assert!(!deps.permutation_legal(&[nest.loops[0]]) || deps.permutation_legal(&[nest.loops[0]]));
+        assert!(
+            !deps.permutation_legal(&[nest.loops[0]]) || deps.permutation_legal(&[nest.loops[0]])
+        );
         // (single-loop permutation is identity; just ensure no panic)
     }
 
@@ -741,6 +785,9 @@ mod tests {
         let k = nest.loops[2];
         assert!(deps.iter().any(|d| d.may_be_carried_by(k)));
         let i = nest.loops[0];
-        assert!(!deps.iter().filter(|d| d.kind == DepKind::Flow).any(|d| d.may_be_carried_by(i)));
+        assert!(!deps
+            .iter()
+            .filter(|d| d.kind == DepKind::Flow)
+            .any(|d| d.may_be_carried_by(i)));
     }
 }

@@ -106,9 +106,20 @@ impl Dfg {
     }
 
     /// Adds a node and returns its id.
-    pub fn add_node(&mut self, op: OpKind, access: Option<ArrayAccess>, imm: Option<i64>) -> NodeId {
+    pub fn add_node(
+        &mut self,
+        op: OpKind,
+        access: Option<ArrayAccess>,
+        imm: Option<i64>,
+    ) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(DfgNode { id, op, access, imm, scalar: None });
+        self.nodes.push(DfgNode {
+            id,
+            op,
+            access,
+            imm,
+            scalar: None,
+        });
         id
     }
 
@@ -124,7 +135,12 @@ impl Dfg {
 
     /// Adds an edge of an explicit kind. Parallel edges are deduplicated.
     pub fn add_edge_kind(&mut self, src: NodeId, dst: NodeId, dist: u32, kind: EdgeKind) {
-        let e = DfgEdge { src, dst, dist, kind };
+        let e = DfgEdge {
+            src,
+            dst,
+            dist,
+            kind,
+        };
         if !self.edges.contains(&e) {
             self.edges.push(e);
         }
@@ -162,7 +178,10 @@ impl Dfg {
 
     /// Maximum out-degree over all nodes (the `Max Fanout` GNN feature).
     pub fn max_fanout(&self) -> usize {
-        (0..self.nodes.len()).map(|i| self.out_degree(NodeId(i as u32))).max().unwrap_or(0)
+        (0..self.nodes.len())
+            .map(|i| self.out_degree(NodeId(i as u32)))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Count of nodes per operation class.
@@ -190,10 +209,16 @@ impl Dfg {
     /// Panics if the distance-0 subgraph has a cycle (a malformed DFG;
     /// [`validate`](Self::validate) catches this).
     pub fn asap(&self) -> Vec<u32> {
-        let order = self.topo_order_dist0().expect("dist-0 subgraph must be acyclic");
+        let order = self
+            .topo_order_dist0()
+            .expect("dist-0 subgraph must be acyclic");
         let mut asap = vec![0u32; self.nodes.len()];
         for &n in &order {
-            for e in self.edges.iter().filter(|e| e.dist == 0 && e.dst.index() == n) {
+            for e in self
+                .edges
+                .iter()
+                .filter(|e| e.dist == 0 && e.dst.index() == n)
+            {
                 let src = e.src.index();
                 let cand = asap[src] + self.nodes[src].latency();
                 asap[n] = asap[n].max(cand);
@@ -212,11 +237,20 @@ impl Dfg {
             .map(|(i, n)| asap[i] + n.latency())
             .max()
             .unwrap_or(0);
-        let order = self.topo_order_dist0().expect("dist-0 subgraph must be acyclic");
-        let mut alap: Vec<u32> =
-            self.nodes.iter().map(|n| horizon.saturating_sub(n.latency())).collect();
+        let order = self
+            .topo_order_dist0()
+            .expect("dist-0 subgraph must be acyclic");
+        let mut alap: Vec<u32> = self
+            .nodes
+            .iter()
+            .map(|n| horizon.saturating_sub(n.latency()))
+            .collect();
         for &n in order.iter().rev() {
-            for e in self.edges.iter().filter(|e| e.dist == 0 && e.src.index() == n) {
+            for e in self
+                .edges
+                .iter()
+                .filter(|e| e.dist == 0 && e.src.index() == n)
+            {
                 let cand = alap[e.dst.index()].saturating_sub(self.nodes[n].latency());
                 alap[n] = alap[n].min(cand);
             }
@@ -247,7 +281,11 @@ impl Dfg {
         let mut order = Vec::with_capacity(n);
         while let Some(v) = queue.pop() {
             order.push(v);
-            for e in self.edges.iter().filter(|e| e.dist == 0 && e.src.index() == v) {
+            for e in self
+                .edges
+                .iter()
+                .filter(|e| e.dist == 0 && e.src.index() == v)
+            {
                 indeg[e.dst.index()] -= 1;
                 if indeg[e.dst.index()] == 0 {
                     queue.push(e.dst.index());
@@ -319,7 +357,11 @@ pub fn build_dfg(
     // Unrolled loops in nest order with their factors.
     let mut dims: Vec<(LoopId, u32)> = Vec::new();
     for &l in &nest.loops {
-        let f = unroll.iter().find(|&&(ul, _)| ul == l).map(|&(_, f)| f).unwrap_or(1);
+        let f = unroll
+            .iter()
+            .find(|&&(ul, _)| ul == l)
+            .map(|&(_, f)| f)
+            .unwrap_or(1);
         if f > 1 {
             dims.push((l, f));
         }
@@ -497,9 +539,15 @@ impl DfgBuilder {
         let stores = self.stores.clone();
         let loads = self.loads.clone();
         for &st in &stores {
-            let sa = self.dfg.nodes[st.index()].access.clone().expect("store has access");
+            let sa = self.dfg.nodes[st.index()]
+                .access
+                .clone()
+                .expect("store has access");
             for &ld in &loads {
-                let la = self.dfg.nodes[ld.index()].access.clone().expect("load has access");
+                let la = self.dfg.nodes[ld.index()]
+                    .access
+                    .clone()
+                    .expect("load has access");
                 if la.array != sa.array || !la.is_uniform_with(&sa) {
                     continue;
                 }
@@ -564,7 +612,8 @@ impl DfgBuilder {
                     std::cmp::Ordering::Less => {
                         // Load of a *later* element than the store writes:
                         // anti dependence across iterations.
-                        self.dfg.add_edge_kind(ld, st, (-dist) as u32, EdgeKind::Order);
+                        self.dfg
+                            .add_edge_kind(ld, st, (-dist) as u32, EdgeKind::Order);
                     }
                 }
             }
@@ -585,7 +634,10 @@ mod tests {
         let i = b.open_loop("i", n);
         let j = b.open_loop("j", n);
         let k = b.open_loop("k", n);
-        let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+        let prod = b.mul(
+            b.load(a, &[b.idx(i), b.idx(k)]),
+            b.load(bb, &[b.idx(k), b.idx(j)]),
+        );
         let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
         b.store(c, &[b.idx(i), b.idx(j)], sum);
         b.close_loop();
@@ -657,7 +709,11 @@ mod tests {
         let nest = p.perfect_nests().remove(0);
         let dfg = build_dfg(&p, &nest, &[(nest.loops[0], 4)]).unwrap();
         // 4 loads + 4 accumulators; each accumulator has its own self edge.
-        let self_edges = dfg.edges().iter().filter(|e| e.src == e.dst && e.dist == 1).count();
+        let self_edges = dfg
+            .edges()
+            .iter()
+            .filter(|e| e.src == e.dst && e.dist == 1)
+            .count();
         assert_eq!(self_edges, 4);
         dfg.validate().unwrap();
     }
@@ -669,7 +725,10 @@ mod tests {
         let mut b = ProgramBuilder::new("st");
         let a = b.array("A", &[64]);
         let i = b.open_loop("i", 64);
-        let v = b.add(b.load(a, &[b.idx(i) - AffineExpr::constant(2)]), b.constant(1));
+        let v = b.add(
+            b.load(a, &[b.idx(i) - AffineExpr::constant(2)]),
+            b.constant(1),
+        );
         b.store(a, &[b.idx(i)], v);
         b.close_loop();
         let p = b.finish();

@@ -44,14 +44,24 @@ impl fmt::Display for IrError {
         match self {
             IrError::UnknownLoop(l) => write!(f, "unknown loop {l}"),
             IrError::UnknownArray(a) => write!(f, "unknown array {a}"),
-            IrError::SubscriptArity { array, got, expected } => {
-                write!(f, "array {array} accessed with {got} subscripts, declared with {expected}")
+            IrError::SubscriptArity {
+                array,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "array {array} accessed with {got} subscripts, declared with {expected}"
+                )
             }
             IrError::NoOpenLoop => write!(f, "close_loop called with no loop open"),
             IrError::UnclosedLoops(n) => write!(f, "program finished with {n} unclosed loops"),
             IrError::NotPerfectNest => write!(f, "loop nest is not perfectly nested"),
             IrError::BadUnrollArity { loops, factors } => {
-                write!(f, "unroll vector has {factors} factors for a nest of {loops} loops")
+                write!(
+                    f,
+                    "unroll vector has {factors} factors for a nest of {loops} loops"
+                )
             }
             IrError::ZeroUnrollFactor => write!(f, "unroll factor must be at least 1"),
             IrError::ZeroTripcount(l) => write!(f, "loop {l} has zero tripcount"),

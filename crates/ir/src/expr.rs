@@ -104,9 +104,11 @@ impl Expr {
             Expr::Index(l) => Expr::Index(map.get(l).copied().unwrap_or(*l)),
             Expr::Load(a) => Expr::Load(a.rename_loops(map)),
             Expr::Unary(op, a) => Expr::Unary(*op, Box::new(a.rename_loops(map))),
-            Expr::Binary(op, a, b) => {
-                Expr::Binary(*op, Box::new(a.rename_loops(map)), Box::new(b.rename_loops(map)))
-            }
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(a.rename_loops(map)),
+                Box::new(b.rename_loops(map)),
+            ),
         }
     }
 }
@@ -117,7 +119,11 @@ fn affine_to_expr(e: &AffineExpr) -> Expr {
         let term = if c == 1 {
             Expr::Index(l)
         } else {
-            Expr::Binary(OpKind::Mul, Box::new(Expr::Const(c)), Box::new(Expr::Index(l)))
+            Expr::Binary(
+                OpKind::Mul,
+                Box::new(Expr::Const(c)),
+                Box::new(Expr::Index(l)),
+            )
         };
         acc = Some(match acc {
             None => term,
@@ -191,7 +197,11 @@ impl Stmt {
             LValue::Array(a) => LValue::Array(a.substitute(loop_id, repl)),
             LValue::Scalar(s) => LValue::Scalar(*s),
         };
-        Stmt { id: self.id, target, value: self.value.substitute(loop_id, repl) }
+        Stmt {
+            id: self.id,
+            target,
+            value: self.value.substitute(loop_id, repl),
+        }
     }
 
     /// Renames loop ids across target and value.
@@ -200,7 +210,11 @@ impl Stmt {
             LValue::Array(a) => LValue::Array(a.rename_loops(map)),
             LValue::Scalar(s) => LValue::Scalar(*s),
         };
-        Stmt { id: self.id, target, value: self.value.rename_loops(map) }
+        Stmt {
+            id: self.id,
+            target,
+            value: self.value.rename_loops(map),
+        }
     }
 
     /// All array accesses (reads then the write, if any).

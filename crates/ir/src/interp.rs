@@ -24,7 +24,11 @@ impl Memory {
     /// Zero-initialized memory for a program's declarations.
     pub fn zeroed(program: &Program) -> Self {
         Memory {
-            arrays: program.arrays().iter().map(|a| vec![0; a.len() as usize]).collect(),
+            arrays: program
+                .arrays()
+                .iter()
+                .map(|a| vec![0; a.len() as usize])
+                .collect(),
             scalars: vec![0; program.scalars().len()],
         }
     }
@@ -71,7 +75,10 @@ impl Memory {
         if index < 0 {
             return 0;
         }
-        self.arrays[id.index()].get(index as usize).copied().unwrap_or(0)
+        self.arrays[id.index()]
+            .get(index as usize)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Writes a linearized element (out-of-bounds writes are dropped).
@@ -87,7 +94,12 @@ impl Memory {
 
 impl fmt::Display for Memory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Memory({} arrays, {} scalars)", self.arrays.len(), self.scalars.len())
+        write!(
+            f,
+            "Memory({} arrays, {} scalars)",
+            self.arrays.len(),
+            self.scalars.len()
+        )
     }
 }
 
@@ -147,12 +159,7 @@ fn linearize(program: &Program, acc: &ArrayAccess, env: &BTreeMap<LoopId, i64>) 
     acc.linearize(&decl.dims, env)
 }
 
-fn eval(
-    program: &Program,
-    e: &Expr,
-    mem: &Memory,
-    env: &BTreeMap<LoopId, i64>,
-) -> i64 {
+fn eval(program: &Program, e: &Expr, mem: &Memory, env: &BTreeMap<LoopId, i64>) -> i64 {
     match e {
         Expr::Const(c) => *c,
         Expr::Index(l) => env.get(l).copied().unwrap_or(0),
@@ -221,7 +228,10 @@ mod tests {
         let i = b.open_loop("i", n);
         let j = b.open_loop("j", n);
         let k = b.open_loop("k", n);
-        let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+        let prod = b.mul(
+            b.load(a, &[b.idx(i), b.idx(k)]),
+            b.load(bb, &[b.idx(k), b.idx(j)]),
+        );
         let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
         b.store(c, &[b.idx(i), b.idx(j)], sum);
         b.close_loop();

@@ -47,7 +47,13 @@ impl PerfectNest {
             }
         }
         let stmts = cur.direct_stmts().cloned().collect();
-        PerfectNest { loops, tripcounts, names, outer: outer.to_vec(), stmts }
+        PerfectNest {
+            loops,
+            tripcounts,
+            names,
+            outer: outer.to_vec(),
+            stmts,
+        }
     }
 
     /// The pipelined (innermost) loop.
@@ -64,7 +70,9 @@ impl PerfectNest {
     /// nest loops above the pipelined one (`prod TC_idx, idx in O(l)` in
     /// Eqn. 2). Does not include [`outer`](Self::outer) loops.
     pub fn folded_tripcount(&self) -> u64 {
-        self.tripcounts[..self.tripcounts.len() - 1].iter().product()
+        self.tripcounts[..self.tripcounts.len() - 1]
+            .iter()
+            .product()
     }
 
     /// Product of the tripcounts of the imperfect enclosing loops.

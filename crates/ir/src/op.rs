@@ -140,13 +140,22 @@ impl OpKind {
     pub fn is_associative(self) -> bool {
         matches!(
             self,
-            OpKind::Add | OpKind::Mul | OpKind::Min | OpKind::Max | OpKind::And | OpKind::Or | OpKind::Xor
+            OpKind::Add
+                | OpKind::Mul
+                | OpKind::Min
+                | OpKind::Max
+                | OpKind::And
+                | OpKind::Or
+                | OpKind::Xor
         )
     }
 
     /// Stable small integer code, used when encoding node features.
     pub fn code(self) -> usize {
-        OpKind::ALL.iter().position(|&k| k == self).expect("op in ALL")
+        OpKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("op in ALL")
     }
 }
 

@@ -60,7 +60,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at token {}: {}", self.position, self.message)
+        write!(
+            f,
+            "parse error at token {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -133,9 +137,7 @@ fn lex(src: &str) -> Result<Vec<Tok>, ParseError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Tok::Ident(src[start..i].to_string()));
@@ -209,7 +211,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), position: self.pos }
+        ParseError {
+            message: message.into(),
+            position: self.pos,
+        }
     }
 
     fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
@@ -340,7 +345,11 @@ impl Parser {
     }
 
     fn lookup_loop(&self, name: &str) -> Option<LoopId> {
-        self.loops.iter().rev().find(|(n, _)| n == name).map(|&(_, id)| id)
+        self.loops
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|&(_, id)| id)
     }
 
     fn stmt(&mut self) -> Result<(), ParseError> {
@@ -478,7 +487,11 @@ impl Parser {
                 self.expect_punct(",")?;
                 let b = self.expr()?;
                 self.expect_punct(")")?;
-                let op = if name == "min" { OpKind::Min } else { OpKind::Max };
+                let op = if name == "min" {
+                    OpKind::Min
+                } else {
+                    OpKind::Max
+                };
                 Ok(self.builder.binary(op, a, b))
             }
             Some(Tok::Ident(name)) => {

@@ -213,7 +213,9 @@ impl Program {
     ///
     /// Returns [`IrError::UnknownLoop`] if the loop does not exist.
     pub fn tripcount(&self, id: LoopId) -> Result<u64, IrError> {
-        self.find_loop(id).map(|l| l.tripcount).ok_or(IrError::UnknownLoop(id))
+        self.find_loop(id)
+            .map(|l| l.tripcount)
+            .ok_or(IrError::UnknownLoop(id))
     }
 
     /// All statements in the program, in program order.
@@ -285,7 +287,12 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "program {} ({} stmts)", self.name, self.all_stmts().len())
+        write!(
+            f,
+            "program {} ({} stmts)",
+            self.name,
+            self.all_stmts().len()
+        )
     }
 }
 
@@ -360,7 +367,12 @@ impl ProgramBuilder {
     /// [`close_loop`](Self::close_loop).
     pub fn open_loop(&mut self, name: impl Into<String>, tripcount: u64) -> LoopId {
         let (id, name) = self.program.fresh_loop_id(name);
-        self.stack.push(Loop { id, name, tripcount, body: Vec::new() });
+        self.stack.push(Loop {
+            id,
+            name,
+            tripcount,
+            body: Vec::new(),
+        });
         id
     }
 
@@ -494,7 +506,10 @@ mod tests {
         let i = b.open_loop("i", n);
         let j = b.open_loop("j", n);
         let k = b.open_loop("k", n);
-        let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+        let prod = b.mul(
+            b.load(a, &[b.idx(i), b.idx(k)]),
+            b.load(bb, &[b.idx(k), b.idx(j)]),
+        );
         let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
         b.store(c, &[b.idx(i), b.idx(j)], sum);
         b.close_loop();

@@ -1,5 +1,5 @@
-use ptmap_ir::{ProgramBuilder, dfg::build_dfg};
 use ptmap_arch::presets;
+use ptmap_ir::{dfg::build_dfg, ProgramBuilder};
 use ptmap_mapper::{map_dfg, MapperConfig};
 use std::time::Instant;
 
@@ -11,10 +11,15 @@ fn main() {
     let i = b.open_loop("i", 24);
     let j = b.open_loop("j", 24);
     let k = b.open_loop("k", 24);
-    let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+    let prod = b.mul(
+        b.load(a, &[b.idx(i), b.idx(k)]),
+        b.load(bb, &[b.idx(k), b.idx(j)]),
+    );
     let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
     b.store(c, &[b.idx(i), b.idx(j)], sum);
-    b.close_loop(); b.close_loop(); b.close_loop();
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
     let p = b.finish();
     let nest = p.perfect_nests().remove(0);
     for f in [1u32, 2, 4, 8] {
@@ -22,8 +27,23 @@ fn main() {
         let t0 = Instant::now();
         let r = map_dfg(&dfg, &presets::sl8(), &MapperConfig::default());
         match r {
-            Ok(m) => println!("unroll {}x{}: nodes={} ii={} mii={} util={:.3} t={:?}", f, f.min(4), dfg.len(), m.ii, m.mii, m.utilization(), t0.elapsed()),
-            Err(e) => println!("unroll {}x{}: nodes={} FAILED {e} t={:?}", f, f.min(4), dfg.len(), t0.elapsed()),
+            Ok(m) => println!(
+                "unroll {}x{}: nodes={} ii={} mii={} util={:.3} t={:?}",
+                f,
+                f.min(4),
+                dfg.len(),
+                m.ii,
+                m.mii,
+                m.utilization(),
+                t0.elapsed()
+            ),
+            Err(e) => println!(
+                "unroll {}x{}: nodes={} FAILED {e} t={:?}",
+                f,
+                f.min(4),
+                dfg.len(),
+                t0.elapsed()
+            ),
         }
     }
 }

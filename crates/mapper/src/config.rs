@@ -24,7 +24,12 @@ pub struct MapperConfig {
 
 impl Default for MapperConfig {
     fn default() -> Self {
-        MapperConfig { max_ii: 20, effort: 1, seed: 0xC6_4A, share_routes: true }
+        MapperConfig {
+            max_ii: 20,
+            effort: 1,
+            seed: 0xC6_4A,
+            share_routes: true,
+        }
     }
 }
 

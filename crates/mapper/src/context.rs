@@ -50,7 +50,10 @@ impl ContextImage {
 
     /// The word executed by `pe` at `slot`.
     pub fn word(&self, pe: PeId, slot: u32) -> Option<&ContextWord> {
-        self.per_pe.get(pe.index()).and_then(|v| v.get(slot as usize)).and_then(Option::as_ref)
+        self.per_pe
+            .get(pe.index())
+            .and_then(|v| v.get(slot as usize))
+            .and_then(Option::as_ref)
     }
 }
 
@@ -95,8 +98,7 @@ impl fmt::Display for ContextImage {
 /// (placement out of range).
 pub fn generate_contexts(dfg: &Dfg, mapping: &Mapping, arch: &CgraArch) -> ContextImage {
     let ii = mapping.ii;
-    let mut per_pe: Vec<Vec<Option<ContextWord>>> =
-        vec![vec![None; ii as usize]; arch.pe_count()];
+    let mut per_pe: Vec<Vec<Option<ContextWord>>> = vec![vec![None; ii as usize]; arch.pe_count()];
     for p in &mapping.placements {
         let node = &dfg.nodes()[p.node.index()];
         // Operand sources, in in-edge order, from the recorded routes.
@@ -114,7 +116,12 @@ pub fn generate_contexts(dfg: &Dfg, mapping: &Mapping, arch: &CgraArch) -> Conte
                     .unwrap_or(OperandSource::Local)
             })
             .collect();
-        let word = ContextWord { op: node.op, imm: node.imm, operands, node: p.node };
+        let word = ContextWord {
+            op: node.op,
+            imm: node.imm,
+            operands,
+            node: p.node,
+        };
         per_pe[p.pe.index()][(p.time % ii) as usize] = Some(word);
     }
     ContextImage { ii, per_pe }
@@ -133,7 +140,10 @@ mod tests {
         let x = b.array("X", &[256]);
         let y = b.array("Y", &[256]);
         let i = b.open_loop("i", 256);
-        let v = b.add(b.mul(b.load(x, &[b.idx(i)]), b.constant(3)), b.load(y, &[b.idx(i)]));
+        let v = b.add(
+            b.mul(b.load(x, &[b.idx(i)]), b.constant(3)),
+            b.load(y, &[b.idx(i)]),
+        );
         b.store(y, &[b.idx(i)], v);
         b.close_loop();
         let p = b.finish();
@@ -180,7 +190,11 @@ mod tests {
     #[test]
     fn route_records_cover_all_data_edges() {
         let (dfg, m, _) = mapped();
-        for e in dfg.edges().iter().filter(|e| e.kind == ptmap_ir::dfg::EdgeKind::Data) {
+        for e in dfg
+            .edges()
+            .iter()
+            .filter(|e| e.kind == ptmap_ir::dfg::EdgeKind::Data)
+        {
             assert!(
                 m.routes.iter().any(|r| r.src == e.src && r.dst == e.dst),
                 "edge {}->{} has no route record",

@@ -26,7 +26,10 @@ impl fmt::Display for MapError {
         match self {
             MapError::EmptyDfg => write!(f, "cannot map an empty dataflow graph"),
             MapError::UnsupportedOp(op) => {
-                write!(f, "operation {op} is supported by no PE of the target architecture")
+                write!(
+                    f,
+                    "operation {op} is supported by no PE of the target architecture"
+                )
             }
             MapError::Infeasible { mii, max_ii } => {
                 write!(f, "no feasible mapping for any II in {mii}..={max_ii}")
@@ -45,7 +48,9 @@ mod tests {
     fn display_is_informative() {
         let e = MapError::Infeasible { mii: 3, max_ii: 20 };
         assert!(e.to_string().contains("3..=20"));
-        assert!(MapError::UnsupportedOp(OpKind::Div).to_string().contains("div"));
+        assert!(MapError::UnsupportedOp(OpKind::Div)
+            .to_string()
+            .contains("div"));
     }
 
     #[test]

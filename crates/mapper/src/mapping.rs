@@ -101,8 +101,16 @@ mod tests {
             mii: 2,
             schedule_length: 8,
             placements: vec![
-                Placement { node: NodeId(0), pe: PeId(0), time: 0 },
-                Placement { node: NodeId(1), pe: PeId(1), time: 2 },
+                Placement {
+                    node: NodeId(0),
+                    pe: PeId(0),
+                    time: 0,
+                },
+                Placement {
+                    node: NodeId(1),
+                    pe: PeId(1),
+                    time: 2,
+                },
             ],
             route_slots: 4,
             routes: Vec::new(),

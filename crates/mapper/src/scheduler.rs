@@ -123,7 +123,10 @@ impl<'a> Scheduler<'a> {
                 return Ok(m);
             }
         }
-        Err(MapError::Infeasible { mii: start, max_ii: self.config.max_ii.max(start) })
+        Err(MapError::Infeasible {
+            mii: start,
+            max_ii: self.config.max_ii.max(start),
+        })
     }
 
     /// Criticality order: smallest slack first, then higher fanout.
@@ -183,13 +186,7 @@ impl<'a> Scheduler<'a> {
         order
     }
 
-    fn attempt(
-        &self,
-        ii: u32,
-        mrrg: &Mrrg,
-        order: &[usize],
-        rng: &mut StdRng,
-    ) -> Option<Mapping> {
+    fn attempt(&self, ii: u32, mrrg: &Mrrg, order: &[usize], rng: &mut StdRng) -> Option<Mapping> {
         let mut st = State {
             compute: vec![None; mrrg.slots()],
             route_used: vec![0; mrrg.node_count()],
@@ -217,7 +214,11 @@ impl<'a> Scheduler<'a> {
         let mut pes = std::collections::BTreeSet::new();
         for (i, p) in st.place.iter().enumerate() {
             let (pe, t) = p.expect("all nodes placed");
-            placements.push(Placement { node: ptmap_ir::NodeId(i as u32), pe, time: t });
+            placements.push(Placement {
+                node: ptmap_ir::NodeId(i as u32),
+                pe,
+                time: t,
+            });
             t_min = t_min.min(t);
             t_max_end = t_max_end.max(t + self.dfg.nodes()[i].latency());
             pes.insert(pe);
@@ -325,8 +326,7 @@ impl<'a> Scheduler<'a> {
                     }
                 }
                 // Mild load balancing: penalize PEs already used.
-                let used =
-                    st.place.iter().flatten().filter(|&&(p, _)| p == pe).count() as i64;
+                let used = st.place.iter().flatten().filter(|&&(p, _)| p == pe).count() as i64;
                 cost += used;
                 cost += rng.gen_range(0..2);
                 (cost, pe)
@@ -451,7 +451,10 @@ struct Overlay {
 
 impl Overlay {
     fn claimed_at(&self, idx: u32) -> u32 {
-        self.tree_adds.iter().filter(|(&(_, i, _), &c)| i == idx && c).count() as u32
+        self.tree_adds
+            .iter()
+            .filter(|(&(_, i, _), &c)| i == idx && c)
+            .count() as u32
     }
 
     fn contains(&self, producer: usize, idx: u32, at: u32) -> bool {
@@ -491,7 +494,9 @@ fn route_value(
         idx: u32,
         at: u32,
     ) -> bool {
-        st.trees.get(&producer).is_some_and(|t| t.contains(&(idx, at)))
+        st.trees
+            .get(&producer)
+            .is_some_and(|t| t.contains(&(idx, at)))
             || overlay.contains(producer, idx, at)
             || (idx == origin && at == dep)
     }
@@ -519,9 +524,13 @@ fn route_value(
     let mut seeds: Vec<(u32, u32)> = vec![(origin, dep)];
     if share {
         if let Some(tree) = st.trees.get(&producer) {
-            seeds.extend(tree.iter().filter(|&&(_, at)| at >= t0 && at < arrive).copied());
+            seeds.extend(
+                tree.iter()
+                    .filter(|&&(_, at)| at >= t0 && at < arrive)
+                    .copied(),
+            );
         }
-        for (&(p, idx, at), _) in &overlay.tree_adds {
+        for &(p, idx, at) in overlay.tree_adds.keys() {
             if p == producer && at >= t0 && at < arrive {
                 seeds.push((idx, at));
             }
@@ -593,7 +602,10 @@ fn route_value(
             cur.0 == origin && cur.1 == dep
         };
         if !exempt {
-            overlay.tree_adds.entry((producer, cur.0, cur.1)).or_insert(!first);
+            overlay
+                .tree_adds
+                .entry((producer, cur.0, cur.1))
+                .or_insert(!first);
         }
         first = false;
         if prev == cur {
@@ -632,7 +644,10 @@ mod tests {
         let i = b.open_loop("i", n);
         let j = b.open_loop("j", n);
         let k = b.open_loop("k", n);
-        let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+        let prod = b.mul(
+            b.load(a, &[b.idx(i), b.idx(k)]),
+            b.load(bb, &[b.idx(k), b.idx(j)]),
+        );
         let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
         b.store(c, &[b.idx(i), b.idx(j)], sum);
         b.close_loop();
@@ -762,7 +777,11 @@ mod tests {
         let (i, j) = (nest.loops[0], nest.loops[1]);
         let dfg = build_dfg(&p, &nest, &[(i, 2), (j, 2)]).unwrap();
         let base = map_dfg(&dfg, &presets::r4(), &MapperConfig::default());
-        let high = map_dfg(&dfg, &presets::r4(), &MapperConfig::default().with_effort(4));
+        let high = map_dfg(
+            &dfg,
+            &presets::r4(),
+            &MapperConfig::default().with_effort(4),
+        );
         if let (Ok(b), Ok(h)) = (base, high) {
             assert!(h.ii <= b.ii + 1, "high effort ii {} vs base {}", h.ii, b.ii);
         }

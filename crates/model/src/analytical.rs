@@ -66,7 +66,10 @@ mod tests {
         let x = b.array("X", &[512]);
         let y = b.array("Y", &[512]);
         let i = b.open_loop("i", 512);
-        let v = b.add(b.mul(b.load(x, &[b.idx(i)]), b.constant(3)), b.load(y, &[b.idx(i)]));
+        let v = b.add(
+            b.mul(b.load(x, &[b.idx(i)]), b.constant(3)),
+            b.load(y, &[b.idx(i)]),
+        );
         b.store(y, &[b.idx(i)], v);
         b.close_loop();
         let p = b.finish();
@@ -79,7 +82,10 @@ mod tests {
             ptmap_mapper::map_dfg(&dfg, &arch, &ptmap_mapper::MapperConfig::default()).unwrap();
         let actual = mapped.cycles(nest.pipelined_tripcount());
         let ratio = actual as f64 / est.cycles as f64;
-        assert!((0.8..=2.0).contains(&ratio), "ratio {ratio} (est {est:?}, actual {actual})");
+        assert!(
+            (0.8..=2.0).contains(&ratio),
+            "ratio {ratio} (est {est:?}, actual {actual})"
+        );
     }
 
     #[test]
@@ -93,7 +99,10 @@ mod tests {
         let i = b.open_loop("i", 16);
         let j = b.open_loop("j", 16);
         let k = b.open_loop("k", 16);
-        let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+        let prod = b.mul(
+            b.load(a, &[b.idx(i), b.idx(k)]),
+            b.load(bb, &[b.idx(k), b.idx(j)]),
+        );
         let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
         b.store(c, &[b.idx(i), b.idx(j)], sum);
         b.close_loop();
@@ -106,8 +115,7 @@ mod tests {
 
         let mut gaps = Vec::new();
         for f in [1u32, 4] {
-            let dfg =
-                build_dfg(&p, &nest, &[(nest.loops[0], f), (nest.loops[1], f)]).unwrap();
+            let dfg = build_dfg(&p, &nest, &[(nest.loops[0], f), (nest.loops[1], f)]).unwrap();
             let est = AnalyticalModel.estimate(&dfg, &arch, &nest);
             let mapped = ptmap_mapper::map_dfg(&dfg, &arch, &cfg).unwrap();
             gaps.push(mapped.ii as f64 / est.ii as f64);

@@ -31,7 +31,11 @@ impl CycleEstimate {
     /// Builds an estimate from the formula inputs.
     pub fn from_formula(tripcount: u64, ii: u32, pro_epi: u32, folded_tripcount: u64) -> Self {
         let cycle_l = pnl_cycles(tripcount, ii, pro_epi);
-        CycleEstimate { ii, pro_epi, cycles: pnl_total_cycles(cycle_l, folded_tripcount) }
+        CycleEstimate {
+            ii,
+            pro_epi,
+            cycles: pnl_total_cycles(cycle_l, folded_tripcount),
+        }
     }
 }
 

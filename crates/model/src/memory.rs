@@ -65,8 +65,9 @@ impl<'a> MemoryProfiler<'a> {
         };
 
         // Footprints of the loop bands `level..depth`.
-        let footprints: Vec<(u64, u64)> =
-            (0..depth).map(|level| self.band_footprint(nest, level)).collect();
+        let footprints: Vec<(u64, u64)> = (0..depth)
+            .map(|level| self.band_footprint(nest, level))
+            .collect();
 
         let (ws_read, ws_write) = footprints[depth - 1];
         let working_set_bytes = ws_read.max(ws_write);
@@ -113,7 +114,12 @@ impl<'a> MemoryProfiler<'a> {
             ctx_once * launches_of(depth - 1)
         };
 
-        MemoryProfile { working_set_bytes, volume_bytes, context_bytes, capacity_misses }
+        MemoryProfile {
+            working_set_bytes,
+            volume_bytes,
+            context_bytes,
+            capacity_misses,
+        }
     }
 
     /// Read and write footprints (bytes) of one execution of the loop
@@ -162,7 +168,9 @@ impl<'a> MemoryProfiler<'a> {
 }
 
 fn merge(m: &mut BTreeMap<ArrayId, (i64, i64)>, a: ArrayId, lo: i64, hi: i64) {
-    m.entry(a).and_modify(|e| *e = (e.0.min(lo), e.1.max(hi))).or_insert((lo, hi));
+    m.entry(a)
+        .and_modify(|e| *e = (e.0.min(lo), e.1.max(hi)))
+        .or_insert((lo, hi));
 }
 
 /// Linearized index bounds of an access over the iterating loops (fixed
@@ -212,7 +220,10 @@ mod tests {
         let i = b.open_loop("i", n);
         let j = b.open_loop("j", n);
         let k = b.open_loop("k", n);
-        let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+        let prod = b.mul(
+            b.load(a, &[b.idx(i), b.idx(k)]),
+            b.load(bb, &[b.idx(k), b.idx(j)]),
+        );
         let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
         b.store(c, &[b.idx(i), b.idx(j)], sum);
         b.close_loop();
@@ -237,12 +248,16 @@ mod tests {
         let small = {
             let p = gemm(16);
             let nest = p.perfect_nests().remove(0);
-            MemoryProfiler::new(&p).profile(&nest, &presets::s4(), 4).volume_bytes
+            MemoryProfiler::new(&p)
+                .profile(&nest, &presets::s4(), 4)
+                .volume_bytes
         };
         let large = {
             let p = gemm(32);
             let nest = p.perfect_nests().remove(0);
-            MemoryProfiler::new(&p).profile(&nest, &presets::s4(), 4).volume_bytes
+            MemoryProfiler::new(&p)
+                .profile(&nest, &presets::s4(), 4)
+                .volume_bytes
         };
         assert!(large > small);
     }
@@ -271,14 +286,18 @@ mod tests {
         let it = b.open_loop("it", 256);
         let ii = b.open_loop("ii", 256);
         let idx = b.idx(it) * 256 + b.idx(ii);
-        let v = b.add(b.load(x, &[idx.clone()]), b.constant(1));
+        let v = b.add(b.load(x, std::slice::from_ref(&idx)), b.constant(1));
         b.store(x, &[idx], v);
         b.close_loop();
         b.close_loop();
         let p = b.finish();
         let nest = p.perfect_nests().remove(0);
         let prof = MemoryProfiler::new(&p).profile(&nest, &presets::s4(), 2);
-        assert!(prof.fits_db(), "working set {} bytes", prof.working_set_bytes);
+        assert!(
+            prof.fits_db(),
+            "working set {} bytes",
+            prof.working_set_bytes
+        );
         assert_eq!(prof.working_set_bytes, 256 * 4);
     }
 
@@ -287,8 +306,12 @@ mod tests {
         let p = gemm(24);
         let nest = p.perfect_nests().remove(0);
         let arch = presets::s4(); // CB capacity 8
-        let fits = MemoryProfiler::new(&p).profile(&nest, &arch, 8).context_bytes;
-        let reload = MemoryProfiler::new(&p).profile(&nest, &arch, 9).context_bytes;
+        let fits = MemoryProfiler::new(&p)
+            .profile(&nest, &arch, 8)
+            .context_bytes;
+        let reload = MemoryProfiler::new(&p)
+            .profile(&nest, &arch, 9)
+            .context_bytes;
         assert!(reload > fits * 100, "reload {reload} vs fits {fits}");
     }
 
@@ -298,8 +321,12 @@ mod tests {
         let nest = p.perfect_nests().remove(0);
         let arch = presets::s4();
         let doubled = arch.with_db_bytes(arch.db_bytes() * 2);
-        let v1 = MemoryProfiler::new(&p).profile(&nest, &arch, 4).volume_bytes;
-        let v2 = MemoryProfiler::new(&p).profile(&nest, &doubled, 4).volume_bytes;
+        let v1 = MemoryProfiler::new(&p)
+            .profile(&nest, &arch, 4)
+            .volume_bytes;
+        let v2 = MemoryProfiler::new(&p)
+            .profile(&nest, &doubled, 4)
+            .volume_bytes;
         assert!(v2 <= v1);
     }
 }

@@ -15,7 +15,9 @@ fn tiling_never_increases_pipelined_working_set() {
             if tc <= 16 {
                 continue;
             }
-            let Ok((q, _)) = strip_mine(&p, pipelined, 16) else { continue };
+            let Ok((q, _)) = strip_mine(&p, pipelined, 16) else {
+                continue;
+            };
             let qnest = q
                 .perfect_nests()
                 .into_iter()

@@ -1,0 +1,308 @@
+//! The `ptmap` command-line compiler.
+//!
+//! ```text
+//! ptmap compile --source kernel.c --arch S4 [--mode pareto]
+//!               [--predictor analytical|oracle] [--emit-contexts]
+//! ptmap batch   --manifest jobs.json [--jobs N] [--eval-workers N]
+//!               [--cache-dir DIR] [--metrics out.json] [--out out.json]
+//! ptmap archs
+//! ptmap parse --source kernel.c
+//! ```
+//!
+//! `kernel.c` is the C-like `#pragma PTMAP` dialect accepted by
+//! `ptmap_ir::parse`. Flags accept both `--flag value` and
+//! `--flag=value`; unrecognized arguments are usage errors (exit 2).
+//! The GNN-assisted flow needs a trained model: `compile` ships the
+//! analytical and oracle predictors, while `batch` manifests may also
+//! reference checkpoints with `"predictor": "gnn:<model.json>"`.
+
+use ptmap_arch::{presets, CgraArch};
+use ptmap_core::{PtMap, PtMapConfig};
+use ptmap_eval::{AnalyticalPredictor, IiPredictor, OraclePredictor, RankMode};
+use ptmap_ir::dfg::build_dfg;
+use ptmap_ir::parse::parse_program;
+use ptmap_mapper::{generate_contexts, map_dfg, MapperConfig};
+use ptmap_pipeline::{run_batch, BatchConfig, Manifest};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compile") => compile(&args[1..]),
+        Some("batch") => batch(&args[1..]),
+        Some("parse") => parse(&args[1..]),
+        Some("archs") => {
+            if let Err(e) = Flags::parse(&args[1..], &[], &[]) {
+                return usage_error(&e);
+            }
+            for a in presets::evaluation_suite()
+                .iter()
+                .chain([&presets::hrea4()])
+            {
+                println!(
+                    "{:<6} {}x{} PEs, CB {} contexts, DB {} KiB",
+                    a.name(),
+                    a.rows(),
+                    a.cols(),
+                    a.cb_capacity(),
+                    a.db_bytes() / 1024
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: ptmap <compile|batch|parse|archs> [options]");
+    eprintln!("  compile --source FILE --arch {{S4|R4|H6|SL8|HReA4}}");
+    eprintln!("          [--arch-file custom.json]");
+    eprintln!("          [--mode {{performance|pareto}}]");
+    eprintln!("          [--predictor {{analytical|oracle}}] [--emit-contexts]");
+    eprintln!("  batch   --manifest jobs.json [--jobs N] [--eval-workers N]");
+    eprintln!("          [--cache-dir DIR] [--metrics out.json] [--out out.json]");
+    eprintln!("  parse   --source FILE");
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    print_usage();
+    ExitCode::from(2)
+}
+
+/// Strictly parsed flags: every argument must be a declared value flag
+/// (`--flag value` or `--flag=value`) or boolean flag; anything else is
+/// a usage error.
+struct Flags {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<Flags, String> {
+        let mut values = BTreeMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(body) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument {arg}"));
+            };
+            let (name, inline) = match body.split_once('=') {
+                Some((n, v)) => (n, Some(v)),
+                None => (body, None),
+            };
+            let flag = format!("--{name}");
+            if value_flags.contains(&flag.as_str()) {
+                let value = match inline {
+                    Some(v) => v.to_string(),
+                    None => {
+                        i += 1;
+                        args.get(i)
+                            .cloned()
+                            .ok_or_else(|| format!("{flag} needs a value"))?
+                    }
+                };
+                if values.insert(flag.clone(), value).is_some() {
+                    return Err(format!("{flag} given twice"));
+                }
+            } else if bool_flags.contains(&flag.as_str()) {
+                if inline.is_some() {
+                    return Err(format!("{flag} takes no value"));
+                }
+                switches.push(flag);
+            } else {
+                return Err(format!("unrecognized flag {flag}"));
+            }
+            i += 1;
+        }
+        Ok(Flags { values, switches })
+    }
+
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.switches.iter().any(|s| s == flag)
+    }
+}
+
+fn load_source(flags: &Flags) -> Result<ptmap_ir::Program, String> {
+    let path = flags.get("--source").ok_or("missing --source FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("kernel");
+    parse_program(name, &text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_arch(flags: &Flags) -> Result<CgraArch, String> {
+    if let Some(path) = flags.get("--arch-file") {
+        return ptmap_arch::io::load(path).map_err(|e| e.to_string());
+    }
+    ptmap_pipeline::manifest::resolve_arch(flags.get("--arch").unwrap_or("S4"))
+}
+
+fn parse(args: &[String]) -> ExitCode {
+    let flags = match Flags::parse(args, &["--source"], &[]) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    match load_source(&flags) {
+        Ok(p) => {
+            println!("{}", p.to_pseudo_c());
+            println!("; {} PNLs", p.perfect_nests().len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn compile(args: &[String]) -> ExitCode {
+    let flags = match Flags::parse(
+        args,
+        &["--source", "--arch", "--arch-file", "--mode", "--predictor"],
+        &["--emit-contexts"],
+    ) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    let result = (|| -> Result<(), String> {
+        let program = load_source(&flags)?;
+        let arch = load_arch(&flags)?;
+        let mode = match flags.get("--mode").unwrap_or("performance") {
+            "performance" => RankMode::Performance,
+            "pareto" => RankMode::Pareto,
+            other => return Err(format!("unknown mode {other}")),
+        };
+        let predictor: Box<dyn IiPredictor + Send + Sync> =
+            match flags.get("--predictor").unwrap_or("analytical") {
+                "analytical" => Box::new(AnalyticalPredictor),
+                "oracle" => Box::new(OraclePredictor::default()),
+                other => return Err(format!("unknown predictor {other}")),
+            };
+        let config = PtMapConfig {
+            mode,
+            ..PtMapConfig::default()
+        };
+        let ptmap = PtMap::new(predictor, config);
+        let report = ptmap.compile(&program, &arch).map_err(|e| e.to_string())?;
+        println!("{report}");
+        if flags.has("--emit-contexts") {
+            // Re-map the identity nests to show concrete context images
+            // for each PNL of the *original* program (the chosen
+            // transformed contexts are embedded in the report's PNLs).
+            for (i, nest) in program.perfect_nests().iter().enumerate() {
+                let dfg = build_dfg(&program, nest, &[]).map_err(|e| e.to_string())?;
+                let mapping =
+                    map_dfg(&dfg, &arch, &MapperConfig::default()).map_err(|e| e.to_string())?;
+                println!("; ---- PNL {i} (identity mapping) ----");
+                println!("{}", generate_contexts(&dfg, &mapping, &arch));
+            }
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn batch(args: &[String]) -> ExitCode {
+    let flags = match Flags::parse(
+        args,
+        &[
+            "--manifest",
+            "--jobs",
+            "--eval-workers",
+            "--cache-dir",
+            "--metrics",
+            "--out",
+        ],
+        &[],
+    ) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    let result = (|| -> Result<bool, String> {
+        let path = flags.get("--manifest").ok_or("missing --manifest FILE")?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let jobs = Manifest::from_json(&text)?.resolve()?;
+        let workers = parse_count(flags.get("--jobs"), "--jobs")?;
+        let eval_workers = parse_count(flags.get("--eval-workers"), "--eval-workers")?;
+        let config = BatchConfig {
+            workers,
+            cache_dir: flags.get("--cache-dir").map(Into::into),
+            base: PtMapConfig {
+                eval_workers,
+                ..PtMapConfig::default()
+            },
+        };
+        let batch = run_batch(&jobs, &config);
+        for (o, m) in batch.outcomes.iter().zip(&batch.metrics.jobs) {
+            match (&o.report, &o.error) {
+                (Some(r), _) => println!(
+                    "{:<24} {:>12} cycles  EDP {:>10.3e}  {:>6.2}s{}",
+                    o.name,
+                    r.cycles,
+                    r.edp,
+                    m.wall_seconds,
+                    if o.cache_hit { "  [cached]" } else { "" }
+                ),
+                (None, Some(e)) => println!("{:<24} FAILED: {e}", o.name),
+                (None, None) => unreachable!("outcome without report or error"),
+            }
+        }
+        println!(
+            "{} jobs in {:.2}s ({} workers): {} cache hits, {} misses",
+            batch.outcomes.len(),
+            batch.metrics.wall_seconds,
+            batch.metrics.workers,
+            batch.metrics.cache_hits,
+            batch.metrics.cache_misses
+        );
+        if let Some(out) = flags.get("--out") {
+            write_json(out, &batch.outcomes)?;
+        }
+        if let Some(out) = flags.get("--metrics") {
+            write_json(out, &batch.metrics)?;
+        }
+        Ok(batch.outcomes.iter().all(|o| o.report.is_some()))
+    })();
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_count(text: Option<&str>, flag: &str) -> Result<usize, String> {
+    match text {
+        None => Ok(1),
+        Some(t) => match t.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("{flag} must be a positive integer, got {t}")),
+        },
+    }
+}
+
+fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
+}

@@ -1,0 +1,245 @@
+//! Content-addressed compilation cache.
+//!
+//! The cache key is the hex SHA-256 of the canonical JSON of everything
+//! that determines a compilation's result: the program IR, the
+//! architecture description, the predictor identity (for the GNN, a
+//! hash of the full parameter checkpoint), the ranking mode, and the
+//! result-affecting [`PtMapConfig`] fields (throughput knobs such as
+//! `eval_workers` are `#[serde(skip)]`ed out of the config's
+//! serialization and therefore out of the key). Canonicalization sorts
+//! every object recursively, so key equality is structural, not
+//! insertion-ordered.
+//!
+//! Entries live in a process-wide in-memory map and, when a cache
+//! directory is configured, as one pretty-printed JSON file per key —
+//! a warm directory survives across runs and makes re-running a
+//! manifest orders of magnitude faster.
+
+use crate::hash::sha256_hex;
+use crate::manifest::Job;
+use ptmap_core::{CompileReport, PtMapConfig};
+use serde_json::Value;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Version tag mixed into every key: bump when the compilation
+/// semantics change in a way the serialized inputs cannot express.
+const SCHEMA_VERSION: u64 = 1;
+
+/// Derives the content-addressed key for one job under a base config.
+pub fn cache_key(job: &Job, base: &PtMapConfig) -> String {
+    let config = PtMapConfig {
+        mode: job.mode,
+        ..base.clone()
+    };
+    let payload = Value::Object(vec![
+        ("schema".to_string(), Value::UInt(SCHEMA_VERSION)),
+        (
+            "program".to_string(),
+            serde_json::to_value(&job.program).expect("ir serializes"),
+        ),
+        (
+            "arch".to_string(),
+            serde_json::to_value(&job.arch).expect("arch serializes"),
+        ),
+        ("predictor".to_string(), job.predictor.key_value()),
+        (
+            "config".to_string(),
+            serde_json::to_value(&config).expect("config serializes"),
+        ),
+    ])
+    .canonicalize();
+    sha256_hex(&serde_json::to_string(&payload).expect("canonical payload serializes"))
+}
+
+/// Thread-safe report cache: in-memory map plus an optional on-disk
+/// store (one JSON file per key).
+#[derive(Debug, Default)]
+pub struct ReportCache {
+    mem: Mutex<HashMap<String, CompileReport>>,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ReportCache {
+    /// An in-memory-only cache.
+    pub fn in_memory() -> Self {
+        ReportCache::default()
+    }
+
+    /// A cache backed by a directory (created if missing).
+    pub fn with_dir(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ReportCache {
+            dir: Some(dir),
+            ..ReportCache::default()
+        })
+    }
+
+    /// Looks up a key, falling back from memory to disk. Disk hits are
+    /// promoted into memory; undecodable disk entries count as misses
+    /// and are recompiled (then overwritten).
+    pub fn get(&self, key: &str) -> Option<CompileReport> {
+        if let Some(r) = self.mem.lock().unwrap().get(key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(r);
+        }
+        if let Some(dir) = &self.dir {
+            if let Ok(text) = std::fs::read_to_string(dir.join(format!("{key}.json"))) {
+                if let Ok(report) = serde_json::from_str::<CompileReport>(&text) {
+                    self.mem
+                        .lock()
+                        .unwrap()
+                        .insert(key.to_string(), report.clone());
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(report);
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores a report under a key (memory and, if configured, disk).
+    pub fn put(&self, key: &str, report: &CompileReport) {
+        self.mem
+            .lock()
+            .unwrap()
+            .insert(key.to_string(), report.clone());
+        if let Some(dir) = &self.dir {
+            if let Ok(text) = serde_json::to_string_pretty(report) {
+                // Write-then-rename so a concurrent reader never sees a
+                // half-written entry.
+                let tmp = dir.join(format!("{key}.json.tmp"));
+                let dst = dir.join(format!("{key}.json"));
+                if std::fs::write(&tmp, text).is_ok() {
+                    let _ = std::fs::rename(&tmp, &dst);
+                }
+            }
+        }
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Entries currently resident in memory.
+    pub fn len(&self) -> usize {
+        self.mem.lock().unwrap().len()
+    }
+
+    /// Whether the in-memory map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{Manifest, PredictorSpec};
+    use ptmap_eval::RankMode;
+
+    fn job(kernel: &str, arch: &str) -> Job {
+        let m = Manifest::from_json(&format!(
+            r#"{{"jobs": [{{"kernel": "{kernel}", "arch": "{arch}"}}]}}"#
+        ))
+        .unwrap();
+        m.resolve().unwrap().remove(0)
+    }
+
+    #[test]
+    fn key_is_stable_and_input_sensitive() {
+        let base = PtMapConfig::default();
+        let a = cache_key(&job("gemm:24", "S4"), &base);
+        let b = cache_key(&job("gemm:24", "S4"), &base);
+        assert_eq!(a, b, "same inputs, same key");
+        assert_ne!(
+            a,
+            cache_key(&job("gemm:32", "S4"), &base),
+            "program changes key"
+        );
+        assert_ne!(
+            a,
+            cache_key(&job("gemm:24", "R4"), &base),
+            "arch changes key"
+        );
+        let pareto = Job {
+            mode: RankMode::Pareto,
+            ..job("gemm:24", "S4")
+        };
+        assert_ne!(a, cache_key(&pareto, &base), "mode changes key");
+        let oracle = Job {
+            predictor: PredictorSpec::Oracle,
+            ..job("gemm:24", "S4")
+        };
+        assert_ne!(a, cache_key(&oracle, &base), "predictor changes key");
+    }
+
+    #[test]
+    fn eval_workers_do_not_change_key() {
+        let j = job("gemm:24", "S4");
+        let serial = PtMapConfig {
+            eval_workers: 1,
+            ..PtMapConfig::default()
+        };
+        let wide = PtMapConfig {
+            eval_workers: 8,
+            ..PtMapConfig::default()
+        };
+        assert_eq!(cache_key(&j, &serial), cache_key(&j, &wide));
+    }
+
+    #[test]
+    fn config_changes_key() {
+        let j = job("gemm:24", "S4");
+        let base = PtMapConfig::default();
+        let tweaked = PtMapConfig {
+            realize_beam: 9,
+            ..PtMapConfig::default()
+        };
+        assert_ne!(cache_key(&j, &base), cache_key(&j, &tweaked));
+    }
+
+    #[test]
+    fn disk_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ptmap-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = sample_report();
+        {
+            let cache = ReportCache::with_dir(&dir).unwrap();
+            assert!(cache.get("k").is_none());
+            cache.put("k", &report);
+            assert_eq!(cache.get("k").unwrap(), report);
+        }
+        // A fresh cache instance must hydrate from disk.
+        let cache = ReportCache::with_dir(&dir).unwrap();
+        assert_eq!(cache.get("k").unwrap(), report);
+        assert_eq!(cache.stats(), (1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn sample_report() -> CompileReport {
+        CompileReport {
+            program: "gemm".into(),
+            arch: "S4".into(),
+            mode: RankMode::Performance,
+            cycles: 10,
+            energy_pj: 1.0,
+            edp: 10.0,
+            pnls: vec![],
+            candidates_explored: 2,
+            candidates_pruned: 1,
+            context_generation_attempts: 1,
+            compile_seconds: 0.25,
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Batch-level instrumentation: a hand-rolled, std-only span/counter
+//! recorder plus the JSON metrics schema a batch run emits.
+//!
+//! The [`Recorder`] accumulates named spans (total seconds + count) and
+//! named counters from any worker thread. A batch run snapshots it into
+//! a [`BatchMetrics`] document:
+//!
+//! ```json
+//! {
+//!   "wall_seconds": 1.9,
+//!   "cache_hits": 3,
+//!   "cache_misses": 5,
+//!   "spans": { "job": { "seconds": 4.1, "count": 8 } },
+//!   "counters": { "jobs_failed": 0 },
+//!   "jobs": [
+//!     { "job": "gemm:32@S4", "cache_hit": false, "wall_seconds": 0.6,
+//!       "stages": { "explore_seconds": 0.01, "...": 0 } }
+//!   ]
+//! }
+//! ```
+
+use ptmap_core::CompileMetrics;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Accumulated timing for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpanStat {
+    /// Total seconds across all entries.
+    pub seconds: f64,
+    /// Number of entries.
+    pub count: u64,
+}
+
+/// Thread-safe span/counter accumulator.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Recorder {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Times a closure under a span name.
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add_seconds(name, t0.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Adds an already-measured duration to a span.
+    pub fn add_seconds(&self, name: &str, seconds: f64) {
+        let mut spans = self.spans.lock().unwrap();
+        let stat = spans.entry(name.to_string()).or_default();
+        stat.seconds += seconds;
+        stat.count += 1;
+    }
+
+    /// Increments a counter.
+    pub fn incr(&self, name: &str, by: u64) {
+        *self
+            .counters
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default() += by;
+    }
+
+    /// A point-in-time copy of all spans and counters.
+    pub fn snapshot(&self) -> (BTreeMap<String, SpanStat>, BTreeMap<String, u64>) {
+        (
+            self.spans.lock().unwrap().clone(),
+            self.counters.lock().unwrap().clone(),
+        )
+    }
+}
+
+/// Metrics for one job of a batch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Job display name.
+    pub job: String,
+    /// Whether the report came from the cache.
+    pub cache_hit: bool,
+    /// Whether the job produced a report.
+    pub ok: bool,
+    /// Wall-clock seconds for the job (including cache lookup).
+    pub wall_seconds: f64,
+    /// Per-stage compiler timings and effort counters (all zero for
+    /// cache hits — no compilation ran).
+    pub stages: CompileMetrics,
+}
+
+/// The metrics document for a whole batch run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchMetrics {
+    /// End-to-end wall-clock seconds for the batch.
+    pub wall_seconds: f64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Cache hits across all jobs.
+    pub cache_hits: u64,
+    /// Cache misses across all jobs.
+    pub cache_misses: u64,
+    /// Accumulated spans (keyed by span name).
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Accumulated counters (keyed by counter name).
+    pub counters: BTreeMap<String, u64>,
+    /// Per-job metrics, in manifest order.
+    pub jobs: Vec<JobMetrics>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_accumulates() {
+        let r = Recorder::new();
+        let x = r.time("stage", || 21 * 2);
+        assert_eq!(x, 42);
+        r.add_seconds("stage", 1.0);
+        r.incr("hits", 2);
+        r.incr("hits", 3);
+        let (spans, counters) = r.snapshot();
+        assert_eq!(spans["stage"].count, 2);
+        assert!(spans["stage"].seconds >= 1.0);
+        assert_eq!(counters["hits"], 5);
+    }
+
+    #[test]
+    fn metrics_serialize_round_trip() {
+        let m = BatchMetrics {
+            wall_seconds: 1.5,
+            workers: 4,
+            cache_hits: 2,
+            cache_misses: 1,
+            jobs: vec![JobMetrics {
+                job: "a@S4".into(),
+                ok: true,
+                ..JobMetrics::default()
+            }],
+            ..BatchMetrics::default()
+        };
+        let text = serde_json::to_string(&m).unwrap();
+        let back: BatchMetrics = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+}

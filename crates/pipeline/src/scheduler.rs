@@ -1,0 +1,377 @@
+//! The batch job scheduler.
+//!
+//! [`run_batch`] drains a manifest's resolved jobs through a
+//! `std::thread::scope` worker pool fed over an `mpsc` channel: the job
+//! indices are queued up front, each worker pulls the next index,
+//! compiles (or hits the cache), and sends its outcome back on a result
+//! channel. Outcomes are re-ordered by manifest index, so the output is
+//! independent of scheduling — a `workers = 8` run is byte-identical
+//! (modulo wall-clock fields) to a `workers = 1` run.
+//!
+//! Each job body runs under `catch_unwind`: a panicking compilation
+//! produces an error outcome for that job and the rest of the batch
+//! proceeds.
+
+use crate::cache::{cache_key, ReportCache};
+use crate::manifest::Job;
+use crate::metrics::{BatchMetrics, JobMetrics, Recorder};
+use ptmap_core::{CompileMetrics, CompileReport, PtMapConfig};
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+/// Batch execution configuration.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Job-level worker threads (`<= 1` = serial).
+    pub workers: usize,
+    /// Directory for the persistent report cache (`None` = in-memory
+    /// only).
+    pub cache_dir: Option<PathBuf>,
+    /// Base compiler configuration; each job overrides the ranking
+    /// mode. `base.eval_workers` controls within-job sharding of the
+    /// candidate evaluations.
+    pub base: PtMapConfig,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            workers: 1,
+            cache_dir: None,
+            base: PtMapConfig::default(),
+        }
+    }
+}
+
+/// The outcome of one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Job display name.
+    pub name: String,
+    /// Whether the report came from the cache.
+    pub cache_hit: bool,
+    /// The compilation report (`None` on failure).
+    pub report: Option<CompileReport>,
+    /// The failure message (`None` on success).
+    pub error: Option<String>,
+}
+
+impl JobOutcome {
+    /// The outcome with wall-clock timing stripped from the report —
+    /// the deterministic part, used for serial-vs-parallel and
+    /// cache-vs-recompile identity checks.
+    pub fn deterministic(&self) -> JobOutcome {
+        JobOutcome {
+            report: self.report.as_ref().map(CompileReport::without_timing),
+            ..self.clone()
+        }
+    }
+}
+
+/// The result of a batch run.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-job outcomes, in manifest order.
+    pub outcomes: Vec<JobOutcome>,
+    /// The batch metrics document.
+    pub metrics: BatchMetrics,
+}
+
+impl BatchReport {
+    /// JSON of the deterministic part of every outcome (manifest
+    /// order, timing stripped). Two runs of the same manifest must
+    /// produce identical strings regardless of worker count or cache
+    /// temperature.
+    pub fn deterministic_json(&self) -> String {
+        let outcomes: Vec<JobOutcome> = self
+            .outcomes
+            .iter()
+            .map(JobOutcome::deterministic)
+            .collect();
+        serde_json::to_string_pretty(&outcomes).expect("outcomes serialize")
+    }
+}
+
+/// Runs a batch with a cache built from the configuration (persistent
+/// when `cache_dir` is set).
+pub fn run_batch(jobs: &[Job], config: &BatchConfig) -> BatchReport {
+    let cache = match &config.cache_dir {
+        Some(dir) => ReportCache::with_dir(dir).unwrap_or_else(|e| {
+            eprintln!(
+                "warning: cache dir {}: {e}; falling back to memory",
+                dir.display()
+            );
+            ReportCache::in_memory()
+        }),
+        None => ReportCache::in_memory(),
+    };
+    run_batch_with_cache(jobs, config, &cache)
+}
+
+/// Runs a batch against a caller-owned cache (lets several batches —
+/// e.g. the bench harness's figure runs — share one store).
+pub fn run_batch_with_cache(
+    jobs: &[Job],
+    config: &BatchConfig,
+    cache: &ReportCache,
+) -> BatchReport {
+    let t0 = Instant::now();
+    let recorder = Recorder::new();
+    let workers = config.workers.clamp(1, jobs.len().max(1));
+
+    let mut slots: Vec<Option<(JobOutcome, JobMetrics)>> = vec![None; jobs.len()];
+    if workers <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(run_one(&jobs[i], config, cache, &recorder));
+        }
+    } else {
+        // Feed indices through a channel; workers drain it until empty.
+        let (index_tx, index_rx) = mpsc::channel::<usize>();
+        for i in 0..jobs.len() {
+            index_tx.send(i).expect("queue job");
+        }
+        drop(index_tx);
+        let index_rx = Mutex::new(index_rx);
+        let (result_tx, result_rx) = mpsc::channel::<(usize, (JobOutcome, JobMetrics))>();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let result_tx = result_tx.clone();
+                let index_rx = &index_rx;
+                let recorder = &recorder;
+                s.spawn(move || loop {
+                    // Hold the receiver lock only for the pull.
+                    let next = { index_rx.lock().unwrap().recv() };
+                    let Ok(i) = next else { break };
+                    let out = run_one(&jobs[i], config, cache, recorder);
+                    if result_tx.send((i, out)).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(result_tx);
+        for (i, out) in result_rx {
+            slots[i] = Some(out);
+        }
+    }
+
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    let mut job_metrics = Vec::with_capacity(jobs.len());
+    for slot in slots {
+        let (o, m) = slot.expect("every job produced an outcome");
+        outcomes.push(o);
+        job_metrics.push(m);
+    }
+    let (spans, counters) = recorder.snapshot();
+    let metrics = BatchMetrics {
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        workers,
+        cache_hits: counters.get("cache_hits").copied().unwrap_or(0),
+        cache_misses: counters.get("cache_misses").copied().unwrap_or(0),
+        spans,
+        counters,
+        jobs: job_metrics,
+    };
+    BatchReport { outcomes, metrics }
+}
+
+/// Runs one job: cache lookup, then panic-isolated compilation.
+fn run_one(
+    job: &Job,
+    config: &BatchConfig,
+    cache: &ReportCache,
+    recorder: &Recorder,
+) -> (JobOutcome, JobMetrics) {
+    let t0 = Instant::now();
+    let key = cache_key(job, &config.base);
+    if let Some(report) = cache.get(&key) {
+        recorder.incr("cache_hits", 1);
+        recorder.incr("jobs_ok", 1);
+        let wall = t0.elapsed().as_secs_f64();
+        recorder.add_seconds("job", wall);
+        return (
+            JobOutcome {
+                name: job.name.clone(),
+                cache_hit: true,
+                report: Some(report),
+                error: None,
+            },
+            JobMetrics {
+                job: job.name.clone(),
+                cache_hit: true,
+                ok: true,
+                wall_seconds: wall,
+                stages: CompileMetrics::default(),
+            },
+        );
+    }
+    recorder.incr("cache_misses", 1);
+    let compiled = catch_unwind(AssertUnwindSafe(|| {
+        job.compiler(&config.base)
+            .compile_instrumented(&job.program, &job.arch)
+    }));
+    let (report, error, stages) = match compiled {
+        Ok((Ok(report), m)) => {
+            cache.put(&key, &report);
+            (Some(report), None, m)
+        }
+        Ok((Err(e), m)) => (None, Some(e.to_string()), m),
+        Err(panic) => (
+            None,
+            Some(format!("panicked: {}", panic_message(&panic))),
+            { CompileMetrics::default() },
+        ),
+    };
+    let ok = report.is_some();
+    recorder.incr(if ok { "jobs_ok" } else { "jobs_failed" }, 1);
+    recorder.add_seconds("explore", stages.explore_seconds);
+    recorder.add_seconds("evaluate", stages.evaluate_seconds);
+    recorder.add_seconds("map", stages.map_seconds);
+    recorder.add_seconds("simulate", stages.simulate_seconds);
+    recorder.incr("candidates_explored", stages.candidates_explored as u64);
+    recorder.incr("candidates_pruned", stages.candidates_pruned as u64);
+    recorder.incr("mapper_accepts", stages.mapper_accepts as u64);
+    recorder.incr("mapper_rejects", stages.mapper_rejects as u64);
+    let wall = t0.elapsed().as_secs_f64();
+    recorder.add_seconds("job", wall);
+    (
+        JobOutcome {
+            name: job.name.clone(),
+            cache_hit: false,
+            report,
+            error,
+        },
+        JobMetrics {
+            job: job.name.clone(),
+            cache_hit: false,
+            ok,
+            wall_seconds: wall,
+            stages,
+        },
+    )
+}
+
+/// Best-effort rendering of a panic payload.
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Manifest;
+
+    fn jobs(n: usize) -> Vec<Job> {
+        let sizes = [16, 20, 24, 28, 32, 36, 40, 44];
+        let jobs: Vec<_> = (0..n)
+            .map(|i| {
+                format!(
+                    r#"{{"kernel": "gemm:{}", "arch": "{}"}}"#,
+                    sizes[i % sizes.len()],
+                    if i % 2 == 0 { "S4" } else { "R4" }
+                )
+            })
+            .collect();
+        Manifest::from_json(&format!(r#"{{"jobs": [{}]}}"#, jobs.join(",")))
+            .unwrap()
+            .resolve()
+            .unwrap()
+    }
+
+    fn quick_base() -> PtMapConfig {
+        PtMapConfig {
+            explore: ptmap_transform::ExploreConfig::quick(),
+            ..PtMapConfig::default()
+        }
+    }
+
+    #[test]
+    fn serial_batch_compiles_all() {
+        let config = BatchConfig {
+            base: quick_base(),
+            ..BatchConfig::default()
+        };
+        let batch = run_batch(&jobs(3), &config);
+        assert_eq!(batch.outcomes.len(), 3);
+        assert!(
+            batch.outcomes.iter().all(|o| o.report.is_some()),
+            "{:?}",
+            batch.outcomes
+        );
+        assert_eq!(batch.metrics.cache_misses, 3);
+        assert_eq!(batch.metrics.jobs.len(), 3);
+        assert!(batch.metrics.spans.contains_key("evaluate"));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let js = jobs(6);
+        let serial = run_batch(
+            &js,
+            &BatchConfig {
+                workers: 1,
+                base: quick_base(),
+                ..BatchConfig::default()
+            },
+        );
+        let parallel = run_batch(
+            &js,
+            &BatchConfig {
+                workers: 8,
+                base: quick_base(),
+                ..BatchConfig::default()
+            },
+        );
+        assert_eq!(serial.deterministic_json(), parallel.deterministic_json());
+    }
+
+    #[test]
+    fn in_memory_cache_hits_on_repeat() {
+        // Two identical jobs: the second should hit the cache and carry
+        // the identical report.
+        let mut js = jobs(1);
+        js.push(js[0].clone());
+        let batch = run_batch(
+            &js,
+            &BatchConfig {
+                base: quick_base(),
+                ..BatchConfig::default()
+            },
+        );
+        assert_eq!(batch.metrics.cache_hits, 1);
+        assert_eq!(batch.metrics.cache_misses, 1);
+        assert!(batch.outcomes[1].cache_hit);
+        assert_eq!(
+            batch.outcomes[0].report.as_ref().unwrap(),
+            batch.outcomes[1].report.as_ref().unwrap(),
+        );
+    }
+
+    #[test]
+    fn failing_job_does_not_sink_batch() {
+        let mut js = jobs(2);
+        // A PNL-free program fails with NoPnl but must not stop job 2.
+        js[0].program = ptmap_ir::ProgramBuilder::new("empty").finish();
+        let batch = run_batch(
+            &js,
+            &BatchConfig {
+                workers: 2,
+                base: quick_base(),
+                ..BatchConfig::default()
+            },
+        );
+        assert!(batch.outcomes[0].report.is_none());
+        assert!(batch.outcomes[0].error.is_some());
+        assert!(batch.outcomes[1].report.is_some());
+        assert_eq!(batch.metrics.counters["jobs_failed"], 1);
+    }
+}

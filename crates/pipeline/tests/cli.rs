@@ -1,0 +1,223 @@
+//! End-to-end tests of the `ptmap` command-line compiler.
+
+use std::io::Write;
+use std::process::Command;
+
+fn ptmap() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ptmap"))
+}
+
+fn write_kernel(name: &str, text: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ptmap-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(text.as_bytes()).unwrap();
+    path
+}
+
+const KERNEL: &str = r#"
+    int A[32][32]; int B[32][32]; int C[32][32];
+    #pragma PTMAP
+    for (i = 0; i < 32; i++) {
+        for (j = 0; j < 32; j++) {
+            for (k = 0; k < 32; k++) {
+                C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            }
+        }
+    }
+    #pragma ENDMAP
+"#;
+
+#[test]
+fn archs_lists_presets() {
+    let out = ptmap().arg("archs").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["S4", "R4", "H6", "SL8", "HReA4"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn parse_round_trips() {
+    let path = write_kernel("parse.c", KERNEL);
+    let out = ptmap()
+        .args(["parse", "--source"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("for (i = 0; i < 32; i++)"));
+    assert!(text.contains("; 1 PNLs"));
+}
+
+#[test]
+fn compile_reports_cycles() {
+    let path = write_kernel("compile.c", KERNEL);
+    let out = ptmap()
+        .args(["compile", "--source"])
+        .arg(&path)
+        .args(["--arch", "S4"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cycles"), "{text}");
+    assert!(text.contains("PNL 0"));
+}
+
+#[test]
+fn compile_emit_contexts_disassembles() {
+    let path = write_kernel("ctx.c", KERNEL);
+    let out = ptmap()
+        .args(["compile", "--source"])
+        .arg(&path)
+        .args(["--arch", "S4", "--emit-contexts"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("context image, II ="));
+    assert!(text.contains("mul"));
+}
+
+#[test]
+fn unknown_arch_fails_cleanly() {
+    let path = write_kernel("bad.c", KERNEL);
+    let out = ptmap()
+        .args(["compile", "--source"])
+        .arg(&path)
+        .args(["--arch", "Z9"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown architecture"));
+}
+
+#[test]
+fn parse_error_is_reported() {
+    let path = write_kernel(
+        "syntax.c",
+        "int A[4]; for (i = 1; i < 4; i++) { A[i] = 0; }",
+    );
+    let out = ptmap()
+        .args(["parse", "--source"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("normalized"));
+}
+
+#[test]
+fn equals_form_flags_accepted() {
+    let path = write_kernel("eq.c", KERNEL);
+    let out = ptmap()
+        .arg("compile")
+        .arg(format!("--source={}", path.display()))
+        .arg("--arch=S4")
+        .arg("--mode=performance")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cycles"));
+}
+
+#[test]
+fn unrecognized_flag_is_usage_error() {
+    let path = write_kernel("unk.c", KERNEL);
+    for extra in ["--frobnicate", "--frobnicate=3", "stray-positional"] {
+        let out = ptmap()
+            .args(["compile", "--source"])
+            .arg(&path)
+            .args(["--arch", "S4", extra])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "arg {extra} must exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("error:"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+    }
+}
+
+#[test]
+fn value_flag_without_value_is_usage_error() {
+    let out = ptmap().args(["compile", "--source"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--source needs a value"));
+}
+
+#[test]
+fn batch_runs_manifest_and_warms_cache() {
+    let dir = std::env::temp_dir().join(format!("ptmap-cli-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = dir.join("jobs.json");
+    std::fs::write(
+        &manifest,
+        r#"{"jobs": [
+            {"kernel": "gemm:24", "arch": "S4"},
+            {"kernel": "gemm:24", "arch": "R4"},
+            {"kernel": "vecsum:64", "arch": "S4", "mode": "pareto"}
+        ]}"#,
+    )
+    .unwrap();
+    let cache = dir.join("cache");
+    let metrics = dir.join("metrics.json");
+    let run = |jobs: &str| {
+        ptmap()
+            .arg("batch")
+            .arg(format!("--manifest={}", manifest.display()))
+            .args(["--jobs", jobs])
+            .arg(format!("--cache-dir={}", cache.display()))
+            .arg(format!("--metrics={}", metrics.display()))
+            .output()
+            .unwrap()
+    };
+
+    let cold = run("2");
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let text = String::from_utf8_lossy(&cold.stdout);
+    assert!(text.contains("gemm:24@S4"), "{text}");
+    assert!(text.contains("0 cache hits, 3 misses"), "{text}");
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        metrics_text.contains("\"cache_misses\": 3"),
+        "{metrics_text}"
+    );
+    assert!(metrics_text.contains("explore_seconds"), "{metrics_text}");
+
+    // Second run: the on-disk cache satisfies every job.
+    let warm = run("1");
+    assert!(warm.status.success());
+    let text = String::from_utf8_lossy(&warm.stdout);
+    assert!(text.contains("3 cache hits, 0 misses"), "{text}");
+    assert!(text.contains("[cached]"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_bad_manifest_fails_cleanly() {
+    let path = write_kernel("notjson.json", "{ nope");
+    let out = ptmap()
+        .args(["batch", "--manifest"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("manifest"));
+}

@@ -36,7 +36,11 @@ pub fn execute_mapped_nest(
     mem: &mut Memory,
 ) -> u64 {
     let factor = |l: LoopId| -> u64 {
-        unroll.iter().find(|&&(ul, _)| ul == l).map(|&(_, f)| f as u64).unwrap_or(1)
+        unroll
+            .iter()
+            .find(|&&(ul, _)| ul == l)
+            .map(|&(_, f)| f as u64)
+            .unwrap_or(1)
     };
     // Effective (post-unroll) tripcounts per nest loop.
     let eff: Vec<u64> = nest
@@ -53,7 +57,12 @@ pub fn execute_mapped_nest(
         .outer
         .iter()
         .copied()
-        .chain(nest.loops[..nest.loops.len() - 1].iter().copied().zip(eff.iter().copied()))
+        .chain(
+            nest.loops[..nest.loops.len() - 1]
+                .iter()
+                .copied()
+                .zip(eff.iter().copied()),
+        )
         .collect();
 
     let order = dfg.topo_order_dist0().expect("acyclic dist-0 subgraph");
@@ -168,7 +177,10 @@ pub fn execute_mapped_nest(
 }
 
 fn is_binary(op: OpKind) -> bool {
-    !matches!(op, OpKind::Abs | OpKind::Route | OpKind::Const | OpKind::Load | OpKind::Store)
+    !matches!(
+        op,
+        OpKind::Abs | OpKind::Route | OpKind::Const | OpKind::Load | OpKind::Store
+    )
 }
 
 fn loop_of(_node: &ptmap_ir::DfgNode) -> LoopId {
@@ -209,11 +221,7 @@ fn non_self_operand(
     0
 }
 
-fn linearize(
-    program: &Program,
-    acc: &ptmap_ir::ArrayAccess,
-    env: &BTreeMap<LoopId, i64>,
-) -> i64 {
+fn linearize(program: &Program, acc: &ptmap_ir::ArrayAccess, env: &BTreeMap<LoopId, i64>) -> i64 {
     let decl = program.array(acc.array).expect("declared array");
     if acc.indices.len() == 1 && decl.dims.len() != 1 {
         return acc.indices[0].eval(env);
@@ -236,7 +244,10 @@ mod tests {
         let i = b.open_loop("i", n);
         let j = b.open_loop("j", n);
         let k = b.open_loop("k", n);
-        let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+        let prod = b.mul(
+            b.load(a, &[b.idx(i), b.idx(k)]),
+            b.load(bb, &[b.idx(k), b.idx(j)]),
+        );
         let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
         b.store(c, &[b.idx(i), b.idx(j)], sum);
         b.close_loop();
@@ -253,7 +264,10 @@ mod tests {
         let reference = interp::run_patterned(&p, 42);
         let mut mem = Memory::patterned(&p, 42);
         execute_mapped_nest(&p, &nest, &[], &dfg, &mut mem);
-        assert_eq!(mem.array(ptmap_ir::ArrayId(2)), reference.array(ptmap_ir::ArrayId(2)));
+        assert_eq!(
+            mem.array(ptmap_ir::ArrayId(2)),
+            reference.array(ptmap_ir::ArrayId(2))
+        );
     }
 
     #[test]
@@ -284,7 +298,10 @@ mod tests {
         let reference = interp::run_patterned(&p, 5);
         let mut mem = Memory::patterned(&p, 5);
         execute_mapped_nest(&p, &nest, &unroll, &dfg, &mut mem);
-        assert_eq!(mem.array(ptmap_ir::ArrayId(2)), reference.array(ptmap_ir::ArrayId(2)));
+        assert_eq!(
+            mem.array(ptmap_ir::ArrayId(2)),
+            reference.array(ptmap_ir::ArrayId(2))
+        );
     }
 
     #[test]
@@ -305,7 +322,10 @@ mod tests {
         let reference = interp::run_patterned(&p, 3);
         let mut mem = Memory::patterned(&p, 3);
         execute_mapped_nest(&p, &nest, &[], &dfg, &mut mem);
-        assert_eq!(mem.array(ptmap_ir::ArrayId(0)), reference.array(ptmap_ir::ArrayId(0)));
+        assert_eq!(
+            mem.array(ptmap_ir::ArrayId(0)),
+            reference.array(ptmap_ir::ArrayId(0))
+        );
     }
 
     #[test]
@@ -324,7 +344,10 @@ mod tests {
         let reference = interp::run_patterned(&p, 8);
         let mut mem = Memory::patterned(&p, 8);
         execute_mapped_nest(&p, &nest, &[], &dfg, &mut mem);
-        assert_eq!(mem.array(ptmap_ir::ArrayId(1)), reference.array(ptmap_ir::ArrayId(1)));
+        assert_eq!(
+            mem.array(ptmap_ir::ArrayId(1)),
+            reference.array(ptmap_ir::ArrayId(1))
+        );
     }
 
     #[test]
@@ -344,6 +367,9 @@ mod tests {
         let reference = interp::run_patterned(&p, 12);
         let mut mem = Memory::patterned(&p, 12);
         execute_mapped_nest(&p, &nest, &[], &dfg, &mut mem);
-        assert_eq!(mem.array(ptmap_ir::ArrayId(1)), reference.array(ptmap_ir::ArrayId(1)));
+        assert_eq!(
+            mem.array(ptmap_ir::ArrayId(1)),
+            reference.array(ptmap_ir::ArrayId(1))
+        );
     }
 }

@@ -41,7 +41,10 @@ pub fn simulate_pnl(
     nest: &PerfectNest,
     profile: &MemoryProfile,
 ) -> PnlSim {
-    debug_assert!(verify_mapping(dfg, mapping).is_ok(), "mapping must be valid");
+    debug_assert!(
+        verify_mapping(dfg, mapping).is_ok(),
+        "mapping must be valid"
+    );
     let launches = nest.folded_tripcount() * nest.outer_tripcount();
     let compute = mapping.cycles(nest.pipelined_tripcount()) * launches;
     let transfer = profile.total_volume().div_ceil(OFFCHIP_BYTES_PER_CYCLE);
@@ -82,7 +85,11 @@ pub fn verify_mapping(dfg: &Dfg, mapping: &Mapping) -> Result<(), Vec<String>> {
             problems.push(format!("node {} placed twice", p.node));
         }
         if !slots.insert((p.pe, p.time % mapping.ii)) {
-            problems.push(format!("compute slot conflict at ({}, {})", p.pe, p.time % mapping.ii));
+            problems.push(format!(
+                "compute slot conflict at ({}, {})",
+                p.pe,
+                p.time % mapping.ii
+            ));
         }
     }
     for e in dfg.edges() {
@@ -120,7 +127,10 @@ mod tests {
         let x = b.array("X", &[512]);
         let y = b.array("Y", &[512]);
         let i = b.open_loop("i", 512);
-        let v = b.add(b.mul(b.load(x, &[b.idx(i)]), b.constant(3)), b.load(y, &[b.idx(i)]));
+        let v = b.add(
+            b.mul(b.load(x, &[b.idx(i)]), b.constant(3)),
+            b.load(y, &[b.idx(i)]),
+        );
         b.store(y, &[b.idx(i)], v);
         b.close_loop();
         let p = b.finish();

@@ -26,10 +26,10 @@ fn energy_scales_with_iterations() {
     // The off-chip term is workload-constant; the dynamic part must
     // scale linearly with iterations.
     assert!(e_large > e_small, "energy must grow with iterations");
-    let dynamic_small = e_small
-        - (prof.volume_bytes + prof.context_bytes) as f64 * model.offchip_pj_per_byte;
-    let dynamic_large = e_large
-        - (prof.volume_bytes + prof.context_bytes) as f64 * model.offchip_pj_per_byte;
+    let dynamic_small =
+        e_small - (prof.volume_bytes + prof.context_bytes) as f64 * model.offchip_pj_per_byte;
+    let dynamic_large =
+        e_large - (prof.volume_bytes + prof.context_bytes) as f64 * model.offchip_pj_per_byte;
     assert!((dynamic_large / dynamic_small - 10.0).abs() < 1.5);
 }
 

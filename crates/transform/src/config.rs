@@ -18,8 +18,12 @@ pub enum FusionMode {
 
 impl FusionMode {
     /// All modes, in exploration order.
-    pub const ALL: [FusionMode; 4] =
-        [FusionMode::AsIs, FusionMode::NoFuse, FusionMode::MaxFuse, FusionMode::SmartFuse];
+    pub const ALL: [FusionMode; 4] = [
+        FusionMode::AsIs,
+        FusionMode::NoFuse,
+        FusionMode::MaxFuse,
+        FusionMode::SmartFuse,
+    ];
 }
 
 /// Knobs bounding PT-Map's transformation space.

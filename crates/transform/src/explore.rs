@@ -80,9 +80,7 @@ pub fn explore(program: &Program, config: &ExploreConfig) -> ResultForest {
     let mut branched: Vec<(Program, FusionMode)> = Vec::new();
     for (p, mode) in &variants {
         for q in out_pnl_variants(p, config) {
-            if !variants.iter().any(|(v, _)| v == &q)
-                && !branched.iter().any(|(v, _)| v == &q)
-            {
+            if !variants.iter().any(|(v, _)| v == &q) && !branched.iter().any(|(v, _)| v == &q) {
                 branched.push((q, *mode));
             }
         }
@@ -97,7 +95,11 @@ pub fn explore(program: &Program, config: &ExploreConfig) -> ResultForest {
             .iter()
             .map(|nest| in_pnl_explore(&arc, nest, config, &mut forest.stats))
             .collect();
-        forest.variants.push(ProgramVariant { program: arc, fusion, pnl_candidates });
+        forest.variants.push(ProgramVariant {
+            program: arc,
+            fusion,
+            pnl_candidates,
+        });
     }
     forest
 }
@@ -225,7 +227,9 @@ fn out_pnl_variants(p: &Program, config: &ExploreConfig) -> Vec<Program> {
     let lit = crate::lit::Lit::build(p);
     let tiles: Vec<u64> = config.tile_sizes.iter().copied().take(2).collect();
     for (idx, node) in lit.nodes().iter().enumerate() {
-        let crate::lit::LitNode::Loop { id, tripcount } = node else { continue };
+        let crate::lit::LitNode::Loop { id, tripcount } = node else {
+            continue;
+        };
         if lit.is_pnl(idx) {
             continue;
         }
@@ -241,8 +245,12 @@ fn out_pnl_variants(p: &Program, config: &ExploreConfig) -> Vec<Program> {
             if t >= *tripcount {
                 continue;
             }
-            let Ok((q, _outer)) = primitives::strip_mine(p, *id, t) else { continue };
-            let Ok(q) = primitives::fission(&q, *id) else { continue };
+            let Ok((q, _outer)) = primitives::strip_mine(p, *id, t) else {
+                continue;
+            };
+            let Ok(q) = primitives::fission(&q, *id) else {
+                continue;
+            };
             out.push(q);
             break; // one tile size per node keeps the branch count low
         }
@@ -269,7 +277,10 @@ fn in_pnl_explore(
         let order_recipe: Vec<Recipe> = if order == nest.loops {
             Vec::new()
         } else {
-            vec![Recipe::Reorder { root, order: order.clone() }]
+            vec![Recipe::Reorder {
+                root,
+                order: order.clone(),
+            }]
         };
         let base = match apply_recipe(program, &order_recipe) {
             Ok(p) => p,
@@ -281,8 +292,11 @@ fn in_pnl_explore(
         let pipelined = *order.last().expect("non-empty nest");
 
         // Stage 2: innermost tiling or flattening.
-        let mut structures: Vec<(Program, Vec<Recipe>, String)> =
-            vec![(base.clone(), order_recipe.clone(), format!("order{order:?}"))];
+        let mut structures: Vec<(Program, Vec<Recipe>, String)> = vec![(
+            base.clone(),
+            order_recipe.clone(),
+            format!("order{order:?}"),
+        )];
         let pip_tc = base.tripcount(pipelined).unwrap_or(0);
         for &t in &config.tile_sizes {
             if t >= pip_tc || t < 2 {
@@ -291,7 +305,10 @@ fn in_pnl_explore(
             if let Ok((q, _)) = primitives::strip_mine(&base, pipelined, t) {
                 stats.tiled += 1;
                 let mut r = order_recipe.clone();
-                r.push(Recipe::StripMine { target: pipelined, tile: t });
+                r.push(Recipe::StripMine {
+                    target: pipelined,
+                    tile: t,
+                });
                 structures.push((q, r, format!("order{order:?}+tile{t}")));
             }
         }
@@ -308,7 +325,9 @@ fn in_pnl_explore(
         // Stage 3: multi-dimensional unrolling.
         for (q, recipe, desc) in structures {
             let arc = Arc::new(q);
-            let Some(qnest) = find_nest(&arc, pipelined) else { continue };
+            let Some(qnest) = find_nest(&arc, pipelined) else {
+                continue;
+            };
             for unroll in unroll_vectors(&qnest, config) {
                 if !unroll.is_empty() {
                     stats.unrolled += 1;
@@ -450,7 +469,10 @@ mod tests {
         let i = b.open_loop("i", n);
         let j = b.open_loop("j", n);
         let k = b.open_loop("k", n);
-        let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+        let prod = b.mul(
+            b.load(a, &[b.idx(i), b.idx(k)]),
+            b.load(bb, &[b.idx(k), b.idx(j)]),
+        );
         let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
         b.store(c, &[b.idx(i), b.idx(j)], sum);
         b.close_loop();
@@ -478,8 +500,10 @@ mod tests {
     #[test]
     fn respects_candidate_cap() {
         let p = gemm(64);
-        let mut cfg = ExploreConfig::default();
-        cfg.max_candidates_per_pnl = 10;
+        let cfg = ExploreConfig {
+            max_candidates_per_pnl: 10,
+            ..ExploreConfig::default()
+        };
         let forest = explore(&p, &cfg);
         for v in &forest.variants {
             for ra in &v.pnl_candidates {
@@ -514,10 +538,19 @@ mod tests {
         b.close_loop();
         let p = b.finish();
         let forest = explore(&p, &ExploreConfig::default());
-        let pnl_counts: Vec<usize> =
-            forest.variants.iter().map(|v| v.pnl_candidates.len()).collect();
-        assert!(pnl_counts.contains(&1), "a fused (1-PNL) variant exists: {pnl_counts:?}");
-        assert!(pnl_counts.contains(&2), "the unfused (2-PNL) variant exists: {pnl_counts:?}");
+        let pnl_counts: Vec<usize> = forest
+            .variants
+            .iter()
+            .map(|v| v.pnl_candidates.len())
+            .collect();
+        assert!(
+            pnl_counts.contains(&1),
+            "a fused (1-PNL) variant exists: {pnl_counts:?}"
+        );
+        assert!(
+            pnl_counts.contains(&2),
+            "the unfused (2-PNL) variant exists: {pnl_counts:?}"
+        );
     }
 
     #[test]

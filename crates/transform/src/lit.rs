@@ -36,7 +36,11 @@ pub struct Lit {
 impl Lit {
     /// Builds the LIT of a program.
     pub fn build(program: &Program) -> Self {
-        let mut lit = Lit { nodes: vec![LitNode::Root], children: vec![Vec::new()], parent: vec![None] };
+        let mut lit = Lit {
+            nodes: vec![LitNode::Root],
+            children: vec![Vec::new()],
+            parent: vec![None],
+        };
         fn add(lit: &mut Lit, parent: usize, nodes: &[Node]) {
             for n in nodes {
                 match n {
@@ -45,8 +49,13 @@ impl Lit {
                         let _ = idx;
                     }
                     Node::Loop(l) => {
-                        let idx = lit
-                            .push(LitNode::Loop { id: l.id, tripcount: l.tripcount }, parent);
+                        let idx = lit.push(
+                            LitNode::Loop {
+                                id: l.id,
+                                tripcount: l.tripcount,
+                            },
+                            parent,
+                        );
                         add(lit, idx, &l.body);
                     }
                 }
@@ -170,7 +179,10 @@ mod tests {
         let j = b.open_loop("j", 8);
         b.store(c, &[b.idx(i), b.idx(j)], b.constant(0));
         let k = b.open_loop("k", 8);
-        let v = b.add(b.load(c, &[b.idx(i), b.idx(j)]), b.load(a, &[b.idx(k), b.idx(j)]));
+        let v = b.add(
+            b.load(c, &[b.idx(i), b.idx(j)]),
+            b.load(a, &[b.idx(k), b.idx(j)]),
+        );
         b.store(c, &[b.idx(i), b.idx(j)], v);
         b.close_loop();
         b.close_loop();

@@ -6,9 +6,7 @@
 //! per-candidate vector applied by `ptmap_ir::dfg::build_dfg`.
 
 use crate::error::TransformError;
-use ptmap_ir::{
-    AffineExpr, DependenceSet, Loop, LoopId, Node, Program,
-};
+use ptmap_ir::{AffineExpr, DependenceSet, Loop, LoopId, Node, Program};
 
 /// Permutes the loops of a perfectly nested band.
 ///
@@ -24,8 +22,9 @@ pub fn reorder(
     pnl_root: LoopId,
     new_order: &[LoopId],
 ) -> Result<Program, TransformError> {
-    let root =
-        program.find_loop(pnl_root).ok_or(TransformError::UnknownLoop(pnl_root))?;
+    let root = program
+        .find_loop(pnl_root)
+        .ok_or(TransformError::UnknownLoop(pnl_root))?;
     if !root.is_perfect_nest() {
         return Err(TransformError::NotPerfectlyNested);
     }
@@ -39,8 +38,12 @@ pub fn reorder(
             None => break,
         }
     }
-    let innermost_body: Vec<Node> =
-        cur.body.iter().filter(|n| n.as_stmt().is_some()).cloned().collect();
+    let innermost_body: Vec<Node> = cur
+        .body
+        .iter()
+        .filter(|n| n.as_stmt().is_some())
+        .cloned()
+        .collect();
     // Validate the permutation.
     let mut have: Vec<LoopId> = chain.iter().map(|c| c.0).collect();
     let mut want = new_order.to_vec();
@@ -58,7 +61,12 @@ pub fn reorder(
     let mut body = innermost_body;
     for &l in new_order.iter().rev() {
         let (_, tc, name) = chain.iter().find(|c| c.0 == l).expect("validated").clone();
-        body = vec![Node::Loop(Loop { id: l, name, tripcount: tc, body })];
+        body = vec![Node::Loop(Loop {
+            id: l,
+            name,
+            tripcount: tc,
+            body,
+        })];
     }
     let replacement = match body.pop() {
         Some(n) => n,
@@ -86,7 +94,9 @@ pub fn strip_mine(
     if tile < 2 {
         return Err(TransformError::BadTileSize(tile));
     }
-    let l = program.find_loop(target).ok_or(TransformError::UnknownLoop(target))?;
+    let l = program
+        .find_loop(target)
+        .ok_or(TransformError::UnknownLoop(target))?;
     if tile >= l.tripcount {
         return Err(TransformError::BadTileSize(tile));
     }
@@ -97,7 +107,12 @@ pub fn strip_mine(
     // i := tile * i_t + i
     let repl = AffineExpr::var(outer_id) * tile as i64 + AffineExpr::var(target);
     let inner_body = substitute_nodes(&l.body, target, &repl);
-    let inner = Loop { id: target, name: l.name.clone(), tripcount: inner_tc, body: inner_body };
+    let inner = Loop {
+        id: target,
+        name: l.name.clone(),
+        tripcount: inner_tc,
+        body: inner_body,
+    };
     let outer = Loop {
         id: outer_id,
         name: outer_name,
@@ -123,11 +138,7 @@ pub fn strip_mine(
 /// [`TransformError::UnknownLoop`], [`TransformError::NotAdjacent`],
 /// [`TransformError::TripcountMismatch`], or
 /// [`TransformError::IllegalFusion`].
-pub fn fuse(
-    program: &Program,
-    first: LoopId,
-    second: LoopId,
-) -> Result<Program, TransformError> {
+pub fn fuse(program: &Program, first: LoopId, second: LoopId) -> Result<Program, TransformError> {
     if fusion_preventing_dep(program, first, second)? {
         return Err(TransformError::IllegalFusion);
     }
@@ -140,8 +151,12 @@ fn fusion_preventing_dep(
     second: LoopId,
 ) -> Result<bool, TransformError> {
     use ptmap_ir::{access_distance, ArrayAccess, Distance, LValue};
-    let l1 = program.find_loop(first).ok_or(TransformError::UnknownLoop(first))?;
-    let l2 = program.find_loop(second).ok_or(TransformError::UnknownLoop(second))?;
+    let l1 = program
+        .find_loop(first)
+        .ok_or(TransformError::UnknownLoop(first))?;
+    let l2 = program
+        .find_loop(second)
+        .ok_or(TransformError::UnknownLoop(second))?;
     let mut common = program.enclosing_loops(first);
     common.push(first);
     let rename: std::collections::BTreeMap<LoopId, LoopId> =
@@ -176,7 +191,13 @@ fn fusion_preventing_dep(
                     .chain(write.map(|a| (a.clone(), true)))
                     .collect::<Vec<_>>()
             })
-            .map(|(a, w)| if renamed { (a.rename_loops(&rename), w) } else { (a, w) })
+            .map(|(a, w)| {
+                if renamed {
+                    (a.rename_loops(&rename), w)
+                } else {
+                    (a, w)
+                }
+            })
             .collect()
     };
     let acc1 = accesses(l1, false);
@@ -187,7 +208,9 @@ fn fusion_preventing_dep(
             if a1.array != a2.array || (!w1 && !w2) {
                 continue;
             }
-            let Some(dist) = access_distance(a1, a2, &common) else { continue };
+            let Some(dist) = access_distance(a1, a2, &common) else {
+                continue;
+            };
             // Killed by a positive outer component?
             let mut verdict_pending = true;
             for (idx, d) in dist.iter().enumerate() {
@@ -228,11 +251,13 @@ fn speculative_fuse(
         .ok_or(TransformError::NotAdjacent(first, second))?;
     let (l1, l2) = slot?;
     if l1.tripcount != l2.tripcount {
-        return Err(TransformError::TripcountMismatch { a: l1.tripcount, b: l2.tripcount });
+        return Err(TransformError::TripcountMismatch {
+            a: l1.tripcount,
+            b: l2.tripcount,
+        });
     }
     // Rename second's index to first's throughout its body.
-    let map: std::collections::BTreeMap<LoopId, LoopId> =
-        [(second, first)].into_iter().collect();
+    let map: std::collections::BTreeMap<LoopId, LoopId> = [(second, first)].into_iter().collect();
     let renamed: Vec<Node> = l2.body.iter().map(|n| rename_nodes(n, &map)).collect();
     l1.body.extend(renamed);
     // Remove the second loop.
@@ -248,7 +273,9 @@ fn speculative_fuse(
 /// [`TransformError::UnknownLoop`] or [`TransformError::IllegalFission`]
 /// when a dependence flows from a later part to an earlier one.
 pub fn fission(program: &Program, target: LoopId) -> Result<Program, TransformError> {
-    let l = program.find_loop(target).ok_or(TransformError::UnknownLoop(target))?;
+    let l = program
+        .find_loop(target)
+        .ok_or(TransformError::UnknownLoop(target))?;
     if l.body.len() < 2 {
         return Ok(program.clone());
     }
@@ -290,7 +317,12 @@ pub fn fission(program: &Program, target: LoopId) -> Result<Program, TransformEr
                 [(l.id, id)].into_iter().collect();
             vec![rename_nodes(part, &map)]
         };
-        parts.push(Node::Loop(Loop { id, name, tripcount: l.tripcount, body }));
+        parts.push(Node::Loop(Loop {
+            id,
+            name,
+            tripcount: l.tripcount,
+            body,
+        }));
     }
     replace_loop_in(&out, target, parts)
 }
@@ -306,7 +338,9 @@ pub fn fission(program: &Program, target: LoopId) -> Result<Program, TransformEr
 /// or [`TransformError::NotFlattenable`] when some access's strides do
 /// not match the inner tripcount.
 pub fn flatten(program: &Program, outer: LoopId) -> Result<(Program, LoopId), TransformError> {
-    let l_out = program.find_loop(outer).ok_or(TransformError::UnknownLoop(outer))?;
+    let l_out = program
+        .find_loop(outer)
+        .ok_or(TransformError::UnknownLoop(outer))?;
     let inner_loops: Vec<&Loop> = l_out.direct_loops().collect();
     if inner_loops.len() != 1 || l_out.direct_stmts().next().is_some() {
         return Err(TransformError::NotPerfectlyNested);
@@ -319,7 +353,9 @@ pub fn flatten(program: &Program, outer: LoopId) -> Result<(Program, LoopId), Tr
     for stmt in l_out.all_stmts() {
         let (reads, write) = stmt.accesses();
         for acc in reads.into_iter().chain(write) {
-            let decl = program.array(acc.array).map_err(|_| TransformError::NotFlattenable)?;
+            let decl = program
+                .array(acc.array)
+                .map_err(|_| TransformError::NotFlattenable)?;
             let lin = linearize_access(acc, &decl.dims);
             if lin.coeff(outer) != inner_tc as i64 * lin.coeff(inner) {
                 return Err(TransformError::NotFlattenable);
@@ -331,8 +367,7 @@ pub fn flatten(program: &Program, outer: LoopId) -> Result<(Program, LoopId), Tr
     }
 
     let mut out = program.clone();
-    let (flat_id, flat_name) =
-        out.fresh_loop_id(format!("{}{}", l_out.name, l_in.name));
+    let (flat_id, flat_name) = out.fresh_loop_id(format!("{}{}", l_out.name, l_in.name));
     let flat_tc = l_out.tripcount * inner_tc;
     // Rewrite every statement: accesses become 1-D linearized with
     // outer/inner replaced by the flat index.
@@ -348,8 +383,12 @@ pub fn flatten(program: &Program, outer: LoopId) -> Result<(Program, LoopId), Tr
             Node::Loop(_) => unreachable!("perfect pair has statement body"),
         })
         .collect();
-    let flat =
-        Loop { id: flat_id, name: flat_name, tripcount: flat_tc, body: new_body };
+    let flat = Loop {
+        id: flat_id,
+        name: flat_name,
+        tripcount: flat_tc,
+        body: new_body,
+    };
     let out = replace_loop_in(&out, outer, vec![Node::Loop(flat)])?;
     Ok((out, flat_id))
 }
@@ -390,9 +429,7 @@ fn rewrite_stmt_linear(
         flat: LoopId,
     ) -> Expr {
         match e {
-            Expr::Load(a) => {
-                Expr::Load(rewrite_access(a, program, outer, inner, inner_tc, flat))
-            }
+            Expr::Load(a) => Expr::Load(rewrite_access(a, program, outer, inner, inner_tc, flat)),
             Expr::Unary(op, a) => Expr::Unary(
                 *op,
                 Box::new(rewrite_expr(a, program, outer, inner, inner_tc, flat)),
@@ -406,9 +443,7 @@ fn rewrite_stmt_linear(
         }
     }
     let target = match &stmt.target {
-        LValue::Array(a) => {
-            LValue::Array(rewrite_access(a, program, outer, inner, inner_tc, flat))
-        }
+        LValue::Array(a) => LValue::Array(rewrite_access(a, program, outer, inner, inner_tc, flat)),
         LValue::Scalar(s) => LValue::Scalar(*s),
     };
     ptmap_ir::Stmt {
@@ -582,7 +617,10 @@ mod tests {
         let i = b.open_loop("i", n);
         let j = b.open_loop("j", n);
         let k = b.open_loop("k", n);
-        let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+        let prod = b.mul(
+            b.load(a, &[b.idx(i), b.idx(k)]),
+            b.load(bb, &[b.idx(k), b.idx(j)]),
+        );
         let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
         b.store(c, &[b.idx(i), b.idx(j)], sum);
         b.close_loop();
@@ -618,7 +656,13 @@ mod tests {
         let a = b.array("A", &[16, 16]);
         let i = b.open_loop("i", 16);
         let j = b.open_loop("j", 16);
-        let v = b.load(a, &[b.idx(i) - AffineExpr::constant(1), b.idx(j) + AffineExpr::constant(1)]);
+        let v = b.load(
+            a,
+            &[
+                b.idx(i) - AffineExpr::constant(1),
+                b.idx(j) + AffineExpr::constant(1),
+            ],
+        );
         b.store(a, &[b.idx(i), b.idx(j)], v);
         b.close_loop();
         b.close_loop();
@@ -705,7 +749,11 @@ mod tests {
         b.store(x, &[b.idx(i)], b.load(a, &[b.idx(i)]));
         b.close_loop();
         let j = b.open_loop("j", 32);
-        b.store(bb, &[b.idx(j)], b.load(x, &[b.idx(j) + AffineExpr::constant(1)]));
+        b.store(
+            bb,
+            &[b.idx(j)],
+            b.load(x, &[b.idx(j) + AffineExpr::constant(1)]),
+        );
         b.close_loop();
         let p = b.finish();
         assert_eq!(fuse(&p, i, j), Err(TransformError::IllegalFusion));
@@ -722,7 +770,10 @@ mod tests {
         b.store(x, &[b.idx(j)], b.constant(2));
         b.close_loop();
         let p = b.finish();
-        assert!(matches!(fuse(&p, i, j), Err(TransformError::TripcountMismatch { .. })));
+        assert!(matches!(
+            fuse(&p, i, j),
+            Err(TransformError::TripcountMismatch { .. })
+        ));
     }
 
     #[test]
@@ -794,7 +845,10 @@ mod tests {
         b.close_loop();
         let p = b.finish();
         let nest = p.perfect_nests().remove(0);
-        assert_eq!(flatten(&p, nest.loops[0]), Err(TransformError::NotFlattenable));
+        assert_eq!(
+            flatten(&p, nest.loops[0]),
+            Err(TransformError::NotFlattenable)
+        );
     }
 
     #[test]

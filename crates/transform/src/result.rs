@@ -32,7 +32,11 @@ fn empty_program() -> Arc<Program> {
 impl PnlCandidate {
     /// Unroll factor applied to a given loop (1 when not unrolled).
     pub fn unroll_factor(&self, l: LoopId) -> u32 {
-        self.unroll.iter().find(|&&(ul, _)| ul == l).map(|&(_, f)| f).unwrap_or(1)
+        self.unroll
+            .iter()
+            .find(|&&(ul, _)| ul == l)
+            .map(|&(_, f)| f)
+            .unwrap_or(1)
     }
 
     /// Effective tripcounts of the nest loops after unrolling
@@ -112,7 +116,10 @@ pub struct ResultForest {
 impl ResultForest {
     /// Total candidates across the forest.
     pub fn candidate_count(&self) -> usize {
-        self.variants.iter().map(ProgramVariant::candidate_count).sum()
+        self.variants
+            .iter()
+            .map(ProgramVariant::candidate_count)
+            .sum()
     }
 }
 
@@ -131,7 +138,12 @@ mod tests {
         b.close_loop();
         let p = b.finish();
         let nest = p.perfect_nests().remove(0);
-        PnlCandidate { program: Arc::new(p), nest, unroll, desc: "test".into() }
+        PnlCandidate {
+            program: Arc::new(p),
+            nest,
+            unroll,
+            desc: "test".into(),
+        }
     }
 
     #[test]

@@ -12,7 +12,10 @@ fn gemm(n: u64) -> ptmap_ir::Program {
     let i = b.open_loop("i", n);
     let j = b.open_loop("j", n);
     let k = b.open_loop("k", n);
-    let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)]));
+    let prod = b.mul(
+        b.load(a, &[b.idx(i), b.idx(k)]),
+        b.load(bb, &[b.idx(k), b.idx(j)]),
+    );
     let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
     b.store(c, &[b.idx(i), b.idx(j)], sum);
     b.close_loop();
@@ -27,7 +30,10 @@ fn recipe_replay_reorder_then_tile() {
     let nest = p.perfect_nests().remove(0);
     let [i, j, k] = [nest.loops[0], nest.loops[1], nest.loops[2]];
     let recipe = vec![
-        Recipe::Reorder { root: i, order: vec![i, k, j] },
+        Recipe::Reorder {
+            root: i,
+            order: vec![i, k, j],
+        },
         Recipe::StripMine { target: j, tile: 4 },
     ];
     let q = apply_recipe(&p, &recipe).unwrap();
@@ -41,7 +47,10 @@ fn recipe_replay_reorder_then_tile() {
 fn recipe_replay_is_deterministic() {
     let p = gemm(16);
     let nest = p.perfect_nests().remove(0);
-    let recipe = vec![Recipe::StripMine { target: nest.loops[2], tile: 4 }];
+    let recipe = vec![Recipe::StripMine {
+        target: nest.loops[2],
+        tile: 4,
+    }];
     let a = apply_recipe(&p, &recipe).unwrap();
     let b = apply_recipe(&p, &recipe).unwrap();
     assert_eq!(a, b);
@@ -50,8 +59,14 @@ fn recipe_replay_is_deterministic() {
 #[test]
 fn recipe_replay_propagates_errors() {
     let p = gemm(16);
-    let recipe = vec![Recipe::StripMine { target: ptmap_ir::LoopId(77), tile: 4 }];
-    assert_eq!(apply_recipe(&p, &recipe), Err(TransformError::UnknownLoop(ptmap_ir::LoopId(77))));
+    let recipe = vec![Recipe::StripMine {
+        target: ptmap_ir::LoopId(77),
+        tile: 4,
+    }];
+    assert_eq!(
+        apply_recipe(&p, &recipe),
+        Err(TransformError::UnknownLoop(ptmap_ir::LoopId(77)))
+    );
 }
 
 #[test]
@@ -70,7 +85,11 @@ fn exploration_candidates_all_have_valid_nests() {
                 );
                 // Unroll factors address nest loops only.
                 for &(l, f) in &c.unroll {
-                    assert!(c.nest.position(l).is_some(), "foreign unroll loop in {}", c.desc);
+                    assert!(
+                        c.nest.position(l).is_some(),
+                        "foreign unroll loop in {}",
+                        c.desc
+                    );
                     assert!(f >= 2);
                 }
                 // Effective tripcounts never exceed the raw ones.
@@ -86,12 +105,15 @@ fn exploration_candidates_all_have_valid_nests() {
 fn exploration_preserves_statement_multiset() {
     // Inter-loop transformations never duplicate or drop statements.
     let p = ptmap_workloads::apps::atax();
-    let base_ids: std::collections::BTreeSet<_> =
-        p.all_stmts().iter().map(|s| s.id).collect();
+    let base_ids: std::collections::BTreeSet<_> = p.all_stmts().iter().map(|s| s.id).collect();
     let forest = explore(&p, &ExploreConfig::quick());
     for variant in &forest.variants {
         let ids: std::collections::BTreeSet<_> =
             variant.program.all_stmts().iter().map(|s| s.id).collect();
-        assert_eq!(ids, base_ids, "variant {:?} changed statements", variant.fusion);
+        assert_eq!(
+            ids, base_ids,
+            "variant {:?} changed statements",
+            variant.fusion
+        );
     }
 }

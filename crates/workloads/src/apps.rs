@@ -37,7 +37,10 @@ pub fn gemver() -> Program {
 
     let i = b.open_loop("i2", N);
     let j = b.open_loop("j2", N);
-    let t = b.mul(b.read_scalar(beta), b.mul(b.load(a, &[b.idx(j), b.idx(i)]), b.load(y, &[b.idx(j)])));
+    let t = b.mul(
+        b.read_scalar(beta),
+        b.mul(b.load(a, &[b.idx(j), b.idx(i)]), b.load(y, &[b.idx(j)])),
+    );
     let v = b.add(b.load(x, &[b.idx(i)]), t);
     b.store(x, &[b.idx(i)], v);
     b.close_loop();
@@ -50,7 +53,10 @@ pub fn gemver() -> Program {
 
     let i = b.open_loop("i4", N);
     let j = b.open_loop("j4", N);
-    let t = b.mul(b.read_scalar(alpha), b.mul(b.load(a, &[b.idx(i), b.idx(j)]), b.load(x, &[b.idx(j)])));
+    let t = b.mul(
+        b.read_scalar(alpha),
+        b.mul(b.load(a, &[b.idx(i), b.idx(j)]), b.load(x, &[b.idx(j)])),
+    );
     let v = b.add(b.load(w, &[b.idx(i)]), t);
     b.store(w, &[b.idx(i)], v);
     b.close_loop();
@@ -74,7 +80,11 @@ pub fn trisolv() -> Program {
     let v = b.sub(b.load(x, &[b.idx(i)]), t);
     b.store(x, &[b.idx(i)], v);
     b.close_loop();
-    let v = b.binary(ptmap_ir::OpKind::Div, b.load(x, &[b.idx(i)]), b.load(l, &[b.idx(i), b.idx(i)]));
+    let v = b.binary(
+        ptmap_ir::OpKind::Div,
+        b.load(x, &[b.idx(i)]),
+        b.load(l, &[b.idx(i), b.idx(i)]),
+    );
     b.store(x, &[b.idx(i)], v);
     b.close_loop();
 
@@ -90,14 +100,20 @@ pub fn covariance() -> Program {
 
     let j = b.open_loop("j", N);
     let i = b.open_loop("i", N);
-    let v = b.add(b.load(mean, &[b.idx(j)]), b.load(data, &[b.idx(i), b.idx(j)]));
+    let v = b.add(
+        b.load(mean, &[b.idx(j)]),
+        b.load(data, &[b.idx(i), b.idx(j)]),
+    );
     b.store(mean, &[b.idx(j)], v);
     b.close_loop();
     b.close_loop();
 
     let i = b.open_loop("i2", N);
     let j = b.open_loop("j2", N);
-    let v = b.sub(b.load(data, &[b.idx(i), b.idx(j)]), b.load(mean, &[b.idx(j)]));
+    let v = b.sub(
+        b.load(data, &[b.idx(i), b.idx(j)]),
+        b.load(mean, &[b.idx(j)]),
+    );
     b.store(data, &[b.idx(i), b.idx(j)], v);
     b.close_loop();
     b.close_loop();
@@ -105,7 +121,10 @@ pub fn covariance() -> Program {
     let i = b.open_loop("i3", N);
     let j = b.open_loop("j3", N);
     let k = b.open_loop("k3", N);
-    let t = b.mul(b.load(data, &[b.idx(k), b.idx(i)]), b.load(data, &[b.idx(k), b.idx(j)]));
+    let t = b.mul(
+        b.load(data, &[b.idx(k), b.idx(i)]),
+        b.load(data, &[b.idx(k), b.idx(j)]),
+    );
     let v = b.add(b.load(cov, &[b.idx(i), b.idx(j)]), t);
     b.store(cov, &[b.idx(i), b.idx(j)], v);
     b.close_loop();
@@ -128,7 +147,10 @@ pub fn doitgen() -> Program {
     let q = b.open_loop("q", NR);
     let p = b.open_loop("p", NR);
     let s = b.open_loop("s", NR);
-    let t = b.mul(b.load(a, &[b.idx(r), b.idx(q), b.idx(s)]), b.load(c4, &[b.idx(s), b.idx(p)]));
+    let t = b.mul(
+        b.load(a, &[b.idx(r), b.idx(q), b.idx(s)]),
+        b.load(c4, &[b.idx(s), b.idx(p)]),
+    );
     let v = b.add(b.load(sum, &[b.idx(r), b.idx(q), b.idx(p)]), t);
     b.store(sum, &[b.idx(r), b.idx(q), b.idx(p)], v);
     b.close_loop();
@@ -139,7 +161,11 @@ pub fn doitgen() -> Program {
     let r = b.open_loop("r2", NR);
     let q = b.open_loop("q2", NR);
     let p = b.open_loop("p2", NR);
-    b.store(a, &[b.idx(r), b.idx(q), b.idx(p)], b.load(sum, &[b.idx(r), b.idx(q), b.idx(p)]));
+    b.store(
+        a,
+        &[b.idx(r), b.idx(q), b.idx(p)],
+        b.load(sum, &[b.idx(r), b.idx(q), b.idx(p)]),
+    );
     b.close_loop();
     b.close_loop();
     b.close_loop();
@@ -159,7 +185,10 @@ pub fn three_mm() -> Program {
         let i = b.open_loop(format!("i{tag}"), M);
         let j = b.open_loop(format!("j{tag}"), M);
         let k = b.open_loop(format!("k{tag}"), M);
-        let t = b.mul(b.load(lhs, &[b.idx(i), b.idx(k)]), b.load(rhs, &[b.idx(k), b.idx(j)]));
+        let t = b.mul(
+            b.load(lhs, &[b.idx(i), b.idx(k)]),
+            b.load(rhs, &[b.idx(k), b.idx(j)]),
+        );
         let v = b.add(b.load(out, &[b.idx(i), b.idx(j)]), t);
         b.store(out, &[b.idx(i), b.idx(j)], v);
         b.close_loop();
@@ -255,9 +284,15 @@ pub fn harris() -> Program {
     let h = IMG - 2;
     let y = b.open_loop("y", h);
     let x = b.open_loop("x", h);
-    let dx = b.sub(b.load(input, &[b.idx(y), b.idx(x) + 2.into()]), b.load(input, &[b.idx(y), b.idx(x)]));
+    let dx = b.sub(
+        b.load(input, &[b.idx(y), b.idx(x) + 2.into()]),
+        b.load(input, &[b.idx(y), b.idx(x)]),
+    );
     b.store(gx, &[b.idx(y), b.idx(x)], dx);
-    let dy = b.sub(b.load(input, &[b.idx(y) + 2.into(), b.idx(x)]), b.load(input, &[b.idx(y), b.idx(x)]));
+    let dy = b.sub(
+        b.load(input, &[b.idx(y) + 2.into(), b.idx(x)]),
+        b.load(input, &[b.idx(y), b.idx(x)]),
+    );
     b.store(gy, &[b.idx(y), b.idx(x)], dy);
     b.close_loop();
     b.close_loop();
@@ -290,10 +325,19 @@ pub fn harris() -> Program {
     let y = b.open_loop("y4", h - 2);
     let x = b.open_loop("x4", h - 2);
     let det = b.sub(
-        b.mul(b.load(sxx, &[b.idx(y), b.idx(x)]), b.load(syy, &[b.idx(y), b.idx(x)])),
-        b.mul(b.load(sxy, &[b.idx(y), b.idx(x)]), b.load(sxy, &[b.idx(y), b.idx(x)])),
+        b.mul(
+            b.load(sxx, &[b.idx(y), b.idx(x)]),
+            b.load(syy, &[b.idx(y), b.idx(x)]),
+        ),
+        b.mul(
+            b.load(sxy, &[b.idx(y), b.idx(x)]),
+            b.load(sxy, &[b.idx(y), b.idx(x)]),
+        ),
     );
-    let trace = b.add(b.load(sxx, &[b.idx(y), b.idx(x)]), b.load(syy, &[b.idx(y), b.idx(x)]));
+    let trace = b.add(
+        b.load(sxx, &[b.idx(y), b.idx(x)]),
+        b.load(syy, &[b.idx(y), b.idx(x)]),
+    );
     // k * trace^2 with k approximated by a shift (k = 1/16).
     let t2 = b.mul(trace.clone(), trace);
     let kt2 = b.binary(ptmap_ir::OpKind::Shr, t2, b.constant(4));
@@ -342,7 +386,10 @@ pub fn tconv() -> Program {
     let x = b.open_loop("x", IN);
     let ky = b.open_loop("ky", 3);
     let kx = b.open_loop("kx", 3);
-    let t = b.mul(b.load(input, &[b.idx(y), b.idx(x)]), b.load(w, &[b.idx(ky), b.idx(kx)]));
+    let t = b.mul(
+        b.load(input, &[b.idx(y), b.idx(x)]),
+        b.load(w, &[b.idx(ky), b.idx(kx)]),
+    );
     let oy = b.idx(y) * 2 + b.idx(ky);
     let ox = b.idx(x) * 2 + b.idx(kx);
     let v = b.add(b.load(out, &[oy.clone(), ox.clone()]), t);
@@ -384,13 +431,37 @@ pub fn winograd() -> Program {
     let d1 = b.load(input, &[b.idx(y), b.idx(t) * 2 + 1.into()]);
     let d2 = b.load(input, &[b.idx(y), b.idx(t) * 2 + 2.into()]);
     let d3 = b.load(input, &[b.idx(y), b.idx(t) * 2 + 3.into()]);
-    b.assign(m0, b.mul(b.sub(d0, d2.clone()), b.load(gw, &[b.idx(t) - b.idx(t)])));
-    b.assign(m1, b.mul(b.add(d1.clone(), d2.clone()), b.load(gw, &[AffineExpr::constant(1)])));
-    b.assign(m2, b.mul(b.sub(d2, d1.clone()), b.load(gw, &[AffineExpr::constant(2)])));
-    b.assign(m3, b.mul(b.sub(d1, d3), b.load(gw, &[AffineExpr::constant(3)])));
-    let y0 = b.add(b.add(b.read_scalar(m0), b.read_scalar(m1)), b.read_scalar(m2));
+    b.assign(
+        m0,
+        b.mul(b.sub(d0, d2.clone()), b.load(gw, &[b.idx(t) - b.idx(t)])),
+    );
+    b.assign(
+        m1,
+        b.mul(
+            b.add(d1.clone(), d2.clone()),
+            b.load(gw, &[AffineExpr::constant(1)]),
+        ),
+    );
+    b.assign(
+        m2,
+        b.mul(
+            b.sub(d2, d1.clone()),
+            b.load(gw, &[AffineExpr::constant(2)]),
+        ),
+    );
+    b.assign(
+        m3,
+        b.mul(b.sub(d1, d3), b.load(gw, &[AffineExpr::constant(3)])),
+    );
+    let y0 = b.add(
+        b.add(b.read_scalar(m0), b.read_scalar(m1)),
+        b.read_scalar(m2),
+    );
     b.store(out, &[b.idx(y), b.idx(t) * 2], y0);
-    let y1 = b.sub(b.sub(b.read_scalar(m1), b.read_scalar(m2)), b.read_scalar(m3));
+    let y1 = b.sub(
+        b.sub(b.read_scalar(m1), b.read_scalar(m2)),
+        b.read_scalar(m3),
+    );
     b.store(out, &[b.idx(y), b.idx(t) * 2 + 1.into()], y1);
     b.close_loop();
     b.close_loop();
@@ -425,8 +496,10 @@ mod tests {
 
     #[test]
     fn pnl_counts() {
-        let counts: Vec<(&str, usize)> =
-            all().iter().map(|(n, p)| (*n, p.perfect_nests().len())).collect();
+        let counts: Vec<(&str, usize)> = all()
+            .iter()
+            .map(|(n, p)| (*n, p.perfect_nests().len()))
+            .collect();
         let expect = |name: &str| counts.iter().find(|(n, _)| *n == name).unwrap().1;
         assert_eq!(expect("GEM"), 4);
         assert_eq!(expect("TRI"), 1);
@@ -445,7 +518,7 @@ mod tests {
     fn all_apps_analyze_cleanly() {
         for (name, p) in all() {
             let deps = DependenceSet::analyze(&p);
-            assert!(p.all_stmts().len() >= 1, "{name} has statements");
+            assert!(!p.all_stmts().is_empty(), "{name} has statements");
             // Dependence analysis terminates and produces something
             // sensible (apps with accumulations have reductions).
             let _ = deps.len();

@@ -25,7 +25,10 @@ pub fn two_mm() -> Program {
     let k = b.open_loop("k", M);
     let t = b.mul(
         b.read_scalar(alpha),
-        b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bb, &[b.idx(k), b.idx(j)])),
+        b.mul(
+            b.load(a, &[b.idx(i), b.idx(k)]),
+            b.load(bb, &[b.idx(k), b.idx(j)]),
+        ),
     );
     let v = b.add(b.load(tmp, &[b.idx(i), b.idx(j)]), t);
     b.store(tmp, &[b.idx(i), b.idx(j)], v);
@@ -46,7 +49,10 @@ pub fn two_mm() -> Program {
     let i = b.open_loop("i3", M);
     let j = b.open_loop("j3", M);
     let k = b.open_loop("k3", M);
-    let t = b.mul(b.load(tmp, &[b.idx(i), b.idx(k)]), b.load(c, &[b.idx(k), b.idx(j)]));
+    let t = b.mul(
+        b.load(tmp, &[b.idx(i), b.idx(k)]),
+        b.load(c, &[b.idx(k), b.idx(j)]),
+    );
     let v = b.add(b.load(d, &[b.idx(i), b.idx(j)]), t);
     b.store(d, &[b.idx(i), b.idx(j)], v);
     b.close_loop();
@@ -213,7 +219,10 @@ mod tests {
         use ptmap_ir::DependenceSet;
         for (name, p) in all_extra() {
             let deps = DependenceSet::analyze(&p);
-            assert!(deps.len() > 0 || p.all_stmts().len() == 1, "{name} analyzed");
+            assert!(
+                !deps.is_empty() || p.all_stmts().len() == 1,
+                "{name} analyzed"
+            );
         }
     }
 }

@@ -65,34 +65,39 @@ const BIN_OPS: [OpKind; 9] = [
 impl RandomProgramGenerator {
     /// Creates a generator with the given seed.
     pub fn new(config: RandomProgramConfig, seed: u64) -> Self {
-        RandomProgramGenerator { config, rng: StdRng::seed_from_u64(seed), counter: 0 }
+        RandomProgramGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+        }
     }
 
     /// Generates the next random program.
     pub fn next_program(&mut self) -> Program {
         self.counter += 1;
-        let tc = self.config.tripcounts
-            [self.rng.gen_range(0..self.config.tripcounts.len())];
+        let tc = self.config.tripcounts[self.rng.gen_range(0..self.config.tripcounts.len())];
         let mut b = ProgramBuilder::new(format!("rand{}", self.counter));
         let n_arrays = self.rng.gen_range(2..=4usize);
-        let arrays: Vec<_> =
-            (0..n_arrays).map(|k| b.array(format!("A{k}"), &[tc + 4])).collect();
+        let arrays: Vec<_> = (0..n_arrays)
+            .map(|k| b.array(format!("A{k}"), &[tc + 4]))
+            .collect();
         let loop_id = b.open_loop("i", tc);
         let idx = b.idx(loop_id);
-        let n_stmts = self.rng.gen_range(self.config.min_stmts..=self.config.max_stmts);
+        let n_stmts = self
+            .rng
+            .gen_range(self.config.min_stmts..=self.config.max_stmts);
         for s in 0..n_stmts {
             if self.rng.gen_bool(self.config.reduction_prob) {
                 // Scalar reduction: acc = acc op expr.
                 let acc = b.scalar(format!("acc{s}"));
                 let e = self.expr(&mut b, &arrays, &idx, self.config.max_depth);
-                let op =
-                    [OpKind::Add, OpKind::Max, OpKind::Xor][self.rng.gen_range(0..3)];
+                let op = [OpKind::Add, OpKind::Max, OpKind::Xor][self.rng.gen_range(0..3)];
                 let v = b.binary(op, b.read_scalar(acc), e);
                 b.assign(acc, v);
             } else {
                 let target = arrays[self.rng.gen_range(0..arrays.len())];
                 let e = self.expr(&mut b, &arrays, &idx, self.config.max_depth);
-                b.store(target, &[idx.clone()], e);
+                b.store(target, std::slice::from_ref(&idx), e);
             }
         }
         b.close_loop();

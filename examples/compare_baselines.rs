@@ -29,7 +29,10 @@ fn main() {
         other => panic!("unknown architecture {other}"),
     };
     println!("app {app} on {arch}");
-    println!("{:<10} {:>14} {:>10} {:>12}", "mapper", "cycles", "speedup", "compile (s)");
+    println!(
+        "{:<10} {:>14} {:>10} {:>12}",
+        "mapper", "cycles", "speedup", "compile (s)"
+    );
 
     let baselines: Vec<Box<dyn Baseline>> = vec![
         Box::new(Ramp::default()),
@@ -71,10 +74,7 @@ fn main() {
                 .unwrap_or_default();
             println!(
                 "{:<10} {:>14} {:>10} {:>12.2}",
-                "PT-Map",
-                r.cycles,
-                speedup,
-                r.compile_seconds
+                "PT-Map", r.cycles, speedup, r.compile_seconds
             );
         }
         Err(e) => println!("{:<10} {:>14}", "PT-Map", format!("fail ({e})")),

@@ -33,7 +33,9 @@ fn main() {
         let real = build_dfg(&c.program, &c.nest, &c.unroll)
             .ok()
             .and_then(|dfg| map_dfg(&dfg, &arch, &mapper).ok());
-        let real_ii = real.map(|m| m.ii.to_string()).unwrap_or_else(|| "fail".into());
+        let real_ii = real
+            .map(|m| m.ii.to_string())
+            .unwrap_or_else(|| "fail".into());
         let pruned = e.pruned.map(|_| " (pruned)").unwrap_or("");
         println!(
             "{:<52} {:>7} {:>8} {:>9} {:>10}{pruned}",

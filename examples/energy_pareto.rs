@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for db_mult in [1u64, 2] {
         let arch = base.with_db_bytes(base.db_bytes() * db_mult);
         for mode in [RankMode::Performance, RankMode::Pareto] {
-            let config = PtMapConfig { mode, ..PtMapConfig::default() };
+            let config = PtMapConfig {
+                mode,
+                ..PtMapConfig::default()
+            };
             let report =
                 PtMap::new(Box::new(AnalyticalPredictor), config).compile(&program, &arch)?;
             println!(

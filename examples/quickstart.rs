@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let i = b.open_loop("i", n);
     let j = b.open_loop("j", n);
     let k = b.open_loop("k", n);
-    let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bm, &[b.idx(k), b.idx(j)]));
+    let prod = b.mul(
+        b.load(a, &[b.idx(i), b.idx(k)]),
+        b.load(bm, &[b.idx(k), b.idx(j)]),
+    );
     let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
     b.store(c, &[b.idx(i), b.idx(j)], sum);
     b.close_loop();

@@ -17,8 +17,10 @@ use pt_map::gnn::train::{mape_cycles, mape_cycles_mii, train, TrainConfig};
 use pt_map::workloads::micro;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let samples: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600);
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
 
     println!("generating {samples} labeled samples (mapper as labeler)...");
     let data = generate_dataset(&DatasetConfig {
@@ -29,12 +31,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let split = data.len() * 4 / 5;
     let (train_set, test_set) = data.split_at(split);
 
-    println!("training ({} train / {} test)...", train_set.len(), test_set.len());
+    println!(
+        "training ({} train / {} test)...",
+        train_set.len(),
+        test_set.len()
+    );
     let mut model = PtMapGnn::new(ModelConfig::default());
     train(&mut model, train_set, &TrainConfig::default());
 
-    println!("MII analytical model MAPE: {:.1}%", mape_cycles_mii(test_set));
-    println!("GNN model MAPE:            {:.1}%", mape_cycles(&model, test_set));
+    println!(
+        "MII analytical model MAPE: {:.1}%",
+        mape_cycles_mii(test_set)
+    );
+    println!(
+        "GNN model MAPE:            {:.1}%",
+        mape_cycles(&model, test_set)
+    );
 
     // Use the trained model inside the full pipeline.
     let program = micro::gemm(64);

@@ -15,6 +15,8 @@
 //!   autograd engine);
 //! * [`eval`] — bottom-up evaluation, pruning, and two-mode ranking;
 //! * [`core`] — the end-to-end `PtMap` pipeline;
+//! * [`pipeline`] — manifest-driven batch compilation with a
+//!   content-addressed report cache and stage-level metrics;
 //! * [`baselines`] — RAMP / LISA / MapZero / IP / PBP / AL / AM baselines;
 //! * [`workloads`] — the paper's benchmark applications and the random
 //!   program generator used for GNN training.
@@ -33,6 +35,7 @@ pub use ptmap_gnn as gnn;
 pub use ptmap_ir as ir;
 pub use ptmap_mapper as mapper;
 pub use ptmap_model as model;
+pub use ptmap_pipeline as pipeline;
 pub use ptmap_sim as sim;
 pub use ptmap_transform as transform;
 pub use ptmap_workloads as workloads;

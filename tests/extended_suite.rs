@@ -13,14 +13,23 @@ use pt_map::workloads::apps_extra;
 
 #[test]
 fn extra_apps_compile_end_to_end() {
-    let config = PtMapConfig { explore: ExploreConfig::quick(), ..PtMapConfig::default() };
+    let config = PtMapConfig {
+        explore: ExploreConfig::quick(),
+        ..PtMapConfig::default()
+    };
     let arch = presets::s4();
     for (name, program) in apps_extra::all_extra() {
         let ptmap = PtMap::new(Box::new(AnalyticalPredictor), config.clone());
         let report = ptmap.compile(&program, &arch);
         assert!(report.is_ok(), "{name}: {report:?}");
-        let ramp = realize_program(&program, &arch, &Default::default(), &Default::default(), &[])
-            .unwrap();
+        let ramp = realize_program(
+            &program,
+            &arch,
+            &Default::default(),
+            &Default::default(),
+            &[],
+        )
+        .unwrap();
         assert!(
             report.unwrap().cycles <= ramp.cycles,
             "{name}: PT-Map must not lose to the identity"
@@ -87,8 +96,13 @@ fn arch_files_round_trip_through_full_compile() {
     arch_io::save(&presets::h6(), &path).unwrap();
     let arch = arch_io::load(&path).unwrap();
     let p = pt_map::workloads::micro::gemm(32);
-    let config = PtMapConfig { explore: ExploreConfig::quick(), ..PtMapConfig::default() };
-    let report = PtMap::new(Box::new(AnalyticalPredictor), config).compile(&p, &arch).unwrap();
+    let config = PtMapConfig {
+        explore: ExploreConfig::quick(),
+        ..PtMapConfig::default()
+    };
+    let report = PtMap::new(Box::new(AnalyticalPredictor), config)
+        .compile(&p, &arch)
+        .unwrap();
     assert_eq!(report.arch, "H6");
 }
 

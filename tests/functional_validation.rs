@@ -48,7 +48,10 @@ fn gemm64() -> Program {
     let i = b.open_loop("i", n);
     let j = b.open_loop("j", n);
     let k = b.open_loop("k", n);
-    let prod = b.mul(b.load(a, &[b.idx(i), b.idx(k)]), b.load(bm, &[b.idx(k), b.idx(j)]));
+    let prod = b.mul(
+        b.load(a, &[b.idx(i), b.idx(k)]),
+        b.load(bm, &[b.idx(k), b.idx(j)]),
+    );
     let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
     b.store(c, &[b.idx(i), b.idx(j)], sum);
     b.close_loop();
@@ -126,7 +129,10 @@ fn producer_consumer_fusion_is_functionally_correct() {
         assert_arrays_equal(&p, &mem, &reference, &format!("{:?}", variant.fusion));
         variants_checked += 1;
     }
-    assert!(variants_checked >= 2, "fused and unfused variants both validated");
+    assert!(
+        variants_checked >= 2,
+        "fused and unfused variants both validated"
+    );
 }
 
 #[test]

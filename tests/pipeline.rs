@@ -55,12 +55,19 @@ fn ptmap_with_accurate_predictor_matches_pbp_on_unrollable_apps() {
 fn every_app_compiles_on_every_architecture() {
     // Coarse sweep with the quick exploration config (full grids run in
     // the bench harness).
-    let config = PtMapConfig { explore: ExploreConfig::quick(), ..PtMapConfig::default() };
+    let config = PtMapConfig {
+        explore: ExploreConfig::quick(),
+        ..PtMapConfig::default()
+    };
     for arch in presets::evaluation_suite() {
         for (name, program) in apps::all() {
             let ptmap = PtMap::new(Box::new(AnalyticalPredictor), config.clone());
             let report = ptmap.compile(&program, &arch);
-            assert!(report.is_ok(), "{name} on {} failed: {report:?}", arch.name());
+            assert!(
+                report.is_ok(),
+                "{name} on {} failed: {report:?}",
+                arch.name()
+            );
             let report = report.unwrap();
             assert!(report.cycles > 0);
             assert!(report.energy_pj > 0.0);
@@ -97,7 +104,7 @@ fn chosen_transformations_respect_dependences() {
                         .collect();
                     if exact.len() == dep.distance.len() {
                         assert!(
-                            exact.iter().find(|&&x| x != 0).map_or(true, |&x| x > 0),
+                            exact.iter().find(|&&x| x != 0).is_none_or(|&x| x > 0),
                             "backward dependence in {}: {dep}",
                             cand.desc
                         );
@@ -114,13 +121,19 @@ fn pareto_mode_never_increases_volume_at_same_choice_quality() {
     let program = micro::gemm(64);
     let perf = PtMap::new(
         Box::new(AnalyticalPredictor),
-        PtMapConfig { mode: RankMode::Performance, ..PtMapConfig::default() },
+        PtMapConfig {
+            mode: RankMode::Performance,
+            ..PtMapConfig::default()
+        },
     )
     .compile(&program, &arch)
     .unwrap();
     let pareto = PtMap::new(
         Box::new(AnalyticalPredictor),
-        PtMapConfig { mode: RankMode::Pareto, ..PtMapConfig::default() },
+        PtMapConfig {
+            mode: RankMode::Pareto,
+            ..PtMapConfig::default()
+        },
     )
     .compile(&program, &arch)
     .unwrap();
@@ -133,11 +146,22 @@ fn doubled_db_never_hurts_volume() {
     let arch = presets::s4();
     let doubled = arch.with_db_bytes(arch.db_bytes() * 2);
     for (name, program) in apps::all().into_iter().take(4) {
-        let r1 = realize_program(&program, &arch, &Default::default(), &Default::default(), &[])
-            .unwrap();
-        let r2 =
-            realize_program(&program, &doubled, &Default::default(), &Default::default(), &[])
-                .unwrap();
+        let r1 = realize_program(
+            &program,
+            &arch,
+            &Default::default(),
+            &Default::default(),
+            &[],
+        )
+        .unwrap();
+        let r2 = realize_program(
+            &program,
+            &doubled,
+            &Default::default(),
+            &Default::default(),
+            &[],
+        )
+        .unwrap();
         let vol = |r: &pt_map::core::CompileReport| r.pnls.iter().map(|p| p.volume).sum::<u64>();
         assert!(vol(&r2) <= vol(&r1), "{name}: doubled DB increased volume");
     }

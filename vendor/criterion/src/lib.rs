@@ -1,0 +1,116 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides `criterion_group!` / `criterion_main!` /
+//! [`Criterion::bench_function`] with a simple fixed-budget timing loop
+//! (median of per-iteration wall times) printed to stdout. No
+//! statistical analysis, HTML reports, or CLI filtering — the bench
+//! binaries here are smoke benchmarks whose numbers are read off the
+//! terminal.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Wall-clock budget per benchmark.
+    measure_budget: Duration,
+    /// Hard cap on measured iterations.
+    max_iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_budget: Duration::from_millis(500),
+            max_iters: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Caps the number of measured iterations (builder style, mirroring
+    /// the real crate's configuration API).
+    #[must_use]
+    pub fn sample_size(mut self, n: u32) -> Self {
+        self.max_iters = n;
+        self
+    }
+
+    /// Times `f` and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        // Warm-up run (also catches panics early with a clear name).
+        f(&mut b);
+        b.samples.clear();
+        let start = Instant::now();
+        let mut iters = 0;
+        while iters < self.max_iters && start.elapsed() < self.measure_budget {
+            f(&mut b);
+            iters += 1;
+        }
+        b.samples.sort_unstable();
+        let median = b
+            .samples
+            .get(b.samples.len() / 2)
+            .copied()
+            .unwrap_or_default();
+        println!(
+            "bench {name:<40} median {:>12.3?} ({} samples)",
+            median,
+            b.samples.len()
+        );
+        self
+    }
+}
+
+/// Passed to the closure of [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs the measured routine once, recording its wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        black_box(f());
+        self.samples.push(t0.elapsed());
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a set of groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

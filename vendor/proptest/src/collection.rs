@@ -1,0 +1,29 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng;
+
+/// Vectors of `element` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(
+        size.start < size.end,
+        "proptest::collection::vec: empty size range"
+    );
+    VecStrategy { element, size }
+}
+
+/// The result of [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

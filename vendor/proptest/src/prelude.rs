@@ -1,0 +1,12 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, ProptestConfig, TestCaseError,
+};
+
+/// Namespace alias so `prop::collection::vec(...)` works.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}

@@ -1,0 +1,28 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The build environment has no network access, so this crate (plus
+//! `vendor/serde_derive` and `vendor/serde_json`) re-implements the
+//! serde surface the workspace uses around a concrete value tree
+//! instead of serde's visitor architecture:
+//!
+//! * [`Serialize`] converts a value into a [`Value`];
+//! * [`Deserialize`] reconstructs a value from a [`Value`];
+//! * `#[derive(Serialize, Deserialize)]` (re-exported from
+//!   `serde_derive`) generates both, honoring `#[serde(skip)]` and
+//!   `#[serde(default [= "path"])]`;
+//! * `serde_json` renders/parses the [`Value`] tree as JSON text.
+//!
+//! The trade-off versus real serde is performance (an intermediate
+//! tree) and breadth (no zero-copy, no borrowed data, no custom
+//! formats), neither of which matters for model checkpoints, result
+//! artifacts, architecture files, or the pipeline cache.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod de;
+mod ser;
+mod value;
+
+pub use de::{obj_get, DeError, Deserialize};
+pub use ser::Serialize;
+pub use value::Value;

@@ -1,0 +1,113 @@
+//! The serialization value tree.
+
+/// A dynamically typed serialized value (the JSON data model, with
+/// integers kept exact). Objects preserve insertion order so derived
+/// output is deterministic; key-order canonicalization for hashing is
+/// the consumer's job (see `ptmap-pipeline`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (also covers every negative JSON number
+    /// without a fraction).
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A binary64 float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object: ordered key/value pairs (duplicates are not
+    /// produced by derived impls).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value under `key` when this is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => crate::obj_get(m, key),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an object's pair list.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As an `i64` when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// As a `u64` when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// As an `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// Recursively sorts every object's keys, producing the canonical
+    /// form used for content addressing.
+    #[must_use]
+    pub fn canonicalize(self) -> Value {
+        match self {
+            Value::Array(a) => Value::Array(a.into_iter().map(Value::canonicalize).collect()),
+            Value::Object(m) => {
+                let mut m: Vec<(String, Value)> =
+                    m.into_iter().map(|(k, v)| (k, v.canonicalize())).collect();
+                m.sort_by(|a, b| a.0.cmp(&b.0));
+                Value::Object(m)
+            }
+            other => other,
+        }
+    }
+}

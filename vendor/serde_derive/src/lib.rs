@@ -1,0 +1,309 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! against the vendored `serde` crate's value-tree model (see
+//! `vendor/serde`). The input item is parsed directly from the token
+//! stream — no `syn`/`quote`, since the build environment has no
+//! network access — and the generated impls are emitted as source text.
+//!
+//! Supported shapes (the full set used by this workspace):
+//!
+//! * structs with named fields, tuple structs (newtype and n-ary),
+//!   unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   like real serde);
+//! * field attributes `#[serde(skip)]`, `#[serde(default)]`, and
+//!   `#[serde(default = "path")]`, in any combination.
+//!
+//! Generic types are intentionally unsupported and produce a compile
+//! error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{DefaultAttr, Fields, Item, ItemKind};
+
+/// Derives `serde::Serialize` (value-tree flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let item = match parse::parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});")
+                .parse()
+                .expect("error tokens")
+        }
+    };
+    gen(&item).parse().expect("generated impl must parse")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => struct_ser_body(name, fields),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from({vn:?})),\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vn:?}), \
+                             ::serde::Serialize::serialize(__f0))]),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vn:?}), \
+                             ::serde::Value::Array(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+                        let pairs: Vec<String> = fs
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({:?}), \
+                                     ::serde::Serialize::serialize({}))",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vn:?}), \
+                             ::serde::Value::Object(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            pairs.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn struct_ser_body(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Fields::Named(fs) => {
+            let pairs: Vec<String> = fs
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({:?}), \
+                         ::serde::Serialize::serialize(&self.{}))",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => struct_de_body(name, fields, &format!("{name} ")),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize(__inner)?)),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&__arr[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                                 let __arr = match __inner {{\n\
+                                     ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                                     _ => return ::std::result::Result::Err(\
+                                          ::serde::DeError::new(\
+                                          \"{name}::{vn}: expected {n}-element array\")),\n\
+                                 }};\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let inner = struct_de_fields(name, fs, &format!("{name}::{vn}"));
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                                 let __obj = match __inner {{\n\
+                                     ::serde::Value::Object(m) => m,\n\
+                                     _ => return ::std::result::Result::Err(\
+                                          ::serde::DeError::new(\
+                                          \"{name}::{vn}: expected object\")),\n\
+                                 }};\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {inner} }})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::DeError::new(\
+                             &::std::format!(\"{name}: unknown variant {{__other}}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__m[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\
+                             __other => ::std::result::Result::Err(::serde::DeError::new(\
+                                 &::std::format!(\"{name}: unknown variant {{__other}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::new(\
+                          \"{name}: expected variant string or single-key object\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Deserialization body for a struct-shaped item; `ctor` is the
+/// constructor path written before the braces/parens.
+fn struct_de_body(name: &str, fields: &Fields, ctor: &str) -> String {
+    match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({ctor})"),
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({ctor}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = match __v {{\n\
+                     ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                     _ => return ::std::result::Result::Err(::serde::DeError::new(\
+                          \"{name}: expected {n}-element array\")),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({ctor}({}))",
+                elems.join(", ")
+            )
+        }
+        Fields::Named(fs) => {
+            let inner = struct_de_fields(name, fs, name);
+            format!(
+                "let __obj = match __v {{\n\
+                     ::serde::Value::Object(m) => m,\n\
+                     _ => return ::std::result::Result::Err(::serde::DeError::new(\
+                          \"{name}: expected object\")),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({ctor} {{ {inner} }})"
+            )
+        }
+    }
+}
+
+/// `field: <expr>` initializers for a named-field (struct or variant)
+/// body, honoring `skip`/`default` attributes.
+fn struct_de_fields(type_name: &str, fs: &[parse::Field], what: &str) -> String {
+    let mut out = String::new();
+    for f in fs {
+        let fname = &f.name;
+        let missing = match &f.default {
+            DefaultAttr::Path(p) => format!("{p}()"),
+            DefaultAttr::Std => "::std::default::Default::default()".to_string(),
+            DefaultAttr::None => format!(
+                "return ::std::result::Result::Err(::serde::DeError::new(\
+                 \"{what}: missing field {fname}\"))"
+            ),
+        };
+        let expr = if f.skip {
+            match &f.default {
+                DefaultAttr::Path(p) => format!("{p}()"),
+                _ => "::std::default::Default::default()".to_string(),
+            }
+        } else {
+            format!(
+                "match ::serde::obj_get(__obj, {fname:?}) {{\n\
+                     ::std::option::Option::Some(__x) => \
+                         ::serde::Deserialize::deserialize(__x)?,\n\
+                     ::std::option::Option::None => {missing},\n\
+                 }}"
+            )
+        };
+        out.push_str(&format!("{fname}: {expr},\n"));
+    }
+    let _ = type_name;
+    out
+}
+
+/// Shared token utilities used by the parser.
+pub(crate) fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+pub(crate) fn is_group(t: &TokenTree, d: Delimiter) -> bool {
+    matches!(t, TokenTree::Group(g) if g.delimiter() == d)
+}

@@ -1,0 +1,301 @@
+//! Token-stream parser for the derive input: just enough Rust item
+//! grammar to recover names, field lists, and `#[serde(...)]` field
+//! attributes. Types are skipped, not parsed — the generated code is
+//! fully type-directed through trait resolution, so only the *shape*
+//! of the item matters here.
+
+use crate::{is_group, is_punct};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field is filled during deserialization.
+#[derive(Clone, Debug)]
+pub enum DefaultAttr {
+    /// No default: a missing field is an error.
+    None,
+    /// `#[serde(default)]` — `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]` — call `path()`.
+    Path(String),
+}
+
+/// One named field.
+pub struct Field {
+    pub name: String,
+    pub skip: bool,
+    pub default: DefaultAttr,
+}
+
+/// The field shape of a struct or enum variant.
+pub enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+/// One enum variant.
+pub struct Variant {
+    pub name: String,
+    pub fields: Fields,
+}
+
+pub enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+pub struct Item {
+    pub name: String,
+    pub kind: ItemKind,
+}
+
+/// Parses a `struct`/`enum` item from the derive input.
+pub fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Outer attributes and visibility before the item keyword.
+    let keyword = loop {
+        match toks.get(i) {
+            Some(t) if is_punct(t, '#') => {
+                i += 1; // the attribute body group
+                if toks.get(i).is_some_and(|t| is_group(t, Delimiter::Bracket)) {
+                    i += 1;
+                } else {
+                    return Err("expected attribute body after #".into());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if toks
+                    .get(i)
+                    .is_some_and(|t| is_group(t, Delimiter::Parenthesis))
+                {
+                    i += 1; // pub(crate) etc.
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                let kw = id.to_string();
+                i += 1;
+                break kw;
+            }
+            other => {
+                return Err(format!(
+                    "serde stand-in derive: unexpected token before item keyword: {other:?}"
+                ))
+            }
+        }
+    };
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if toks.get(i).is_some_and(|t| is_punct(t, '<')) {
+        return Err(format!(
+            "serde stand-in derive: generic type `{name}` is not supported \
+             (see vendor/serde_derive)"
+        ));
+    }
+    if keyword == "struct" {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: ItemKind::Struct(Fields::Named(parse_named_fields(g.stream())?)),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                name,
+                kind: ItemKind::Struct(Fields::Tuple(count_tuple_fields(g.stream()))),
+            }),
+            Some(t) if is_punct(t, ';') => Ok(Item {
+                name,
+                kind: ItemKind::Struct(Fields::Unit),
+            }),
+            other => Err(format!("expected struct body, found {other:?}")),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: ItemKind::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("expected enum body, found {other:?}")),
+        }
+    }
+}
+
+/// Parses `name: Type` fields with attributes; types are skipped with
+/// angle-bracket depth tracking (commas inside `<...>` or any group do
+/// not terminate a field).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (skip, default) = parse_field_attrs(&toks, &mut i)?;
+        match toks.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if toks
+                    .get(i)
+                    .is_some_and(|t| is_group(t, Delimiter::Parenthesis))
+                {
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                i += 1;
+                id.to_string()
+            }
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        if !toks.get(i).is_some_and(|t| is_punct(t, ':')) {
+            return Err(format!("expected `:` after field {name}"));
+        }
+        i += 1;
+        skip_type(&toks, &mut i);
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    Ok(fields)
+}
+
+/// Consumes attributes before a field/variant, extracting
+/// `#[serde(skip)]` / `#[serde(default)]` / `#[serde(default = "p")]`.
+fn parse_field_attrs(toks: &[TokenTree], i: &mut usize) -> Result<(bool, DefaultAttr), String> {
+    let mut skip = false;
+    let mut default = DefaultAttr::None;
+    while toks.get(*i).is_some_and(|t| is_punct(t, '#')) {
+        *i += 1;
+        let body = match toks.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g.stream(),
+            other => return Err(format!("expected attribute body, found {other:?}")),
+        };
+        *i += 1;
+        let inner: Vec<TokenTree> = body.into_iter().collect();
+        let is_serde = matches!(
+            inner.first(),
+            Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+        );
+        if !is_serde {
+            continue; // doc comment, #[default], etc.
+        }
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            other => return Err(format!("malformed #[serde] attribute: {other:?}")),
+        };
+        let args: Vec<TokenTree> = args.into_iter().collect();
+        let mut j = 0;
+        while j < args.len() {
+            match &args[j] {
+                TokenTree::Ident(id) if id.to_string() == "skip" => {
+                    skip = true;
+                    j += 1;
+                }
+                TokenTree::Ident(id) if id.to_string() == "default" => {
+                    j += 1;
+                    if args.get(j).is_some_and(|t| is_punct(t, '=')) {
+                        j += 1;
+                        match args.get(j) {
+                            Some(TokenTree::Literal(lit)) => {
+                                let raw = lit.to_string();
+                                let path = raw.trim_matches('"').to_string();
+                                default = DefaultAttr::Path(path);
+                                j += 1;
+                            }
+                            other => {
+                                return Err(format!(
+                                    "expected string after default =, found {other:?}"
+                                ))
+                            }
+                        }
+                    } else {
+                        default = DefaultAttr::Std;
+                    }
+                }
+                t if is_punct(t, ',') => j += 1,
+                other => {
+                    return Err(format!(
+                        "serde stand-in derive: unsupported #[serde] option {other:?} \
+                         (only skip/default are implemented)"
+                    ))
+                }
+            }
+        }
+    }
+    Ok((skip, default))
+}
+
+/// Advances past a type, stopping after the field-separating comma (or
+/// at end of stream). Tracks `<`/`>` depth so commas inside generics
+/// don't split the field; parenthesized/bracketed sub-tokens arrive as
+/// atomic groups and need no special handling.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i64;
+    while *i < toks.len() {
+        let t = &toks[*i];
+        *i += 1;
+        if is_punct(t, '<') {
+            angle += 1;
+        } else if is_punct(t, '>') {
+            angle -= 1;
+        } else if is_punct(t, ',') && angle == 0 {
+            break;
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        // Each skip_type call consumes one field (attrs/vis included in
+        // the skipped tokens — they contain no top-level commas).
+        skip_type(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+/// Parses enum variants (attributes such as `#[default]` are skipped).
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let _ = parse_field_attrs(&toks, &mut i)?;
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                i += 1;
+                id.to_string()
+            }
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        if toks.get(i).is_some_and(|t| is_punct(t, ',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for `serde_json`: renders and parses the vendored
+//! `serde` [`Value`] tree as JSON text.
+//!
+//! Guarantees relied upon elsewhere in the workspace:
+//!
+//! * output is deterministic (object order is whatever the `Value`
+//!   holds — derived impls emit declaration order, and the pipeline
+//!   cache canonicalizes by sorting keys);
+//! * floats print with Rust's shortest-round-trip formatting, so
+//!   `serialize → to_string → from_str → deserialize` reproduces every
+//!   finite `f64`/`f32` exactly (non-finite floats become `null`, as
+//!   in real serde_json);
+//! * integers stay exact across the full `i64`/`u64` range.
+
+mod parse;
+mod print;
+
+pub use serde::Value;
+
+use serde::{DeError, Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::print(&value.serialize(), false))
+}
+
+/// Serializes a value to 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::print(&value.serialize(), true))
+}
+
+/// Converts a value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.serialize())
+}
+
+/// Reconstructs a value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::deserialize(value)?)
+}
+
+/// Parses JSON text into a value.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let v = parse::parse(text)?;
+    Ok(T::deserialize(&v)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i32).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("0.25").unwrap(), 0.25);
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+    }
+
+    #[test]
+    fn roundtrip_extreme_integers() {
+        for v in [u64::MAX, i64::MAX as u64 + 1, 0] {
+            assert_eq!(from_str::<u64>(&to_string(&v).unwrap()).unwrap(), v);
+        }
+        for v in [i64::MIN, -1, i64::MAX] {
+            assert_eq!(from_str::<i64>(&to_string(&v).unwrap()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn roundtrip_floats_exact() {
+        for v in [1.0e300, -2.5e-7, 0.1, 3.0, f64::MIN_POSITIVE] {
+            assert_eq!(from_str::<f64>(&to_string(&v).unwrap()).unwrap(), v);
+        }
+        for v in [0.1f32, -7.25e-3, 3.4e38] {
+            assert_eq!(from_str::<f32>(&to_string(&v).unwrap()).unwrap(), v);
+        }
+        // Non-finite floats degrade to null → NaN.
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn roundtrip_collections() {
+        let v: Vec<(String, Option<u32>)> = vec![("a".into(), Some(1)), ("b".into(), None)];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[[\"a\",1],[\"b\",null]]");
+        assert_eq!(from_str::<Vec<(String, Option<u32>)>>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_print_shape() {
+        let v: Vec<u32> = vec![1, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "quote \" slash \\ newline \n tab \t nul \u{0} high \u{1F600}";
+        let text = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<u64>("{").is_err());
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<Vec<u32>>("[1,]").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+}

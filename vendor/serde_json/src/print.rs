@@ -1,0 +1,101 @@
+//! JSON rendering.
+
+use serde::Value;
+use std::fmt::Write;
+
+/// Renders a value as JSON text, optionally 2-space pretty-printed.
+pub fn print(v: &Value, pretty: bool) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, pretty, 0);
+    out
+}
+
+fn write_value(out: &mut String, v: &Value, pretty: bool, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Rust's shortest-round-trip formatting; always a valid
+                // JSON number (digits, optional '.', optional exponent).
+                let _ = write!(out, "{f}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, pretty, depth + 1);
+                write_value(out, item, pretty, depth + 1);
+            }
+            newline_indent(out, pretty, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, pretty, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, item, pretty, depth + 1);
+            }
+            newline_indent(out, pretty, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, pretty: bool, depth: usize) {
+    if pretty {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
