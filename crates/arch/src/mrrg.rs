@@ -40,6 +40,10 @@ impl fmt::Display for RouteNode {
 }
 
 /// The time-extended routing graph for one candidate II.
+///
+/// Adjacency is stored in CSR form (one flat successor array plus
+/// per-node offsets) so the routing BFS walks contiguous memory instead
+/// of chasing one heap allocation per node.
 #[derive(Debug, Clone)]
 pub struct Mrrg {
     ii: u32,
@@ -47,8 +51,11 @@ pub struct Mrrg {
     has_grf: bool,
     grf_size: u32,
     lrf: Vec<u32>,
-    /// Forward adjacency: node index -> successor node indices.
-    adj: Vec<Vec<u32>>,
+    /// Flat forward adjacency; node `i`'s successors are
+    /// `adj[off[i] as usize..off[i + 1] as usize]`.
+    adj: Vec<u32>,
+    /// CSR offsets, length `node_count + 1`.
+    off: Vec<u32>,
 }
 
 impl Mrrg {
@@ -68,35 +75,44 @@ impl Mrrg {
             has_grf,
             grf_size: arch.grf_size(),
             lrf: arch.pe_ids().map(|p| arch.pe(p).lrf_size).collect(),
-            adj: vec![Vec::new(); node_count],
+            adj: Vec::new(),
+            off: Vec::new(),
         };
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); node_count];
         for t in 0..ii {
             let nt = (t + 1) % ii;
             for pe in arch.pe_ids() {
                 let from = mrrg.pe_slot(pe, t);
                 for n in arch.neighbors(pe) {
                     let to = mrrg.pe_slot(n, nt) as u32;
-                    mrrg.adj[from].push(to);
+                    lists[from].push(to);
                 }
                 if arch.pe(pe).lrf_size > 0 {
                     let to = mrrg.pe_slot(pe, nt) as u32;
-                    mrrg.adj[from].push(to);
+                    lists[from].push(to);
                 }
                 if has_grf {
                     let to_grf = mrrg.grf_slot(0, nt) as u32;
-                    mrrg.adj[from].push(to_grf);
+                    lists[from].push(to_grf);
                     let g = mrrg.grf_slot(0, t);
                     let to_pe = mrrg.pe_slot(pe, nt) as u32;
-                    mrrg.adj[g].push(to_pe);
+                    lists[g].push(to_pe);
                 }
             }
             if has_grf {
                 let g = mrrg.grf_slot(0, t);
                 let hold = mrrg.grf_slot(0, nt) as u32;
-                if !mrrg.adj[g].contains(&hold) {
-                    mrrg.adj[g].push(hold);
+                if !lists[g].contains(&hold) {
+                    lists[g].push(hold);
                 }
             }
+        }
+        mrrg.off = Vec::with_capacity(node_count + 1);
+        mrrg.off.push(0);
+        mrrg.adj = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+        for l in &lists {
+            mrrg.adj.extend_from_slice(l);
+            mrrg.off.push(mrrg.adj.len() as u32);
         }
         mrrg
     }
@@ -113,7 +129,7 @@ impl Mrrg {
 
     /// Total node count including GRF slots.
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.off.len() - 1
     }
 
     /// Index of PE slot `(pe, t)`.
@@ -151,7 +167,7 @@ impl Mrrg {
 
     /// Successor node indices (one-cycle data movement).
     pub fn succ(&self, idx: usize) -> &[u32] {
-        &self.adj[idx]
+        &self.adj[self.off[idx] as usize..self.off[idx + 1] as usize]
     }
 
     /// Routing capacity of a node: how many distinct values may occupy it

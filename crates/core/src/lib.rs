@@ -268,6 +268,9 @@ impl PtMap {
             m.map_seconds += t.elapsed().as_secs_f64();
             if let Ok(mut identity) = identity_result {
                 m.mapper_accepts += identity.pnls.len();
+                if ptmap_mapper::validation_enabled(&self.config.mapper) {
+                    m.mappings_validated += identity.pnls.len();
+                }
                 identity.mode = self.config.mode;
                 identity.candidates_explored = explored;
                 identity.candidates_pruned = pruned;
@@ -325,6 +328,11 @@ impl PtMap {
                 return None;
             };
             m.mapper_accepts += 1;
+            // map_dfg validates internally when enabled; an accepted
+            // mapping was therefore also a validated one.
+            if ptmap_mapper::validation_enabled(&self.config.mapper) {
+                m.mappings_validated += 1;
+            }
             let t = Instant::now();
             let profile = MemoryProfiler::new(&c.program).profile(&c.nest, arch, mapping.ii);
             // Simulate with effective (post-unroll) tripcounts.

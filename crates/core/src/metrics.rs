@@ -31,6 +31,11 @@ pub struct CompileMetrics {
     pub mapper_accepts: usize,
     /// `map_dfg` calls rejected by the scheduler.
     pub mapper_rejects: usize,
+    /// Accepted mappings that were additionally checked by the mapping
+    /// invariant validator (`ptmap_mapper::validate`); nonzero only when
+    /// validation is enabled via config or `PTMAP_VALIDATE`.
+    #[serde(default)]
+    pub mappings_validated: usize,
     /// Ranked program-level choices tried during context generation.
     pub context_generation_attempts: usize,
 }
@@ -51,6 +56,7 @@ impl CompileMetrics {
         self.candidates_pruned += other.candidates_pruned;
         self.mapper_accepts += other.mapper_accepts;
         self.mapper_rejects += other.mapper_rejects;
+        self.mappings_validated += other.mappings_validated;
         self.context_generation_attempts += other.context_generation_attempts;
     }
 }

@@ -1,0 +1,90 @@
+//! Dumps deterministic mapping fingerprints for a few reference
+//! kernels, as stable JSON on stdout.
+//!
+//! Used to check that scheduler/router refactors keep default-seed
+//! mappings bit-identical: run before and after a change and diff.
+//!
+//! ```text
+//! cargo run --release -p ptmap-mapper --example dump_mapping
+//! ```
+
+use ptmap_arch::presets;
+use ptmap_ir::dfg::build_dfg;
+use ptmap_ir::{Program, ProgramBuilder};
+use ptmap_mapper::{map_dfg, MapperConfig, Mapping};
+use serde_json::Value;
+
+/// The stable subset of a `Mapping` (fields that predate the validator
+/// work) as a JSON object, so fingerprints compare across schema
+/// additions.
+fn fingerprint(case: &str, m: &Mapping) -> Value {
+    Value::Object(vec![
+        ("case".into(), Value::Str(case.into())),
+        ("ii".into(), Value::UInt(m.ii as u64)),
+        ("mii".into(), Value::UInt(m.mii as u64)),
+        (
+            "schedule_length".into(),
+            Value::UInt(m.schedule_length as u64),
+        ),
+        ("route_slots".into(), Value::UInt(m.route_slots as u64)),
+        ("pes_used".into(), Value::UInt(m.pes_used as u64)),
+        (
+            "placements".into(),
+            serde_json::to_value(&m.placements).unwrap(),
+        ),
+        ("routes".into(), serde_json::to_value(&m.routes).unwrap()),
+    ])
+}
+
+fn gemm(n: u64) -> Program {
+    let mut b = ProgramBuilder::new("gemm");
+    let a = b.array("A", &[n, n]);
+    let bb = b.array("B", &[n, n]);
+    let c = b.array("C", &[n, n]);
+    let i = b.open_loop("i", n);
+    let j = b.open_loop("j", n);
+    let k = b.open_loop("k", n);
+    let prod = b.mul(
+        b.load(a, &[b.idx(i), b.idx(k)]),
+        b.load(bb, &[b.idx(k), b.idx(j)]),
+    );
+    let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
+    b.store(c, &[b.idx(i), b.idx(j)], sum);
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+    b.finish()
+}
+
+fn fanout() -> Program {
+    let mut b = ProgramBuilder::new("fanout");
+    let x = b.array("X", &[256]);
+    let outs: Vec<_> = (0..4).map(|k| b.array(format!("O{k}"), &[256])).collect();
+    let i = b.open_loop("i", 256);
+    for (k, &o) in outs.iter().enumerate() {
+        let v = b.add(b.load(x, &[b.idx(i)]), b.constant(k as i64 + 1));
+        b.store(o, &[b.idx(i)], v);
+    }
+    b.close_loop();
+    b.finish()
+}
+
+fn main() {
+    let cases: Vec<(&str, Program, Vec<usize>, ptmap_arch::CgraArch)> = vec![
+        ("gemm24@S4", gemm(24), vec![], presets::s4()),
+        ("gemm24-u2x2@S4", gemm(24), vec![0, 1], presets::s4()),
+        ("gemm24-u2x2@SL8", gemm(24), vec![0, 1], presets::sl8()),
+        ("fanout-u2@S4", fanout(), vec![0], presets::s4()),
+    ];
+    for (name, p, unroll_loops, arch) in cases {
+        let nest = p.perfect_nests().remove(0);
+        let unroll: Vec<_> = unroll_loops.iter().map(|&l| (nest.loops[l], 2)).collect();
+        let dfg = build_dfg(&p, &nest, &unroll).unwrap();
+        match map_dfg(&dfg, &arch, &MapperConfig::default()) {
+            Ok(m) => {
+                println!("{}", serde_json::to_string(&fingerprint(name, &m)).unwrap());
+            }
+            Err(e) => println!("{{\"case\": \"{name}\", \"error\": \"{e}\"}}"),
+        }
+    }
+}

@@ -20,6 +20,14 @@ pub struct MapperConfig {
     /// resource-aware routing). Disabling routes every fanout edge
     /// independently — an ablation knob; see DESIGN.md.
     pub share_routes: bool,
+    /// Run the post-hoc invariant validator ([`crate::validate`]) on
+    /// every mapping [`crate::map_dfg`] produces, turning silent route
+    /// mis-accounting into a hard [`crate::MapError::BrokenInvariant`].
+    /// Off by default (it costs an extra pass per accepted mapping);
+    /// the `PTMAP_VALIDATE` environment variable force-enables it
+    /// regardless of this flag (set in CI).
+    #[serde(default)]
+    pub validate: bool,
 }
 
 impl Default for MapperConfig {
@@ -29,6 +37,7 @@ impl Default for MapperConfig {
             effort: 1,
             seed: 0xC6_4A,
             share_routes: true,
+            validate: false,
         }
     }
 }
@@ -43,6 +52,12 @@ impl MapperConfig {
     /// A configuration with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// A configuration with the invariant validator enabled.
+    pub fn with_validation(mut self, validate: bool) -> Self {
+        self.validate = validate;
         self
     }
 

@@ -11,6 +11,15 @@ pub enum MapError {
     EmptyDfg,
     /// Some operation is supported by no PE of the target architecture.
     UnsupportedOp(OpKind),
+    /// The DFG contains a dependence cycle whose total iteration
+    /// distance is zero, so no initiation interval (however large) can
+    /// satisfy it. Well-formed DFG construction never produces this; it
+    /// flags hand-built or corrupted graphs.
+    ZeroDistanceCycle,
+    /// A produced mapping failed the post-hoc invariant validator
+    /// ([`crate::validate`]); the message names the violated invariant.
+    /// Reaching this is a mapper bug, not a property of the input.
+    BrokenInvariant(String),
     /// No initiation interval up to the configured maximum admitted a
     /// complete placement and routing.
     Infeasible {
@@ -30,6 +39,15 @@ impl fmt::Display for MapError {
                     f,
                     "operation {op} is supported by no PE of the target architecture"
                 )
+            }
+            MapError::ZeroDistanceCycle => {
+                write!(
+                    f,
+                    "dataflow graph has a zero-distance dependence cycle; no II can satisfy it"
+                )
+            }
+            MapError::BrokenInvariant(msg) => {
+                write!(f, "mapping failed invariant validation: {msg}")
             }
             MapError::Infeasible { mii, max_ii } => {
                 write!(f, "no feasible mapping for any II in {mii}..={max_ii}")

@@ -42,25 +42,48 @@ pub mod context;
 pub mod error;
 pub mod mapping;
 pub mod mii;
+mod router;
 pub mod scheduler;
+mod state;
+pub mod validate;
 
 pub use config::MapperConfig;
 pub use context::{generate_contexts, ContextImage, ContextWord};
 pub use error::MapError;
-pub use mapping::{Mapping, OperandSource, Placement, RouteRecord};
-pub use mii::{mii, rec_mii, res_mii};
+pub use mapping::{Mapping, OperandSource, Placement, ProducerRoutes, RoutePos, RouteRecord};
+pub use mii::{mii, rec_mii, res_mii, try_rec_mii};
+pub use validate::{validate, Violation};
 
 use ptmap_arch::CgraArch;
 use ptmap_ir::Dfg;
 
+/// Whether [`map_dfg`] should run the invariant validator: the config
+/// flag, or the `PTMAP_VALIDATE` environment variable (any value except
+/// `0`) to force it on process-wide — CI sets the variable so every
+/// mapping produced by the test suite is checked.
+pub fn validation_enabled(config: &MapperConfig) -> bool {
+    config.validate
+        || std::env::var_os("PTMAP_VALIDATE").is_some_and(|v| !v.is_empty() && v != *"0")
+}
+
 /// Maps a DFG onto an architecture, returning the mapping artifact.
+///
+/// When validation is enabled (see [`validation_enabled`]) the mapping
+/// is checked against every structural invariant before being returned.
 ///
 /// # Errors
 ///
 /// Returns [`MapError::UnsupportedOp`] if some operation is supported by
-/// no PE, [`MapError::EmptyDfg`] for an empty graph, and
-/// [`MapError::Infeasible`] when no II up to `config.max_ii` admits a
-/// complete placement and routing.
+/// no PE, [`MapError::EmptyDfg`] for an empty graph,
+/// [`MapError::ZeroDistanceCycle`] for a dependence cycle no II can
+/// satisfy, [`MapError::Infeasible`] when no II up to `config.max_ii`
+/// admits a complete placement and routing, and
+/// [`MapError::BrokenInvariant`] (a mapper bug) when the validator
+/// rejects a produced mapping.
 pub fn map_dfg(dfg: &Dfg, arch: &CgraArch, config: &MapperConfig) -> Result<Mapping, MapError> {
-    scheduler::Scheduler::new(dfg, arch, config)?.run()
+    let m = scheduler::Scheduler::new(dfg, arch, config)?.run()?;
+    if validation_enabled(config) {
+        validate::validate(dfg, arch, &m).map_err(|v| MapError::BrokenInvariant(v.to_string()))?;
+    }
+    Ok(m)
 }

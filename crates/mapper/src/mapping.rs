@@ -26,6 +26,30 @@ pub struct RouteRecord {
     pub source: OperandSource,
 }
 
+/// One occupied position of a produced value in the time-extended MRRG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutePos {
+    /// MRRG node index (see `ptmap_arch::Mrrg::decode`, built for the
+    /// mapping's II).
+    pub slot: u32,
+    /// Absolute cycle at which the value occupies the node.
+    pub cycle: u32,
+    /// Routing-capacity units claimed at this position (0 for consumer
+    /// operand ports; may exceed 1 when route sharing is disabled and
+    /// several independent routes traverse the same position).
+    pub claims: u32,
+}
+
+/// The full route tree of one producer: everywhere (and everywhen) its
+/// value exists beyond the producing slot itself.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProducerRoutes {
+    /// The producing DFG node.
+    pub producer: NodeId,
+    /// Occupied positions, sorted by `(slot, cycle)`.
+    pub positions: Vec<RoutePos>,
+}
+
 /// Placement of one DFG node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Placement {
@@ -55,6 +79,11 @@ pub struct Mapping {
     /// Per-data-edge routing outcomes (operand sources for context
     /// generation).
     pub routes: Vec<RouteRecord>,
+    /// Per-producer route trees: the MRRG positions each produced value
+    /// occupies. Consumed by the mapping invariant validator
+    /// (`crate::validate`) to check capacity and connectivity.
+    #[serde(default)]
+    pub route_trees: Vec<ProducerRoutes>,
     /// Number of PEs used by at least one operation.
     pub pes_used: u32,
     /// Total PEs of the target architecture.
@@ -114,6 +143,7 @@ mod tests {
             ],
             route_slots: 4,
             routes: Vec::new(),
+            route_trees: Vec::new(),
             pes_used: 2,
             pe_count: 16,
         }

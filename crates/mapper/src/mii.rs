@@ -34,22 +34,30 @@ pub fn res_mii(dfg: &Dfg, arch: &CgraArch) -> u32 {
     worst.min(u32::MAX as u64) as u32
 }
 
-/// Recurrence-constrained minimum II.
+/// Recurrence-constrained minimum II, or `None` when no II can work.
 ///
-/// Returns 1 for acyclic DFGs.
-pub fn rec_mii(dfg: &Dfg) -> u32 {
-    // Upper bound on any cycle's latency sum: total latency of all nodes.
+/// `II * total_distance >= total_latency` is satisfiable for *some* II
+/// exactly when every cycle carries a positive iteration distance; a
+/// zero-distance cycle (a combinational loop, only constructible by
+/// hand or by corruption) is infeasible at any II and is reported as
+/// `None` instead of a silently-wrong bound.
+///
+/// Returns `Some(1)` for acyclic DFGs.
+pub fn try_rec_mii(dfg: &Dfg) -> Option<u32> {
+    // Upper bound on any feasible cycle's requirement: at
+    // `II = total latency`, any cycle with distance >= 1 is satisfied.
+    // A positive cycle surviving the upper bound therefore proves a
+    // zero-distance cycle.
     let max_ii: u32 = dfg.nodes().iter().map(|n| n.latency()).sum::<u32>().max(1);
+    if has_positive_cycle(dfg, max_ii) {
+        return None;
+    }
     // Find the smallest II with no positive cycle.
+    if !has_positive_cycle(dfg, 1) {
+        return Some(1);
+    }
     let mut lo = 1u32;
     let mut hi = max_ii;
-    if !has_positive_cycle(dfg, hi) {
-        // Even the upper bound may be unnecessary; binary search below
-        // handles it, but if II = 1 is already feasible return fast.
-        if !has_positive_cycle(dfg, 1) {
-            return 1;
-        }
-    }
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         if has_positive_cycle(dfg, mid) {
@@ -58,7 +66,17 @@ pub fn rec_mii(dfg: &Dfg) -> u32 {
             hi = mid;
         }
     }
-    lo
+    Some(lo)
+}
+
+/// Recurrence-constrained minimum II.
+///
+/// Returns 1 for acyclic DFGs, and `u32::MAX` when the DFG has a
+/// zero-distance cycle making every II infeasible (mirroring
+/// [`res_mii`]'s convention for unsupported operations); use
+/// [`try_rec_mii`] to distinguish that case explicitly.
+pub fn rec_mii(dfg: &Dfg) -> u32 {
+    try_rec_mii(dfg).unwrap_or(u32::MAX)
 }
 
 /// Whether the constraint graph has a positive-weight cycle at this II
@@ -93,6 +111,9 @@ fn has_positive_cycle(dfg: &Dfg, ii: u32) -> bool {
 }
 
 /// The minimum initiation interval `max(ResMII, RecMII)`.
+///
+/// `u32::MAX` signals an unmappable problem (unsupported operation or
+/// zero-distance cycle).
 pub fn mii(dfg: &Dfg, arch: &CgraArch) -> u32 {
     res_mii(dfg, arch).max(rec_mii(dfg))
 }
@@ -137,6 +158,28 @@ mod tests {
         // Same cycle with distance 2: ceil(4/2) = 2.
         let dfg = chain_with_self_loop(&[OpKind::Add, OpKind::Mul, OpKind::Add], 2);
         assert_eq!(rec_mii(&dfg), 2);
+    }
+
+    #[test]
+    fn zero_distance_cycle_detected() {
+        // a -> b -> a, both edges at distance 0: a combinational loop
+        // no II can break. Previously this silently returned the upper
+        // bound (`sum of latencies`) as if it were feasible.
+        let mut dfg = Dfg::new();
+        let a = dfg.add_node(OpKind::Add, None, None);
+        let b = dfg.add_node(OpKind::Mul, None, None);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, a, 0);
+        assert_eq!(try_rec_mii(&dfg), None);
+        assert_eq!(rec_mii(&dfg), u32::MAX);
+    }
+
+    #[test]
+    fn zero_distance_self_loop_detected() {
+        let mut dfg = Dfg::new();
+        let acc = dfg.add_node(OpKind::Add, None, None);
+        dfg.add_edge(acc, acc, 0);
+        assert_eq!(try_rec_mii(&dfg), None);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! The routing hot path: layered BFS over the time-extended MRRG.
+//!
+//! `route_value` transports one produced value from its origin
+//! `(PE, cycle)` to a consumer's `(PE, cycle)`, sharing the producer's
+//! existing route tree (multi-source search) and respecting per-node
+//! routing capacity. The search state space is `(mrrg node, cycle
+//! offset)`; all bookkeeping lives in the flat epoch-stamped arrays of
+//! [`RouterBuffers`], so a call performs no allocation once the
+//! buffers are warm. The discovery order is identical to the previous
+//! `BTreeMap`-based implementation, keeping default-seed mappings
+//! bit-identical.
+
+use crate::mapping::OperandSource;
+use crate::state::{Overlay, RouterBuffers, State};
+use ptmap_arch::{Mrrg, PeId, RouteNode};
+
+/// Routes `producer`'s value (first available at `(src, dep)`) to `dst`
+/// arriving exactly at cycle `arrive`, sharing the producer's existing
+/// route tree when `share` is set. On success the new positions are
+/// recorded in `overlay` and the consumer's operand source is returned.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn route_value(
+    mrrg: &Mrrg,
+    ii: u32,
+    producer: usize,
+    src: PeId,
+    dep: u32,
+    dst: PeId,
+    arrive: u32,
+    st: &State,
+    overlay: &mut Overlay,
+    bufs: &mut RouterBuffers,
+    share: bool,
+) -> Option<OperandSource> {
+    if arrive < dep || arrive - dep > ii * 8 + 64 {
+        return None;
+    }
+    let origin = mrrg.pe_slot(src, dep % ii) as u32;
+    let goal = mrrg.pe_slot(dst, arrive % ii) as u32;
+    let tree = &st.trees[producer];
+    let in_tree = |overlay: &Overlay, idx: u32, at: u32| -> bool {
+        if share {
+            tree.contains(idx, at)
+                || overlay.contains(producer, idx, at)
+                || (idx == origin && at == dep)
+        } else {
+            idx == origin && at == dep
+        }
+    };
+    // Fast path: the value is already present at the goal position
+    // (another consumer pulled it here, or it waits in the local RF).
+    if in_tree(overlay, goal, arrive) {
+        return Some(OperandSource::Local);
+    }
+    if arrive == dep {
+        // Zero transport cycles: only a same-PE bypass works.
+        return (goal == origin).then_some(OperandSource::Local);
+    }
+    // Multi-source BFS over (mrrg node, absolute cycle) states, seeded
+    // from every existing position of the value at cycles <= arrive (or
+    // only the origin when route sharing is disabled).
+    let t0 = dep;
+    let span = (arrive - t0) as usize;
+    let nodes = mrrg.node_count();
+    let width = span + 1;
+    bufs.begin(nodes, span);
+    let mut seeds = std::mem::take(&mut bufs.seeds);
+    seeds.push((origin, dep));
+    if share {
+        for &(idx, at, _) in tree.positions() {
+            if at >= t0 && at < arrive {
+                seeds.push((idx, at));
+            }
+        }
+        overlay.seeds_into(producer, t0, arrive, &mut seeds);
+    }
+    for &(idx, at) in &seeds {
+        let k = (at - t0) as usize;
+        let cell = idx as usize * width + k;
+        if !bufs.visited(cell) {
+            bufs.visit(cell, (idx, at));
+            bufs.buckets[k].push(idx);
+        }
+    }
+    bufs.seeds = seeds;
+    let mut found = false;
+    'layers: for k in 0..span {
+        let at = t0 + k as u32;
+        let nat = at + 1;
+        let nk = k + 1;
+        let mut fi = 0;
+        while fi < bufs.buckets[k].len() {
+            let cur = bufs.buckets[k][fi];
+            fi += 1;
+            for &s in mrrg.succ(cur as usize) {
+                let cell = s as usize * width + nk;
+                if bufs.visited(cell) {
+                    continue;
+                }
+                let is_goal = s == goal && nat == arrive;
+                if nat == arrive && !is_goal {
+                    continue;
+                }
+                if !is_goal && !in_tree(overlay, s, nat) {
+                    let cap = st.route_cap[s as usize];
+                    if st.route_used[s as usize] + overlay.claimed_at(s) >= cap {
+                        continue;
+                    }
+                }
+                bufs.visit(cell, (cur, at));
+                bufs.buckets[nk].push(s);
+                if is_goal {
+                    found = true;
+                }
+            }
+            if found {
+                break 'layers;
+            }
+        }
+    }
+    if !found {
+        return None;
+    }
+    // The operand source is the position the value moves from on its
+    // final hop into the consumer.
+    let last_hop = bufs.parent_of(goal as usize * width + span);
+    let source = match mrrg.decode(last_hop.0 as usize) {
+        RouteNode::Pe { pe, .. } if pe == dst => OperandSource::Local,
+        RouteNode::Pe { pe, .. } => OperandSource::Pe(pe),
+        RouteNode::Grf { .. } => OperandSource::Grf,
+    };
+    // Walk back from the goal, collecting new positions. The goal itself
+    // is the consumer's operand port: recorded as shareable but free.
+    let mut cur = (goal, arrive);
+    let mut first = true;
+    bufs.path.clear();
+    loop {
+        let prev = bufs.parent_of(cur.0 as usize * width + (cur.1 - t0) as usize);
+        let exempt = if share {
+            tree.contains(cur.0, cur.1)
+                || overlay.contains(producer, cur.0, cur.1)
+                || (cur.0 == origin && cur.1 == dep)
+        } else {
+            cur.0 == origin && cur.1 == dep
+        };
+        if !exempt {
+            bufs.path.push((cur.0, cur.1, !first));
+        }
+        first = false;
+        if prev == cur {
+            break;
+        }
+        cur = prev;
+    }
+    // Re-check capacity against the path's *combined* claims before
+    // recording anything: one path may hold the value in the same
+    // (mod-II) MRRG slot across several absolute cycles (an LRF hold
+    // wrapping around the II), and the BFS admitted each step against
+    // the overlay as it was before this route existed, so the claims
+    // of the path itself can overcommit a slot.
+    for i in 0..bufs.path.len() {
+        let (s, _, c) = bufs.path[i];
+        if !c || bufs.path[..i].iter().any(|&(s2, _, c2)| c2 && s2 == s) {
+            continue;
+        }
+        let new = bufs
+            .path
+            .iter()
+            .filter(|&&(s2, _, c2)| c2 && s2 == s)
+            .count() as u32;
+        if st.route_used[s as usize] + overlay.claimed_at(s) + new > st.route_cap[s as usize] {
+            return None;
+        }
+    }
+    for i in 0..bufs.path.len() {
+        let (s, at, c) = bufs.path[i];
+        overlay.insert_if_absent(producer, s, at, c);
+    }
+    Some(source)
+}

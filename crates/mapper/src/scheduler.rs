@@ -19,8 +19,10 @@
 
 use crate::config::MapperConfig;
 use crate::error::MapError;
-use crate::mapping::{Mapping, Placement};
+use crate::mapping::{Mapping, Placement, ProducerRoutes, RoutePos};
 use crate::mii;
+use crate::router::route_value;
+use crate::state::{Overlay, RouterBuffers, State};
 use ptmap_arch::{CgraArch, Mrrg, PeId};
 use ptmap_ir::{Dfg, OpKind};
 use rand::rngs::StdRng;
@@ -47,7 +49,9 @@ impl<'a> Scheduler<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`MapError::EmptyDfg`] or [`MapError::UnsupportedOp`].
+    /// Returns [`MapError::EmptyDfg`], [`MapError::UnsupportedOp`], or
+    /// [`MapError::ZeroDistanceCycle`] (a dependence cycle no II can
+    /// satisfy, which previously escaped as a bogus finite RecMII).
     pub fn new(
         dfg: &'a Dfg,
         arch: &'a CgraArch,
@@ -61,6 +65,7 @@ impl<'a> Scheduler<'a> {
                 return Err(MapError::UnsupportedOp(op));
             }
         }
+        let rec = mii::try_rec_mii(dfg).ok_or(MapError::ZeroDistanceCycle)?;
         let n = dfg.len();
         let mut in_edges = vec![Vec::new(); n];
         let mut out_edges = vec![Vec::new(); n];
@@ -73,7 +78,7 @@ impl<'a> Scheduler<'a> {
             dfg,
             arch,
             config,
-            mii: mii::mii(dfg, arch),
+            mii: mii::res_mii(dfg, arch).max(rec),
             asap: dfg.asap(),
             alap: dfg.alap(),
             in_edges,
@@ -94,6 +99,10 @@ impl<'a> Scheduler<'a> {
     /// maximum works.
     pub fn run(&self) -> Result<Mapping, MapError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
+        // Routing scratch shared by every attempt: the BFS buffers are
+        // epoch-stamped, so reuse is O(1) and allocation-free once warm.
+        let mut overlay = Overlay::default();
+        let mut bufs = RouterBuffers::default();
         let start = self.mii.max(1);
         for ii in start..=self.config.max_ii.max(start) {
             let mrrg = Mrrg::new(self.arch, ii);
@@ -107,7 +116,8 @@ impl<'a> Scheduler<'a> {
                 } else {
                     self.topo_order(&mut rng, restart > 1)
                 };
-                if let Some(m) = self.attempt(ii, &mrrg, &order, &mut rng) {
+                if let Some(m) = self.attempt(ii, &mrrg, &order, &mut rng, &mut overlay, &mut bufs)
+                {
                     if !self.config.polish_schedule() {
                         return Ok(m);
                     }
@@ -186,17 +196,18 @@ impl<'a> Scheduler<'a> {
         order
     }
 
-    fn attempt(&self, ii: u32, mrrg: &Mrrg, order: &[usize], rng: &mut StdRng) -> Option<Mapping> {
-        let mut st = State {
-            compute: vec![None; mrrg.slots()],
-            route_used: vec![0; mrrg.node_count()],
-            place: vec![None; self.dfg.len()],
-            routes: Vec::new(),
-            trees: Default::default(),
-            route_slots: 0,
-        };
+    fn attempt(
+        &self,
+        ii: u32,
+        mrrg: &Mrrg,
+        order: &[usize],
+        rng: &mut StdRng,
+        overlay: &mut Overlay,
+        bufs: &mut RouterBuffers,
+    ) -> Option<Mapping> {
+        let mut st = State::new(mrrg, self.dfg.len());
         for &node in order {
-            if !self.place_node(node, ii, mrrg, &mut st, rng) {
+            if !self.place_node(node, ii, mrrg, &mut st, rng, overlay, bufs) {
                 if std::env::var_os("PTMAP_MAPPER_DEBUG").is_some() {
                     eprintln!(
                         "[mapper] II={ii}: failed to place node {node} ({}) window={:?}",
@@ -224,13 +235,32 @@ impl<'a> Scheduler<'a> {
             pes.insert(pe);
         }
         let schedule_length = (t_max_end - t_min).max(ii);
+        let route_trees = st
+            .trees
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_empty())
+            .map(|(i, t)| ProducerRoutes {
+                producer: ptmap_ir::NodeId(i as u32),
+                positions: t
+                    .positions()
+                    .iter()
+                    .map(|&(slot, cycle, claims)| RoutePos {
+                        slot,
+                        cycle,
+                        claims,
+                    })
+                    .collect(),
+            })
+            .collect();
         Some(Mapping {
             ii,
             mii: self.mii,
             schedule_length,
             placements,
             route_slots: st.route_slots,
-            routes: st.routes.clone(),
+            routes: std::mem::take(&mut st.routes),
+            route_trees,
             pes_used: pes.len() as u32,
             pe_count: self.arch.pe_count() as u32,
         })
@@ -238,6 +268,7 @@ impl<'a> Scheduler<'a> {
 
     /// Attempts to place one node, routing all edges to already-placed
     /// neighbors. Returns false when no candidate works.
+    #[allow(clippy::too_many_arguments)]
     fn place_node(
         &self,
         node: usize,
@@ -245,6 +276,8 @@ impl<'a> Scheduler<'a> {
         mrrg: &Mrrg,
         st: &mut State,
         rng: &mut StdRng,
+        overlay: &mut Overlay,
+        bufs: &mut RouterBuffers,
     ) -> bool {
         let op = self.dfg.nodes()[node].op;
         let (lo, hi) = match self.time_window(node, ii, st) {
@@ -255,15 +288,24 @@ impl<'a> Scheduler<'a> {
         let mut tried = 0usize;
         // Spread the candidate budget over start times: affinity-top PEs
         // per time slot, later slots reached before the budget runs out.
+        // The budget buys depth (up to 8 PEs per slot); once spent, the
+        // remaining start times still each get their single top-affinity
+        // candidate, so a wide window never starves its tail (late
+        // starts can be the only way to leave room for transport).
         let pes_per_t = 8.min(pes.len().max(1));
         for t in lo..=hi {
-            for &pe in pes.iter().take(pes_per_t) {
-                if tried >= self.config.candidates_per_op() {
-                    return false;
-                }
+            let depth = if tried >= self.config.candidates_per_op() {
+                1
+            } else {
+                pes_per_t
+            };
+            for &pe in pes.iter().take(depth) {
                 tried += 1;
-                if self.try_commit(node, pe, t, ii, mrrg, st) {
+                if self.try_commit(node, pe, t, ii, mrrg, st, overlay, bufs) {
                     return true;
+                }
+                if tried >= self.config.candidates_per_op() {
+                    break;
                 }
             }
         }
@@ -342,6 +384,7 @@ impl<'a> Scheduler<'a> {
     /// Tries to place `node` at `(pe, t)`, routing every incident edge to
     /// placed neighbors through shared route trees; commits occupancy on
     /// success.
+    #[allow(clippy::too_many_arguments)]
     fn try_commit(
         &self,
         node: usize,
@@ -350,6 +393,8 @@ impl<'a> Scheduler<'a> {
         ii: u32,
         mrrg: &Mrrg,
         st: &mut State,
+        overlay: &mut Overlay,
+        bufs: &mut RouterBuffers,
     ) -> bool {
         let slot = mrrg.pe_slot(pe, t % ii);
         if st.compute[slot].is_some() {
@@ -393,8 +438,8 @@ impl<'a> Scheduler<'a> {
         }
         // Route one by one against an overlay so the routes of this very
         // candidate contend with (and share with) each other.
-        let mut overlay = Overlay::default();
-        let mut pending_routes = Vec::new();
+        overlay.reset(mrrg.node_count());
+        let routes_before = st.routes.len();
         for (producer, consumer, spe, dep, dpe, arrive) in routes {
             match route_value(
                 mrrg,
@@ -405,23 +450,26 @@ impl<'a> Scheduler<'a> {
                 dpe,
                 arrive,
                 st,
-                &mut overlay,
+                overlay,
+                bufs,
                 self.config.share_routes,
             ) {
-                Some(source) => pending_routes.push(crate::mapping::RouteRecord {
+                Some(source) => st.routes.push(crate::mapping::RouteRecord {
                     src: ptmap_ir::NodeId(producer as u32),
                     dst: ptmap_ir::NodeId(consumer as u32),
                     source,
                 }),
-                None => return false,
+                None => {
+                    st.routes.truncate(routes_before);
+                    return false;
+                }
             }
         }
         // Commit.
         st.compute[slot] = Some(node);
         st.place[node] = Some((pe, t));
-        st.routes.extend(pending_routes);
-        for ((producer, idx, at), claims) in overlay.tree_adds {
-            st.trees.entry(producer).or_default().insert((idx, at));
+        for &(producer, idx, at, claims) in overlay.adds() {
+            st.trees[producer].insert(idx, at, claims);
             if claims {
                 st.route_used[idx as usize] += 1;
                 st.route_slots += 1;
@@ -429,191 +477,6 @@ impl<'a> Scheduler<'a> {
         }
         true
     }
-}
-
-struct State {
-    compute: Vec<Option<usize>>,
-    route_used: Vec<u32>,
-    place: Vec<Option<(PeId, u32)>>,
-    routes: Vec<crate::mapping::RouteRecord>,
-    /// Per-producer route trees: the `(mrrg slot, absolute cycle)`
-    /// positions where the produced value already exists.
-    trees: std::collections::BTreeMap<usize, std::collections::BTreeSet<(u32, u32)>>,
-    route_slots: u32,
-}
-
-/// Pending tree extensions for one placement candidate:
-/// `(producer, slot, abs_cycle) -> claims_capacity`.
-#[derive(Default)]
-struct Overlay {
-    tree_adds: std::collections::BTreeMap<(usize, u32, u32), bool>,
-}
-
-impl Overlay {
-    fn claimed_at(&self, idx: u32) -> u32 {
-        self.tree_adds
-            .iter()
-            .filter(|(&(_, i, _), &c)| i == idx && c)
-            .count() as u32
-    }
-
-    fn contains(&self, producer: usize, idx: u32, at: u32) -> bool {
-        self.tree_adds.contains_key(&(producer, idx, at))
-    }
-}
-
-/// Routes `producer`'s value (first available at `(src, dep)`) to `dst`
-/// arriving exactly at cycle `arrive`, sharing the producer's existing
-/// route tree. On success the new positions are recorded in `overlay`
-/// and the consumer's operand source is returned.
-#[allow(clippy::too_many_arguments)]
-fn route_value(
-    mrrg: &Mrrg,
-    ii: u32,
-    producer: usize,
-    src: PeId,
-    dep: u32,
-    dst: PeId,
-    arrive: u32,
-    st: &State,
-    overlay: &mut Overlay,
-    share: bool,
-) -> Option<crate::mapping::OperandSource> {
-    use crate::mapping::OperandSource;
-    if arrive < dep || arrive - dep > ii * 8 + 64 {
-        return None;
-    }
-    let origin = mrrg.pe_slot(src, dep % ii) as u32;
-    let goal = mrrg.pe_slot(dst, arrive % ii) as u32;
-    fn position_in_tree(
-        st: &State,
-        overlay: &Overlay,
-        producer: usize,
-        origin: u32,
-        dep: u32,
-        idx: u32,
-        at: u32,
-    ) -> bool {
-        st.trees
-            .get(&producer)
-            .is_some_and(|t| t.contains(&(idx, at)))
-            || overlay.contains(producer, idx, at)
-            || (idx == origin && at == dep)
-    }
-    let in_tree = |overlay: &Overlay, idx: u32, at: u32| -> bool {
-        if share {
-            position_in_tree(st, overlay, producer, origin, dep, idx, at)
-        } else {
-            idx == origin && at == dep
-        }
-    };
-    // Fast path: the value is already present at the goal position
-    // (another consumer pulled it here, or it waits in the local RF).
-    if in_tree(overlay, goal, arrive) {
-        return Some(OperandSource::Local);
-    }
-    if arrive == dep {
-        // Zero transport cycles: only a same-PE bypass works.
-        return (goal == origin).then_some(OperandSource::Local);
-    }
-    // Multi-source BFS over (slot, absolute cycle) states, seeded from
-    // every existing position of the value at cycles <= arrive (or only
-    // the origin when route sharing is disabled).
-    let t0 = dep;
-    let span = (arrive - t0) as usize;
-    let mut seeds: Vec<(u32, u32)> = vec![(origin, dep)];
-    if share {
-        if let Some(tree) = st.trees.get(&producer) {
-            seeds.extend(
-                tree.iter()
-                    .filter(|&&(_, at)| at >= t0 && at < arrive)
-                    .copied(),
-            );
-        }
-        for &(p, idx, at) in overlay.tree_adds.keys() {
-            if p == producer && at >= t0 && at < arrive {
-                seeds.push((idx, at));
-            }
-        }
-    }
-    // buckets[k] holds slots whose value-position is at cycle t0 + k.
-    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); span + 1];
-    let mut parent: std::collections::BTreeMap<(u32, u32), (u32, u32)> = Default::default();
-    for (idx, at) in seeds {
-        let k = (at - t0) as usize;
-        if parent.insert((idx, at), (idx, at)).is_none() {
-            buckets[k].push(idx);
-        }
-    }
-    let mut found = false;
-    for k in 0..span {
-        let at = t0 + k as u32;
-        let frontier = std::mem::take(&mut buckets[k]);
-        for cur in frontier {
-            for &s in mrrg.succ(cur as usize) {
-                let nat = at + 1;
-                if parent.contains_key(&(s, nat)) {
-                    continue;
-                }
-                let is_goal = s == goal && nat == arrive;
-                if nat == arrive && !is_goal {
-                    continue;
-                }
-                if !is_goal && !in_tree(overlay, s, nat) {
-                    let cap = mrrg.route_capacity(s as usize);
-                    if st.route_used[s as usize] + overlay.claimed_at(s) >= cap {
-                        continue;
-                    }
-                }
-                parent.insert((s, nat), (cur, at));
-                buckets[(nat - t0) as usize].push(s);
-                if is_goal {
-                    found = true;
-                }
-            }
-            if found {
-                break;
-            }
-        }
-        if found {
-            break;
-        }
-    }
-    if !found {
-        return None;
-    }
-    // The operand source is the position the value moves from on its
-    // final hop into the consumer.
-    let last_hop = parent[&(goal, arrive)];
-    let source = match mrrg.decode(last_hop.0 as usize) {
-        ptmap_arch::RouteNode::Pe { pe, .. } if pe == dst => OperandSource::Local,
-        ptmap_arch::RouteNode::Pe { pe, .. } => OperandSource::Pe(pe),
-        ptmap_arch::RouteNode::Grf { .. } => OperandSource::Grf,
-    };
-    // Walk back from the goal, recording new positions. The goal itself
-    // is the consumer's operand port: recorded as shareable but free.
-    let mut cur = (goal, arrive);
-    let mut first = true;
-    loop {
-        let prev = parent[&cur];
-        let exempt = if share {
-            position_in_tree(st, overlay, producer, origin, dep, cur.0, cur.1)
-        } else {
-            cur.0 == origin && cur.1 == dep
-        };
-        if !exempt {
-            overlay
-                .tree_adds
-                .entry((producer, cur.0, cur.1))
-                .or_insert(!first);
-        }
-        first = false;
-        if prev == cur {
-            break;
-        }
-        cur = prev;
-    }
-    Some(source)
 }
 
 #[cfg(test)]
@@ -677,6 +540,7 @@ mod tests {
         // around a distance-1 cycle -> RecMII 4.
         assert!(m.ii >= 4, "ii = {}", m.ii);
         assert!(m.ii >= m.mii);
+        crate::validate::validate(&dfg, &presets::s4(), &m).unwrap();
     }
 
     #[test]
@@ -685,12 +549,14 @@ mod tests {
         let nest = p.perfect_nests().remove(0);
         let (i, j) = (nest.loops[0], nest.loops[1]);
         let dfg = build_dfg(&p, &nest, &[(i, 2), (j, 2)]).unwrap();
-        let m = map_dfg(&dfg, &presets::sl8(), &MapperConfig::default()).unwrap();
+        let arch = presets::sl8();
+        let m = map_dfg(&dfg, &arch, &MapperConfig::default()).unwrap();
         assert!(m.ii >= m.mii);
         assert_eq!(m.placements.len(), dfg.len());
         // At least ceil(#ops / II) PEs must be active.
         let min_pes = (dfg.len() as u32).div_ceil(m.ii);
         assert!(m.pes_used >= min_pes, "pes_used {} < {min_pes}", m.pes_used);
+        crate::validate::validate(&dfg, &arch, &m).unwrap();
     }
 
     #[test]
@@ -757,6 +623,25 @@ mod tests {
             map_dfg(&dfg, &presets::s4(), &MapperConfig::default()),
             Err(MapError::EmptyDfg)
         );
+    }
+
+    #[test]
+    fn zero_distance_cycle_rejected_up_front() {
+        // A combinational loop: no II can satisfy it. The old RecMII
+        // silently returned its search upper bound, sending the
+        // scheduler into a doomed (and slow) II escalation that ended
+        // in a misleading `Infeasible`.
+        use ptmap_ir::OpKind;
+        let mut dfg = ptmap_ir::Dfg::new();
+        let a = dfg.add_node(OpKind::Add, None, None);
+        let b = dfg.add_node(OpKind::Mul, None, None);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, a, 0);
+        assert_eq!(
+            map_dfg(&dfg, &presets::s4(), &MapperConfig::default()),
+            Err(MapError::ZeroDistanceCycle)
+        );
+        assert!(Scheduler::new(&dfg, &presets::s4(), &MapperConfig::default()).is_err());
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Mutable search state of one placement attempt.
+//!
+//! The scheduler's hot path is the routing BFS, so the state here is
+//! deliberately flat: dense per-MRRG-node arrays for occupancy and
+//! capacities, per-producer route trees as sorted vectors, and
+//! epoch-stamped scratch buffers ([`RouterBuffers`]) that the BFS
+//! reuses across every `route_value` call of an attempt instead of
+//! allocating fresh maps per edge.
+
+use crate::mapping::RouteRecord;
+use ptmap_arch::{Mrrg, PeId};
+
+/// One recorded position of a produced value: `(mrrg slot, absolute
+/// cycle)` plus how many routing-capacity units it claims there (0 for
+/// consumer operand ports; can exceed 1 when route sharing is disabled
+/// and several independent routes pass through the same position).
+pub(crate) type TreePos = (u32, u32, u32);
+
+/// The `(slot, absolute cycle)` positions where one producer's value
+/// exists, sorted by `(slot, cycle)` for binary-search membership and
+/// deterministic seed iteration.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct RouteTree {
+    positions: Vec<TreePos>,
+}
+
+impl RouteTree {
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    pub fn positions(&self) -> &[TreePos] {
+        &self.positions
+    }
+
+    fn index_of(&self, slot: u32, at: u32) -> Result<usize, usize> {
+        self.positions
+            .binary_search_by_key(&(slot, at), |&(s, a, _)| (s, a))
+    }
+
+    pub fn contains(&self, slot: u32, at: u32) -> bool {
+        self.index_of(slot, at).is_ok()
+    }
+
+    /// Records a position (or another capacity claim on an existing
+    /// one, which happens only when route sharing is off).
+    pub fn insert(&mut self, slot: u32, at: u32, claims: bool) {
+        match self.index_of(slot, at) {
+            Ok(i) => self.positions[i].2 += claims as u32,
+            Err(i) => self.positions.insert(i, (slot, at, claims as u32)),
+        }
+    }
+}
+
+/// Mutable state of one placement attempt.
+pub(crate) struct State {
+    /// Per-compute-slot occupancy: the DFG node placed there.
+    pub compute: Vec<Option<usize>>,
+    /// Per-MRRG-node committed routing-capacity claims.
+    pub route_used: Vec<u32>,
+    /// Cached `Mrrg::route_capacity` per node (hot in the BFS).
+    pub route_cap: Vec<u32>,
+    /// Per-DFG-node placement `(pe, absolute start cycle)`.
+    pub place: Vec<Option<(PeId, u32)>>,
+    /// Per-data-edge routing outcomes, in commit order.
+    pub routes: Vec<RouteRecord>,
+    /// Per-producer route trees, indexed by DFG node.
+    pub trees: Vec<RouteTree>,
+    /// Total committed capacity claims (the energy model's input).
+    pub route_slots: u32,
+}
+
+impl State {
+    pub fn new(mrrg: &Mrrg, dfg_len: usize) -> Self {
+        let n = mrrg.node_count();
+        State {
+            compute: vec![None; mrrg.slots()],
+            route_used: vec![0; n],
+            route_cap: (0..n).map(|i| mrrg.route_capacity(i)).collect(),
+            place: vec![None; dfg_len],
+            routes: Vec::new(),
+            trees: vec![RouteTree::default(); dfg_len],
+            route_slots: 0,
+        }
+    }
+}
+
+/// Pending route-tree extensions for one placement candidate.
+///
+/// Cleared (not reallocated) between candidates. The per-slot claim
+/// counters are maintained incrementally on insert, so the BFS capacity
+/// check is O(1) instead of a scan over the overlay.
+#[derive(Debug, Default)]
+pub(crate) struct Overlay {
+    /// `(producer, slot, abs cycle, claims)` in insertion order.
+    adds: Vec<(usize, u32, u32, bool)>,
+    /// Dense per-MRRG-node claim counters for the pending adds.
+    claimed: Vec<u32>,
+    /// Slots with a nonzero `claimed` entry, for O(touched) clearing.
+    touched: Vec<u32>,
+}
+
+impl Overlay {
+    /// Prepares for a new candidate against an MRRG with `nodes` nodes.
+    pub fn reset(&mut self, nodes: usize) {
+        for &i in &self.touched {
+            self.claimed[i as usize] = 0;
+        }
+        self.touched.clear();
+        self.adds.clear();
+        if self.claimed.len() < nodes {
+            self.claimed.resize(nodes, 0);
+        }
+    }
+
+    /// Pending capacity claims on one MRRG node.
+    pub fn claimed_at(&self, idx: u32) -> u32 {
+        self.claimed[idx as usize]
+    }
+
+    pub fn contains(&self, producer: usize, idx: u32, at: u32) -> bool {
+        self.adds
+            .iter()
+            .any(|&(p, i, a, _)| p == producer && i == idx && a == at)
+    }
+
+    /// Records a position unless already pending; an existing entry
+    /// keeps its original `claims` flag (the first recording wins, as
+    /// with `BTreeMap::entry(..).or_insert`).
+    pub fn insert_if_absent(&mut self, producer: usize, idx: u32, at: u32, claims: bool) {
+        if self.contains(producer, idx, at) {
+            return;
+        }
+        self.adds.push((producer, idx, at, claims));
+        if claims {
+            if self.claimed[idx as usize] == 0 {
+                self.touched.push(idx);
+            }
+            self.claimed[idx as usize] += 1;
+        }
+    }
+
+    /// Appends this producer's pending positions within `[t0, arrive)`
+    /// to `out`, sorted by `(slot, cycle)` — the iteration order the
+    /// previous `BTreeMap` keyset gave, which seed order (and therefore
+    /// mapping determinism) depends on.
+    pub fn seeds_into(&self, producer: usize, t0: u32, arrive: u32, out: &mut Vec<(u32, u32)>) {
+        let start = out.len();
+        for &(p, idx, at, _) in &self.adds {
+            if p == producer && at >= t0 && at < arrive {
+                out.push((idx, at));
+            }
+        }
+        out[start..].sort_unstable();
+    }
+
+    /// The pending adds, for committing into [`State`].
+    pub fn adds(&self) -> &[(usize, u32, u32, bool)] {
+        &self.adds
+    }
+}
+
+/// Reusable scratch buffers for the routing BFS.
+///
+/// The BFS state space is `(mrrg node, cycle offset)` with offsets in
+/// `0..=span`; both the visited stamps and the parent links live in
+/// flat arrays indexed by `node * (span + 1) + offset`. Visited is an
+/// epoch stamp, so starting a new search is O(1) — no clearing of the
+/// dense arrays, and stale entries from earlier searches (even with a
+/// different span layout) can never alias the current epoch.
+#[derive(Debug, Default)]
+pub(crate) struct RouterBuffers {
+    epoch: Vec<u32>,
+    parent: Vec<(u32, u32)>,
+    cur: u32,
+    /// `buckets[k]` holds MRRG nodes whose value-position is at cycle
+    /// `t0 + k`, in discovery order.
+    pub buckets: Vec<Vec<u32>>,
+    /// Seed scratch for multi-source starts.
+    pub seeds: Vec<(u32, u32)>,
+    /// Walk-back scratch: `(slot, abs cycle, claims)` of the found path.
+    pub path: Vec<(u32, u32, bool)>,
+}
+
+impl RouterBuffers {
+    /// Starts a new search over `nodes * (span + 1)` states.
+    pub fn begin(&mut self, nodes: usize, span: usize) {
+        let cells = nodes * (span + 1);
+        if self.epoch.len() < cells {
+            self.epoch.resize(cells, 0);
+            self.parent.resize(cells, (0, 0));
+        }
+        if self.buckets.len() <= span {
+            self.buckets.resize_with(span + 1, Vec::new);
+        }
+        for b in &mut self.buckets[..=span] {
+            b.clear();
+        }
+        if self.cur == u32::MAX {
+            self.epoch.iter_mut().for_each(|e| *e = 0);
+            self.cur = 0;
+        }
+        self.cur += 1;
+        self.seeds.clear();
+    }
+
+    pub fn visited(&self, cell: usize) -> bool {
+        self.epoch[cell] == self.cur
+    }
+
+    /// Marks a state visited and records the position it was reached
+    /// from (a state that is its own parent is a search seed).
+    pub fn visit(&mut self, cell: usize, from: (u32, u32)) {
+        self.epoch[cell] = self.cur;
+        self.parent[cell] = from;
+    }
+
+    pub fn parent_of(&self, cell: usize) -> (u32, u32) {
+        debug_assert!(self.visited(cell));
+        self.parent[cell]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_tree_insert_and_lookup() {
+        let mut t = RouteTree::default();
+        assert!(t.is_empty());
+        t.insert(5, 10, true);
+        t.insert(3, 10, false);
+        t.insert(5, 9, true);
+        assert!(t.contains(5, 10));
+        assert!(t.contains(3, 10));
+        assert!(!t.contains(5, 11));
+        // Sorted by (slot, cycle).
+        let slots: Vec<(u32, u32)> = t.positions().iter().map(|&(s, a, _)| (s, a)).collect();
+        assert_eq!(slots, vec![(3, 10), (5, 9), (5, 10)]);
+        // Re-inserting an existing position accumulates claims.
+        t.insert(5, 10, true);
+        let claims = t
+            .positions()
+            .iter()
+            .find(|p| p.0 == 5 && p.1 == 10)
+            .unwrap();
+        assert_eq!(claims.2, 2);
+    }
+
+    #[test]
+    fn overlay_counts_claims_incrementally() {
+        let mut o = Overlay::default();
+        o.reset(16);
+        o.insert_if_absent(0, 3, 7, true);
+        o.insert_if_absent(0, 3, 8, true);
+        o.insert_if_absent(1, 3, 9, true);
+        o.insert_if_absent(0, 4, 7, false);
+        assert_eq!(o.claimed_at(3), 3);
+        assert_eq!(o.claimed_at(4), 0);
+        // Duplicate key keeps the first claims flag and counts once.
+        o.insert_if_absent(0, 3, 7, true);
+        assert_eq!(o.claimed_at(3), 3);
+        o.reset(16);
+        assert_eq!(o.claimed_at(3), 0);
+        assert!(o.adds().is_empty());
+    }
+
+    #[test]
+    fn overlay_seeds_sorted_per_producer() {
+        let mut o = Overlay::default();
+        o.reset(8);
+        o.insert_if_absent(2, 7, 5, true);
+        o.insert_if_absent(2, 1, 6, true);
+        o.insert_if_absent(9, 0, 5, true);
+        o.insert_if_absent(2, 1, 4, false);
+        let mut seeds = Vec::new();
+        o.seeds_into(2, 4, 7, &mut seeds);
+        assert_eq!(seeds, vec![(1, 4), (1, 6), (7, 5)]);
+    }
+
+    #[test]
+    fn router_buffers_epochs_do_not_leak() {
+        let mut b = RouterBuffers::default();
+        b.begin(4, 2);
+        assert!(!b.visited(0));
+        b.visit(0, (1, 2));
+        assert!(b.visited(0));
+        assert_eq!(b.parent_of(0), (1, 2));
+        // A new search with a different span sees everything unvisited.
+        b.begin(4, 5);
+        for cell in 0..4 * 6 {
+            assert!(!b.visited(cell));
+        }
+    }
+}

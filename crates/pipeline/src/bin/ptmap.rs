@@ -66,6 +66,7 @@ fn print_usage() {
     eprintln!("          [--predictor {{analytical|oracle}}] [--emit-contexts]");
     eprintln!("  batch   --manifest jobs.json [--jobs N] [--eval-workers N]");
     eprintln!("          [--cache-dir DIR] [--metrics out.json] [--out out.json]");
+    eprintln!("          [--validate]");
     eprintln!("  parse   --source FILE");
 }
 
@@ -232,7 +233,7 @@ fn batch(args: &[String]) -> ExitCode {
             "--metrics",
             "--out",
         ],
-        &[],
+        &["--validate"],
     ) {
         Ok(f) => f,
         Err(e) => return usage_error(&e),
@@ -243,13 +244,18 @@ fn batch(args: &[String]) -> ExitCode {
         let jobs = Manifest::from_json(&text)?.resolve()?;
         let workers = parse_count(flags.get("--jobs"), "--jobs")?;
         let eval_workers = parse_count(flags.get("--eval-workers"), "--eval-workers")?;
+        let mut base = PtMapConfig {
+            eval_workers,
+            ..PtMapConfig::default()
+        };
+        // Run the mapping invariant validator on every accepted mapping.
+        // Part of the cache key, so validated and unvalidated runs do
+        // not share entries.
+        base.mapper.validate = flags.has("--validate");
         let config = BatchConfig {
             workers,
             cache_dir: flags.get("--cache-dir").map(Into::into),
-            base: PtMapConfig {
-                eval_workers,
-                ..PtMapConfig::default()
-            },
+            base,
         };
         let batch = run_batch(&jobs, &config);
         for (o, m) in batch.outcomes.iter().zip(&batch.metrics.jobs) {

@@ -113,11 +113,20 @@ impl ReportCache {
         if let Some(dir) = &self.dir {
             if let Ok(text) = serde_json::to_string_pretty(report) {
                 // Write-then-rename so a concurrent reader never sees a
-                // half-written entry.
-                let tmp = dir.join(format!("{key}.json.tmp"));
+                // half-written entry. The temp name must be unique per
+                // writer: with a shared `<key>.json.tmp`, two processes
+                // (or threads with separate caches) racing on the same
+                // key interleave write/rename and one rename publishes
+                // the other writer's possibly half-written file.
+                static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+                let tmp = dir.join(format!(
+                    "{key}.json.tmp.{}.{}",
+                    std::process::id(),
+                    WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
                 let dst = dir.join(format!("{key}.json"));
-                if std::fs::write(&tmp, text).is_ok() {
-                    let _ = std::fs::rename(&tmp, &dst);
+                if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &dst).is_err() {
+                    let _ = std::fs::remove_file(&tmp);
                 }
             }
         }
@@ -224,6 +233,44 @@ mod tests {
         let cache = ReportCache::with_dir(&dir).unwrap();
         assert_eq!(cache.get("k").unwrap(), report);
         assert_eq!(cache.stats(), (1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_puts_on_same_key_leave_one_valid_entry() {
+        let dir = std::env::temp_dir().join(format!(
+            "ptmap-cache-race-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = std::sync::Arc::new(ReportCache::with_dir(&dir).unwrap());
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let cache = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                let report = CompileReport {
+                    cycles: i,
+                    ..sample_report()
+                };
+                for _ in 0..50 {
+                    cache.put("contended", &report);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Exactly one published file, no leftover temp files, and the
+        // entry parses as one writer's complete report.
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["contended.json".to_string()], "{names:?}");
+        let fresh = ReportCache::with_dir(&dir).unwrap();
+        let got = fresh.get("contended").expect("entry readable");
+        assert!(got.cycles < 8);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
