@@ -138,6 +138,7 @@ pub fn ptmap_app_batch(
                 arch: arch.clone(),
                 predictor: PredictorSpec::Gnn(model.clone()),
                 mode,
+                degraded: None,
             });
         }
     }
@@ -151,6 +152,7 @@ pub fn ptmap_app_batch(
             eval_workers: env_usize("PTMAP_EVAL_WORKERS", 1),
             ..PtMapConfig::default()
         },
+        ..BatchConfig::default()
     };
     let batch = run_batch(&jobs, &config);
     write_json(metrics_name, &batch.metrics);

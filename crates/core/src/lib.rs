@@ -41,19 +41,17 @@ pub mod realize;
 pub mod report;
 
 pub use metrics::CompileMetrics;
-pub use realize::realize_program;
+pub use realize::{realize_program, realize_program_budgeted};
 pub use report::{CompileReport, PnlRealization};
 
 use ptmap_arch::CgraArch;
-use ptmap_eval::{
-    evaluate_forest_sharded, select_programs, EvalConfig, IiPredictor, ProgramChoice, RankMode,
-};
+use ptmap_eval::{select_programs, EvalConfig, IiPredictor, ProgramChoice, RankMode};
 use ptmap_ir::dfg::build_dfg;
 use ptmap_ir::Program;
-use ptmap_mapper::{map_dfg, MapperConfig};
+use ptmap_mapper::MapperConfig;
 use ptmap_model::MemoryProfiler;
 use ptmap_sim::{simulate_pnl, EnergyModel};
-use ptmap_transform::{explore, ExploreConfig};
+use ptmap_transform::ExploreConfig;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Instant;
@@ -66,6 +64,25 @@ pub enum PtMapError {
     NoPnl,
     /// No ranked candidate combination was mappable by the back-end.
     NothingMappable,
+    /// The compilation budget's deadline (or work limit) ran out;
+    /// whichever stage was running (exploration, evaluation, context
+    /// generation) stopped cooperatively at its next checkpoint.
+    Timeout,
+    /// The compilation budget was cancelled from outside.
+    Cancelled,
+    /// An `error`-mode fault point fired somewhere in the pipeline
+    /// (fault injection only; see `ptmap_governor::faultpoint`).
+    Fault(String),
+}
+
+impl From<ptmap_governor::BudgetExceeded> for PtMapError {
+    fn from(e: ptmap_governor::BudgetExceeded) -> Self {
+        match e {
+            ptmap_governor::BudgetExceeded::Cancelled => PtMapError::Cancelled,
+            ptmap_governor::BudgetExceeded::Timeout
+            | ptmap_governor::BudgetExceeded::WorkExhausted => PtMapError::Timeout,
+        }
+    }
 }
 
 impl fmt::Display for PtMapError {
@@ -78,11 +95,26 @@ impl fmt::Display for PtMapError {
                     "no ranked transformation had all innermost loops mappable"
                 )
             }
+            PtMapError::Timeout => write!(f, "compilation timed out: budget exceeded"),
+            PtMapError::Cancelled => write!(f, "compilation cancelled"),
+            PtMapError::Fault(site) => write!(f, "injected fault at {site}"),
         }
     }
 }
 
 impl std::error::Error for PtMapError {}
+
+/// Narrows a [`ptmap_mapper::MapError`] to the budget/fault errors the
+/// pipeline must surface as-is; everything else (infeasible, unsupported
+/// op, …) is a per-candidate rejection the caller handles locally.
+fn map_error_to_pipeline(e: &ptmap_mapper::MapError) -> Option<PtMapError> {
+    match e {
+        ptmap_mapper::MapError::Timeout => Some(PtMapError::Timeout),
+        ptmap_mapper::MapError::Cancelled => Some(PtMapError::Cancelled),
+        ptmap_mapper::MapError::Fault(site) => Some(PtMapError::Fault(site.clone())),
+        _ => None,
+    }
+}
 
 /// Pipeline configuration.
 ///
@@ -175,6 +207,25 @@ impl PtMap {
         self.compile_instrumented(program, arch).0
     }
 
+    /// Runs the full pipeline under a cooperative
+    /// [`ptmap_governor::Budget`]: every stage checks the budget at its
+    /// natural granularity (per variant branch while exploring, per
+    /// candidate while evaluating, per placement attempt while mapping)
+    /// and surfaces [`PtMapError::Timeout`] / [`PtMapError::Cancelled`]
+    /// promptly when it runs out.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PtMap::compile`] returns, plus the budget errors.
+    pub fn compile_budgeted(
+        &self,
+        program: &Program,
+        arch: &CgraArch,
+        budget: &ptmap_governor::Budget,
+    ) -> Result<CompileReport, PtMapError> {
+        self.compile_instrumented_budgeted(program, arch, budget).0
+    }
+
     /// Runs the full pipeline, returning the per-stage
     /// [`CompileMetrics`] alongside the result (the metrics are filled
     /// even when compilation fails).
@@ -183,8 +234,19 @@ impl PtMap {
         program: &Program,
         arch: &CgraArch,
     ) -> (Result<CompileReport, PtMapError>, CompileMetrics) {
+        self.compile_instrumented_budgeted(program, arch, &ptmap_governor::Budget::unlimited())
+    }
+
+    /// [`PtMap::compile_budgeted`] with [`CompileMetrics`] (see
+    /// [`PtMap::compile_instrumented`]).
+    pub fn compile_instrumented_budgeted(
+        &self,
+        program: &Program,
+        arch: &CgraArch,
+        budget: &ptmap_governor::Budget,
+    ) -> (Result<CompileReport, PtMapError>, CompileMetrics) {
         let mut m = CompileMetrics::default();
-        let result = self.compile_inner(program, arch, &mut m);
+        let result = self.compile_inner(program, arch, budget, &mut m);
         (result, m)
     }
 
@@ -192,6 +254,7 @@ impl PtMap {
         &self,
         program: &Program,
         arch: &CgraArch,
+        budget: &ptmap_governor::Budget,
         m: &mut CompileMetrics,
     ) -> Result<CompileReport, PtMapError> {
         let t0 = Instant::now();
@@ -200,20 +263,40 @@ impl PtMap {
         }
         // 1. Top-down exploration.
         let t = Instant::now();
-        let forest = explore(program, &self.config.explore);
+        // A budgeted exploration only fails on the budget itself, so the
+        // catch-all arm maps the remaining (unreachable) variants to
+        // Timeout rather than inventing a new error class.
+        let forest = ptmap_transform::explore_budgeted(program, &self.config.explore, budget)
+            .map_err(|e| match e {
+                ptmap_transform::TransformError::Cancelled => PtMapError::Cancelled,
+                _ => PtMapError::Timeout,
+            });
         m.explore_seconds += t.elapsed().as_secs_f64();
+        let forest = forest?;
         let explored = forest.candidate_count();
         m.candidates_explored = explored;
         // 2. Bottom-up evaluation + ranking (candidates are independent,
         // so this stage shards across `eval_workers` threads).
         let t = Instant::now();
-        let eval = evaluate_forest_sharded(
+        let eval = ptmap_eval::evaluate_forest_sharded_budgeted(
             &forest,
             arch,
             self.predictor.as_ref(),
             &self.config.eval,
             self.config.eval_workers,
-        );
+            budget,
+        )
+        .map_err(|e| match e {
+            ptmap_eval::EvalError::Cancelled => PtMapError::Cancelled,
+            _ => PtMapError::Timeout,
+        });
+        let eval = match eval {
+            Ok(eval) => eval,
+            Err(e) => {
+                m.evaluate_seconds += t.elapsed().as_secs_f64();
+                return Err(e);
+            }
+        };
         let pruned: usize = eval
             .variants
             .iter()
@@ -235,9 +318,9 @@ impl PtMap {
         };
         for choice in &choices {
             attempts += 1;
-            if let Some(report) =
-                self.realize(&eval, choice, arch, explored, pruned, attempts, t0, m)
-            {
+            if let Some(report) = self.realize(
+                &eval, choice, arch, explored, pruned, attempts, t0, budget, m,
+            )? {
                 realized += 1;
                 if best
                     .as_ref()
@@ -256,16 +339,28 @@ impl PtMap {
             || (best.is_some() && self.config.identity_guard);
         if use_identity {
             let t = Instant::now();
-            let identity_result = crate::realize::realize_program(
+            let identity_result = crate::realize::realize_program_budgeted(
                 program,
                 arch,
                 &self.config.mapper,
                 &self.config.energy,
                 &[],
+                budget,
             );
             // The identity pass interleaves scheduling and simulation;
             // charge it to the mapping stage.
             m.map_seconds += t.elapsed().as_secs_f64();
+            // Budget/fault errors abort the whole compile even when a
+            // transformed choice already realized: a timed-out job must
+            // not silently return a report that skipped the guard.
+            if let Err(e) = &identity_result {
+                if matches!(
+                    e,
+                    PtMapError::Timeout | PtMapError::Cancelled | PtMapError::Fault(_)
+                ) {
+                    return Err(e.clone());
+                }
+            }
             if let Ok(mut identity) = identity_result {
                 m.mapper_accepts += identity.pnls.len();
                 if ptmap_mapper::validation_enabled(&self.config.mapper) {
@@ -294,7 +389,9 @@ impl PtMap {
     }
 
     /// Attempts to map every PNL of a program-level choice; returns the
-    /// full report on success.
+    /// full report on success, `None` when the back-end rejects a
+    /// candidate, and an error when the budget runs out (or a fault
+    /// point fires) mid-realization.
     #[allow(clippy::too_many_arguments)]
     fn realize(
         &self,
@@ -305,8 +402,9 @@ impl PtMap {
         pruned: usize,
         attempts: usize,
         t0: Instant,
+        budget: &ptmap_governor::Budget,
         m: &mut CompileMetrics,
-    ) -> Option<CompileReport> {
+    ) -> Result<Option<CompileReport>, PtMapError> {
         let variant = &eval.variants[choice.variant];
         let mut pnls = Vec::new();
         let mut cycles = ptmap_eval::non_pnl_cycles(&variant.program);
@@ -315,18 +413,26 @@ impl PtMap {
             let e = &variant.rankings[pnl_idx].evaluated[sel];
             let c = &e.candidate;
             let t = Instant::now();
-            let mapped = build_dfg(&c.program, &c.nest, &c.unroll)
-                .ok()
-                .and_then(|dfg| {
-                    map_dfg(&dfg, arch, &self.config.mapper)
-                        .ok()
-                        .map(|mp| (dfg, mp))
-                });
-            m.map_seconds += t.elapsed().as_secs_f64();
+            let mapped = match build_dfg(&c.program, &c.nest, &c.unroll) {
+                Ok(dfg) => {
+                    match ptmap_mapper::map_dfg_budgeted(&dfg, arch, &self.config.mapper, budget) {
+                        Ok(mp) => Some((dfg, mp)),
+                        Err(e) => {
+                            m.map_seconds += t.elapsed().as_secs_f64();
+                            if let Some(p) = map_error_to_pipeline(&e) {
+                                return Err(p);
+                            }
+                            None
+                        }
+                    }
+                }
+                Err(_) => None,
+            };
             let Some((dfg, mapping)) = mapped else {
                 m.mapper_rejects += 1;
-                return None;
+                return Ok(None);
             };
+            m.map_seconds += t.elapsed().as_secs_f64();
             m.mapper_accepts += 1;
             // map_dfg validates internally when enabled; an accepted
             // mapping was therefore also a validated one.
@@ -367,7 +473,7 @@ impl PtMap {
             m.simulate_seconds += t.elapsed().as_secs_f64();
         }
         let edp = self.config.energy.edp(energy, cycles);
-        Some(CompileReport {
+        Ok(Some(CompileReport {
             program: variant.program.name.clone(),
             arch: arch.name().to_string(),
             mode: self.config.mode,
@@ -379,7 +485,7 @@ impl PtMap {
             candidates_pruned: pruned,
             context_generation_attempts: attempts,
             compile_seconds: t0.elapsed().as_secs_f64(),
-        })
+        }))
     }
 }
 
@@ -388,6 +494,7 @@ mod tests {
     use super::*;
     use ptmap_arch::presets;
     use ptmap_eval::AnalyticalPredictor;
+    use ptmap_mapper::map_dfg;
 
     fn quick_config() -> PtMapConfig {
         PtMapConfig {
@@ -498,5 +605,71 @@ mod tests {
         let p = ptmap_ir::ProgramBuilder::new("empty").finish();
         let ptmap = PtMap::new(Box::new(AnalyticalPredictor), quick_config());
         assert_eq!(ptmap.compile(&p, &presets::s4()), Err(PtMapError::NoPnl));
+    }
+
+    #[test]
+    fn governor_variant_displays() {
+        assert_eq!(
+            PtMapError::Timeout.to_string(),
+            "compilation timed out: budget exceeded"
+        );
+        assert_eq!(PtMapError::Cancelled.to_string(), "compilation cancelled");
+        assert_eq!(
+            PtMapError::Fault("cache_read".into()).to_string(),
+            "injected fault at cache_read"
+        );
+        use ptmap_governor::BudgetExceeded;
+        assert_eq!(
+            PtMapError::from(BudgetExceeded::Timeout),
+            PtMapError::Timeout
+        );
+        assert_eq!(
+            PtMapError::from(BudgetExceeded::WorkExhausted),
+            PtMapError::Timeout
+        );
+        assert_eq!(
+            PtMapError::from(BudgetExceeded::Cancelled),
+            PtMapError::Cancelled
+        );
+    }
+
+    #[test]
+    fn cancelled_budget_stops_compilation() {
+        let p = ptmap_workloads::micro::gemm(24);
+        let ptmap = PtMap::new(Box::new(AnalyticalPredictor), quick_config());
+        let budget = ptmap_governor::Budget::cancellable();
+        budget.cancel();
+        assert_eq!(
+            ptmap.compile_budgeted(&p, &presets::s4(), &budget),
+            Err(PtMapError::Cancelled)
+        );
+    }
+
+    #[test]
+    fn expired_deadline_times_out_promptly() {
+        let p = ptmap_workloads::micro::gemm(24);
+        let ptmap = PtMap::new(Box::new(AnalyticalPredictor), quick_config());
+        let budget = ptmap_governor::Budget::with_deadline(std::time::Duration::ZERO);
+        let t0 = Instant::now();
+        assert_eq!(
+            ptmap.compile_budgeted(&p, &presets::s4(), &budget),
+            Err(PtMapError::Timeout)
+        );
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "timeout must cut the search short"
+        );
+    }
+
+    #[test]
+    fn generous_budget_matches_unlimited_result() {
+        // A deadline that never fires must not perturb the result: the
+        // governor only *observes* until it trips.
+        let p = ptmap_workloads::micro::gemm(24);
+        let ptmap = PtMap::new(Box::new(AnalyticalPredictor), quick_config());
+        let free = ptmap.compile(&p, &presets::s4()).unwrap();
+        let budget = ptmap_governor::Budget::with_deadline(std::time::Duration::from_secs(3600));
+        let timed = ptmap.compile_budgeted(&p, &presets::s4(), &budget).unwrap();
+        assert_eq!(free.without_timing(), timed.without_timing());
     }
 }

@@ -38,6 +38,12 @@ pub struct CompileMetrics {
     pub mappings_validated: usize,
     /// Ranked program-level choices tried during context generation.
     pub context_generation_attempts: usize,
+    /// Degradations applied to produce this result (e.g. a retry at
+    /// reduced effort after a timeout, or an analytical-predictor
+    /// fallback after a GNN load failure). Empty for a full-fidelity
+    /// compilation; consumers treat any entry as "result is best-effort".
+    #[serde(default)]
+    pub degradations: Vec<String>,
 }
 
 impl CompileMetrics {
@@ -58,6 +64,7 @@ impl CompileMetrics {
         self.mapper_rejects += other.mapper_rejects;
         self.mappings_validated += other.mappings_validated;
         self.context_generation_attempts += other.context_generation_attempts;
+        self.degradations.extend(other.degradations.iter().cloned());
     }
 }
 

@@ -11,7 +11,7 @@ use ptmap_arch::CgraArch;
 use ptmap_eval::non_pnl_cycles;
 use ptmap_ir::dfg::build_dfg;
 use ptmap_ir::{LoopId, Program};
-use ptmap_mapper::{map_dfg, MapperConfig};
+use ptmap_mapper::MapperConfig;
 use ptmap_model::MemoryProfiler;
 use ptmap_sim::exec::OFFCHIP_BYTES_PER_CYCLE;
 use ptmap_sim::EnergyModel;
@@ -32,6 +32,32 @@ pub fn realize_program(
     energy_model: &EnergyModel,
     unroll_per_pnl: &[Vec<(LoopId, u32)>],
 ) -> Result<CompileReport, PtMapError> {
+    realize_program_budgeted(
+        program,
+        arch,
+        mapper,
+        energy_model,
+        unroll_per_pnl,
+        &ptmap_governor::Budget::unlimited(),
+    )
+}
+
+/// [`realize_program`] under a cooperative [`ptmap_governor::Budget`]
+/// (threaded into every `map_dfg` call).
+///
+/// # Errors
+///
+/// Everything [`realize_program`] returns, plus
+/// [`PtMapError::Timeout`] / [`PtMapError::Cancelled`] from the budget
+/// and [`PtMapError::Fault`] from injected faults.
+pub fn realize_program_budgeted(
+    program: &Program,
+    arch: &CgraArch,
+    mapper: &MapperConfig,
+    energy_model: &EnergyModel,
+    unroll_per_pnl: &[Vec<(LoopId, u32)>],
+    budget: &ptmap_governor::Budget,
+) -> Result<CompileReport, PtMapError> {
     let t0 = Instant::now();
     let nests = program.perfect_nests();
     if nests.is_empty() {
@@ -43,7 +69,13 @@ pub fn realize_program(
     for (i, nest) in nests.iter().enumerate() {
         let unroll = unroll_per_pnl.get(i).cloned().unwrap_or_default();
         let dfg = build_dfg(program, nest, &unroll).map_err(|_| PtMapError::NothingMappable)?;
-        let mapping = map_dfg(&dfg, arch, mapper).map_err(|_| PtMapError::NothingMappable)?;
+        let mapping =
+            ptmap_mapper::map_dfg_budgeted(&dfg, arch, mapper, budget).map_err(|e| match e {
+                ptmap_mapper::MapError::Timeout => PtMapError::Timeout,
+                ptmap_mapper::MapError::Cancelled => PtMapError::Cancelled,
+                ptmap_mapper::MapError::Fault(site) => PtMapError::Fault(site),
+                _ => PtMapError::NothingMappable,
+            })?;
         let profile = MemoryProfiler::new(program).profile(nest, arch, mapping.ii);
         let eff: Vec<u64> = nest
             .loops

@@ -1,0 +1,66 @@
+//! Evaluation error type.
+//!
+//! Plain evaluation is total — malformed candidates are *pruned*, not
+//! errors — so the only failures are budget exhaustion from the
+//! budgeted entry points.
+
+use std::fmt;
+
+/// Errors raised by budgeted evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// The compilation budget's deadline (or work limit) ran out while
+    /// profiling candidates; checked per candidate, so evaluation exits
+    /// promptly instead of finishing the whole forest.
+    Timeout,
+    /// The compilation budget was cancelled from outside.
+    Cancelled,
+}
+
+impl From<ptmap_governor::BudgetExceeded> for EvalError {
+    fn from(e: ptmap_governor::BudgetExceeded) -> Self {
+        match e {
+            ptmap_governor::BudgetExceeded::Cancelled => EvalError::Cancelled,
+            ptmap_governor::BudgetExceeded::Timeout
+            | ptmap_governor::BudgetExceeded::WorkExhausted => EvalError::Timeout,
+        }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Timeout => write!(f, "evaluation timed out: compilation budget exceeded"),
+            EvalError::Cancelled => write!(f, "evaluation cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<EvalError>();
+    }
+
+    #[test]
+    fn governor_variant_displays() {
+        assert_eq!(
+            EvalError::Timeout.to_string(),
+            "evaluation timed out: compilation budget exceeded"
+        );
+        assert_eq!(EvalError::Cancelled.to_string(), "evaluation cancelled");
+        use ptmap_governor::BudgetExceeded;
+        assert_eq!(EvalError::from(BudgetExceeded::Timeout), EvalError::Timeout);
+        assert_eq!(
+            EvalError::from(BudgetExceeded::Cancelled),
+            EvalError::Cancelled
+        );
+    }
+}

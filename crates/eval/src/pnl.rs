@@ -139,8 +139,41 @@ pub fn evaluate_result_array_sharded(
     config: &EvalConfig,
     workers: usize,
 ) -> PnlRanking {
+    evaluate_result_array_sharded_budgeted(
+        candidates,
+        arch,
+        predictor,
+        config,
+        workers,
+        &ptmap_governor::Budget::unlimited(),
+    )
+    .expect("unlimited budget cannot run out")
+}
+
+/// [`evaluate_result_array_sharded`] under a cooperative
+/// [`ptmap_governor::Budget`]: every shard checks the budget per
+/// candidate and stops early when it runs out, so a deadline interrupts
+/// profiling within one candidate's latency instead of one PNL's.
+///
+/// # Errors
+///
+/// [`crate::EvalError::Timeout`] / [`crate::EvalError::Cancelled`] when
+/// the budget runs out mid-evaluation.
+pub fn evaluate_result_array_sharded_budgeted(
+    candidates: &[PnlCandidate],
+    arch: &CgraArch,
+    predictor: &(dyn IiPredictor + Sync),
+    config: &EvalConfig,
+    workers: usize,
+    budget: &ptmap_governor::Budget,
+) -> Result<PnlRanking, crate::EvalError> {
     if workers <= 1 || candidates.len() < 2 {
-        return evaluate_result_array(candidates, arch, predictor, config);
+        let mut evaluated: Vec<EvaluatedCandidate> = Vec::with_capacity(candidates.len());
+        for c in candidates {
+            budget.check()?;
+            evaluated.push(evaluate_candidate(c, arch, predictor));
+        }
+        return Ok(rank_evaluated(evaluated, config));
     }
     let chunk = candidates.len().div_ceil(workers.min(candidates.len()));
     let mut evaluated: Vec<Option<EvaluatedCandidate>> = vec![None; candidates.len()];
@@ -148,16 +181,22 @@ pub fn evaluate_result_array_sharded(
         for (out, work) in evaluated.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
             s.spawn(move || {
                 for (slot, c) in out.iter_mut().zip(work) {
+                    // Early-out leaves the slot `None`; the caller sees
+                    // the budget failure before ever unwrapping slots.
+                    if budget.check().is_err() {
+                        return;
+                    }
                     *slot = Some(evaluate_candidate(c, arch, predictor));
                 }
             });
         }
     });
+    budget.check()?;
     let evaluated: Vec<EvaluatedCandidate> = evaluated
         .into_iter()
         .map(|e| e.expect("shard filled"))
         .collect();
-    rank_evaluated(evaluated, config)
+    Ok(rank_evaluated(evaluated, config))
 }
 
 /// Ranking stage shared by the serial and sharded paths.
@@ -222,23 +261,48 @@ pub fn evaluate_forest_sharded(
     config: &EvalConfig,
     workers: usize,
 ) -> crate::program::EvaluatedForest {
-    let variants = forest
-        .variants
-        .iter()
-        .map(|v| {
-            let rankings: Vec<PnlRanking> = v
-                .pnl_candidates
-                .iter()
-                .map(|ra| evaluate_result_array_sharded(ra, arch, predictor, config, workers))
-                .collect();
-            crate::program::EvaluatedVariant {
-                program: v.program.clone(),
-                fusion: v.fusion,
-                rankings,
-            }
-        })
-        .collect();
-    crate::program::EvaluatedForest { variants }
+    evaluate_forest_sharded_budgeted(
+        forest,
+        arch,
+        predictor,
+        config,
+        workers,
+        &ptmap_governor::Budget::unlimited(),
+    )
+    .expect("unlimited budget cannot run out")
+}
+
+/// [`evaluate_forest_sharded`] under a cooperative
+/// [`ptmap_governor::Budget`] (see
+/// [`evaluate_result_array_sharded_budgeted`]).
+///
+/// # Errors
+///
+/// [`crate::EvalError::Timeout`] / [`crate::EvalError::Cancelled`] when
+/// the budget runs out mid-evaluation.
+pub fn evaluate_forest_sharded_budgeted(
+    forest: &ResultForest,
+    arch: &CgraArch,
+    predictor: &(dyn IiPredictor + Sync),
+    config: &EvalConfig,
+    workers: usize,
+    budget: &ptmap_governor::Budget,
+) -> Result<crate::program::EvaluatedForest, crate::EvalError> {
+    let mut variants = Vec::with_capacity(forest.variants.len());
+    for v in &forest.variants {
+        let mut rankings: Vec<PnlRanking> = Vec::with_capacity(v.pnl_candidates.len());
+        for ra in &v.pnl_candidates {
+            rankings.push(evaluate_result_array_sharded_budgeted(
+                ra, arch, predictor, config, workers, budget,
+            )?);
+        }
+        variants.push(crate::program::EvaluatedVariant {
+            program: v.program.clone(),
+            fusion: v.fusion,
+            rankings,
+        });
+    }
+    Ok(crate::program::EvaluatedForest { variants })
 }
 
 #[cfg(test)]
@@ -346,5 +410,78 @@ mod tests {
         );
         assert!(ranking.performance.len() <= 5);
         assert!(ranking.pareto.len() <= 5);
+    }
+
+    #[test]
+    fn cancelled_budget_stops_evaluation_serial_and_sharded() {
+        let p = micro::gemm(48);
+        let forest = explore(&p, &ExploreConfig::quick());
+        let candidates = &forest.variants[0].pnl_candidates[0];
+        let budget = ptmap_governor::Budget::cancellable();
+        budget.cancel();
+        for workers in [1, 4] {
+            let r = evaluate_result_array_sharded_budgeted(
+                candidates,
+                &presets::s4(),
+                &AnalyticalPredictor,
+                &EvalConfig::default(),
+                workers,
+                &budget,
+            );
+            assert_eq!(
+                r.err(),
+                Some(crate::EvalError::Cancelled),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_times_out_evaluation() {
+        let p = micro::gemm(48);
+        let forest = explore(&p, &ExploreConfig::quick());
+        let candidates = &forest.variants[0].pnl_candidates[0];
+        let budget = ptmap_governor::Budget::with_deadline(std::time::Duration::ZERO);
+        for workers in [1, 4] {
+            let r = evaluate_result_array_sharded_budgeted(
+                candidates,
+                &presets::s4(),
+                &AnalyticalPredictor,
+                &EvalConfig::default(),
+                workers,
+                &budget,
+            );
+            assert_eq!(
+                r.err(),
+                Some(crate::EvalError::Timeout),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_ranking() {
+        let p = micro::gemm(48);
+        let forest = explore(&p, &ExploreConfig::quick());
+        let candidates = &forest.variants[0].pnl_candidates[0];
+        let free = evaluate_result_array(
+            candidates,
+            &presets::s4(),
+            &AnalyticalPredictor,
+            &EvalConfig::default(),
+        );
+        let budget = ptmap_governor::Budget::with_deadline(std::time::Duration::from_secs(3600));
+        let timed = evaluate_result_array_sharded_budgeted(
+            candidates,
+            &presets::s4(),
+            &AnalyticalPredictor,
+            &EvalConfig::default(),
+            4,
+            &budget,
+        )
+        .unwrap();
+        assert_eq!(free.performance, timed.performance);
+        assert_eq!(free.pareto, timed.pareto);
+        assert_eq!(free.evaluated.len(), timed.evaluated.len());
     }
 }

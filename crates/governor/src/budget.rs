@@ -1,0 +1,287 @@
+//! Cooperative compilation budgets.
+//!
+//! A [`Budget`] bounds one unit of work — a whole batch, one job, or
+//! one mapping attempt — by any combination of a wall-clock deadline,
+//! an external cancel flag, and a work-unit counter. Budgets are
+//! checked *cooperatively*: long-running loops call [`Budget::check`]
+//! (or [`Budget::charge`]) at natural attempt boundaries — per
+//! placement attempt in the mapper, per variant branch in exploration,
+//! per candidate in evaluation — never inside per-node BFS steps, so a
+//! configured-but-untriggered budget costs one atomic load per check.
+//!
+//! The unlimited budget ([`Budget::unlimited`], also `Default`) holds
+//! no allocation at all and checks are a branch on `None`; threading a
+//! budget through an API therefore costs nothing for callers that do
+//! not use it.
+//!
+//! Cancellation propagates through [`Budget::child`]: a child budget
+//! shares its parent's cancel flag (cancelling the batch cancels every
+//! job) while tightening the deadline to the minimum of the parent's
+//! and its own.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a budget check failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetExceeded {
+    /// The wall-clock deadline passed.
+    Timeout,
+    /// The budget (or an ancestor) was cancelled.
+    Cancelled,
+    /// The work-unit counter ran out.
+    WorkExhausted,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetExceeded::Timeout => write!(f, "compilation deadline exceeded"),
+            BudgetExceeded::Cancelled => write!(f, "compilation cancelled"),
+            BudgetExceeded::WorkExhausted => write!(f, "compilation work budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+#[derive(Debug)]
+struct Inner {
+    deadline: Option<Instant>,
+    cancelled: Arc<AtomicBool>,
+    /// `u64::MAX` = no work limit.
+    work_limit: u64,
+    work_done: AtomicU64,
+}
+
+/// A cheap, clonable compilation budget (deadline + cancel flag +
+/// optional work-unit counter). Clones share all state: cancelling any
+/// clone cancels them all.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Budget {
+    /// The unlimited budget: never expires, cannot be cancelled, and
+    /// checks at zero cost.
+    pub fn unlimited() -> Budget {
+        Budget { inner: None }
+    }
+
+    /// A budget with only a cancel flag (no deadline, no work limit).
+    pub fn cancellable() -> Budget {
+        Budget::build(None, None)
+    }
+
+    /// A budget expiring `after` from now.
+    pub fn with_deadline(after: Duration) -> Budget {
+        Budget::build(Some(Instant::now() + after), None)
+    }
+
+    /// A budget expiring at an absolute instant.
+    pub fn with_deadline_at(at: Instant) -> Budget {
+        Budget::build(Some(at), None)
+    }
+
+    /// A budget allowing `limit` work units (see [`Budget::charge`]).
+    pub fn with_work_limit(limit: u64) -> Budget {
+        Budget::build(None, Some(limit))
+    }
+
+    fn build(deadline: Option<Instant>, work_limit: Option<u64>) -> Budget {
+        Budget {
+            inner: Some(Arc::new(Inner {
+                deadline,
+                cancelled: Arc::new(AtomicBool::new(false)),
+                work_limit: work_limit.unwrap_or(u64::MAX),
+                work_done: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Derives a child budget that shares this budget's cancel flag and
+    /// tightens the deadline to `min(parent deadline, now + timeout)`.
+    /// The child gets a fresh work counter. A `None` timeout on an
+    /// unlimited parent stays unlimited.
+    pub fn child(&self, timeout: Option<Duration>) -> Budget {
+        let parent_deadline = self.deadline();
+        let own_deadline = timeout.map(|t| Instant::now() + t);
+        let deadline = match (parent_deadline, own_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        match &self.inner {
+            None if deadline.is_none() => Budget::unlimited(),
+            None => Budget::build(deadline, None),
+            Some(inner) => Budget {
+                inner: Some(Arc::new(Inner {
+                    deadline,
+                    cancelled: Arc::clone(&inner.cancelled),
+                    work_limit: u64::MAX,
+                    work_done: AtomicU64::new(0),
+                })),
+            },
+        }
+    }
+
+    /// Whether this is the zero-cost unlimited budget.
+    pub fn is_unlimited(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// The absolute deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.as_ref().and_then(|i| i.deadline)
+    }
+
+    /// Time left before the deadline (`None` when no deadline is set;
+    /// zero when already past it).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline()
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Raises the cancel flag (shared with every clone and child). A
+    /// no-op on the unlimited budget.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether the cancel flag is raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.cancelled.load(Ordering::Acquire))
+    }
+
+    /// Checks the budget: cancel flag first, then deadline, then the
+    /// work counter. `Instant::now()` is only consulted when a deadline
+    /// is actually set, keeping deadline-free budgets at one atomic
+    /// load per check.
+    #[inline]
+    pub fn check(&self) -> Result<(), BudgetExceeded> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if inner.cancelled.load(Ordering::Acquire) {
+            return Err(BudgetExceeded::Cancelled);
+        }
+        if let Some(deadline) = inner.deadline {
+            if Instant::now() >= deadline {
+                return Err(BudgetExceeded::Timeout);
+            }
+        }
+        if inner.work_done.load(Ordering::Relaxed) >= inner.work_limit {
+            return Err(BudgetExceeded::WorkExhausted);
+        }
+        Ok(())
+    }
+
+    /// Charges `units` of work, then checks the budget.
+    #[inline]
+    pub fn charge(&self, units: u64) -> Result<(), BudgetExceeded> {
+        if let Some(inner) = &self.inner {
+            if inner.work_limit != u64::MAX {
+                inner.work_done.fetch_add(units, Ordering::Relaxed);
+            }
+        }
+        self.check()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_always_ok() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert_eq!(b.check(), Ok(()));
+        assert_eq!(b.charge(1 << 40), Ok(()));
+        b.cancel(); // no-op
+        assert!(!b.is_cancelled());
+        assert!(b.remaining().is_none());
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let b = Budget::cancellable();
+        let c = b.clone();
+        assert_eq!(c.check(), Ok(()));
+        b.cancel();
+        assert!(c.is_cancelled());
+        assert_eq!(c.check(), Err(BudgetExceeded::Cancelled));
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let b = Budget::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(b.check(), Err(BudgetExceeded::Timeout));
+        let far = Budget::with_deadline(Duration::from_secs(3600));
+        assert_eq!(far.check(), Ok(()));
+        assert!(far.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn work_limit_exhausts() {
+        let b = Budget::with_work_limit(3);
+        assert_eq!(b.charge(1), Ok(()));
+        assert_eq!(b.charge(1), Ok(()));
+        assert_eq!(b.charge(1), Err(BudgetExceeded::WorkExhausted));
+        assert_eq!(b.check(), Err(BudgetExceeded::WorkExhausted));
+    }
+
+    #[test]
+    fn child_shares_cancel_and_tightens_deadline() {
+        let parent = Budget::with_deadline(Duration::from_secs(3600));
+        let child = parent.child(Some(Duration::from_secs(7200)));
+        // Child deadline is capped by the parent's.
+        assert!(child.deadline().unwrap() <= parent.deadline().unwrap());
+        parent.cancel();
+        assert_eq!(child.check(), Err(BudgetExceeded::Cancelled));
+
+        let tighter =
+            Budget::with_deadline(Duration::from_secs(3600)).child(Some(Duration::from_millis(0)));
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(tighter.check(), Err(BudgetExceeded::Timeout));
+    }
+
+    #[test]
+    fn child_of_unlimited() {
+        assert!(Budget::unlimited().child(None).is_unlimited());
+        let timed = Budget::unlimited().child(Some(Duration::from_secs(60)));
+        assert!(!timed.is_unlimited());
+        assert!(timed.deadline().is_some());
+    }
+
+    #[test]
+    fn exceeded_displays() {
+        assert_eq!(
+            BudgetExceeded::Timeout.to_string(),
+            "compilation deadline exceeded"
+        );
+        assert_eq!(
+            BudgetExceeded::Cancelled.to_string(),
+            "compilation cancelled"
+        );
+        assert_eq!(
+            BudgetExceeded::WorkExhausted.to_string(),
+            "compilation work budget exhausted"
+        );
+    }
+
+    #[test]
+    fn cancel_beats_timeout_in_reporting() {
+        let b = Budget::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(1));
+        b.cancel();
+        assert_eq!(b.check(), Err(BudgetExceeded::Cancelled));
+    }
+}

@@ -1,0 +1,27 @@
+//! The compilation governor: cooperative budgets and fault injection.
+//!
+//! PT-Map's value proposition is *bounded* compilation cost, so every
+//! long-running stage of the pipeline — exploration, evaluation, modulo
+//! scheduling — checks a [`Budget`] cooperatively and exits with a
+//! structured `Timeout`/`Cancelled` error instead of hanging. The crate
+//! sits below every other `ptmap-*` crate (it is std-only and has no
+//! dependencies) so that the mapper, the transformer, and the evaluator
+//! can all share one budget type; `ptmap-core` re-exports it as its
+//! public face.
+//!
+//! Two modules:
+//!
+//! * [`budget`] — a cheap, clonable deadline + cancel-flag + work-unit
+//!   budget. An unlimited budget is a `None` inside and costs nothing
+//!   to check, which keeps the mapper hot path unaffected when no
+//!   deadline is configured.
+//! * [`faultpoint`] — named fail-points (`PTMAP_FAULT=<site>:<mode>`)
+//!   compiled into the cache, mapper, predictor-load, and worker-spawn
+//!   paths, with `panic`/`error`/`delay` modes, so the robustness story
+//!   is provable rather than asserted.
+
+pub mod budget;
+pub mod faultpoint;
+
+pub use budget::{Budget, BudgetExceeded};
+pub use faultpoint::{fail_point, FaultError};

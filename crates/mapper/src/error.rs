@@ -28,6 +28,25 @@ pub enum MapError {
         /// The largest II that was attempted.
         max_ii: u32,
     },
+    /// The compilation budget's deadline (or work limit) ran out before
+    /// the search finished; checked per placement attempt, so the
+    /// scheduler exits promptly instead of hanging.
+    Timeout,
+    /// The compilation budget was cancelled from outside.
+    Cancelled,
+    /// An `error`-mode fault point fired inside the mapper (fault
+    /// injection only; see `ptmap_governor::faultpoint`).
+    Fault(String),
+}
+
+impl From<ptmap_governor::BudgetExceeded> for MapError {
+    fn from(e: ptmap_governor::BudgetExceeded) -> Self {
+        match e {
+            ptmap_governor::BudgetExceeded::Cancelled => MapError::Cancelled,
+            ptmap_governor::BudgetExceeded::Timeout
+            | ptmap_governor::BudgetExceeded::WorkExhausted => MapError::Timeout,
+        }
+    }
 }
 
 impl fmt::Display for MapError {
@@ -52,6 +71,9 @@ impl fmt::Display for MapError {
             MapError::Infeasible { mii, max_ii } => {
                 write!(f, "no feasible mapping for any II in {mii}..={max_ii}")
             }
+            MapError::Timeout => write!(f, "mapping timed out: compilation budget exceeded"),
+            MapError::Cancelled => write!(f, "mapping cancelled"),
+            MapError::Fault(site) => write!(f, "injected fault at {site}"),
         }
     }
 }
@@ -75,5 +97,32 @@ mod tests {
     fn error_is_send_sync() {
         fn check<T: Send + Sync + std::error::Error>() {}
         check::<MapError>();
+    }
+
+    #[test]
+    fn governor_variant_displays() {
+        assert_eq!(
+            MapError::Timeout.to_string(),
+            "mapping timed out: compilation budget exceeded"
+        );
+        assert_eq!(MapError::Cancelled.to_string(), "mapping cancelled");
+        assert_eq!(
+            MapError::Fault("mapper_place".into()).to_string(),
+            "injected fault at mapper_place"
+        );
+    }
+
+    #[test]
+    fn budget_exceeded_converts() {
+        use ptmap_governor::BudgetExceeded;
+        assert_eq!(MapError::from(BudgetExceeded::Timeout), MapError::Timeout);
+        assert_eq!(
+            MapError::from(BudgetExceeded::WorkExhausted),
+            MapError::Timeout
+        );
+        assert_eq!(
+            MapError::from(BudgetExceeded::Cancelled),
+            MapError::Cancelled
+        );
     }
 }

@@ -81,7 +81,26 @@ pub fn validation_enabled(config: &MapperConfig) -> bool {
 /// [`MapError::BrokenInvariant`] (a mapper bug) when the validator
 /// rejects a produced mapping.
 pub fn map_dfg(dfg: &Dfg, arch: &CgraArch, config: &MapperConfig) -> Result<Mapping, MapError> {
-    let m = scheduler::Scheduler::new(dfg, arch, config)?.run()?;
+    map_dfg_budgeted(dfg, arch, config, &ptmap_governor::Budget::unlimited())
+}
+
+/// [`map_dfg`] under a cooperative [`ptmap_governor::Budget`]: the II
+/// escalation loop checks the budget per restart and per node placement,
+/// returning [`MapError::Timeout`] / [`MapError::Cancelled`] promptly
+/// when it runs out. An unlimited budget is free; a deadline-free
+/// cancellable budget costs one relaxed atomic load per check.
+///
+/// # Errors
+///
+/// Everything [`map_dfg`] returns, plus [`MapError::Timeout`] and
+/// [`MapError::Cancelled`] from the budget.
+pub fn map_dfg_budgeted(
+    dfg: &Dfg,
+    arch: &CgraArch,
+    config: &MapperConfig,
+    budget: &ptmap_governor::Budget,
+) -> Result<Mapping, MapError> {
+    let m = scheduler::Scheduler::new(dfg, arch, config)?.run_budgeted(budget)?;
     if validation_enabled(config) {
         validate::validate(dfg, arch, &m).map_err(|v| MapError::BrokenInvariant(v.to_string()))?;
     }

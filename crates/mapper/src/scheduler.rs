@@ -24,6 +24,7 @@ use crate::mii;
 use crate::router::route_value;
 use crate::state::{Overlay, RouterBuffers, State};
 use ptmap_arch::{CgraArch, Mrrg, PeId};
+use ptmap_governor::{faultpoint, Budget};
 use ptmap_ir::{Dfg, OpKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -91,13 +92,29 @@ impl<'a> Scheduler<'a> {
         self.mii
     }
 
-    /// Runs the II escalation loop.
+    /// Runs the II escalation loop with an unlimited budget.
     ///
     /// # Errors
     ///
     /// Returns [`MapError::Infeasible`] when no II up to the configured
     /// maximum works.
     pub fn run(&self) -> Result<Mapping, MapError> {
+        self.run_budgeted(&Budget::unlimited())
+    }
+
+    /// Runs the II escalation loop under a cooperative [`Budget`].
+    ///
+    /// The budget is checked per placement attempt (once per node per
+    /// restart), never inside the router's per-node BFS, so an
+    /// unlimited (or deadline-free) budget adds no measurable cost to
+    /// the hot path.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Infeasible`] when no II up to the configured maximum
+    /// works; [`MapError::Timeout`] / [`MapError::Cancelled`] when the
+    /// budget runs out first.
+    pub fn run_budgeted(&self, budget: &Budget) -> Result<Mapping, MapError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         // Routing scratch shared by every attempt: the BFS buffers are
         // epoch-stamped, so reuse is O(1) and allocation-free once warm.
@@ -108,6 +125,12 @@ impl<'a> Scheduler<'a> {
             let mrrg = Mrrg::new(self.arch, ii);
             let mut best: Option<Mapping> = None;
             for restart in 0..self.config.restarts_per_ii() {
+                // Fault-injection hook: `delay` here simulates a wedged
+                // placement engine (which the budget then catches) and
+                // `panic`/`error` exercise the caller's isolation.
+                faultpoint::fail_point(faultpoint::sites::MAPPER_PLACE)
+                    .map_err(|e| MapError::Fault(e.site))?;
+                budget.check()?;
                 // Alternate ordering strategies across restarts:
                 // criticality-first packs recurrences tightly; pure
                 // topological order never collapses a producer's window.
@@ -116,7 +139,8 @@ impl<'a> Scheduler<'a> {
                 } else {
                     self.topo_order(&mut rng, restart > 1)
                 };
-                if let Some(m) = self.attempt(ii, &mrrg, &order, &mut rng, &mut overlay, &mut bufs)
+                if let Some(m) =
+                    self.attempt(ii, &mrrg, &order, &mut rng, &mut overlay, &mut bufs, budget)?
                 {
                     if !self.config.polish_schedule() {
                         return Ok(m);
@@ -196,6 +220,7 @@ impl<'a> Scheduler<'a> {
         order
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn attempt(
         &self,
         ii: u32,
@@ -204,9 +229,14 @@ impl<'a> Scheduler<'a> {
         rng: &mut StdRng,
         overlay: &mut Overlay,
         bufs: &mut RouterBuffers,
-    ) -> Option<Mapping> {
+        budget: &Budget,
+    ) -> Result<Option<Mapping>, MapError> {
         let mut st = State::new(mrrg, self.dfg.len());
         for &node in order {
+            // One work unit per node placement: coarse enough to stay
+            // off the router's inner loops, fine enough that a deadline
+            // interrupts a single stuck attempt.
+            budget.charge(1)?;
             if !self.place_node(node, ii, mrrg, &mut st, rng, overlay, bufs) {
                 if std::env::var_os("PTMAP_MAPPER_DEBUG").is_some() {
                     eprintln!(
@@ -215,7 +245,7 @@ impl<'a> Scheduler<'a> {
                         self.time_window(node, ii, &st)
                     );
                 }
-                return None;
+                return Ok(None);
             }
         }
         // Assemble the mapping.
@@ -253,7 +283,7 @@ impl<'a> Scheduler<'a> {
                     .collect(),
             })
             .collect();
-        Some(Mapping {
+        Ok(Some(Mapping {
             ii,
             mii: self.mii,
             schedule_length,
@@ -263,7 +293,7 @@ impl<'a> Scheduler<'a> {
             route_trees,
             pes_used: pes.len() as u32,
             pe_count: self.arch.pe_count() as u32,
-        })
+        }))
     }
 
     /// Attempts to place one node, routing all edges to already-placed
@@ -670,5 +700,75 @@ mod tests {
         if let (Ok(b), Ok(h)) = (base, high) {
             assert!(h.ii <= b.ii + 1, "high effort ii {} vs base {}", h.ii, b.ii);
         }
+    }
+
+    #[test]
+    fn cancelled_budget_stops_mapping() {
+        let p = gemm(24);
+        let nest = p.perfect_nests().remove(0);
+        let dfg = build_dfg(&p, &nest, &[]).unwrap();
+        let budget = ptmap_governor::Budget::cancellable();
+        budget.cancel();
+        assert_eq!(
+            crate::map_dfg_budgeted(&dfg, &presets::s4(), &MapperConfig::default(), &budget),
+            Err(MapError::Cancelled)
+        );
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        let p = gemm(24);
+        let nest = p.perfect_nests().remove(0);
+        let dfg = build_dfg(&p, &nest, &[]).unwrap();
+        let budget = ptmap_governor::Budget::with_deadline(std::time::Duration::ZERO);
+        assert_eq!(
+            crate::map_dfg_budgeted(&dfg, &presets::s4(), &MapperConfig::default(), &budget),
+            Err(MapError::Timeout)
+        );
+    }
+
+    #[test]
+    fn work_limit_exhausts_as_timeout() {
+        // One placement attempt = one work unit; two units cannot place
+        // a full GEMM body.
+        let p = gemm(24);
+        let nest = p.perfect_nests().remove(0);
+        let dfg = build_dfg(&p, &nest, &[]).unwrap();
+        let budget = ptmap_governor::Budget::with_work_limit(2);
+        assert_eq!(
+            crate::map_dfg_budgeted(&dfg, &presets::s4(), &MapperConfig::default(), &budget),
+            Err(MapError::Timeout)
+        );
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_mapping() {
+        let p = gemm(24);
+        let nest = p.perfect_nests().remove(0);
+        let dfg = build_dfg(&p, &nest, &[]).unwrap();
+        let cfg = MapperConfig::default();
+        let free = map_dfg(&dfg, &presets::s4(), &cfg).unwrap();
+        let budget = ptmap_governor::Budget::with_deadline(std::time::Duration::from_secs(3600));
+        let timed = crate::map_dfg_budgeted(&dfg, &presets::s4(), &cfg, &budget).unwrap();
+        assert_eq!(free, timed);
+    }
+
+    #[test]
+    fn error_fault_at_mapper_place_surfaces() {
+        // Scope-filtered so concurrently running tests in this binary
+        // (the registry is process-global) never see the fault.
+        let _guard = ptmap_governor::faultpoint::install("mapper_place:error@fault-test").unwrap();
+        let p = vadd(64);
+        let nest = p.perfect_nests().remove(0);
+        let dfg = build_dfg(&p, &nest, &[]).unwrap();
+        let r = ptmap_governor::faultpoint::with_scope("fault-test", || {
+            crate::map_dfg_budgeted(
+                &dfg,
+                &presets::s4(),
+                &MapperConfig::default(),
+                &ptmap_governor::Budget::unlimited(),
+            )
+        });
+        assert_eq!(r, Err(MapError::Fault("mapper_place".to_string())));
     }
 }

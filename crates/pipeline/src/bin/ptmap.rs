@@ -66,7 +66,8 @@ fn print_usage() {
     eprintln!("          [--predictor {{analytical|oracle}}] [--emit-contexts]");
     eprintln!("  batch   --manifest jobs.json [--jobs N] [--eval-workers N]");
     eprintln!("          [--cache-dir DIR] [--metrics out.json] [--out out.json]");
-    eprintln!("          [--validate]");
+    eprintln!("          [--validate] [--deadline SECS] [--job-timeout SECS]");
+    eprintln!("          [--max-retries N]");
     eprintln!("  parse   --source FILE");
 }
 
@@ -232,6 +233,9 @@ fn batch(args: &[String]) -> ExitCode {
             "--cache-dir",
             "--metrics",
             "--out",
+            "--deadline",
+            "--job-timeout",
+            "--max-retries",
         ],
         &["--validate"],
     ) {
@@ -252,33 +256,55 @@ fn batch(args: &[String]) -> ExitCode {
         // Part of the cache key, so validated and unvalidated runs do
         // not share entries.
         base.mapper.validate = flags.has("--validate");
+        let budget = match parse_seconds(flags.get("--deadline"), "--deadline")? {
+            Some(d) => ptmap_governor::Budget::with_deadline(d),
+            None => ptmap_governor::Budget::unlimited(),
+        };
+        let defaults = BatchConfig::default();
         let config = BatchConfig {
             workers,
             cache_dir: flags.get("--cache-dir").map(Into::into),
             base,
+            job_timeout: parse_seconds(flags.get("--job-timeout"), "--job-timeout")?,
+            budget,
+            max_retries: match flags.get("--max-retries") {
+                Some(t) => t.parse::<u32>().map_err(|_| {
+                    format!("--max-retries must be a non-negative integer, got {t}")
+                })?,
+                None => defaults.max_retries,
+            },
         };
         let batch = run_batch(&jobs, &config);
         for (o, m) in batch.outcomes.iter().zip(&batch.metrics.jobs) {
             match (&o.report, &o.error) {
                 (Some(r), _) => println!(
-                    "{:<24} {:>12} cycles  EDP {:>10.3e}  {:>6.2}s{}",
+                    "{:<24} {:>12} cycles  EDP {:>10.3e}  {:>6.2}s{}{}",
                     o.name,
                     r.cycles,
                     r.edp,
                     m.wall_seconds,
-                    if o.cache_hit { "  [cached]" } else { "" }
+                    if o.cache_hit { "  [cached]" } else { "" },
+                    match &o.degraded {
+                        Some(d) => format!("  [degraded: {d}]"),
+                        None => String::new(),
+                    }
                 ),
                 (None, Some(e)) => println!("{:<24} FAILED: {e}", o.name),
                 (None, None) => unreachable!("outcome without report or error"),
             }
         }
         println!(
-            "{} jobs in {:.2}s ({} workers): {} cache hits, {} misses",
+            "{} jobs in {:.2}s ({} workers): {} cache hits, {} misses{}",
             batch.outcomes.len(),
             batch.metrics.wall_seconds,
             batch.metrics.workers,
             batch.metrics.cache_hits,
-            batch.metrics.cache_misses
+            batch.metrics.cache_misses,
+            if batch.metrics.cache_quarantines > 0 {
+                format!(", {} quarantined", batch.metrics.cache_quarantines)
+            } else {
+                String::new()
+            }
         );
         if let Some(out) = flags.get("--out") {
             write_json(out, &batch.outcomes)?;
@@ -286,7 +312,28 @@ fn batch(args: &[String]) -> ExitCode {
         if let Some(out) = flags.get("--metrics") {
             write_json(out, &batch.metrics)?;
         }
-        Ok(batch.outcomes.iter().all(|o| o.report.is_some()))
+        let failed: Vec<_> = batch
+            .outcomes
+            .iter()
+            .filter(|o| o.report.is_none())
+            .collect();
+        if !failed.is_empty() {
+            eprintln!("{} of {} jobs failed:", failed.len(), batch.outcomes.len());
+            for o in &failed {
+                eprintln!(
+                    "  {:<24} class={:<18} retries={}{}  {}",
+                    o.name,
+                    o.error_class.as_deref().unwrap_or("unknown"),
+                    o.retries,
+                    match &o.degraded {
+                        Some(d) => format!(" degraded={d}"),
+                        None => String::new(),
+                    },
+                    o.error.as_deref().unwrap_or("")
+                );
+            }
+        }
+        Ok(failed.is_empty())
     })();
     match result {
         Ok(true) => ExitCode::SUCCESS,
@@ -304,6 +351,20 @@ fn parse_count(text: Option<&str>, flag: &str) -> Result<usize, String> {
         Some(t) => match t.parse::<usize>() {
             Ok(n) if n >= 1 => Ok(n),
             _ => Err(format!("{flag} must be a positive integer, got {t}")),
+        },
+    }
+}
+
+/// Parses an optional duration flag given in (possibly fractional)
+/// seconds.
+fn parse_seconds(text: Option<&str>, flag: &str) -> Result<Option<std::time::Duration>, String> {
+    match text {
+        None => Ok(None),
+        Some(t) => match t.parse::<f64>() {
+            Ok(s) if s > 0.0 && s.is_finite() => Ok(Some(std::time::Duration::from_secs_f64(s))),
+            _ => Err(format!(
+                "{flag} must be a positive number of seconds, got {t}"
+            )),
         },
     }
 }

@@ -11,30 +11,50 @@
 //! insertion-ordered.
 //!
 //! Entries live in a process-wide in-memory map and, when a cache
-//! directory is configured, as one pretty-printed JSON file per key —
+//! directory is configured, as one checksummed JSON file per key —
 //! a warm directory survives across runs and makes re-running a
 //! manifest orders of magnitude faster.
+//!
+//! # On-disk framing (schema 2)
+//!
+//! Each entry file is `<64-hex-sha256>\n<pretty JSON>`, where the
+//! checksum covers the exact JSON bytes that follow the first newline.
+//! Loading verifies the checksum before parsing; a truncated, corrupt,
+//! or unparsable entry is *quarantined* — renamed to `<name>.corrupt`
+//! so it never shadows a recompute and stays on disk for post-mortems —
+//! counted, and treated as a miss. Cache corruption therefore degrades
+//! to recompilation, never to a panic or a wrong report.
 
 use crate::hash::sha256_hex;
 use crate::manifest::Job;
 use ptmap_core::{CompileReport, PtMapConfig};
+use ptmap_governor::faultpoint::{self, sites};
 use serde_json::Value;
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Version tag mixed into every key: bump when the compilation
 /// semantics change in a way the serialized inputs cannot express.
-const SCHEMA_VERSION: u64 = 1;
+/// Version 2: checksummed on-disk framing + degradation-aware keys.
+const SCHEMA_VERSION: u64 = 2;
 
 /// Derives the content-addressed key for one job under a base config.
 pub fn cache_key(job: &Job, base: &PtMapConfig) -> String {
+    cache_key_degraded(job, base, None)
+}
+
+/// [`cache_key`] for a degraded compilation: the degradation label is
+/// part of the key payload, so a best-effort report produced by the
+/// retry ladder can never be returned for a full-fidelity request (or
+/// vice versa).
+pub fn cache_key_degraded(job: &Job, base: &PtMapConfig, degraded: Option<&str>) -> String {
     let config = PtMapConfig {
         mode: job.mode,
         ..base.clone()
     };
-    let payload = Value::Object(vec![
+    let mut fields = vec![
         ("schema".to_string(), Value::UInt(SCHEMA_VERSION)),
         (
             "program".to_string(),
@@ -49,19 +69,49 @@ pub fn cache_key(job: &Job, base: &PtMapConfig) -> String {
             "config".to_string(),
             serde_json::to_value(&config).expect("config serializes"),
         ),
-    ])
-    .canonicalize();
+    ];
+    if let Some(d) = degraded {
+        fields.push(("degraded".to_string(), Value::Str(d.to_string())));
+    }
+    let payload = Value::Object(fields).canonicalize();
     sha256_hex(&serde_json::to_string(&payload).expect("canonical payload serializes"))
 }
 
+/// Frames a serialized report for disk: checksum line, then the exact
+/// bytes the checksum covers.
+fn frame_entry(json: &str) -> String {
+    format!("{}\n{json}", sha256_hex(json))
+}
+
+/// Decodes and verifies a disk entry; the error string names the first
+/// validation that failed (used in the quarantine warning).
+fn decode_entry(bytes: &[u8]) -> Result<CompileReport, &'static str> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "not UTF-8")?;
+    let (checksum, json) = text.split_once('\n').ok_or("missing checksum header")?;
+    if checksum.len() != 64 || !checksum.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err("malformed checksum header");
+    }
+    if sha256_hex(json) != checksum {
+        return Err("checksum mismatch");
+    }
+    serde_json::from_str::<CompileReport>(json).map_err(|_| "unparsable report")
+}
+
 /// Thread-safe report cache: in-memory map plus an optional on-disk
-/// store (one JSON file per key).
+/// store (one checksummed JSON file per key).
 #[derive(Debug, Default)]
 pub struct ReportCache {
     mem: Mutex<HashMap<String, CompileReport>>,
     dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+    quarantines: AtomicU64,
+}
+
+/// The warning printed (and counted) when a disk entry fails checksum
+/// or parse validation and is moved aside.
+pub fn quarantine_message(key: &str, reason: &str) -> String {
+    format!("quarantined corrupt cache entry {key}.json ({reason}); recomputing")
 }
 
 impl ReportCache {
@@ -81,27 +131,56 @@ impl ReportCache {
     }
 
     /// Looks up a key, falling back from memory to disk. Disk hits are
-    /// promoted into memory; undecodable disk entries count as misses
-    /// and are recompiled (then overwritten).
+    /// checksum-verified and promoted into memory; corrupt, truncated,
+    /// or unparsable disk entries are quarantined (renamed to
+    /// `<name>.corrupt`), counted, and treated as misses — the caller
+    /// recomputes and overwrites.
     pub fn get(&self, key: &str) -> Option<CompileReport> {
         if let Some(r) = self.mem.lock().unwrap().get(key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Some(r);
         }
         if let Some(dir) = &self.dir {
-            if let Ok(text) = std::fs::read_to_string(dir.join(format!("{key}.json"))) {
-                if let Ok(report) = serde_json::from_str::<CompileReport>(&text) {
-                    self.mem
-                        .lock()
-                        .unwrap()
-                        .insert(key.to_string(), report.clone());
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Some(report);
-                }
+            // `error` mode models an unreadable disk: the lookup
+            // becomes a miss and the job recompiles.
+            if faultpoint::fail_point(sites::CACHE_READ).is_err() {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            let path = dir.join(format!("{key}.json"));
+            match std::fs::read(&path) {
+                Err(_) => {} // absent entry: plain miss
+                Ok(bytes) => match decode_entry(&bytes) {
+                    Ok(report) => {
+                        self.mem
+                            .lock()
+                            .unwrap()
+                            .insert(key.to_string(), report.clone());
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(report);
+                    }
+                    Err(reason) => {
+                        self.quarantine(&path, key, reason);
+                    }
+                },
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         None
+    }
+
+    /// Moves a failed entry aside so it never shadows the recompute.
+    fn quarantine(&self, path: &Path, key: &str, reason: &str) {
+        let mut dst = path.as_os_str().to_owned();
+        dst.push(".corrupt");
+        if std::fs::rename(path, &dst).is_err() {
+            // Rename can only fail if someone else already moved or
+            // deleted the entry; removal keeps the miss-and-recompute
+            // semantics either way.
+            let _ = std::fs::remove_file(path);
+        }
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
+        eprintln!("warning: {}", quarantine_message(key, reason));
     }
 
     /// Stores a report under a key (memory and, if configured, disk).
@@ -111,7 +190,13 @@ impl ReportCache {
             .unwrap()
             .insert(key.to_string(), report.clone());
         if let Some(dir) = &self.dir {
+            // `error` mode models a full/unwritable disk: the entry
+            // stays memory-only and a later run recompiles it.
+            if faultpoint::fail_point(sites::CACHE_WRITE).is_err() {
+                return;
+            }
             if let Ok(text) = serde_json::to_string_pretty(report) {
+                let text = frame_entry(&text);
                 // Write-then-rename so a concurrent reader never sees a
                 // half-written entry. The temp name must be unique per
                 // writer: with a shared `<key>.json.tmp`, two processes
@@ -138,6 +223,12 @@ impl ReportCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Disk entries quarantined (checksum/parse failures) since
+    /// construction.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines.load(Ordering::Relaxed)
     }
 
     /// Entries currently resident in memory.
@@ -271,6 +362,166 @@ mod tests {
         let fresh = ReportCache::with_dir(&dir).unwrap();
         let got = fresh.get("contended").expect("entry readable");
         assert!(got.cycles < 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Write a valid entry, mangle it on disk, and check the fresh
+    /// cache quarantines it (renames to `.corrupt`), counts it, treats
+    /// the lookup as a miss, and recovers on the next put/get.
+    fn assert_quarantined(tag: &str, mangle: impl FnOnce(&Path)) {
+        let dir = std::env::temp_dir().join(format!(
+            "ptmap-cache-quarantine-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = sample_report();
+        ReportCache::with_dir(&dir).unwrap().put("k", &report);
+        let path = dir.join("k.json");
+        mangle(&path);
+
+        let cache = ReportCache::with_dir(&dir).unwrap();
+        assert_eq!(cache.get("k"), None, "corrupt entry must read as a miss");
+        assert_eq!(cache.quarantines(), 1);
+        assert!(
+            dir.join("k.json.corrupt").exists(),
+            "entry must be moved aside, not deleted"
+        );
+        assert!(!path.exists(), "corrupt entry must not shadow recompute");
+
+        // Recompute-and-overwrite path: a fresh put publishes a valid
+        // entry again.
+        cache.put("k", &report);
+        let fresh = ReportCache::with_dir(&dir).unwrap();
+        assert_eq!(fresh.get("k").unwrap(), report);
+        assert_eq!(fresh.quarantines(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_is_quarantined() {
+        assert_quarantined("truncated", |path| {
+            let bytes = std::fs::read(path).unwrap();
+            std::fs::write(path, &bytes[..bytes.len() / 2]).unwrap();
+        });
+    }
+
+    #[test]
+    fn bit_flipped_entry_is_quarantined() {
+        assert_quarantined("bitflip", |path| {
+            let mut bytes = std::fs::read(path).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x01;
+            std::fs::write(path, bytes).unwrap();
+        });
+    }
+
+    #[test]
+    fn headerless_entry_is_quarantined() {
+        assert_quarantined("headerless", |path| {
+            std::fs::write(path, "no checksum line here").unwrap();
+        });
+    }
+
+    #[test]
+    fn checksum_valid_but_unparsable_entry_is_quarantined() {
+        assert_quarantined("unparsable", |path| {
+            let json = "{\"not\": \"a report\"}";
+            std::fs::write(path, format!("{}\n{json}", sha256_hex(json))).unwrap();
+        });
+    }
+
+    #[test]
+    fn non_utf8_entry_is_quarantined() {
+        assert_quarantined("nonutf8", |path| {
+            std::fs::write(path, [0xff, 0xfe, 0x00, 0xc1]).unwrap();
+        });
+    }
+
+    #[test]
+    fn quarantine_message_snapshot() {
+        assert_eq!(
+            quarantine_message("abc123", "checksum mismatch"),
+            "quarantined corrupt cache entry abc123.json (checksum mismatch); recomputing"
+        );
+    }
+
+    #[test]
+    fn decode_entry_names_first_failure() {
+        assert_eq!(decode_entry(&[0xff, 0xfe]), Err("not UTF-8"));
+        assert_eq!(decode_entry(b"no newline"), Err("missing checksum header"));
+        assert_eq!(
+            decode_entry(b"zz\n{}"),
+            Err("malformed checksum header"),
+            "short or non-hex first line"
+        );
+        let bad = format!("{}\n{{}}", "0".repeat(64));
+        assert_eq!(decode_entry(bad.as_bytes()), Err("checksum mismatch"));
+        let unparsable = format!("{}\n{{}}", sha256_hex("{}"));
+        assert_eq!(
+            decode_entry(unparsable.as_bytes()),
+            Err("unparsable report")
+        );
+    }
+
+    #[test]
+    fn degraded_label_changes_key() {
+        let j = job("gemm:24", "S4");
+        let base = PtMapConfig::default();
+        let full = cache_key(&j, &base);
+        let degraded = cache_key_degraded(&j, &base, Some("explore=quick"));
+        assert_ne!(full, degraded, "degraded entries must not alias full ones");
+        assert_eq!(
+            cache_key_degraded(&j, &base, None),
+            full,
+            "no label = plain key"
+        );
+        assert_ne!(
+            degraded,
+            cache_key_degraded(&j, &base, Some("explore=quick,effort=1,realize_beam=1")),
+            "distinct rungs get distinct keys"
+        );
+    }
+
+    #[test]
+    fn cache_read_fault_degrades_to_miss() {
+        let dir =
+            std::env::temp_dir().join(format!("ptmap-cache-readfault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = sample_report();
+        ReportCache::with_dir(&dir).unwrap().put("k", &report);
+
+        let cache = ReportCache::with_dir(&dir).unwrap();
+        {
+            // Scope-filtered: the registry is process-global, so an
+            // unfiltered spec would fire in concurrently running tests.
+            let _guard = faultpoint::install("cache_read:error@readfault-test").unwrap();
+            faultpoint::with_scope("readfault-test", || {
+                assert_eq!(cache.get("k"), None, "faulted read must miss");
+            });
+        }
+        // Fault cleared: the intact entry is served again and was never
+        // quarantined (the file itself is fine).
+        assert_eq!(cache.get("k").unwrap(), report);
+        assert_eq!(cache.quarantines(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_write_fault_keeps_entry_memory_only() {
+        let dir =
+            std::env::temp_dir().join(format!("ptmap-cache-writefault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = sample_report();
+        let cache = ReportCache::with_dir(&dir).unwrap();
+        {
+            let _guard = faultpoint::install("cache_write:error@writefault-test").unwrap();
+            faultpoint::with_scope("writefault-test", || cache.put("k", &report));
+        }
+        assert_eq!(cache.get("k").unwrap(), report, "memory copy still serves");
+        assert!(
+            !dir.join("k.json").exists(),
+            "faulted write must not publish a disk entry"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

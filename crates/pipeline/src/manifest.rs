@@ -31,6 +31,7 @@ use ptmap_arch::{presets, CgraArch};
 use ptmap_core::{PtMap, PtMapConfig};
 use ptmap_eval::{AnalyticalPredictor, GnnPredictor, IiPredictor, OraclePredictor, RankMode};
 use ptmap_gnn::PtMapGnn;
+use ptmap_governor::faultpoint;
 use ptmap_ir::Program;
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
@@ -91,6 +92,8 @@ impl PredictorSpec {
             "oracle" => Ok(PredictorSpec::Oracle),
             other => match other.strip_prefix("gnn:") {
                 Some(path) => {
+                    faultpoint::fail_point(faultpoint::sites::PREDICTOR_LOAD)
+                        .map_err(|e| format!("reading model {path}: {e}"))?;
                     let text = std::fs::read_to_string(path)
                         .map_err(|e| format!("reading model {path}: {e}"))?;
                     let model: PtMapGnn =
@@ -101,6 +104,22 @@ impl PredictorSpec {
                     "unknown predictor {other} (expected analytical, oracle, or gnn:<model.json>)"
                 )),
             },
+        }
+    }
+
+    /// [`PredictorSpec::parse`] with graceful degradation: a GNN
+    /// checkpoint that cannot be read or parsed falls back to the
+    /// analytical predictor, returning the reason so the caller records
+    /// the degradation instead of failing the job. Unknown predictor
+    /// *names* still error — a typo must not silently change results.
+    pub fn parse_degrading(text: &str) -> Result<(Self, Option<String>), String> {
+        match Self::parse(text) {
+            Ok(spec) => Ok((spec, None)),
+            Err(e) if text.starts_with("gnn:") => Ok((
+                PredictorSpec::Analytical,
+                Some(format!("predictor=analytical ({e})")),
+            )),
+            Err(e) => Err(e),
         }
     }
 
@@ -144,14 +163,21 @@ pub struct Job {
     pub predictor: PredictorSpec,
     /// Ranking mode.
     pub mode: RankMode,
+    /// Degradation applied while resolving (e.g. an unreadable GNN
+    /// checkpoint replaced by the analytical predictor); surfaces in the
+    /// job outcome and in the cache key.
+    pub degraded: Option<String>,
 }
 
 impl Job {
-    /// Resolves one manifest line.
+    /// Resolves one manifest line. An unreadable or unparsable GNN
+    /// checkpoint degrades to the analytical predictor (recorded in
+    /// [`Job::degraded`]) instead of failing the whole manifest.
     pub fn resolve(spec: &JobSpec) -> Result<Job, String> {
         let program = resolve_kernel(&spec.kernel)?;
         let arch = resolve_arch(&spec.arch)?;
-        let predictor = PredictorSpec::parse(spec.predictor.as_deref().unwrap_or("analytical"))?;
+        let (predictor, degraded) =
+            PredictorSpec::parse_degrading(spec.predictor.as_deref().unwrap_or("analytical"))?;
         let mode = match spec.mode.as_deref().unwrap_or("performance") {
             "performance" => RankMode::Performance,
             "pareto" => RankMode::Pareto,
@@ -167,6 +193,7 @@ impl Job {
             arch,
             predictor,
             mode,
+            degraded,
         })
     }
 

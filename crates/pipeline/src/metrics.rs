@@ -109,6 +109,9 @@ pub struct BatchMetrics {
     pub cache_hits: u64,
     /// Cache misses across all jobs.
     pub cache_misses: u64,
+    /// Corrupt disk cache entries quarantined during the run.
+    #[serde(default)]
+    pub cache_quarantines: u64,
     /// Accumulated spans (keyed by span name).
     pub spans: BTreeMap<String, SpanStat>,
     /// Accumulated counters (keyed by counter name).

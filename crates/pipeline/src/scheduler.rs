@@ -11,16 +11,29 @@
 //! Each job body runs under `catch_unwind`: a panicking compilation
 //! produces an error outcome for that job and the rest of the batch
 //! proceeds.
+//!
+//! # Governor
+//!
+//! A batch runs under a [`Budget`]: `deadline` caps the whole batch,
+//! `job_timeout` caps each compilation attempt (via
+//! [`Budget::child`], so the batch deadline still dominates), and
+//! external cancellation propagates through the shared cancel flag.
+//! A job that times out or panics is retried up to `max_retries`
+//! times down a *degradation ladder* — first with a narrowed
+//! exploration, then additionally with minimum mapper effort and beam —
+//! and any outcome produced that way carries the degradation label
+//! (which is also part of its cache key).
 
-use crate::cache::{cache_key, ReportCache};
+use crate::cache::{cache_key_degraded, ReportCache};
 use crate::manifest::Job;
 use crate::metrics::{BatchMetrics, JobMetrics, Recorder};
-use ptmap_core::{CompileMetrics, CompileReport, PtMapConfig};
+use ptmap_core::{CompileMetrics, CompileReport, PtMapConfig, PtMapError};
+use ptmap_governor::{faultpoint, Budget};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{mpsc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Batch execution configuration.
 #[derive(Debug, Clone)]
@@ -34,6 +47,17 @@ pub struct BatchConfig {
     /// mode. `base.eval_workers` controls within-job sharding of the
     /// candidate evaluations.
     pub base: PtMapConfig,
+    /// Per-attempt compilation timeout (`None` = unlimited). Checked
+    /// cooperatively inside every pipeline stage.
+    pub job_timeout: Option<Duration>,
+    /// The batch-wide budget: set a deadline to cap the whole run,
+    /// clone-and-cancel from another thread to stop it early. Every
+    /// job attempt runs under a [`Budget::child`] of this.
+    pub budget: Budget,
+    /// Timed-out or panicking jobs are retried this many times down
+    /// the degradation ladder (0 = fail immediately). Deterministic
+    /// errors and cancellation are never retried.
+    pub max_retries: u32,
 }
 
 impl Default for BatchConfig {
@@ -42,7 +66,36 @@ impl Default for BatchConfig {
             workers: 1,
             cache_dir: None,
             base: PtMapConfig::default(),
+            job_timeout: None,
+            budget: Budget::unlimited(),
+            max_retries: 2,
         }
+    }
+}
+
+/// One rung of the retry ladder: the config for `attempt` (0 = the
+/// caller's full-fidelity config) plus the degradation label recorded
+/// in the outcome and mixed into the cache key. Later rungs shrink the
+/// search so a retry after a timeout actually fits the budget.
+fn ladder(base: &PtMapConfig, attempt: u32) -> (PtMapConfig, Option<String>) {
+    match attempt {
+        0 => (base.clone(), None),
+        1 => (
+            PtMapConfig {
+                explore: ptmap_transform::ExploreConfig::quick(),
+                ..base.clone()
+            },
+            Some("explore=quick".to_string()),
+        ),
+        _ => (
+            PtMapConfig {
+                explore: ptmap_transform::ExploreConfig::quick(),
+                mapper: base.mapper.clone().with_effort(1),
+                realize_beam: 1,
+                ..base.clone()
+            },
+            Some("explore=quick,effort=1,realize_beam=1".to_string()),
+        ),
     }
 }
 
@@ -57,6 +110,18 @@ pub struct JobOutcome {
     pub report: Option<CompileReport>,
     /// The failure message (`None` on success).
     pub error: Option<String>,
+    /// Short machine-readable failure class (`timeout`, `cancelled`,
+    /// `panic`, `fault`, `no-pnl`, `nothing-mappable`); `None` on
+    /// success.
+    #[serde(default)]
+    pub error_class: Option<String>,
+    /// The degradation ladder rung (plus any predictor fallback) that
+    /// produced this outcome; `None` for a full-fidelity result.
+    #[serde(default)]
+    pub degraded: Option<String>,
+    /// Extra attempts spent on this job beyond the first.
+    #[serde(default)]
+    pub retries: u32,
 }
 
 impl JobOutcome {
@@ -121,6 +186,7 @@ pub fn run_batch_with_cache(
     let t0 = Instant::now();
     let recorder = Recorder::new();
     let workers = config.workers.clamp(1, jobs.len().max(1));
+    let quarantines_before = cache.quarantines();
 
     let mut slots: Vec<Option<(JobOutcome, JobMetrics)>> = vec![None; jobs.len()];
     if workers <= 1 {
@@ -137,7 +203,18 @@ pub fn run_batch_with_cache(
         let index_rx = Mutex::new(index_rx);
         let (result_tx, result_rx) = mpsc::channel::<(usize, (JobOutcome, JobMetrics))>();
         std::thread::scope(|s| {
+            let mut spawned = 0usize;
             for _ in 0..workers {
+                // A faulted spawn (any mode) just means one fewer
+                // worker; the queue drains through the survivors.
+                let spawn_ok = catch_unwind(|| {
+                    faultpoint::fail_point(faultpoint::sites::WORKER_SPAWN).is_ok()
+                })
+                .unwrap_or(false);
+                if !spawn_ok {
+                    recorder.incr("worker_spawn_failures", 1);
+                    continue;
+                }
                 let result_tx = result_tx.clone();
                 let index_rx = &index_rx;
                 let recorder = &recorder;
@@ -150,6 +227,19 @@ pub fn run_batch_with_cache(
                         break;
                     }
                 });
+                spawned += 1;
+            }
+            if spawned == 0 {
+                // Every spawn faulted: drain the queue on this thread
+                // so the batch still completes (degraded to serial).
+                loop {
+                    let next = { index_rx.lock().unwrap().recv() };
+                    let Ok(i) = next else { break };
+                    let out = run_one(&jobs[i], config, cache, &recorder);
+                    if result_tx.send((i, out)).is_err() {
+                        break;
+                    }
+                }
             }
         });
         drop(result_tx);
@@ -171,6 +261,7 @@ pub fn run_batch_with_cache(
         workers,
         cache_hits: counters.get("cache_hits").copied().unwrap_or(0),
         cache_misses: counters.get("cache_misses").copied().unwrap_or(0),
+        cache_quarantines: cache.quarantines() - quarantines_before,
         spans,
         counters,
         jobs: job_metrics,
@@ -178,54 +269,125 @@ pub fn run_batch_with_cache(
     BatchReport { outcomes, metrics }
 }
 
-/// Runs one job: cache lookup, then panic-isolated compilation.
+/// What one attempt (cache lookup + compilation) produced.
+enum Attempt {
+    CacheHit(CompileReport),
+    Compiled(Result<CompileReport, PtMapError>, CompileMetrics),
+}
+
+/// Maps a pipeline error to its short machine-readable class.
+fn error_class(e: &PtMapError) -> &'static str {
+    match e {
+        PtMapError::Timeout => "timeout",
+        PtMapError::Cancelled => "cancelled",
+        PtMapError::Fault(_) => "fault",
+        PtMapError::NoPnl => "no-pnl",
+        PtMapError::NothingMappable => "nothing-mappable",
+        _ => "error",
+    }
+}
+
+/// Runs one job under its fault-injection scope: per-job `@<filter>`
+/// fault specs match against the job name.
 fn run_one(
     job: &Job,
     config: &BatchConfig,
     cache: &ReportCache,
     recorder: &Recorder,
 ) -> (JobOutcome, JobMetrics) {
+    faultpoint::with_scope(&job.name, || run_one_scoped(job, config, cache, recorder))
+}
+
+/// The retry-ladder driver: walks attempts 0..=max_retries, each under
+/// a fresh child budget and with panic isolation; only timeouts and
+/// panics descend the ladder.
+fn run_one_scoped(
+    job: &Job,
+    config: &BatchConfig,
+    cache: &ReportCache,
+    recorder: &Recorder,
+) -> (JobOutcome, JobMetrics) {
     let t0 = Instant::now();
-    let key = cache_key(job, &config.base);
-    if let Some(report) = cache.get(&key) {
-        recorder.incr("cache_hits", 1);
-        recorder.incr("jobs_ok", 1);
-        let wall = t0.elapsed().as_secs_f64();
-        recorder.add_seconds("job", wall);
-        return (
-            JobOutcome {
-                name: job.name.clone(),
-                cache_hit: true,
-                report: Some(report),
-                error: None,
-            },
-            JobMetrics {
-                job: job.name.clone(),
-                cache_hit: true,
-                ok: true,
-                wall_seconds: wall,
-                stages: CompileMetrics::default(),
-            },
-        );
-    }
-    recorder.incr("cache_misses", 1);
-    let compiled = catch_unwind(AssertUnwindSafe(|| {
-        job.compiler(&config.base)
-            .compile_instrumented(&job.program, &job.arch)
-    }));
-    let (report, error, stages) = match compiled {
-        Ok((Ok(report), m)) => {
-            cache.put(&key, &report);
-            (Some(report), None, m)
+    let mut stages = CompileMetrics::default();
+    let mut retries = 0u32;
+    let mut last_error: Option<(String, &'static str)> = None;
+    let mut success: Option<(CompileReport, bool, Option<String>)> = None;
+
+    for attempt in 0..=config.max_retries {
+        // The batch-wide budget dominates: once it is gone, nothing —
+        // not even a first attempt — starts.
+        if let Err(e) = config.budget.check() {
+            let msg = match e {
+                ptmap_governor::BudgetExceeded::Cancelled => "batch cancelled",
+                _ => "batch deadline exceeded",
+            };
+            last_error = Some((msg.to_string(), error_class(&PtMapError::from(e))));
+            break;
         }
-        Ok((Err(e), m)) => (None, Some(e.to_string()), m),
-        Err(panic) => (
-            None,
-            Some(format!("panicked: {}", panic_message(&panic))),
-            { CompileMetrics::default() },
-        ),
-    };
-    let ok = report.is_some();
+        let (cfg, rung) = ladder(&config.base, attempt);
+        let label = match (&job.degraded, &rung) {
+            (None, None) => None,
+            (Some(d), None) => Some(d.clone()),
+            (None, Some(r)) => Some(r.clone()),
+            (Some(d), Some(r)) => Some(format!("{d},{r}")),
+        };
+        let key = cache_key_degraded(job, &cfg, label.as_deref());
+        // Cache lookup joins the compilation inside catch_unwind so a
+        // `panic`-mode fault at cache_read downs this job, not the
+        // whole batch.
+        // Cache lookup and publication join the compilation inside
+        // catch_unwind so a `panic`-mode fault at cache_read or
+        // cache_write downs this job, not the whole batch.
+        let attempted = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(report) = cache.get(&key) {
+                return Attempt::CacheHit(report);
+            }
+            let budget = config.budget.child(config.job_timeout);
+            let (result, m) =
+                job.compiler(&cfg)
+                    .compile_instrumented_budgeted(&job.program, &job.arch, &budget);
+            if let Ok(report) = &result {
+                cache.put(&key, report);
+            }
+            Attempt::Compiled(result, m)
+        }));
+        if attempt > 0 {
+            retries += 1;
+            recorder.incr("job_retries", 1);
+        }
+        match attempted {
+            Ok(Attempt::CacheHit(report)) => {
+                recorder.incr("cache_hits", 1);
+                success = Some((report, true, label));
+                break;
+            }
+            Ok(Attempt::Compiled(result, m)) => {
+                recorder.incr("cache_misses", 1);
+                stages.absorb(&m);
+                match result {
+                    Ok(report) => {
+                        if let Some(l) = &label {
+                            stages.degradations.push(l.clone());
+                        }
+                        success = Some((report, false, label));
+                        break;
+                    }
+                    Err(e) => {
+                        let class = error_class(&e);
+                        last_error = Some((e.to_string(), class));
+                        if class != "timeout" {
+                            break; // deterministic failure or cancel: no retry
+                        }
+                    }
+                }
+            }
+            Err(panic) => {
+                last_error = Some((format!("panicked: {}", panic_message(&panic)), "panic"));
+            }
+        }
+    }
+
+    let ok = success.is_some();
     recorder.incr(if ok { "jobs_ok" } else { "jobs_failed" }, 1);
     recorder.add_seconds("explore", stages.explore_seconds);
     recorder.add_seconds("evaluate", stages.evaluate_seconds);
@@ -237,16 +399,32 @@ fn run_one(
     recorder.incr("mapper_rejects", stages.mapper_rejects as u64);
     let wall = t0.elapsed().as_secs_f64();
     recorder.add_seconds("job", wall);
+    let (report, cache_hit, degraded, error, class) = match success {
+        Some((report, hit, label)) => {
+            if label.is_some() {
+                recorder.incr("jobs_degraded", 1);
+            }
+            (Some(report), hit, label, None, None)
+        }
+        None => {
+            let (msg, class) =
+                last_error.unwrap_or_else(|| ("job produced no outcome".to_string(), "error"));
+            (None, false, None, Some(msg), Some(class.to_string()))
+        }
+    };
     (
         JobOutcome {
             name: job.name.clone(),
-            cache_hit: false,
+            cache_hit,
             report,
             error,
+            error_class: class,
+            degraded: degraded.clone(),
+            retries,
         },
         JobMetrics {
             job: job.name.clone(),
-            cache_hit: false,
+            cache_hit,
             ok,
             wall_seconds: wall,
             stages,
@@ -354,6 +532,180 @@ mod tests {
             batch.outcomes[0].report.as_ref().unwrap(),
             batch.outcomes[1].report.as_ref().unwrap(),
         );
+    }
+
+    fn sample_report() -> CompileReport {
+        CompileReport {
+            program: "gemm".into(),
+            arch: "S4".into(),
+            mode: ptmap_eval::RankMode::Performance,
+            cycles: 10,
+            energy_pj: 1.0,
+            edp: 10.0,
+            pnls: vec![],
+            candidates_explored: 2,
+            candidates_pruned: 1,
+            context_generation_attempts: 1,
+            compile_seconds: 0.25,
+        }
+    }
+
+    #[test]
+    fn ladder_rungs_shrink_search() {
+        let base = PtMapConfig::default();
+        let (c0, l0) = ladder(&base, 0);
+        assert_eq!(l0, None);
+        assert_eq!(c0.realize_beam, base.realize_beam);
+        let (c1, l1) = ladder(&base, 1);
+        assert_eq!(l1.as_deref(), Some("explore=quick"));
+        assert_eq!(c1.explore, ptmap_transform::ExploreConfig::quick());
+        let (c2, l2) = ladder(&base, 2);
+        assert_eq!(l2.as_deref(), Some("explore=quick,effort=1,realize_beam=1"));
+        assert_eq!(c2.realize_beam, 1);
+        // The ladder bottoms out: further attempts reuse the last rung.
+        let (c9, l9) = ladder(&base, 9);
+        assert_eq!(l9, l2);
+        assert_eq!(c9.realize_beam, 1);
+    }
+
+    #[test]
+    fn cancelled_batch_fails_jobs_without_compiling() {
+        let budget = Budget::cancellable();
+        budget.cancel();
+        let batch = run_batch(
+            &jobs(3),
+            &BatchConfig {
+                budget,
+                base: quick_base(),
+                ..BatchConfig::default()
+            },
+        );
+        assert_eq!(batch.outcomes.len(), 3);
+        for o in &batch.outcomes {
+            assert!(o.report.is_none());
+            assert_eq!(o.error.as_deref(), Some("batch cancelled"));
+            assert_eq!(o.error_class.as_deref(), Some("cancelled"));
+            assert_eq!(o.retries, 0, "cancellation must not burn retries");
+        }
+        assert_eq!(batch.metrics.counters["jobs_failed"], 3);
+        assert_eq!(batch.metrics.cache_misses, 0, "nothing may start");
+    }
+
+    #[test]
+    fn timed_out_job_descends_ladder_to_degraded_result() {
+        // Attempt 0 times out (its child budget is already expired);
+        // attempt 1's degraded cache key is pre-seeded, so the job
+        // recovers with the rung-1 label and one retry on the books.
+        let js = jobs(1);
+        let config = BatchConfig {
+            job_timeout: Some(Duration::from_nanos(1)),
+            max_retries: 2,
+            ..BatchConfig::default()
+        };
+        let cache = ReportCache::in_memory();
+        let report = sample_report();
+        let (rung1_cfg, rung1_label) = ladder(&config.base, 1);
+        let key = cache_key_degraded(&js[0], &rung1_cfg, rung1_label.as_deref());
+        cache.put(&key, &report);
+
+        let batch = run_batch_with_cache(&js, &config, &cache);
+        let o = &batch.outcomes[0];
+        assert_eq!(o.report.as_ref(), Some(&report));
+        assert_eq!(o.degraded.as_deref(), Some("explore=quick"));
+        assert_eq!(o.retries, 1);
+        assert!(o.cache_hit);
+        assert_eq!(o.error, None);
+        assert_eq!(batch.metrics.counters["jobs_degraded"], 1);
+        assert_eq!(batch.metrics.counters["job_retries"], 1);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_timeout_class() {
+        let js = jobs(1);
+        let batch = run_batch(
+            &js,
+            &BatchConfig {
+                job_timeout: Some(Duration::from_nanos(1)),
+                max_retries: 1,
+                base: quick_base(),
+                ..BatchConfig::default()
+            },
+        );
+        let o = &batch.outcomes[0];
+        assert!(o.report.is_none());
+        assert_eq!(o.error_class.as_deref(), Some("timeout"));
+        assert_eq!(
+            o.error.as_deref(),
+            Some("compilation timed out: budget exceeded")
+        );
+        assert_eq!(o.retries, 1, "every rung was tried");
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_classed() {
+        // The fault targets one uniquely named job (the registry is
+        // process-global, so the filter must not match the shared
+        // `gemm:N@...` names other tests compile concurrently).
+        let m = Manifest::from_json(
+            r#"{"jobs": [
+                {"name": "panicky-target", "kernel": "gemm:24", "arch": "S4"},
+                {"kernel": "gemm:20", "arch": "R4"}
+            ]}"#,
+        )
+        .unwrap();
+        let js = m.resolve().unwrap();
+        let _guard = faultpoint::install("mapper_place:panic@panicky-target").unwrap();
+        let batch = run_batch(
+            &js,
+            &BatchConfig {
+                max_retries: 1,
+                base: quick_base(),
+                ..BatchConfig::default()
+            },
+        );
+        let bad = &batch.outcomes[0];
+        assert!(bad.report.is_none());
+        assert_eq!(bad.error_class.as_deref(), Some("panic"));
+        assert!(
+            bad.error
+                .as_deref()
+                .unwrap()
+                .contains("injected panic at fault point mapper_place"),
+            "{:?}",
+            bad.error
+        );
+        assert_eq!(bad.retries, 1, "panics descend the ladder too");
+        let good = &batch.outcomes[1];
+        assert!(good.report.is_some(), "{:?}", good.error);
+        assert_eq!(batch.metrics.counters["jobs_failed"], 1);
+    }
+
+    #[test]
+    fn all_workers_faulted_degrades_to_serial_drain() {
+        // worker_spawn fail-points fire on the batch thread, so scoping
+        // the whole run isolates this test from concurrent ones.
+        let _guard = faultpoint::install("worker_spawn:error@spawn-fault-test").unwrap();
+        let js = jobs(3);
+        let batch = faultpoint::with_scope("spawn-fault-test", || {
+            run_batch(
+                &js,
+                &BatchConfig {
+                    workers: 3,
+                    base: quick_base(),
+                    ..BatchConfig::default()
+                },
+            )
+        });
+        assert!(
+            batch.outcomes.iter().all(|o| o.report.is_some()),
+            "{:?}",
+            batch
+                .outcomes
+                .iter()
+                .map(|o| o.error.clone())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(batch.metrics.counters["worker_spawn_failures"], 3);
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Fault-injection integration tests of the `ptmap batch` CLI: the
+//! `PTMAP_FAULT` matrix (one representative behavior per site/mode)
+//! plus the end-to-end degraded-batch scenario — one hung job, one
+//! panicking job, one corrupt disk-cache entry in a single run.
+
+use ptmap_pipeline::JobOutcome;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn ptmap() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ptmap"))
+}
+
+/// Fresh scratch directory named after the test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ptmap-faults-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_manifest(dir: &Path, text: &str) -> PathBuf {
+    let path = dir.join("jobs.json");
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+/// Runs `ptmap batch` on a manifest with optional PTMAP_FAULT and extra
+/// flags, returning the raw output.
+fn run_batch_cli(manifest: &Path, fault: &str, extra: &[&str]) -> Output {
+    let mut cmd = ptmap();
+    cmd.arg("batch")
+        .arg(format!("--manifest={}", manifest.display()))
+        .args(extra);
+    if fault.is_empty() {
+        cmd.env_remove("PTMAP_FAULT");
+    } else {
+        cmd.env("PTMAP_FAULT", fault);
+    }
+    cmd.output().unwrap()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+const TINY_MANIFEST: &str = r#"{"jobs": [{"kernel": "vecsum:64", "arch": "S4"}]}"#;
+
+#[test]
+fn cache_read_error_recompiles_instead_of_hitting() {
+    let dir = scratch("cache-read-error");
+    let manifest = write_manifest(&dir, TINY_MANIFEST);
+    let cache = format!("--cache-dir={}", dir.join("cache").display());
+
+    let warmup = run_batch_cli(&manifest, "", &[&cache]);
+    assert!(warmup.status.success(), "{}", stderr(&warmup));
+    assert!(stdout(&warmup).contains("0 cache hits, 1 misses"));
+
+    // With reads faulted, the warm entry is unreachable; the job still
+    // succeeds by recompiling.
+    let faulted = run_batch_cli(&manifest, "cache_read:error", &[&cache]);
+    assert!(faulted.status.success(), "{}", stderr(&faulted));
+    assert!(
+        stdout(&faulted).contains("0 cache hits, 1 misses"),
+        "{}",
+        stdout(&faulted)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_write_error_leaves_disk_cold() {
+    let dir = scratch("cache-write-error");
+    let manifest = write_manifest(&dir, TINY_MANIFEST);
+    let cache_dir = dir.join("cache");
+    let cache = format!("--cache-dir={}", cache_dir.display());
+
+    let out = run_batch_cli(&manifest, "cache_write:error", &[&cache]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let written = std::fs::read_dir(&cache_dir)
+        .map(|d| d.count())
+        .unwrap_or(0);
+    assert_eq!(written, 0, "faulted writes must not publish entries");
+
+    // Next (fault-free) run therefore misses and recompiles.
+    let next = run_batch_cli(&manifest, "", &[&cache]);
+    assert!(next.status.success());
+    assert!(
+        stdout(&next).contains("0 cache hits, 1 misses"),
+        "{}",
+        stdout(&next)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn worker_spawn_panic_degrades_to_serial_batch() {
+    let dir = scratch("worker-spawn-panic");
+    let manifest = write_manifest(
+        &dir,
+        r#"{"jobs": [
+            {"kernel": "vecsum:64", "arch": "S4"},
+            {"kernel": "vecsum:128", "arch": "S4"}
+        ]}"#,
+    );
+    let out = run_batch_cli(&manifest, "worker_spawn:panic", &["--jobs", "3"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("2 jobs"), "{}", stdout(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn predictor_load_error_degrades_to_analytical() {
+    let dir = scratch("predictor-load-error");
+    let manifest = write_manifest(
+        &dir,
+        r#"{"jobs": [{"kernel": "vecsum:64", "arch": "S4", "predictor": "gnn:model.json"}]}"#,
+    );
+    let out = run_batch_cli(&manifest, "predictor_load:error", &[]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("[degraded: predictor=analytical"),
+        "degradation must be visible per job: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mapper_place_error_fails_job_with_fault_class() {
+    let dir = scratch("mapper-place-error");
+    let manifest = write_manifest(&dir, TINY_MANIFEST);
+    let out = run_batch_cli(&manifest, "mapper_place:error", &[]);
+    assert!(!out.status.success(), "faulted job must fail the batch");
+    let err = stderr(&out);
+    assert!(err.contains("1 of 1 jobs failed"), "{err}");
+    assert!(err.contains("class=fault"), "{err}");
+    assert!(err.contains("injected fault at mapper_place"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_fault_spec_warns_and_is_ignored() {
+    let dir = scratch("bad-spec");
+    let manifest = write_manifest(&dir, TINY_MANIFEST);
+    let out = run_batch_cli(&manifest, "mapper_place:explode", &[]);
+    assert!(out.status.success(), "bad spec must not break the batch");
+    assert!(
+        stderr(&out).contains("ignoring PTMAP_FAULT"),
+        "{}",
+        stderr(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance scenario: a four-job batch where one job hangs (delay
+/// fault + `--job-timeout`), one panics, and one clean job's disk-cache
+/// entry is corrupt. The batch must complete with structured errors for
+/// the two faulted jobs, quarantine-and-recompute the corrupt entry,
+/// leave the clean jobs' deterministic outcomes byte-identical to a
+/// fault-free run, and exit non-zero.
+#[test]
+fn degraded_batch_isolates_faults_and_stays_deterministic() {
+    let dir = scratch("acceptance");
+    let manifest = write_manifest(
+        &dir,
+        r#"{"jobs": [
+            {"name": "hung", "kernel": "gemm:16", "arch": "S4"},
+            {"name": "boom", "kernel": "gemm:16", "arch": "R4"},
+            {"name": "clean-a", "kernel": "vecsum:64", "arch": "S4"},
+            {"name": "clean-b", "kernel": "vecsum:128", "arch": "R4"}
+        ]}"#,
+    );
+
+    // Fault-free baseline (separate cache so nothing leaks forward).
+    let base_out = dir.join("baseline.json");
+    let baseline = run_batch_cli(
+        &manifest,
+        "",
+        &[
+            &format!("--cache-dir={}", dir.join("cache-base").display()),
+            &format!("--out={}", base_out.display()),
+        ],
+    );
+    assert!(baseline.status.success(), "{}", stderr(&baseline));
+
+    // Seed the faulty run's cache with clean-a only, then corrupt that
+    // single entry on disk.
+    let faulty_cache = dir.join("cache-faulty");
+    let seed_manifest = write_manifest_named(
+        &dir,
+        "seed.json",
+        r#"{"jobs": [{"name": "clean-a", "kernel": "vecsum:64", "arch": "S4"}]}"#,
+    );
+    let seed = run_batch_cli(
+        &seed_manifest,
+        "",
+        &[&format!("--cache-dir={}", faulty_cache.display())],
+    );
+    assert!(seed.status.success(), "{}", stderr(&seed));
+    let entries: Vec<PathBuf> = std::fs::read_dir(&faulty_cache)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(entries.len(), 1, "seed run must cache exactly one entry");
+    let bytes = std::fs::read(&entries[0]).unwrap();
+    std::fs::write(&entries[0], &bytes[..bytes.len() / 2]).unwrap();
+
+    // The faulted run: `hung` sleeps 2.5s inside the mapper against a
+    // 1s per-attempt timeout; `boom` panics at the same site.
+    let fault_out = dir.join("faulty.json");
+    let metrics_out = dir.join("metrics.json");
+    let faulted = run_batch_cli(
+        &manifest,
+        "mapper_place:delay:2500@hung,mapper_place:panic@boom",
+        &[
+            &format!("--cache-dir={}", faulty_cache.display()),
+            &format!("--out={}", fault_out.display()),
+            &format!("--metrics={}", metrics_out.display()),
+            "--job-timeout",
+            "1",
+            "--max-retries",
+            "1",
+        ],
+    );
+    assert!(
+        !faulted.status.success(),
+        "failed jobs must fail the batch: {}",
+        stdout(&faulted)
+    );
+    let err = stderr(&faulted);
+    assert!(err.contains("2 of 4 jobs failed"), "{err}");
+    assert!(err.contains("class=timeout"), "{err}");
+    assert!(err.contains("class=panic"), "{err}");
+    assert!(
+        err.contains("quarantined corrupt cache entry"),
+        "corruption must be reported: {err}"
+    );
+    assert!(
+        stdout(&faulted).contains("1 quarantined"),
+        "{}",
+        stdout(&faulted)
+    );
+
+    // Structured per-job outcomes: the two faulted jobs carry errors,
+    // the clean jobs' deterministic parts match the fault-free run
+    // exactly (the corrupt entry was recomputed, not served).
+    let parse = |p: &Path| -> Vec<JobOutcome> {
+        serde_json::from_str(&std::fs::read_to_string(p).unwrap()).unwrap()
+    };
+    let base = parse(&base_out);
+    let fault = parse(&fault_out);
+    assert_eq!(base.len(), 4);
+    assert_eq!(fault.len(), 4);
+    for (b, f) in base.iter().zip(&fault) {
+        assert_eq!(b.name, f.name, "manifest order is preserved");
+        match f.name.as_str() {
+            "hung" => {
+                assert!(f.report.is_none());
+                assert_eq!(f.error_class.as_deref(), Some("timeout"));
+                assert_eq!(f.retries, 1);
+            }
+            "boom" => {
+                assert!(f.report.is_none());
+                assert_eq!(f.error_class.as_deref(), Some("panic"));
+                assert!(
+                    f.error.as_deref().unwrap().contains("injected panic"),
+                    "{:?}",
+                    f.error
+                );
+            }
+            _ => {
+                // Both runs compile the clean jobs cold (the corrupt
+                // entry reads as a miss), so even cache_hit must agree.
+                let b = b.deterministic();
+                let f = f.deterministic();
+                assert_eq!(
+                    serde_json::to_string(&b).unwrap(),
+                    serde_json::to_string(&f).unwrap(),
+                    "clean job {} must be byte-identical to the fault-free run",
+                    b.name
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn write_manifest_named(dir: &Path, name: &str, text: &str) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, text).unwrap();
+    path
+}

@@ -32,6 +32,22 @@ pub enum TransformError {
     BadTileSize(u64),
     /// The reorder permutation does not cover the nest's loops.
     BadPermutation,
+    /// The compilation budget's deadline (or work limit) ran out while
+    /// exploring; checked per variant branch, so exploration exits
+    /// promptly instead of finishing the whole space.
+    Timeout,
+    /// The compilation budget was cancelled from outside.
+    Cancelled,
+}
+
+impl From<ptmap_governor::BudgetExceeded> for TransformError {
+    fn from(e: ptmap_governor::BudgetExceeded) -> Self {
+        match e {
+            ptmap_governor::BudgetExceeded::Cancelled => TransformError::Cancelled,
+            ptmap_governor::BudgetExceeded::Timeout
+            | ptmap_governor::BudgetExceeded::WorkExhausted => TransformError::Timeout,
+        }
+    }
 }
 
 impl fmt::Display for TransformError {
@@ -59,6 +75,10 @@ impl fmt::Display for TransformError {
             TransformError::BadPermutation => {
                 write!(f, "permutation does not match the nest's loops")
             }
+            TransformError::Timeout => {
+                write!(f, "exploration timed out: compilation budget exceeded")
+            }
+            TransformError::Cancelled => write!(f, "exploration cancelled"),
         }
     }
 }
@@ -80,5 +100,26 @@ mod tests {
             assert!(m.chars().next().unwrap().is_lowercase());
             assert!(!m.ends_with('.'));
         }
+    }
+
+    #[test]
+    fn governor_variant_displays() {
+        assert_eq!(
+            TransformError::Timeout.to_string(),
+            "exploration timed out: compilation budget exceeded"
+        );
+        assert_eq!(
+            TransformError::Cancelled.to_string(),
+            "exploration cancelled"
+        );
+        use ptmap_governor::BudgetExceeded;
+        assert_eq!(
+            TransformError::from(BudgetExceeded::Timeout),
+            TransformError::Timeout
+        );
+        assert_eq!(
+            TransformError::from(BudgetExceeded::Cancelled),
+            TransformError::Cancelled
+        );
     }
 }

@@ -19,6 +19,7 @@
 use crate::config::{ExploreConfig, FusionMode};
 use crate::primitives;
 use crate::result::{PnlCandidate, ProgramVariant, ResultForest};
+use ptmap_governor::Budget;
 use ptmap_ir::{LoopId, PerfectNest, Program};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -67,10 +68,29 @@ pub fn apply_recipe(
     Ok(p)
 }
 
-/// Runs the full top-down exploration.
+/// Runs the full top-down exploration with an unlimited budget.
 pub fn explore(program: &Program, config: &ExploreConfig) -> ResultForest {
+    explore_budgeted(program, config, &Budget::unlimited())
+        .expect("unlimited budget cannot run out")
+}
+
+/// [`explore`] under a cooperative [`Budget`]: the budget is checked per
+/// fusion-mode variant, per out-PNL branch, and per in-PNL loop order —
+/// never inside a single primitive — so exploration exits promptly when
+/// it runs out without adding measurable cost when it does not.
+///
+/// # Errors
+///
+/// [`crate::TransformError::Timeout`] / [`crate::TransformError::Cancelled`]
+/// when the budget runs out mid-exploration.
+pub fn explore_budgeted(
+    program: &Program,
+    config: &ExploreConfig,
+    budget: &Budget,
+) -> Result<ResultForest, crate::TransformError> {
     let mut variants: Vec<(Program, FusionMode)> = Vec::new();
     for &mode in &config.fusion_modes {
+        budget.check()?;
         let p = apply_fusion_mode(program, mode);
         if !variants.iter().any(|(q, _)| q == &p) {
             variants.push((p, mode));
@@ -79,6 +99,7 @@ pub fn explore(program: &Program, config: &ExploreConfig) -> ResultForest {
     // Out-PNL: branch tiled-and-distributed variants.
     let mut branched: Vec<(Program, FusionMode)> = Vec::new();
     for (p, mode) in &variants {
+        budget.check()?;
         for q in out_pnl_variants(p, config) {
             if !variants.iter().any(|(v, _)| v == &q) && !branched.iter().any(|(v, _)| v == &q) {
                 branched.push((q, *mode));
@@ -91,17 +112,23 @@ pub fn explore(program: &Program, config: &ExploreConfig) -> ResultForest {
     for (p, fusion) in variants {
         let arc = Arc::new(p);
         let nests = arc.perfect_nests();
-        let pnl_candidates: Vec<Vec<PnlCandidate>> = nests
-            .iter()
-            .map(|nest| in_pnl_explore(&arc, nest, config, &mut forest.stats))
-            .collect();
+        let mut pnl_candidates: Vec<Vec<PnlCandidate>> = Vec::with_capacity(nests.len());
+        for nest in &nests {
+            pnl_candidates.push(in_pnl_explore(
+                &arc,
+                nest,
+                config,
+                &mut forest.stats,
+                budget,
+            )?);
+        }
         forest.variants.push(ProgramVariant {
             program: arc,
             fusion,
             pnl_candidates,
         });
     }
-    forest
+    Ok(forest)
 }
 
 // ---------------------------------------------------------------------
@@ -266,13 +293,15 @@ fn in_pnl_explore(
     nest: &PerfectNest,
     config: &ExploreConfig,
     stats: &mut crate::result::ExploreStats,
-) -> Vec<PnlCandidate> {
+    budget: &Budget,
+) -> Result<Vec<PnlCandidate>, crate::TransformError> {
     let mut out: Vec<PnlCandidate> = Vec::new();
     let root = nest.loops[0];
 
     // Stage 1: loop order enumeration over the innermost band.
     let orders = band_orders(nest, config.reorder_depth);
     for order in orders {
+        budget.check()?;
         stats.orders_enumerated += 1;
         let order_recipe: Vec<Recipe> = if order == nest.loops {
             Vec::new()
@@ -348,7 +377,7 @@ fn in_pnl_explore(
         }
     }
 
-    subsample(out, config.max_candidates_per_pnl)
+    Ok(subsample(out, config.max_candidates_per_pnl))
 }
 
 /// Permutations of the innermost `depth` loops (outer prefix fixed).
@@ -568,6 +597,39 @@ mod tests {
             for c in v.pnl_candidates.iter().flatten() {
                 assert!(!c.desc.is_empty());
             }
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_stops_exploration() {
+        let budget = Budget::cancellable();
+        budget.cancel();
+        assert_eq!(
+            explore_budgeted(&gemm(64), &ExploreConfig::default(), &budget).err(),
+            Some(crate::TransformError::Cancelled)
+        );
+    }
+
+    #[test]
+    fn expired_deadline_times_out_exploration() {
+        let budget = Budget::with_deadline(std::time::Duration::ZERO);
+        assert_eq!(
+            explore_budgeted(&gemm(64), &ExploreConfig::default(), &budget).err(),
+            Some(crate::TransformError::Timeout)
+        );
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_forest() {
+        let p = gemm(64);
+        let free = explore(&p, &ExploreConfig::default());
+        let budget = Budget::with_deadline(std::time::Duration::from_secs(3600));
+        let timed = explore_budgeted(&p, &ExploreConfig::default(), &budget).unwrap();
+        assert_eq!(free.variants.len(), timed.variants.len());
+        assert_eq!(free.candidate_count(), timed.candidate_count());
+        for (a, b) in free.variants.iter().zip(&timed.variants) {
+            assert_eq!(a.program, b.program);
+            assert_eq!(a.pnl_candidates.len(), b.pnl_candidates.len());
         }
     }
 }

@@ -43,6 +43,6 @@ pub mod result;
 
 pub use config::{ExploreConfig, FusionMode};
 pub use error::TransformError;
-pub use explore::explore;
+pub use explore::{explore, explore_budgeted};
 pub use lit::{Lit, LitNode};
 pub use result::{ExploreStats, PnlCandidate, ProgramVariant, ResultForest};

@@ -13,6 +13,8 @@
 //!   the top-down exploration;
 //! * [`gnn`] — graph neural network predictive model (with a from-scratch
 //!   autograd engine);
+//! * [`governor`] — cooperative compilation budgets (deadline /
+//!   cancellation / work units) and the fault-injection harness;
 //! * [`eval`] — bottom-up evaluation, pruning, and two-mode ranking;
 //! * [`core`] — the end-to-end `PtMap` pipeline;
 //! * [`pipeline`] — manifest-driven batch compilation with a
@@ -32,6 +34,7 @@ pub use ptmap_baselines as baselines;
 pub use ptmap_core as core;
 pub use ptmap_eval as eval;
 pub use ptmap_gnn as gnn;
+pub use ptmap_governor as governor;
 pub use ptmap_ir as ir;
 pub use ptmap_mapper as mapper;
 pub use ptmap_model as model;
