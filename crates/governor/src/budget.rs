@@ -45,12 +45,28 @@ impl fmt::Display for BudgetExceeded {
     }
 }
 
+impl BudgetExceeded {
+    /// The short machine-readable class, matching the vocabulary the
+    /// pipeline uses for `error_class` (`timeout`, `cancelled`, ...).
+    pub fn class(&self) -> &'static str {
+        match self {
+            BudgetExceeded::Timeout => "timeout",
+            BudgetExceeded::Cancelled => "cancelled",
+            BudgetExceeded::WorkExhausted => "work-exhausted",
+        }
+    }
+}
+
 impl std::error::Error for BudgetExceeded {}
 
 #[derive(Debug)]
 struct Inner {
     deadline: Option<Instant>,
     cancelled: Arc<AtomicBool>,
+    /// Cancel flags of enclosing scopes ([`Budget::scoped_child`]):
+    /// observed by [`Budget::check`], never raised by
+    /// [`Budget::cancel`].
+    ancestors: Vec<Arc<AtomicBool>>,
     /// `u64::MAX` = no work limit.
     work_limit: u64,
     work_done: AtomicU64,
@@ -96,6 +112,7 @@ impl Budget {
             inner: Some(Arc::new(Inner {
                 deadline,
                 cancelled: Arc::new(AtomicBool::new(false)),
+                ancestors: Vec::new(),
                 work_limit: work_limit.unwrap_or(u64::MAX),
                 work_done: AtomicU64::new(0),
             })),
@@ -120,10 +137,48 @@ impl Budget {
                 inner: Some(Arc::new(Inner {
                     deadline,
                     cancelled: Arc::clone(&inner.cancelled),
+                    ancestors: inner.ancestors.clone(),
                     work_limit: u64::MAX,
                     work_done: AtomicU64::new(0),
                 })),
             },
+        }
+    }
+
+    /// Derives a child budget with its *own* cancel scope: cancelling
+    /// the scoped child does **not** cancel the parent (unlike
+    /// [`Budget::child`], whose cancel flag is shared both ways), but
+    /// cancelling the parent — or any enclosing scope — still cancels
+    /// the child. The deadline tightens to
+    /// `min(parent deadline, now + timeout)` exactly as for `child`.
+    ///
+    /// This is the building block for per-request budgets in a
+    /// long-running service: each request gets a scope it can cancel on
+    /// client disconnect without tearing down the server-wide budget,
+    /// while a server shutdown still propagates into every request.
+    pub fn scoped_child(&self, timeout: Option<Duration>) -> Budget {
+        let parent_deadline = self.deadline();
+        let own_deadline = timeout.map(|t| Instant::now() + t);
+        let deadline = match (parent_deadline, own_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let ancestors = match &self.inner {
+            None => Vec::new(),
+            Some(inner) => {
+                let mut a = inner.ancestors.clone();
+                a.push(Arc::clone(&inner.cancelled));
+                a
+            }
+        };
+        Budget {
+            inner: Some(Arc::new(Inner {
+                deadline,
+                cancelled: Arc::new(AtomicBool::new(false)),
+                ancestors,
+                work_limit: u64::MAX,
+                work_done: AtomicU64::new(0),
+            })),
         }
     }
 
@@ -152,11 +207,13 @@ impl Budget {
         }
     }
 
-    /// Whether the cancel flag is raised.
+    /// Whether the cancel flag is raised (on this budget or any
+    /// enclosing scope).
     pub fn is_cancelled(&self) -> bool {
-        self.inner
-            .as_ref()
-            .is_some_and(|i| i.cancelled.load(Ordering::Acquire))
+        self.inner.as_ref().is_some_and(|i| {
+            i.cancelled.load(Ordering::Acquire)
+                || i.ancestors.iter().any(|a| a.load(Ordering::Acquire))
+        })
     }
 
     /// Checks the budget: cancel flag first, then deadline, then the
@@ -168,7 +225,9 @@ impl Budget {
         let Some(inner) = &self.inner else {
             return Ok(());
         };
-        if inner.cancelled.load(Ordering::Acquire) {
+        if inner.cancelled.load(Ordering::Acquire)
+            || inner.ancestors.iter().any(|a| a.load(Ordering::Acquire))
+        {
             return Err(BudgetExceeded::Cancelled);
         }
         if let Some(deadline) = inner.deadline {
@@ -191,6 +250,44 @@ impl Budget {
             }
         }
         self.check()
+    }
+}
+
+/// Cancels a budget when dropped, unless [`CancelOnDrop::disarm`]ed.
+///
+/// The disconnect-driven cancellation hook for request-scoped budgets:
+/// a connection handler creates the guard next to the work it admits
+/// and disarms it once the response is on the wire. If the handler
+/// unwinds, returns early, or a disconnect watcher drops the guard, the
+/// budget — typically a [`Budget::scoped_child`] of the server-wide one
+/// — is cancelled and the compile backing the request stops at its next
+/// cooperative check instead of pinning a worker.
+#[derive(Debug)]
+pub struct CancelOnDrop {
+    budget: Budget,
+    armed: bool,
+}
+
+impl CancelOnDrop {
+    /// Arms a guard over (a clone of) `budget`.
+    pub fn new(budget: &Budget) -> CancelOnDrop {
+        CancelOnDrop {
+            budget: budget.clone(),
+            armed: true,
+        }
+    }
+
+    /// Defuses the guard: the budget survives the drop.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CancelOnDrop {
+    fn drop(&mut self) {
+        if self.armed {
+            self.budget.cancel();
+        }
     }
 }
 
@@ -275,6 +372,71 @@ mod tests {
             BudgetExceeded::WorkExhausted.to_string(),
             "compilation work budget exhausted"
         );
+    }
+
+    #[test]
+    fn scoped_child_cancel_does_not_propagate_up() {
+        let root = Budget::cancellable();
+        let request = root.scoped_child(None);
+        request.cancel();
+        assert_eq!(request.check(), Err(BudgetExceeded::Cancelled));
+        assert_eq!(root.check(), Ok(()), "request cancel must stay scoped");
+        assert!(!root.is_cancelled());
+    }
+
+    #[test]
+    fn scoped_child_observes_ancestor_cancel() {
+        let root = Budget::cancellable();
+        let request = root.scoped_child(Some(Duration::from_secs(3600)));
+        let attempt = request.child(None); // plain child of the scope
+        assert_eq!(attempt.check(), Ok(()));
+        root.cancel();
+        assert!(request.is_cancelled());
+        assert_eq!(request.check(), Err(BudgetExceeded::Cancelled));
+        assert_eq!(
+            attempt.check(),
+            Err(BudgetExceeded::Cancelled),
+            "ancestor flags survive through plain children of a scope"
+        );
+    }
+
+    #[test]
+    fn scoped_child_tightens_deadline() {
+        let parent = Budget::with_deadline(Duration::from_secs(3600));
+        let child = parent.scoped_child(Some(Duration::from_secs(7200)));
+        assert!(child.deadline().unwrap() <= parent.deadline().unwrap());
+        let tight = parent.scoped_child(Some(Duration::from_millis(0)));
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(tight.check(), Err(BudgetExceeded::Timeout));
+        // Unlimited parent: the scope still gets its own deadline.
+        let timed = Budget::unlimited().scoped_child(Some(Duration::from_secs(60)));
+        assert!(timed.deadline().is_some());
+        assert_eq!(timed.check(), Ok(()));
+    }
+
+    #[test]
+    fn nested_scopes_cancel_downward_only() {
+        let a = Budget::cancellable();
+        let b = a.scoped_child(None);
+        let c = b.scoped_child(None);
+        b.cancel();
+        assert_eq!(a.check(), Ok(()));
+        assert_eq!(b.check(), Err(BudgetExceeded::Cancelled));
+        assert_eq!(c.check(), Err(BudgetExceeded::Cancelled));
+    }
+
+    #[test]
+    fn cancel_on_drop_fires_unless_disarmed() {
+        let b = Budget::cancellable();
+        {
+            let _guard = CancelOnDrop::new(&b);
+        }
+        assert!(b.is_cancelled(), "dropped guard must cancel");
+
+        let ok = Budget::cancellable();
+        let guard = CancelOnDrop::new(&ok);
+        guard.disarm();
+        assert!(!ok.is_cancelled(), "disarmed guard must not cancel");
     }
 
     #[test]

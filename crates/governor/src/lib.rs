@@ -23,5 +23,5 @@
 pub mod budget;
 pub mod faultpoint;
 
-pub use budget::{Budget, BudgetExceeded};
+pub use budget::{Budget, BudgetExceeded, CancelOnDrop};
 pub use faultpoint::{fail_point, FaultError};

@@ -26,6 +26,7 @@
 //! to recompilation, never to a panic or a wrong report.
 
 use crate::hash::sha256_hex;
+use crate::lock_unpoisoned;
 use crate::manifest::Job;
 use ptmap_core::{CompileReport, PtMapConfig};
 use ptmap_governor::faultpoint::{self, sites};
@@ -43,6 +44,16 @@ const SCHEMA_VERSION: u64 = 2;
 /// Derives the content-addressed key for one job under a base config.
 pub fn cache_key(job: &Job, base: &PtMapConfig) -> String {
     cache_key_degraded(job, base, None)
+}
+
+/// The key a *request* for this job resolves to on its first
+/// (full-fidelity) attempt: [`cache_key_degraded`] with the job's own
+/// resolution-time degradation label (e.g. an unreadable GNN checkpoint
+/// replaced by the analytical predictor). This is the identity the
+/// serving layer coalesces concurrent requests on — it matches exactly
+/// the key attempt 0 of the scheduler's retry ladder reads and writes.
+pub fn request_key(job: &Job, base: &PtMapConfig) -> String {
+    cache_key_degraded(job, base, job.degraded.as_deref())
 }
 
 /// [`cache_key`] for a degraded compilation: the degradation label is
@@ -136,7 +147,7 @@ impl ReportCache {
     /// `<name>.corrupt`), counted, and treated as misses — the caller
     /// recomputes and overwrites.
     pub fn get(&self, key: &str) -> Option<CompileReport> {
-        if let Some(r) = self.mem.lock().unwrap().get(key).cloned() {
+        if let Some(r) = lock_unpoisoned(&self.mem).get(key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Some(r);
         }
@@ -152,10 +163,7 @@ impl ReportCache {
                 Err(_) => {} // absent entry: plain miss
                 Ok(bytes) => match decode_entry(&bytes) {
                     Ok(report) => {
-                        self.mem
-                            .lock()
-                            .unwrap()
-                            .insert(key.to_string(), report.clone());
+                        lock_unpoisoned(&self.mem).insert(key.to_string(), report.clone());
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         return Some(report);
                     }
@@ -185,10 +193,7 @@ impl ReportCache {
 
     /// Stores a report under a key (memory and, if configured, disk).
     pub fn put(&self, key: &str, report: &CompileReport) {
-        self.mem
-            .lock()
-            .unwrap()
-            .insert(key.to_string(), report.clone());
+        lock_unpoisoned(&self.mem).insert(key.to_string(), report.clone());
         if let Some(dir) = &self.dir {
             // `error` mode models a full/unwritable disk: the entry
             // stays memory-only and a later run recompiles it.
@@ -231,9 +236,14 @@ impl ReportCache {
         self.quarantines.load(Ordering::Relaxed)
     }
 
+    /// The backing directory, if this cache persists to disk.
+    pub fn dir(&self) -> Option<&std::path::Path> {
+        self.dir.as_deref()
+    }
+
     /// Entries currently resident in memory.
     pub fn len(&self) -> usize {
-        self.mem.lock().unwrap().len()
+        lock_unpoisoned(&self.mem).len()
     }
 
     /// Whether the in-memory map is empty.
@@ -460,6 +470,108 @@ mod tests {
         assert_eq!(
             decode_entry(unparsable.as_bytes()),
             Err("unparsable report")
+        );
+    }
+
+    #[test]
+    fn cache_survives_poisoned_lock() {
+        // One panicking job must not permanently poison the shared
+        // in-memory map of a long-lived daemon's cache.
+        let cache = ReportCache::in_memory();
+        let report = sample_report();
+        cache.put("before", &report);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.mem.lock().unwrap();
+            panic!("poison the cache lock");
+        }));
+        cache.put("after", &report);
+        assert_eq!(cache.get("before").unwrap(), report);
+        assert_eq!(cache.get("after").unwrap(), report);
+        assert_eq!(cache.len(), 2);
+    }
+
+    /// Parallel get/put stress over overlapping keys, exercising both
+    /// the memory map and the disk store: every get must return either
+    /// a miss or one writer's complete report, the disk must end up
+    /// with exactly one valid entry per key (no temp files, no corrupt
+    /// leftovers), and nothing may panic or deadlock.
+    #[test]
+    fn concurrent_stress_overlapping_keys() {
+        let dir = std::env::temp_dir().join(format!(
+            "ptmap-cache-stress-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = std::sync::Arc::new(ReportCache::with_dir(&dir).unwrap());
+        const KEYS: usize = 4;
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 60;
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let cache = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    let key = format!("key-{}", (t + round) % KEYS);
+                    if (t + round) % 3 == 0 {
+                        let report = CompileReport {
+                            cycles: (t % KEYS) as u64,
+                            ..sample_report()
+                        };
+                        cache.put(&key, &report);
+                    } else if let Some(r) = cache.get(&key) {
+                        assert!(
+                            (r.cycles as usize) < KEYS,
+                            "got a torn report: cycles={}",
+                            r.cycles
+                        );
+                        assert_eq!(r.program, "gemm");
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no stress thread may panic");
+        }
+        // Disk state: exactly the published entries, all valid.
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert!(
+            names.iter().all(|n| n.ends_with(".json")),
+            "no temp or corrupt files may survive: {names:?}"
+        );
+        assert!(names.len() <= KEYS);
+        let fresh = ReportCache::with_dir(&dir).unwrap();
+        for name in &names {
+            let key = name.trim_end_matches(".json");
+            assert!(fresh.get(key).is_some(), "disk entry {name} must decode");
+        }
+        assert_eq!(fresh.quarantines(), 0);
+        let (hits, misses) = cache.stats();
+        assert!(hits + misses > 0, "counters must have moved");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn request_key_matches_attempt_zero() {
+        let base = PtMapConfig::default();
+        let j = job("gemm:24", "S4");
+        assert_eq!(request_key(&j, &base), cache_key(&j, &base));
+        let degraded = Job {
+            degraded: Some("predictor=analytical (x)".into()),
+            ..job("gemm:24", "S4")
+        };
+        assert_eq!(
+            request_key(&degraded, &base),
+            cache_key_degraded(&degraded, &base, degraded.degraded.as_deref()),
+        );
+        assert_ne!(
+            request_key(&degraded, &base),
+            request_key(&j, &base),
+            "resolution-time degradation must split the request identity"
         );
     }
 

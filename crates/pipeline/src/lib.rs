@@ -44,7 +44,22 @@ pub mod manifest;
 pub mod metrics;
 pub mod scheduler;
 
-pub use cache::{cache_key, ReportCache};
+pub use cache::{cache_key, request_key, ReportCache};
 pub use manifest::{Job, JobSpec, Manifest, PredictorSpec};
 pub use metrics::{BatchMetrics, JobMetrics, Recorder, SpanStat};
-pub use scheduler::{run_batch, run_batch_with_cache, BatchConfig, BatchReport, JobOutcome};
+pub use scheduler::{
+    compile_job, run_batch, run_batch_with_cache, BatchConfig, BatchReport, JobOutcome,
+};
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// The shared recorder and report cache outlive any one job — in a
+/// long-lived daemon they outlive *millions* of jobs — so a panicking
+/// compilation (itself isolated by `catch_unwind`) must not leave them
+/// permanently poisoned. Every value they guard (counter maps, the
+/// report map) is valid after any interrupted mutation: entries are
+/// inserted or numerically bumped atomically from the data structure's
+/// point of view, so continuing past the poison marker is safe.
+pub(crate) fn lock_unpoisoned<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -19,6 +19,7 @@
 //! }
 //! ```
 
+use crate::lock_unpoisoned;
 use ptmap_core::CompileMetrics;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -57,7 +58,7 @@ impl Recorder {
 
     /// Adds an already-measured duration to a span.
     pub fn add_seconds(&self, name: &str, seconds: f64) {
-        let mut spans = self.spans.lock().unwrap();
+        let mut spans = lock_unpoisoned(&self.spans);
         let stat = spans.entry(name.to_string()).or_default();
         stat.seconds += seconds;
         stat.count += 1;
@@ -65,10 +66,7 @@ impl Recorder {
 
     /// Increments a counter.
     pub fn incr(&self, name: &str, by: u64) {
-        *self
-            .counters
-            .lock()
-            .unwrap()
+        *lock_unpoisoned(&self.counters)
             .entry(name.to_string())
             .or_default() += by;
     }
@@ -76,8 +74,8 @@ impl Recorder {
     /// A point-in-time copy of all spans and counters.
     pub fn snapshot(&self) -> (BTreeMap<String, SpanStat>, BTreeMap<String, u64>) {
         (
-            self.spans.lock().unwrap().clone(),
-            self.counters.lock().unwrap().clone(),
+            lock_unpoisoned(&self.spans).clone(),
+            lock_unpoisoned(&self.counters).clone(),
         )
     }
 }
@@ -136,6 +134,32 @@ mod tests {
         assert_eq!(spans["stage"].count, 2);
         assert!(spans["stage"].seconds >= 1.0);
         assert_eq!(counters["hits"], 5);
+    }
+
+    #[test]
+    fn recorder_survives_poisoned_locks() {
+        // A job that panics while the recorder locks are held (e.g. a
+        // panicking payload inside `Recorder::time`) must not poison the
+        // daemon-lifetime recorder for every later job.
+        let r = Recorder::new();
+        r.incr("before", 1);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.time("span", || panic!("job panicked mid-span"))
+        }));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = r.counters.lock().unwrap();
+            panic!("poison the counters lock");
+        }));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = r.spans.lock().unwrap();
+            panic!("poison the spans lock");
+        }));
+        r.incr("after", 2);
+        r.add_seconds("span", 0.5);
+        let (spans, counters) = r.snapshot();
+        assert_eq!(counters["before"], 1);
+        assert_eq!(counters["after"], 2);
+        assert_eq!(spans["span"].count, 1);
     }
 
     #[test]

@@ -191,7 +191,7 @@ pub fn run_batch_with_cache(
     let mut slots: Vec<Option<(JobOutcome, JobMetrics)>> = vec![None; jobs.len()];
     if workers <= 1 {
         for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(run_one(&jobs[i], config, cache, &recorder));
+            *slot = Some(compile_job(&jobs[i], config, cache, &recorder));
         }
     } else {
         // Feed indices through a channel; workers drain it until empty.
@@ -222,7 +222,7 @@ pub fn run_batch_with_cache(
                     // Hold the receiver lock only for the pull.
                     let next = { index_rx.lock().unwrap().recv() };
                     let Ok(i) = next else { break };
-                    let out = run_one(&jobs[i], config, cache, recorder);
+                    let out = compile_job(&jobs[i], config, cache, recorder);
                     if result_tx.send((i, out)).is_err() {
                         break;
                     }
@@ -235,7 +235,7 @@ pub fn run_batch_with_cache(
                 loop {
                     let next = { index_rx.lock().unwrap().recv() };
                     let Ok(i) = next else { break };
-                    let out = run_one(&jobs[i], config, cache, &recorder);
+                    let out = compile_job(&jobs[i], config, cache, &recorder);
                     if result_tx.send((i, out)).is_err() {
                         break;
                     }
@@ -287,9 +287,19 @@ fn error_class(e: &PtMapError) -> &'static str {
     }
 }
 
-/// Runs one job under its fault-injection scope: per-job `@<filter>`
-/// fault specs match against the job name.
-fn run_one(
+/// Compiles one job end to end: cache lookup, retry-ladder compilation
+/// under the configured budget, metrics accounting — all under the
+/// job's fault-injection scope (per-job `@<filter>` fault specs match
+/// against the job name).
+///
+/// This is the shared library entry point behind both the batch
+/// scheduler and the `ptmap serve` daemon: a caller owns the
+/// [`ReportCache`] and [`Recorder`] (keeping them resident across
+/// calls) and passes a [`BatchConfig`] describing the budget and retry
+/// policy for this one compilation. `config.workers` and
+/// `config.cache_dir` are ignored here — only `base`, `budget`,
+/// `job_timeout`, and `max_retries` apply.
+pub fn compile_job(
     job: &Job,
     config: &BatchConfig,
     cache: &ReportCache,

@@ -5,6 +5,9 @@
 //!               [--predictor analytical|oracle] [--emit-contexts]
 //! ptmap batch   --manifest jobs.json [--jobs N] [--eval-workers N]
 //!               [--cache-dir DIR] [--metrics out.json] [--out out.json]
+//! ptmap serve   [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!               [--max-inflight N] [--cache-dir DIR] [--deadline SECS]
+//!               [--drain-timeout SECS] [--max-retries N]
 //! ptmap archs
 //! ptmap parse --source kernel.c
 //! ```
@@ -31,7 +34,16 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("compile") => compile(&args[1..]),
         Some("batch") => batch(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("parse") => parse(&args[1..]),
+        Some("help" | "--help" | "-h") => {
+            println!("{}", usage_text());
+            ExitCode::SUCCESS
+        }
+        Some("version" | "--version" | "-V") => {
+            println!("ptmap {}", env!("CARGO_PKG_VERSION"));
+            ExitCode::SUCCESS
+        }
         Some("archs") => {
             if let Err(e) = Flags::parse(&args[1..], &[], &[]) {
                 return usage_error(&e);
@@ -58,17 +70,24 @@ fn main() -> ExitCode {
     }
 }
 
+fn usage_text() -> &'static str {
+    "usage: ptmap <compile|batch|serve|parse|archs|help|version> [options]\n\
+     \x20 compile --source FILE --arch {S4|R4|H6|SL8|HReA4}\n\
+     \x20         [--arch-file custom.json]\n\
+     \x20         [--mode {performance|pareto}]\n\
+     \x20         [--predictor {analytical|oracle}] [--emit-contexts]\n\
+     \x20 batch   --manifest jobs.json [--jobs N] [--eval-workers N]\n\
+     \x20         [--cache-dir DIR] [--metrics out.json] [--out out.json]\n\
+     \x20         [--validate] [--deadline SECS] [--job-timeout SECS]\n\
+     \x20         [--max-retries N]\n\
+     \x20 serve   [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
+     \x20         [--max-inflight N] [--cache-dir DIR] [--deadline SECS]\n\
+     \x20         [--drain-timeout SECS] [--max-retries N]\n\
+     \x20 parse   --source FILE"
+}
+
 fn print_usage() {
-    eprintln!("usage: ptmap <compile|batch|parse|archs> [options]");
-    eprintln!("  compile --source FILE --arch {{S4|R4|H6|SL8|HReA4}}");
-    eprintln!("          [--arch-file custom.json]");
-    eprintln!("          [--mode {{performance|pareto}}]");
-    eprintln!("          [--predictor {{analytical|oracle}}] [--emit-contexts]");
-    eprintln!("  batch   --manifest jobs.json [--jobs N] [--eval-workers N]");
-    eprintln!("          [--cache-dir DIR] [--metrics out.json] [--out out.json]");
-    eprintln!("          [--validate] [--deadline SECS] [--job-timeout SECS]");
-    eprintln!("          [--max-retries N]");
-    eprintln!("  parse   --source FILE");
+    eprintln!("{}", usage_text());
 }
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -343,6 +362,93 @@ fn batch(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let flags = match Flags::parse(
+        args,
+        &[
+            "--addr",
+            "--workers",
+            "--queue-cap",
+            "--max-inflight",
+            "--cache-dir",
+            "--deadline",
+            "--drain-timeout",
+            "--max-retries",
+        ],
+        &["--validate"],
+    ) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    let config = match serve_config(&flags) {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e),
+    };
+    let server = match ptmap_serve::Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: binding listener: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        // The boot line is the contract with supervisors and tests:
+        // with `--addr ...:0` it is the only way to learn the port.
+        Ok(addr) => println!("listening on {addr}"),
+        Err(e) => {
+            eprintln!("error: local addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ptmap_serve::signal::install_handlers();
+    let summary = server.run();
+    eprintln!(
+        "drained{}: {} requests, {} compiles, {} coalesced",
+        if summary.clean { "" } else { " (forced)" },
+        summary.requests,
+        summary.compiles,
+        summary.coalesced
+    );
+    ExitCode::SUCCESS
+}
+
+/// Builds the daemon configuration from `serve` flags.
+fn serve_config(flags: &Flags) -> Result<ptmap_serve::ServeConfig, String> {
+    let defaults = ptmap_serve::ServeConfig::default();
+    let mut base = PtMapConfig::default();
+    base.mapper.validate = flags.has("--validate");
+    Ok(ptmap_serve::ServeConfig {
+        addr: flags
+            .get("--addr")
+            .unwrap_or(defaults.addr.as_str())
+            .to_string(),
+        workers: match flags.get("--workers") {
+            Some(_) => parse_count(flags.get("--workers"), "--workers")?,
+            None => defaults.workers,
+        },
+        queue_cap: match flags.get("--queue-cap") {
+            Some(_) => parse_count(flags.get("--queue-cap"), "--queue-cap")?,
+            None => defaults.queue_cap,
+        },
+        max_inflight: match flags.get("--max-inflight") {
+            Some(_) => parse_count(flags.get("--max-inflight"), "--max-inflight")?,
+            None => defaults.max_inflight,
+        },
+        cache_dir: flags.get("--cache-dir").map(Into::into),
+        base,
+        max_retries: match flags.get("--max-retries") {
+            Some(t) => t
+                .parse::<u32>()
+                .map_err(|_| format!("--max-retries must be a non-negative integer, got {t}"))?,
+            None => defaults.max_retries,
+        },
+        default_timeout: parse_seconds(flags.get("--deadline"), "--deadline")?
+            .unwrap_or(defaults.default_timeout),
+        drain_timeout: parse_seconds(flags.get("--drain-timeout"), "--drain-timeout")?
+            .unwrap_or(defaults.drain_timeout),
+    })
 }
 
 fn parse_count(text: Option<&str>, flag: &str) -> Result<usize, String> {

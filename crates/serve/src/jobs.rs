@@ -1,0 +1,264 @@
+//! The async job queue behind `POST /jobs` + `GET /jobs/<id>`.
+//!
+//! A bounded FIFO of unresolved job specs plus a status table. Worker
+//! threads block on [`JobTable::next`]; submission beyond the bound is
+//! refused with a structured 503 (admission control — the queue is the
+//! only buffer, so memory stays bounded no matter the arrival rate).
+//! Closing the table ([`JobTable::close`]) makes `next` drain the
+//! remaining queue and then return `None`, which is how workers learn
+//! a graceful shutdown has begun.
+
+use crate::lock_unpoisoned;
+use ptmap_pipeline::{JobOutcome, JobSpec};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// Completed-status retention: oldest done entries beyond this are
+/// evicted so a long-lived daemon's status table stays bounded.
+const DONE_RETENTION: usize = 4096;
+
+/// Where an async job is in its lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Queued,
+    /// A worker is compiling it.
+    Running,
+    /// Finished (successfully or not — see the outcome).
+    Done(Box<JobOutcome>),
+}
+
+impl JobState {
+    /// The state's wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity.
+    Full,
+    /// The server is draining and accepts no new work.
+    Draining,
+}
+
+/// A queued submission handed to a worker.
+#[derive(Debug, Clone)]
+pub struct QueuedJob {
+    /// The id returned to the submitter.
+    pub id: u64,
+    /// The unresolved spec (resolution happens on the worker).
+    pub spec: JobSpec,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    queue: VecDeque<QueuedJob>,
+    states: HashMap<u64, JobState>,
+    done_order: VecDeque<u64>,
+    next_id: u64,
+    accepting: bool,
+}
+
+/// The bounded queue + status table.
+#[derive(Debug)]
+pub struct JobTable {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl JobTable {
+    /// A table accepting at most `cap` queued (not yet running) jobs.
+    pub fn new(cap: usize) -> JobTable {
+        JobTable {
+            inner: Mutex::new(Inner {
+                accepting: true,
+                ..Inner::default()
+            }),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues a spec, returning its id.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        if !inner.accepting {
+            return Err(SubmitError::Draining);
+        }
+        if inner.queue.len() >= self.cap {
+            return Err(SubmitError::Full);
+        }
+        inner.next_id += 1;
+        let id = inner.next_id;
+        inner.queue.push_back(QueuedJob { id, spec });
+        inner.states.insert(id, JobState::Queued);
+        self.cv.notify_one();
+        Ok(id)
+    }
+
+    /// Blocks until a job is available (marking it running) or the
+    /// table is closed *and* drained, which returns `None`.
+    pub fn next(&self) -> Option<QueuedJob> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        loop {
+            if let Some(job) = inner.queue.pop_front() {
+                inner.states.insert(job.id, JobState::Running);
+                return Some(job);
+            }
+            if !inner.accepting {
+                return None;
+            }
+            inner = self
+                .cv
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Publishes a finished outcome (evicting the oldest done entries
+    /// beyond the retention bound).
+    pub fn finish(&self, id: u64, outcome: JobOutcome) {
+        let mut inner = lock_unpoisoned(&self.inner);
+        inner.states.insert(id, JobState::Done(Box::new(outcome)));
+        inner.done_order.push_back(id);
+        while inner.done_order.len() > DONE_RETENTION {
+            if let Some(old) = inner.done_order.pop_front() {
+                inner.states.remove(&old);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// The current state of a job id.
+    pub fn status(&self, id: u64) -> Option<JobState> {
+        lock_unpoisoned(&self.inner).states.get(&id).cloned()
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn depth(&self) -> usize {
+        lock_unpoisoned(&self.inner).queue.len()
+    }
+
+    /// Jobs queued or running (drain waits for this to hit zero).
+    pub fn active(&self) -> usize {
+        let inner = lock_unpoisoned(&self.inner);
+        inner.queue.len()
+            + inner
+                .states
+                .values()
+                .filter(|s| matches!(s, JobState::Running))
+                .count()
+    }
+
+    /// Stops accepting submissions and wakes every parked worker so the
+    /// remaining queue drains.
+    pub fn close(&self) {
+        lock_unpoisoned(&self.inner).accepting = false;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kernel: &str) -> JobSpec {
+        JobSpec {
+            name: None,
+            kernel: kernel.to_string(),
+            arch: "S4".to_string(),
+            predictor: None,
+            mode: None,
+        }
+    }
+
+    fn outcome(name: &str) -> JobOutcome {
+        JobOutcome {
+            name: name.to_string(),
+            cache_hit: false,
+            report: None,
+            error: Some("x".into()),
+            error_class: Some("error".into()),
+            degraded: None,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_and_state_transitions() {
+        let t = JobTable::new(8);
+        let a = t.submit(spec("gemm:16")).unwrap();
+        let b = t.submit(spec("gemm:20")).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.status(a), Some(JobState::Queued));
+
+        let first = t.next().unwrap();
+        assert_eq!(first.id, a, "FIFO order");
+        assert_eq!(t.status(a), Some(JobState::Running));
+        assert_eq!(t.active(), 2, "one queued + one running");
+
+        t.finish(a, outcome("done-a"));
+        match t.status(a) {
+            Some(JobState::Done(o)) => assert_eq!(o.name, "done-a"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(t.active(), 1);
+        assert_eq!(t.status(999), None);
+    }
+
+    #[test]
+    fn bounded_queue_refuses_overflow() {
+        let t = JobTable::new(2);
+        t.submit(spec("a")).unwrap();
+        t.submit(spec("b")).unwrap();
+        assert_eq!(t.submit(spec("c")), Err(SubmitError::Full));
+        // Popping frees a slot.
+        let _ = t.next().unwrap();
+        assert!(t.submit(spec("c")).is_ok());
+    }
+
+    #[test]
+    fn close_drains_then_stops_workers() {
+        let t = std::sync::Arc::new(JobTable::new(4));
+        t.submit(spec("a")).unwrap();
+        t.close();
+        assert_eq!(t.submit(spec("b")), Err(SubmitError::Draining));
+        // The queued job is still handed out, then workers get None.
+        assert!(t.next().is_some());
+        assert!(t.next().is_none());
+
+        // A parked worker wakes on close.
+        let t2 = std::sync::Arc::new(JobTable::new(4));
+        let worker = {
+            let t2 = std::sync::Arc::clone(&t2);
+            std::thread::spawn(move || t2.next())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        t2.close();
+        assert!(worker.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn done_retention_evicts_oldest() {
+        let t = JobTable::new(1);
+        let mut first = None;
+        for i in 0..(DONE_RETENTION + 10) {
+            let id = t.submit(spec("k")).unwrap();
+            if i == 0 {
+                first = Some(id);
+            }
+            let _ = t.next().unwrap();
+            t.finish(id, outcome("o"));
+        }
+        assert_eq!(t.status(first.unwrap()), None, "oldest entry evicted");
+    }
+}

@@ -1,0 +1,450 @@
+//! Service-level metrics and the Prometheus text rendering.
+//!
+//! The pipeline's [`Recorder`](ptmap_pipeline::Recorder) already
+//! accumulates stage spans and counters for every compile; this module
+//! adds what only the serving layer can know — per-endpoint request
+//! counts and latency histograms, admission rejections, coalescing —
+//! and renders everything in the Prometheus text exposition format
+//! (version 0.0.4) for `GET /metrics`.
+//!
+//! Naming scheme: service metrics are `ptmap_http_*` / `ptmap_*`
+//! gauges; pipeline spans become
+//! `ptmap_stage_seconds_total{stage="..."}` (+ `_invocations_`), and
+//! pipeline counters become `ptmap_pipeline_events_total{event="..."}`.
+
+use crate::lock_unpoisoned;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Histogram bucket upper bounds, in seconds (plus an implicit +Inf).
+const BUCKETS: [f64; 9] = [0.005, 0.025, 0.1, 0.25, 1.0, 2.5, 10.0, 30.0, 60.0];
+
+/// A fixed-bucket latency histogram.
+#[derive(Debug, Default, Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS.len()],
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, seconds: f64) {
+        for (i, bound) in BUCKETS.iter().enumerate() {
+            if seconds <= *bound {
+                self.counts[i] += 1;
+            }
+        }
+        self.sum += seconds;
+        self.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Counters and histograms owned by the HTTP layer.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// (endpoint, status) → requests.
+    requests: Mutex<BTreeMap<(String, u16), u64>>,
+    /// endpoint → latency histogram.
+    latency: Mutex<BTreeMap<String, Histogram>>,
+    /// Admission rejections by reason (`deadline`, `capacity`,
+    /// `queue-full`, `draining`).
+    rejects: Mutex<BTreeMap<String, u64>>,
+    /// Underlying compiles started (leader flights).
+    compiles: AtomicU64,
+}
+
+impl ServiceMetrics {
+    /// A zeroed metrics registry.
+    pub fn new() -> ServiceMetrics {
+        ServiceMetrics::default()
+    }
+
+    /// Records one handled request.
+    pub fn observe_request(&self, endpoint: &str, status: u16, elapsed: Duration) {
+        *lock_unpoisoned(&self.requests)
+            .entry((endpoint.to_string(), status))
+            .or_default() += 1;
+        lock_unpoisoned(&self.latency)
+            .entry(endpoint.to_string())
+            .or_default()
+            .observe(elapsed.as_secs_f64());
+    }
+
+    /// Records one admission rejection.
+    pub fn reject(&self, reason: &str) {
+        *lock_unpoisoned(&self.rejects)
+            .entry(reason.to_string())
+            .or_default() += 1;
+    }
+
+    /// Records the start of one underlying (leader) compile.
+    pub fn compile_started(&self) {
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Underlying compiles started so far.
+    pub fn compiles_total(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
+    /// Total requests handled (any endpoint, any status).
+    pub fn requests_total(&self) -> u64 {
+        lock_unpoisoned(&self.requests).values().sum()
+    }
+}
+
+/// Point-in-time service gauges fed into [`render`].
+#[derive(Debug, Default, Clone)]
+pub struct ServiceGauges {
+    /// Jobs waiting in the async queue.
+    pub queue_depth: usize,
+    /// Leader compiles currently running.
+    pub inflight_compiles: usize,
+    /// Flights currently in the coalescer table.
+    pub flights_in_flight: usize,
+    /// Total coalesced (follower) requests.
+    pub coalesced_total: u64,
+    /// Async worker threads alive.
+    pub workers_alive: usize,
+    /// Whether the server is draining.
+    pub draining: bool,
+    /// Report-cache hits / misses / quarantines since boot.
+    pub cache_hits: u64,
+    /// See `cache_hits`.
+    pub cache_misses: u64,
+    /// See `cache_hits`.
+    pub cache_quarantines: u64,
+    /// Entries resident in the in-memory cache map.
+    pub cache_entries: usize,
+}
+
+/// Escapes a Prometheus label value.
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders a float the Prometheus text parser accepts.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}") // keep a decimal point: `2.0`, not `2`
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the full `/metrics` document.
+pub fn render(
+    service: &ServiceMetrics,
+    gauges: &ServiceGauges,
+    spans: &BTreeMap<String, ptmap_pipeline::SpanStat>,
+    counters: &BTreeMap<String, u64>,
+) -> String {
+    let mut out = String::new();
+
+    out.push_str("# HELP ptmap_http_requests_total HTTP requests handled.\n");
+    out.push_str("# TYPE ptmap_http_requests_total counter\n");
+    let requests = lock_unpoisoned(&service.requests).clone();
+    for ((endpoint, status), n) in &requests {
+        let _ = writeln!(
+            out,
+            "ptmap_http_requests_total{{endpoint=\"{}\",code=\"{status}\"}} {n}",
+            escape_label(endpoint)
+        );
+    }
+
+    out.push_str("# HELP ptmap_http_request_seconds Request latency by endpoint.\n");
+    out.push_str("# TYPE ptmap_http_request_seconds histogram\n");
+    let latency = lock_unpoisoned(&service.latency).clone();
+    for (endpoint, hist) in &latency {
+        let ep = escape_label(endpoint);
+        for (i, bound) in BUCKETS.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "ptmap_http_request_seconds_bucket{{endpoint=\"{ep}\",le=\"{}\"}} {}",
+                fmt_f64(*bound),
+                hist.counts[i]
+            );
+        }
+        let _ = writeln!(
+            out,
+            "ptmap_http_request_seconds_bucket{{endpoint=\"{ep}\",le=\"+Inf\"}} {}",
+            hist.count
+        );
+        let _ = writeln!(
+            out,
+            "ptmap_http_request_seconds_sum{{endpoint=\"{ep}\"}} {}",
+            fmt_f64(hist.sum)
+        );
+        let _ = writeln!(
+            out,
+            "ptmap_http_request_seconds_count{{endpoint=\"{ep}\"}} {}",
+            hist.count
+        );
+    }
+
+    out.push_str(
+        "# HELP ptmap_coalesced_requests_total Requests served by attaching to an \
+         in-flight compile.\n",
+    );
+    out.push_str("# TYPE ptmap_coalesced_requests_total counter\n");
+    let _ = writeln!(
+        out,
+        "ptmap_coalesced_requests_total {}",
+        gauges.coalesced_total
+    );
+
+    out.push_str("# HELP ptmap_compiles_started_total Underlying (leader) compiles started.\n");
+    out.push_str("# TYPE ptmap_compiles_started_total counter\n");
+    let _ = writeln!(
+        out,
+        "ptmap_compiles_started_total {}",
+        service.compiles_total()
+    );
+
+    out.push_str("# HELP ptmap_admission_rejects_total Requests refused at admission.\n");
+    out.push_str("# TYPE ptmap_admission_rejects_total counter\n");
+    let rejects = lock_unpoisoned(&service.rejects).clone();
+    for (reason, n) in &rejects {
+        let _ = writeln!(
+            out,
+            "ptmap_admission_rejects_total{{reason=\"{}\"}} {n}",
+            escape_label(reason)
+        );
+    }
+
+    for (name, help, value) in [
+        (
+            "ptmap_queue_depth",
+            "Async jobs waiting in the bounded queue.",
+            gauges.queue_depth as u64,
+        ),
+        (
+            "ptmap_inflight_compiles",
+            "Leader compiles currently running.",
+            gauges.inflight_compiles as u64,
+        ),
+        (
+            "ptmap_inflight_flights",
+            "Coalesced flights currently in the table.",
+            gauges.flights_in_flight as u64,
+        ),
+        (
+            "ptmap_workers_alive",
+            "Async worker threads alive.",
+            gauges.workers_alive as u64,
+        ),
+        (
+            "ptmap_draining",
+            "1 while the server is draining for shutdown.",
+            u64::from(gauges.draining),
+        ),
+        (
+            "ptmap_cache_entries",
+            "Reports resident in the in-memory cache.",
+            gauges.cache_entries as u64,
+        ),
+    ] {
+        let _ = writeln!(
+            out,
+            "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}"
+        );
+    }
+
+    for (name, help, value) in [
+        (
+            "ptmap_cache_hits_total",
+            "Report-cache hits since boot.",
+            gauges.cache_hits,
+        ),
+        (
+            "ptmap_cache_misses_total",
+            "Report-cache misses since boot.",
+            gauges.cache_misses,
+        ),
+        (
+            "ptmap_cache_quarantines_total",
+            "Corrupt disk cache entries quarantined since boot.",
+            gauges.cache_quarantines,
+        ),
+    ] {
+        let _ = writeln!(
+            out,
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}"
+        );
+    }
+
+    out.push_str("# HELP ptmap_stage_seconds_total Pipeline span time by stage.\n");
+    out.push_str("# TYPE ptmap_stage_seconds_total counter\n");
+    for (stage, stat) in spans {
+        let _ = writeln!(
+            out,
+            "ptmap_stage_seconds_total{{stage=\"{}\"}} {}",
+            escape_label(stage),
+            fmt_f64(stat.seconds)
+        );
+    }
+    out.push_str("# HELP ptmap_stage_invocations_total Pipeline span entries by stage.\n");
+    out.push_str("# TYPE ptmap_stage_invocations_total counter\n");
+    for (stage, stat) in spans {
+        let _ = writeln!(
+            out,
+            "ptmap_stage_invocations_total{{stage=\"{}\"}} {}",
+            escape_label(stage),
+            stat.count
+        );
+    }
+
+    out.push_str("# HELP ptmap_pipeline_events_total Pipeline counters (cache, retries, jobs).\n");
+    out.push_str("# TYPE ptmap_pipeline_events_total counter\n");
+    for (event, n) in counters {
+        let _ = writeln!(
+            out,
+            "ptmap_pipeline_events_total{{event=\"{}\"}} {n}",
+            escape_label(event)
+        );
+    }
+    out
+}
+
+/// Validates Prometheus text-format syntax line by line; returns the
+/// first offending line. Used by tests and the CI smoke check — kept
+/// in the library so both share one definition of "parses".
+pub fn check_prometheus_text(text: &str) -> Result<(), String> {
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            return Err(format!("no value: {line:?}"));
+        };
+        if value.parse::<f64>().is_err() && value != "+Inf" && value != "-Inf" && value != "NaN" {
+            return Err(format!("bad value {value:?} in {line:?}"));
+        }
+        let name_end = series.find('{').unwrap_or(series.len());
+        let name = &series[..name_end];
+        let valid_name = !name.is_empty()
+            && name.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            });
+        if !valid_name {
+            return Err(format!("bad metric name {name:?} in {line:?}"));
+        }
+        if name_end < series.len() && !series.ends_with('}') {
+            return Err(format!("unclosed label set: {line:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut h = Histogram::default();
+        h.observe(0.001);
+        h.observe(0.05);
+        h.observe(120.0); // beyond the last bound: only +Inf (count)
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.counts[0], 1, "0.005 bucket");
+        assert_eq!(h.counts[2], 2, "0.1 bucket holds both finite obs");
+        assert_eq!(h.counts[BUCKETS.len() - 1], 2, "60s bucket excludes 120s");
+        assert!((h.sum - 120.051).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_is_valid_prometheus_text() {
+        let service = ServiceMetrics::new();
+        service.observe_request("compile", 200, Duration::from_millis(30));
+        service.observe_request("compile", 504, Duration::from_millis(1));
+        service.observe_request("metrics", 200, Duration::from_micros(90));
+        service.reject("deadline");
+        service.compile_started();
+        let gauges = ServiceGauges {
+            queue_depth: 2,
+            inflight_compiles: 1,
+            coalesced_total: 3,
+            workers_alive: 4,
+            cache_hits: 7,
+            ..ServiceGauges::default()
+        };
+        let mut spans = BTreeMap::new();
+        spans.insert(
+            "map".to_string(),
+            ptmap_pipeline::SpanStat {
+                seconds: 1.25,
+                count: 4,
+            },
+        );
+        let mut counters = BTreeMap::new();
+        counters.insert("jobs_ok".to_string(), 9u64);
+        let text = render(&service, &gauges, &spans, &counters);
+
+        check_prometheus_text(&text).expect("must parse");
+        assert!(text.contains("ptmap_http_requests_total{endpoint=\"compile\",code=\"200\"} 1"));
+        assert!(text.contains("ptmap_http_requests_total{endpoint=\"compile\",code=\"504\"} 1"));
+        assert!(
+            text.contains("ptmap_http_request_seconds_bucket{endpoint=\"compile\",le=\"+Inf\"} 2")
+        );
+        assert!(text.contains("ptmap_coalesced_requests_total 3"));
+        assert!(text.contains("ptmap_compiles_started_total 1"));
+        assert!(text.contains("ptmap_admission_rejects_total{reason=\"deadline\"} 1"));
+        assert!(text.contains("ptmap_queue_depth 2"));
+        assert!(text.contains("ptmap_workers_alive 4"));
+        assert!(text.contains("ptmap_cache_hits_total 7"));
+        assert!(text.contains("ptmap_stage_seconds_total{stage=\"map\"} 1.25"));
+        assert!(text.contains("ptmap_stage_invocations_total{stage=\"map\"} 4"));
+        assert!(text.contains("ptmap_pipeline_events_total{event=\"jobs_ok\"} 9"));
+    }
+
+    #[test]
+    fn empty_registry_still_renders_headline_counters() {
+        // CI scrapes for presence; zero-valued singletons must render.
+        let text = render(
+            &ServiceMetrics::new(),
+            &ServiceGauges::default(),
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+        );
+        check_prometheus_text(&text).expect("must parse");
+        assert!(text.contains("ptmap_coalesced_requests_total 0"));
+        assert!(text.contains("ptmap_compiles_started_total 0"));
+        assert!(text.contains("ptmap_queue_depth 0"));
+    }
+
+    #[test]
+    fn checker_rejects_malformed_lines() {
+        assert!(check_prometheus_text("just words without value structure").is_err());
+        assert!(check_prometheus_text("metric_name not-a-number").is_err());
+        assert!(check_prometheus_text("9bad_name 1").is_err());
+        assert!(check_prometheus_text("unclosed{label=\"x\" 1").is_err());
+        assert!(check_prometheus_text("ok_name{label=\"x\"} 1\nok_plain 2.5").is_ok());
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(2.0), "2.0");
+        assert_eq!(fmt_f64(0.005), "0.005");
+        assert_eq!(fmt_f64(1.25), "1.25");
+    }
+}

@@ -1,0 +1,728 @@
+//! The daemon: accept loop, request routing, worker pool, drain.
+//!
+//! One [`ServerState`] holds everything resident: the report cache,
+//! the pipeline recorder, the flight table, the async job queue, and
+//! the server-wide root [`Budget`]. Every request compiles under a
+//! *scope* of that root ([`Budget::scoped_child`]): cancelling a
+//! request (client disconnect, per-request deadline) never touches the
+//! root, while cancelling the root (drain timeout) reaches every
+//! in-flight compile through the ancestor chain.
+
+use crate::coalesce::{Coalescer, Join};
+use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::jobs::{JobState, JobTable, SubmitError};
+use crate::metrics::{render, ServiceGauges, ServiceMetrics};
+use crate::{lock_unpoisoned, signal};
+use ptmap_core::PtMapConfig;
+use ptmap_governor::Budget;
+use ptmap_pipeline::{
+    compile_job, request_key, BatchConfig, Job, JobOutcome, JobSpec, Recorder, ReportCache,
+};
+use serde_json::Value;
+use std::io::Read;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How the daemon is configured (flags + defaults).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:7199` by default; port `0` asks the OS
+    /// for an ephemeral port — the chosen address is printed on boot).
+    pub addr: String,
+    /// Async worker threads draining the `POST /jobs` queue.
+    pub workers: usize,
+    /// Bound on queued (not yet running) async jobs.
+    pub queue_cap: usize,
+    /// Most leader compiles running at once; beyond this, new flights
+    /// are refused with `503` (admission control).
+    pub max_inflight: usize,
+    /// Persistent report cache directory (`None` = in-memory).
+    pub cache_dir: Option<PathBuf>,
+    /// Base compiler configuration shared by every request.
+    pub base: PtMapConfig,
+    /// Retry-ladder depth per compile.
+    pub max_retries: u32,
+    /// Per-request compile deadline when the client sends none; also
+    /// the cap on client-supplied `X-Ptmap-Deadline-Ms`.
+    pub default_timeout: Duration,
+    /// How long drain waits for in-flight work before cancelling it.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7199".to_string(),
+            workers: 2,
+            queue_cap: 64,
+            max_inflight: 8,
+            cache_dir: None,
+            base: PtMapConfig::default(),
+            max_retries: 2,
+            default_timeout: Duration::from_secs(300),
+            drain_timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+/// What the drain reported when the server exited.
+#[derive(Debug, Clone)]
+pub struct DrainSummary {
+    /// Requests handled over the server's lifetime.
+    pub requests: u64,
+    /// Underlying compiles started.
+    pub compiles: u64,
+    /// Requests served by coalescing onto another flight.
+    pub coalesced: u64,
+    /// Whether everything in flight finished inside the drain timeout
+    /// (false means the root budget had to cancel stragglers).
+    pub clean: bool,
+}
+
+/// Everything the handler threads share.
+pub(crate) struct ServerState {
+    config: ServeConfig,
+    cache: ReportCache,
+    recorder: Recorder,
+    coalescer: Arc<Coalescer>,
+    jobs: JobTable,
+    metrics: ServiceMetrics,
+    /// The server-wide root budget; every request scope descends from
+    /// it, so cancelling it (drain timeout) cancels all compiles.
+    root: Budget,
+    /// In-process shutdown request (tests; the CLI uses [`signal`]).
+    stop: AtomicBool,
+    draining: AtomicBool,
+    /// Leader compiles currently running.
+    inflight: AtomicUsize,
+    /// Async worker threads currently alive.
+    workers_alive: AtomicUsize,
+    /// Open HTTP connections (drain waits for zero).
+    conns: Mutex<usize>,
+    conns_cv: Condvar,
+    /// Monotonic id handed to jobs submitted via `/compile` has no
+    /// meaning; this counts *requests* for the drain summary.
+    requests: AtomicU64,
+}
+
+impl ServerState {
+    fn gauges(&self) -> ServiceGauges {
+        let (hits, misses) = self.cache.stats();
+        ServiceGauges {
+            queue_depth: self.jobs.depth(),
+            inflight_compiles: self.inflight.load(Ordering::Relaxed),
+            flights_in_flight: self.coalescer.in_flight(),
+            coalesced_total: self.coalescer.coalesced_total(),
+            workers_alive: self.workers_alive.load(Ordering::Relaxed),
+            draining: self.draining.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_quarantines: self.cache.quarantines(),
+            cache_entries: self.cache.len(),
+        }
+    }
+
+    fn render_metrics(&self) -> String {
+        let (spans, counters) = self.recorder.snapshot();
+        render(&self.metrics, &self.gauges(), &spans, &counters)
+    }
+}
+
+/// A handle for telling a running server to drain (tests and the
+/// binary's own wiring; external callers send SIGTERM).
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful drain, as if SIGTERM arrived.
+    pub fn shutdown(&self) {
+        self.state.stop.store(true, Ordering::Release);
+    }
+
+    /// Rendered `/metrics` document (test convenience).
+    pub fn metrics_text(&self) -> String {
+        self.state.render_metrics()
+    }
+}
+
+/// The bound, not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// Decrements the open-connection count (and wakes the drain waiter)
+/// when a handler thread exits, however it exits.
+struct ConnGuard {
+    state: Arc<ServerState>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        let mut conns = lock_unpoisoned(&self.state.conns);
+        *conns = conns.saturating_sub(1);
+        self.state.conns_cv.notify_all();
+    }
+}
+
+/// Decrements the in-flight leader count even if the compile panics.
+struct InflightGuard<'a> {
+    state: &'a ServerState,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.state.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Builds a failure outcome in the same shape the pipeline produces,
+/// so every error a client sees — admission or compile — parses the
+/// same way.
+fn error_outcome(name: &str, class: &str, message: String) -> JobOutcome {
+    JobOutcome {
+        name: name.to_string(),
+        cache_hit: false,
+        report: None,
+        error: Some(message),
+        error_class: Some(class.to_string()),
+        degraded: None,
+        retries: 0,
+    }
+}
+
+/// HTTP status for a compile outcome.
+fn outcome_status(outcome: &JobOutcome) -> u16 {
+    if outcome.report.is_some() {
+        return 200;
+    }
+    match outcome.error_class.as_deref() {
+        Some("timeout") => 504,
+        Some("cancelled") | Some("overloaded") | Some("draining") => 503,
+        _ => 500,
+    }
+}
+
+fn outcome_response(outcome: &JobOutcome) -> Response {
+    let body = serde_json::to_string(outcome).unwrap_or_else(|_| "{}".to_string());
+    Response::json(outcome_status(outcome), body)
+}
+
+impl Server {
+    /// Binds the listener and builds the resident state. The cache
+    /// falls back to memory-only (with a warning) if the directory
+    /// cannot be created, mirroring `run_batch`.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let cache = match &config.cache_dir {
+            Some(dir) => ReportCache::with_dir(dir).unwrap_or_else(|e| {
+                eprintln!(
+                    "warning: cache dir {}: {e}; falling back to memory",
+                    dir.display()
+                );
+                ReportCache::in_memory()
+            }),
+            None => ReportCache::in_memory(),
+        };
+        let queue_cap = config.queue_cap.max(1);
+        let state = Arc::new(ServerState {
+            cache,
+            recorder: Recorder::new(),
+            coalescer: Arc::new(Coalescer::new()),
+            jobs: JobTable::new(queue_cap),
+            metrics: ServiceMetrics::new(),
+            root: Budget::cancellable(),
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            workers_alive: AtomicUsize::new(0),
+            conns: Mutex::new(0),
+            conns_cv: Condvar::new(),
+            requests: AtomicU64::new(0),
+            config,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A shutdown/introspection handle usable from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Serves until SIGTERM/SIGINT (or [`ServerHandle::shutdown`]),
+    /// then drains and returns the lifetime summary.
+    pub fn run(self) -> DrainSummary {
+        let state = Arc::clone(&self.state);
+
+        // The async worker pool.
+        let mut workers = Vec::new();
+        for i in 0..state.config.workers {
+            let state = Arc::clone(&state);
+            state.workers_alive.fetch_add(1, Ordering::AcqRel);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ptmap-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(queued) = state.jobs.next() {
+                            let outcome = run_async_job(&state, &queued.spec);
+                            state.jobs.finish(queued.id, outcome);
+                        }
+                        state.workers_alive.fetch_sub(1, Ordering::AcqRel);
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+
+        // Accept loop: nonblocking so the shutdown flags are polled
+        // between accepts.
+        loop {
+            if state.stop.load(Ordering::Acquire) || signal::shutdown_requested() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    *lock_unpoisoned(&state.conns) += 1;
+                    let state = Arc::clone(&state);
+                    let _ = std::thread::Builder::new()
+                        .name("ptmap-conn".to_string())
+                        .spawn(move || {
+                            let _guard = ConnGuard {
+                                state: Arc::clone(&state),
+                            };
+                            handle_connection(&state, stream);
+                        });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    eprintln!("accept: {e}; continuing");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+
+        // Drain: stop accepting, let in-flight work finish, then
+        // cancel stragglers through the root budget.
+        drop(self.listener);
+        state.draining.store(true, Ordering::Release);
+        state.jobs.close();
+
+        let deadline = Instant::now() + state.config.drain_timeout;
+        let mut clean = wait_idle(&state, deadline);
+        if !clean {
+            eprintln!(
+                "drain: {}s elapsed; cancelling in-flight work",
+                state.config.drain_timeout.as_secs()
+            );
+            state.root.cancel();
+            state.coalescer.cancel_all();
+            // Cancellation is cooperative; give compiles a bounded
+            // window to observe it.
+            clean = wait_idle(&state, Instant::now() + Duration::from_secs(10));
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+
+        // Flush the final metrics snapshot where an operator (or the
+        // CI smoke test) can see it after the port is gone.
+        eprintln!("--- final metrics ---\n{}", state.render_metrics());
+
+        DrainSummary {
+            requests: state.metrics.requests_total(),
+            compiles: state.metrics.compiles_total(),
+            coalesced: state.coalescer.coalesced_total(),
+            clean,
+        }
+    }
+}
+
+/// Waits until no connection is open and no async job is queued or
+/// running, or `deadline` passes. Returns whether idle was reached.
+fn wait_idle(state: &ServerState, deadline: Instant) -> bool {
+    let mut conns = lock_unpoisoned(&state.conns);
+    loop {
+        if *conns == 0 && state.jobs.active() == 0 {
+            return true;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return false;
+        }
+        // The condvar covers connection changes; job-table changes are
+        // picked up by the bounded wait.
+        let wait = (deadline - now).min(Duration::from_millis(50));
+        conns = state
+            .conns_cv
+            .wait_timeout(conns, wait)
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .0;
+    }
+}
+
+/// Reads, routes, answers, closes.
+fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
+    // A client that connects and never sends a full request must not
+    // pin a handler thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(HttpError::BadRequest(m)) => {
+            let resp = Response::json(400, format!("{{\"error\":{:?}}}", m));
+            let _ = write_response(&mut stream, &resp);
+            return;
+        }
+        Err(HttpError::TooLarge(m)) => {
+            let resp = Response::json(413, format!("{{\"error\":{:?}}}", m));
+            let _ = write_response(&mut stream, &resp);
+            return;
+        }
+        // The socket died mid-request; nobody is listening for errors.
+        Err(HttpError::Io(_)) => return,
+    };
+    let _ = stream.set_read_timeout(None);
+    state.requests.fetch_add(1, Ordering::Relaxed);
+
+    let t0 = Instant::now();
+    let (endpoint, response) = route(state, &request, &stream);
+    state
+        .metrics
+        .observe_request(endpoint, response.status, t0.elapsed());
+    let _ = write_response(&mut stream, &response);
+    // Wake any disconnect watcher still parked on the socket.
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Dispatches one request; returns the endpoint label (for metrics)
+/// and the response.
+fn route(
+    state: &Arc<ServerState>,
+    request: &Request,
+    stream: &TcpStream,
+) -> (&'static str, Response) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/compile") => ("compile", handle_compile(state, request, stream)),
+        ("POST", "/jobs") => ("jobs_submit", handle_submit(state, request)),
+        ("GET", path) if path.starts_with("/jobs/") => ("jobs_poll", handle_poll(state, path)),
+        ("GET", "/metrics") => ("metrics", Response::text(200, state.render_metrics())),
+        ("GET", "/healthz") => ("healthz", handle_healthz(state)),
+        (_, "/compile" | "/jobs" | "/metrics" | "/healthz") => (
+            "other",
+            Response::json(405, "{\"error\":\"method not allowed\"}".to_string()),
+        ),
+        _ => (
+            "other",
+            Response::json(404, "{\"error\":\"not found\"}".to_string()),
+        ),
+    }
+}
+
+/// Parses the request body as a job spec.
+fn parse_spec(body: &[u8]) -> Result<JobSpec, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    serde_json::from_str::<JobSpec>(text).map_err(|e| format!("job spec: {e}"))
+}
+
+/// The effective compile deadline for a request: the client's
+/// `X-Ptmap-Deadline-Ms`, capped by the server default.
+fn effective_timeout(request: &Request, config: &ServeConfig) -> Result<Duration, String> {
+    match request.header("x-ptmap-deadline-ms") {
+        None => Ok(config.default_timeout),
+        Some(raw) => {
+            let ms: u64 = raw
+                .parse()
+                .map_err(|_| format!("bad X-Ptmap-Deadline-Ms {raw:?}"))?;
+            Ok(Duration::from_millis(ms).min(config.default_timeout))
+        }
+    }
+}
+
+/// `POST /compile`: admission check, coalesced compile, synchronous
+/// response.
+fn handle_compile(state: &Arc<ServerState>, request: &Request, stream: &TcpStream) -> Response {
+    if state.draining.load(Ordering::Acquire) {
+        state.metrics.reject("draining");
+        return outcome_response(&error_outcome(
+            "",
+            "draining",
+            "server is draining".to_string(),
+        ));
+    }
+    let spec = match parse_spec(&request.body) {
+        Ok(s) => s,
+        Err(e) => return Response::json(400, format!("{{\"error\":{e:?}}}")),
+    };
+    let timeout = match effective_timeout(request, &state.config) {
+        Ok(t) => t,
+        Err(e) => return Response::json(400, format!("{{\"error\":{e:?}}}")),
+    };
+    let name = spec.name.clone().unwrap_or_else(|| spec.kernel.clone());
+
+    // Admission: the governor check runs before any resolution or
+    // queueing, so an already-expired deadline costs one branch.
+    let budget = state.root.scoped_child(Some(timeout));
+    if let Err(e) = budget.check() {
+        state.metrics.reject("deadline");
+        return outcome_response(&error_outcome(&name, e.class(), e.to_string()));
+    }
+
+    let job = match Job::resolve(&spec) {
+        Ok(j) => j,
+        Err(e) => return Response::json(400, format!("{{\"error\":{e:?}}}")),
+    };
+    let key = request_key(&job, &state.config.base);
+
+    match state.coalescer.join(&key, || budget.clone()) {
+        Join::Leader(flight) => {
+            // Capacity gate applies to new flights only — followers
+            // ride along for free.
+            let previous = state.inflight.fetch_add(1, Ordering::AcqRel);
+            let guard = InflightGuard { state };
+            if previous >= state.config.max_inflight {
+                drop(guard);
+                state.metrics.reject("capacity");
+                let outcome = error_outcome(
+                    &job.name,
+                    "overloaded",
+                    format!(
+                        "{} compiles already in flight (max {})",
+                        previous, state.config.max_inflight
+                    ),
+                );
+                state.coalescer.complete(&key, &flight, outcome.clone());
+                return outcome_response(&outcome);
+            }
+            let _watcher = spawn_disconnect_watcher(state, stream, &flight);
+            let (outcome, _job_metrics) = compile_job(
+                &job,
+                &BatchConfig {
+                    workers: 1,
+                    cache_dir: None,
+                    base: state.config.base.clone(),
+                    job_timeout: None,
+                    budget: flight.budget.clone(),
+                    max_retries: state.config.max_retries,
+                },
+                &state.cache,
+                &state.recorder,
+            );
+            drop(guard);
+            // A cache hit never started a mapper run; the compile
+            // counter tracks real underlying compiles.
+            if !outcome.cache_hit {
+                state.metrics.compile_started();
+            }
+            state.coalescer.complete(&key, &flight, outcome.clone());
+            outcome_response(&outcome)
+        }
+        Join::Follower(flight) => {
+            let settled = spawn_disconnect_watcher(state, stream, &flight);
+            let result = flight.wait(budget.deadline());
+            let already_settled = settled.swap(true, Ordering::AcqRel);
+            match result {
+                Some(outcome) => {
+                    outcome_response(&outcome).with_header("X-Ptmap-Coalesced", "1".to_string())
+                }
+                None => {
+                    // Own deadline expired while the leader was still
+                    // compiling; stop counting as an audience member.
+                    if !already_settled {
+                        state.coalescer.detach(&flight);
+                    }
+                    state.metrics.reject("deadline");
+                    outcome_response(&error_outcome(
+                        &job.name,
+                        "timeout",
+                        "deadline expired while waiting for in-flight compile".to_string(),
+                    ))
+                    .with_header("X-Ptmap-Coalesced", "1".to_string())
+                }
+            }
+        }
+    }
+}
+
+/// Watches the request socket while the handler is busy compiling or
+/// waiting; a client that disconnects detaches from the flight (the
+/// last detach cancels the compile's budget). The returned flag gates
+/// the detach: whichever side (watcher on EOF, handler on finish)
+/// swaps it first owns the waiter slot.
+fn spawn_disconnect_watcher(
+    state: &Arc<ServerState>,
+    stream: &TcpStream,
+    flight: &Arc<crate::coalesce::Flight>,
+) -> Arc<AtomicBool> {
+    let settled = Arc::new(AtomicBool::new(false));
+    let Ok(mut watch) = stream.try_clone() else {
+        return settled;
+    };
+    let _ = watch.set_read_timeout(None);
+    let coalescer = Arc::clone(&state.coalescer);
+    let flight = Arc::clone(flight);
+    let settled_for_watcher = Arc::clone(&settled);
+    let _ = std::thread::Builder::new()
+        .name("ptmap-watch".to_string())
+        .spawn(move || {
+            let mut buf = [0u8; 64];
+            loop {
+                match watch.read(&mut buf) {
+                    // EOF: the client closed (or the handler shut the
+                    // socket down after responding).
+                    Ok(0) => break,
+                    // Unexpected extra bytes; keep watching.
+                    Ok(_) => continue,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+            if !settled_for_watcher.swap(true, Ordering::AcqRel) {
+                coalescer.detach(&flight);
+            }
+        });
+    settled
+}
+
+/// Leader half of a compile, shared by the HTTP path and the async
+/// workers... the async variant: resolve, coalesce, compile, no
+/// disconnect watcher (the submitter polls; nobody is on a socket).
+fn run_async_job(state: &Arc<ServerState>, spec: &JobSpec) -> JobOutcome {
+    let job = match Job::resolve(spec) {
+        Ok(j) => j,
+        Err(e) => {
+            let name = spec.name.clone().unwrap_or_else(|| spec.kernel.clone());
+            return error_outcome(&name, "error", e);
+        }
+    };
+    let budget = state.root.scoped_child(Some(state.config.default_timeout));
+    let key = request_key(&job, &state.config.base);
+    match state.coalescer.join(&key, || budget.clone()) {
+        Join::Leader(flight) => {
+            state.inflight.fetch_add(1, Ordering::AcqRel);
+            let guard = InflightGuard { state };
+            let (outcome, _metrics) = compile_job(
+                &job,
+                &BatchConfig {
+                    workers: 1,
+                    cache_dir: None,
+                    base: state.config.base.clone(),
+                    job_timeout: None,
+                    budget: flight.budget.clone(),
+                    max_retries: state.config.max_retries,
+                },
+                &state.cache,
+                &state.recorder,
+            );
+            drop(guard);
+            if !outcome.cache_hit {
+                state.metrics.compile_started();
+            }
+            state.coalescer.complete(&key, &flight, outcome.clone());
+            outcome
+        }
+        Join::Follower(flight) => match flight.wait(budget.deadline()) {
+            Some(outcome) => outcome,
+            None => {
+                state.coalescer.detach(&flight);
+                error_outcome(
+                    &job.name,
+                    "timeout",
+                    "deadline expired while waiting for in-flight compile".to_string(),
+                )
+            }
+        },
+    }
+}
+
+/// `POST /jobs`: bounded async submission.
+fn handle_submit(state: &Arc<ServerState>, request: &Request) -> Response {
+    let spec = match parse_spec(&request.body) {
+        Ok(s) => s,
+        Err(e) => return Response::json(400, format!("{{\"error\":{e:?}}}")),
+    };
+    match state.jobs.submit(spec) {
+        Ok(id) => Response::json(202, format!("{{\"id\":{id},\"state\":\"queued\"}}")),
+        Err(SubmitError::Full) => {
+            state.metrics.reject("queue-full");
+            Response::json(
+                503,
+                format!(
+                    "{{\"error\":\"queue full ({} jobs)\"}}",
+                    state.config.queue_cap.max(1)
+                ),
+            )
+        }
+        Err(SubmitError::Draining) => {
+            state.metrics.reject("draining");
+            Response::json(503, "{\"error\":\"server is draining\"}".to_string())
+        }
+    }
+}
+
+/// `GET /jobs/<id>`: poll an async job.
+fn handle_poll(state: &Arc<ServerState>, path: &str) -> Response {
+    let id_text = &path["/jobs/".len()..];
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::json(400, format!("{{\"error\":\"bad job id {id_text:?}\"}}"));
+    };
+    match state.jobs.status(id) {
+        None => Response::json(404, format!("{{\"error\":\"no job {id}\"}}")),
+        Some(status) => {
+            let mut fields = vec![
+                ("id".to_string(), Value::UInt(id)),
+                ("state".to_string(), Value::Str(status.name().to_string())),
+            ];
+            if let JobState::Done(outcome) = &status {
+                match serde_json::to_value(outcome.as_ref()) {
+                    Ok(v) => fields.push(("outcome".to_string(), v)),
+                    Err(_) => fields.push(("outcome".to_string(), Value::Null)),
+                }
+            }
+            let body =
+                serde_json::to_string(&Value::Object(fields)).unwrap_or_else(|_| "{}".to_string());
+            let status_code = 200;
+            Response::json(status_code, body)
+        }
+    }
+}
+
+/// `GET /healthz`: readiness.
+fn handle_healthz(state: &Arc<ServerState>) -> Response {
+    if state.draining.load(Ordering::Acquire) {
+        return Response::json(503, "{\"status\":\"draining\"}".to_string());
+    }
+    // Workers configured but all dead means async submissions would
+    // queue forever.
+    if state.config.workers > 0 && state.workers_alive.load(Ordering::Acquire) == 0 {
+        return Response::json(503, "{\"status\":\"no workers alive\"}".to_string());
+    }
+    // The disk cache must stay writable; probe with a real write.
+    if let Some(dir) = state.cache.dir() {
+        let probe = dir.join(".healthz-probe");
+        if std::fs::write(&probe, b"ok").is_err() {
+            return Response::json(
+                503,
+                format!(
+                    "{{\"status\":\"cache dir {} not writable\"}}",
+                    dir.display()
+                ),
+            );
+        }
+        let _ = std::fs::remove_file(&probe);
+    }
+    Response::json(200, "{\"status\":\"ok\"}".to_string())
+}

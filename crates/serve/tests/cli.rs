@@ -158,6 +158,46 @@ fn value_flag_without_value_is_usage_error() {
 }
 
 #[test]
+fn help_and_version_exit_zero() {
+    for arg in ["help", "--help", "-h"] {
+        let out = ptmap().arg(arg).output().unwrap();
+        assert_eq!(out.status.code(), Some(0), "{arg}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("usage: ptmap"), "{arg}: {text}");
+        assert!(text.contains("serve"), "{arg} must list serve: {text}");
+    }
+    for arg in ["version", "--version", "-V"] {
+        let out = ptmap().arg(arg).output().unwrap();
+        assert_eq!(out.status.code(), Some(0), "{arg}");
+        assert!(String::from_utf8_lossy(&out.stdout).starts_with("ptmap "));
+    }
+}
+
+#[test]
+fn unknown_subcommand_exits_two_with_usage() {
+    for args in [vec!["frobnicate"], vec![]] {
+        let out = ptmap().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(out.stdout.is_empty(), "usage goes to stderr, not stdout");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("usage: ptmap"));
+    }
+}
+
+#[test]
+fn serve_bad_flags_exit_two() {
+    let cases: &[&[&str]] = &[
+        &["serve", "--workers", "zero"],
+        &["serve", "--deadline", "-3"],
+        &["serve", "--frobnicate"],
+    ];
+    for args in cases {
+        let out = ptmap().args(*args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    }
+}
+
+#[test]
 fn batch_runs_manifest_and_warms_cache() {
     let dir = std::env::temp_dir().join(format!("ptmap-cli-batch-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

