@@ -245,8 +245,24 @@ impl PtMap {
         arch: &CgraArch,
         budget: &ptmap_governor::Budget,
     ) -> (Result<CompileReport, PtMapError>, CompileMetrics) {
+        self.compile_instrumented_traced(program, arch, budget, &ptmap_trace::Tracer::disabled())
+    }
+
+    /// [`PtMap::compile_instrumented_budgeted`] with span-tree
+    /// instrumentation: records `explore` / `evaluate` / `map` /
+    /// `simulate` child spans (the mapper nests its per-II
+    /// `ii_attempt` spans under `map`) on `tracer`. A disabled tracer
+    /// makes this identical to the untraced entry point; an enabled
+    /// one never changes the compile result.
+    pub fn compile_instrumented_traced(
+        &self,
+        program: &Program,
+        arch: &CgraArch,
+        budget: &ptmap_governor::Budget,
+        tracer: &ptmap_trace::Tracer,
+    ) -> (Result<CompileReport, PtMapError>, CompileMetrics) {
         let mut m = CompileMetrics::default();
-        let result = self.compile_inner(program, arch, budget, &mut m);
+        let result = self.compile_inner(program, arch, budget, &mut m, tracer);
         (result, m)
     }
 
@@ -256,6 +272,7 @@ impl PtMap {
         arch: &CgraArch,
         budget: &ptmap_governor::Budget,
         m: &mut CompileMetrics,
+        tracer: &ptmap_trace::Tracer,
     ) -> Result<CompileReport, PtMapError> {
         let t0 = Instant::now();
         if program.perfect_nests().is_empty() {
@@ -263,6 +280,7 @@ impl PtMap {
         }
         // 1. Top-down exploration.
         let t = Instant::now();
+        let span = tracer.span("explore");
         // A budgeted exploration only fails on the budget itself, so the
         // catch-all arm maps the remaining (unreachable) variants to
         // Timeout rather than inventing a new error class.
@@ -272,12 +290,17 @@ impl PtMap {
                 _ => PtMapError::Timeout,
             });
         m.explore_seconds += t.elapsed().as_secs_f64();
+        if let Ok(f) = &forest {
+            span.attr("candidates_explored", f.candidate_count());
+        }
+        drop(span);
         let forest = forest?;
         let explored = forest.candidate_count();
         m.candidates_explored = explored;
         // 2. Bottom-up evaluation + ranking (candidates are independent,
         // so this stage shards across `eval_workers` threads).
         let t = Instant::now();
+        let eval_span = tracer.span("evaluate");
         let eval = ptmap_eval::evaluate_forest_sharded_budgeted(
             &forest,
             arch,
@@ -307,6 +330,9 @@ impl PtMap {
         m.candidates_pruned = pruned;
         let choices = select_programs(&eval, self.config.mode, &self.config.eval);
         m.evaluate_seconds += t.elapsed().as_secs_f64();
+        eval_span.attr("candidates_pruned", pruned);
+        eval_span.attr("choices", choices.len());
+        drop(eval_span);
         // 3. Context generation: schedule ranked choices in order, keep
         // the best of the first `realize_beam` that map.
         let mut attempts = 0usize;
@@ -319,7 +345,7 @@ impl PtMap {
         for choice in &choices {
             attempts += 1;
             if let Some(report) = self.realize(
-                &eval, choice, arch, explored, pruned, attempts, t0, budget, m,
+                &eval, choice, arch, explored, pruned, attempts, t0, budget, m, tracer,
             )? {
                 realized += 1;
                 if best
@@ -339,6 +365,8 @@ impl PtMap {
             || (best.is_some() && self.config.identity_guard);
         if use_identity {
             let t = Instant::now();
+            let identity_span = tracer.span("map");
+            identity_span.attr("identity", true);
             let identity_result = crate::realize::realize_program_budgeted(
                 program,
                 arch,
@@ -350,6 +378,7 @@ impl PtMap {
             // The identity pass interleaves scheduling and simulation;
             // charge it to the mapping stage.
             m.map_seconds += t.elapsed().as_secs_f64();
+            drop(identity_span);
             // Budget/fault errors abort the whole compile even when a
             // transformed choice already realized: a timed-out job must
             // not silently return a report that skipped the guard.
@@ -404,6 +433,7 @@ impl PtMap {
         t0: Instant,
         budget: &ptmap_governor::Budget,
         m: &mut CompileMetrics,
+        tracer: &ptmap_trace::Tracer,
     ) -> Result<Option<CompileReport>, PtMapError> {
         let variant = &eval.variants[choice.variant];
         let mut pnls = Vec::new();
@@ -413,9 +443,18 @@ impl PtMap {
             let e = &variant.rankings[pnl_idx].evaluated[sel];
             let c = &e.candidate;
             let t = Instant::now();
+            let map_span = tracer.span("map");
+            map_span.attr("attempt", attempts);
+            map_span.attr("pnl", pnl_idx);
             let mapped = match build_dfg(&c.program, &c.nest, &c.unroll) {
                 Ok(dfg) => {
-                    match ptmap_mapper::map_dfg_budgeted(&dfg, arch, &self.config.mapper, budget) {
+                    match ptmap_mapper::map_dfg_traced(
+                        &dfg,
+                        arch,
+                        &self.config.mapper,
+                        budget,
+                        map_span.tracer(),
+                    ) {
                         Ok(mp) => Some((dfg, mp)),
                         Err(e) => {
                             m.map_seconds += t.elapsed().as_secs_f64();
@@ -433,6 +472,8 @@ impl PtMap {
                 return Ok(None);
             };
             m.map_seconds += t.elapsed().as_secs_f64();
+            map_span.attr("ii", mapping.ii as u64);
+            drop(map_span);
             m.mapper_accepts += 1;
             // map_dfg validates internally when enabled; an accepted
             // mapping was therefore also a validated one.
@@ -440,6 +481,8 @@ impl PtMap {
                 m.mappings_validated += 1;
             }
             let t = Instant::now();
+            let sim_span = tracer.span("simulate");
+            sim_span.attr("pnl", pnl_idx);
             let profile = MemoryProfiler::new(&c.program).profile(&c.nest, arch, mapping.ii);
             // Simulate with effective (post-unroll) tripcounts.
             let eff = c.effective_tripcounts();
@@ -471,6 +514,7 @@ impl PtMap {
                 volume: profile.total_volume(),
             });
             m.simulate_seconds += t.elapsed().as_secs_f64();
+            drop(sim_span);
         }
         let edp = self.config.energy.edp(energy, cycles);
         Ok(Some(CompileReport {

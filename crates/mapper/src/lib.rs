@@ -100,7 +100,27 @@ pub fn map_dfg_budgeted(
     config: &MapperConfig,
     budget: &ptmap_governor::Budget,
 ) -> Result<Mapping, MapError> {
-    let m = scheduler::Scheduler::new(dfg, arch, config)?.run_budgeted(budget)?;
+    map_dfg_traced(dfg, arch, config, budget, &ptmap_trace::Tracer::disabled())
+}
+
+/// [`map_dfg_budgeted`] with span-tree instrumentation: records one
+/// `ii_attempt` span per candidate II under `tracer`, carrying restart,
+/// placement-backtrack, BFS-expansion, and route-failure counters (see
+/// [`scheduler::Scheduler::run_traced`]). A disabled tracer makes this
+/// identical to [`map_dfg_budgeted`]; an enabled one never changes the
+/// produced mapping.
+///
+/// # Errors
+///
+/// As [`map_dfg_budgeted`].
+pub fn map_dfg_traced(
+    dfg: &Dfg,
+    arch: &CgraArch,
+    config: &MapperConfig,
+    budget: &ptmap_governor::Budget,
+    tracer: &ptmap_trace::Tracer,
+) -> Result<Mapping, MapError> {
+    let m = scheduler::Scheduler::new(dfg, arch, config)?.run_traced(budget, tracer)?;
     if validation_enabled(config) {
         validate::validate(dfg, arch, &m).map_err(|v| MapError::BrokenInvariant(v.to_string()))?;
     }

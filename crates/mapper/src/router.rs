@@ -92,6 +92,7 @@ pub(crate) fn route_value(
         while fi < bufs.buckets[k].len() {
             let cur = bufs.buckets[k][fi];
             fi += 1;
+            bufs.stats.bfs_expansions += 1;
             for &s in mrrg.succ(cur as usize) {
                 let cell = s as usize * width + nk;
                 if bufs.visited(cell) {

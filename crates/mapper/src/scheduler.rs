@@ -22,10 +22,11 @@ use crate::error::MapError;
 use crate::mapping::{Mapping, Placement, ProducerRoutes, RoutePos};
 use crate::mii;
 use crate::router::route_value;
-use crate::state::{Overlay, RouterBuffers, State};
+use crate::state::{Overlay, RouterBuffers, SearchStats, State};
 use ptmap_arch::{CgraArch, Mrrg, PeId};
 use ptmap_governor::{faultpoint, Budget};
 use ptmap_ir::{Dfg, OpKind};
+use ptmap_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -115,6 +116,24 @@ impl<'a> Scheduler<'a> {
     /// works; [`MapError::Timeout`] / [`MapError::Cancelled`] when the
     /// budget runs out first.
     pub fn run_budgeted(&self, budget: &Budget) -> Result<Mapping, MapError> {
+        self.run_traced(budget, &Tracer::disabled())
+    }
+
+    /// [`Scheduler::run_budgeted`] with span-tree instrumentation: one
+    /// `ii_attempt` span per candidate II carrying the restart /
+    /// placement / backtrack / route-failure / BFS-expansion counters
+    /// of that rung.
+    ///
+    /// Tracing never perturbs the search: counters are plain integer
+    /// adds on scratch state the search already threads around, the
+    /// RNG is untouched, and a disabled tracer reduces every span
+    /// operation to an `Option` branch — so traced and untraced runs
+    /// of the same seed produce bit-identical mappings.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::run_budgeted`].
+    pub fn run_traced(&self, budget: &Budget, tracer: &Tracer) -> Result<Mapping, MapError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         // Routing scratch shared by every attempt: the BFS buffers are
         // epoch-stamped, so reuse is O(1) and allocation-free once warm.
@@ -122,45 +141,76 @@ impl<'a> Scheduler<'a> {
         let mut bufs = RouterBuffers::default();
         let start = self.mii.max(1);
         for ii in start..=self.config.max_ii.max(start) {
-            let mrrg = Mrrg::new(self.arch, ii);
-            let mut best: Option<Mapping> = None;
-            for restart in 0..self.config.restarts_per_ii() {
-                // Fault-injection hook: `delay` here simulates a wedged
-                // placement engine (which the budget then catches) and
-                // `panic`/`error` exercise the caller's isolation.
-                faultpoint::fail_point(faultpoint::sites::MAPPER_PLACE)
-                    .map_err(|e| MapError::Fault(e.site))?;
-                budget.check()?;
-                // Alternate ordering strategies across restarts:
-                // criticality-first packs recurrences tightly; pure
-                // topological order never collapses a producer's window.
-                let order = if restart % 2 == 0 {
-                    self.criticality_order(&mut rng, restart > 0)
-                } else {
-                    self.topo_order(&mut rng, restart > 1)
-                };
-                if let Some(m) =
-                    self.attempt(ii, &mrrg, &order, &mut rng, &mut overlay, &mut bufs, budget)?
-                {
-                    if !self.config.polish_schedule() {
-                        return Ok(m);
-                    }
-                    if best
-                        .as_ref()
-                        .is_none_or(|b| m.schedule_length < b.schedule_length)
-                    {
-                        best = Some(m);
-                    }
+            bufs.stats = SearchStats::default();
+            let span = tracer.span("ii_attempt");
+            let result = self.run_ii(ii, &mut rng, &mut overlay, &mut bufs, budget);
+            if span.enabled() {
+                let stats = bufs.stats;
+                span.attr("ii", ii as u64);
+                span.attr("restarts", stats.restarts);
+                span.attr("placements_tried", stats.placements_tried);
+                span.attr("backtracks", stats.backtracks);
+                span.attr("route_failures", stats.route_failures);
+                span.attr("bfs_expansions", stats.bfs_expansions);
+                span.attr("success", matches!(result, Ok(Some(_))));
+                if let Err(e) = &result {
+                    span.attr("error", format!("{e:?}"));
                 }
             }
-            if let Some(m) = best {
-                return Ok(m);
+            drop(span);
+            match result {
+                Ok(Some(m)) => return Ok(m),
+                Ok(None) => {}
+                Err(e) => return Err(e),
             }
         }
         Err(MapError::Infeasible {
             mii: start,
             max_ii: self.config.max_ii.max(start),
         })
+    }
+
+    /// All restarts at one candidate II. `Ok(None)` means the II is
+    /// infeasible within the restart budget and escalation continues.
+    fn run_ii(
+        &self,
+        ii: u32,
+        rng: &mut StdRng,
+        overlay: &mut Overlay,
+        bufs: &mut RouterBuffers,
+        budget: &Budget,
+    ) -> Result<Option<Mapping>, MapError> {
+        let mrrg = Mrrg::new(self.arch, ii);
+        let mut best: Option<Mapping> = None;
+        for restart in 0..self.config.restarts_per_ii() {
+            // Fault-injection hook: `delay` here simulates a wedged
+            // placement engine (which the budget then catches) and
+            // `panic`/`error` exercise the caller's isolation.
+            faultpoint::fail_point(faultpoint::sites::MAPPER_PLACE)
+                .map_err(|e| MapError::Fault(e.site))?;
+            budget.check()?;
+            bufs.stats.restarts += 1;
+            // Alternate ordering strategies across restarts:
+            // criticality-first packs recurrences tightly; pure
+            // topological order never collapses a producer's window.
+            let order = if restart % 2 == 0 {
+                self.criticality_order(rng, restart > 0)
+            } else {
+                self.topo_order(rng, restart > 1)
+            };
+            if let Some(m) = self.attempt(ii, &mrrg, &order, rng, overlay, bufs, budget)? {
+                if !self.config.polish_schedule() {
+                    return Ok(Some(m));
+                }
+                if best
+                    .as_ref()
+                    .is_none_or(|b| m.schedule_length < b.schedule_length)
+                {
+                    best = Some(m);
+                }
+            }
+        }
+        Ok(best)
     }
 
     /// Criticality order: smallest slack first, then higher fanout.
@@ -238,6 +288,7 @@ impl<'a> Scheduler<'a> {
             // interrupts a single stuck attempt.
             budget.charge(1)?;
             if !self.place_node(node, ii, mrrg, &mut st, rng, overlay, bufs) {
+                bufs.stats.backtracks += 1;
                 if std::env::var_os("PTMAP_MAPPER_DEBUG").is_some() {
                     eprintln!(
                         "[mapper] II={ii}: failed to place node {node} ({}) window={:?}",
@@ -331,6 +382,7 @@ impl<'a> Scheduler<'a> {
             };
             for &pe in pes.iter().take(depth) {
                 tried += 1;
+                bufs.stats.placements_tried += 1;
                 if self.try_commit(node, pe, t, ii, mrrg, st, overlay, bufs) {
                     return true;
                 }
@@ -490,6 +542,7 @@ impl<'a> Scheduler<'a> {
                     source,
                 }),
                 None => {
+                    bufs.stats.route_failures += 1;
                     st.routes.truncate(routes_before);
                     return false;
                 }
@@ -751,6 +804,60 @@ mod tests {
         let budget = ptmap_governor::Budget::with_deadline(std::time::Duration::from_secs(3600));
         let timed = crate::map_dfg_budgeted(&dfg, &presets::s4(), &cfg, &budget).unwrap();
         assert_eq!(free, timed);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_ii_spans() {
+        let p = gemm(24);
+        let nest = p.perfect_nests().remove(0);
+        let dfg = build_dfg(&p, &nest, &[]).unwrap();
+        let cfg = MapperConfig::default();
+        let plain = map_dfg(&dfg, &presets::s4(), &cfg).unwrap();
+        let tracer = Tracer::root("gemm");
+        let traced = crate::map_dfg_traced(
+            &dfg,
+            &presets::s4(),
+            &cfg,
+            &ptmap_governor::Budget::unlimited(),
+            &tracer,
+        )
+        .unwrap();
+        // Tracing must not perturb the search.
+        assert_eq!(plain, traced);
+        let trace = tracer.finish().unwrap();
+        let attempts: Vec<_> = trace.spans_named("ii_attempt").collect();
+        assert!(!attempts.is_empty());
+        // IIs escalate from MII to the accepted II; the last attempt
+        // succeeded and carries the search counters.
+        let last = attempts.last().unwrap();
+        let attr = |name: &str| {
+            last.attrs
+                .iter()
+                .find(|(k, _)| k == name)
+                .unwrap_or_else(|| panic!("missing attr {name}"))
+                .1
+                .clone()
+        };
+        assert_eq!(attr("ii"), ptmap_trace::AttrValue::UInt(traced.ii as u64));
+        assert_eq!(attr("success"), ptmap_trace::AttrValue::Bool(true));
+        let ptmap_trace::AttrValue::UInt(restarts) = attr("restarts") else {
+            panic!("restarts not a uint");
+        };
+        assert!(restarts >= 1);
+        let ptmap_trace::AttrValue::UInt(tried) = attr("placements_tried") else {
+            panic!("placements_tried not a uint");
+        };
+        assert!(tried as usize >= dfg.len());
+        for name in ["backtracks", "route_failures", "bfs_expansions"] {
+            assert!(matches!(attr(name), ptmap_trace::AttrValue::UInt(_)));
+        }
+        // Failed rungs (if any) recorded success=false.
+        for span in &attempts[..attempts.len() - 1] {
+            assert!(span
+                .attrs
+                .iter()
+                .any(|(k, v)| k == "success" && *v == ptmap_trace::AttrValue::Bool(false)));
+        }
     }
 
     #[test]

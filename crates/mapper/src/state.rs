@@ -160,6 +160,27 @@ impl Overlay {
     }
 }
 
+/// Search-effort counters for one II attempt.
+///
+/// These ride inside [`RouterBuffers`] because the buffers are already
+/// threaded through every hot call (`attempt` → `place_node` →
+/// `try_commit` → `route_value`), so counting costs plain integer adds
+/// and zero signature changes. The scheduler resets them per II rung
+/// and copies them onto the `ii_attempt` trace span.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SearchStats {
+    /// Placement restarts run at this II.
+    pub restarts: u64,
+    /// `(pe, cycle)` placement candidates evaluated via `try_commit`.
+    pub placements_tried: u64,
+    /// Attempts abandoned because a node had no feasible placement.
+    pub backtracks: u64,
+    /// Candidates rejected because an operand could not be routed.
+    pub route_failures: u64,
+    /// Nodes popped from the BFS frontier in `route_value`.
+    pub bfs_expansions: u64,
+}
+
 /// Reusable scratch buffers for the routing BFS.
 ///
 /// The BFS state space is `(mrrg node, cycle offset)` with offsets in
@@ -180,6 +201,8 @@ pub(crate) struct RouterBuffers {
     pub seeds: Vec<(u32, u32)>,
     /// Walk-back scratch: `(slot, abs cycle, claims)` of the found path.
     pub path: Vec<(u32, u32, bool)>,
+    /// Search-effort counters for the current II attempt.
+    pub stats: SearchStats,
 }
 
 impl RouterBuffers {

@@ -33,6 +33,17 @@ pub struct SpanStat {
     pub seconds: f64,
     /// Number of entries.
     pub count: u64,
+    /// Fastest single entry, in seconds. Serde-defaulted so metrics
+    /// documents written before this field existed still parse; a
+    /// `0.0` with nonzero `count` on such old documents means
+    /// "unknown", not "instant".
+    #[serde(default)]
+    pub min_seconds: f64,
+    /// Slowest single entry, in seconds (serde-defaulted like
+    /// `min_seconds`). This is what surfaces worst-case stage time
+    /// per span in [`BatchMetrics`].
+    #[serde(default)]
+    pub max_seconds: f64,
 }
 
 /// Thread-safe span/counter accumulator.
@@ -49,17 +60,32 @@ impl Recorder {
     }
 
     /// Times a closure under a span name.
+    ///
+    /// The sample is recorded even when the closure panics (the panic
+    /// then resumes): a panicking job used to vanish from the span it
+    /// was timed under, understating both the count and the seconds of
+    /// exactly the jobs most worth investigating.
     pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
         let t0 = Instant::now();
-        let out = f();
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
         self.add_seconds(name, t0.elapsed().as_secs_f64());
-        out
+        match out {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
 
     /// Adds an already-measured duration to a span.
     pub fn add_seconds(&self, name: &str, seconds: f64) {
         let mut spans = lock_unpoisoned(&self.spans);
         let stat = spans.entry(name.to_string()).or_default();
+        if stat.count == 0 {
+            stat.min_seconds = seconds;
+            stat.max_seconds = seconds;
+        } else {
+            stat.min_seconds = stat.min_seconds.min(seconds);
+            stat.max_seconds = stat.max_seconds.max(seconds);
+        }
         stat.seconds += seconds;
         stat.count += 1;
     }
@@ -159,7 +185,45 @@ mod tests {
         let (spans, counters) = r.snapshot();
         assert_eq!(counters["before"], 1);
         assert_eq!(counters["after"], 2);
-        assert_eq!(spans["span"].count, 1);
+        // Two samples: the panicking `time` call records its duration
+        // before rethrowing, plus the explicit `add_seconds`.
+        assert_eq!(spans["span"].count, 2);
+    }
+
+    #[test]
+    fn time_records_sample_when_closure_panics() {
+        let r = Recorder::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.time("doomed", || -> () { panic!("job panicked") })
+        }));
+        assert!(caught.is_err(), "panic must propagate out of time()");
+        let (spans, _) = r.snapshot();
+        assert_eq!(spans["doomed"].count, 1);
+        assert!(spans["doomed"].seconds >= 0.0);
+    }
+
+    #[test]
+    fn span_stat_tracks_min_and_max() {
+        let r = Recorder::new();
+        r.add_seconds("s", 0.5);
+        r.add_seconds("s", 0.1);
+        r.add_seconds("s", 0.9);
+        let (spans, _) = r.snapshot();
+        let s = spans["s"];
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min_seconds, 0.1);
+        assert_eq!(s.max_seconds, 0.9);
+        assert!((s.seconds - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn span_stat_deserializes_old_json_without_min_max() {
+        // Metrics documents written before min/max existed.
+        let old = r#"{"seconds": 1.25, "count": 4}"#;
+        let s: SpanStat = serde_json::from_str(old).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min_seconds, 0.0);
+        assert_eq!(s.max_seconds, 0.0);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::manifest::Job;
 use crate::metrics::{BatchMetrics, JobMetrics, Recorder};
 use ptmap_core::{CompileMetrics, CompileReport, PtMapConfig, PtMapError};
 use ptmap_governor::{faultpoint, Budget};
+use ptmap_trace::{SamplePolicy, Tracer};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -58,6 +59,9 @@ pub struct BatchConfig {
     /// the degradation ladder (0 = fail immediately). Deterministic
     /// errors and cancellation are never retried.
     pub max_retries: u32,
+    /// Per-compile span-tree tracing (`None` = disabled; the compile
+    /// hot path then sees only `Option` branches).
+    pub trace: Option<TraceSettings>,
 }
 
 impl Default for BatchConfig {
@@ -69,6 +73,42 @@ impl Default for BatchConfig {
             job_timeout: None,
             budget: Budget::unlimited(),
             max_retries: 2,
+            trace: None,
+        }
+    }
+}
+
+/// Per-compile tracing policy for a batch run.
+#[derive(Debug, Clone)]
+pub struct TraceSettings {
+    /// Directory receiving one `<job>.trace.json` Chrome trace-event
+    /// document per kept compile (`None` = record but do not write —
+    /// callers like `ptmap serve` export through their own sink).
+    pub dir: Option<PathBuf>,
+    /// Head-sampling fraction in `[0.0, 1.0]`: the keep decision
+    /// hashes the trace ID, so it is stable across runs.
+    pub sample: f64,
+    /// Wall-time threshold (milliseconds) that force-keeps a trace
+    /// regardless of sampling — slow outliers always survive.
+    pub slow_ms: Option<u64>,
+}
+
+impl Default for TraceSettings {
+    fn default() -> Self {
+        TraceSettings {
+            dir: None,
+            sample: 1.0,
+            slow_ms: None,
+        }
+    }
+}
+
+impl TraceSettings {
+    /// The sampling policy these settings describe.
+    pub fn policy(&self) -> SamplePolicy {
+        SamplePolicy {
+            sample: self.sample,
+            slow_ms: self.slow_ms,
         }
     }
 }
@@ -122,15 +162,21 @@ pub struct JobOutcome {
     /// Extra attempts spent on this job beyond the first.
     #[serde(default)]
     pub retries: u32,
+    /// The trace ID of the span tree recorded for this compile
+    /// (`None` when tracing was disabled). Coalesced followers in
+    /// `ptmap serve` surface the leader's trace ID here.
+    #[serde(default)]
+    pub trace_id: Option<String>,
 }
 
 impl JobOutcome {
-    /// The outcome with wall-clock timing stripped from the report —
-    /// the deterministic part, used for serial-vs-parallel and
-    /// cache-vs-recompile identity checks.
+    /// The outcome with wall-clock timing (and the run-unique trace
+    /// ID) stripped from the report — the deterministic part, used for
+    /// serial-vs-parallel and cache-vs-recompile identity checks.
     pub fn deterministic(&self) -> JobOutcome {
         JobOutcome {
             report: self.report.as_ref().map(CompileReport::without_timing),
+            trace_id: None,
             ..self.clone()
         }
     }
@@ -305,7 +351,73 @@ pub fn compile_job(
     cache: &ReportCache,
     recorder: &Recorder,
 ) -> (JobOutcome, JobMetrics) {
-    faultpoint::with_scope(&job.name, || run_one_scoped(job, config, cache, recorder))
+    match &config.trace {
+        None => compile_job_traced(job, config, cache, recorder, &Tracer::disabled()),
+        Some(settings) => {
+            let tracer = Tracer::root(&job.name);
+            let out = compile_job_traced(job, config, cache, recorder, &tracer);
+            export_batch_trace(&tracer, settings, &out.1, recorder);
+            out
+        }
+    }
+}
+
+/// [`compile_job`] recording its span tree under a caller-owned
+/// [`Tracer`] — the daemon path, where the caller adopted the client's
+/// `X-Ptmap-Trace-Id` and owns the export sink. `config.trace` is
+/// ignored here; the caller decides what to keep.
+pub fn compile_job_traced(
+    job: &Job,
+    config: &BatchConfig,
+    cache: &ReportCache,
+    recorder: &Recorder,
+    tracer: &Tracer,
+) -> (JobOutcome, JobMetrics) {
+    faultpoint::with_scope(&job.name, || {
+        run_one_scoped(job, config, cache, recorder, tracer)
+    })
+}
+
+/// Applies the batch sampling policy to a finished compile and writes
+/// the kept trace as `<job>.trace.json` (Chrome trace-event JSON)
+/// under the configured directory.
+fn export_batch_trace(
+    tracer: &Tracer,
+    settings: &TraceSettings,
+    metrics: &JobMetrics,
+    recorder: &Recorder,
+) {
+    let Some(dir) = &settings.dir else { return };
+    let Some(trace) = tracer.finish() else { return };
+    let wall = Duration::from_secs_f64(metrics.wall_seconds.max(0.0));
+    if !settings.policy().keep(&trace.trace_id, wall) {
+        recorder.incr("traces_sampled_out", 1);
+        return;
+    }
+    let path = dir.join(format!("{}.trace.json", sanitize_file_stem(&metrics.job)));
+    let write = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(&path, ptmap_trace::chrome_trace_json(&trace)));
+    match write {
+        Ok(()) => recorder.incr("traces_written", 1),
+        Err(e) => {
+            eprintln!("warning: writing trace {}: {e}", path.display());
+            recorder.incr("trace_write_failures", 1);
+        }
+    }
+}
+
+/// Job names (`gemm:24@S4`) become file stems: anything outside
+/// `[A-Za-z0-9._-]` maps to `-` so the name stays one path component.
+fn sanitize_file_stem(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
 }
 
 /// The retry-ladder driver: walks attempts 0..=max_retries, each under
@@ -316,21 +428,28 @@ fn run_one_scoped(
     config: &BatchConfig,
     cache: &ReportCache,
     recorder: &Recorder,
+    tracer: &Tracer,
 ) -> (JobOutcome, JobMetrics) {
     let t0 = Instant::now();
     let mut stages = CompileMetrics::default();
     let mut retries = 0u32;
     let mut last_error: Option<(String, &'static str)> = None;
     let mut success: Option<(CompileReport, bool, Option<String>)> = None;
+    // The per-compile root span; governor events (deadline hits,
+    // cancellation, degraded retries) attach to it or to the active
+    // attempt span below it.
+    let root = tracer.span("compile");
+    root.attr("job", job.name.as_str());
 
     for attempt in 0..=config.max_retries {
         // The batch-wide budget dominates: once it is gone, nothing —
         // not even a first attempt — starts.
         if let Err(e) = config.budget.check() {
-            let msg = match e {
-                ptmap_governor::BudgetExceeded::Cancelled => "batch cancelled",
-                _ => "batch deadline exceeded",
+            let (msg, event) = match e {
+                ptmap_governor::BudgetExceeded::Cancelled => ("batch cancelled", "cancelled"),
+                _ => ("batch deadline exceeded", "deadline_hit"),
             };
+            root.event_attr(event, "scope", "batch");
             last_error = Some((msg.to_string(), error_class(&PtMapError::from(e))));
             break;
         }
@@ -342,9 +461,12 @@ fn run_one_scoped(
             (Some(d), Some(r)) => Some(format!("{d},{r}")),
         };
         let key = cache_key_degraded(job, &cfg, label.as_deref());
-        // Cache lookup joins the compilation inside catch_unwind so a
-        // `panic`-mode fault at cache_read downs this job, not the
-        // whole batch.
+        let attempt_span = root.tracer().span("attempt");
+        attempt_span.attr("attempt", attempt as u64);
+        if let Some(r) = &rung {
+            attempt_span.attr("rung", r.as_str());
+            root.event_attr("degraded_retry", "rung", r.as_str());
+        }
         // Cache lookup and publication join the compilation inside
         // catch_unwind so a `panic`-mode fault at cache_read or
         // cache_write downs this job, not the whole batch.
@@ -353,9 +475,12 @@ fn run_one_scoped(
                 return Attempt::CacheHit(report);
             }
             let budget = config.budget.child(config.job_timeout);
-            let (result, m) =
-                job.compiler(&cfg)
-                    .compile_instrumented_budgeted(&job.program, &job.arch, &budget);
+            let (result, m) = job.compiler(&cfg).compile_instrumented_traced(
+                &job.program,
+                &job.arch,
+                &budget,
+                attempt_span.tracer(),
+            );
             if let Ok(report) = &result {
                 cache.put(&key, report);
             }
@@ -368,6 +493,7 @@ fn run_one_scoped(
         match attempted {
             Ok(Attempt::CacheHit(report)) => {
                 recorder.incr("cache_hits", 1);
+                attempt_span.event("cache_hit");
                 success = Some((report, true, label));
                 break;
             }
@@ -384,6 +510,12 @@ fn run_one_scoped(
                     }
                     Err(e) => {
                         let class = error_class(&e);
+                        let event = match class {
+                            "timeout" => "deadline_hit",
+                            "cancelled" => "cancelled",
+                            _ => "compile_error",
+                        };
+                        attempt_span.event_attr(event, "class", class);
                         last_error = Some((e.to_string(), class));
                         if class != "timeout" {
                             break; // deterministic failure or cancel: no retry
@@ -392,6 +524,7 @@ fn run_one_scoped(
                 }
             }
             Err(panic) => {
+                attempt_span.event("panic");
                 last_error = Some((format!("panicked: {}", panic_message(&panic)), "panic"));
             }
         }
@@ -422,6 +555,10 @@ fn run_one_scoped(
             (None, false, None, Some(msg), Some(class.to_string()))
         }
     };
+    root.attr("ok", ok);
+    root.attr("cache_hit", cache_hit);
+    root.attr("retries", retries as u64);
+    drop(root);
     (
         JobOutcome {
             name: job.name.clone(),
@@ -431,6 +568,7 @@ fn run_one_scoped(
             error_class: class,
             degraded: degraded.clone(),
             retries,
+            trace_id: tracer.trace_id().map(str::to_string),
         },
         JobMetrics {
             job: job.name.clone(),
@@ -558,6 +696,106 @@ mod tests {
             context_generation_attempts: 1,
             compile_seconds: 0.25,
         }
+    }
+
+    #[test]
+    fn batch_trace_dir_writes_chrome_traces() {
+        let dir = std::env::temp_dir().join(format!("ptmap-trace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = BatchConfig {
+            base: quick_base(),
+            trace: Some(TraceSettings {
+                dir: Some(dir.clone()),
+                ..TraceSettings::default()
+            }),
+            ..BatchConfig::default()
+        };
+        let js = jobs(2);
+        let batch = run_batch(&js, &config);
+        assert!(batch.outcomes.iter().all(|o| o.report.is_some()));
+        assert!(batch.outcomes.iter().all(|o| o.trace_id.is_some()));
+        assert_eq!(batch.metrics.counters.get("traces_written"), Some(&2));
+        for job in &js {
+            let path = dir.join(format!("{}.trace.json", sanitize_file_stem(&job.name)));
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            let doc: serde::Value = serde_json::from_str(&text).unwrap();
+            let events = doc
+                .get("traceEvents")
+                .and_then(|v| v.as_array())
+                .expect("traceEvents");
+            let begins: Vec<&str> = events
+                .iter()
+                .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("B"))
+                .filter_map(|e| e.get("name").and_then(|v| v.as_str()))
+                .collect();
+            // The compile root, the retry-ladder attempt, the pipeline
+            // stages, and at least one mapper II rung all show up.
+            for name in [
+                "compile",
+                "attempt",
+                "explore",
+                "evaluate",
+                "map",
+                "ii_attempt",
+            ] {
+                assert!(begins.contains(&name), "{name} span missing: {begins:?}");
+            }
+            let ends = events
+                .iter()
+                .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("E"))
+                .count();
+            assert_eq!(begins.len(), ends, "balanced B/E pairs");
+            // II-attempt spans carry the search counters.
+            let ii = events
+                .iter()
+                .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("ii_attempt"))
+                .and_then(|e| e.get("args"))
+                .expect("ii_attempt args");
+            for key in [
+                "restarts",
+                "backtracks",
+                "placements_tried",
+                "bfs_expansions",
+            ] {
+                assert!(ii.get(key).is_some(), "missing counter {key}");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_sampling_drops_and_slow_threshold_keeps() {
+        let dir =
+            std::env::temp_dir().join(format!("ptmap-trace-sample-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // sample=0.0 without a slow threshold: everything sampled out.
+        let config = BatchConfig {
+            base: quick_base(),
+            trace: Some(TraceSettings {
+                dir: Some(dir.clone()),
+                sample: 0.0,
+                slow_ms: None,
+            }),
+            ..BatchConfig::default()
+        };
+        let batch = run_batch(&jobs(1), &config);
+        assert!(batch.outcomes[0].report.is_some());
+        assert_eq!(batch.metrics.counters.get("traces_written"), None);
+        assert_eq!(batch.metrics.counters.get("traces_sampled_out"), Some(&1));
+        // sample=0.0 but slow_ms=0: every compile is a "slow" outlier.
+        let config = BatchConfig {
+            base: quick_base(),
+            trace: Some(TraceSettings {
+                dir: Some(dir.clone()),
+                sample: 0.0,
+                slow_ms: Some(0),
+            }),
+            ..BatchConfig::default()
+        };
+        let batch = run_batch(&jobs(1), &config);
+        assert_eq!(batch.metrics.counters.get("traces_written"), Some(&1));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -104,6 +104,7 @@ proptest! {
             job_timeout: tight_timeout.then(|| Duration::from_nanos(1)),
             budget,
             max_retries: 1,
+            trace: None,
         };
 
         // Completing at all is the no-deadlock / no-propagated-panic

@@ -5,9 +5,11 @@
 //!               [--predictor analytical|oracle] [--emit-contexts]
 //! ptmap batch   --manifest jobs.json [--jobs N] [--eval-workers N]
 //!               [--cache-dir DIR] [--metrics out.json] [--out out.json]
+//!               [--trace-dir DIR [--trace-sample P] [--trace-slow-ms MS]]
 //! ptmap serve   [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!               [--max-inflight N] [--cache-dir DIR] [--deadline SECS]
 //!               [--drain-timeout SECS] [--max-retries N]
+//!               [--trace-sample P] [--trace-slow-ms MS]
 //! ptmap archs
 //! ptmap parse --source kernel.c
 //! ```
@@ -80,9 +82,11 @@ fn usage_text() -> &'static str {
      \x20         [--cache-dir DIR] [--metrics out.json] [--out out.json]\n\
      \x20         [--validate] [--deadline SECS] [--job-timeout SECS]\n\
      \x20         [--max-retries N]\n\
+     \x20         [--trace-dir DIR [--trace-sample P] [--trace-slow-ms MS]]\n\
      \x20 serve   [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
      \x20         [--max-inflight N] [--cache-dir DIR] [--deadline SECS]\n\
      \x20         [--drain-timeout SECS] [--max-retries N]\n\
+     \x20         [--trace-sample P] [--trace-slow-ms MS]\n\
      \x20 parse   --source FILE"
 }
 
@@ -255,12 +259,22 @@ fn batch(args: &[String]) -> ExitCode {
             "--deadline",
             "--job-timeout",
             "--max-retries",
+            "--trace-dir",
+            "--trace-sample",
+            "--trace-slow-ms",
         ],
         &["--validate"],
     ) {
         Ok(f) => f,
         Err(e) => return usage_error(&e),
     };
+    // Flag-combination errors are usage errors (exit 2), like any other
+    // bad flag — catch them before the runtime closure (exit 1).
+    if flags.get("--trace-dir").is_none()
+        && (flags.get("--trace-sample").is_some() || flags.get("--trace-slow-ms").is_some())
+    {
+        return usage_error("--trace-sample / --trace-slow-ms require --trace-dir");
+    }
     let result = (|| -> Result<bool, String> {
         let path = flags.get("--manifest").ok_or("missing --manifest FILE")?;
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -291,6 +305,15 @@ fn batch(args: &[String]) -> ExitCode {
                     format!("--max-retries must be a non-negative integer, got {t}")
                 })?,
                 None => defaults.max_retries,
+            },
+            trace: match flags.get("--trace-dir") {
+                Some(dir) => Some(ptmap_pipeline::TraceSettings {
+                    dir: Some(dir.into()),
+                    sample: parse_sample(flags.get("--trace-sample"), "--trace-sample")?
+                        .unwrap_or(1.0),
+                    slow_ms: parse_ms(flags.get("--trace-slow-ms"), "--trace-slow-ms")?,
+                }),
+                None => None,
             },
         };
         let batch = run_batch(&jobs, &config);
@@ -376,6 +399,8 @@ fn serve(args: &[String]) -> ExitCode {
             "--deadline",
             "--drain-timeout",
             "--max-retries",
+            "--trace-sample",
+            "--trace-slow-ms",
         ],
         &["--validate"],
     ) {
@@ -448,7 +473,35 @@ fn serve_config(flags: &Flags) -> Result<ptmap_serve::ServeConfig, String> {
             .unwrap_or(defaults.default_timeout),
         drain_timeout: parse_seconds(flags.get("--drain-timeout"), "--drain-timeout")?
             .unwrap_or(defaults.drain_timeout),
+        trace_sample: parse_sample(flags.get("--trace-sample"), "--trace-sample")?
+            .unwrap_or(defaults.trace_sample),
+        trace_slow_ms: parse_ms(flags.get("--trace-slow-ms"), "--trace-slow-ms")?,
     })
+}
+
+/// Parses an optional sampling probability flag in `[0, 1]`.
+fn parse_sample(text: Option<&str>, flag: &str) -> Result<Option<f64>, String> {
+    match text {
+        None => Ok(None),
+        Some(t) => match t.parse::<f64>() {
+            Ok(p) if (0.0..=1.0).contains(&p) => Ok(Some(p)),
+            _ => Err(format!("{flag} must be a probability in [0, 1], got {t}")),
+        },
+    }
+}
+
+/// Parses an optional non-negative millisecond flag (`0` means "keep
+/// every trace", a handy override in smoke tests).
+fn parse_ms(text: Option<&str>, flag: &str) -> Result<Option<u64>, String> {
+    match text {
+        None => Ok(None),
+        Some(t) => match t.parse::<u64>() {
+            Ok(ms) => Ok(Some(ms)),
+            Err(_) => Err(format!(
+                "{flag} must be a non-negative integer of milliseconds, got {t}"
+            )),
+        },
+    }
 }
 
 fn parse_count(text: Option<&str>, flag: &str) -> Result<usize, String> {

@@ -189,6 +189,7 @@ mod tests {
             error_class: Some("error".into()),
             degraded: None,
             retries: 0,
+            trace_id: None,
         }
     }
 

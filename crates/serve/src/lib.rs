@@ -11,6 +11,7 @@
 //! | `POST /compile`   | synchronous compile of one job spec                |
 //! | `POST /jobs`      | async submit into a bounded queue (`202` + id)     |
 //! | `GET /jobs/<id>`  | poll an async job (`queued`/`running`/`done`)      |
+//! | `GET /jobs/<id>/trace` | Chrome trace-event JSON for a retained trace  |
 //! | `GET /metrics`    | Prometheus text: pipeline spans/counters + service |
 //! | `GET /healthz`    | readiness (cache dir writable, workers alive)      |
 //!
@@ -37,11 +38,13 @@ pub mod jobs;
 pub mod metrics;
 pub mod server;
 pub mod signal;
+pub mod traces;
 
 pub use coalesce::Coalescer;
 pub use jobs::{JobState, JobTable};
 pub use metrics::ServiceMetrics;
 pub use server::{DrainSummary, ServeConfig, Server, ServerHandle};
+pub use traces::TraceStore;
 
 /// Locks a mutex, recovering from poisoning: the daemon's shared maps
 /// (flights, job states, histograms) stay valid across any interrupted

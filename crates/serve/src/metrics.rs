@@ -46,7 +46,41 @@ impl Histogram {
     pub fn count(&self) -> u64 {
         self.count
     }
+
+    /// Estimates the `q`-quantile (`0 < q <= 1`) from the cumulative
+    /// bucket counts, interpolating linearly inside the owning bucket
+    /// (the same estimator Prometheus's `histogram_quantile` applies
+    /// server-side). Observations beyond the last finite bound clamp
+    /// to that bound — the histogram cannot see past it. `None` with
+    /// no observations or a `q` outside `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || q <= 0.0 || q > 1.0 {
+            return None;
+        }
+        // 1-based rank of the target observation in sorted order.
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut prev_count = 0u64;
+        let mut prev_bound = 0.0f64;
+        for (i, bound) in BUCKETS.iter().enumerate() {
+            let c = self.counts[i];
+            if rank <= c {
+                let in_bucket = (c - prev_count) as f64;
+                let frac = if in_bucket == 0.0 {
+                    1.0
+                } else {
+                    (rank - prev_count) as f64 / in_bucket
+                };
+                return Some(prev_bound + (bound - prev_bound) * frac);
+            }
+            prev_count = c;
+            prev_bound = *bound;
+        }
+        Some(*BUCKETS.last().expect("BUCKETS is non-empty"))
+    }
 }
+
+/// The quantiles surfaced as gauge series and in the drain summary.
+pub(crate) const QUANTILES: [f64; 3] = [0.5, 0.95, 0.99];
 
 /// Counters and histograms owned by the HTTP layer.
 #[derive(Debug, Default)]
@@ -100,6 +134,24 @@ impl ServiceMetrics {
     pub fn requests_total(&self) -> u64 {
         lock_unpoisoned(&self.requests).values().sum()
     }
+
+    /// Per-endpoint `(endpoint, count, p50, p95, p99)` latency summary
+    /// for the drain report on stderr.
+    pub fn latency_quantiles(&self) -> Vec<(String, u64, f64, f64, f64)> {
+        lock_unpoisoned(&self.latency)
+            .iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(endpoint, h)| {
+                (
+                    endpoint.clone(),
+                    h.count(),
+                    h.quantile(0.5).unwrap_or(0.0),
+                    h.quantile(0.95).unwrap_or(0.0),
+                    h.quantile(0.99).unwrap_or(0.0),
+                )
+            })
+            .collect()
+    }
 }
 
 /// Point-in-time service gauges fed into [`render`].
@@ -125,6 +177,8 @@ pub struct ServiceGauges {
     pub cache_quarantines: u64,
     /// Entries resident in the in-memory cache map.
     pub cache_entries: usize,
+    /// Compile traces retained in the ring buffer.
+    pub trace_entries: usize,
 }
 
 /// Escapes a Prometheus label value.
@@ -195,6 +249,24 @@ pub fn render(
     }
 
     out.push_str(
+        "# HELP ptmap_http_request_quantile_seconds Estimated request latency quantiles \
+         by endpoint (bucket-interpolated).\n",
+    );
+    out.push_str("# TYPE ptmap_http_request_quantile_seconds gauge\n");
+    for (endpoint, hist) in &latency {
+        let ep = escape_label(endpoint);
+        for q in QUANTILES {
+            if let Some(v) = hist.quantile(q) {
+                let _ = writeln!(
+                    out,
+                    "ptmap_http_request_quantile_seconds{{endpoint=\"{ep}\",quantile=\"{q}\"}} {}",
+                    fmt_f64(v)
+                );
+            }
+        }
+    }
+
+    out.push_str(
         "# HELP ptmap_coalesced_requests_total Requests served by attaching to an \
          in-flight compile.\n",
     );
@@ -254,6 +326,11 @@ pub fn render(
             "ptmap_cache_entries",
             "Reports resident in the in-memory cache.",
             gauges.cache_entries as u64,
+        ),
+        (
+            "ptmap_trace_store_entries",
+            "Compile traces retained in the ring buffer.",
+            gauges.trace_entries as u64,
         ),
     ] {
         let _ = writeln!(
@@ -318,13 +395,81 @@ pub fn render(
     out
 }
 
+/// Parses a Prometheus label set body (the text between `{` and `}`)
+/// into `(name, value)` pairs, enforcing the text format's escaping
+/// rules: label values may contain only the `\\`, `\"`, and `\n`
+/// escapes, and a bare `"` inside a value is a syntax error.
+fn parse_label_set(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut name = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            name.push(c);
+        }
+        let valid_name = !name.is_empty()
+            && name
+                .chars()
+                .enumerate()
+                .all(|(i, c)| c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit()));
+        if !valid_name {
+            return Err(format!("bad label name {name:?}"));
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {name} value must be quoted"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                None => return Err(format!("unterminated value for label {name}")),
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape \\{other:?} in label {name}")),
+                },
+                Some(c) => value.push(c),
+            }
+        }
+        labels.push((name, value));
+        match chars.next() {
+            None => return Ok(labels),
+            Some(',') => continue,
+            Some(c) => return Err(format!("expected ',' between labels, found {c:?}")),
+        }
+    }
+}
+
 /// Validates Prometheus text-format syntax line by line; returns the
-/// first offending line. Used by tests and the CI smoke check — kept
-/// in the library so both share one definition of "parses".
+/// first offence. Used by tests and the CI smoke check — kept in the
+/// library so both share one definition of "parses". Beyond per-line
+/// syntax it enforces two cross-line properties:
+///
+/// * a metric name must not be introduced by two `# HELP` lines
+///   (Prometheus treats the exposition as corrupt);
+/// * within one metric and one label set, series that differ only in
+///   their `quantile` label must be non-decreasing in value as the
+///   quantile grows — a p95 below the p50 can only be an estimator or
+///   rendering bug.
 pub fn check_prometheus_text(text: &str) -> Result<(), String> {
+    let mut help_seen: Vec<String> = Vec::new();
+    // (metric name + non-quantile labels) → [(quantile, value)]
+    let mut quantile_series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
     for line in text.lines() {
         let line = line.trim_end();
-        if line.is_empty() || line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+        if line.is_empty() || line.starts_with("# TYPE ") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("").to_string();
+            if help_seen.contains(&name) {
+                return Err(format!("duplicate HELP for {name:?}"));
+            }
+            help_seen.push(name);
             continue;
         }
         let Some((series, value)) = line.rsplit_once(' ') else {
@@ -342,8 +487,36 @@ pub fn check_prometheus_text(text: &str) -> Result<(), String> {
         if !valid_name {
             return Err(format!("bad metric name {name:?} in {line:?}"));
         }
-        if name_end < series.len() && !series.ends_with('}') {
-            return Err(format!("unclosed label set: {line:?}"));
+        if name_end < series.len() {
+            if !series.ends_with('}') {
+                return Err(format!("unclosed label set: {line:?}"));
+            }
+            let body = &series[name_end + 1..series.len() - 1];
+            let labels = parse_label_set(body).map_err(|e| format!("{e} in {line:?}"))?;
+            let quantile = labels
+                .iter()
+                .find(|(n, _)| n == "quantile")
+                .and_then(|(_, v)| v.parse::<f64>().ok());
+            if let (Some(q), Ok(v)) = (quantile, value.parse::<f64>()) {
+                let mut key = name.to_string();
+                for (n, v) in &labels {
+                    if n != "quantile" {
+                        key.push_str(&format!(",{n}={v:?}"));
+                    }
+                }
+                quantile_series.entry(key).or_default().push((q, v));
+            }
+        }
+    }
+    for (key, mut points) in quantile_series {
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in points.windows(2) {
+            if pair[1].1 < pair[0].1 {
+                return Err(format!(
+                    "quantiles not monotone for {key}: q{} = {} > q{} = {}",
+                    pair[0].0, pair[0].1, pair[1].0, pair[1].1
+                ));
+            }
         }
     }
     Ok(())
@@ -364,6 +537,64 @@ mod tests {
         assert_eq!(h.counts[2], 2, "0.1 bucket holds both finite obs");
         assert_eq!(h.counts[BUCKETS.len() - 1], 2, "60s bucket excludes 120s");
         assert!((h.sum - 120.051).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate_and_clamp() {
+        let empty = Histogram::default();
+        assert_eq!(empty.quantile(0.5), None, "no data, no estimate");
+
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(0.05); // all land in the (0.025, 0.1] bucket
+        }
+        let p50 = h.quantile(0.5).expect("observations present");
+        assert!(p50 > 0.025 && p50 <= 0.1, "p50 {p50} outside owning bucket");
+
+        // Observations beyond the last finite bound clamp to it.
+        let mut far = Histogram::default();
+        far.observe(500.0);
+        assert_eq!(far.quantile(0.99), Some(60.0));
+
+        // Quantiles are monotone in q.
+        let mut spread = Histogram::default();
+        for i in 0..50 {
+            spread.observe(0.002 * i as f64);
+        }
+        let q = |p: f64| spread.quantile(p).unwrap();
+        assert!(q(0.5) <= q(0.95));
+        assert!(q(0.95) <= q(0.99));
+    }
+
+    #[test]
+    fn checker_rejects_duplicate_help() {
+        let text = "# HELP m one\n# TYPE m counter\nm 1\n# HELP m again\n";
+        let err = check_prometheus_text(text).unwrap_err();
+        assert!(err.contains("duplicate HELP"), "{err}");
+    }
+
+    #[test]
+    fn checker_rejects_bad_label_escapes() {
+        // \t is not a sanctioned escape in the text format.
+        assert!(check_prometheus_text(r#"m{l="a\t"} 1"#).is_err());
+        // An unescaped quote inside a value ends it early.
+        assert!(check_prometheus_text(r#"m{l="a"b"} 1"#).is_err());
+        // The three sanctioned escapes all pass.
+        assert!(check_prometheus_text(r#"m{l="a\"b\\c\n"} 1"#).is_ok());
+        // Label names follow metric-name rules.
+        assert!(check_prometheus_text(r#"m{9bad="x"} 1"#).is_err());
+    }
+
+    #[test]
+    fn checker_rejects_non_monotone_quantiles() {
+        let bad = "m{endpoint=\"c\",quantile=\"0.5\"} 2.0\n\
+                   m{endpoint=\"c\",quantile=\"0.95\"} 1.0\n";
+        let err = check_prometheus_text(bad).unwrap_err();
+        assert!(err.contains("not monotone"), "{err}");
+        // Series differing in other labels are independent groups.
+        let ok = "m{endpoint=\"a\",quantile=\"0.5\"} 2.0\n\
+                  m{endpoint=\"b\",quantile=\"0.95\"} 1.0\n";
+        assert!(check_prometheus_text(ok).is_ok());
     }
 
     #[test]
@@ -388,6 +619,8 @@ mod tests {
             ptmap_pipeline::SpanStat {
                 seconds: 1.25,
                 count: 4,
+                min_seconds: 0.05,
+                max_seconds: 0.75,
             },
         );
         let mut counters = BTreeMap::new();
@@ -400,6 +633,12 @@ mod tests {
         assert!(
             text.contains("ptmap_http_request_seconds_bucket{endpoint=\"compile\",le=\"+Inf\"} 2")
         );
+        assert!(text.contains(
+            "ptmap_http_request_quantile_seconds{endpoint=\"compile\",quantile=\"0.5\"}"
+        ));
+        assert!(text.contains(
+            "ptmap_http_request_quantile_seconds{endpoint=\"compile\",quantile=\"0.99\"}"
+        ));
         assert!(text.contains("ptmap_coalesced_requests_total 3"));
         assert!(text.contains("ptmap_compiles_started_total 1"));
         assert!(text.contains("ptmap_admission_rejects_total{reason=\"deadline\"} 1"));
@@ -424,6 +663,7 @@ mod tests {
         assert!(text.contains("ptmap_coalesced_requests_total 0"));
         assert!(text.contains("ptmap_compiles_started_total 0"));
         assert!(text.contains("ptmap_queue_depth 0"));
+        assert!(text.contains("ptmap_trace_store_entries 0"));
     }
 
     #[test]

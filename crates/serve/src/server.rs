@@ -12,12 +12,14 @@ use crate::coalesce::{Coalescer, Join};
 use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::jobs::{JobState, JobTable, SubmitError};
 use crate::metrics::{render, ServiceGauges, ServiceMetrics};
+use crate::traces::TraceStore;
 use crate::{lock_unpoisoned, signal};
 use ptmap_core::PtMapConfig;
 use ptmap_governor::Budget;
 use ptmap_pipeline::{
-    compile_job, request_key, BatchConfig, Job, JobOutcome, JobSpec, Recorder, ReportCache,
+    compile_job_traced, request_key, BatchConfig, Job, JobOutcome, JobSpec, Recorder, ReportCache,
 };
+use ptmap_trace::{chrome_trace_json, SamplePolicy, Tracer};
 use serde_json::Value;
 use std::io::Read;
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -50,6 +52,13 @@ pub struct ServeConfig {
     pub default_timeout: Duration,
     /// How long drain waits for in-flight work before cancelling it.
     pub drain_timeout: Duration,
+    /// Head-based trace sampling probability in `[0, 1]`: the fraction
+    /// of compiles whose trace is retained in the ring buffer behind
+    /// `GET /jobs/<id>/trace`.
+    pub trace_sample: f64,
+    /// Slow-compile threshold: a compile slower than this keeps its
+    /// trace even when sampled out, so outliers are always inspectable.
+    pub trace_slow_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +73,8 @@ impl Default for ServeConfig {
             max_retries: 2,
             default_timeout: Duration::from_secs(300),
             drain_timeout: Duration::from_secs(20),
+            trace_sample: 1.0,
+            trace_slow_ms: None,
         }
     }
 }
@@ -90,6 +101,8 @@ pub(crate) struct ServerState {
     coalescer: Arc<Coalescer>,
     jobs: JobTable,
     metrics: ServiceMetrics,
+    /// Ring buffer of retained compile traces (`GET /jobs/<id>/trace`).
+    traces: TraceStore,
     /// The server-wide root budget; every request scope descends from
     /// it, so cancelling it (drain timeout) cancels all compiles.
     root: Budget,
@@ -122,6 +135,15 @@ impl ServerState {
             cache_misses: misses,
             cache_quarantines: self.cache.quarantines(),
             cache_entries: self.cache.len(),
+            trace_entries: self.traces.len(),
+        }
+    }
+
+    /// The sampling policy the flag set configures.
+    fn trace_policy(&self) -> SamplePolicy {
+        SamplePolicy {
+            sample: self.config.trace_sample,
+            slow_ms: self.config.trace_slow_ms,
         }
     }
 
@@ -193,6 +215,7 @@ fn error_outcome(name: &str, class: &str, message: String) -> JobOutcome {
         error_class: Some(class.to_string()),
         degraded: None,
         retries: 0,
+        trace_id: None,
     }
 }
 
@@ -211,6 +234,50 @@ fn outcome_status(outcome: &JobOutcome) -> u16 {
 fn outcome_response(outcome: &JobOutcome) -> Response {
     let body = serde_json::to_string(outcome).unwrap_or_else(|_| "{}".to_string());
     Response::json(outcome_status(outcome), body)
+}
+
+/// Attaches the compile's trace id to the response, if it has one.
+fn with_trace_header(resp: Response, outcome: &JobOutcome) -> Response {
+    match &outcome.trace_id {
+        Some(id) => resp.with_header("X-Ptmap-Trace-Id", id.clone()),
+        None => resp,
+    }
+}
+
+/// The per-flight compile configuration every leader runs under.
+fn leader_batch_config(state: &ServerState, flight: &crate::coalesce::Flight) -> BatchConfig {
+    BatchConfig {
+        workers: 1,
+        cache_dir: None,
+        base: state.config.base.clone(),
+        job_timeout: None,
+        budget: flight.budget.clone(),
+        max_retries: state.config.max_retries,
+        // File export is the batch CLI's sink; the daemon renders and
+        // retains traces itself (see `store_trace`).
+        trace: None,
+    }
+}
+
+/// Finishes a leader's tracer and retains the rendered Chrome trace if
+/// the sampling policy keeps it. `force_keep` bypasses sampling for
+/// client-supplied trace ids (the client asked for this one by name).
+/// Outcomes surface as `traces_stored` / `traces_sampled_out` pipeline
+/// events in `/metrics`.
+fn store_trace(state: &ServerState, tracer: &Tracer, force_keep: bool, wall: Duration) {
+    let Some(trace) = tracer.finish() else {
+        return;
+    };
+    if force_keep || state.trace_policy().keep(&trace.trace_id, wall) {
+        state.traces.insert(
+            trace.trace_id.clone(),
+            trace.name.clone(),
+            chrome_trace_json(&trace),
+        );
+        state.recorder.incr("traces_stored", 1);
+    } else {
+        state.recorder.incr("traces_sampled_out", 1);
+    }
 }
 
 impl Server {
@@ -237,6 +304,7 @@ impl Server {
             coalescer: Arc::new(Coalescer::new()),
             jobs: JobTable::new(queue_cap),
             metrics: ServiceMetrics::new(),
+            traces: TraceStore::new(),
             root: Budget::cancellable(),
             stop: AtomicBool::new(false),
             draining: AtomicBool::new(false),
@@ -341,6 +409,9 @@ impl Server {
 
         // Flush the final metrics snapshot where an operator (or the
         // CI smoke test) can see it after the port is gone.
+        for (endpoint, count, p50, p95, p99) in state.metrics.latency_quantiles() {
+            eprintln!("latency {endpoint}: n={count} p50={p50:.4}s p95={p95:.4}s p99={p99:.4}s");
+        }
         eprintln!("--- final metrics ---\n{}", state.render_metrics());
 
         DrainSummary {
@@ -418,6 +489,9 @@ fn route(
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/compile") => ("compile", handle_compile(state, request, stream)),
         ("POST", "/jobs") => ("jobs_submit", handle_submit(state, request)),
+        ("GET", path) if path.starts_with("/jobs/") && path.ends_with("/trace") => {
+            ("jobs_trace", handle_trace(state, path))
+        }
         ("GET", path) if path.starts_with("/jobs/") => ("jobs_poll", handle_poll(state, path)),
         ("GET", "/metrics") => ("metrics", Response::text(200, state.render_metrics())),
         ("GET", "/healthz") => ("healthz", handle_healthz(state)),
@@ -487,6 +561,11 @@ fn handle_compile(state: &Arc<ServerState>, request: &Request, stream: &TcpStrea
     };
     let key = request_key(&job, &state.config.base);
 
+    // A client-supplied trace id is adopted verbatim (and force-keeps
+    // the trace — the client asked for this one by name); otherwise
+    // the leader mints one.
+    let client_trace_id = request.header("x-ptmap-trace-id").map(str::to_string);
+
     match state.coalescer.join(&key, || budget.clone()) {
         Join::Leader(flight) => {
             // Capacity gate applies to new flights only — followers
@@ -508,18 +587,17 @@ fn handle_compile(state: &Arc<ServerState>, request: &Request, stream: &TcpStrea
                 return outcome_response(&outcome);
             }
             let _watcher = spawn_disconnect_watcher(state, stream, &flight);
-            let (outcome, _job_metrics) = compile_job(
+            let t0 = Instant::now();
+            let tracer = match &client_trace_id {
+                Some(id) => Tracer::root_with_id(&job.name, id.clone()),
+                None => Tracer::root(&job.name),
+            };
+            let (outcome, _job_metrics) = compile_job_traced(
                 &job,
-                &BatchConfig {
-                    workers: 1,
-                    cache_dir: None,
-                    base: state.config.base.clone(),
-                    job_timeout: None,
-                    budget: flight.budget.clone(),
-                    max_retries: state.config.max_retries,
-                },
+                &leader_batch_config(state, &flight),
                 &state.cache,
                 &state.recorder,
+                &tracer,
             );
             drop(guard);
             // A cache hit never started a mapper run; the compile
@@ -527,17 +605,19 @@ fn handle_compile(state: &Arc<ServerState>, request: &Request, stream: &TcpStrea
             if !outcome.cache_hit {
                 state.metrics.compile_started();
             }
+            // Retain the trace *before* publishing the outcome, so a
+            // follower acting on the outcome's trace id finds it.
+            store_trace(state, &tracer, client_trace_id.is_some(), t0.elapsed());
             state.coalescer.complete(&key, &flight, outcome.clone());
-            outcome_response(&outcome)
+            with_trace_header(outcome_response(&outcome), &outcome)
         }
         Join::Follower(flight) => {
             let settled = spawn_disconnect_watcher(state, stream, &flight);
             let result = flight.wait(budget.deadline());
             let already_settled = settled.swap(true, Ordering::AcqRel);
             match result {
-                Some(outcome) => {
-                    outcome_response(&outcome).with_header("X-Ptmap-Coalesced", "1".to_string())
-                }
+                Some(outcome) => with_trace_header(outcome_response(&outcome), &outcome)
+                    .with_header("X-Ptmap-Coalesced", "1".to_string()),
                 None => {
                     // Own deadline expired while the leader was still
                     // compiling; stop counting as an audience member.
@@ -614,23 +694,22 @@ fn run_async_job(state: &Arc<ServerState>, spec: &JobSpec) -> JobOutcome {
         Join::Leader(flight) => {
             state.inflight.fetch_add(1, Ordering::AcqRel);
             let guard = InflightGuard { state };
-            let (outcome, _metrics) = compile_job(
+            let t0 = Instant::now();
+            let tracer = Tracer::root(&job.name);
+            let (outcome, _metrics) = compile_job_traced(
                 &job,
-                &BatchConfig {
-                    workers: 1,
-                    cache_dir: None,
-                    base: state.config.base.clone(),
-                    job_timeout: None,
-                    budget: flight.budget.clone(),
-                    max_retries: state.config.max_retries,
-                },
+                &leader_batch_config(state, &flight),
                 &state.cache,
                 &state.recorder,
+                &tracer,
             );
             drop(guard);
             if !outcome.cache_hit {
                 state.metrics.compile_started();
             }
+            // Retain before publishing, as in the synchronous path: a
+            // poller that sees `done` must find the trace.
+            store_trace(state, &tracer, false, t0.elapsed());
             state.coalescer.complete(&key, &flight, outcome.clone());
             outcome
         }
@@ -697,6 +776,50 @@ fn handle_poll(state: &Arc<ServerState>, path: &str) -> Response {
             let status_code = 200;
             Response::json(status_code, body)
         }
+    }
+}
+
+/// `GET /jobs/<id>/trace`: the retained Chrome trace for a compile.
+///
+/// `<id>` is either a numeric async-job id — resolved to a trace id
+/// through the job table's completed outcome — or a trace id taken
+/// from an `X-Ptmap-Trace-Id` response header.
+fn handle_trace(state: &Arc<ServerState>, path: &str) -> Response {
+    let id_text = &path["/jobs/".len()..path.len() - "/trace".len()];
+    // An exact trace-id match wins (it is unambiguous even when the id
+    // happens to be all digits); numeric ids then resolve through the
+    // async job table.
+    let trace_id = match state.traces.by_trace_id(id_text) {
+        Some(_) => id_text.to_string(),
+        None => match id_text.parse::<u64>() {
+            Err(_) => id_text.to_string(),
+            Ok(job_id) => match state.jobs.status(job_id) {
+                None => return Response::json(404, format!("{{\"error\":\"no job {job_id}\"}}")),
+                Some(JobState::Done(outcome)) => match outcome.trace_id {
+                    Some(id) => id,
+                    None => {
+                        return Response::json(
+                            404,
+                            format!("{{\"error\":\"job {job_id} has no trace\"}}"),
+                        )
+                    }
+                },
+                Some(_) => {
+                    return Response::json(
+                        404,
+                        format!("{{\"error\":\"job {job_id} is not done yet\"}}"),
+                    )
+                }
+            },
+        },
+    };
+    match state.traces.by_trace_id(&trace_id) {
+        Some(stored) => Response::json(200, stored.chrome_json.as_ref().clone())
+            .with_header("X-Ptmap-Trace-Id", stored.trace_id),
+        None => Response::json(
+            404,
+            format!("{{\"error\":{:?}}}", format!("no trace {trace_id}")),
+        ),
     }
 }
 

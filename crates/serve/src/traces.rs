@@ -1,0 +1,135 @@
+//! Ring-buffered in-memory trace store behind `GET /jobs/<id>/trace`.
+//!
+//! Every leader compile that the sampling policy keeps (plus every
+//! compile whose client supplied an `X-Ptmap-Trace-Id`, and every
+//! compile slower than the slow-compile threshold) deposits its
+//! rendered Chrome trace-event JSON here. The store is a bounded FIFO:
+//! a long-lived daemon holds at most [`TRACE_RETENTION`] traces and
+//! evicts the oldest, so memory stays bounded no matter the request
+//! rate — the store is a flight recorder, not an archive.
+//!
+//! Lookup is by trace id (the value round-tripped in the
+//! `X-Ptmap-Trace-Id` response header). Numeric async-job ids are
+//! resolved to a trace id through the job table's completed outcome
+//! before reaching this store.
+
+use crate::lock_unpoisoned;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// How many traces the ring buffer retains before evicting the oldest.
+pub const TRACE_RETENTION: usize = 256;
+
+/// One retained trace: the id, the compile's display name, and the
+/// fully rendered Chrome trace-event JSON document. The JSON is behind
+/// an `Arc` so handing it to a response never copies the (potentially
+/// large) document under the store lock.
+#[derive(Debug, Clone)]
+pub struct StoredTrace {
+    /// The trace id (`X-Ptmap-Trace-Id`).
+    pub trace_id: String,
+    /// The compile's display name (job name).
+    pub name: String,
+    /// Rendered Chrome trace-event JSON.
+    pub chrome_json: Arc<String>,
+}
+
+/// The bounded FIFO of retained traces.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    inner: Mutex<VecDeque<StoredTrace>>,
+    cap: usize,
+}
+
+impl TraceStore {
+    /// A store retaining at most [`TRACE_RETENTION`] traces.
+    pub fn new() -> TraceStore {
+        TraceStore::with_capacity(TRACE_RETENTION)
+    }
+
+    /// A store with an explicit retention bound (tests).
+    pub fn with_capacity(cap: usize) -> TraceStore {
+        TraceStore {
+            inner: Mutex::new(VecDeque::new()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Inserts a rendered trace, evicting the oldest beyond capacity.
+    /// Re-inserting an id (a client replaying its own trace id)
+    /// replaces the older entry rather than duplicating it.
+    pub fn insert(&self, trace_id: String, name: String, chrome_json: String) {
+        let mut inner = lock_unpoisoned(&self.inner);
+        inner.retain(|t| t.trace_id != trace_id);
+        inner.push_back(StoredTrace {
+            trace_id,
+            name,
+            chrome_json: Arc::new(chrome_json),
+        });
+        while inner.len() > self.cap {
+            inner.pop_front();
+        }
+    }
+
+    /// Looks up a trace by its id.
+    pub fn by_trace_id(&self, trace_id: &str) -> Option<StoredTrace> {
+        lock_unpoisoned(&self.inner)
+            .iter()
+            .rev()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// Traces currently retained.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.inner).len()
+    }
+
+    /// Whether the store holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let s = TraceStore::new();
+        assert!(s.is_empty());
+        s.insert(
+            "aa11".into(),
+            "gemm:16@S4".into(),
+            "{\"traceEvents\":[]}".into(),
+        );
+        let t = s.by_trace_id("aa11").expect("stored");
+        assert_eq!(t.name, "gemm:16@S4");
+        assert!(t.chrome_json.contains("traceEvents"));
+        assert!(s.by_trace_id("missing").is_none());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let s = TraceStore::with_capacity(3);
+        for i in 0..5 {
+            s.insert(format!("id{i}"), format!("job{i}"), "{}".into());
+        }
+        assert_eq!(s.len(), 3);
+        assert!(s.by_trace_id("id0").is_none(), "oldest evicted");
+        assert!(s.by_trace_id("id1").is_none());
+        assert!(s.by_trace_id("id2").is_some());
+        assert!(s.by_trace_id("id4").is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_not_duplicates() {
+        let s = TraceStore::with_capacity(4);
+        s.insert("same".into(), "first".into(), "{}".into());
+        s.insert("same".into(), "second".into(), "{}".into());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.by_trace_id("same").unwrap().name, "second");
+    }
+}

@@ -151,6 +151,20 @@ fn unrecognized_flag_is_usage_error() {
 }
 
 #[test]
+fn trace_sample_without_trace_dir_is_usage_error() {
+    for flag in ["--trace-sample=0.5", "--trace-slow-ms=100"] {
+        let out = ptmap()
+            .args(["batch", "--manifest", "does-not-matter.json", flag])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flag} must exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("require --trace-dir"), "{flag}: {err}");
+        assert!(err.contains("usage:"), "{flag}: {err}");
+    }
+}
+
+#[test]
 fn value_flag_without_value_is_usage_error() {
     let out = ptmap().args(["compile", "--source"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));

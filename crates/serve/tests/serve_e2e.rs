@@ -317,6 +317,164 @@ fn async_jobs_submit_and_poll_to_completion() {
 }
 
 #[test]
+fn compile_trace_round_trips_through_the_store() {
+    let (addr, handle, runner) = boot(ServeConfig::default());
+
+    // A fresh compile mints a trace id and retains its trace.
+    let reply = http(
+        addr,
+        "POST",
+        "/compile",
+        &[],
+        &compile_spec("traced", "vecsum:16"),
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let trace_id = reply
+        .header("x-ptmap-trace-id")
+        .expect("compile responses carry a trace id")
+        .to_string();
+    assert!(
+        reply.body.contains(&format!("\"trace_id\":\"{trace_id}\"")),
+        "outcome and header agree: {}",
+        reply.body
+    );
+
+    let fetched = http(addr, "GET", &format!("/jobs/{trace_id}/trace"), &[], "");
+    assert_eq!(fetched.status, 200, "{}", fetched.body);
+    assert_eq!(fetched.header("x-ptmap-trace-id"), Some(trace_id.as_str()));
+    for span in [
+        "traceEvents",
+        "compile",
+        "explore",
+        "map",
+        "ii_attempt",
+        "restarts",
+    ] {
+        assert!(
+            fetched.body.contains(span),
+            "trace must contain {span:?}: {}",
+            fetched.body
+        );
+    }
+
+    // A client-supplied trace id is adopted, echoed, and force-kept.
+    let custom = http(
+        addr,
+        "POST",
+        "/compile",
+        &[("X-Ptmap-Trace-Id", "client-chose-this")],
+        &compile_spec("traced2", "vecsum:24"),
+    );
+    assert_eq!(custom.status, 200, "{}", custom.body);
+    assert_eq!(custom.header("x-ptmap-trace-id"), Some("client-chose-this"));
+    let fetched = http(addr, "GET", "/jobs/client-chose-this/trace", &[], "");
+    assert_eq!(fetched.status, 200, "{}", fetched.body);
+
+    // Unknown ids 404.
+    assert_eq!(
+        http(addr, "GET", "/jobs/deadbeefdeadbeef/trace", &[], "").status,
+        404
+    );
+
+    let text = http(addr, "GET", "/metrics", &[], "").body;
+    check_prometheus_text(&text).expect("valid with trace series");
+    assert!(
+        metric_value(&text, "ptmap_trace_store_entries") >= Some(2.0),
+        "{text}"
+    );
+
+    handle.shutdown();
+    runner.join().unwrap();
+}
+
+#[test]
+fn sampling_drops_traces_but_client_ids_are_kept() {
+    let (addr, handle, runner) = boot(ServeConfig {
+        trace_sample: 0.0,
+        ..ServeConfig::default()
+    });
+
+    // Sampled out: the id is still issued (correlation), the body is
+    // not retained.
+    let reply = http(
+        addr,
+        "POST",
+        "/compile",
+        &[],
+        &compile_spec("dropped", "vecsum:8"),
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let trace_id = reply
+        .header("x-ptmap-trace-id")
+        .expect("id issued even when sampled out")
+        .to_string();
+    assert_eq!(
+        http(addr, "GET", &format!("/jobs/{trace_id}/trace"), &[], "").status,
+        404,
+        "sampled-out trace is not retained"
+    );
+
+    // A client-supplied id bypasses sampling entirely.
+    let forced = http(
+        addr,
+        "POST",
+        "/compile",
+        &[("X-Ptmap-Trace-Id", "keep-me")],
+        &compile_spec("kept", "vecsum:12"),
+    );
+    assert_eq!(forced.status, 200, "{}", forced.body);
+    let fetched = http(addr, "GET", "/jobs/keep-me/trace", &[], "");
+    assert_eq!(fetched.status, 200, "{}", fetched.body);
+    assert!(fetched.body.contains("traceEvents"));
+
+    handle.shutdown();
+    runner.join().unwrap();
+}
+
+#[test]
+fn async_job_trace_is_fetchable_by_job_id() {
+    let (addr, handle, runner) = boot(ServeConfig::default());
+
+    let reply = http(
+        addr,
+        "POST",
+        "/jobs",
+        &[],
+        &compile_spec("async-traced", "vecsum:20"),
+    );
+    assert_eq!(reply.status, 202, "{}", reply.body);
+    let id: u64 = reply
+        .body
+        .split("\"id\":")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|n| n.trim().parse().ok())
+        .expect("submission returns an id");
+
+    let t0 = Instant::now();
+    loop {
+        let poll = http(addr, "GET", &format!("/jobs/{id}"), &[], "");
+        if poll.body.contains("\"state\":\"done\"") {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(120),
+            "job never finished: {}",
+            poll.body
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let fetched = http(addr, "GET", &format!("/jobs/{id}/trace"), &[], "");
+    assert_eq!(fetched.status, 200, "{}", fetched.body);
+    assert!(fetched.body.contains("traceEvents"), "{}", fetched.body);
+    assert!(fetched.body.contains("ii_attempt"), "{}", fetched.body);
+
+    handle.shutdown();
+    runner.join().unwrap();
+}
+
+#[test]
 fn bad_requests_and_unknown_routes() {
     let (addr, handle, runner) = boot(ServeConfig::default());
     assert_eq!(http(addr, "POST", "/compile", &[], "{ nope").status, 400);
