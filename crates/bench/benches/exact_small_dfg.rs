@@ -1,0 +1,84 @@
+//! Microbenchmark for the exact branch-and-bound backend on the small
+//! DFGs it is meant for (the optimality-gap study in EXPERIMENTS.md).
+//!
+//! This is deliberately a *separate* bench from `mapper_hotpath`: the
+//! heuristic hot path must stay unchanged within noise across the
+//! backend refactor, so its bench is untouched and the exact backend
+//! gets its own guard here. Each case also benches the heuristic on
+//! the same DFG so a regression in the shared placement/routing stack
+//! shows up in both.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ptmap_arch::presets;
+use ptmap_exact::ExactBackend;
+use ptmap_governor::Budget;
+use ptmap_ir::dfg::build_dfg;
+use ptmap_ir::{Dfg, Program, ProgramBuilder};
+use ptmap_mapper::{map_dfg, MapperBackend, MapperConfig};
+use ptmap_trace::Tracer;
+
+fn vecsum(n: u64) -> Program {
+    let mut b = ProgramBuilder::new("vecsum");
+    let x = b.array("X", &[n]);
+    let y = b.array("Y", &[n]);
+    let z = b.array("Z", &[n]);
+    let i = b.open_loop("i", n);
+    let v = b.add(b.load(x, &[b.idx(i)]), b.load(y, &[b.idx(i)]));
+    b.store(z, &[b.idx(i)], v);
+    b.close_loop();
+    b.finish()
+}
+
+fn gemm(n: u64) -> Program {
+    let mut b = ProgramBuilder::new("gemm");
+    let a = b.array("A", &[n, n]);
+    let bb = b.array("B", &[n, n]);
+    let c = b.array("C", &[n, n]);
+    let i = b.open_loop("i", n);
+    let j = b.open_loop("j", n);
+    let k = b.open_loop("k", n);
+    let prod = b.mul(
+        b.load(a, &[b.idx(i), b.idx(k)]),
+        b.load(bb, &[b.idx(k), b.idx(j)]),
+    );
+    let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
+    b.store(c, &[b.idx(i), b.idx(j)], sum);
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+    b.finish()
+}
+
+fn identity_dfg(p: &Program) -> Dfg {
+    let nest = p.perfect_nests().remove(0);
+    build_dfg(p, &nest, &[]).unwrap()
+}
+
+fn exact_small_dfg(c: &mut Criterion) {
+    let cfg = MapperConfig::default();
+    // Kept to DFGs whose proof finishes in tens of milliseconds; the
+    // sweep blows up combinatorially on larger arrays (gemm on SL8 is
+    // already seconds per proof), which belongs in EXPERIMENTS.md runs,
+    // not a per-commit guard.
+    let cases = vec![
+        ("vecsum16_s4", identity_dfg(&vecsum(16)), presets::s4()),
+        ("gemm8_s4", identity_dfg(&gemm(8)), presets::s4()),
+    ];
+    let budget = Budget::unlimited();
+    let tracer = Tracer::disabled();
+    for (name, dfg, arch) in &cases {
+        c.bench_function(&format!("exact/{name}"), |b| {
+            b.iter(|| {
+                ExactBackend
+                    .map(black_box(dfg), arch, &cfg, &budget, &tracer)
+                    .unwrap()
+            });
+        });
+        c.bench_function(&format!("heuristic/{name}"), |b| {
+            b.iter(|| map_dfg(black_box(dfg), arch, &cfg).unwrap());
+        });
+    }
+}
+
+criterion_group!(benches, exact_small_dfg);
+criterion_main!(benches);

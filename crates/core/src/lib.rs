@@ -392,6 +392,16 @@ impl PtMap {
             }
             if let Ok(mut identity) = identity_result {
                 m.mapper_accepts += identity.pnls.len();
+                // Per-backend accounting for the identity pass too, so
+                // wins always sum to accepts (cancellation counts are
+                // search-path-only; the realizer drops them).
+                for p in &identity.pnls {
+                    match p.backend.as_str() {
+                        "exact" => m.backend_exact_wins += 1,
+                        _ => m.backend_heuristic_wins += 1,
+                    }
+                    m.exact_optimality_proofs += p.proven_optimal as usize;
+                }
                 if ptmap_mapper::validation_enabled(&self.config.mapper) {
                     m.mappings_validated += identity.pnls.len();
                 }
@@ -448,14 +458,14 @@ impl PtMap {
             map_span.attr("pnl", pnl_idx);
             let mapped = match build_dfg(&c.program, &c.nest, &c.unroll) {
                 Ok(dfg) => {
-                    match ptmap_mapper::map_dfg_traced(
+                    match ptmap_exact::map_with_backend(
                         &dfg,
                         arch,
                         &self.config.mapper,
                         budget,
                         map_span.tracer(),
                     ) {
-                        Ok(mp) => Some((dfg, mp)),
+                        Ok(out) => Some((dfg, out)),
                         Err(e) => {
                             m.map_seconds += t.elapsed().as_secs_f64();
                             if let Some(p) = map_error_to_pipeline(&e) {
@@ -467,14 +477,26 @@ impl PtMap {
                 }
                 Err(_) => None,
             };
-            let Some((dfg, mapping)) = mapped else {
+            let Some((dfg, outcome)) = mapped else {
                 m.mapper_rejects += 1;
                 return Ok(None);
             };
             m.map_seconds += t.elapsed().as_secs_f64();
-            map_span.attr("ii", mapping.ii as u64);
+            map_span.attr("ii", outcome.mapping.ii as u64);
+            map_span.attr("backend", outcome.backend);
+            map_span.attr("proven_optimal", outcome.proven_optimal);
+            if let Some(opt) = outcome.ii_opt {
+                map_span.attr("ii_opt", opt as u64);
+            }
             drop(map_span);
             m.mapper_accepts += 1;
+            match outcome.backend {
+                "exact" => m.backend_exact_wins += 1,
+                _ => m.backend_heuristic_wins += 1,
+            }
+            m.exact_optimality_proofs += outcome.proven_optimal as usize;
+            m.portfolio_cancellations += outcome.losers_cancelled as usize;
+            let mapping = outcome.mapping;
             // map_dfg validates internally when enabled; an accepted
             // mapping was therefore also a validated one.
             if ptmap_mapper::validation_enabled(&self.config.mapper) {
@@ -512,6 +534,10 @@ impl PtMap {
                 utilization: mapping.utilization(),
                 cycles: pnl_cycles,
                 volume: profile.total_volume(),
+                backend: outcome.backend.to_string(),
+                ii_opt: outcome.ii_opt,
+                heuristic_ii: outcome.heuristic_ii,
+                proven_optimal: outcome.proven_optimal,
             });
             m.simulate_seconds += t.elapsed().as_secs_f64();
             drop(sim_span);

@@ -38,6 +38,21 @@ pub struct CompileMetrics {
     pub mappings_validated: usize,
     /// Ranked program-level choices tried during context generation.
     pub context_generation_attempts: usize,
+    /// Mappings produced by the heuristic search (in portfolio mode:
+    /// races the heuristic arm won or tied).
+    #[serde(default)]
+    pub backend_heuristic_wins: usize,
+    /// Mappings produced by the exact branch-and-bound search (in
+    /// portfolio mode: races it won with a strictly lower II).
+    #[serde(default)]
+    pub backend_exact_wins: usize,
+    /// Mappings whose II was proven optimal (exact infeasibility proof
+    /// below it, or landing exactly on the MII).
+    #[serde(default)]
+    pub exact_optimality_proofs: usize,
+    /// Losing portfolio arms cancelled after a winner landed.
+    #[serde(default)]
+    pub portfolio_cancellations: usize,
     /// Degradations applied to produce this result (e.g. a retry at
     /// reduced effort after a timeout, or an analytical-predictor
     /// fallback after a GNN load failure). Empty for a full-fidelity
@@ -64,6 +79,10 @@ impl CompileMetrics {
         self.mapper_rejects += other.mapper_rejects;
         self.mappings_validated += other.mappings_validated;
         self.context_generation_attempts += other.context_generation_attempts;
+        self.backend_heuristic_wins += other.backend_heuristic_wins;
+        self.backend_exact_wins += other.backend_exact_wins;
+        self.exact_optimality_proofs += other.exact_optimality_proofs;
+        self.portfolio_cancellations += other.portfolio_cancellations;
         self.degradations.extend(other.degradations.iter().cloned());
     }
 }

@@ -69,13 +69,20 @@ pub fn realize_program_budgeted(
     for (i, nest) in nests.iter().enumerate() {
         let unroll = unroll_per_pnl.get(i).cloned().unwrap_or_default();
         let dfg = build_dfg(program, nest, &unroll).map_err(|_| PtMapError::NothingMappable)?;
-        let mapping =
-            ptmap_mapper::map_dfg_budgeted(&dfg, arch, mapper, budget).map_err(|e| match e {
-                ptmap_mapper::MapError::Timeout => PtMapError::Timeout,
-                ptmap_mapper::MapError::Cancelled => PtMapError::Cancelled,
-                ptmap_mapper::MapError::Fault(site) => PtMapError::Fault(site),
-                _ => PtMapError::NothingMappable,
-            })?;
+        let outcome = ptmap_exact::map_with_backend(
+            &dfg,
+            arch,
+            mapper,
+            budget,
+            &ptmap_trace::Tracer::disabled(),
+        )
+        .map_err(|e| match e {
+            ptmap_mapper::MapError::Timeout => PtMapError::Timeout,
+            ptmap_mapper::MapError::Cancelled => PtMapError::Cancelled,
+            ptmap_mapper::MapError::Fault(site) => PtMapError::Fault(site),
+            _ => PtMapError::NothingMappable,
+        })?;
+        let mapping = outcome.mapping;
         let profile = MemoryProfiler::new(program).profile(nest, arch, mapping.ii);
         let eff: Vec<u64> = nest
             .loops
@@ -112,6 +119,10 @@ pub fn realize_program_budgeted(
             utilization: mapping.utilization(),
             cycles: pnl_cycles,
             volume: profile.total_volume(),
+            backend: outcome.backend.to_string(),
+            ii_opt: outcome.ii_opt,
+            heuristic_ii: outcome.heuristic_ii,
+            proven_optimal: outcome.proven_optimal,
         });
     }
     let edp = energy_model.edp(energy, cycles);

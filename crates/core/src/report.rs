@@ -23,6 +23,26 @@ pub struct PnlRealization {
     pub cycles: u64,
     /// Off-CGRA volume in bytes.
     pub volume: u64,
+    /// Which mapper backend produced the mapping ("heuristic" /
+    /// "exact"; in portfolio mode, the winning arm). Empty in reports
+    /// from before backends existed.
+    #[serde(default)]
+    pub backend: String,
+    /// The proven-optimal II, when the exact backend (or an MII hit)
+    /// established one.
+    #[serde(default)]
+    pub ii_opt: Option<u32>,
+    /// The heuristic's II for the same candidate, when a heuristic arm
+    /// ran (exact/portfolio modes) — `heuristic_ii - ii_opt` is the
+    /// measured heuristic optimality gap reported in EXPERIMENTS.md.
+    #[serde(default)]
+    pub heuristic_ii: Option<u32>,
+    /// Whether `ii` is proven optimal — `ii - ii_opt.unwrap()` is then
+    /// the measured optimality gap (zero unless a proof exists below
+    /// the achieved II, which cannot happen: a strictly better II
+    /// found by the exact backend becomes the mapping itself).
+    #[serde(default)]
+    pub proven_optimal: bool,
 }
 
 /// The result of a full PT-Map compilation.
@@ -117,6 +137,10 @@ mod tests {
                 utilization: 0.25,
                 cycles: 900,
                 volume: 4096,
+                backend: "heuristic".into(),
+                ii_opt: None,
+                heuristic_ii: None,
+                proven_optimal: false,
             }],
             candidates_explored: 42,
             candidates_pruned: 3,

@@ -1,0 +1,178 @@
+//! The heuristic/exact portfolio: both searches raced on separate
+//! threads under governor-cancellable child budgets.
+//!
+//! Cancellation protocol (see DESIGN.md, "Mapper backends &
+//! portfolio"):
+//!
+//! * Each arm runs under its own [`Budget::scoped_child`], so the
+//!   parent budget's deadline and cancellation propagate to both, and
+//!   each arm can be cancelled individually without touching the
+//!   parent.
+//! * The heuristic arm publishes its achieved II into a shared upper
+//!   bound the moment it lands, shrinking the exact arm's remaining
+//!   sweep; if it lands *at the MII* the exact arm can neither improve
+//!   nor prove anything new, so it is cancelled outright.
+//! * The exact arm only ever finds a mapping after proving every
+//!   smaller II infeasible (the sweep is bottom-up), so a find is
+//!   always provably optimal — it cancels the heuristic arm.
+//! * Ties go to the heuristic's mapping (deterministic output: the
+//!   exact arm's find is only preferred at a strictly lower II).
+
+use ptmap_arch::CgraArch;
+use ptmap_governor::Budget;
+use ptmap_ir::Dfg;
+use ptmap_mapper::backend::{BackendOutcome, HeuristicBackend, MapperBackend};
+use ptmap_mapper::error::MapError;
+use ptmap_mapper::MapperConfig;
+use ptmap_trace::Tracer;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::bnb::{sweep, Problem, SweepEnd};
+
+/// The portfolio backend: [`HeuristicBackend`] and the exact sweep
+/// raced per compile; the heuristic answers fast, the exact arm
+/// upgrades the answer to "proven optimal" (or a lower II) when it
+/// finishes within budget.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PortfolioBackend;
+
+impl MapperBackend for PortfolioBackend {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn map(
+        &self,
+        dfg: &Dfg,
+        arch: &CgraArch,
+        config: &MapperConfig,
+        budget: &Budget,
+        tracer: &Tracer,
+    ) -> Result<BackendOutcome, MapError> {
+        // Structural validation once, before spawning anything, so both
+        // arms see a well-formed problem and errors are deterministic.
+        let p = Problem::new(dfg, arch, config)?;
+        let start = p.mii.max(1);
+        let max_ii = config.max_ii.max(start);
+        let h_budget = budget.scoped_child(None);
+        let e_budget = budget.scoped_child(None);
+        let upper = AtomicU32::new(max_ii + 1);
+        let cancels = AtomicU32::new(0);
+
+        let (h_res, e_res) = std::thread::scope(|s| {
+            let h_arm = s.spawn(|| {
+                let r = HeuristicBackend.map(dfg, arch, config, &h_budget, tracer);
+                if let Ok(out) = &r {
+                    upper.fetch_min(out.mapping.ii, Ordering::AcqRel);
+                    if out.mapping.ii == start && !e_budget.is_cancelled() {
+                        // Landed at the MII: the exact arm can neither
+                        // improve nor add a proof. Cancel it.
+                        cancels.fetch_add(1, Ordering::Relaxed);
+                        e_budget.cancel();
+                    }
+                }
+                r
+            });
+            let e_arm = s.spawn(|| {
+                let r = sweep(&p, &upper, &e_budget, tracer);
+                if matches!(r, Ok(SweepEnd::Found { .. })) && !h_budget.is_cancelled() {
+                    // A bottom-up find is provably optimal; the
+                    // heuristic can only tie or lose. Cancel it.
+                    cancels.fetch_add(1, Ordering::Relaxed);
+                    h_budget.cancel();
+                }
+                r
+            });
+            (
+                h_arm.join().expect("heuristic portfolio arm panicked"),
+                e_arm.join().expect("exact portfolio arm panicked"),
+            )
+        });
+        let losers_cancelled = cancels.load(Ordering::Relaxed);
+
+        match (h_res, e_res) {
+            (Ok(h), Ok(SweepEnd::Found { mapping, steps })) => {
+                if mapping.ii < h.mapping.ii {
+                    Ok(BackendOutcome {
+                        ii_opt: Some(mapping.ii),
+                        heuristic_ii: Some(h.mapping.ii),
+                        backend: "exact",
+                        proven_optimal: true,
+                        exact_steps: steps,
+                        losers_cancelled,
+                        mapping: *mapping,
+                    })
+                } else {
+                    // Tie (or a racy find at/above the heuristic's II):
+                    // the exact arm still proved everything below its
+                    // find infeasible, which covers the heuristic's II.
+                    Ok(BackendOutcome {
+                        ii_opt: Some(h.mapping.ii),
+                        heuristic_ii: Some(h.mapping.ii),
+                        backend: "heuristic",
+                        proven_optimal: true,
+                        exact_steps: steps,
+                        losers_cancelled,
+                        mapping: h.mapping,
+                    })
+                }
+            }
+            (Ok(h), Ok(SweepEnd::ProvenUpTo { next_ii, steps })) => {
+                let proven = h.proven_optimal || next_ii >= h.mapping.ii;
+                Ok(BackendOutcome {
+                    ii_opt: proven.then_some(h.mapping.ii),
+                    heuristic_ii: Some(h.mapping.ii),
+                    backend: "heuristic",
+                    proven_optimal: proven,
+                    exact_steps: steps,
+                    losers_cancelled,
+                    mapping: h.mapping,
+                })
+            }
+            (Ok(h), Ok(SweepEnd::Exhausted { steps })) => Ok(BackendOutcome {
+                ii_opt: h.ii_opt,
+                heuristic_ii: Some(h.mapping.ii),
+                backend: "heuristic",
+                proven_optimal: h.proven_optimal,
+                exact_steps: steps,
+                losers_cancelled,
+                mapping: h.mapping,
+            }),
+            (Ok(h), Err(e)) => match e {
+                // The exact arm losing to cancellation or the deadline
+                // is the portfolio working as intended.
+                MapError::Cancelled | MapError::Timeout => Ok(BackendOutcome {
+                    ii_opt: h.ii_opt,
+                    heuristic_ii: Some(h.mapping.ii),
+                    backend: "heuristic",
+                    proven_optimal: h.proven_optimal,
+                    exact_steps: 0,
+                    losers_cancelled,
+                    mapping: h.mapping,
+                }),
+                // Anything else (a broken invariant) is a real bug.
+                other => Err(other),
+            },
+            (Err(_), Ok(SweepEnd::Found { mapping, steps })) => Ok(BackendOutcome {
+                ii_opt: Some(mapping.ii),
+                heuristic_ii: None,
+                backend: "exact",
+                proven_optimal: true,
+                exact_steps: steps,
+                losers_cancelled,
+                mapping: *mapping,
+            }),
+            (Err(h_err), Ok(SweepEnd::ProvenUpTo { next_ii, .. })) => {
+                if next_ii > max_ii {
+                    // The exact arm proved the entire II range
+                    // infeasible — a definitive answer even when the
+                    // heuristic timed out.
+                    Err(MapError::Infeasible { mii: start, max_ii })
+                } else {
+                    Err(h_err)
+                }
+            }
+            (Err(h_err), _) => Err(h_err),
+        }
+    }
+}

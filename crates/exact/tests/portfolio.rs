@@ -1,0 +1,153 @@
+//! Portfolio racing, cancellation promptness, and the heuristic
+//! bit-identity guarantee.
+//!
+//! Fault-injection guards are process-global, so the tests that
+//! install one serialize on a shared mutex.
+
+use ptmap_arch::presets;
+use ptmap_exact::{ExactBackend, PortfolioBackend};
+use ptmap_governor::{faultpoint, Budget};
+use ptmap_ir::{Dfg, OpKind};
+use ptmap_mapper::{map_dfg, HeuristicBackend, MapError, MapperBackend, MapperConfig};
+use ptmap_trace::Tracer;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// An 8-node kernel with a recurrence: small enough to prove optimal,
+/// big enough that the mapper does real placement work.
+fn kernel() -> Dfg {
+    let mut dfg = Dfg::new();
+    let n: Vec<_> = (0..8)
+        .map(|i| {
+            let kind = match i % 3 {
+                0 => OpKind::Add,
+                1 => OpKind::Mul,
+                _ => OpKind::Sub,
+            };
+            dfg.add_node(kind, None, None)
+        })
+        .collect();
+    for w in n.windows(2) {
+        dfg.add_edge(w[0], w[1], 0);
+    }
+    dfg.add_edge(n[7], n[2], 1);
+    dfg.add_edge(n[0], n[4], 0);
+    dfg
+}
+
+#[test]
+fn heuristic_dispatch_is_bit_identical_to_direct_mapping() {
+    let dfg = kernel();
+    let arch = presets::s4();
+    let cfg = MapperConfig::default();
+    let direct = map_dfg(&dfg, &arch, &cfg).expect("direct mapping");
+    let dispatched = HeuristicBackend
+        .map(&dfg, &arch, &cfg, &Budget::unlimited(), &Tracer::disabled())
+        .expect("backend mapping");
+    // The backend refactor must not perturb the fixed-seed heuristic
+    // search: same mapping, placement for placement, route for route.
+    assert_eq!(direct, dispatched.mapping);
+    assert_eq!(dispatched.backend, "heuristic");
+}
+
+#[test]
+fn exact_observes_cancellation_promptly() {
+    let _serial = FAULT_LOCK.lock().unwrap();
+    // Wedge every heuristic placement attempt so the warm start is
+    // still running when the cancel lands.
+    let _fault = faultpoint::install("mapper_place:delay:100").unwrap();
+    let dfg = kernel();
+    let arch = presets::s4();
+    let cfg = MapperConfig::default();
+    let budget = Budget::cancellable();
+    let canceller = budget.clone();
+    let worker = std::thread::spawn(move || {
+        ExactBackend.map(&dfg, &arch, &cfg, &budget, &Tracer::disabled())
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    let t0 = Instant::now();
+    canceller.cancel();
+    let result = worker.join().expect("no panic");
+    // Bounded work after the cancel: the search must unwind within a
+    // couple of placement delays, not run the sweep to completion.
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "cancel took {:?} to observe",
+        t0.elapsed()
+    );
+    assert!(
+        matches!(result, Err(MapError::Cancelled)),
+        "expected Cancelled, got {result:?}"
+    );
+}
+
+#[test]
+fn deadline_expiry_mid_search_returns_structured_timeout() {
+    let _serial = FAULT_LOCK.lock().unwrap();
+    let _fault = faultpoint::install("mapper_place:delay:100").unwrap();
+    let dfg = kernel();
+    let arch = presets::s4();
+    let cfg = MapperConfig::default();
+    // Long enough to pass the admission check, far too short for the
+    // wedged placement loop.
+    let budget = Budget::with_deadline(Duration::from_millis(30));
+    let result = ExactBackend.map(&dfg, &arch, &cfg, &budget, &Tracer::disabled());
+    assert!(
+        matches!(result, Err(MapError::Timeout)),
+        "expected Timeout, got {result:?}"
+    );
+}
+
+/// A 4-node kernel whose exact search is near-instant (tiny window,
+/// tiny domain) — used to make the portfolio race deterministic.
+fn small_kernel() -> Dfg {
+    let mut dfg = Dfg::new();
+    let a = dfg.add_node(OpKind::Add, None, None);
+    let b = dfg.add_node(OpKind::Mul, None, None);
+    let c = dfg.add_node(OpKind::Sub, None, None);
+    let d = dfg.add_node(OpKind::Add, None, None);
+    dfg.add_edge(a, b, 0);
+    dfg.add_edge(b, c, 0);
+    dfg.add_edge(c, d, 0);
+    dfg.add_edge(d, b, 1);
+    dfg
+}
+
+#[test]
+fn portfolio_exact_win_cancels_the_heuristic_arm() {
+    let _serial = FAULT_LOCK.lock().unwrap();
+    // Wedge only the heuristic arm for longer than the whole exact
+    // sweep (the exact search has no placement fault point), so the
+    // exact arm reliably lands first and cancels the heuristic.
+    let _fault = faultpoint::install("mapper_place:delay:500").unwrap();
+    let dfg = small_kernel();
+    let arch = presets::s4();
+    let cfg = MapperConfig::default();
+    let out = PortfolioBackend
+        .map(&dfg, &arch, &cfg, &Budget::unlimited(), &Tracer::disabled())
+        .expect("portfolio mapping");
+    assert_eq!(out.backend, "exact");
+    assert!(out.proven_optimal, "bottom-up exact find is optimal");
+    assert_eq!(out.ii_opt, Some(out.mapping.ii));
+    assert_eq!(out.losers_cancelled, 1, "the heuristic arm was cancelled");
+}
+
+#[test]
+fn portfolio_without_faults_matches_heuristic_ii_or_better() {
+    let dfg = kernel();
+    let arch = presets::s4();
+    let cfg = MapperConfig::default();
+    let h = map_dfg(&dfg, &arch, &cfg).expect("heuristic mapping");
+    let out = PortfolioBackend
+        .map(&dfg, &arch, &cfg, &Budget::unlimited(), &Tracer::disabled())
+        .expect("portfolio mapping");
+    assert!(
+        out.mapping.ii <= h.ii,
+        "portfolio ii {} > heuristic ii {}",
+        out.mapping.ii,
+        h.ii
+    );
+    ptmap_mapper::validate(&dfg, &arch, &out.mapping).expect("portfolio mapping validates");
+}

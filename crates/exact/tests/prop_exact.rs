@@ -1,0 +1,112 @@
+//! Cross-backend property tests over random small DFGs:
+//!
+//! * the exact backend never returns a higher II than the heuristic
+//!   (it warm-starts from the heuristic's answer and only improves it);
+//! * when the exact sweep reports the whole II range infeasible, the
+//!   heuristic cannot have mapped the kernel either;
+//! * every mapping the exact backend returns passes the full invariant
+//!   validator, and claimed optimality proofs are internally coherent.
+
+use proptest::prelude::*;
+use ptmap_arch::presets;
+use ptmap_exact::ExactBackend;
+use ptmap_governor::Budget;
+use ptmap_ir::{Dfg, OpKind};
+use ptmap_mapper::{validate, HeuristicBackend, MapError, MapperBackend, MapperConfig};
+use ptmap_trace::Tracer;
+
+const OPS: [OpKind; 5] = [
+    OpKind::Add,
+    OpKind::Sub,
+    OpKind::Mul,
+    OpKind::Xor,
+    OpKind::Min,
+];
+
+/// Builds a DFG from drawn raw material: forward edges keep the
+/// distance-0 subgraph acyclic (src < dst), while backward and self
+/// edges carry a positive iteration distance, so the graph is always
+/// well-formed (no zero-distance cycles).
+fn build(n_nodes: usize, ops: &[u64], edges: &[(u64, u64, u32)]) -> Dfg {
+    let mut dfg = Dfg::new();
+    let ids: Vec<_> = (0..n_nodes)
+        .map(|i| dfg.add_node(OPS[(ops[i % ops.len()] as usize) % OPS.len()], None, None))
+        .collect();
+    for &(a, b, d) in edges {
+        let src = (a as usize) % n_nodes;
+        let dst = (b as usize) % n_nodes;
+        if src < dst {
+            dfg.add_edge(ids[src], ids[dst], d);
+        } else {
+            dfg.add_edge(ids[src], ids[dst], d.max(1));
+        }
+    }
+    dfg
+}
+
+/// A config that keeps the exact sweep cheap enough for property
+/// testing: a short II escalation and a small per-II step cap. The
+/// soundness properties hold at any cap (a capped sweep degrades to
+/// "not proven", never to a wrong answer).
+fn small_config() -> MapperConfig {
+    MapperConfig {
+        max_ii: 8,
+        exact_steps_per_ii: 50_000,
+        ..MapperConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn exact_never_worse_than_heuristic_and_validates(
+        n_nodes in 2usize..8,
+        ops in proptest::collection::vec(0u64..OPS.len() as u64, 8..9),
+        edges in proptest::collection::vec((0u64..64, 0u64..64, 0u32..3), 0..10),
+    ) {
+        let dfg = build(n_nodes, &ops, &edges);
+        let arch = presets::s4();
+        let cfg = small_config();
+        let budget = Budget::unlimited();
+        let tracer = Tracer::disabled();
+        let h = HeuristicBackend.map(&dfg, &arch, &cfg, &budget, &tracer);
+        let e = ExactBackend.map(&dfg, &arch, &cfg, &budget, &tracer);
+        match (&h, &e) {
+            (Ok(h), Ok(e)) => {
+                prop_assert!(
+                    e.mapping.ii <= h.mapping.ii,
+                    "exact ii {} > heuristic ii {}",
+                    e.mapping.ii,
+                    h.mapping.ii
+                );
+                if e.proven_optimal {
+                    prop_assert_eq!(e.ii_opt, Some(e.mapping.ii));
+                    prop_assert!(e.mapping.ii >= e.mapping.mii);
+                }
+            }
+            // The exact backend reports Infeasible only after proving
+            // every II in range admits no placement under the shared
+            // routing oracle — so the heuristic cannot have mapped it.
+            (Ok(h), Err(MapError::Infeasible { .. })) => prop_assert!(
+                false,
+                "exact proved the range infeasible but the heuristic mapped ii={}",
+                h.mapping.ii
+            ),
+            // No budget, no faults: nothing else can fail once the
+            // heuristic succeeded (structural errors hit both equally).
+            (Ok(_), Err(e)) => prop_assert!(false, "unexpected exact error: {e}"),
+            // The converse is fine: the complete search may succeed
+            // where the heuristic's restart budget gave up.
+            (Err(_), Ok(e)) => prop_assert!(e.proven_optimal || e.ii_opt.is_none()),
+            (Err(_), Err(_)) => {}
+        }
+        // Every exact-backend mapping must pass the full invariant
+        // validator, whatever the heuristic did.
+        if let Ok(e) = &e {
+            if let Err(v) = validate(&dfg, &arch, &e.mapping) {
+                prop_assert!(false, "validator rejected exact mapping: {v}");
+            }
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! Mapper configuration.
 
+use crate::backend::BackendKind;
 use serde::{Deserialize, Serialize};
 
 /// Tuning knobs of the modulo scheduler.
@@ -28,6 +29,24 @@ pub struct MapperConfig {
     /// regardless of this flag (set in CI).
     #[serde(default)]
     pub validate: bool,
+    /// Which search backend produces the mapping (see
+    /// [`crate::backend`]). The heuristic scheduler is the default; the
+    /// exact and portfolio backends live in the `ptmap-exact` crate and
+    /// are dispatched by its `map_with_backend`. Serialized, so the
+    /// pipeline cache key differs per backend by construction.
+    #[serde(default)]
+    pub backend: BackendKind,
+    /// Deterministic cap on branch-and-bound steps (placement
+    /// candidates examined) per candidate II for the exact backend.
+    /// Hitting the cap downgrades an infeasibility proof to
+    /// "exhausted" — the sweep stops claiming optimality but still
+    /// returns the best mapping found.
+    #[serde(default = "default_exact_steps_per_ii")]
+    pub exact_steps_per_ii: u64,
+}
+
+fn default_exact_steps_per_ii() -> u64 {
+    2_000_000
 }
 
 impl Default for MapperConfig {
@@ -38,6 +57,8 @@ impl Default for MapperConfig {
             seed: 0xC6_4A,
             share_routes: true,
             validate: false,
+            backend: BackendKind::Heuristic,
+            exact_steps_per_ii: default_exact_steps_per_ii(),
         }
     }
 }
@@ -58,6 +79,12 @@ impl MapperConfig {
     /// A configuration with the invariant validator enabled.
     pub fn with_validation(mut self, validate: bool) -> Self {
         self.validate = validate;
+        self
+    }
+
+    /// A configuration with a different search backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 

@@ -37,16 +37,18 @@
 //! # Ok::<(), ptmap_mapper::MapError>(())
 //! ```
 
+pub mod backend;
 pub mod config;
 pub mod context;
 pub mod error;
 pub mod mapping;
 pub mod mii;
-mod router;
+pub mod router;
 pub mod scheduler;
-mod state;
+pub mod state;
 pub mod validate;
 
+pub use backend::{BackendKind, BackendOutcome, HeuristicBackend, MapperBackend};
 pub use config::MapperConfig;
 pub use context::{generate_contexts, ContextImage, ContextWord};
 pub use error::MapError;

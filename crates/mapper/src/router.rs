@@ -18,8 +18,12 @@ use ptmap_arch::{Mrrg, PeId, RouteNode};
 /// arriving exactly at cycle `arrive`, sharing the producer's existing
 /// route tree when `share` is set. On success the new positions are
 /// recorded in `overlay` and the consumer's operand source is returned.
+///
+/// Public so every [`crate::backend::MapperBackend`] routes through the
+/// same deterministic oracle — the exact backend's optimality proofs
+/// are stated relative to this router.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn route_value(
+pub fn route_value(
     mrrg: &Mrrg,
     ii: u32,
     producer: usize,

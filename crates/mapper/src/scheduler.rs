@@ -19,7 +19,7 @@
 
 use crate::config::MapperConfig;
 use crate::error::MapError;
-use crate::mapping::{Mapping, Placement, ProducerRoutes, RoutePos};
+use crate::mapping::Mapping;
 use crate::mii;
 use crate::router::route_value;
 use crate::state::{Overlay, RouterBuffers, SearchStats, State};
@@ -146,6 +146,7 @@ impl<'a> Scheduler<'a> {
             let result = self.run_ii(ii, &mut rng, &mut overlay, &mut bufs, budget);
             if span.enabled() {
                 let stats = bufs.stats;
+                span.attr("backend", "heuristic");
                 span.attr("ii", ii as u64);
                 span.attr("restarts", stats.restarts);
                 span.attr("placements_tried", stats.placements_tried);
@@ -299,52 +300,9 @@ impl<'a> Scheduler<'a> {
                 return Ok(None);
             }
         }
-        // Assemble the mapping.
-        let mut placements = Vec::with_capacity(self.dfg.len());
-        let mut t_min = u32::MAX;
-        let mut t_max_end = 0u32;
-        let mut pes = std::collections::BTreeSet::new();
-        for (i, p) in st.place.iter().enumerate() {
-            let (pe, t) = p.expect("all nodes placed");
-            placements.push(Placement {
-                node: ptmap_ir::NodeId(i as u32),
-                pe,
-                time: t,
-            });
-            t_min = t_min.min(t);
-            t_max_end = t_max_end.max(t + self.dfg.nodes()[i].latency());
-            pes.insert(pe);
-        }
-        let schedule_length = (t_max_end - t_min).max(ii);
-        let route_trees = st
-            .trees
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| !t.is_empty())
-            .map(|(i, t)| ProducerRoutes {
-                producer: ptmap_ir::NodeId(i as u32),
-                positions: t
-                    .positions()
-                    .iter()
-                    .map(|&(slot, cycle, claims)| RoutePos {
-                        slot,
-                        cycle,
-                        claims,
-                    })
-                    .collect(),
-            })
-            .collect();
-        Ok(Some(Mapping {
-            ii,
-            mii: self.mii,
-            schedule_length,
-            placements,
-            route_slots: st.route_slots,
-            routes: std::mem::take(&mut st.routes),
-            route_trees,
-            pes_used: pes.len() as u32,
-            pe_count: self.arch.pe_count() as u32,
-        }))
+        Ok(Some(crate::backend::assemble_mapping(
+            self.dfg, self.arch, self.mii, ii, &mut st,
+        )))
     }
 
     /// Attempts to place one node, routing all edges to already-placed

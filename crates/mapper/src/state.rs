@@ -6,6 +6,14 @@
 //! epoch-stamped scratch buffers ([`RouterBuffers`]) that the BFS
 //! reuses across every `route_value` call of an attempt instead of
 //! allocating fresh maps per edge.
+//!
+//! The types here are public so alternative [`crate::backend`]
+//! implementations (notably the exact branch-and-bound backend in
+//! `ptmap-exact`) can search over the *same* committed-state and
+//! routing semantics as the heuristic scheduler; [`RouteTree::insert`]
+//! reports whether it created a new position, and
+//! [`RouteTree::remove`] reverts one insert, which is what a
+//! backtracking search needs to keep a trail-based undo exact.
 
 use crate::mapping::RouteRecord;
 use ptmap_arch::{Mrrg, PeId};
@@ -14,13 +22,13 @@ use ptmap_arch::{Mrrg, PeId};
 /// cycle)` plus how many routing-capacity units it claims there (0 for
 /// consumer operand ports; can exceed 1 when route sharing is disabled
 /// and several independent routes pass through the same position).
-pub(crate) type TreePos = (u32, u32, u32);
+pub type TreePos = (u32, u32, u32);
 
 /// The `(slot, absolute cycle)` positions where one producer's value
 /// exists, sorted by `(slot, cycle)` for binary-search membership and
 /// deterministic seed iteration.
 #[derive(Debug, Default, Clone)]
-pub(crate) struct RouteTree {
+pub struct RouteTree {
     positions: Vec<TreePos>,
 }
 
@@ -43,17 +51,45 @@ impl RouteTree {
     }
 
     /// Records a position (or another capacity claim on an existing
-    /// one, which happens only when route sharing is off).
-    pub fn insert(&mut self, slot: u32, at: u32, claims: bool) {
+    /// one, which happens only when route sharing is off). Returns
+    /// `true` when a new position was created, `false` when an existing
+    /// one absorbed the claim — callers that backtrack must hand that
+    /// flag back to [`RouteTree::remove`] to undo exactly this insert.
+    pub fn insert(&mut self, slot: u32, at: u32, claims: bool) -> bool {
         match self.index_of(slot, at) {
-            Ok(i) => self.positions[i].2 += claims as u32,
-            Err(i) => self.positions.insert(i, (slot, at, claims as u32)),
+            Ok(i) => {
+                self.positions[i].2 += claims as u32;
+                false
+            }
+            Err(i) => {
+                self.positions.insert(i, (slot, at, claims as u32));
+                true
+            }
+        }
+    }
+
+    /// Reverts one [`RouteTree::insert`] of `(slot, at, claims)` where
+    /// `created` is the value that insert returned. Inserts must be
+    /// undone in reverse order for the tree to return to its prior
+    /// state (trail discipline).
+    pub fn remove(&mut self, slot: u32, at: u32, claims: bool, created: bool) {
+        let i = match self.index_of(slot, at) {
+            Ok(i) => i,
+            Err(_) => {
+                debug_assert!(false, "undo of a position that is not in the tree");
+                return;
+            }
+        };
+        if created {
+            self.positions.remove(i);
+        } else {
+            self.positions[i].2 -= claims as u32;
         }
     }
 }
 
 /// Mutable state of one placement attempt.
-pub(crate) struct State {
+pub struct State {
     /// Per-compute-slot occupancy: the DFG node placed there.
     pub compute: Vec<Option<usize>>,
     /// Per-MRRG-node committed routing-capacity claims.
@@ -91,7 +127,7 @@ impl State {
 /// counters are maintained incrementally on insert, so the BFS capacity
 /// check is O(1) instead of a scan over the overlay.
 #[derive(Debug, Default)]
-pub(crate) struct Overlay {
+pub struct Overlay {
     /// `(producer, slot, abs cycle, claims)` in insertion order.
     adds: Vec<(usize, u32, u32, bool)>,
     /// Dense per-MRRG-node claim counters for the pending adds.
@@ -168,7 +204,7 @@ impl Overlay {
 /// and zero signature changes. The scheduler resets them per II rung
 /// and copies them onto the `ii_attempt` trace span.
 #[derive(Debug, Default, Clone, Copy)]
-pub(crate) struct SearchStats {
+pub struct SearchStats {
     /// Placement restarts run at this II.
     pub restarts: u64,
     /// `(pe, cycle)` placement candidates evaluated via `try_commit`.
@@ -190,7 +226,7 @@ pub(crate) struct SearchStats {
 /// dense arrays, and stale entries from earlier searches (even with a
 /// different span layout) can never alias the current epoch.
 #[derive(Debug, Default)]
-pub(crate) struct RouterBuffers {
+pub struct RouterBuffers {
     epoch: Vec<u32>,
     parent: Vec<(u32, u32)>,
     cur: u32,
@@ -269,6 +305,25 @@ mod tests {
             .find(|p| p.0 == 5 && p.1 == 10)
             .unwrap();
         assert_eq!(claims.2, 2);
+    }
+
+    #[test]
+    fn route_tree_remove_reverts_insert() {
+        let mut t = RouteTree::default();
+        let a = t.insert(5, 10, true);
+        let before: Vec<TreePos> = t.positions().to_vec();
+        // Second claim on the same position, then undo it.
+        let b = t.insert(5, 10, true);
+        assert!(a && !b);
+        t.remove(5, 10, true, b);
+        assert_eq!(t.positions(), &before[..]);
+        // Undo the original insert too: back to empty.
+        t.remove(5, 10, true, a);
+        assert!(t.is_empty());
+        // Claim-free (consumer port) entries round-trip as well.
+        let c = t.insert(7, 3, false);
+        t.remove(7, 3, false, c);
+        assert!(t.is_empty());
     }
 
     #[test]

@@ -39,7 +39,11 @@ use std::sync::Mutex;
 /// Version tag mixed into every key: bump when the compilation
 /// semantics change in a way the serialized inputs cannot express.
 /// Version 2: checksummed on-disk framing + degradation-aware keys.
-const SCHEMA_VERSION: u64 = 2;
+/// Version 3: mapper backends — `MapperConfig` serializes its
+/// `backend` (and exact-search step cap), so exact/portfolio results
+/// can never alias heuristic-cached entries; the bump invalidates
+/// pre-backend entries whose config serialization lacked the fields.
+const SCHEMA_VERSION: u64 = 3;
 
 /// Derives the content-addressed key for one job under a base config.
 pub fn cache_key(job: &Job, base: &PtMapConfig) -> String {
@@ -317,6 +321,30 @@ mod tests {
             ..PtMapConfig::default()
         };
         assert_ne!(cache_key(&j, &base), cache_key(&j, &tweaked));
+    }
+
+    #[test]
+    fn backend_changes_key() {
+        use ptmap_mapper::BackendKind;
+        let j = job("gemm:24", "S4");
+        let keys: Vec<String> = [
+            BackendKind::Heuristic,
+            BackendKind::Exact,
+            BackendKind::Portfolio,
+        ]
+        .into_iter()
+        .map(|backend| {
+            let mut cfg = PtMapConfig::default();
+            cfg.mapper.backend = backend;
+            cache_key(&j, &cfg)
+        })
+        .collect();
+        assert_ne!(keys[0], keys[1], "exact must not read heuristic entries");
+        assert_ne!(
+            keys[0], keys[2],
+            "portfolio must not read heuristic entries"
+        );
+        assert_ne!(keys[1], keys[2], "exact and portfolio entries are distinct");
     }
 
     #[test]

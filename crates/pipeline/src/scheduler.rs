@@ -127,15 +127,26 @@ fn ladder(base: &PtMapConfig, attempt: u32) -> (PtMapConfig, Option<String>) {
             },
             Some("explore=quick".to_string()),
         ),
-        _ => (
-            PtMapConfig {
-                explore: ptmap_transform::ExploreConfig::quick(),
-                mapper: base.mapper.clone().with_effort(1),
-                realize_beam: 1,
-                ..base.clone()
-            },
-            Some("explore=quick,effort=1,realize_beam=1".to_string()),
-        ),
+        _ => {
+            // The deepest rung also abandons the exact/portfolio backends:
+            // a job that blew its budget twice should not keep paying for
+            // an optimality proof.
+            let mut mapper = base.mapper.clone().with_effort(1);
+            let mut label = "explore=quick,effort=1,realize_beam=1".to_string();
+            if mapper.backend != ptmap_mapper::BackendKind::Heuristic {
+                mapper.backend = ptmap_mapper::BackendKind::Heuristic;
+                label.push_str(",backend=heuristic");
+            }
+            (
+                PtMapConfig {
+                    explore: ptmap_transform::ExploreConfig::quick(),
+                    mapper,
+                    realize_beam: 1,
+                    ..base.clone()
+                },
+                Some(label),
+            )
+        }
     }
 }
 
@@ -540,6 +551,19 @@ fn run_one_scoped(
     recorder.incr("candidates_pruned", stages.candidates_pruned as u64);
     recorder.incr("mapper_accepts", stages.mapper_accepts as u64);
     recorder.incr("mapper_rejects", stages.mapper_rejects as u64);
+    recorder.incr(
+        "backend_heuristic_wins",
+        stages.backend_heuristic_wins as u64,
+    );
+    recorder.incr("backend_exact_wins", stages.backend_exact_wins as u64);
+    recorder.incr(
+        "exact_optimality_proofs",
+        stages.exact_optimality_proofs as u64,
+    );
+    recorder.incr(
+        "portfolio_cancellations",
+        stages.portfolio_cancellations as u64,
+    );
     let wall = t0.elapsed().as_secs_f64();
     recorder.add_seconds("job", wall);
     let (report, cache_hit, degraded, error, class) = match success {
@@ -814,6 +838,21 @@ mod tests {
         let (c9, l9) = ladder(&base, 9);
         assert_eq!(l9, l2);
         assert_eq!(c9.realize_beam, 1);
+        // A non-heuristic base additionally falls back to the heuristic
+        // backend on the deepest rung (and says so in the label).
+        let pf = PtMapConfig {
+            mapper: base
+                .mapper
+                .clone()
+                .with_backend(ptmap_mapper::BackendKind::Portfolio),
+            ..base.clone()
+        };
+        let (c2p, l2p) = ladder(&pf, 2);
+        assert_eq!(
+            l2p.as_deref(),
+            Some("explore=quick,effort=1,realize_beam=1,backend=heuristic")
+        );
+        assert_eq!(c2p.mapper.backend, ptmap_mapper::BackendKind::Heuristic);
     }
 
     #[test]

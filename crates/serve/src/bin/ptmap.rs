@@ -4,11 +4,13 @@
 //! ptmap compile --source kernel.c --arch S4 [--mode pareto]
 //!               [--predictor analytical|oracle] [--emit-contexts]
 //! ptmap batch   --manifest jobs.json [--jobs N] [--eval-workers N]
+//!               [--backend {heuristic|exact|portfolio}]
 //!               [--cache-dir DIR] [--metrics out.json] [--out out.json]
 //!               [--trace-dir DIR [--trace-sample P] [--trace-slow-ms MS]]
 //! ptmap serve   [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!               [--max-inflight N] [--cache-dir DIR] [--deadline SECS]
 //!               [--drain-timeout SECS] [--max-retries N]
+//!               [--default-backend {heuristic|exact|portfolio}]
 //!               [--trace-sample P] [--trace-slow-ms MS]
 //! ptmap archs
 //! ptmap parse --source kernel.c
@@ -79,6 +81,7 @@ fn usage_text() -> &'static str {
      \x20         [--mode {performance|pareto}]\n\
      \x20         [--predictor {analytical|oracle}] [--emit-contexts]\n\
      \x20 batch   --manifest jobs.json [--jobs N] [--eval-workers N]\n\
+     \x20         [--backend {heuristic|exact|portfolio}]\n\
      \x20         [--cache-dir DIR] [--metrics out.json] [--out out.json]\n\
      \x20         [--validate] [--deadline SECS] [--job-timeout SECS]\n\
      \x20         [--max-retries N]\n\
@@ -86,6 +89,7 @@ fn usage_text() -> &'static str {
      \x20 serve   [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
      \x20         [--max-inflight N] [--cache-dir DIR] [--deadline SECS]\n\
      \x20         [--drain-timeout SECS] [--max-retries N]\n\
+     \x20         [--default-backend {heuristic|exact|portfolio}]\n\
      \x20         [--trace-sample P] [--trace-slow-ms MS]\n\
      \x20 parse   --source FILE"
 }
@@ -253,6 +257,7 @@ fn batch(args: &[String]) -> ExitCode {
             "--manifest",
             "--jobs",
             "--eval-workers",
+            "--backend",
             "--cache-dir",
             "--metrics",
             "--out",
@@ -289,6 +294,11 @@ fn batch(args: &[String]) -> ExitCode {
         // Part of the cache key, so validated and unvalidated runs do
         // not share entries.
         base.mapper.validate = flags.has("--validate");
+        // Mapper backend (heuristic / exact / portfolio). Also part of
+        // the cache key: exact results never alias heuristic entries.
+        if let Some(b) = parse_backend(flags.get("--backend"), "--backend")? {
+            base.mapper.backend = b;
+        }
         let budget = match parse_seconds(flags.get("--deadline"), "--deadline")? {
             Some(d) => ptmap_governor::Budget::with_deadline(d),
             None => ptmap_governor::Budget::unlimited(),
@@ -399,6 +409,7 @@ fn serve(args: &[String]) -> ExitCode {
             "--deadline",
             "--drain-timeout",
             "--max-retries",
+            "--default-backend",
             "--trace-sample",
             "--trace-slow-ms",
         ],
@@ -444,6 +455,11 @@ fn serve_config(flags: &Flags) -> Result<ptmap_serve::ServeConfig, String> {
     let defaults = ptmap_serve::ServeConfig::default();
     let mut base = PtMapConfig::default();
     base.mapper.validate = flags.has("--validate");
+    // Server-wide default quality tier; clients may override per
+    // request with the `X-Ptmap-Quality` header.
+    if let Some(b) = parse_backend(flags.get("--default-backend"), "--default-backend")? {
+        base.mapper.backend = b;
+    }
     Ok(ptmap_serve::ServeConfig {
         addr: flags
             .get("--addr")
@@ -477,6 +493,18 @@ fn serve_config(flags: &Flags) -> Result<ptmap_serve::ServeConfig, String> {
             .unwrap_or(defaults.trace_sample),
         trace_slow_ms: parse_ms(flags.get("--trace-slow-ms"), "--trace-slow-ms")?,
     })
+}
+
+/// Parses an optional mapper-backend flag
+/// (`heuristic` / `exact` / `portfolio`).
+fn parse_backend(
+    text: Option<&str>,
+    flag: &str,
+) -> Result<Option<ptmap_mapper::BackendKind>, String> {
+    match text {
+        None => Ok(None),
+        Some(t) => t.parse().map(Some).map_err(|e| format!("{flag}: {e}")),
+    }
 }
 
 /// Parses an optional sampling probability flag in `[0, 1]`.

@@ -16,6 +16,7 @@ use crate::traces::TraceStore;
 use crate::{lock_unpoisoned, signal};
 use ptmap_core::PtMapConfig;
 use ptmap_governor::Budget;
+use ptmap_mapper::BackendKind;
 use ptmap_pipeline::{
     compile_job_traced, request_key, BatchConfig, Job, JobOutcome, JobSpec, Recorder, ReportCache,
 };
@@ -244,12 +245,31 @@ fn with_trace_header(resp: Response, outcome: &JobOutcome) -> Response {
     }
 }
 
+/// The effective base config for one request: the server-wide default
+/// with the client's `X-Ptmap-Quality` backend override (if any)
+/// applied. The override is folded in *before* the request key is
+/// computed, so an exact-tier request never coalesces onto (or reads a
+/// cache entry from) a heuristic flight, and vice versa.
+fn effective_base(request: &Request, config: &ServeConfig) -> Result<PtMapConfig, String> {
+    let mut base = config.base.clone();
+    if let Some(raw) = request.header("x-ptmap-quality") {
+        base.mapper.backend = raw
+            .parse::<BackendKind>()
+            .map_err(|e| format!("bad X-Ptmap-Quality: {e}"))?;
+    }
+    Ok(base)
+}
+
 /// The per-flight compile configuration every leader runs under.
-fn leader_batch_config(state: &ServerState, flight: &crate::coalesce::Flight) -> BatchConfig {
+fn leader_batch_config(
+    state: &ServerState,
+    base: PtMapConfig,
+    flight: &crate::coalesce::Flight,
+) -> BatchConfig {
     BatchConfig {
         workers: 1,
         cache_dir: None,
-        base: state.config.base.clone(),
+        base,
         job_timeout: None,
         budget: flight.budget.clone(),
         max_retries: state.config.max_retries,
@@ -559,7 +579,12 @@ fn handle_compile(state: &Arc<ServerState>, request: &Request, stream: &TcpStrea
         Ok(j) => j,
         Err(e) => return Response::json(400, format!("{{\"error\":{e:?}}}")),
     };
-    let key = request_key(&job, &state.config.base);
+    let base = match effective_base(request, &state.config) {
+        Ok(b) => b,
+        Err(e) => return Response::json(400, format!("{{\"error\":{e:?}}}")),
+    };
+    let quality = base.mapper.backend;
+    let key = request_key(&job, &base);
 
     // A client-supplied trace id is adopted verbatim (and force-keeps
     // the trace — the client asked for this one by name); otherwise
@@ -594,7 +619,7 @@ fn handle_compile(state: &Arc<ServerState>, request: &Request, stream: &TcpStrea
             };
             let (outcome, _job_metrics) = compile_job_traced(
                 &job,
-                &leader_batch_config(state, &flight),
+                &leader_batch_config(state, base, &flight),
                 &state.cache,
                 &state.recorder,
                 &tracer,
@@ -610,6 +635,7 @@ fn handle_compile(state: &Arc<ServerState>, request: &Request, stream: &TcpStrea
             store_trace(state, &tracer, client_trace_id.is_some(), t0.elapsed());
             state.coalescer.complete(&key, &flight, outcome.clone());
             with_trace_header(outcome_response(&outcome), &outcome)
+                .with_header("X-Ptmap-Quality", quality.as_str().to_string())
         }
         Join::Follower(flight) => {
             let settled = spawn_disconnect_watcher(state, stream, &flight);
@@ -617,6 +643,7 @@ fn handle_compile(state: &Arc<ServerState>, request: &Request, stream: &TcpStrea
             let already_settled = settled.swap(true, Ordering::AcqRel);
             match result {
                 Some(outcome) => with_trace_header(outcome_response(&outcome), &outcome)
+                    .with_header("X-Ptmap-Quality", quality.as_str().to_string())
                     .with_header("X-Ptmap-Coalesced", "1".to_string()),
                 None => {
                     // Own deadline expired while the leader was still
@@ -698,7 +725,7 @@ fn run_async_job(state: &Arc<ServerState>, spec: &JobSpec) -> JobOutcome {
             let tracer = Tracer::root(&job.name);
             let (outcome, _metrics) = compile_job_traced(
                 &job,
-                &leader_batch_config(state, &flight),
+                &leader_batch_config(state, state.config.base.clone(), &flight),
                 &state.cache,
                 &state.recorder,
                 &tracer,

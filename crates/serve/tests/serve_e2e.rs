@@ -179,6 +179,62 @@ fn concurrent_identical_compiles_share_one_flight() {
 }
 
 #[test]
+fn quality_header_selects_backend_and_splits_the_cache_key() {
+    let (addr, handle, runner) = boot(ServeConfig::default());
+    let spec = compile_spec("tier", "vecsum:8");
+
+    // Default tier: the server's base backend, echoed in the header.
+    let base = http(addr, "POST", "/compile", &[], &spec);
+    assert_eq!(base.status, 200, "{}", base.body);
+    assert_eq!(base.header("x-ptmap-quality"), Some("heuristic"));
+
+    // Exact tier: a different request key, so this is NOT served from
+    // the heuristic-cached entry above.
+    let exact = http(
+        addr,
+        "POST",
+        "/compile",
+        &[("X-Ptmap-Quality", "exact")],
+        &spec,
+    );
+    assert_eq!(exact.status, 200, "{}", exact.body);
+    assert_eq!(exact.header("x-ptmap-quality"), Some("exact"));
+    assert!(
+        exact.body.contains("\"cache_hit\":false"),
+        "exact tier must not alias the heuristic cache entry: {}",
+        exact.body
+    );
+    assert!(
+        exact.body.contains("\"proven_optimal\":true"),
+        "a trivial kernel should be proven optimal in-deadline: {}",
+        exact.body
+    );
+
+    // Repeating the exact-tier request hits the exact-keyed entry.
+    let again = http(
+        addr,
+        "POST",
+        "/compile",
+        &[("X-Ptmap-Quality", "exact")],
+        &spec,
+    );
+    assert!(again.body.contains("\"cache_hit\":true"), "{}", again.body);
+
+    // Unknown tiers are client errors.
+    let bad = http(
+        addr,
+        "POST",
+        "/compile",
+        &[("X-Ptmap-Quality", "speedy")],
+        &spec,
+    );
+    assert_eq!(bad.status, 400, "{}", bad.body);
+
+    handle.shutdown();
+    runner.join().unwrap();
+}
+
+#[test]
 fn expired_deadline_is_rejected_at_admission() {
     let (addr, handle, runner) = boot(ServeConfig::default());
 

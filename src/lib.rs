@@ -6,7 +6,10 @@
 //!
 //! * [`ir`] — affine loop-nest IR, dependence analysis, DFG construction;
 //! * [`arch`] — CGRA architecture models and the time-extended MRRG;
-//! * [`mapper`] — RAMP-like modulo-scheduling loop mapper;
+//! * [`mapper`] — RAMP-like modulo-scheduling loop mapper behind the
+//!   pluggable [`mapper::MapperBackend`] trait;
+//! * [`exact`] — exact branch-and-bound backend and the raced
+//!   heuristic+exact portfolio;
 //! * [`sim`] — cycle-level simulator and energy model;
 //! * [`model`] — analytical performance/memory models;
 //! * [`transform`] — loop index tree and transformation primitives with
@@ -33,6 +36,7 @@ pub use ptmap_arch as arch;
 pub use ptmap_baselines as baselines;
 pub use ptmap_core as core;
 pub use ptmap_eval as eval;
+pub use ptmap_exact as exact;
 pub use ptmap_gnn as gnn;
 pub use ptmap_governor as governor;
 pub use ptmap_ir as ir;
