@@ -134,7 +134,6 @@ impl<'a> Scheduler<'a> {
     ///
     /// As [`Scheduler::run_budgeted`].
     pub fn run_traced(&self, budget: &Budget, tracer: &Tracer) -> Result<Mapping, MapError> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
         // Routing scratch shared by every attempt: the BFS buffers are
         // epoch-stamped, so reuse is O(1) and allocation-free once warm.
         let mut overlay = Overlay::default();
@@ -143,7 +142,7 @@ impl<'a> Scheduler<'a> {
         for ii in start..=self.config.max_ii.max(start) {
             bufs.stats = SearchStats::default();
             let span = tracer.span("ii_attempt");
-            let result = self.run_ii(ii, &mut rng, &mut overlay, &mut bufs, budget);
+            let result = self.run_ii(ii, &mut overlay, &mut bufs, budget);
             if span.enabled() {
                 let stats = bufs.stats;
                 span.attr("backend", "heuristic");
@@ -171,16 +170,38 @@ impl<'a> Scheduler<'a> {
         })
     }
 
+    /// The RNG driving one II rung's randomized restarts.
+    ///
+    /// Each rung's random stream is derived from `(seed, ii)` alone —
+    /// not threaded through from previous rungs — so the search at a
+    /// given II is reproducible in isolation, independent of which
+    /// (and how many) lower rungs ran before it. That independence is
+    /// what lets the speculative ladder race rungs on separate threads
+    /// and still produce mappings bit-identical to the sequential walk.
+    fn rung_rng(&self, ii: u32) -> StdRng {
+        // splitmix64 finalizer over the seed offset by a golden-ratio
+        // multiple of the II: cheap, and decorrelates adjacent rungs
+        // (StdRng seeded from nearby integers would still be fine, but
+        // the mix keeps the streams obviously unrelated).
+        let mut z = self
+            .config
+            .seed
+            .wrapping_add((ii as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        StdRng::seed_from_u64(z ^ (z >> 31))
+    }
+
     /// All restarts at one candidate II. `Ok(None)` means the II is
     /// infeasible within the restart budget and escalation continues.
     fn run_ii(
         &self,
         ii: u32,
-        rng: &mut StdRng,
         overlay: &mut Overlay,
         bufs: &mut RouterBuffers,
         budget: &Budget,
     ) -> Result<Option<Mapping>, MapError> {
+        let rng = &mut self.rung_rng(ii);
         let mrrg = Mrrg::new(self.arch, ii);
         let mut best: Option<Mapping> = None;
         for restart in 0..self.config.restarts_per_ii() {
