@@ -196,12 +196,17 @@ pub(crate) enum IiSearch {
     Infeasible,
     /// The step cap fired before the tree was exhausted — no claim.
     Exhausted,
+    /// The shared upper bound dropped to (or below) this II mid-search:
+    /// a concurrent arm already holds a mapping at least this good, so
+    /// the remaining tree is pointless. No claim about this II.
+    Bounded,
 }
 
 /// Why the depth-first search aborted early.
 enum Stop {
     Budget(MapError),
     Steps,
+    Bound,
 }
 
 /// One placement's trail entry, undone in reverse on backtrack.
@@ -226,13 +231,16 @@ struct Search<'p, 'a> {
     /// Per kind: unoccupied compute slots on capable PEs.
     free: Vec<u32>,
     budget: &'p Budget,
+    /// Shared exclusive upper bound on useful IIs, tightened
+    /// concurrently by whichever arm lands a mapping first.
+    upper: &'p AtomicU32,
     steps: u64,
     step_cap: u64,
     prunes: u64,
 }
 
 impl<'p, 'a> Search<'p, 'a> {
-    fn new(p: &'p Problem<'a>, ii: u32, budget: &'p Budget) -> Self {
+    fn new(p: &'p Problem<'a>, ii: u32, budget: &'p Budget, upper: &'p AtomicU32) -> Self {
         let mrrg = Mrrg::new(p.arch, ii);
         let st = State::new(&mrrg, p.dfg.len());
         let free = p
@@ -250,6 +258,7 @@ impl<'p, 'a> Search<'p, 'a> {
             remaining: p.demand.clone(),
             free,
             budget,
+            upper,
             steps: 0,
             step_cap: p.config.exact_steps_per_ii.max(1),
             prunes: 0,
@@ -298,6 +307,14 @@ impl<'p, 'a> Search<'p, 'a> {
                     self.budget
                         .check()
                         .map_err(|e| Stop::Budget(MapError::from(e)))?;
+                    // A concurrent arm tightening the shared bound to
+                    // (or below) this II makes the rest of this tree
+                    // pointless — without this mid-rung check a
+                    // heuristic win would leave the exact arm grinding
+                    // a doomed search until its own rung boundary.
+                    if self.upper.load(Ordering::Acquire) <= self.ii {
+                        return Err(Stop::Bound);
+                    }
                 }
                 if self.steps > self.step_cap {
                     return Err(Stop::Steps);
@@ -482,11 +499,12 @@ pub(crate) fn search_ii(
     p: &Problem<'_>,
     ii: u32,
     budget: &Budget,
+    upper: &AtomicU32,
     tracer: &Tracer,
     steps_total: &mut u64,
 ) -> Result<IiSearch, MapError> {
     let span = tracer.span("ii_attempt");
-    let mut s = Search::new(p, ii, budget);
+    let mut s = Search::new(p, ii, budget, upper);
     let result = s.run();
     if span.enabled() {
         span.attr("backend", "exact");
@@ -500,6 +518,7 @@ pub(crate) fn search_ii(
                 Ok(IiSearch::Feasible(_)) => "feasible",
                 Ok(IiSearch::Infeasible) => "infeasible",
                 Ok(IiSearch::Exhausted) | Err(Stop::Steps) => "step_limit",
+                Ok(IiSearch::Bounded) | Err(Stop::Bound) => "bounded",
                 Err(Stop::Budget(_)) => "budget",
             },
         );
@@ -509,6 +528,7 @@ pub(crate) fn search_ii(
     match result {
         Ok(r) => Ok(r),
         Err(Stop::Steps) => Ok(IiSearch::Exhausted),
+        Err(Stop::Bound) => Ok(IiSearch::Bounded),
         Err(Stop::Budget(e)) => Err(e),
     }
 }
@@ -539,7 +559,7 @@ pub(crate) fn sweep(
     let start = p.mii.max(1);
     let mut ii = start;
     while ii < upper.load(Ordering::Acquire) && ii <= p.config.max_ii.max(start) {
-        match search_ii(p, ii, budget, tracer, &mut steps)? {
+        match search_ii(p, ii, budget, upper, tracer, &mut steps)? {
             IiSearch::Feasible(mapping) => {
                 validate::validate(p.dfg, p.arch, &mapping)
                     .map_err(|v| MapError::BrokenInvariant(v.to_string()))?;
@@ -547,6 +567,10 @@ pub(crate) fn sweep(
             }
             IiSearch::Infeasible => ii += 1,
             IiSearch::Exhausted => return Ok(SweepEnd::Exhausted { steps }),
+            // The bound dropped mid-rung: IIs below `ii` stay proven
+            // infeasible, `ii` itself gets no claim. The abort's steps
+            // are already in `steps`.
+            IiSearch::Bounded => break,
         }
     }
     Ok(SweepEnd::ProvenUpTo { next_ii: ii, steps })

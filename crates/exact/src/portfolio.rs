@@ -89,90 +89,202 @@ impl MapperBackend for PortfolioBackend {
             )
         });
         let losers_cancelled = cancels.load(Ordering::Relaxed);
+        resolve(h_res, e_res, losers_cancelled, start, max_ii)
+    }
+}
 
-        match (h_res, e_res) {
-            (Ok(h), Ok(SweepEnd::Found { mapping, steps })) => {
-                if mapping.ii < h.mapping.ii {
-                    Ok(BackendOutcome {
-                        ii_opt: Some(mapping.ii),
-                        heuristic_ii: Some(h.mapping.ii),
-                        backend: "exact",
-                        proven_optimal: true,
-                        exact_steps: steps,
-                        losers_cancelled,
-                        mapping: *mapping,
-                    })
-                } else {
-                    // Tie (or a racy find at/above the heuristic's II):
-                    // the exact arm still proved everything below its
-                    // find infeasible, which covers the heuristic's II.
-                    Ok(BackendOutcome {
-                        ii_opt: Some(h.mapping.ii),
-                        heuristic_ii: Some(h.mapping.ii),
-                        backend: "heuristic",
-                        proven_optimal: true,
-                        exact_steps: steps,
-                        losers_cancelled,
-                        mapping: h.mapping,
-                    })
-                }
-            }
-            (Ok(h), Ok(SweepEnd::ProvenUpTo { next_ii, steps })) => {
-                let proven = h.proven_optimal || next_ii >= h.mapping.ii;
+/// Combines the two arms' results into one outcome. Pure so the
+/// race-dependent combinations — several of which no deterministic
+/// test can force through the real thread race — are directly
+/// testable.
+fn resolve(
+    h_res: Result<BackendOutcome, MapError>,
+    e_res: Result<SweepEnd, MapError>,
+    losers_cancelled: u32,
+    start: u32,
+    max_ii: u32,
+) -> Result<BackendOutcome, MapError> {
+    match (h_res, e_res) {
+        (Ok(h), Ok(SweepEnd::Found { mapping, steps })) => {
+            if mapping.ii < h.mapping.ii {
                 Ok(BackendOutcome {
-                    ii_opt: proven.then_some(h.mapping.ii),
+                    ii_opt: Some(mapping.ii),
+                    heuristic_ii: Some(h.mapping.ii),
+                    backend: "exact",
+                    proven_optimal: true,
+                    exact_steps: steps,
+                    losers_cancelled,
+                    mapping: *mapping,
+                })
+            } else if mapping.ii == h.mapping.ii {
+                // Tie: the exact arm proved everything below its find
+                // infeasible, which covers the heuristic's II. Ties go
+                // to the heuristic's mapping (deterministic output).
+                Ok(BackendOutcome {
+                    ii_opt: Some(h.mapping.ii),
                     heuristic_ii: Some(h.mapping.ii),
                     backend: "heuristic",
-                    proven_optimal: proven,
+                    proven_optimal: true,
                     exact_steps: steps,
                     losers_cancelled,
                     mapping: h.mapping,
                 })
+            } else {
+                // An exact find strictly *above* the heuristic's II
+                // means the bottom-up sweep "proved" the heuristic's
+                // II infeasible while the heuristic holds a validated
+                // mapping at that very II — the canonical search space
+                // missed a mapping it claims cannot exist. Surface the
+                // contradiction instead of stamping `proven_optimal`
+                // on it.
+                Err(MapError::BrokenInvariant(format!(
+                    "portfolio: exact bottom-up find at II {} contradicts the \
+                     heuristic's validated mapping at II {} (the infeasibility \
+                     proof for [{}, {}) cannot be sound)",
+                    mapping.ii, h.mapping.ii, start, mapping.ii
+                )))
             }
-            (Ok(h), Ok(SweepEnd::Exhausted { steps })) => Ok(BackendOutcome {
+        }
+        (Ok(h), Ok(SweepEnd::ProvenUpTo { next_ii, steps })) => {
+            let proven = h.proven_optimal || next_ii >= h.mapping.ii;
+            Ok(BackendOutcome {
+                ii_opt: proven.then_some(h.mapping.ii),
+                heuristic_ii: Some(h.mapping.ii),
+                backend: "heuristic",
+                proven_optimal: proven,
+                exact_steps: steps,
+                losers_cancelled,
+                mapping: h.mapping,
+            })
+        }
+        (Ok(h), Ok(SweepEnd::Exhausted { steps })) => Ok(BackendOutcome {
+            ii_opt: h.ii_opt,
+            heuristic_ii: Some(h.mapping.ii),
+            backend: "heuristic",
+            proven_optimal: h.proven_optimal,
+            exact_steps: steps,
+            losers_cancelled,
+            mapping: h.mapping,
+        }),
+        (Ok(h), Err(e)) => match e {
+            // The exact arm losing to cancellation or the deadline
+            // is the portfolio working as intended.
+            MapError::Cancelled | MapError::Timeout => Ok(BackendOutcome {
                 ii_opt: h.ii_opt,
                 heuristic_ii: Some(h.mapping.ii),
                 backend: "heuristic",
                 proven_optimal: h.proven_optimal,
-                exact_steps: steps,
+                exact_steps: 0,
                 losers_cancelled,
                 mapping: h.mapping,
             }),
-            (Ok(h), Err(e)) => match e {
-                // The exact arm losing to cancellation or the deadline
-                // is the portfolio working as intended.
-                MapError::Cancelled | MapError::Timeout => Ok(BackendOutcome {
-                    ii_opt: h.ii_opt,
-                    heuristic_ii: Some(h.mapping.ii),
-                    backend: "heuristic",
-                    proven_optimal: h.proven_optimal,
-                    exact_steps: 0,
-                    losers_cancelled,
-                    mapping: h.mapping,
-                }),
-                // Anything else (a broken invariant) is a real bug.
-                other => Err(other),
-            },
-            (Err(_), Ok(SweepEnd::Found { mapping, steps })) => Ok(BackendOutcome {
-                ii_opt: Some(mapping.ii),
-                heuristic_ii: None,
-                backend: "exact",
-                proven_optimal: true,
-                exact_steps: steps,
-                losers_cancelled,
-                mapping: *mapping,
-            }),
-            (Err(h_err), Ok(SweepEnd::ProvenUpTo { next_ii, .. })) => {
-                if next_ii > max_ii {
-                    // The exact arm proved the entire II range
-                    // infeasible — a definitive answer even when the
-                    // heuristic timed out.
-                    Err(MapError::Infeasible { mii: start, max_ii })
-                } else {
-                    Err(h_err)
-                }
+            // Anything else (a broken invariant) is a real bug.
+            other => Err(other),
+        },
+        (Err(_), Ok(SweepEnd::Found { mapping, steps })) => Ok(BackendOutcome {
+            ii_opt: Some(mapping.ii),
+            heuristic_ii: None,
+            backend: "exact",
+            proven_optimal: true,
+            exact_steps: steps,
+            losers_cancelled,
+            mapping: *mapping,
+        }),
+        (Err(h_err), Ok(SweepEnd::ProvenUpTo { next_ii, .. })) => {
+            if next_ii > max_ii {
+                // The exact arm proved the entire II range
+                // infeasible — a definitive answer even when the
+                // heuristic timed out.
+                Err(MapError::Infeasible { mii: start, max_ii })
+            } else {
+                Err(h_err)
             }
-            (Err(h_err), _) => Err(h_err),
         }
+        (Err(h_err), _) => Err(h_err),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptmap_arch::presets;
+    use ptmap_ir::{Dfg, OpKind};
+    use ptmap_mapper::map_dfg;
+
+    /// A real heuristic outcome plus a mapping to mutate: `resolve` is
+    /// pure, so the race-ordering-dependent combinations are staged
+    /// directly instead of through the (unforceable) thread race.
+    fn fixtures() -> (BackendOutcome, ptmap_mapper::Mapping) {
+        let mut dfg = Dfg::new();
+        let a = dfg.add_node(OpKind::Add, None, None);
+        let b = dfg.add_node(OpKind::Mul, None, None);
+        let c = dfg.add_node(OpKind::Sub, None, None);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, c, 0);
+        dfg.add_edge(c, a, 1);
+        let mapping = map_dfg(&dfg, &presets::s4(), &MapperConfig::default()).unwrap();
+        let h = BackendOutcome {
+            ii_opt: None,
+            heuristic_ii: Some(mapping.ii),
+            backend: "heuristic",
+            proven_optimal: false,
+            exact_steps: 0,
+            losers_cancelled: 0,
+            mapping: mapping.clone(),
+        };
+        (h, mapping)
+    }
+
+    #[test]
+    fn exact_find_below_heuristic_wins_with_proof() {
+        let (mut h, mut found) = fixtures();
+        h.mapping.ii += 2;
+        h.heuristic_ii = Some(h.mapping.ii);
+        found.ii = h.mapping.ii - 1;
+        let e = SweepEnd::Found {
+            mapping: Box::new(found.clone()),
+            steps: 9,
+        };
+        let out = resolve(Ok(h), Ok(e), 1, 1, 20).unwrap();
+        assert_eq!(out.backend, "exact");
+        assert!(out.proven_optimal);
+        assert_eq!(out.ii_opt, Some(found.ii));
+        assert_eq!(out.exact_steps, 9);
+    }
+
+    #[test]
+    fn exact_find_tying_heuristic_keeps_heuristic_mapping() {
+        let (h, found) = fixtures();
+        let h_mapping = h.mapping.clone();
+        let e = SweepEnd::Found {
+            mapping: Box::new(found),
+            steps: 4,
+        };
+        let out = resolve(Ok(h), Ok(e), 0, 1, 20).unwrap();
+        assert_eq!(out.backend, "heuristic");
+        assert!(out.proven_optimal);
+        assert_eq!(out.ii_opt, Some(h_mapping.ii));
+        assert_eq!(out.mapping, h_mapping);
+    }
+
+    #[test]
+    fn exact_find_above_heuristic_is_a_broken_invariant_not_a_proof() {
+        // Regression: this race outcome used to be folded into the tie
+        // branch and labeled `proven_optimal: true` — but an exact find
+        // strictly above the heuristic's II means the bottom-up sweep
+        // "proved" infeasible an II the heuristic validly mapped.
+        let (h, mut found) = fixtures();
+        let h_ii = h.mapping.ii;
+        found.ii += 1;
+        let e = SweepEnd::Found {
+            mapping: Box::new(found.clone()),
+            steps: 4,
+        };
+        let err = resolve(Ok(h), Ok(e), 0, 1, 20).unwrap_err();
+        let MapError::BrokenInvariant(msg) = err else {
+            panic!("expected BrokenInvariant, got {err:?}");
+        };
+        assert!(msg.contains(&format!("II {}", found.ii)), "{msg}");
+        assert!(msg.contains(&format!("II {h_ii}")), "{msg}");
     }
 }

@@ -151,3 +151,39 @@ fn portfolio_without_faults_matches_heuristic_ii_or_better() {
     );
     ptmap_mapper::validate(&dfg, &arch, &out.mapping).expect("portfolio mapping validates");
 }
+
+#[test]
+fn racy_exact_find_never_yields_a_contradictory_proof() {
+    let _serial = FAULT_LOCK.lock().unwrap();
+    // Wedge the heuristic arm's restarts so the exact sweep's find
+    // races the heuristic's landing instead of the usual
+    // heuristic-first order; the exact find then arrives while the
+    // heuristic arm is still mid-flight.
+    let _fault = faultpoint::install("mapper_place:delay:40").unwrap();
+    let dfg = small_kernel();
+    let arch = presets::s4();
+    let cfg = MapperConfig::default();
+    match PortfolioBackend.map(&dfg, &arch, &cfg, &Budget::unlimited(), &Tracer::disabled()) {
+        Ok(out) => {
+            // Whichever arm won the race, the optimality claim must be
+            // self-consistent: a proven outcome pins `ii_opt` to the
+            // returned mapping's II, the winner never exceeds the
+            // heuristic's II, and the mapping validates.
+            if out.proven_optimal {
+                assert_eq!(out.ii_opt, Some(out.mapping.ii));
+            }
+            if let Some(h_ii) = out.heuristic_ii {
+                assert!(out.mapping.ii <= h_ii, "winner above heuristic II");
+            }
+            ptmap_mapper::validate(&dfg, &arch, &out.mapping).unwrap();
+        }
+        // The heuristic arm losing to the exact win's cancellation is
+        // the race working as intended.
+        Err(MapError::Cancelled | MapError::Timeout) => {}
+        // A contradictory bottom-up proof must surface as the
+        // structured invariant error — but for this kernel both search
+        // spaces agree, so reaching it means the resolution logic (not
+        // the search) regressed.
+        Err(e) => panic!("unexpected portfolio error {e:?}"),
+    }
+}

@@ -205,31 +205,43 @@ impl<'a> Scheduler<'a> {
         let mrrg = Mrrg::new(self.arch, ii);
         let mut best: Option<Mapping> = None;
         for restart in 0..self.config.restarts_per_ii() {
-            // Fault-injection hook: `delay` here simulates a wedged
-            // placement engine (which the budget then catches) and
-            // `panic`/`error` exercise the caller's isolation.
-            faultpoint::fail_point(faultpoint::sites::MAPPER_PLACE)
-                .map_err(|e| MapError::Fault(e.site))?;
-            budget.check()?;
-            bufs.stats.restarts += 1;
-            // Alternate ordering strategies across restarts:
-            // criticality-first packs recurrences tightly; pure
-            // topological order never collapses a producer's window.
-            let order = if restart % 2 == 0 {
-                self.criticality_order(rng, restart > 0)
-            } else {
-                self.topo_order(rng, restart > 1)
-            };
-            if let Some(m) = self.attempt(ii, &mrrg, &order, rng, overlay, bufs, budget)? {
-                if !self.config.polish_schedule() {
-                    return Ok(Some(m));
+            let result = (|| {
+                // Fault-injection hook: `delay` here simulates a wedged
+                // placement engine (which the budget then catches) and
+                // `panic`/`error` exercise the caller's isolation.
+                faultpoint::fail_point(faultpoint::sites::MAPPER_PLACE)
+                    .map_err(|e| MapError::Fault(e.site))?;
+                budget.check()?;
+                bufs.stats.restarts += 1;
+                // Alternate ordering strategies across restarts:
+                // criticality-first packs recurrences tightly; pure
+                // topological order never collapses a producer's window.
+                let order = if restart % 2 == 0 {
+                    self.criticality_order(rng, restart > 0)
+                } else {
+                    self.topo_order(rng, restart > 1)
+                };
+                self.attempt(ii, &mrrg, &order, rng, overlay, bufs, budget)
+            })();
+            match result {
+                Ok(Some(m)) => {
+                    if !self.config.polish_schedule() {
+                        return Ok(Some(m));
+                    }
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| m.schedule_length < b.schedule_length)
+                    {
+                        best = Some(m);
+                    }
                 }
-                if best
-                    .as_ref()
-                    .is_none_or(|b| m.schedule_length < b.schedule_length)
-                {
-                    best = Some(m);
-                }
+                Ok(None) => {}
+                // Polish restarts are opportunistic: once a complete
+                // mapping exists, a budget expiry or injected fault in
+                // a *later* restart must not throw it away — return
+                // the mapping, not Timeout/Cancelled.
+                Err(_) if best.is_some() => return Ok(best),
+                Err(e) => return Err(e),
             }
         }
         Ok(best)
@@ -856,5 +868,33 @@ mod tests {
             )
         });
         assert_eq!(r, Err(MapError::Fault("mapper_place".to_string())));
+    }
+
+    #[test]
+    fn found_mapping_survives_budget_expiry_in_polish_restart() {
+        // Regression: with polish on (effort >= 2), `run_ii` keeps
+        // searching after the first complete mapping. A deadline that
+        // expires during one of those *later* restarts used to
+        // propagate Timeout from `budget.check()` and drop the
+        // already-found mapping. Wedge every restart with an injected
+        // delay so restart 0 succeeds within the deadline and a later
+        // restart reliably lands past it.
+        let _guard =
+            ptmap_governor::faultpoint::install("mapper_place:delay:150@keep-best").unwrap();
+        use ptmap_ir::OpKind;
+        let mut dfg = ptmap_ir::Dfg::new();
+        let a = dfg.add_node(OpKind::Add, None, None);
+        let b = dfg.add_node(OpKind::Mul, None, None);
+        let c = dfg.add_node(OpKind::Add, None, None);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, c, 0);
+        let cfg = MapperConfig::default().with_effort(2);
+        let budget = ptmap_governor::Budget::with_deadline(std::time::Duration::from_millis(400));
+        let m = ptmap_governor::faultpoint::with_scope("keep-best", || {
+            crate::map_dfg_budgeted(&dfg, &presets::s4(), &cfg, &budget)
+        })
+        .expect("the mapping found before the deadline expired must be returned");
+        assert_eq!(m.placements.len(), dfg.len());
+        crate::validate::validate(&dfg, &presets::s4(), &m).unwrap();
     }
 }
