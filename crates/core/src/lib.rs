@@ -496,6 +496,7 @@ impl PtMap {
             }
             m.exact_optimality_proofs += outcome.proven_optimal as usize;
             m.portfolio_cancellations += outcome.losers_cancelled as usize;
+            m.speculative_rungs_cancelled += outcome.speculative_cancelled as usize;
             let mapping = outcome.mapping;
             // map_dfg validates internally when enabled; an accepted
             // mapping was therefore also a validated one.

@@ -114,6 +114,7 @@ fn resolve(
                     proven_optimal: true,
                     exact_steps: steps,
                     losers_cancelled,
+                    speculative_cancelled: h.speculative_cancelled,
                     mapping: *mapping,
                 })
             } else if mapping.ii == h.mapping.ii {
@@ -127,6 +128,7 @@ fn resolve(
                     proven_optimal: true,
                     exact_steps: steps,
                     losers_cancelled,
+                    speculative_cancelled: h.speculative_cancelled,
                     mapping: h.mapping,
                 })
             } else {
@@ -154,6 +156,7 @@ fn resolve(
                 proven_optimal: proven,
                 exact_steps: steps,
                 losers_cancelled,
+                speculative_cancelled: h.speculative_cancelled,
                 mapping: h.mapping,
             })
         }
@@ -164,6 +167,7 @@ fn resolve(
             proven_optimal: h.proven_optimal,
             exact_steps: steps,
             losers_cancelled,
+            speculative_cancelled: h.speculative_cancelled,
             mapping: h.mapping,
         }),
         (Ok(h), Err(e)) => match e {
@@ -176,6 +180,7 @@ fn resolve(
                 proven_optimal: h.proven_optimal,
                 exact_steps: 0,
                 losers_cancelled,
+                speculative_cancelled: h.speculative_cancelled,
                 mapping: h.mapping,
             }),
             // Anything else (a broken invariant) is a real bug.
@@ -188,6 +193,7 @@ fn resolve(
             proven_optimal: true,
             exact_steps: steps,
             losers_cancelled,
+            speculative_cancelled: 0,
             mapping: *mapping,
         }),
         (Err(h_err), Ok(SweepEnd::ProvenUpTo { next_ii, .. })) => {
@@ -230,6 +236,7 @@ mod tests {
             proven_optimal: false,
             exact_steps: 0,
             losers_cancelled: 0,
+            speculative_cancelled: 0,
             mapping: mapping.clone(),
         };
         (h, mapping)

@@ -49,7 +49,7 @@ pub mod state;
 pub mod validate;
 
 pub use backend::{BackendKind, BackendOutcome, HeuristicBackend, MapperBackend};
-pub use config::MapperConfig;
+pub use config::{MapperConfig, Speculation};
 pub use context::{generate_contexts, ContextImage, ContextWord};
 pub use error::MapError;
 pub use mapping::{Mapping, OperandSource, Placement, ProducerRoutes, RoutePos, RouteRecord};
@@ -122,9 +122,30 @@ pub fn map_dfg_traced(
     budget: &ptmap_governor::Budget,
     tracer: &ptmap_trace::Tracer,
 ) -> Result<Mapping, MapError> {
-    let m = scheduler::Scheduler::new(dfg, arch, config)?.run_traced(budget, tracer)?;
+    map_dfg_traced_counted(dfg, arch, config, budget, tracer).map(|(m, _)| m)
+}
+
+/// [`map_dfg_traced`], additionally reporting how many speculative
+/// ladder rungs were cancelled mid-flight by a lower II's success
+/// (always 0 with [`config::Speculation::Off`]; see
+/// [`scheduler::Scheduler::run_traced_counted`]). This is the entry
+/// point backends use to surface the count on
+/// [`backend::BackendOutcome::speculative_cancelled`].
+///
+/// # Errors
+///
+/// As [`map_dfg_budgeted`].
+pub fn map_dfg_traced_counted(
+    dfg: &Dfg,
+    arch: &CgraArch,
+    config: &MapperConfig,
+    budget: &ptmap_governor::Budget,
+    tracer: &ptmap_trace::Tracer,
+) -> Result<(Mapping, u32), MapError> {
+    let (m, cancelled) =
+        scheduler::Scheduler::new(dfg, arch, config)?.run_traced_counted(budget, tracer)?;
     if validation_enabled(config) {
         validate::validate(dfg, arch, &m).map_err(|v| MapError::BrokenInvariant(v.to_string()))?;
     }
-    Ok(m)
+    Ok((m, cancelled))
 }

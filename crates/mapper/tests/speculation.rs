@@ -1,0 +1,293 @@
+//! Determinism suite for the speculative II ladder.
+//!
+//! The contract under test (DESIGN.md, "Speculative II ladder"): for a
+//! fixed seed, the mapping produced with speculation on — at any wave
+//! width, fixed or adaptive — is *bit-identical* to the sequential
+//! ladder's, because each rung's RNG derives from `(seed, ii)` alone
+//! and rungs never exchange search state. Speculation may only change
+//! wall clock, never results.
+
+use proptest::prelude::*;
+use ptmap_arch::presets;
+use ptmap_ir::dfg::build_dfg;
+use ptmap_ir::{Dfg, OpKind, Program, ProgramBuilder};
+use ptmap_mapper::{map_dfg, validate, MapError, MapperConfig, Speculation};
+
+const WIDTHS: [Speculation; 4] = [
+    Speculation::Fixed(1),
+    Speculation::Fixed(2),
+    Speculation::Fixed(4),
+    Speculation::Auto,
+];
+
+fn gemm(n: u64) -> Program {
+    let mut b = ProgramBuilder::new("gemm");
+    let a = b.array("A", &[n, n]);
+    let bb = b.array("B", &[n, n]);
+    let c = b.array("C", &[n, n]);
+    let i = b.open_loop("i", n);
+    let j = b.open_loop("j", n);
+    let k = b.open_loop("k", n);
+    let prod = b.mul(
+        b.load(a, &[b.idx(i), b.idx(k)]),
+        b.load(bb, &[b.idx(k), b.idx(j)]),
+    );
+    let sum = b.add(b.load(c, &[b.idx(i), b.idx(j)]), prod);
+    b.store(c, &[b.idx(i), b.idx(j)], sum);
+    b.close_loop();
+    b.close_loop();
+    b.close_loop();
+    b.finish()
+}
+
+/// Kernels whose II escalates past the MII — the cases where rungs
+/// actually race — plus an easy one that lands on the first rung.
+fn suite() -> Vec<(&'static str, Dfg, ptmap_arch::CgraArch)> {
+    let p = gemm(24);
+    let nest = p.perfect_nests().remove(0);
+    let plain = build_dfg(&p, &nest, &[]).unwrap();
+    let (i, j) = (nest.loops[0], nest.loops[1]);
+    let unrolled = build_dfg(&p, &nest, &[(i, 2), (j, 2)]).unwrap();
+    vec![
+        ("gemm24_s4", plain.clone(), presets::s4()),
+        ("gemm24_r4", plain, presets::r4()),
+        ("gemm24_u2x2_s4", unrolled.clone(), presets::s4()),
+        ("gemm24_u2x2_sl8", unrolled, presets::sl8()),
+    ]
+}
+
+#[test]
+fn fixed_seed_mappings_bit_identical_across_widths() {
+    for (name, dfg, arch) in suite() {
+        let sequential = map_dfg(&dfg, &arch, &MapperConfig::default()).unwrap();
+        assert!(
+            sequential.ii > sequential.mii || name == "gemm24_u2x2_sl8",
+            "{name}: want at least one escalating case in the suite (ii {} mii {})",
+            sequential.ii,
+            sequential.mii
+        );
+        for spec in WIDTHS {
+            let cfg = MapperConfig::default().with_speculation(spec);
+            let speculated = map_dfg(&dfg, &arch, &cfg).unwrap();
+            assert_eq!(
+                sequential, speculated,
+                "{name}: mapping diverged at speculation {spec}"
+            );
+            validate(&dfg, &arch, &speculated).unwrap();
+        }
+    }
+}
+
+#[test]
+fn speculation_is_deterministic_run_to_run() {
+    let (_, dfg, arch) = suite().remove(2);
+    let cfg = MapperConfig::default().with_speculation(Speculation::Fixed(4));
+    let a = map_dfg(&dfg, &arch, &cfg).unwrap();
+    let b = map_dfg(&dfg, &arch, &cfg).unwrap();
+    assert_eq!(a, b, "two speculative runs of the same seed diverged");
+}
+
+#[test]
+fn speculation_respects_seed_changes() {
+    // Different seeds may map differently; the on/off equivalence must
+    // hold per seed, not just for the default.
+    let (_, dfg, arch) = suite().remove(2);
+    for seed in [1u64, 0xDEAD_BEEF, u64::MAX] {
+        let seq = map_dfg(&dfg, &arch, &MapperConfig::default().with_seed(seed)).unwrap();
+        let spec = map_dfg(
+            &dfg,
+            &arch,
+            &MapperConfig::default()
+                .with_seed(seed)
+                .with_speculation(Speculation::Fixed(3)),
+        )
+        .unwrap();
+        assert_eq!(seq, spec, "seed {seed:#x} diverged under speculation");
+    }
+}
+
+#[test]
+fn cancelled_budget_stops_speculative_mapping() {
+    let (_, dfg, arch) = suite().remove(0);
+    let budget = ptmap_governor::Budget::cancellable();
+    budget.cancel();
+    let cfg = MapperConfig::default().with_speculation(Speculation::Fixed(4));
+    assert_eq!(
+        ptmap_mapper::map_dfg_budgeted(&dfg, &arch, &cfg, &budget),
+        Err(MapError::Cancelled),
+        "a pre-cancelled parent budget must cancel every speculative rung"
+    );
+}
+
+#[test]
+fn expired_deadline_times_out_speculative_mapping() {
+    let (_, dfg, arch) = suite().remove(0);
+    let budget = ptmap_governor::Budget::with_deadline(std::time::Duration::ZERO);
+    let cfg = MapperConfig::default().with_speculation(Speculation::Auto);
+    assert_eq!(
+        ptmap_mapper::map_dfg_budgeted(&dfg, &arch, &cfg, &budget),
+        Err(MapError::Timeout)
+    );
+}
+
+#[test]
+fn work_limited_budget_stays_on_the_metered_sequential_path() {
+    // Scoped children never inherit the work counter, so the
+    // speculative ladder falls back to the sequential walk for metered
+    // budgets — the two-unit budget must exhaust exactly as it does
+    // with speculation off (see `work_limit_exhausts_as_timeout`).
+    let (_, dfg, arch) = suite().remove(0);
+    let budget = ptmap_governor::Budget::with_work_limit(2);
+    let cfg = MapperConfig::default().with_speculation(Speculation::Fixed(4));
+    assert_eq!(
+        ptmap_mapper::map_dfg_budgeted(&dfg, &arch, &cfg, &budget),
+        Err(MapError::Timeout)
+    );
+}
+
+#[test]
+fn speculative_rung_spans_carry_speculated_and_cancelled_attrs() {
+    let (_, dfg, arch) = suite().remove(2); // escalates: rungs race
+    let cfg = MapperConfig::default().with_speculation(Speculation::Fixed(4));
+    let tracer = ptmap_trace::Tracer::root("spec");
+    let m = ptmap_mapper::map_dfg_traced(
+        &dfg,
+        &arch,
+        &cfg,
+        &ptmap_governor::Budget::unlimited(),
+        &tracer,
+    )
+    .unwrap();
+    let trace = tracer.finish().unwrap();
+    let attempts: Vec<_> = trace.spans_named("ii_attempt").collect();
+    assert!(!attempts.is_empty());
+    let attr = |span: &ptmap_trace::SpanRecord, name: &str| {
+        span.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.clone())
+    };
+    // Spans are created in ascending II order, one per rung tried.
+    let iis: Vec<u64> = attempts
+        .iter()
+        .map(|s| match attr(s, "ii") {
+            Some(ptmap_trace::AttrValue::UInt(ii)) => ii,
+            other => panic!("ii attr missing or mistyped: {other:?}"),
+        })
+        .collect();
+    let mut sorted = iis.clone();
+    sorted.sort_unstable();
+    assert_eq!(iis, sorted, "rung spans out of ascending II order");
+    for span in &attempts {
+        assert_eq!(
+            attr(span, "speculated"),
+            Some(ptmap_trace::AttrValue::Bool(true))
+        );
+        assert!(
+            matches!(
+                attr(span, "cancelled"),
+                Some(ptmap_trace::AttrValue::Bool(_))
+            ),
+            "cancelled attr missing"
+        );
+        for counter in ["restarts", "placements_tried", "backtracks"] {
+            assert!(
+                matches!(attr(span, counter), Some(ptmap_trace::AttrValue::UInt(_))),
+                "missing counter {counter}"
+            );
+        }
+    }
+    // The lowest successful rung is the winner, at the accepted II.
+    // (Higher rungs may also record success=true: an easier rung can
+    // finish before the winner's cancellation reaches it. They must
+    // all sit above the accepted II.)
+    let winner_iis: Vec<u64> = attempts
+        .iter()
+        .filter(|s| attr(s, "success") == Some(ptmap_trace::AttrValue::Bool(true)))
+        .map(|s| match attr(s, "ii") {
+            Some(ptmap_trace::AttrValue::UInt(ii)) => ii,
+            other => panic!("winner without ii: {other:?}"),
+        })
+        .collect();
+    assert_eq!(
+        winner_iis.iter().min().copied(),
+        Some(m.ii as u64),
+        "lowest successful rung must be the accepted II"
+    );
+    // A cancelled rung can only sit above the winning II.
+    for span in &attempts {
+        if attr(span, "cancelled") == Some(ptmap_trace::AttrValue::Bool(true)) {
+            let Some(ptmap_trace::AttrValue::UInt(ii)) = attr(span, "ii") else {
+                panic!("cancelled rung without ii");
+            };
+            assert!(
+                ii > m.ii as u64,
+                "rung at II {ii} below winner was cancelled"
+            );
+        }
+    }
+}
+
+const OPS: [OpKind; 5] = [
+    OpKind::Add,
+    OpKind::Sub,
+    OpKind::Mul,
+    OpKind::Xor,
+    OpKind::Min,
+];
+
+/// Random well-formed DFG (same recipe as `prop_mapping`): forward
+/// edges keep the distance-0 subgraph acyclic, backward/self edges
+/// carry positive distance.
+fn build(n_nodes: usize, ops: &[u64], edges: &[(u64, u64, u32)]) -> Dfg {
+    let mut dfg = Dfg::new();
+    let ids: Vec<_> = (0..n_nodes)
+        .map(|i| dfg.add_node(OPS[(ops[i % ops.len()] as usize) % OPS.len()], None, None))
+        .collect();
+    for &(a, b, d) in edges {
+        let src = (a as usize) % n_nodes;
+        let dst = (b as usize) % n_nodes;
+        if src < dst {
+            dfg.add_edge(ids[src], ids[dst], d);
+        } else {
+            dfg.add_edge(ids[src], ids[dst], d.max(1));
+        }
+    }
+    dfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The speculative ladder accepts exactly the II the sequential
+    /// one does (and the identical mapping), over random DFGs, arches,
+    /// widths, and seeds; infeasible stays infeasible.
+    #[test]
+    fn speculative_ladder_matches_sequential(
+        n_nodes in 2usize..10,
+        ops in proptest::collection::vec(0u64..OPS.len() as u64, 10..11),
+        edges in proptest::collection::vec((0u64..64, 0u64..64, 0u32..3), 0..14),
+        arch_pick in 0u32..3,
+        width in 2u32..=4,
+        auto in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let dfg = build(n_nodes, &ops, &edges);
+        let arch = match arch_pick {
+            0 => presets::s4(),
+            1 => presets::r4(),
+            _ => presets::sl8(),
+        };
+        let base = MapperConfig::default().with_seed(seed);
+        let spec = if auto { Speculation::Auto } else { Speculation::Fixed(width) };
+        let seq = map_dfg(&dfg, &arch, &base);
+        let par = map_dfg(&dfg, &arch, &base.clone().with_speculation(spec));
+        match (seq, par) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(&a, &b, "mapping diverged at {}", spec);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "feasibility diverged: seq {:?} vs spec {:?}", a, b),
+        }
+    }
+}
