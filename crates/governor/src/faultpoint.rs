@@ -17,7 +17,12 @@
 //! * `error` — return a structured [`FaultError`] from the site;
 //! * `delay[:<ms>]` — sleep `<ms>` milliseconds (default 100) and then
 //!   succeed, simulating a wedged dependency so deadlines can be
-//!   proven to fire.
+//!   proven to fire;
+//! * `refuse` — return a [`FaultError`] with [`FaultError::refused`]
+//!   set, *without* any delay: the network-shaped failure of a peer
+//!   whose port is closed (connection refused). The gateway maps it to
+//!   a connect error, so retry/breaker paths are testable in-process
+//!   without killing real daemons.
 //!
 //! The optional `@<scope>` suffix restricts a fault to call sites whose
 //! thread-local scope (set by the batch scheduler to the job name via
@@ -42,18 +47,35 @@ pub mod sites {
     pub const PREDICTOR_LOAD: &str = "predictor_load";
     /// Spawning a batch worker thread (`ptmap-pipeline`).
     pub const WORKER_SPAWN: &str = "worker_spawn";
+    /// One gateway→peer request forward (`ptmap-serve`). Scoped to the
+    /// peer address, so `refuse@127.0.0.1:PORT` kills one peer's
+    /// forwarding path deterministically.
+    pub const GATEWAY_FORWARD: &str = "gateway_forward";
+    /// One gateway health probe of a peer (`ptmap-serve`). Scoped to
+    /// the peer address, like [`GATEWAY_FORWARD`].
+    pub const PEER_HEALTH: &str = "peer_health";
 }
 
-/// The structured error an `error`-mode fault surfaces at its site.
+/// The structured error an `error`- or `refuse`-mode fault surfaces at
+/// its site.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultError {
     /// The site that fired.
     pub site: String,
+    /// True for `refuse`-mode faults: the failure is network-shaped
+    /// (connection refused) rather than an internal error. Callers
+    /// forwarding over a network map this onto their connect-error
+    /// variant.
+    pub refused: bool,
 }
 
 impl fmt::Display for FaultError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "injected fault at {}", self.site)
+        if self.refused {
+            write!(f, "injected connection refusal at {}", self.site)
+        } else {
+            write!(f, "injected fault at {}", self.site)
+        }
     }
 }
 
@@ -65,6 +87,7 @@ enum FaultMode {
     Panic,
     Error,
     Delay(Duration),
+    Refuse,
 }
 
 #[derive(Debug, Clone)]
@@ -114,9 +137,11 @@ fn parse_specs(text: &str) -> Result<Vec<FaultSpec>, String> {
                 };
                 FaultMode::Delay(Duration::from_millis(ms))
             }
+            "refuse" => FaultMode::Refuse,
             other => {
                 return Err(format!(
-                    "fault spec {entry:?}: unknown mode {other:?} (expected panic, error, or delay)"
+                    "fault spec {entry:?}: unknown mode {other:?} \
+                     (expected panic, error, delay, or refuse)"
                 ))
             }
         };
@@ -215,11 +240,16 @@ fn fire(site: &str) -> Result<(), FaultError> {
         FaultMode::Panic => panic!("injected panic at fault point {site}"),
         FaultMode::Error => Err(FaultError {
             site: site.to_string(),
+            refused: false,
         }),
         FaultMode::Delay(d) => {
             std::thread::sleep(d);
             Ok(())
         }
+        FaultMode::Refuse => Err(FaultError {
+            site: site.to_string(),
+            refused: true,
+        }),
     }
 }
 
@@ -281,6 +311,40 @@ mod tests {
         let t0 = std::time::Instant::now();
         assert_eq!(fail_point(sites::CACHE_WRITE), Ok(()));
         assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn refuse_mode_is_instant_and_marked_refused() {
+        let _guard = install("gateway_forward:refuse").unwrap();
+        let t0 = std::time::Instant::now();
+        let err = fail_point(sites::GATEWAY_FORWARD).unwrap_err();
+        assert!(err.refused, "refuse mode must mark the error refused");
+        assert!(
+            err.to_string().contains("connection refusal"),
+            "{err}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_millis(50),
+            "refuse must not delay"
+        );
+        // error mode stays un-refused.
+        drop(_guard);
+        let _guard = install("peer_health:error").unwrap();
+        assert!(!fail_point(sites::PEER_HEALTH).unwrap_err().refused);
+    }
+
+    #[test]
+    fn refuse_scope_targets_one_peer_address() {
+        let _guard = install("gateway_forward:refuse@127.0.0.1:7311").unwrap();
+        assert!(
+            with_scope("127.0.0.1:7311", || fail_point(sites::GATEWAY_FORWARD)).is_err(),
+            "the targeted peer is refused"
+        );
+        assert_eq!(
+            with_scope("127.0.0.1:7312", || fail_point(sites::GATEWAY_FORWARD)),
+            Ok(()),
+            "other peers are untouched"
+        );
     }
 
     #[test]

@@ -14,6 +14,14 @@
 //!               [--default-backend {heuristic|exact|portfolio}]
 //!               [--speculate {off|auto|WIDTH}]
 //!               [--trace-sample P] [--trace-slow-ms MS]
+//! ptmap gateway --peers HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
+//!               [--probe-interval-ms MS] [--failure-threshold N]
+//!               [--cooldown-ms MS] [--max-retries N] [--backoff-ms MS]
+//!               [--hedge-after-ms MS] [--cache-dir DIR]
+//!               [--deadline SECS] [--drain-timeout SECS]
+//!               [--default-backend {heuristic|exact|portfolio}]
+//! ptmap loadtest [--target HOST:PORT] [--workers N] [--requests N]
+//!                [--seed N] [--distinct N] [--deadline-ms MS]
 //! ptmap archs
 //! ptmap parse --source kernel.c
 //! ```
@@ -41,6 +49,8 @@ fn main() -> ExitCode {
         Some("compile") => compile(&args[1..]),
         Some("batch") => batch(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("gateway") => gateway(&args[1..]),
+        Some("loadtest") => loadtest(&args[1..]),
         Some("parse") => parse(&args[1..]),
         Some("help" | "--help" | "-h") => {
             println!("{}", usage_text());
@@ -77,7 +87,7 @@ fn main() -> ExitCode {
 }
 
 fn usage_text() -> &'static str {
-    "usage: ptmap <compile|batch|serve|parse|archs|help|version> [options]\n\
+    "usage: ptmap <compile|batch|serve|gateway|loadtest|parse|archs|help|version> [options]\n\
      \x20 compile --source FILE --arch {S4|R4|H6|SL8|HReA4}\n\
      \x20         [--arch-file custom.json]\n\
      \x20         [--mode {performance|pareto}]\n\
@@ -95,6 +105,15 @@ fn usage_text() -> &'static str {
      \x20         [--default-backend {heuristic|exact|portfolio}]\n\
      \x20         [--speculate {off|auto|WIDTH}]\n\
      \x20         [--trace-sample P] [--trace-slow-ms MS]\n\
+     \x20 gateway --peers HOST:PORT,HOST:PORT,... [--addr HOST:PORT]\n\
+     \x20         [--probe-interval-ms MS] [--failure-threshold N]\n\
+     \x20         [--cooldown-ms MS] [--max-retries N] [--backoff-ms MS]\n\
+     \x20         [--hedge-after-ms MS] [--cache-dir DIR]\n\
+     \x20         [--deadline SECS] [--drain-timeout SECS]\n\
+     \x20         [--default-backend {heuristic|exact|portfolio}]\n\
+     \x20         [--speculate {off|auto|WIDTH}] [--validate]\n\
+     \x20 loadtest [--target HOST:PORT] [--workers N] [--requests N]\n\
+     \x20         [--seed N] [--distinct N] [--deadline-ms MS]\n\
      \x20 parse   --source FILE"
 }
 
@@ -511,6 +530,190 @@ fn serve_config(flags: &Flags) -> Result<ptmap_serve::ServeConfig, String> {
         trace_sample: parse_sample(flags.get("--trace-sample"), "--trace-sample")?
             .unwrap_or(defaults.trace_sample),
         trace_slow_ms: parse_ms(flags.get("--trace-slow-ms"), "--trace-slow-ms")?,
+    })
+}
+
+fn gateway(args: &[String]) -> ExitCode {
+    let flags = match Flags::parse(
+        args,
+        &[
+            "--addr",
+            "--peers",
+            "--probe-interval-ms",
+            "--failure-threshold",
+            "--cooldown-ms",
+            "--max-retries",
+            "--backoff-ms",
+            "--hedge-after-ms",
+            "--cache-dir",
+            "--deadline",
+            "--drain-timeout",
+            "--default-backend",
+            "--speculate",
+        ],
+        &["--validate"],
+    ) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    let config = match gateway_config(&flags) {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e),
+    };
+    let gateway = match ptmap_serve::Gateway::bind(config) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: binding listener: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match gateway.local_addr() {
+        // Same boot-line contract as `serve`: with `--addr ...:0` this
+        // line is the only way to learn the port.
+        Ok(addr) => println!("listening on {addr}"),
+        Err(e) => {
+            eprintln!("error: local addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ptmap_serve::signal::install_handlers();
+    let summary = gateway.run();
+    eprintln!(
+        "drained{}: {} requests, {} forwards, {} retries, {} hedges, {} requeued",
+        if summary.clean { "" } else { " (forced)" },
+        summary.requests,
+        summary.forwards,
+        summary.retries,
+        summary.hedges,
+        summary.requeued
+    );
+    ExitCode::SUCCESS
+}
+
+/// Builds the gateway configuration from `gateway` flags.
+fn gateway_config(flags: &Flags) -> Result<ptmap_serve::GatewayConfig, String> {
+    let defaults = ptmap_serve::GatewayConfig::default();
+    let mut peers: Vec<String> = Vec::new();
+    for entry in flags
+        .get("--peers")
+        .ok_or("missing --peers HOST:PORT,...")?
+        .split(',')
+    {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            return Err("--peers has an empty entry (double comma?)".to_string());
+        }
+        peers.push(entry.to_string());
+    }
+    if peers.is_empty() {
+        return Err("--peers needs at least one HOST:PORT".to_string());
+    }
+    // The base config exists only to compute request keys; it must
+    // match the peers' flags or routing and their caches disagree.
+    let mut base = PtMapConfig::default();
+    base.mapper.validate = flags.has("--validate");
+    if let Some(b) = parse_backend(flags.get("--default-backend"), "--default-backend")? {
+        base.mapper.backend = b;
+    }
+    if let Some(sp) = parse_speculation(flags.get("--speculate"), "--speculate")? {
+        base.mapper.speculation = sp;
+    }
+    Ok(ptmap_serve::GatewayConfig {
+        addr: flags
+            .get("--addr")
+            .unwrap_or(defaults.addr.as_str())
+            .to_string(),
+        peers,
+        probe_interval: parse_ms(flags.get("--probe-interval-ms"), "--probe-interval-ms")?
+            .map(std::time::Duration::from_millis)
+            .unwrap_or(defaults.probe_interval),
+        failure_threshold: match flags.get("--failure-threshold") {
+            Some(t) => t.parse::<u32>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                format!("--failure-threshold must be a positive integer, got {t}")
+            })?,
+            None => defaults.failure_threshold,
+        },
+        cooldown: parse_ms(flags.get("--cooldown-ms"), "--cooldown-ms")?
+            .map(std::time::Duration::from_millis)
+            .unwrap_or(defaults.cooldown),
+        max_retries: match flags.get("--max-retries") {
+            Some(t) => t
+                .parse::<u32>()
+                .map_err(|_| format!("--max-retries must be a non-negative integer, got {t}"))?,
+            None => defaults.max_retries,
+        },
+        backoff_base: parse_ms(flags.get("--backoff-ms"), "--backoff-ms")?
+            .map(std::time::Duration::from_millis)
+            .unwrap_or(defaults.backoff_base),
+        hedge_after: parse_ms(flags.get("--hedge-after-ms"), "--hedge-after-ms")?
+            .map(std::time::Duration::from_millis),
+        cache_dir: flags.get("--cache-dir").map(Into::into),
+        base,
+        default_timeout: parse_seconds(flags.get("--deadline"), "--deadline")?
+            .unwrap_or(defaults.default_timeout),
+        drain_timeout: parse_seconds(flags.get("--drain-timeout"), "--drain-timeout")?
+            .unwrap_or(defaults.drain_timeout),
+    })
+}
+
+fn loadtest(args: &[String]) -> ExitCode {
+    let flags = match Flags::parse(
+        args,
+        &[
+            "--target",
+            "--workers",
+            "--requests",
+            "--seed",
+            "--distinct",
+            "--deadline-ms",
+        ],
+        &[],
+    ) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    let config = match loadtest_config(&flags) {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e),
+    };
+    let report = ptmap_serve::run_loadtest(&config);
+    print!("{}", report.render());
+    // Exit status is the verdict: any failed request fails the run, so
+    // CI can assert "zero dropped requests" without parsing output.
+    if report.failed() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Builds the loadtest configuration from `loadtest` flags.
+fn loadtest_config(flags: &Flags) -> Result<ptmap_serve::LoadtestConfig, String> {
+    let defaults = ptmap_serve::LoadtestConfig::default();
+    let parse_u64 = |flag: &str, default: u64| -> Result<u64, String> {
+        match flags.get(flag) {
+            None => Ok(default),
+            Some(t) => t
+                .parse::<u64>()
+                .map_err(|_| format!("{flag} must be a non-negative integer, got {t}")),
+        }
+    };
+    Ok(ptmap_serve::LoadtestConfig {
+        target: flags
+            .get("--target")
+            .unwrap_or(defaults.target.as_str())
+            .to_string(),
+        workers: match flags.get("--workers") {
+            Some(_) => parse_count(flags.get("--workers"), "--workers")?,
+            None => defaults.workers,
+        },
+        requests: parse_u64("--requests", defaults.requests)?,
+        seed: parse_u64("--seed", defaults.seed)?,
+        distinct: parse_u64("--distinct", defaults.distinct)?.max(1),
+        deadline_ms: match flags.get("--deadline-ms") {
+            Some(_) => parse_ms(flags.get("--deadline-ms"), "--deadline-ms")?,
+            None => defaults.deadline_ms,
+        },
     })
 }
 

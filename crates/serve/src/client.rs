@@ -1,0 +1,371 @@
+//! A deliberately small blocking HTTP/1.1 client.
+//!
+//! The mirror image of [`crate::http`]: one request per connection
+//! (`Connection: close`), hard parse limits, and every socket
+//! operation bounded by the caller's deadline so a wedged peer can
+//! never pin a gateway thread past the request budget. Used by the
+//! gateway's forwarding path, its health prober, and `ptmap loadtest`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Longest accepted status or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most accepted header lines.
+const MAX_HEADERS: usize = 100;
+/// Largest accepted response body, in bytes.
+const MAX_BODY: usize = 16 * 1024 * 1024;
+/// Connect timeout when the deadline leaves more room than this.
+const CONNECT_CAP: Duration = Duration::from_secs(2);
+
+/// Why a request to a peer failed without producing a response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// TCP connect failed (refused, unreachable, bad address). The
+    /// peer did no work; retrying elsewhere is always safe.
+    Connect(String),
+    /// The connection died mid-request or mid-response. The peer *may*
+    /// have done work.
+    Io(String),
+    /// The peer answered with something that does not parse as HTTP.
+    Malformed(String),
+    /// The caller's deadline expired before a response arrived.
+    DeadlineExpired,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(m) => write!(f, "connect: {m}"),
+            ClientError::Io(m) => write!(f, "io: {m}"),
+            ClientError::Malformed(m) => write!(f, "malformed response: {m}"),
+            ClientError::DeadlineExpired => write!(f, "deadline expired"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// Short machine-readable class for metrics labels and error
+    /// taxonomies.
+    pub fn class(&self) -> &'static str {
+        match self {
+            ClientError::Connect(_) => "connect",
+            ClientError::Io(_) => "io",
+            ClientError::Malformed(_) => "malformed",
+            ClientError::DeadlineExpired => "deadline",
+        }
+    }
+}
+
+/// One parsed response from a peer.
+#[derive(Debug, Clone)]
+pub struct PeerResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl PeerResponse {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Time left until `deadline`, or the error once it has passed.
+fn remaining(deadline: Option<Instant>) -> Result<Option<Duration>, ClientError> {
+    match deadline {
+        None => Ok(None),
+        Some(at) => {
+            let now = Instant::now();
+            if now >= at {
+                Err(ClientError::DeadlineExpired)
+            } else {
+                Ok(Some(at - now))
+            }
+        }
+    }
+}
+
+fn io_err(e: &std::io::Error) -> ClientError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            ClientError::DeadlineExpired
+        }
+        _ => ClientError::Io(e.to_string()),
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line with a length cap.
+fn read_line(reader: &mut impl BufRead) -> Result<String, ClientError> {
+    let mut line = Vec::new();
+    let mut limited = reader.by_ref().take((MAX_LINE + 1) as u64);
+    limited.read_until(b'\n', &mut line).map_err(|e| io_err(&e))?;
+    if line.len() > MAX_LINE {
+        return Err(ClientError::Malformed("header line too long".into()));
+    }
+    while line.last().is_some_and(|b| *b == b'\n' || *b == b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| ClientError::Malformed("non-UTF-8 header".into()))
+}
+
+/// Sends one request to `addr` and reads the full response.
+///
+/// `deadline` bounds the *whole* exchange: connect, write, and read
+/// all inherit the remaining time (connect additionally capped at
+/// [`CONNECT_CAP`] so a blackholed peer fails fast even under a
+/// generous budget).
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    deadline: Option<Instant>,
+) -> Result<PeerResponse, ClientError> {
+    let sock: SocketAddr = addr
+        .to_socket_addrs()
+        .map_err(|e| ClientError::Connect(format!("{addr}: {e}")))?
+        .next()
+        .ok_or_else(|| ClientError::Connect(format!("{addr}: no address")))?;
+
+    let connect_timeout = match remaining(deadline)? {
+        Some(left) => left.min(CONNECT_CAP),
+        None => CONNECT_CAP,
+    };
+    let mut stream = TcpStream::connect_timeout(&sock, connect_timeout)
+        .map_err(|e| ClientError::Connect(format!("{addr}: {e}")))?;
+
+    let left = remaining(deadline)?;
+    stream.set_write_timeout(left).map_err(|e| io_err(&e))?;
+    stream.set_read_timeout(left).map_err(|e| io_err(&e))?;
+
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    for (name, value) in headers {
+        req.push_str(&format!("{name}: {value}\r\n"));
+    }
+    req.push_str(&format!(
+        "Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    ));
+    stream.write_all(req.as_bytes()).map_err(|e| io_err(&e))?;
+    stream.write_all(body).map_err(|e| io_err(&e))?;
+    stream.flush().map_err(|e| io_err(&e))?;
+
+    read_response(&mut stream, deadline)
+}
+
+/// Reads and parses one response (status line, headers, body).
+fn read_response(
+    stream: &mut TcpStream,
+    deadline: Option<Instant>,
+) -> Result<PeerResponse, ClientError> {
+    // Refresh the read timeout: time spent writing is gone.
+    stream
+        .set_read_timeout(remaining(deadline)?)
+        .map_err(|e| io_err(&e))?;
+    let mut reader = BufReader::new(stream);
+    let status_line = read_line(&mut reader)?;
+    let mut parts = status_line.split_ascii_whitespace();
+    let (version, status) = match (parts.next(), parts.next()) {
+        (Some(v), Some(s)) => (v, s),
+        _ => {
+            return Err(ClientError::Malformed(format!(
+                "bad status line {status_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ClientError::Malformed(format!("bad version {version}")));
+    }
+    let status: u16 = status
+        .parse()
+        .map_err(|_| ClientError::Malformed(format!("bad status {status:?}")))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ClientError::Malformed("too many headers".into()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ClientError::Malformed(format!("bad header {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ClientError::Malformed(format!("bad content-length {v:?}")))
+        })
+        .transpose()?;
+    let body = match content_length {
+        Some(len) if len > MAX_BODY => {
+            return Err(ClientError::Malformed("response body too large".into()))
+        }
+        Some(len) => {
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body).map_err(|e| io_err(&e))?;
+            body
+        }
+        // No Content-Length (the daemon always sends one, but be
+        // liberal): read to EOF, bounded.
+        None => {
+            let mut body = Vec::new();
+            let mut limited = reader.take((MAX_BODY + 1) as u64);
+            limited.read_to_end(&mut body).map_err(|e| io_err(&e))?;
+            if body.len() > MAX_BODY {
+                return Err(ClientError::Malformed("response body too large".into()));
+            }
+            body
+        }
+    };
+    Ok(PeerResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{write_response, Response};
+    use std::net::TcpListener;
+
+    /// Serves one canned response on an ephemeral port.
+    fn serve_once(resp: Response) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // Drain the request first so the client's write never
+            // races the close.
+            let mut buf = [0u8; 4096];
+            let mut seen = Vec::new();
+            while let Ok(n) = stream.read(&mut buf) {
+                if n == 0 {
+                    break;
+                }
+                seen.extend_from_slice(&buf[..n]);
+                if seen.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            write_response(&mut stream, &resp).unwrap();
+        });
+        addr
+    }
+
+    #[test]
+    fn round_trips_a_json_response() {
+        let addr = serve_once(
+            Response::json(200, "{\"ok\":true}".into())
+                .with_header("X-Ptmap-Trace-Id", "t-1".into()),
+        );
+        let reply = request(
+            &addr.to_string(),
+            "POST",
+            "/compile",
+            &[("X-Ptmap-Deadline-Ms", "1000")],
+            b"{}",
+            Some(Instant::now() + Duration::from_secs(5)),
+        )
+        .unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("x-ptmap-trace-id"), Some("t-1"));
+        assert_eq!(reply.body_text(), "{\"ok\":true}");
+    }
+
+    #[test]
+    fn connection_refused_is_a_connect_error() {
+        // Bind then drop to get a port that is very likely closed.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let err = request(&addr.to_string(), "GET", "/healthz", &[], b"", None).unwrap_err();
+        assert!(
+            matches!(err, ClientError::Connect(_)),
+            "expected connect error, got {err:?}"
+        );
+        assert_eq!(err.class(), "connect");
+    }
+
+    #[test]
+    fn expired_deadline_fails_before_connecting() {
+        let err = request(
+            "127.0.0.1:1",
+            "GET",
+            "/",
+            &[],
+            b"",
+            Some(Instant::now() - Duration::from_millis(1)),
+        )
+        .unwrap_err();
+        assert_eq!(err, ClientError::DeadlineExpired);
+    }
+
+    #[test]
+    fn wedged_peer_hits_the_deadline() {
+        // A listener that accepts and never answers.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _keeper = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_secs(2));
+            drop(stream);
+        });
+        let t0 = Instant::now();
+        let err = request(
+            &addr.to_string(),
+            "GET",
+            "/healthz",
+            &[],
+            b"",
+            Some(Instant::now() + Duration::from_millis(120)),
+        )
+        .unwrap_err();
+        assert_eq!(err, ClientError::DeadlineExpired, "{err:?}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "must fail at the deadline, not at the peer's leisure"
+        );
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            let _ = stream.read(&mut buf);
+            let _ = stream.write_all(b"SPDY/9000 totally not http\r\n\r\n");
+        });
+        let err = request(&addr.to_string(), "GET", "/", &[], b"", None).unwrap_err();
+        assert!(matches!(err, ClientError::Malformed(_)), "{err:?}");
+    }
+}

@@ -184,6 +184,7 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
@@ -305,7 +306,7 @@ mod tests {
 
     #[test]
     fn reasons_cover_api_statuses() {
-        for status in [200, 202, 400, 404, 405, 413, 500, 503, 504] {
+        for status in [200, 202, 400, 404, 405, 413, 500, 502, 503, 504] {
             assert_ne!(reason(status), "Unknown", "status {status}");
         }
     }

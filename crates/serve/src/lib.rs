@@ -32,18 +32,25 @@
 //!   cancels, after the drain timeout, via the server-wide root budget)
 //!   everything in flight, flushes metrics, and exits 0.
 
+pub mod client;
 pub mod coalesce;
+pub mod gateway;
 pub mod http;
 pub mod jobs;
+pub mod loadtest;
 pub mod metrics;
 pub mod server;
+pub mod shard;
 pub mod signal;
 pub mod traces;
 
 pub use coalesce::Coalescer;
+pub use gateway::{Gateway, GatewayConfig, GatewayHandle, GatewaySummary};
 pub use jobs::{JobState, JobTable};
+pub use loadtest::{run_loadtest, LoadtestConfig, LoadtestReport};
 pub use metrics::ServiceMetrics;
 pub use server::{DrainSummary, ServeConfig, Server, ServerHandle};
+pub use shard::{Breaker, BreakerState, HashRing};
 pub use traces::TraceStore;
 
 /// Locks a mutex, recovering from poisoning: the daemon's shared maps

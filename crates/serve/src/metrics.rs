@@ -198,15 +198,10 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-/// Renders the full `/metrics` document.
-pub fn render(
-    service: &ServiceMetrics,
-    gauges: &ServiceGauges,
-    spans: &BTreeMap<String, ptmap_pipeline::SpanStat>,
-    counters: &BTreeMap<String, u64>,
-) -> String {
-    let mut out = String::new();
-
+/// Renders the HTTP-layer sections (request counters, latency
+/// histograms + quantiles, admission rejects) shared by the daemon's
+/// `/metrics` and the gateway's.
+pub(crate) fn render_http_sections(service: &ServiceMetrics, out: &mut String) {
     out.push_str("# HELP ptmap_http_requests_total HTTP requests handled.\n");
     out.push_str("# TYPE ptmap_http_requests_total counter\n");
     let requests = lock_unpoisoned(&service.requests).clone();
@@ -266,6 +261,28 @@ pub fn render(
         }
     }
 
+    out.push_str("# HELP ptmap_admission_rejects_total Requests refused at admission.\n");
+    out.push_str("# TYPE ptmap_admission_rejects_total counter\n");
+    let rejects = lock_unpoisoned(&service.rejects).clone();
+    for (reason, n) in &rejects {
+        let _ = writeln!(
+            out,
+            "ptmap_admission_rejects_total{{reason=\"{}\"}} {n}",
+            escape_label(reason)
+        );
+    }
+}
+
+/// Renders the full `/metrics` document.
+pub fn render(
+    service: &ServiceMetrics,
+    gauges: &ServiceGauges,
+    spans: &BTreeMap<String, ptmap_pipeline::SpanStat>,
+    counters: &BTreeMap<String, u64>,
+) -> String {
+    let mut out = String::new();
+    render_http_sections(service, &mut out);
+
     out.push_str(
         "# HELP ptmap_coalesced_requests_total Requests served by attaching to an \
          in-flight compile.\n",
@@ -284,17 +301,6 @@ pub fn render(
         "ptmap_compiles_started_total {}",
         service.compiles_total()
     );
-
-    out.push_str("# HELP ptmap_admission_rejects_total Requests refused at admission.\n");
-    out.push_str("# TYPE ptmap_admission_rejects_total counter\n");
-    let rejects = lock_unpoisoned(&service.rejects).clone();
-    for (reason, n) in &rejects {
-        let _ = writeln!(
-            out,
-            "ptmap_admission_rejects_total{{reason=\"{}\"}} {n}",
-            escape_label(reason)
-        );
-    }
 
     for (name, help, value) in [
         (

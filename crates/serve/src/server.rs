@@ -207,7 +207,7 @@ impl Drop for InflightGuard<'_> {
 /// Builds a failure outcome in the same shape the pipeline produces,
 /// so every error a client sees — admission or compile — parses the
 /// same way.
-fn error_outcome(name: &str, class: &str, message: String) -> JobOutcome {
+pub(crate) fn error_outcome(name: &str, class: &str, message: String) -> JobOutcome {
     JobOutcome {
         name: name.to_string(),
         cache_hit: false,
@@ -221,7 +221,7 @@ fn error_outcome(name: &str, class: &str, message: String) -> JobOutcome {
 }
 
 /// HTTP status for a compile outcome.
-fn outcome_status(outcome: &JobOutcome) -> u16 {
+pub(crate) fn outcome_status(outcome: &JobOutcome) -> u16 {
     if outcome.report.is_some() {
         return 200;
     }
@@ -235,6 +235,25 @@ fn outcome_status(outcome: &JobOutcome) -> u16 {
 fn outcome_response(outcome: &JobOutcome) -> Response {
     let body = serde_json::to_string(outcome).unwrap_or_else(|_| "{}".to_string());
     Response::json(outcome_status(outcome), body)
+}
+
+/// A structured 400: the human message plus a machine-readable reason
+/// (`bad-deadline`, `bad-quality`, `bad-spec`) so clients and the
+/// gateway can distinguish *which* input was malformed without string
+/// matching.
+fn bad_request(reason: &str, message: String) -> Response {
+    Response::json(
+        400,
+        format!("{{\"error\":{message:?},\"reason\":{reason:?}}}"),
+    )
+}
+
+/// Stamps a load-shedding 503 with the retry hint every rejected
+/// client needs: when to come back (`Retry-After`, seconds) — without
+/// it, a fleet of rejected clients retries immediately and the
+/// overload feeds itself.
+fn with_retry_after(resp: Response, seconds: u64) -> Response {
+    resp.with_header("Retry-After", seconds.max(1).to_string())
 }
 
 /// Attaches the compile's trace id to the response, if it has one.
@@ -551,19 +570,22 @@ fn effective_timeout(request: &Request, config: &ServeConfig) -> Result<Duration
 fn handle_compile(state: &Arc<ServerState>, request: &Request, stream: &TcpStream) -> Response {
     if state.draining.load(Ordering::Acquire) {
         state.metrics.reject("draining");
-        return outcome_response(&error_outcome(
-            "",
-            "draining",
-            "server is draining".to_string(),
-        ));
+        return with_retry_after(
+            outcome_response(&error_outcome(
+                "",
+                "draining",
+                "server is draining".to_string(),
+            )),
+            state.config.drain_timeout.as_secs(),
+        );
     }
     let spec = match parse_spec(&request.body) {
         Ok(s) => s,
-        Err(e) => return Response::json(400, format!("{{\"error\":{e:?}}}")),
+        Err(e) => return bad_request("bad-spec", e),
     };
     let timeout = match effective_timeout(request, &state.config) {
         Ok(t) => t,
-        Err(e) => return Response::json(400, format!("{{\"error\":{e:?}}}")),
+        Err(e) => return bad_request("bad-deadline", e),
     };
     let name = spec.name.clone().unwrap_or_else(|| spec.kernel.clone());
 
@@ -577,11 +599,11 @@ fn handle_compile(state: &Arc<ServerState>, request: &Request, stream: &TcpStrea
 
     let job = match Job::resolve(&spec) {
         Ok(j) => j,
-        Err(e) => return Response::json(400, format!("{{\"error\":{e:?}}}")),
+        Err(e) => return bad_request("bad-spec", e),
     };
     let base = match effective_base(request, &state.config) {
         Ok(b) => b,
-        Err(e) => return Response::json(400, format!("{{\"error\":{e:?}}}")),
+        Err(e) => return bad_request("bad-quality", e),
     };
     let quality = base.mapper.backend;
     let key = request_key(&job, &base);
@@ -609,7 +631,9 @@ fn handle_compile(state: &Arc<ServerState>, request: &Request, stream: &TcpStrea
                     ),
                 );
                 state.coalescer.complete(&key, &flight, outcome.clone());
-                return outcome_response(&outcome);
+                // Capacity pressure is transient: tell the client when
+                // to retry instead of letting it hammer the gate.
+                return with_retry_after(outcome_response(&outcome), 1);
             }
             let _watcher = spawn_disconnect_watcher(state, stream, &flight);
             let t0 = Instant::now();
@@ -755,26 +779,50 @@ fn run_async_job(state: &Arc<ServerState>, spec: &JobSpec) -> JobOutcome {
 }
 
 /// `POST /jobs`: bounded async submission.
+///
+/// The compile itself runs later under server defaults, but the
+/// request headers are validated *now*: a malformed
+/// `X-Ptmap-Deadline-Ms` or `X-Ptmap-Quality` used to be silently
+/// ignored here (unlike `/compile`, which rejects it), so a client
+/// with a typo'd header got a `202` and no signal that its header did
+/// nothing. Malformed values are a structured `400` at submission;
+/// well-formed values are accepted (the async path runs under server
+/// defaults either way, which the docs state).
 fn handle_submit(state: &Arc<ServerState>, request: &Request) -> Response {
+    if let Err(e) = effective_timeout(request, &state.config) {
+        return bad_request("bad-deadline", e);
+    }
+    if let Err(e) = effective_base(request, &state.config) {
+        return bad_request("bad-quality", e);
+    }
     let spec = match parse_spec(&request.body) {
         Ok(s) => s,
-        Err(e) => return Response::json(400, format!("{{\"error\":{e:?}}}")),
+        Err(e) => return bad_request("bad-spec", e),
     };
     match state.jobs.submit(spec) {
         Ok(id) => Response::json(202, format!("{{\"id\":{id},\"state\":\"queued\"}}")),
         Err(SubmitError::Full) => {
             state.metrics.reject("queue-full");
-            Response::json(
-                503,
-                format!(
-                    "{{\"error\":\"queue full ({} jobs)\"}}",
-                    state.config.queue_cap.max(1)
+            with_retry_after(
+                Response::json(
+                    503,
+                    format!(
+                        "{{\"error\":\"queue full ({} jobs)\",\"reason\":\"queue-full\"}}",
+                        state.config.queue_cap.max(1)
+                    ),
                 ),
+                1,
             )
         }
         Err(SubmitError::Draining) => {
             state.metrics.reject("draining");
-            Response::json(503, "{\"error\":\"server is draining\"}".to_string())
+            with_retry_after(
+                Response::json(
+                    503,
+                    "{\"error\":\"server is draining\",\"reason\":\"draining\"}".to_string(),
+                ),
+                state.config.drain_timeout.as_secs(),
+            )
         }
     }
 }

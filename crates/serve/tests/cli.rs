@@ -212,6 +212,70 @@ fn serve_bad_flags_exit_two() {
 }
 
 #[test]
+fn gateway_bad_flags_exit_two() {
+    let cases: &[&[&str]] = &[
+        // --peers is mandatory.
+        &["gateway"],
+        // Empty entries in the peer list are rejected.
+        &["gateway", "--peers", "127.0.0.1:7100,,127.0.0.1:7101"],
+        &["gateway", "--peers", "127.0.0.1:7100", "--max-retries", "many"],
+        &["gateway", "--peers", "127.0.0.1:7100", "--frobnicate"],
+    ];
+    for args in cases {
+        let out = ptmap().args(*args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"), "{args:?}");
+    }
+}
+
+#[test]
+fn loadtest_bad_flags_exit_two() {
+    let cases: &[&[&str]] = &[
+        &["loadtest", "--workers", "zero"],
+        &["loadtest", "--requests", "-1"],
+        &["loadtest", "--frobnicate"],
+    ];
+    for args in cases {
+        let out = ptmap().args(*args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"), "{args:?}");
+    }
+}
+
+#[test]
+fn help_lists_gateway_and_loadtest() {
+    let out = ptmap().arg("help").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("gateway"), "{text}");
+    assert!(text.contains("loadtest"), "{text}");
+    assert!(text.contains("--peers"), "{text}");
+}
+
+#[test]
+fn loadtest_against_nothing_exits_nonzero_with_report() {
+    // Port 1 is never listening; every request must fail as a connect
+    // error and the exit code must reflect it.
+    let out = ptmap()
+        .args([
+            "loadtest",
+            "--target",
+            "127.0.0.1:1",
+            "--workers",
+            "2",
+            "--requests",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "failures must exit nonzero");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("loadtest sent: 4"), "{text}");
+    assert!(text.contains("loadtest failed: 4"), "{text}");
+    assert!(text.contains("error connect:"), "{text}");
+}
+
+#[test]
 fn batch_runs_manifest_and_warms_cache() {
     let dir = std::env::temp_dir().join(format!("ptmap-cli-batch-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

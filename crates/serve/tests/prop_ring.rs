@@ -1,0 +1,138 @@
+//! Property tests for the consistent-hash ring.
+//!
+//! The ring's whole value is two invariants that unit tests can only
+//! spot-check: the mapping is a pure function of the peer *set*
+//! (insertion order must never matter), and membership changes move
+//! only the keys they must — a single join steals ~K/N keys for the
+//! new peer and a single leave scatters only the dead peer's keys,
+//! with every key between two surviving peers staying put.
+
+use proptest::prelude::*;
+use ptmap_serve::HashRing;
+
+/// Arbitrary peer sets: ids mapped to `host<i>:7<i>`-style names, with
+/// duplicates collapsed by the ring itself.
+fn peer_names(max: usize) -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(0u64..40, 1..max)
+        .prop_map(|ids| ids.into_iter().map(|i| format!("host{i}:70{i:02}")).collect())
+}
+
+/// A workload of keys shaped like real request keys.
+fn keys(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("sha256:{i:08x}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Owner assignment is independent of the order peers were listed.
+    #[test]
+    fn owner_is_insertion_order_independent(
+        peers in peer_names(8),
+        shuffle_seed in 0u64..1000,
+    ) {
+        let a = HashRing::new(&peers);
+        // A deterministic permutation derived from the seed.
+        let mut shuffled = peers.clone();
+        let len = shuffled.len();
+        for i in 0..len {
+            let j = ((shuffle_seed as usize).wrapping_mul(31).wrapping_add(i * 7)) % len;
+            shuffled.swap(i, j);
+        }
+        let b = HashRing::new(&shuffled);
+        prop_assert_eq!(a.peers(), b.peers(), "peer set must normalize identically");
+        for key in keys(64) {
+            let oa = a.owner(&key).map(|i| a.peers()[i].clone());
+            let ob = b.owner(&key).map(|i| b.peers()[i].clone());
+            prop_assert_eq!(oa, ob, "owner of {} depends on insertion order", key);
+        }
+    }
+
+    /// Adding one peer moves keys ONLY onto the new peer, and roughly
+    /// its fair share of them.
+    #[test]
+    fn single_join_moves_about_one_nth(peers in peer_names(8), extra_id in 0u64..40) {
+        // The "fresh:" prefix keeps the newcomer disjoint from the
+        // "host..." names peer_names generates.
+        let extra = format!("fresh{extra_id}:8000");
+        let before = HashRing::new(&peers);
+        let mut grown: Vec<String> = peers.clone();
+        grown.push(extra.clone());
+        let after = HashRing::new(&grown);
+        prop_assert_eq!(after.len(), before.len() + 1);
+
+        let workload = keys(1200);
+        let mut moved = 0usize;
+        for key in &workload {
+            let old = &before.peers()[before.owner(key).unwrap()];
+            let new = &after.peers()[after.owner(key).unwrap()];
+            if old != new {
+                prop_assert_eq!(
+                    new, &extra,
+                    "{} moved between surviving peers on a join", key
+                );
+                moved += 1;
+            }
+        }
+        // Expect ~K/N with wide tolerance: consistent hashing is
+        // statistical, not exact. With 64 vnodes the share stays well
+        // inside [fair/4, fair*4] in practice.
+        let fair = workload.len() / after.len();
+        prop_assert!(
+            moved <= fair * 4,
+            "join moved {} keys, fair share is {}", moved, fair
+        );
+        if after.len() <= 6 {
+            prop_assert!(
+                moved >= fair / 4,
+                "join moved only {} keys, fair share is {}", moved, fair
+            );
+        }
+    }
+
+    /// Removing one peer scatters only that peer's keys; keys owned by
+    /// survivors never move.
+    #[test]
+    fn single_leave_moves_only_the_dead_peers_keys(
+        peers in peer_names(8),
+        victim_pick in 0usize..8,
+    ) {
+        let before = HashRing::new(&peers);
+        prop_assume!(before.len() >= 2);
+        let victim = before.peers()[victim_pick % before.len()].clone();
+        let survivors: Vec<String> = before
+            .peers()
+            .iter()
+            .filter(|p| **p != victim)
+            .cloned()
+            .collect();
+        let after = HashRing::new(&survivors);
+
+        for key in keys(600) {
+            let old = &before.peers()[before.owner(&key).unwrap()];
+            let new = &after.peers()[after.owner(&key).unwrap()];
+            if old != &victim {
+                prop_assert_eq!(
+                    old, new,
+                    "{} moved off surviving peer {} when {} left", key, old, victim
+                );
+            }
+        }
+    }
+
+    /// The replica sequence is a permutation of all peers starting at
+    /// the owner — the failover walk visits everyone exactly once.
+    #[test]
+    fn replicas_are_a_permutation_from_the_owner(peers in peer_names(8)) {
+        let ring = HashRing::new(&peers);
+        for key in keys(48) {
+            let reps = ring.replicas(&key);
+            prop_assert_eq!(reps.len(), ring.len());
+            let mut sorted = reps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), ring.len(), "replicas repeat a peer");
+            prop_assert_eq!(reps[0], ring.owner(&key).unwrap());
+        }
+    }
+}

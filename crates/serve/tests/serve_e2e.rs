@@ -531,6 +531,109 @@ fn async_job_trace_is_fetchable_by_job_id() {
 }
 
 #[test]
+fn async_submissions_validate_headers_like_sync_compiles() {
+    let (addr, handle, runner) = boot(ServeConfig::default());
+    let spec = compile_spec("async-hdr", "vecsum:8");
+
+    // A malformed deadline on /jobs is a structured client error, not
+    // silently ignored (it used to be dropped on the async path).
+    let bad_deadline = http(
+        addr,
+        "POST",
+        "/jobs",
+        &[("X-Ptmap-Deadline-Ms", "soon")],
+        &spec,
+    );
+    assert_eq!(bad_deadline.status, 400, "{}", bad_deadline.body);
+    assert!(
+        bad_deadline.body.contains("\"reason\":\"bad-deadline\""),
+        "{}",
+        bad_deadline.body
+    );
+
+    let bad_quality = http(
+        addr,
+        "POST",
+        "/jobs",
+        &[("X-Ptmap-Quality", "speedy")],
+        &spec,
+    );
+    assert_eq!(bad_quality.status, 400, "{}", bad_quality.body);
+    assert!(
+        bad_quality.body.contains("\"reason\":\"bad-quality\""),
+        "{}",
+        bad_quality.body
+    );
+
+    // Well-formed values are still accepted.
+    let ok = http(
+        addr,
+        "POST",
+        "/jobs",
+        &[("X-Ptmap-Deadline-Ms", "60000"), ("X-Ptmap-Quality", "heuristic")],
+        &spec,
+    );
+    assert_eq!(ok.status, 202, "{}", ok.body);
+
+    // The sync path's malformed-deadline rejection carries the same
+    // structured reason.
+    let sync_bad = http(
+        addr,
+        "POST",
+        "/compile",
+        &[("X-Ptmap-Deadline-Ms", "soon")],
+        &spec,
+    );
+    assert_eq!(sync_bad.status, 400, "{}", sync_bad.body);
+    assert!(
+        sync_bad.body.contains("\"reason\":\"bad-deadline\""),
+        "{}",
+        sync_bad.body
+    );
+
+    handle.shutdown();
+    runner.join().unwrap();
+}
+
+#[test]
+fn queue_full_rejections_carry_retry_after() {
+    // One worker and a one-slot queue: the second and third async
+    // submissions of slow compiles overflow the queue.
+    let _fault = faultpoint::install("mapper_place:delay:300@slow").unwrap();
+    let (addr, handle, runner) = boot(ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..ServeConfig::default()
+    });
+
+    let mut saw_503 = None;
+    for i in 0..6 {
+        let spec = compile_spec("slow", &format!("vecsum:{}", 8 + 4 * i));
+        let reply = http(addr, "POST", "/jobs", &[], &spec);
+        if reply.status == 503 {
+            saw_503 = Some(reply);
+            break;
+        }
+        assert_eq!(reply.status, 202, "{}", reply.body);
+    }
+    let reject = saw_503.expect("a one-slot queue must overflow within six submissions");
+    assert!(
+        reject.body.contains("\"reason\":\"queue-full\""),
+        "{}",
+        reject.body
+    );
+    let retry_after: u64 = reject
+        .header("retry-after")
+        .expect("busy rejections must carry Retry-After")
+        .parse()
+        .expect("Retry-After is seconds");
+    assert!(retry_after >= 1);
+
+    handle.shutdown();
+    runner.join().unwrap();
+}
+
+#[test]
 fn bad_requests_and_unknown_routes() {
     let (addr, handle, runner) = boot(ServeConfig::default());
     assert_eq!(http(addr, "POST", "/compile", &[], "{ nope").status, 400);
