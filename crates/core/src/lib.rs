@@ -172,6 +172,7 @@ impl Default for PtMapConfig {
 pub struct PtMap {
     predictor: Box<dyn IiPredictor + Send + Sync>,
     config: PtMapConfig,
+    tap: Option<std::sync::Arc<dyn ptmap_eval::SampleTap>>,
 }
 
 impl fmt::Debug for PtMap {
@@ -183,7 +184,22 @@ impl fmt::Debug for PtMap {
 impl PtMap {
     /// Creates a compiler with a predictor and configuration.
     pub fn new(predictor: Box<dyn IiPredictor + Send + Sync>, config: PtMapConfig) -> Self {
-        PtMap { predictor, config }
+        PtMap {
+            predictor,
+            config,
+            tap: None,
+        }
+    }
+
+    /// Attaches a [`ptmap_eval::SampleTap`] that observes every accepted
+    /// mapping (predicted vs actual `(II, ProEpi)` plus the mapped DFG).
+    /// The tap is observe-only: it runs after the mapping is accepted and
+    /// cannot influence compilation, so results with and without a tap
+    /// are bit-identical. Identity-guard/fallback realizations are not
+    /// tapped — they carry no predictor forecast to compare against.
+    pub fn with_tap(mut self, tap: std::sync::Arc<dyn ptmap_eval::SampleTap>) -> Self {
+        self.tap = Some(tap);
+        self
     }
 
     /// The active configuration.
@@ -275,6 +291,7 @@ impl PtMap {
         tracer: &ptmap_trace::Tracer,
     ) -> Result<CompileReport, PtMapError> {
         let t0 = Instant::now();
+        m.model_version = self.predictor.version();
         if program.perfect_nests().is_empty() {
             return Err(PtMapError::NoPnl);
         }
@@ -509,6 +526,24 @@ impl PtMap {
             let profile = MemoryProfiler::new(&c.program).profile(&c.nest, arch, mapping.ii);
             // Simulate with effective (post-unroll) tripcounts.
             let eff = c.effective_tripcounts();
+            // Online-learning tap: report predicted vs actual for this
+            // accepted mapping. Strictly observe-only (see `with_tap`).
+            if let Some(tap) = &self.tap {
+                tap.record(
+                    &dfg,
+                    arch,
+                    &ptmap_eval::TapObservation {
+                        predicted_ii: e.ii,
+                        predicted_pro_epi: e.pro_epi,
+                        actual_ii: mapping.ii,
+                        actual_pro_epi: mapping.pro_epi(),
+                        mii: mapping.mii,
+                        tc: *eff.last().expect("nest"),
+                        backend: outcome.backend,
+                        trace_id: tracer.trace_id().map(str::to_string),
+                    },
+                );
+            }
             let launch_cycles = mapping.cycles(*eff.last().expect("nest"));
             let launches: u64 =
                 eff[..eff.len() - 1].iter().product::<u64>() * c.nest.outer_tripcount();
@@ -669,6 +704,32 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(mk(1).without_timing(), mk(4).without_timing());
+    }
+
+    #[test]
+    fn tap_observes_without_changing_results() {
+        let p = ptmap_workloads::micro::gemm(24);
+        let arch = presets::s4();
+        let plain = PtMap::new(Box::new(AnalyticalPredictor), quick_config())
+            .compile(&p, &arch)
+            .unwrap();
+        let tap = std::sync::Arc::new(ptmap_eval::RecordingTap::new());
+        let tapped = PtMap::new(Box::new(AnalyticalPredictor), quick_config())
+            .with_tap(tap.clone())
+            .compile(&p, &arch)
+            .unwrap();
+        // Observe-only: identical output with and without the tap.
+        assert_eq!(plain.without_timing(), tapped.without_timing());
+        // And the tap saw every non-identity accepted mapping with
+        // self-consistent fields.
+        let obs = tap.observations();
+        assert!(!obs.is_empty(), "accepted mappings must be tapped");
+        for o in &obs {
+            assert!(o.actual_ii >= o.mii);
+            assert!(o.predicted_ii >= 1);
+            assert!(o.tc >= 1);
+            assert!(!o.backend.is_empty());
+        }
     }
 
     #[test]

@@ -63,6 +63,18 @@ pub struct CompileMetrics {
     /// compilation; consumers treat any entry as "result is best-effort".
     #[serde(default)]
     pub degradations: Vec<String>,
+    /// Compilations that fell back from a GNN predictor to the
+    /// analytical model (checkpoint missing/corrupt). A per-compile
+    /// 0/1 flag that aggregates into a batch-wide count via
+    /// [`absorb`](CompileMetrics::absorb).
+    #[serde(default)]
+    pub predictor_fallbacks: usize,
+    /// Version of the model snapshot the predictor was loaded from,
+    /// when it carries provenance (see `GnnPredictor::versioned`);
+    /// `None` for analytical/oracle predictors and unversioned
+    /// checkpoints. Aggregation keeps the highest version seen.
+    #[serde(default)]
+    pub model_version: Option<u64>,
 }
 
 impl CompileMetrics {
@@ -89,6 +101,8 @@ impl CompileMetrics {
         self.portfolio_cancellations += other.portfolio_cancellations;
         self.speculative_rungs_cancelled += other.speculative_rungs_cancelled;
         self.degradations.extend(other.degradations.iter().cloned());
+        self.predictor_fallbacks += other.predictor_fallbacks;
+        self.model_version = self.model_version.max(other.model_version);
     }
 }
 
@@ -116,5 +130,29 @@ mod tests {
         assert_eq!(a.mapper_accepts, 1);
         assert_eq!(a.mapper_rejects, 4);
         assert!(a.staged_seconds() > 1.49);
+    }
+
+    #[test]
+    fn absorb_sums_fallbacks_and_keeps_max_model_version() {
+        let mut a = CompileMetrics {
+            predictor_fallbacks: 1,
+            model_version: Some(3),
+            ..CompileMetrics::default()
+        };
+        let b = CompileMetrics {
+            predictor_fallbacks: 2,
+            model_version: Some(1),
+            ..CompileMetrics::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.predictor_fallbacks, 3);
+        assert_eq!(a.model_version, Some(3));
+        // None never regresses a known version.
+        a.absorb(&CompileMetrics::default());
+        assert_eq!(a.model_version, Some(3));
+        // A known version upgrades None.
+        let mut c = CompileMetrics::default();
+        c.absorb(&a);
+        assert_eq!(c.model_version, Some(3));
     }
 }

@@ -20,6 +20,7 @@ pub mod pnl;
 pub mod predictor;
 pub mod program;
 pub mod rank;
+pub mod tap;
 
 pub use error::EvalError;
 pub use pnl::{
@@ -30,6 +31,7 @@ pub use pnl::{
 pub use predictor::{AnalyticalPredictor, GnnPredictor, IiPredictor, OraclePredictor};
 pub use program::{non_pnl_cycles, select_programs, EvaluatedForest, ProgramChoice};
 pub use rank::{hypervolume, rank_pareto, rank_performance, RankMode};
+pub use tap::{RecordingTap, SampleTap, TapObservation};
 
 use serde::{Deserialize, Serialize};
 

@@ -12,18 +12,38 @@ pub trait IiPredictor {
 
     /// A short name for reports.
     fn name(&self) -> &'static str;
+
+    /// Model-version provenance, when the predictor is backed by a
+    /// versioned model snapshot (the online-learning store). `None`
+    /// for analytical/oracle predictors and unversioned checkpoints.
+    fn version(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// GNN-backed predictor (the PT-Map default).
 #[derive(Debug, Clone)]
 pub struct GnnPredictor {
     model: ptmap_gnn::PtMapGnn,
+    version: Option<u64>,
 }
 
 impl GnnPredictor {
     /// Wraps a (trained) model.
     pub fn new(model: ptmap_gnn::PtMapGnn) -> Self {
-        GnnPredictor { model }
+        GnnPredictor {
+            model,
+            version: None,
+        }
+    }
+
+    /// Wraps a model loaded from a versioned snapshot, stamping its
+    /// version into compile metrics for provenance.
+    pub fn versioned(model: ptmap_gnn::PtMapGnn, version: u64) -> Self {
+        GnnPredictor {
+            model,
+            version: Some(version),
+        }
     }
 
     /// Access to the underlying model (e.g. for fine-tuning).
@@ -41,6 +61,10 @@ impl IiPredictor for GnnPredictor {
 
     fn name(&self) -> &'static str {
         "gnn"
+    }
+
+    fn version(&self) -> Option<u64> {
+        self.version
     }
 }
 

@@ -12,7 +12,11 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// One labeled sample.
-#[derive(Debug, Clone)]
+///
+/// Serializes for the online-learning spill log: a daemon's live
+/// samples are the same shape as offline dataset rows, so both feed
+/// [`crate::train`] and [`crate::mape_cycles`] unchanged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Sample {
     /// Model input.
     pub input: GnnInput,

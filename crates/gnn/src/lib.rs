@@ -49,4 +49,7 @@ pub use dataset::{DatasetConfig, Sample};
 pub use features::{build_input, GnnInput};
 pub use model::{GnnVariant, ModelConfig, Prediction, PtMapGnn};
 pub use tensor::Matrix;
-pub use train::{mape_cycles, mape_cycles_mii, train, TrainConfig, TrainStats};
+pub use train::{
+    fine_tune, mape_cycles, mape_cycles_detailed, mape_cycles_mii, mape_cycles_mii_detailed, train,
+    MapeStats, TrainConfig, TrainStats,
+};

@@ -381,6 +381,23 @@ impl PtMapGnn {
         };
         Prediction { ii, pro_epi }
     }
+
+    /// Serializes the model (weights, Adam moments, config) to a
+    /// deterministic JSON byte string. The encoding is stable for a
+    /// given model value — `from_bytes(to_bytes(m)).to_bytes()` is
+    /// byte-identical — which lets snapshot stores content-address and
+    /// checksum model versions.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("model serialization cannot fail")
+            .into_bytes()
+    }
+
+    /// Deserializes a model produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("model not utf-8: {e}"))?;
+        serde_json::from_str(text).map_err(|e| format!("model decode failed: {e}"))
+    }
 }
 
 #[cfg(test)]

@@ -181,39 +181,91 @@ pub fn train(model: &mut PtMapGnn, dataset: &[Sample], config: &TrainConfig) -> 
     stats
 }
 
+/// Incremental fine-tuning entry point: continues training an
+/// already-initialized (typically already-trained) model on a fresh
+/// sample batch. Identical machinery to [`train`] — the distinction is
+/// contractual: callers pass a *copy* of a serving model and a small
+/// live-traffic batch, and the Adam moments stored in each [`Param`]
+/// carry over from the previous round, so successive fine-tunes keep
+/// their per-weight step-size adaptation instead of restarting cold.
+pub fn fine_tune(model: &mut PtMapGnn, samples: &[Sample], config: &TrainConfig) -> TrainStats {
+    train(model, samples, config)
+}
+
+/// A MAPE aggregate that is explicit about coverage: samples whose
+/// actual cycle count is zero cannot contribute a percentage error
+/// (the denominator would be zero), so they are skipped *and counted*
+/// instead of silently dropped or NaN-poisoning the mean.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MapeStats {
+    /// Mean absolute percentage error over the `used` samples, in
+    /// percent. `0.0` when no sample was usable.
+    pub mape: f64,
+    /// Samples that contributed to the mean.
+    pub used: usize,
+    /// Samples skipped because their actual cycle count was zero.
+    pub skipped: usize,
+}
+
+impl MapeStats {
+    /// Folds one `(predicted, actual)` cycle pair into an accumulating
+    /// `(sum, used, skipped)` triple-in-progress; finish with
+    /// [`MapeStats::finish`].
+    fn fold(acc: &mut (f64, usize, usize), predicted: f64, actual: f64) {
+        if actual > 0.0 {
+            acc.0 += ((predicted - actual) / actual).abs();
+            acc.1 += 1;
+        } else {
+            acc.2 += 1;
+        }
+    }
+
+    fn finish(acc: (f64, usize, usize)) -> MapeStats {
+        MapeStats {
+            mape: 100.0 * acc.0 / acc.1.max(1) as f64,
+            used: acc.1,
+            skipped: acc.2,
+        }
+    }
+}
+
 /// Mean absolute percentage error of predicted computation cycles
 /// (`Cycle(l) = TC · II + ProEpi`, Eqn. 1) over a sample set — the
-/// Fig. 6 metric.
+/// Fig. 6 metric. Zero-actual samples are excluded; use
+/// [`mape_cycles_detailed`] to see how many were.
 pub fn mape_cycles(model: &PtMapGnn, samples: &[Sample]) -> f64 {
-    let mut total = 0.0f64;
-    let mut n = 0usize;
+    mape_cycles_detailed(model, samples).mape
+}
+
+/// [`mape_cycles`] with coverage counts (used vs skipped samples).
+pub fn mape_cycles_detailed(model: &PtMapGnn, samples: &[Sample]) -> MapeStats {
+    let mut acc = (0.0f64, 0usize, 0usize);
     for s in samples {
         let pred = model.predict(&s.input);
         let actual = s.tc as f64 * s.ii as f64 + s.pro_epi as f64;
         let predicted = s.tc as f64 * pred.ii as f64 + pred.pro_epi as f64;
-        if actual > 0.0 {
-            total += ((predicted - actual) / actual).abs();
-            n += 1;
-        }
+        MapeStats::fold(&mut acc, predicted, actual);
     }
-    100.0 * total / n.max(1) as f64
+    MapeStats::finish(acc)
 }
 
 /// MAPE of the MII-based analytical model on the same samples (the PBP
 /// baseline in Fig. 6): predicts `II = MII` and `ProEpi` from the
-/// critical path.
+/// critical path. Zero-actual samples are excluded; use
+/// [`mape_cycles_mii_detailed`] for the counts.
 pub fn mape_cycles_mii(samples: &[Sample]) -> f64 {
-    let mut total = 0.0f64;
-    let mut n = 0usize;
+    mape_cycles_mii_detailed(samples).mape
+}
+
+/// [`mape_cycles_mii`] with coverage counts (used vs skipped samples).
+pub fn mape_cycles_mii_detailed(samples: &[Sample]) -> MapeStats {
+    let mut acc = (0.0f64, 0usize, 0usize);
     for s in samples {
         let actual = s.tc as f64 * s.ii as f64 + s.pro_epi as f64;
         let predicted = s.tc as f64 * s.mii as f64 + s.cp_estimate as f64;
-        if actual > 0.0 {
-            total += ((predicted - actual) / actual).abs();
-            n += 1;
-        }
+        MapeStats::fold(&mut acc, predicted, actual);
     }
-    100.0 * total / n.max(1) as f64
+    MapeStats::finish(acc)
 }
 
 #[cfg(test)]
@@ -283,6 +335,83 @@ mod tests {
         assert!(
             after <= before * 1.25 + 2.0,
             "training degraded train-set MAPE: before {before:.1}%, after {after:.1}%"
+        );
+    }
+
+    #[test]
+    fn zero_actual_cycles_skip_and_count_instead_of_poisoning() {
+        let mut data = tiny_dataset();
+        let model = PtMapGnn::new(ModelConfig {
+            hidden: 8,
+            ..ModelConfig::default()
+        });
+        let clean = mape_cycles_detailed(&model, &data);
+        assert_eq!(clean.skipped, 0);
+        assert_eq!(clean.used, data.len());
+        assert!(clean.mape.is_finite());
+
+        // Poison two samples with zero actual cycles (tc = 0 and
+        // pro_epi = 0 makes `tc·II + ProEpi` exactly zero).
+        for s in data.iter_mut().take(2) {
+            s.tc = 0;
+            s.pro_epi = 0;
+            s.ii = 0;
+        }
+        let stats = mape_cycles_detailed(&model, &data);
+        assert_eq!(stats.skipped, 2, "zero-cycle samples must be counted");
+        assert_eq!(stats.used, data.len() - 2);
+        assert!(
+            stats.mape.is_finite() && !stats.mape.is_nan(),
+            "zero-actual samples must not NaN-poison the aggregate"
+        );
+        // The aggregate over the surviving samples matches recomputing
+        // on just those samples.
+        let survivors = &data[2..];
+        assert!((stats.mape - mape_cycles(&model, survivors)).abs() < 1e-9);
+
+        let mii = mape_cycles_mii_detailed(&data);
+        assert_eq!(mii.skipped, 2);
+        assert_eq!(mii.used, data.len() - 2);
+        assert!(mii.mape.is_finite());
+
+        // All-zero input: no usable sample, a defined (zero) mean.
+        let all_zero: Vec<Sample> = data[..2].to_vec();
+        let empty = mape_cycles_detailed(&model, &all_zero);
+        assert_eq!((empty.used, empty.skipped), (0, 2));
+        assert_eq!(empty.mape, 0.0);
+    }
+
+    #[test]
+    fn fine_tune_continues_training() {
+        let data = tiny_dataset();
+        let mut model = PtMapGnn::new(ModelConfig {
+            hidden: 16,
+            ..ModelConfig::default()
+        });
+        train(
+            &mut model,
+            &data,
+            &TrainConfig {
+                epochs: 30,
+                batch: 8,
+                ..TrainConfig::default()
+            },
+        );
+        let before = mape_cycles(&model, &data);
+        let mut tuned = model.clone();
+        fine_tune(
+            &mut tuned,
+            &data,
+            &TrainConfig {
+                epochs: 30,
+                batch: 8,
+                ..TrainConfig::default()
+            },
+        );
+        let after = mape_cycles(&tuned, &data);
+        assert!(
+            after <= before * 1.25 + 2.0,
+            "fine-tuning diverged: {before:.1}% -> {after:.1}%"
         );
     }
 

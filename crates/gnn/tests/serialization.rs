@@ -35,6 +35,47 @@ fn serde_round_trip_preserves_predictions() {
 }
 
 #[test]
+fn byte_encoding_is_deterministic() {
+    // The snapshot store checksums `to_bytes()` output, so the byte
+    // encoding must be stable: encode -> decode -> encode produces the
+    // identical byte string, and two encodes of the same value agree.
+    let data = generate_dataset(&DatasetConfig {
+        samples: 6,
+        archs: vec![presets::s4()],
+        seed: 34,
+        ..DatasetConfig::default()
+    });
+    let mut model = PtMapGnn::new(ModelConfig {
+        hidden: 8,
+        ..ModelConfig::default()
+    });
+    train(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        },
+    );
+
+    let b1 = model.to_bytes();
+    assert_eq!(b1, model.to_bytes(), "repeat encodes must agree");
+    let restored = PtMapGnn::from_bytes(&b1).expect("decode");
+    let b2 = restored.to_bytes();
+    assert_eq!(b1, b2, "decode/encode must be byte-identical");
+    for s in &data {
+        assert_eq!(model.predict(&s.input), restored.predict(&s.input));
+    }
+}
+
+#[test]
+fn from_bytes_rejects_garbage() {
+    assert!(PtMapGnn::from_bytes(b"not a model").is_err());
+    assert!(PtMapGnn::from_bytes(&[0xff, 0xfe, 0x00]).is_err());
+    assert!(PtMapGnn::from_bytes(b"{\"config\":{}}").is_err());
+}
+
+#[test]
 fn all_variants_serialize() {
     for variant in [
         GnnVariant::Full,

@@ -54,6 +54,10 @@ pub mod sites {
     /// One gateway health probe of a peer (`ptmap-serve`). Scoped to
     /// the peer address, like [`GATEWAY_FORWARD`].
     pub const PEER_HEALTH: &str = "peer_health";
+    /// Reading a versioned model snapshot from `--model-dir`
+    /// (`ptmap-learn`). Scoped to the snapshot file name, so one
+    /// version's load can be failed while the others restore clean.
+    pub const MODEL_LOAD: &str = "model_load";
 }
 
 /// The structured error an `error`- or `refuse`-mode fault surfaces at
@@ -319,10 +323,7 @@ mod tests {
         let t0 = std::time::Instant::now();
         let err = fail_point(sites::GATEWAY_FORWARD).unwrap_err();
         assert!(err.refused, "refuse mode must mark the error refused");
-        assert!(
-            err.to_string().contains("connection refusal"),
-            "{err}"
-        );
+        assert!(err.to_string().contains("connection refusal"), "{err}");
         assert!(
             t0.elapsed() < Duration::from_millis(50),
             "refuse must not delay"

@@ -1,0 +1,143 @@
+//! Live-traffic training samples and the bounded ingest queue.
+
+use ptmap_gnn::Sample;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One live observation, shaped so [`Sample`] feeds the offline
+/// training/evaluation machinery unchanged while the envelope keeps
+/// the serving-time context (what was predicted, by which backend,
+/// under which trace).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiveSample {
+    /// The training row: DFG/arch features plus mapper ground truth.
+    pub sample: Sample,
+    /// II the request's predictor forecast.
+    pub predicted_ii: u32,
+    /// ProEpi the request's predictor forecast.
+    pub predicted_pro_epi: u32,
+    /// Mapper backend that produced the ground-truth mapping.
+    pub backend: String,
+    /// Trace id of the originating compile, when tracing was active.
+    #[serde(default)]
+    pub trace_id: Option<String>,
+}
+
+/// Bounded multi-producer queue between request threads (the tap) and
+/// the trainer. Overflow drops the *oldest* entry: under sustained
+/// overload the trainer sees the freshest traffic, and the drop is
+/// counted rather than silent.
+#[derive(Debug)]
+pub struct PendingQueue {
+    inner: Mutex<VecDeque<LiveSample>>,
+    capacity: usize,
+    total: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl PendingQueue {
+    /// Queue holding at most `capacity` samples (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PendingQueue {
+            inner: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            total: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues a sample, evicting the oldest on overflow.
+    pub fn push(&self, sample: LiveSample) {
+        let mut q = crate::lock_unpoisoned(&self.inner);
+        if q.len() >= self.capacity {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(sample);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes everything currently queued.
+    pub fn drain(&self) -> Vec<LiveSample> {
+        crate::lock_unpoisoned(&self.inner).drain(..).collect()
+    }
+
+    /// Samples ever enqueued (including later-dropped ones).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Samples evicted by overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Currently queued count.
+    pub fn len(&self) -> usize {
+        crate::lock_unpoisoned(&self.inner).len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use ptmap_gnn::{build_input, Sample};
+
+    /// A stationary live stream: identical features and ground truth,
+    /// with only the tripcount cycling — learnable by construction, so
+    /// lifecycle tests converge deterministically.
+    pub(crate) fn live_sample(tag: u32) -> LiveSample {
+        let program = ptmap_workloads::micro::gemm(16);
+        let nest = program.perfect_nests().remove(0);
+        let dfg = ptmap_ir::dfg::build_dfg(&program, &nest, &[]).unwrap();
+        let arch = ptmap_arch::presets::s4();
+        let input = build_input(&dfg, &arch);
+        let mii = input.mii;
+        LiveSample {
+            sample: Sample {
+                input,
+                ii: mii + 1,
+                pro_epi: 6,
+                mii,
+                tc: 16 + (tag % 4) as u64,
+                cp_estimate: 3,
+            },
+            predicted_ii: mii,
+            predicted_pro_epi: 4,
+            backend: "heuristic".to_string(),
+            trace_id: None,
+        }
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let q = PendingQueue::new(2);
+        for i in 0..5 {
+            q.push(live_sample(i));
+        }
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total(), 5);
+        assert_eq!(q.dropped(), 3);
+        let drained = q.drain();
+        // The two freshest survive, in arrival order.
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].sample.tc, 16 + 3);
+        assert_eq!(drained[1].sample.tc, 16);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn live_sample_round_trips_json() {
+        let s = live_sample(1);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: LiveSample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -105,6 +105,7 @@ proptest! {
             budget,
             max_retries: 1,
             trace: None,
+            tap: None,
         };
 
         // Completing at all is the no-deadlock / no-propagated-panic

@@ -115,7 +115,9 @@ fn io_err(e: &std::io::Error) -> ClientError {
 fn read_line(reader: &mut impl BufRead) -> Result<String, ClientError> {
     let mut line = Vec::new();
     let mut limited = reader.by_ref().take((MAX_LINE + 1) as u64);
-    limited.read_until(b'\n', &mut line).map_err(|e| io_err(&e))?;
+    limited
+        .read_until(b'\n', &mut line)
+        .map_err(|e| io_err(&e))?;
     if line.len() > MAX_LINE {
         return Err(ClientError::Malformed("header line too long".into()));
     }

@@ -448,7 +448,8 @@ fn wait_idle(state: &GatewayState, deadline: Instant) -> bool {
 /// One health probe of one peer; drives its breaker.
 fn probe_peer(state: &GatewayState, idx: usize) {
     let peer = &state.peers[idx];
-    let deadline = Instant::now() + PROBE_DEADLINE.min(state.config.probe_interval.max(Duration::from_millis(50)));
+    let deadline = Instant::now()
+        + PROBE_DEADLINE.min(state.config.probe_interval.max(Duration::from_millis(50)));
     let result = with_scope(&peer.addr, || fail_point(sites::PEER_HEALTH)).map_err(|f| {
         if f.refused {
             ClientError::Connect(format!("{}: injected refusal", peer.addr))
@@ -549,7 +550,15 @@ fn forward_with_retries(
                 (left.as_millis() as u64).max(1).to_string(),
             ));
         }
-        match forward_once(state, idx, method, path, &hop_headers, body, budget.deadline()) {
+        match forward_once(
+            state,
+            idx,
+            method,
+            path,
+            &hop_headers,
+            body,
+            budget.deadline(),
+        ) {
             Ok(resp) => {
                 peer.forwards.fetch_add(1, Ordering::Relaxed);
                 // Any parsed response proves the peer alive.
@@ -583,7 +592,8 @@ fn forward_with_retries(
         if attempt < state.config.max_retries {
             let base = state.config.backoff_base.max(Duration::from_millis(1));
             let step = base.saturating_mul(1 << attempt.min(10));
-            let jitter_ms = hash64(format!("{key}:{attempt}").as_bytes()) % (base.as_millis().max(1) as u64);
+            let jitter_ms =
+                hash64(format!("{key}:{attempt}").as_bytes()) % (base.as_millis().max(1) as u64);
             let mut sleep = step + Duration::from_millis(jitter_ms);
             if let Some(left) = budget.remaining() {
                 sleep = sleep.min(left);
@@ -619,21 +629,22 @@ fn forward_sync(
     };
 
     let (tx, rx) = mpsc::channel();
-    let spawn_leg = |offset: usize, tx: mpsc::Sender<(usize, Result<(PeerResponse, usize), ForwardError>)>| {
-        let state = Arc::clone(state);
-        let key = key.to_string();
-        let headers = headers.to_vec();
-        let body = body.to_vec();
-        let budget = budget.clone();
-        let _ = std::thread::Builder::new()
-            .name("ptmap-gw-fwd".to_string())
-            .spawn(move || {
-                let result = forward_with_retries(
-                    &state, &key, "POST", "/compile", &headers, &body, &budget, offset,
-                );
-                let _ = tx.send((offset, result));
-            });
-    };
+    let spawn_leg =
+        |offset: usize, tx: mpsc::Sender<(usize, Result<(PeerResponse, usize), ForwardError>)>| {
+            let state = Arc::clone(state);
+            let key = key.to_string();
+            let headers = headers.to_vec();
+            let body = body.to_vec();
+            let budget = budget.clone();
+            let _ = std::thread::Builder::new()
+                .name("ptmap-gw-fwd".to_string())
+                .spawn(move || {
+                    let result = forward_with_retries(
+                        &state, &key, "POST", "/compile", &headers, &body, &budget, offset,
+                    );
+                    let _ = tx.send((offset, result));
+                });
+        };
     spawn_leg(0, tx.clone());
     match rx.recv_timeout(hedge_after) {
         Ok((_, result)) => result,
@@ -751,10 +762,7 @@ fn validate_headers(
 /// Headers propagated on every forwarded hop (minus the deadline,
 /// which [`forward_with_retries`] re-derives per attempt).
 fn hop_headers(request: &Request) -> Vec<(String, String)> {
-    let mut headers = vec![(
-        "Content-Type".to_string(),
-        "application/json".to_string(),
-    )];
+    let mut headers = vec![("Content-Type".to_string(), "application/json".to_string())];
     for name in ["x-ptmap-trace-id", "x-ptmap-quality"] {
         if let Some(v) = request.header(name) {
             headers.push((name.to_string(), v.to_string()));
@@ -772,10 +780,11 @@ fn resolve_key(
 ) -> Result<(String, String), Response> {
     let text = std::str::from_utf8(body)
         .map_err(|_| Response::json(400, "{\"error\":\"body is not UTF-8\"}".to_string()))?;
-    let spec: JobSpec = serde_json::from_str(text)
-        .map_err(|e| Response::json(400, format!("{{\"error\":{:?}}}", format!("job spec: {e}"))))?;
-    let job = Job::resolve(&spec)
-        .map_err(|e| Response::json(400, format!("{{\"error\":{e:?}}}")))?;
+    let spec: JobSpec = serde_json::from_str(text).map_err(|e| {
+        Response::json(400, format!("{{\"error\":{:?}}}", format!("job spec: {e}")))
+    })?;
+    let job =
+        Job::resolve(&spec).map_err(|e| Response::json(400, format!("{{\"error\":{e:?}}}")))?;
     let mut base = state.config.base.clone();
     if let Some(q) = quality {
         base.mapper.backend = q;
@@ -929,12 +938,19 @@ fn handle_submit(state: &Arc<GatewayState>, request: &Request) -> Response {
     };
     let budget = state.root.scoped_child(Some(timeout.min(POLL_DEADLINE)));
     let headers = hop_headers(request);
-    let (resp, idx) =
-        match forward_with_retries(state, &key, "POST", "/jobs", &headers, &request.body, &budget, 0)
-        {
-            Ok(v) => v,
-            Err(err) => return forward_error_response(state, &name, err),
-        };
+    let (resp, idx) = match forward_with_retries(
+        state,
+        &key,
+        "POST",
+        "/jobs",
+        &headers,
+        &request.body,
+        &budget,
+        0,
+    ) {
+        Ok(v) => v,
+        Err(err) => return forward_error_response(state, &name, err),
+    };
     if resp.status != 202 {
         return relay(state, resp, idx);
     }
@@ -943,7 +959,10 @@ fn handle_submit(state: &Arc<GatewayState>, request: &Request) -> Response {
             502,
             format!(
                 "{{\"error\":{:?}}}",
-                format!("peer {} answered 202 without a job id", state.peers[idx].addr)
+                format!(
+                    "peer {} answered 202 without a job id",
+                    state.peers[idx].addr
+                )
             ),
         );
     };
@@ -996,10 +1015,7 @@ fn rewrite_job_id(body: &str, gid: u64) -> Option<String> {
 /// Resubmits a tracked job whose owner is unreachable to the next live
 /// replica. Returns the poll-shaped response for the client.
 fn requeue_job(state: &Arc<GatewayState>, gid: u64, job: &GwJob) -> Response {
-    let mut headers = vec![(
-        "Content-Type".to_string(),
-        "application/json".to_string(),
-    )];
+    let mut headers = vec![("Content-Type".to_string(), "application/json".to_string())];
     if let Some(q) = &job.quality {
         headers.push(("x-ptmap-quality".to_string(), q.clone()));
     }
@@ -1074,9 +1090,19 @@ fn handle_poll(state: &Arc<GatewayState>, path: &str) -> Response {
     }
     let budget = state.root.scoped_child(Some(POLL_DEADLINE));
     let remote_path = format!("/jobs/{}", job.remote_id);
-    match forward_once(state, job.peer, "GET", &remote_path, &[], b"", budget.deadline()) {
+    match forward_once(
+        state,
+        job.peer,
+        "GET",
+        &remote_path,
+        &[],
+        b"",
+        budget.deadline(),
+    ) {
         Ok(resp) if resp.status == 200 => {
-            state.peers[job.peer].forwards.fetch_add(1, Ordering::Relaxed);
+            state.peers[job.peer]
+                .forwards
+                .fetch_add(1, Ordering::Relaxed);
             let change =
                 lock_unpoisoned(&state.peers[job.peer].breaker).record_success(Instant::now());
             state.note_transition(job.peer, change);
@@ -1097,25 +1123,33 @@ fn handle_poll(state: &Arc<GatewayState>, path: &str) -> Response {
         // A 404 means the owner restarted and lost the job table; treat
         // it like a dead owner and resubmit.
         Ok(resp) if resp.status == 404 => {
-            state.peers[job.peer].forwards.fetch_add(1, Ordering::Relaxed);
+            state.peers[job.peer]
+                .forwards
+                .fetch_add(1, Ordering::Relaxed);
             requeue_job(state, gid, &job)
         }
         Ok(resp) => {
-            state.peers[job.peer].forwards.fetch_add(1, Ordering::Relaxed);
+            state.peers[job.peer]
+                .forwards
+                .fetch_add(1, Ordering::Relaxed);
             relay(state, resp, job.peer)
         }
         Err(ClientError::Connect(_)) => {
             let change =
                 lock_unpoisoned(&state.peers[job.peer].breaker).record_failure(Instant::now());
             state.note_transition(job.peer, change);
-            state.peers[job.peer].failures.fetch_add(1, Ordering::Relaxed);
+            state.peers[job.peer]
+                .failures
+                .fetch_add(1, Ordering::Relaxed);
             requeue_job(state, gid, &job)
         }
         Err(e) => {
             let change =
                 lock_unpoisoned(&state.peers[job.peer].breaker).record_failure(Instant::now());
             state.note_transition(job.peer, change);
-            state.peers[job.peer].failures.fetch_add(1, Ordering::Relaxed);
+            state.peers[job.peer]
+                .failures
+                .fetch_add(1, Ordering::Relaxed);
             Response::json(
                 502,
                 format!("{{\"error\":{:?}}}", format!("poll forward failed: {e}")),
@@ -1235,7 +1269,7 @@ fn handle_healthz(state: &Arc<GatewayState>) -> Response {
 }
 
 /// The scalar singletons re-exported per peer in the cluster rollup.
-const ROLLUP_METRICS: [(&str, &str); 4] = [
+const ROLLUP_METRICS: [(&str, &str); 5] = [
     (
         "ptmap_compiles_started_total",
         "ptmap_cluster_compiles_started_total",
@@ -1243,6 +1277,7 @@ const ROLLUP_METRICS: [(&str, &str); 4] = [
     ("ptmap_queue_depth", "ptmap_cluster_queue_depth"),
     ("ptmap_inflight_compiles", "ptmap_cluster_inflight_compiles"),
     ("ptmap_cache_hits_total", "ptmap_cluster_cache_hits_total"),
+    ("ptmap_model_version", "ptmap_cluster_model_version"),
 ];
 
 /// Renders the gateway `/metrics` document. `rollup` additionally
@@ -1412,7 +1447,9 @@ fn render_cluster_rollup(state: &GatewayState, out: &mut String) {
             for (source, target) in ROLLUP_METRICS {
                 if let Some(rest) = line.strip_prefix(source) {
                     if let Some(value) = rest.strip_prefix(' ') {
-                        rows.entry(target).or_default().push((idx, value.to_string()));
+                        rows.entry(target)
+                            .or_default()
+                            .push((idx, value.to_string()));
                     }
                 }
             }
@@ -1429,7 +1466,10 @@ fn render_cluster_rollup(state: &GatewayState, out: &mut String) {
         );
     }
     for (target, series) in rows {
-        let _ = writeln!(out, "# HELP {target} Peer metric, rolled up by the gateway.");
+        let _ = writeln!(
+            out,
+            "# HELP {target} Peer metric, rolled up by the gateway."
+        );
         let _ = writeln!(out, "# TYPE {target} gauge");
         for (idx, value) in series {
             let _ = writeln!(
@@ -1477,11 +1517,13 @@ mod tests {
         })
         .unwrap();
         let handle = gw.handle();
-        handle.state.metrics.observe_request("compile", 200, Duration::from_millis(5));
-        handle.state.note_transition(
-            0,
-            Some((BreakerState::Closed, BreakerState::Open)),
-        );
+        handle
+            .state
+            .metrics
+            .observe_request("compile", 200, Duration::from_millis(5));
+        handle
+            .state
+            .note_transition(0, Some((BreakerState::Closed, BreakerState::Open)));
         let text = handle.metrics_text();
         crate::metrics::check_prometheus_text(&text).expect("must parse");
         assert!(text.contains("ptmap_gateway_forwards_total{peer=\"127.0.0.1:1\"} 0"));

@@ -153,14 +153,13 @@ pub fn run_loadtest(config: &LoadtestConfig) -> LoadtestReport {
                     }
                     let body = spec_for(config.seed, i, config.distinct);
                     let deadline_header = config.deadline_ms.map(|ms| ms.to_string());
-                    let mut headers: Vec<(&str, &str)> =
-                        vec![("Content-Type", "application/json")];
+                    let mut headers: Vec<(&str, &str)> = vec![("Content-Type", "application/json")];
                     if let Some(ms) = &deadline_header {
                         headers.push(("X-Ptmap-Deadline-Ms", ms));
                     }
-                    let deadline = config
-                        .deadline_ms
-                        .map(|ms| Instant::now() + Duration::from_millis(ms) + Duration::from_secs(5));
+                    let deadline = config.deadline_ms.map(|ms| {
+                        Instant::now() + Duration::from_millis(ms) + Duration::from_secs(5)
+                    });
                     let t = Instant::now();
                     let result = client::request(
                         &config.target,

@@ -16,6 +16,7 @@ use crate::traces::TraceStore;
 use crate::{lock_unpoisoned, signal};
 use ptmap_core::PtMapConfig;
 use ptmap_governor::Budget;
+use ptmap_learn::{LearnConfig, LearnEngine};
 use ptmap_mapper::BackendKind;
 use ptmap_pipeline::{
     compile_job_traced, request_key, BatchConfig, Job, JobOutcome, JobSpec, Recorder, ReportCache,
@@ -60,6 +61,11 @@ pub struct ServeConfig {
     /// Slow-compile threshold: a compile slower than this keeps its
     /// trace even when sampled out, so outliers are always inspectable.
     pub trace_slow_ms: Option<u64>,
+    /// Online cost-model learning (`--learn`): `Some` boots a
+    /// [`LearnEngine`] that taps every completed compile, fine-tunes in
+    /// the background, and hot-swaps the learned model behind
+    /// `GET /model`. `None` disables the subsystem entirely.
+    pub learn: Option<LearnConfig>,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +82,7 @@ impl Default for ServeConfig {
             drain_timeout: Duration::from_secs(20),
             trace_sample: 1.0,
             trace_slow_ms: None,
+            learn: None,
         }
     }
 }
@@ -104,6 +111,9 @@ pub(crate) struct ServerState {
     metrics: ServiceMetrics,
     /// Ring buffer of retained compile traces (`GET /jobs/<id>/trace`).
     traces: TraceStore,
+    /// The online-learning engine (`--learn`); doubles as the pipeline
+    /// sample tap.
+    learn: Option<Arc<LearnEngine>>,
     /// The server-wide root budget; every request scope descends from
     /// it, so cancelling it (drain timeout) cancels all compiles.
     root: Budget,
@@ -150,7 +160,18 @@ impl ServerState {
 
     fn render_metrics(&self) -> String {
         let (spans, counters) = self.recorder.snapshot();
-        render(&self.metrics, &self.gauges(), &spans, &counters)
+        let mut out = render(&self.metrics, &self.gauges(), &spans, &counters);
+        let fallbacks = counters.get("predictor_fallbacks").copied().unwrap_or(0);
+        out.push_str(&format!(
+            "# HELP ptmap_predictor_fallbacks_total Compiles that fell back to the \
+             analytical predictor because a GNN model failed to load.\n\
+             # TYPE ptmap_predictor_fallbacks_total counter\n\
+             ptmap_predictor_fallbacks_total {fallbacks}\n"
+        ));
+        if let Some(engine) = &self.learn {
+            out.push_str(&engine.render_metrics());
+        }
+        out
     }
 }
 
@@ -295,6 +316,12 @@ fn leader_batch_config(
         // File export is the batch CLI's sink; the daemon renders and
         // retains traces itself (see `store_trace`).
         trace: None,
+        // Online-learning ingest: observe-only, so it never perturbs
+        // compile results or cache keys.
+        tap: state
+            .learn
+            .as_ref()
+            .map(|l| std::sync::Arc::clone(l) as std::sync::Arc<dyn ptmap_eval::SampleTap>),
     }
 }
 
@@ -337,8 +364,13 @@ impl Server {
             None => ReportCache::in_memory(),
         };
         let queue_cap = config.queue_cap.max(1);
+        let learn = match config.learn.clone() {
+            Some(lc) => Some(Arc::new(LearnEngine::new(lc)?)),
+            None => None,
+        };
         let state = Arc::new(ServerState {
             cache,
+            learn,
             recorder: Recorder::new(),
             coalescer: Arc::new(Coalescer::new()),
             jobs: JobTable::new(queue_cap),
@@ -393,6 +425,37 @@ impl Server {
             );
         }
 
+        // The background trainer: drains the sample tap, fine-tunes,
+        // shadows, and promotes — entirely off the request path. Each
+        // pump runs under a scope of the root budget, so the drain
+        // timeout's root cancel stops training within one epoch. The
+        // final iteration after the stop flag flushes pending samples.
+        let trainer = state.learn.as_ref().map(|engine| {
+            let engine = Arc::clone(engine);
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("ptmap-learn".to_string())
+                .spawn(move || loop {
+                    let stopping = state.stop.load(Ordering::Acquire)
+                        || signal::shutdown_requested()
+                        || state.draining.load(Ordering::Acquire);
+                    let tracer = Tracer::root("learn");
+                    let budget = state.root.scoped_child(None);
+                    let t0 = Instant::now();
+                    let report = engine.pump(&budget, &tracer);
+                    // Lifecycle pumps (a training round or a verdict)
+                    // are rare and always worth a retained trace.
+                    if report.trained || report.promoted || report.rejected {
+                        store_trace(&state, &tracer, true, t0.elapsed());
+                    }
+                    if stopping {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                })
+                .expect("spawn learn trainer")
+        });
+
         // Accept loop: nonblocking so the shutdown flags are polled
         // between accepts.
         loop {
@@ -444,6 +507,9 @@ impl Server {
         }
         for worker in workers {
             let _ = worker.join();
+        }
+        if let Some(trainer) = trainer {
+            let _ = trainer.join();
         }
 
         // Flush the final metrics snapshot where an operator (or the
@@ -533,8 +599,9 @@ fn route(
         }
         ("GET", path) if path.starts_with("/jobs/") => ("jobs_poll", handle_poll(state, path)),
         ("GET", "/metrics") => ("metrics", Response::text(200, state.render_metrics())),
+        ("GET", "/model") => ("model", handle_model(state)),
         ("GET", "/healthz") => ("healthz", handle_healthz(state)),
-        (_, "/compile" | "/jobs" | "/metrics" | "/healthz") => (
+        (_, "/compile" | "/jobs" | "/metrics" | "/model" | "/healthz") => (
             "other",
             Response::json(405, "{\"error\":\"method not allowed\"}".to_string()),
         ),
@@ -894,6 +961,19 @@ fn handle_trace(state: &Arc<ServerState>, path: &str) -> Response {
         None => Response::json(
             404,
             format!("{{\"error\":{:?}}}", format!("no trace {trace_id}")),
+        ),
+    }
+}
+
+/// `GET /model`: the online-learning engine's state — serving model
+/// version, sample/training/promotion counters, live MAPE, and any
+/// in-flight shadow window. `404` when `--learn` is off.
+fn handle_model(state: &Arc<ServerState>) -> Response {
+    match &state.learn {
+        Some(engine) => Response::json(200, engine.status_json()),
+        None => Response::json(
+            404,
+            "{\"error\":\"online learning disabled (start with --learn)\"}".to_string(),
         ),
     }
 }

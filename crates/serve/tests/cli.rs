@@ -203,6 +203,14 @@ fn serve_bad_flags_exit_two() {
         &["serve", "--workers", "zero"],
         &["serve", "--deadline", "-3"],
         &["serve", "--frobnicate"],
+        // Learning sub-flags require --learn.
+        &["serve", "--model-dir", "/tmp/models"],
+        &["serve", "--train-threshold", "8"],
+        &["serve", "--shadow-window", "8"],
+        &["serve", "--promote-margin", "0.05"],
+        // And their values must parse.
+        &["serve", "--learn", "--train-threshold", "zero"],
+        &["serve", "--learn", "--promote-margin", "1.5"],
     ];
     for args in cases {
         let out = ptmap().args(*args).output().unwrap();
@@ -218,13 +226,22 @@ fn gateway_bad_flags_exit_two() {
         &["gateway"],
         // Empty entries in the peer list are rejected.
         &["gateway", "--peers", "127.0.0.1:7100,,127.0.0.1:7101"],
-        &["gateway", "--peers", "127.0.0.1:7100", "--max-retries", "many"],
+        &[
+            "gateway",
+            "--peers",
+            "127.0.0.1:7100",
+            "--max-retries",
+            "many",
+        ],
         &["gateway", "--peers", "127.0.0.1:7100", "--frobnicate"],
     ];
     for args in cases {
         let out = ptmap().args(*args).output().unwrap();
         assert_eq!(out.status.code(), Some(2), "{args:?}");
-        assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"), "{args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage:"),
+            "{args:?}"
+        );
     }
 }
 
@@ -238,7 +255,10 @@ fn loadtest_bad_flags_exit_two() {
     for args in cases {
         let out = ptmap().args(*args).output().unwrap();
         assert_eq!(out.status.code(), Some(2), "{args:?}");
-        assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"), "{args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage:"),
+            "{args:?}"
+        );
     }
 }
 

@@ -216,11 +216,11 @@ fn gateway_routes_compiles_and_relays_daemon_bytes() {
     for _ in 0..3 {
         let again = http(gw.addr, "POST", "/compile", &[], &spec);
         assert_eq!(again.status, 200);
-        assert_eq!(again.header("x-ptmap-peer"), Some(owner.to_string().as_str()));
         assert_eq!(
-            json(&again.body).get("cache_hit"),
-            Some(&Value::Bool(true))
+            again.header("x-ptmap-peer"),
+            Some(owner.to_string().as_str())
         );
+        assert_eq!(json(&again.body).get("cache_hit"), Some(&Value::Bool(true)));
     }
 
     // Different keys (distinct kernels — the job name is not part of
@@ -237,7 +237,11 @@ fn gateway_routes_compiles_and_relays_daemon_bytes() {
     // /healthz and /cluster agree: three live peers.
     let health = http(gw.addr, "GET", "/healthz", &[], "");
     assert_eq!(health.status, 200, "{}", health.body);
-    assert!(health.body.contains("\"peers_available\":3"), "{}", health.body);
+    assert!(
+        health.body.contains("\"peers_available\":3"),
+        "{}",
+        health.body
+    );
     let cluster = json(&http(gw.addr, "GET", "/cluster", &[], "").body);
     assert_eq!(cluster.get("available"), Some(&Value::Int(3)));
     assert_eq!(
@@ -247,7 +251,10 @@ fn gateway_routes_compiles_and_relays_daemon_bytes() {
 
     let summary = gw.stop();
     assert!(summary.clean);
-    assert!(summary.forwards >= 1, "at least the first compile forwarded");
+    assert!(
+        summary.forwards >= 1,
+        "at least the first compile forwarded"
+    );
     for d in daemons {
         d.stop();
     }
@@ -365,8 +372,12 @@ fn breaker_ejects_failing_peer_and_readmits_after_recovery() {
     check_prometheus_text(&text).expect("valid gateway metrics");
     let sick_label = format!("peer=\"{sick}\"");
     assert!(
-        labelled_value(&text, "ptmap_gateway_probes_total", &format!("{sick_label},outcome=\"failed\""))
-            .unwrap_or(0.0)
+        labelled_value(
+            &text,
+            "ptmap_gateway_probes_total",
+            &format!("{sick_label},outcome=\"failed\"")
+        )
+        .unwrap_or(0.0)
             >= 2.0,
         "{text}"
     );
@@ -476,7 +487,11 @@ fn async_jobs_survive_their_owner_dying() {
     let t0 = Instant::now();
     let done = loop {
         let poll = http(gw.addr, "GET", &format!("/jobs/{gid}"), &[], "");
-        assert_ne!(poll.status, 404, "job lost after owner death: {}", poll.body);
+        assert_ne!(
+            poll.status, 404,
+            "job lost after owner death: {}",
+            poll.body
+        );
         if poll.status == 200 && poll.body.contains("\"state\":\"done\"") {
             break poll;
         }

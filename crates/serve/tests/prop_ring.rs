@@ -13,8 +13,11 @@ use ptmap_serve::HashRing;
 /// Arbitrary peer sets: ids mapped to `host<i>:7<i>`-style names, with
 /// duplicates collapsed by the ring itself.
 fn peer_names(max: usize) -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::vec(0u64..40, 1..max)
-        .prop_map(|ids| ids.into_iter().map(|i| format!("host{i}:70{i:02}")).collect())
+    proptest::collection::vec(0u64..40, 1..max).prop_map(|ids| {
+        ids.into_iter()
+            .map(|i| format!("host{i}:70{i:02}"))
+            .collect()
+    })
 }
 
 /// A workload of keys shaped like real request keys.

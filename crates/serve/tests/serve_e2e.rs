@@ -570,7 +570,10 @@ fn async_submissions_validate_headers_like_sync_compiles() {
         addr,
         "POST",
         "/jobs",
-        &[("X-Ptmap-Deadline-Ms", "60000"), ("X-Ptmap-Quality", "heuristic")],
+        &[
+            ("X-Ptmap-Deadline-Ms", "60000"),
+            ("X-Ptmap-Quality", "heuristic"),
+        ],
         &spec,
     );
     assert_eq!(ok.status, 202, "{}", ok.body);
