@@ -192,7 +192,12 @@ impl ReportCache {
             let _ = std::fs::remove_file(path);
         }
         self.quarantines.fetch_add(1, Ordering::Relaxed);
-        eprintln!("warning: {}", quarantine_message(key, reason));
+        ptmap_trace::obs::logger().warn(
+            "cache_quarantine",
+            None,
+            &quarantine_message(key, reason),
+            &[("key", key.into())],
+        );
     }
 
     /// Stores a report under a key (memory and, if configured, disk).

@@ -242,9 +242,11 @@ impl BatchReport {
 pub fn run_batch(jobs: &[Job], config: &BatchConfig) -> BatchReport {
     let cache = match &config.cache_dir {
         Some(dir) => ReportCache::with_dir(dir).unwrap_or_else(|e| {
-            eprintln!(
-                "warning: cache dir {}: {e}; falling back to memory",
-                dir.display()
+            ptmap_trace::obs::logger().warn(
+                "cache_dir_fallback",
+                None,
+                &format!("cache dir {}: {e}; falling back to memory", dir.display()),
+                &[],
             );
             ReportCache::in_memory()
         }),
@@ -431,7 +433,12 @@ fn export_batch_trace(
     match write {
         Ok(()) => recorder.incr("traces_written", 1),
         Err(e) => {
-            eprintln!("warning: writing trace {}: {e}", path.display());
+            ptmap_trace::obs::logger().warn(
+                "trace_write_failed",
+                Some(&trace.trace_id),
+                &format!("writing trace {}: {e}", path.display()),
+                &[],
+            );
             recorder.incr("trace_write_failures", 1);
         }
     }

@@ -24,6 +24,7 @@
 //!               [--default-backend {heuristic|exact|portfolio}]
 //! ptmap loadtest [--target HOST:PORT] [--workers N] [--requests N]
 //!                [--seed N] [--distinct N] [--deadline-ms MS]
+//!                [--log-format {text|json}] [--log-level LEVEL]
 //! ptmap archs
 //! ptmap parse --source kernel.c
 //! ```
@@ -107,6 +108,7 @@ fn usage_text() -> &'static str {
      \x20         [--default-backend {heuristic|exact|portfolio}]\n\
      \x20         [--speculate {off|auto|WIDTH}]\n\
      \x20         [--trace-sample P] [--trace-slow-ms MS]\n\
+     \x20         [--log-format {text|json}] [--log-level {debug|info|warn|error}]\n\
      \x20         [--learn [--model-dir DIR] [--train-threshold N]\n\
      \x20          [--shadow-window N] [--promote-margin F]]\n\
      \x20 gateway --peers HOST:PORT,HOST:PORT,... [--addr HOST:PORT]\n\
@@ -116,8 +118,11 @@ fn usage_text() -> &'static str {
      \x20         [--deadline SECS] [--drain-timeout SECS]\n\
      \x20         [--default-backend {heuristic|exact|portfolio}]\n\
      \x20         [--speculate {off|auto|WIDTH}] [--validate]\n\
+     \x20         [--trace-dir DIR]\n\
+     \x20         [--log-format {text|json}] [--log-level {debug|info|warn|error}]\n\
      \x20 loadtest [--target HOST:PORT] [--workers N] [--requests N]\n\
      \x20         [--seed N] [--distinct N] [--deadline-ms MS]\n\
+     \x20         [--log-format {text|json}] [--log-level {debug|info|warn|error}]\n\
      \x20 parse   --source FILE"
 }
 
@@ -449,6 +454,8 @@ fn serve(args: &[String]) -> ExitCode {
             "--speculate",
             "--trace-sample",
             "--trace-slow-ms",
+            "--log-format",
+            "--log-level",
             "--model-dir",
             "--train-threshold",
             "--shadow-window",
@@ -480,13 +487,20 @@ fn serve(args: &[String]) -> ExitCode {
         }
     }
     ptmap_serve::signal::install_handlers();
+    // Bind installed the process-wide event log; a panic should dump
+    // the flight recorder before the backtrace.
+    ptmap_trace::obs::install_panic_hook();
     let summary = server.run();
-    eprintln!(
-        "drained{}: {} requests, {} compiles, {} coalesced",
-        if summary.clean { "" } else { " (forced)" },
-        summary.requests,
-        summary.compiles,
-        summary.coalesced
+    ptmap_trace::obs::logger().info(
+        "drained",
+        None,
+        if summary.clean { "" } else { "forced" },
+        &[
+            ("requests", summary.requests.into()),
+            ("compiles", summary.compiles.into()),
+            ("coalesced", summary.coalesced.into()),
+            ("clean", summary.clean.into()),
+        ],
     );
     ExitCode::SUCCESS
 }
@@ -540,6 +554,8 @@ fn serve_config(flags: &Flags) -> Result<ptmap_serve::ServeConfig, String> {
             .unwrap_or(defaults.trace_sample),
         trace_slow_ms: parse_ms(flags.get("--trace-slow-ms"), "--trace-slow-ms")?,
         learn: learn_config(flags)?,
+        log_level: parse_log_level(flags.get("--log-level"))?,
+        log_format: parse_log_format(flags.get("--log-format"))?,
     })
 }
 
@@ -604,6 +620,9 @@ fn gateway(args: &[String]) -> ExitCode {
             "--drain-timeout",
             "--default-backend",
             "--speculate",
+            "--trace-dir",
+            "--log-format",
+            "--log-level",
         ],
         &["--validate"],
     ) {
@@ -631,15 +650,20 @@ fn gateway(args: &[String]) -> ExitCode {
         }
     }
     ptmap_serve::signal::install_handlers();
+    ptmap_trace::obs::install_panic_hook();
     let summary = gateway.run();
-    eprintln!(
-        "drained{}: {} requests, {} forwards, {} retries, {} hedges, {} requeued",
-        if summary.clean { "" } else { " (forced)" },
-        summary.requests,
-        summary.forwards,
-        summary.retries,
-        summary.hedges,
-        summary.requeued
+    ptmap_trace::obs::logger().info(
+        "drained",
+        None,
+        if summary.clean { "" } else { "forced" },
+        &[
+            ("requests", summary.requests.into()),
+            ("forwards", summary.forwards.into()),
+            ("retries", summary.retries.into()),
+            ("hedges", summary.hedges.into()),
+            ("requeued", summary.requeued.into()),
+            ("clean", summary.clean.into()),
+        ],
     );
     ExitCode::SUCCESS
 }
@@ -707,6 +731,9 @@ fn gateway_config(flags: &Flags) -> Result<ptmap_serve::GatewayConfig, String> {
             .unwrap_or(defaults.default_timeout),
         drain_timeout: parse_seconds(flags.get("--drain-timeout"), "--drain-timeout")?
             .unwrap_or(defaults.drain_timeout),
+        trace_dir: flags.get("--trace-dir").map(Into::into),
+        log_level: parse_log_level(flags.get("--log-level"))?,
+        log_format: parse_log_format(flags.get("--log-format"))?,
     })
 }
 
@@ -720,6 +747,8 @@ fn loadtest(args: &[String]) -> ExitCode {
             "--seed",
             "--distinct",
             "--deadline-ms",
+            "--log-format",
+            "--log-level",
         ],
         &[],
     ) {
@@ -730,6 +759,17 @@ fn loadtest(args: &[String]) -> ExitCode {
         Ok(c) => c,
         Err(e) => return usage_error(&e),
     };
+    let (level, format) = match (
+        parse_log_level(flags.get("--log-level")),
+        parse_log_format(flags.get("--log-format")),
+    ) {
+        (Ok(l), Ok(f)) => (l, f),
+        (Err(e), _) | (_, Err(e)) => return usage_error(&e),
+    };
+    ptmap_trace::obs::install(std::sync::Arc::new(ptmap_trace::obs::EventLog::new(
+        "loadtest", level, format,
+    )));
+    ptmap_trace::obs::install_panic_hook();
     let report = ptmap_serve::run_loadtest(&config);
     print!("{}", report.render());
     // Exit status is the verdict: any failed request fails the run, so
@@ -791,6 +831,24 @@ fn parse_speculation(
     match text {
         None => Ok(None),
         Some(t) => t.parse().map(Some).map_err(|e| format!("{flag}: {e}")),
+    }
+}
+
+/// Parses an optional `--log-level` flag (`debug|info|warn|error`).
+fn parse_log_level(text: Option<&str>) -> Result<ptmap_trace::obs::Level, String> {
+    match text {
+        None => Ok(ptmap_trace::obs::Level::Info),
+        Some(t) => ptmap_trace::obs::Level::parse(t)
+            .ok_or_else(|| format!("--log-level must be debug|info|warn|error, got {t}")),
+    }
+}
+
+/// Parses an optional `--log-format` flag (`text|json`).
+fn parse_log_format(text: Option<&str>) -> Result<ptmap_trace::obs::LogFormat, String> {
+    match text {
+        None => Ok(ptmap_trace::obs::LogFormat::Text),
+        Some(t) => ptmap_trace::obs::LogFormat::parse(t)
+            .ok_or_else(|| format!("--log-format must be text or json, got {t}")),
     }
 }
 

@@ -1,0 +1,83 @@
+//! `GET /debug/events`: replay the flight recorder.
+//!
+//! Both the daemon and the gateway keep an
+//! [`EventLog`](ptmap_trace::obs::EventLog) — a bounded ring of the
+//! most recent structured events, recorded as JSON lines regardless
+//! of the stderr `--log-format`. This endpoint replays the last `n`
+//! of them (default: everything buffered) as newline-delimited JSON,
+//! so a post-mortem can see what the process was doing without
+//! having had log shipping configured in advance.
+
+use crate::http::Response;
+use ptmap_trace::obs::EventLog;
+
+/// Parses `n=<count>` out of a raw query string.
+fn parse_limit(query: Option<&str>) -> usize {
+    query
+        .into_iter()
+        .flat_map(|q| q.split('&'))
+        .find_map(|kv| kv.strip_prefix("n="))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(usize::MAX)
+}
+
+/// Renders the last `n=` events (newest last) as an NDJSON response.
+pub(crate) fn events_response(log: &EventLog, query: Option<&str>) -> Response {
+    let lines = log.recent(parse_limit(query));
+    let mut body = lines.join("\n");
+    if !body.is_empty() {
+        body.push('\n');
+    }
+    Response {
+        status: 200,
+        headers: Vec::new(),
+        body: body.into_bytes(),
+        content_type: "application/x-ndjson",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptmap_trace::obs::{Level, LogFormat};
+    use serde::Value;
+
+    #[test]
+    fn replays_last_n_as_ndjson() {
+        let log = EventLog::new("test", Level::Debug, LogFormat::Json);
+        for i in 0..5u64 {
+            log.info("tick", None, "", &[("i", i.into())]);
+        }
+        let resp = events_response(&log, Some("n=2"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "application/x-ndjson");
+        let body = String::from_utf8(resp.body).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let ev = serde_json::from_str::<Value>(line).expect("each line is JSON");
+            assert_eq!(ev.get("event").and_then(|v| v.as_str()), Some("tick"));
+        }
+        let last = serde_json::from_str::<Value>(lines[1]).unwrap();
+        assert_eq!(last.get("i").and_then(|v| v.as_u64()), Some(4));
+    }
+
+    #[test]
+    fn empty_recorder_yields_empty_body() {
+        let log = EventLog::new("test", Level::Info, LogFormat::Text);
+        let resp = events_response(&log, None);
+        assert!(resp.body.is_empty());
+    }
+
+    #[test]
+    fn bad_or_missing_limit_means_everything() {
+        let log = EventLog::new("test", Level::Debug, LogFormat::Json);
+        for _ in 0..3 {
+            log.info("tick", None, "", &[]);
+        }
+        for query in [None, Some("n=abc"), Some("other=1")] {
+            let resp = events_response(&log, query);
+            assert_eq!(String::from_utf8(resp.body).unwrap().lines().count(), 3);
+        }
+    }
+}

@@ -39,12 +39,18 @@ use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::metrics::{render_http_sections, ServiceMetrics};
 use crate::server::{error_outcome, outcome_status};
 use crate::shard::{hash64, Breaker, BreakerState, HashRing};
+use crate::traces::TraceStore;
 use crate::{lock_unpoisoned, signal};
 use ptmap_core::PtMapConfig;
 use ptmap_governor::faultpoint::{fail_point, sites, with_scope};
 use ptmap_governor::Budget;
 use ptmap_mapper::BackendKind;
 use ptmap_pipeline::{request_key, Job, JobOutcome, JobSpec, ReportCache};
+use ptmap_trace::obs::{EventLog, Level, LogFormat};
+use ptmap_trace::{
+    chrome_trace_json, next_trace_id, stitch, AttrValue, Span, Trace, Tracer, FORWARD_SPAN,
+    WINNER_ATTR,
+};
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -94,6 +100,15 @@ pub struct GatewayConfig {
     pub default_timeout: Duration,
     /// How long drain waits for in-flight forwards.
     pub drain_timeout: Duration,
+    /// Directory where stitched cluster traces for sync compiles are
+    /// exported as `<trace-id>.json` Chrome trace-event documents
+    /// (`None` = no export; `GET /jobs/<id>/trace` still works).
+    pub trace_dir: Option<PathBuf>,
+    /// Minimum severity the structured event log records.
+    pub log_level: Level,
+    /// How event-log lines are rendered on stderr (the `/debug/events`
+    /// flight recorder always keeps JSON).
+    pub log_format: LogFormat,
 }
 
 impl Default for GatewayConfig {
@@ -111,6 +126,9 @@ impl Default for GatewayConfig {
             base: PtMapConfig::default(),
             default_timeout: Duration::from_secs(300),
             drain_timeout: Duration::from_secs(20),
+            trace_dir: None,
+            log_level: Level::Info,
+            log_format: LogFormat::Text,
         }
     }
 }
@@ -161,6 +179,18 @@ struct GwJob {
     /// The final poll body (id already rewritten), retained so a
     /// finished job survives its owner dying afterwards.
     done: Option<String>,
+    /// The gateway-side root span for the job's whole tracked
+    /// lifetime. Requeue/poll activity nests under it; it stays open
+    /// until the trace is snapshotted at completion (an open root
+    /// exports clamped to the trace wall time).
+    span: Arc<Span>,
+}
+
+impl GwJob {
+    /// The job's gateway trace handle (scoped to its root span).
+    fn tracer(&self) -> &Tracer {
+        self.span.tracer()
+    }
 }
 
 /// Everything the gateway's handler threads share.
@@ -170,6 +200,10 @@ struct GatewayState {
     peers: Vec<Peer>,
     cache: Option<ReportCache>,
     metrics: ServiceMetrics,
+    /// Finished gateway-side span trees, ready for stitching.
+    traces: TraceStore,
+    /// Structured event log; also the `/debug/events` flight recorder.
+    log: Arc<EventLog>,
     /// (peer index, new state name) → transition count.
     transitions: Mutex<BTreeMap<(usize, &'static str), u64>>,
     /// Gateway job id → tracked job.
@@ -189,12 +223,23 @@ struct GatewayState {
 }
 
 impl GatewayState {
-    /// Records a breaker transition for `/metrics` and `/cluster`.
+    /// Records a breaker transition for `/metrics`, `/cluster`, and
+    /// the event log.
     fn note_transition(&self, peer: usize, change: Option<(BreakerState, BreakerState)>) {
-        if let Some((_, to)) = change {
+        if let Some((from, to)) = change {
             *lock_unpoisoned(&self.transitions)
                 .entry((peer, to.name()))
                 .or_default() += 1;
+            self.log.info(
+                "breaker_transition",
+                None,
+                "",
+                &[
+                    ("peer", AttrValue::Str(self.peers[peer].addr.clone())),
+                    ("from", from.name().into()),
+                    ("to", to.name().into()),
+                ],
+            );
         }
     }
 
@@ -276,6 +321,14 @@ impl Gateway {
         }
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        // Pin the start-time gauge's value before serving anything.
+        crate::metrics::process_start_seconds();
+        let log = Arc::new(EventLog::new(
+            "gateway",
+            config.log_level,
+            config.log_format,
+        ));
+        ptmap_trace::obs::install(Arc::clone(&log));
         let ring = HashRing::new(&config.peers);
         let peers = ring
             .peers()
@@ -289,21 +342,24 @@ impl Gateway {
                 probes_failed: AtomicU64::new(0),
             })
             .collect();
-        let cache = match &config.cache_dir {
-            Some(dir) => Some(ReportCache::with_dir(dir).unwrap_or_else(|e| {
-                eprintln!(
-                    "warning: cache dir {}: {e}; falling back to memory",
-                    dir.display()
+        let cache = config.cache_dir.as_ref().map(|dir| {
+            ReportCache::with_dir(dir).unwrap_or_else(|e| {
+                log.warn(
+                    "cache_dir_fallback",
+                    None,
+                    &format!("cache dir {}: {e}; falling back to memory", dir.display()),
+                    &[("dir", AttrValue::Str(dir.display().to_string()))],
                 );
                 ReportCache::in_memory()
-            })),
-            None => None,
-        };
+            })
+        });
         let state = Arc::new(GatewayState {
             ring,
             peers,
             cache,
             metrics: ServiceMetrics::new(),
+            traces: TraceStore::new(),
+            log,
             transitions: Mutex::new(BTreeMap::new()),
             jobs: Mutex::new(BTreeMap::new()),
             next_job_id: AtomicU64::new(1),
@@ -380,7 +436,12 @@ impl Gateway {
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => {
-                    eprintln!("accept: {e}; continuing");
+                    state.log.warn(
+                        "accept_error",
+                        None,
+                        &format!("accept: {e}; continuing"),
+                        &[],
+                    );
                     std::thread::sleep(Duration::from_millis(50));
                 }
             }
@@ -393,9 +454,11 @@ impl Gateway {
         let deadline = Instant::now() + state.config.drain_timeout;
         let mut clean = wait_idle(&state, deadline);
         if !clean {
-            eprintln!(
-                "drain: {}s elapsed; cancelling in-flight forwards",
-                state.config.drain_timeout.as_secs()
+            state.log.warn(
+                "drain_timeout",
+                None,
+                "drain timeout elapsed; cancelling in-flight forwards",
+                &[("timeout_s", state.config.drain_timeout.as_secs().into())],
             );
             state.root.cancel();
             clean = wait_idle(&state, Instant::now() + Duration::from_secs(10));
@@ -403,8 +466,20 @@ impl Gateway {
         let _ = prober.join();
 
         for (endpoint, count, p50, p95, p99) in state.metrics.latency_quantiles() {
-            eprintln!("latency {endpoint}: n={count} p50={p50:.4}s p95={p95:.4}s p99={p99:.4}s");
+            state.log.info(
+                "latency",
+                None,
+                "",
+                &[
+                    ("endpoint", AttrValue::Str(endpoint)),
+                    ("count", count.into()),
+                    ("p50_s", p50.into()),
+                    ("p95_s", p95.into()),
+                    ("p99_s", p99.into()),
+                ],
+            );
         }
+        state.log.dump_to_stderr("drain");
         eprintln!(
             "--- final metrics ---\n{}",
             render_gateway_metrics(&state, false)
@@ -514,7 +589,12 @@ fn forward_once(
 /// Forwards with bounded retries, resharding to the next replica after
 /// each transport failure (or peer 503) with exponential backoff and
 /// deterministic jitter, all inside `budget`. Returns the first real
-/// response and the peer index that produced it.
+/// response and the peer index that produced it. Every attempt opens
+/// a `forward` child span under `tracer` carrying the peer, attempt
+/// number, outcome, and any backoff that followed; the attempt that
+/// produced the relayed response is marked `winner=true` (the stitch
+/// anchor).
+#[allow(clippy::too_many_arguments)]
 fn forward_with_retries(
     state: &GatewayState,
     key: &str,
@@ -524,6 +604,7 @@ fn forward_with_retries(
     body: &[u8],
     budget: &Budget,
     start_offset: usize,
+    tracer: &Tracer,
 ) -> Result<(PeerResponse, usize), ForwardError> {
     if state.ring.is_empty() {
         return Err(ForwardError::NoPeers);
@@ -535,12 +616,27 @@ fn forward_with_retries(
         if budget.check().is_err() {
             return Err(ForwardError::Deadline);
         }
-        let idx = state.candidates(key, start_offset + attempt as usize)[0];
+        let order = state.candidates(key, start_offset + attempt as usize);
+        let idx = order[0];
         let peer = &state.peers[idx];
         if attempt > 0 {
             state.retries.fetch_add(1, Ordering::Relaxed);
         }
         attempts += 1;
+
+        let span = tracer.span(FORWARD_SPAN);
+        span.attr("peer", peer.addr.as_str());
+        span.attr("attempt", u64::from(attempt));
+        // Breaker evidence: how many preferred replicas were ejected
+        // and demoted behind this choice.
+        let now = Instant::now();
+        let ejected = order
+            .iter()
+            .filter(|i| !lock_unpoisoned(&state.peers[**i].breaker).admits(now))
+            .count();
+        if ejected > 0 {
+            span.event_attr("breaker_skip", "ejected", ejected);
+        }
 
         // Re-derive the hop deadline from what is left *now*.
         let mut hop_headers: Vec<(String, String)> = headers.to_vec();
@@ -561,26 +657,31 @@ fn forward_with_retries(
         ) {
             Ok(resp) => {
                 peer.forwards.fetch_add(1, Ordering::Relaxed);
+                span.attr("status", u64::from(resp.status));
                 // Any parsed response proves the peer alive.
                 let change = lock_unpoisoned(&peer.breaker).record_success(Instant::now());
                 state.note_transition(idx, change);
                 if resp.status == 503 {
                     // Overloaded or draining: reshard, but the breaker
                     // stays closed — the peer is answering.
+                    span.event("peer_busy");
                     last_busy = Some((resp, idx));
                     last_err = format!("{}: 503 busy", peer.addr);
                 } else {
+                    span.attr(WINNER_ATTR, true);
                     return Ok((resp, idx));
                 }
             }
             Err(ClientError::DeadlineExpired) => {
                 peer.failures.fetch_add(1, Ordering::Relaxed);
+                span.attr("error", "deadline");
                 let change = lock_unpoisoned(&peer.breaker).record_failure(Instant::now());
                 state.note_transition(idx, change);
                 return Err(ForwardError::Deadline);
             }
             Err(e) => {
                 peer.failures.fetch_add(1, Ordering::Relaxed);
+                span.attr("error", e.to_string());
                 let change = lock_unpoisoned(&peer.breaker).record_failure(Instant::now());
                 state.note_transition(idx, change);
                 last_err = format!("{}: {e}", peer.addr);
@@ -598,6 +699,8 @@ fn forward_with_retries(
             if let Some(left) = budget.remaining() {
                 sleep = sleep.min(left);
             }
+            span.attr("backoff_ms", sleep.as_millis() as u64);
+            drop(span);
             std::thread::sleep(sleep);
         }
     }
@@ -612,6 +715,10 @@ fn forward_with_retries(
     })
 }
 
+/// What a hedge leg reports back: its ring offset and the forward's
+/// outcome.
+type LegResult = (usize, Result<(PeerResponse, usize), ForwardError>);
+
 /// A sync-compile forward, hedged when configured: if the primary has
 /// not answered after `hedge_after`, a second forward starts one
 /// replica further along the failover sequence and the first response
@@ -622,39 +729,54 @@ fn forward_sync(
     headers: &[(String, String)],
     body: &[u8],
     budget: &Budget,
+    tracer: &Tracer,
 ) -> Result<(PeerResponse, usize), ForwardError> {
     let hedge_after = match state.config.hedge_after {
         Some(d) if state.ring.len() > 1 => d,
-        _ => return forward_with_retries(state, key, "POST", "/compile", headers, body, budget, 0),
+        _ => {
+            return forward_with_retries(
+                state, key, "POST", "/compile", headers, body, budget, 0, tracer,
+            )
+        }
     };
 
     let (tx, rx) = mpsc::channel();
-    let spawn_leg =
-        |offset: usize, tx: mpsc::Sender<(usize, Result<(PeerResponse, usize), ForwardError>)>| {
-            let state = Arc::clone(state);
-            let key = key.to_string();
-            let headers = headers.to_vec();
-            let body = body.to_vec();
-            let budget = budget.clone();
-            let _ = std::thread::Builder::new()
-                .name("ptmap-gw-fwd".to_string())
-                .spawn(move || {
-                    let result = forward_with_retries(
-                        &state, &key, "POST", "/compile", &headers, &body, &budget, offset,
-                    );
-                    let _ = tx.send((offset, result));
-                });
-        };
+    let spawn_leg = |offset: usize, tx: mpsc::Sender<LegResult>| {
+        let state = Arc::clone(state);
+        let key = key.to_string();
+        let headers = headers.to_vec();
+        let body = body.to_vec();
+        let budget = budget.clone();
+        // A clone records into the same trace under the same
+        // parent, so both legs' forward spans land side by side.
+        let tracer = tracer.clone();
+        let _ = std::thread::Builder::new()
+            .name("ptmap-gw-fwd".to_string())
+            .spawn(move || {
+                let result = forward_with_retries(
+                    &state, &key, "POST", "/compile", &headers, &body, &budget, offset, &tracer,
+                );
+                let _ = tx.send((offset, result));
+            });
+    };
     spawn_leg(0, tx.clone());
     match rx.recv_timeout(hedge_after) {
         Ok((_, result)) => result,
         Err(mpsc::RecvTimeoutError::Timeout) => {
             state.hedges.fetch_add(1, Ordering::Relaxed);
+            tracer.event("hedge_start");
+            state.log.info(
+                "hedge",
+                tracer.trace_id(),
+                "primary quiet past hedge-after; racing a second replica",
+                &[("after_ms", (hedge_after.as_millis() as u64).into())],
+            );
             spawn_leg(1, tx);
             match rx.recv() {
                 Ok((offset, result)) => {
                     if offset == 1 && result.is_ok() {
                         state.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                        tracer.event("hedge_winner");
                     }
                     result
                 }
@@ -673,16 +795,33 @@ fn forward_sync(
 
 /// Maps a terminal forward error to the client-facing response, in the
 /// same outcome shape the daemons produce.
-fn forward_error_response(state: &GatewayState, name: &str, err: ForwardError) -> Response {
+fn forward_error_response(
+    state: &GatewayState,
+    name: &str,
+    err: ForwardError,
+    trace_id: Option<&str>,
+) -> Response {
     match err {
         ForwardError::NoPeers => {
             state.metrics.reject("no-peers");
+            state.log.warn(
+                "forward_failed",
+                trace_id,
+                "no backend peers",
+                &[("name", name.into()), ("reason", "no-peers".into())],
+            );
             let outcome = error_outcome(name, "overloaded", "no backend peers".to_string());
             Response::json(503, serde_json::to_string(&outcome).unwrap_or_default())
                 .with_header("Retry-After", "1".to_string())
         }
         ForwardError::Deadline => {
             state.metrics.reject("deadline");
+            state.log.warn(
+                "forward_failed",
+                trace_id,
+                "deadline expired while forwarding",
+                &[("name", name.into()), ("reason", "deadline".into())],
+            );
             let outcome = error_outcome(
                 name,
                 "timeout",
@@ -692,6 +831,16 @@ fn forward_error_response(state: &GatewayState, name: &str, err: ForwardError) -
         }
         ForwardError::Exhausted { attempts, last } => {
             state.metrics.reject("unreachable");
+            state.log.warn(
+                "forward_failed",
+                trace_id,
+                &format!("all {attempts} forward attempts failed; last: {last}"),
+                &[
+                    ("name", name.into()),
+                    ("reason", "unreachable".into()),
+                    ("attempts", u64::from(attempts).into()),
+                ],
+            );
             let outcome = error_outcome(
                 name,
                 "unreachable",
@@ -823,11 +972,15 @@ fn handle_connection(state: &Arc<GatewayState>, mut stream: TcpStream) {
 
 /// Dispatches one request.
 fn route(state: &Arc<GatewayState>, request: &Request) -> (&'static str, Response) {
-    match (request.method.as_str(), request.path.as_str()) {
+    let (path, query) = match request.path.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (request.path.as_str(), None),
+    };
+    match (request.method.as_str(), path) {
         ("POST", "/compile") => ("compile", handle_compile(state, request)),
         ("POST", "/jobs") => ("jobs_submit", handle_submit(state, request)),
         ("GET", path) if path.starts_with("/jobs/") && path.ends_with("/trace") => {
-            ("jobs_trace", handle_trace(state, path))
+            ("jobs_trace", handle_trace(state, path, query))
         }
         ("GET", path) if path.starts_with("/jobs/") => ("jobs_poll", handle_poll(state, path)),
         ("GET", "/metrics") => (
@@ -836,7 +989,11 @@ fn route(state: &Arc<GatewayState>, request: &Request) -> (&'static str, Respons
         ),
         ("GET", "/cluster") => ("cluster", handle_cluster(state)),
         ("GET", "/healthz") => ("healthz", handle_healthz(state)),
-        (_, "/compile" | "/jobs" | "/metrics" | "/cluster" | "/healthz") => (
+        ("GET", "/debug/events") => (
+            "debug_events",
+            crate::events::events_response(&state.log, query),
+        ),
+        (_, "/compile" | "/jobs" | "/metrics" | "/cluster" | "/healthz" | "/debug/events") => (
             "other",
             Response::json(405, "{\"error\":\"method not allowed\"}".to_string()),
         ),
@@ -860,35 +1017,108 @@ fn draining_response(state: &GatewayState) -> Response {
     )
 }
 
-/// `POST /compile`: cache tier, then a (possibly hedged) forward.
+/// `POST /compile`: cache tier, then a (possibly hedged) forward. The
+/// whole hop records a gateway-side span tree under the client's
+/// trace id (or a freshly minted one), which is retained for
+/// stitching with the daemon's compile tree.
 fn handle_compile(state: &Arc<GatewayState>, request: &Request) -> Response {
     if state.draining.load(Ordering::Acquire) {
         return draining_response(state);
     }
+    let trace_id = request
+        .header("x-ptmap-trace-id")
+        .map(str::to_string)
+        .unwrap_or_else(|| next_trace_id("gateway"));
+    let tracer = Tracer::root_with_id("gateway", trace_id.clone());
+    let (response, winner) = {
+        let root = tracer.span("gateway");
+        root.attr("endpoint", "compile");
+        compile_via_cluster(state, request, &root, &trace_id)
+    };
+    if let Some(trace) = tracer.finish() {
+        if let Some(idx) = winner {
+            export_stitched(state, &trace, idx);
+        }
+        state.traces.insert(trace);
+    }
+    // Error paths carry no daemon-set trace-id header; stamp ours so
+    // the client can still fetch the gateway-side trace.
+    if response
+        .headers
+        .iter()
+        .any(|(n, _)| n.eq_ignore_ascii_case("x-ptmap-trace-id"))
+    {
+        response
+    } else {
+        response.with_header("X-Ptmap-Trace-Id", trace_id)
+    }
+}
+
+/// The body of one traced sync compile: admission, ring lookup,
+/// shared-cache tier, forward. Returns the response plus the winning
+/// peer index when a forward produced it (for `--trace-dir` export).
+fn compile_via_cluster(
+    state: &Arc<GatewayState>,
+    request: &Request,
+    root: &Span,
+    trace_id: &str,
+) -> (Response, Option<usize>) {
+    let admission = root.tracer().span("admission");
     let (timeout, quality) = match validate_headers(request, &state.config) {
         Ok(v) => v,
-        Err(resp) => return resp,
+        Err(resp) => {
+            admission.attr("rejected", "bad-headers");
+            return (resp, None);
+        }
     };
     let (key, name) = match resolve_key(state, &request.body, quality) {
         Ok(v) => v,
-        Err(resp) => return resp,
+        Err(resp) => {
+            admission.attr("rejected", "bad-spec");
+            return (resp, None);
+        }
     };
+    admission.attr("timeout_ms", timeout.as_millis() as u64);
 
     let budget = state.root.scoped_child(Some(timeout));
     if let Err(e) = budget.check() {
+        admission.attr("rejected", "deadline");
         state.metrics.reject("deadline");
         let outcome = error_outcome(&name, e.class(), e.to_string());
-        return Response::json(
-            outcome_status(&outcome),
-            serde_json::to_string(&outcome).unwrap_or_default(),
+        return (
+            Response::json(
+                outcome_status(&outcome),
+                serde_json::to_string(&outcome).unwrap_or_default(),
+            ),
+            None,
         );
+    }
+    drop(admission);
+
+    {
+        let lookup = root.tracer().span("ring_lookup");
+        let order = state.candidates(&key, 0);
+        lookup.attr("owner", state.peers[order[0]].addr.as_str());
+        lookup.attr("replicas", order.len());
     }
 
     // Shared cache tier: a key any peer (or a previous gateway run)
     // already compiled is answered without a hop.
     if let Some(cache) = &state.cache {
+        let lookup = root.tracer().span("shared_cache");
         if let Some(report) = cache.get(&key) {
+            lookup.attr("hit", true);
             state.shared_cache_hits.fetch_add(1, Ordering::Relaxed);
+            state.log.info(
+                "compile",
+                Some(trace_id),
+                "",
+                &[
+                    ("name", name.as_str().into()),
+                    ("status", 200u64.into()),
+                    ("cache_hit", true.into()),
+                ],
+            );
             let outcome = JobOutcome {
                 name,
                 cache_hit: true,
@@ -897,15 +1127,28 @@ fn handle_compile(state: &Arc<GatewayState>, request: &Request) -> Response {
                 error_class: None,
                 degraded: None,
                 retries: 0,
-                trace_id: None,
+                trace_id: Some(trace_id.to_string()),
             };
-            return Response::json(200, serde_json::to_string(&outcome).unwrap_or_default())
-                .with_header("X-Ptmap-Gateway-Cache", "hit".to_string());
+            return (
+                Response::json(200, serde_json::to_string(&outcome).unwrap_or_default())
+                    .with_header("X-Ptmap-Gateway-Cache", "hit".to_string()),
+                None,
+            );
         }
+        lookup.attr("hit", false);
     }
 
-    let headers = hop_headers(request);
-    match forward_sync(state, &key, &headers, &request.body, &budget) {
+    // Always propagate the gateway's trace id: the daemon adopts it
+    // (and force-keeps the trace), so its compile tree is fetchable
+    // under the same id for stitching.
+    let mut headers = hop_headers(request);
+    if !headers
+        .iter()
+        .any(|(n, _)| n.eq_ignore_ascii_case("x-ptmap-trace-id"))
+    {
+        headers.push(("x-ptmap-trace-id".to_string(), trace_id.to_string()));
+    }
+    match forward_sync(state, &key, &headers, &request.body, &budget, root.tracer()) {
         Ok((resp, idx)) => {
             // Populate the shared tier from forwarded successes.
             if resp.status == 200 {
@@ -917,17 +1160,90 @@ fn handle_compile(state: &Arc<GatewayState>, request: &Request) -> Response {
                     }
                 }
             }
-            relay(state, resp, idx)
+            state.log.info(
+                "compile",
+                Some(trace_id),
+                "",
+                &[
+                    ("name", name.as_str().into()),
+                    ("status", u64::from(resp.status).into()),
+                    ("peer", AttrValue::Str(state.peers[idx].addr.clone())),
+                ],
+            );
+            (relay(state, resp, idx), Some(idx))
         }
-        Err(err) => forward_error_response(state, &name, err),
+        Err(err) => (
+            forward_error_response(state, &name, err, Some(trace_id)),
+            None,
+        ),
     }
 }
 
-/// `POST /jobs`: forward to the key's owner, track the mapping.
+/// Exports the stitched cluster trace for one forwarded sync compile
+/// to `--trace-dir` as `<trace-id>.json` Chrome trace-event JSON,
+/// fetching the daemon's raw span tree from the winning peer. Falls
+/// back to the gateway-only tree if the fetch fails.
+fn export_stitched(state: &GatewayState, gateway_trace: &Trace, winner: usize) {
+    let Some(dir) = &state.config.trace_dir else {
+        return;
+    };
+    let remote = format!("/jobs/{}/trace?format=raw", gateway_trace.trace_id);
+    let deadline = Instant::now() + PROBE_DEADLINE;
+    let daemons: Vec<Trace> = client::request(
+        &state.peers[winner].addr,
+        "GET",
+        &remote,
+        &[],
+        b"",
+        Some(deadline),
+    )
+    .ok()
+    .filter(|r| r.status == 200)
+    .and_then(|r| serde_json::from_str::<Trace>(&r.body_text()).ok())
+    .into_iter()
+    .collect();
+    let stitched = stitch(gateway_trace, &daemons);
+    // Client-supplied trace ids are arbitrary bytes; keep the
+    // filename safe.
+    let safe: String = stitched
+        .trace_id
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let path = dir.join(format!("{safe}.json"));
+    let written = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(&path, chrome_trace_json(&stitched)));
+    if let Err(e) = written {
+        state.log.warn(
+            "trace_export_failed",
+            Some(&stitched.trace_id),
+            &format!("write {}: {e}", path.display()),
+            &[],
+        );
+    }
+}
+
+/// `POST /jobs`: forward to the key's owner, track the mapping. The
+/// gateway-side span tree stays open for the job's tracked lifetime,
+/// so later requeues land inside it.
 fn handle_submit(state: &Arc<GatewayState>, request: &Request) -> Response {
     if state.draining.load(Ordering::Acquire) {
         return draining_response(state);
     }
+    let trace_id = request
+        .header("x-ptmap-trace-id")
+        .map(str::to_string)
+        .unwrap_or_else(|| next_trace_id("gateway"));
+    let tracer = Tracer::root_with_id("gateway", trace_id.clone());
+    let root = tracer.span("gateway");
+    root.attr("endpoint", "jobs_submit");
+    let admission = root.tracer().span("admission");
     let (timeout, quality) = match validate_headers(request, &state.config) {
         Ok(v) => v,
         Err(resp) => return resp,
@@ -936,6 +1252,7 @@ fn handle_submit(state: &Arc<GatewayState>, request: &Request) -> Response {
         Ok(v) => v,
         Err(resp) => return resp,
     };
+    drop(admission);
     let budget = state.root.scoped_child(Some(timeout.min(POLL_DEADLINE)));
     let headers = hop_headers(request);
     let (resp, idx) = match forward_with_retries(
@@ -947,9 +1264,10 @@ fn handle_submit(state: &Arc<GatewayState>, request: &Request) -> Response {
         &request.body,
         &budget,
         0,
+        root.tracer(),
     ) {
         Ok(v) => v,
-        Err(err) => return forward_error_response(state, &name, err),
+        Err(err) => return forward_error_response(state, &name, err, Some(&trace_id)),
     };
     if resp.status != 202 {
         return relay(state, resp, idx);
@@ -967,6 +1285,18 @@ fn handle_submit(state: &Arc<GatewayState>, request: &Request) -> Response {
         );
     };
     let gid = state.next_job_id.fetch_add(1, Ordering::Relaxed);
+    root.attr("job_id", gid);
+    root.attr("peer", state.peers[idx].addr.as_str());
+    state.log.info(
+        "job_submitted",
+        Some(&trace_id),
+        "",
+        &[
+            ("job", gid.into()),
+            ("name", name.into()),
+            ("peer", AttrValue::Str(state.peers[idx].addr.clone())),
+        ],
+    );
     lock_unpoisoned(&state.jobs).insert(
         gid,
         GwJob {
@@ -976,6 +1306,7 @@ fn handle_submit(state: &Arc<GatewayState>, request: &Request) -> Response {
             peer: idx,
             remote_id,
             done: None,
+            span: Arc::new(root),
         },
     );
     Response::json(
@@ -986,6 +1317,7 @@ fn handle_submit(state: &Arc<GatewayState>, request: &Request) -> Response {
         ),
     )
     .with_header("X-Ptmap-Peer", state.peers[idx].addr.clone())
+    .with_header("X-Ptmap-Trace-Id", trace_id)
 }
 
 /// Extracts `id` from a submit/poll body.
@@ -1013,8 +1345,13 @@ fn rewrite_job_id(body: &str, gid: u64) -> Option<String> {
 }
 
 /// Resubmits a tracked job whose owner is unreachable to the next live
-/// replica. Returns the poll-shaped response for the client.
+/// replica. Returns the poll-shaped response for the client. The
+/// attempt records a `requeue` span inside the job's still-open
+/// gateway trace plus a correlated event-log line.
 fn requeue_job(state: &Arc<GatewayState>, gid: u64, job: &GwJob) -> Response {
+    let span = job.tracer().span("requeue");
+    span.attr("job_id", gid);
+    span.attr("from", state.peers[job.peer].addr.as_str());
     let mut headers = vec![("Content-Type".to_string(), "application/json".to_string())];
     if let Some(q) = &job.quality {
         headers.push(("x-ptmap-quality".to_string(), q.clone()));
@@ -1056,6 +1393,18 @@ fn requeue_job(state: &Arc<GatewayState>, gid: u64, job: &GwJob) -> Response {
             tracked.remote_id = remote_id;
         }
         state.requeued.fetch_add(1, Ordering::Relaxed);
+        span.attr("to", state.peers[candidate].addr.as_str());
+        span.attr("remote_id", remote_id);
+        state.log.warn(
+            "job_requeued",
+            job.tracer().trace_id(),
+            "owner unreachable; job resubmitted",
+            &[
+                ("job", gid.into()),
+                ("from", AttrValue::Str(state.peers[job.peer].addr.clone())),
+                ("to", AttrValue::Str(state.peers[candidate].addr.clone())),
+            ],
+        );
         return Response::json(
             202,
             format!(
@@ -1066,6 +1415,13 @@ fn requeue_job(state: &Arc<GatewayState>, gid: u64, job: &GwJob) -> Response {
         .with_header("X-Ptmap-Peer", state.peers[candidate].addr.clone());
     }
     state.metrics.reject("unreachable");
+    span.attr("error", "no replica accepted the requeue");
+    state.log.error(
+        "requeue_failed",
+        job.tracer().trace_id(),
+        "owner unreachable and no replica accepted a requeue",
+        &[("job", gid.into())],
+    );
     Response::json(
         503,
         format!(
@@ -1116,6 +1472,21 @@ fn handle_poll(state: &Arc<GatewayState>, path: &str) -> Response {
                 if let Some(tracked) = lock_unpoisoned(&state.jobs).get_mut(&gid) {
                     tracked.done = Some(body.clone());
                 }
+                // Snapshot and retain the gateway-side trace now that
+                // the job reached a terminal state, so a stitched
+                // cluster trace is servable for it.
+                if let Some(trace) = job.tracer().finish() {
+                    state.traces.insert(trace);
+                }
+                state.log.info(
+                    "job_done",
+                    job.tracer().trace_id(),
+                    "",
+                    &[
+                        ("job", gid.into()),
+                        ("peer", AttrValue::Str(state.peers[job.peer].addr.clone())),
+                    ],
+                );
             }
             Response::json(200, body)
                 .with_header("X-Ptmap-Peer", state.peers[job.peer].addr.clone())
@@ -1158,36 +1529,100 @@ fn handle_poll(state: &Arc<GatewayState>, path: &str) -> Response {
     }
 }
 
-/// `GET /jobs/<id>/trace`: resolve through the tracked job when the id
-/// is a gateway job id; otherwise ask each live peer in turn (trace
-/// ids are minted per compile, and only the leader's peer holds one).
-fn handle_trace(state: &Arc<GatewayState>, path: &str) -> Response {
+/// Parses a raw daemon [`Trace`] out of a peer's
+/// `/jobs/<id>/trace?format=raw` response.
+fn parse_raw_trace(resp: &PeerResponse) -> Option<Trace> {
+    if resp.status != 200 {
+        return None;
+    }
+    serde_json::from_str::<Trace>(&resp.body_text()).ok()
+}
+
+/// Serves a (possibly stitched) trace: Chrome trace-event JSON by
+/// default, the raw span tree with `?format=raw`.
+fn trace_response(trace: &Trace, raw: bool) -> Response {
+    let body = if raw {
+        serde_json::to_string(trace).unwrap_or_else(|_| "{}".to_string())
+    } else {
+        chrome_trace_json(trace)
+    };
+    Response::json(200, body).with_header("X-Ptmap-Trace-Id", trace.trace_id.clone())
+}
+
+/// `GET /jobs/<id>/trace`: one stitched cluster trace. The gateway's
+/// own span tree (admission, forwards, retries, hedges, requeues) and
+/// the daemon's compile tree are merged under the shared trace id:
+/// the daemon's spans graft onto the winning `forward` span. A
+/// numeric id resolves through the tracked async job to its owner;
+/// otherwise the id is a trace id — served from the local store and,
+/// for the daemon half, fanned out to live (breaker-admitting) peers
+/// with each probe bounded by a slice of the remaining request budget
+/// so one hung peer cannot starve the rest of the fan-out.
+fn handle_trace(state: &Arc<GatewayState>, path: &str, query: Option<&str>) -> Response {
     let id_text = &path["/jobs/".len()..path.len() - "/trace".len()];
+    let raw = query
+        .map(|q| q.split('&').any(|kv| kv == "format=raw"))
+        .unwrap_or(false);
     let budget = state.root.scoped_child(Some(POLL_DEADLINE));
+
     if let Ok(gid) = id_text.parse::<u64>() {
         let Some(job) = lock_unpoisoned(&state.jobs).get(&gid).cloned() else {
             return Response::json(404, format!("{{\"error\":\"no job {gid}\"}}"));
         };
-        let remote = format!("/jobs/{}/trace", job.remote_id);
-        return match forward_once(state, job.peer, "GET", &remote, &[], b"", budget.deadline()) {
-            Ok(resp) => relay(state, resp, job.peer),
-            Err(e) => Response::json(
-                502,
-                format!("{{\"error\":{:?}}}", format!("trace forward failed: {e}")),
-            ),
+        let remote = format!("/jobs/{}/trace?format=raw", job.remote_id);
+        let daemon = forward_once(state, job.peer, "GET", &remote, &[], b"", budget.deadline())
+            .ok()
+            .as_ref()
+            .and_then(parse_raw_trace);
+        // The stored snapshot (taken at poll-done) is preferred; a
+        // still-running job gets a live snapshot of its open tree.
+        let gateway = match job
+            .tracer()
+            .trace_id()
+            .and_then(|id| state.traces.by_trace_id(id))
+        {
+            Some(stored) => Some(stored.raw.as_ref().clone()),
+            None => job.tracer().finish(),
+        };
+        return match (gateway, daemon) {
+            (Some(gw), Some(d)) => trace_response(&stitch(&gw, &[d]), raw),
+            (Some(gw), None) => trace_response(&stitch(&gw, &[]), raw),
+            (None, Some(d)) => trace_response(&d, raw),
+            (None, None) => {
+                Response::json(404, format!("{{\"error\":\"no trace for job {gid}\"}}"))
+            }
         };
     }
-    let mut last = Response::json(404, format!("{{\"error\":\"no trace {id_text}\"}}"));
-    for idx in state.available_peers() {
-        let remote = format!("/jobs/{id_text}/trace");
-        if let Ok(resp) = forward_once(state, idx, "GET", &remote, &[], b"", budget.deadline()) {
-            if resp.status == 200 {
-                return relay(state, resp, idx);
+
+    let stored = state.traces.by_trace_id(id_text);
+    let mut daemon: Option<Trace> = None;
+    let peers = state.available_peers();
+    let total = peers.len();
+    for (i, idx) in peers.into_iter().enumerate() {
+        if budget.check().is_err() {
+            break;
+        }
+        // Each probe gets an even slice of what is left (with a small
+        // floor), never the whole remaining budget.
+        let left = budget.remaining().unwrap_or(POLL_DEADLINE);
+        let slice = (left / (total - i) as u32)
+            .max(Duration::from_millis(100))
+            .min(left);
+        let remote = format!("/jobs/{id_text}/trace?format=raw");
+        let deadline = Some(Instant::now() + slice);
+        if let Ok(resp) = forward_once(state, idx, "GET", &remote, &[], b"", deadline) {
+            if let Some(t) = parse_raw_trace(&resp) {
+                daemon = Some(t);
+                break;
             }
-            last = relay(state, resp, idx);
         }
     }
-    last
+    match (stored, daemon) {
+        (Some(gw), Some(d)) => trace_response(&stitch(&gw.raw, &[d]), raw),
+        (Some(gw), None) => trace_response(&stitch(&gw.raw, &[]), raw),
+        (None, Some(d)) => trace_response(&d, raw),
+        (None, None) => Response::json(404, format!("{{\"error\":\"no trace {id_text}\"}}")),
+    }
 }
 
 /// `GET /cluster`: membership and breaker introspection.
@@ -1269,7 +1704,7 @@ fn handle_healthz(state: &Arc<GatewayState>) -> Response {
 }
 
 /// The scalar singletons re-exported per peer in the cluster rollup.
-const ROLLUP_METRICS: [(&str, &str); 5] = [
+const ROLLUP_METRICS: [(&str, &str); 6] = [
     (
         "ptmap_compiles_started_total",
         "ptmap_cluster_compiles_started_total",
@@ -1278,6 +1713,10 @@ const ROLLUP_METRICS: [(&str, &str); 5] = [
     ("ptmap_inflight_compiles", "ptmap_cluster_inflight_compiles"),
     ("ptmap_cache_hits_total", "ptmap_cluster_cache_hits_total"),
     ("ptmap_model_version", "ptmap_cluster_model_version"),
+    (
+        "ptmap_process_start_time_seconds",
+        "ptmap_cluster_peer_start_time_seconds",
+    ),
 ];
 
 /// Renders the gateway `/metrics` document. `rollup` additionally
@@ -1430,6 +1869,7 @@ fn render_gateway_metrics(state: &GatewayState, rollup: bool) -> String {
 fn render_cluster_rollup(state: &GatewayState, out: &mut String) {
     let mut up: Vec<(usize, bool)> = Vec::new();
     let mut rows: BTreeMap<&'static str, Vec<(usize, String)>> = BTreeMap::new();
+    let mut builds: Vec<(usize, String)> = Vec::new();
     for (idx, peer) in state.peers.iter().enumerate() {
         let deadline = Instant::now() + PROBE_DEADLINE;
         let scraped = client::request(&peer.addr, "GET", "/metrics", &[], b"", Some(deadline));
@@ -1451,6 +1891,13 @@ fn render_cluster_rollup(state: &GatewayState, out: &mut String) {
                             .or_default()
                             .push((idx, value.to_string()));
                     }
+                }
+            }
+            // Build identity carries its own label set; re-export it
+            // verbatim with the peer label prepended.
+            if let Some(rest) = line.strip_prefix("ptmap_build_info{") {
+                if let Some((labels, _)) = rest.split_once('}') {
+                    builds.push((idx, labels.to_string()));
                 }
             }
         }
@@ -1475,6 +1922,20 @@ fn render_cluster_rollup(state: &GatewayState, out: &mut String) {
             let _ = writeln!(
                 out,
                 "{target}{{peer=\"{}\"}} {value}",
+                state.peers[idx].addr
+            );
+        }
+    }
+    if !builds.is_empty() {
+        out.push_str(
+            "# HELP ptmap_cluster_peer_build_info Peer build identity, rolled up by the \
+             gateway.\n",
+        );
+        out.push_str("# TYPE ptmap_cluster_peer_build_info gauge\n");
+        for (idx, labels) in builds {
+            let _ = writeln!(
+                out,
+                "ptmap_cluster_peer_build_info{{peer=\"{}\",{labels}}} 1",
                 state.peers[idx].addr
             );
         }

@@ -13,6 +13,7 @@
 //! | `GET /jobs/<id>`  | poll an async job (`queued`/`running`/`done`)      |
 //! | `GET /jobs/<id>/trace` | Chrome trace-event JSON for a retained trace  |
 //! | `GET /metrics`    | Prometheus text: pipeline spans/counters + service |
+//! | `GET /debug/events` | flight recorder: last N structured events (NDJSON) |
 //! | `GET /healthz`    | readiness (cache dir writable, workers alive)      |
 //!
 //! Three properties make it a *service* rather than a socket in front
@@ -34,6 +35,7 @@
 
 pub mod client;
 pub mod coalesce;
+pub(crate) mod events;
 pub mod gateway;
 pub mod http;
 pub mod jobs;

@@ -71,8 +71,23 @@ pub struct LoadtestReport {
     pub errors: BTreeMap<String, u64>,
     /// End-to-end request latency.
     pub latency: Histogram,
+    /// Latency exemplars: the slowest requests of the run, slowest
+    /// first, each with the `X-Ptmap-Trace-Id` the service answered
+    /// with (when it did) — the handle to pull the exact distributed
+    /// trace behind a tail-latency outlier.
+    pub exemplars: Vec<Exemplar>,
     /// Wall-clock duration of the whole run.
     pub wall: Duration,
+}
+
+/// One tail-latency exemplar: a slow request and its trace id.
+#[derive(Debug, Clone)]
+pub struct Exemplar {
+    /// End-to-end latency of the request, in seconds.
+    pub seconds: f64,
+    /// The `X-Ptmap-Trace-Id` response header, if the service sent
+    /// one (transport failures have none).
+    pub trace_id: Option<String>,
 }
 
 impl LoadtestReport {
@@ -96,6 +111,13 @@ impl LoadtestReport {
                 out.push_str(&format!("loadtest latency {label}: {v:.4}s\n"));
             }
         }
+        for ex in &self.exemplars {
+            out.push_str(&format!(
+                "loadtest slowest: {:.4}s trace={}\n",
+                ex.seconds,
+                ex.trace_id.as_deref().unwrap_or("-")
+            ));
+        }
         let secs = self.wall.as_secs_f64();
         if secs > 0.0 {
             out.push_str(&format!(
@@ -105,6 +127,12 @@ impl LoadtestReport {
         }
         out
     }
+}
+
+/// How many exemplars a run of `requests` reports: roughly the p99
+/// tail, at least one, never more than eight.
+fn exemplar_count(requests: u64) -> usize {
+    ((requests / 100).clamp(1, 8)) as usize
 }
 
 /// The spec for request `i` of a seeded run.
@@ -131,6 +159,7 @@ pub fn run_loadtest(config: &LoadtestConfig) -> LoadtestReport {
     let next = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(Mutex::new(BTreeMap::<String, u64>::new()));
     let latency = Arc::new(Mutex::new(Histogram::default()));
+    let samples = Arc::new(Mutex::new(Vec::<Exemplar>::new()));
     let ok = Arc::new(AtomicU64::new(0));
     let sent = Arc::new(AtomicU64::new(0));
 
@@ -141,6 +170,7 @@ pub fn run_loadtest(config: &LoadtestConfig) -> LoadtestReport {
         let next = Arc::clone(&next);
         let errors = Arc::clone(&errors);
         let latency = Arc::clone(&latency);
+        let samples = Arc::clone(&samples);
         let ok = Arc::clone(&ok);
         let sent = Arc::clone(&sent);
         threads.push(
@@ -161,18 +191,27 @@ pub fn run_loadtest(config: &LoadtestConfig) -> LoadtestReport {
                         Instant::now() + Duration::from_millis(ms) + Duration::from_secs(5)
                     });
                     let t = Instant::now();
-                    let result = client::request(
+                    let exchange = client::request(
                         &config.target,
                         "POST",
                         "/compile",
                         &headers,
                         body.as_bytes(),
                         deadline,
-                    )
-                    .map(|resp| resp.status);
+                    );
                     let elapsed = t.elapsed();
+                    let trace_id = exchange
+                        .as_ref()
+                        .ok()
+                        .and_then(|resp| resp.header("x-ptmap-trace-id"))
+                        .map(str::to_string);
+                    let result = exchange.map(|resp| resp.status);
                     sent.fetch_add(1, Ordering::Relaxed);
                     crate::lock_unpoisoned(&latency).observe(elapsed.as_secs_f64());
+                    crate::lock_unpoisoned(&samples).push(Exemplar {
+                        seconds: elapsed.as_secs_f64(),
+                        trace_id,
+                    });
                     match classify(&result) {
                         None => {
                             ok.fetch_add(1, Ordering::Relaxed);
@@ -189,9 +228,23 @@ pub fn run_loadtest(config: &LoadtestConfig) -> LoadtestReport {
         let _ = t.join();
     }
 
+    // The p99 tail: sort all samples slowest-first and keep the top
+    // handful, preferring ones that carry a trace id over equal-speed
+    // ones that do not (an id makes the exemplar actionable).
+    let mut samples = Arc::try_unwrap(samples)
+        .map(|m| m.into_inner().unwrap_or_default())
+        .unwrap_or_else(|arc| crate::lock_unpoisoned(&arc).clone());
+    samples.sort_by(|a, b| {
+        b.seconds
+            .total_cmp(&a.seconds)
+            .then_with(|| b.trace_id.is_some().cmp(&a.trace_id.is_some()))
+    });
+    samples.truncate(exemplar_count(config.requests));
+
     LoadtestReport {
         sent: sent.load(Ordering::Relaxed),
         ok: ok.load(Ordering::Relaxed),
+        exemplars: samples,
         errors: Arc::try_unwrap(errors)
             .map(|m| m.into_inner().unwrap_or_default())
             .unwrap_or_else(|arc| crate::lock_unpoisoned(&arc).clone()),
@@ -249,8 +302,23 @@ mod tests {
         assert_eq!(report.sent, 10);
         assert_eq!(report.ok, 0);
         assert_eq!(report.errors.get("connect"), Some(&10));
+        // Connect failures carry no trace id, but the exemplar line
+        // still reports the tail latency.
+        assert_eq!(report.exemplars.len(), 1);
+        assert!(report.exemplars[0].trace_id.is_none());
         let text = report.render();
         assert!(text.contains("loadtest sent: 10"), "{text}");
         assert!(text.contains("loadtest error connect: 10"), "{text}");
+        assert!(text.contains("loadtest slowest: "), "{text}");
+        assert!(text.contains("trace=-"), "{text}");
+    }
+
+    #[test]
+    fn exemplar_count_tracks_the_p99_tail() {
+        assert_eq!(exemplar_count(0), 1);
+        assert_eq!(exemplar_count(50), 1);
+        assert_eq!(exemplar_count(100), 1);
+        assert_eq!(exemplar_count(300), 3);
+        assert_eq!(exemplar_count(10_000), 8, "capped");
     }
 }

@@ -198,10 +198,46 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
+/// Unix timestamp captured the first time it is asked for. Both bind
+/// paths touch it at boot, so by the time `/metrics` is scraped it
+/// reflects (approximately) when the process started.
+pub(crate) fn process_start_seconds() -> f64 {
+    static START: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *START.get_or_init(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0)
+    })
+}
+
+/// Build identity and process start gauges, shared by the daemon's
+/// `/metrics` and the gateway's (via [`render_http_sections`], which
+/// each document includes exactly once).
+pub(crate) fn render_build_info(out: &mut String) {
+    out.push_str("# HELP ptmap_build_info Build identity (constant 1).\n");
+    out.push_str("# TYPE ptmap_build_info gauge\n");
+    let _ = writeln!(
+        out,
+        "ptmap_build_info{{version=\"{}\",git_sha=\"{}\"}} 1",
+        escape_label(env!("CARGO_PKG_VERSION")),
+        escape_label(option_env!("PTMAP_GIT_SHA").unwrap_or("unknown"))
+    );
+    out.push_str("# HELP ptmap_process_start_time_seconds Unix time the process started.\n");
+    out.push_str("# TYPE ptmap_process_start_time_seconds gauge\n");
+    let _ = writeln!(
+        out,
+        "ptmap_process_start_time_seconds {}",
+        fmt_f64(process_start_seconds())
+    );
+}
+
 /// Renders the HTTP-layer sections (request counters, latency
 /// histograms + quantiles, admission rejects) shared by the daemon's
-/// `/metrics` and the gateway's.
+/// `/metrics` and the gateway's, prefixed by the build-identity
+/// gauges every service exports.
 pub(crate) fn render_http_sections(service: &ServiceMetrics, out: &mut String) {
+    render_build_info(out);
     out.push_str("# HELP ptmap_http_requests_total HTTP requests handled.\n");
     out.push_str("# TYPE ptmap_http_requests_total counter\n");
     let requests = lock_unpoisoned(&service.requests).clone();

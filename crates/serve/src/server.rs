@@ -21,7 +21,8 @@ use ptmap_mapper::BackendKind;
 use ptmap_pipeline::{
     compile_job_traced, request_key, BatchConfig, Job, JobOutcome, JobSpec, Recorder, ReportCache,
 };
-use ptmap_trace::{chrome_trace_json, SamplePolicy, Tracer};
+use ptmap_trace::obs::{EventLog, Level, LogFormat};
+use ptmap_trace::{AttrValue, SamplePolicy, Tracer};
 use serde_json::Value;
 use std::io::Read;
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -66,6 +67,13 @@ pub struct ServeConfig {
     /// the background, and hot-swaps the learned model behind
     /// `GET /model`. `None` disables the subsystem entirely.
     pub learn: Option<LearnConfig>,
+    /// Minimum severity of structured events emitted to stderr and
+    /// retained by the flight recorder (`--log-level`).
+    pub log_level: Level,
+    /// How events are rendered on stderr (`--log-format json|text`);
+    /// the flight recorder behind `GET /debug/events` always keeps
+    /// JSON.
+    pub log_format: LogFormat,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +91,8 @@ impl Default for ServeConfig {
             trace_sample: 1.0,
             trace_slow_ms: None,
             learn: None,
+            log_level: Level::Info,
+            log_format: LogFormat::Text,
         }
     }
 }
@@ -111,6 +121,8 @@ pub(crate) struct ServerState {
     metrics: ServiceMetrics,
     /// Ring buffer of retained compile traces (`GET /jobs/<id>/trace`).
     traces: TraceStore,
+    /// Structured event log + flight recorder (`GET /debug/events`).
+    log: Arc<EventLog>,
     /// The online-learning engine (`--learn`); doubles as the pipeline
     /// sample tap.
     learn: Option<Arc<LearnEngine>>,
@@ -335,11 +347,7 @@ fn store_trace(state: &ServerState, tracer: &Tracer, force_keep: bool, wall: Dur
         return;
     };
     if force_keep || state.trace_policy().keep(&trace.trace_id, wall) {
-        state.traces.insert(
-            trace.trace_id.clone(),
-            trace.name.clone(),
-            chrome_trace_json(&trace),
-        );
+        state.traces.insert(trace);
         state.recorder.incr("traces_stored", 1);
     } else {
         state.recorder.incr("traces_sampled_out", 1);
@@ -353,11 +361,18 @@ impl Server {
     pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        // Pin the start-time gauge and publish the event log early, so
+        // library code (pipeline cache warnings) reaches it too.
+        crate::metrics::process_start_seconds();
+        let log = Arc::new(EventLog::new("serve", config.log_level, config.log_format));
+        ptmap_trace::obs::install(Arc::clone(&log));
         let cache = match &config.cache_dir {
             Some(dir) => ReportCache::with_dir(dir).unwrap_or_else(|e| {
-                eprintln!(
-                    "warning: cache dir {}: {e}; falling back to memory",
-                    dir.display()
+                log.warn(
+                    "cache_dir_fallback",
+                    None,
+                    &format!("cache dir {}: {e}; falling back to memory", dir.display()),
+                    &[("dir", AttrValue::Str(dir.display().to_string()))],
                 );
                 ReportCache::in_memory()
             }),
@@ -371,6 +386,7 @@ impl Server {
         let state = Arc::new(ServerState {
             cache,
             learn,
+            log,
             recorder: Recorder::new(),
             coalescer: Arc::new(Coalescer::new()),
             jobs: JobTable::new(queue_cap),
@@ -480,7 +496,12 @@ impl Server {
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => {
-                    eprintln!("accept: {e}; continuing");
+                    state.log.warn(
+                        "accept_error",
+                        None,
+                        &format!("accept: {e}; continuing"),
+                        &[],
+                    );
                     std::thread::sleep(Duration::from_millis(50));
                 }
             }
@@ -495,9 +516,14 @@ impl Server {
         let deadline = Instant::now() + state.config.drain_timeout;
         let mut clean = wait_idle(&state, deadline);
         if !clean {
-            eprintln!(
-                "drain: {}s elapsed; cancelling in-flight work",
-                state.config.drain_timeout.as_secs()
+            state.log.warn(
+                "drain_timeout",
+                None,
+                "drain timeout elapsed; cancelling in-flight work",
+                &[(
+                    "timeout_s",
+                    AttrValue::UInt(state.config.drain_timeout.as_secs()),
+                )],
             );
             state.root.cancel();
             state.coalescer.cancel_all();
@@ -512,11 +538,24 @@ impl Server {
             let _ = trainer.join();
         }
 
-        // Flush the final metrics snapshot where an operator (or the
-        // CI smoke test) can see it after the port is gone.
+        // Flush the final metrics snapshot and the flight recorder
+        // where an operator (or the CI smoke test) can see them after
+        // the port is gone.
         for (endpoint, count, p50, p95, p99) in state.metrics.latency_quantiles() {
-            eprintln!("latency {endpoint}: n={count} p50={p50:.4}s p95={p95:.4}s p99={p99:.4}s");
+            state.log.info(
+                "latency",
+                None,
+                "",
+                &[
+                    ("endpoint", AttrValue::Str(endpoint)),
+                    ("count", AttrValue::UInt(count)),
+                    ("p50_s", AttrValue::Float(p50)),
+                    ("p95_s", AttrValue::Float(p95)),
+                    ("p99_s", AttrValue::Float(p99)),
+                ],
+            );
         }
+        state.log.dump_to_stderr("drain");
         eprintln!("--- final metrics ---\n{}", state.render_metrics());
 
         DrainSummary {
@@ -591,17 +630,27 @@ fn route(
     request: &Request,
     stream: &TcpStream,
 ) -> (&'static str, Response) {
-    match (request.method.as_str(), request.path.as_str()) {
+    // Split an attached query string off before matching, so
+    // `/jobs/<id>/trace?format=raw` routes like `/jobs/<id>/trace`.
+    let (path, query) = match request.path.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (request.path.as_str(), None),
+    };
+    match (request.method.as_str(), path) {
         ("POST", "/compile") => ("compile", handle_compile(state, request, stream)),
         ("POST", "/jobs") => ("jobs_submit", handle_submit(state, request)),
         ("GET", path) if path.starts_with("/jobs/") && path.ends_with("/trace") => {
-            ("jobs_trace", handle_trace(state, path))
+            ("jobs_trace", handle_trace(state, path, query))
         }
         ("GET", path) if path.starts_with("/jobs/") => ("jobs_poll", handle_poll(state, path)),
         ("GET", "/metrics") => ("metrics", Response::text(200, state.render_metrics())),
+        ("GET", "/debug/events") => (
+            "debug_events",
+            crate::events::events_response(&state.log, query),
+        ),
         ("GET", "/model") => ("model", handle_model(state)),
         ("GET", "/healthz") => ("healthz", handle_healthz(state)),
-        (_, "/compile" | "/jobs" | "/metrics" | "/model" | "/healthz") => (
+        (_, "/compile" | "/jobs" | "/metrics" | "/debug/events" | "/model" | "/healthz") => (
             "other",
             Response::json(405, "{\"error\":\"method not allowed\"}".to_string()),
         ),
@@ -724,6 +773,21 @@ fn handle_compile(state: &Arc<ServerState>, request: &Request, stream: &TcpStrea
             // Retain the trace *before* publishing the outcome, so a
             // follower acting on the outcome's trace id finds it.
             store_trace(state, &tracer, client_trace_id.is_some(), t0.elapsed());
+            state.log.info(
+                "compile",
+                outcome.trace_id.as_deref(),
+                "",
+                &[
+                    ("name", AttrValue::Str(job.name.clone())),
+                    (
+                        "status",
+                        AttrValue::UInt(u64::from(outcome_status(&outcome))),
+                    ),
+                    ("cache_hit", AttrValue::Bool(outcome.cache_hit)),
+                    ("retries", AttrValue::UInt(u64::from(outcome.retries))),
+                    ("seconds", AttrValue::Float(t0.elapsed().as_secs_f64())),
+                ],
+            );
             state.coalescer.complete(&key, &flight, outcome.clone());
             with_trace_header(outcome_response(&outcome), &outcome)
                 .with_header("X-Ptmap-Quality", quality.as_str().to_string())
@@ -828,6 +892,22 @@ fn run_async_job(state: &Arc<ServerState>, spec: &JobSpec) -> JobOutcome {
             // Retain before publishing, as in the synchronous path: a
             // poller that sees `done` must find the trace.
             store_trace(state, &tracer, false, t0.elapsed());
+            state.log.info(
+                "compile",
+                outcome.trace_id.as_deref(),
+                "",
+                &[
+                    ("name", AttrValue::Str(job.name.clone())),
+                    (
+                        "status",
+                        AttrValue::UInt(u64::from(outcome_status(&outcome))),
+                    ),
+                    ("cache_hit", AttrValue::Bool(outcome.cache_hit)),
+                    ("retries", AttrValue::UInt(u64::from(outcome.retries))),
+                    ("async", AttrValue::Bool(true)),
+                    ("seconds", AttrValue::Float(t0.elapsed().as_secs_f64())),
+                ],
+            );
             state.coalescer.complete(&key, &flight, outcome.clone());
             outcome
         }
@@ -921,12 +1001,15 @@ fn handle_poll(state: &Arc<ServerState>, path: &str) -> Response {
     }
 }
 
-/// `GET /jobs/<id>/trace`: the retained Chrome trace for a compile.
+/// `GET /jobs/<id>/trace`: the retained trace for a compile.
 ///
 /// `<id>` is either a numeric async-job id — resolved to a trace id
 /// through the job table's completed outcome — or a trace id taken
-/// from an `X-Ptmap-Trace-Id` response header.
-fn handle_trace(state: &Arc<ServerState>, path: &str) -> Response {
+/// from an `X-Ptmap-Trace-Id` response header. The default rendering
+/// is Chrome trace-event JSON; `?format=raw` returns the serialized
+/// span tree instead, which is what the gateway fetches to stitch a
+/// cluster-wide trace.
+fn handle_trace(state: &Arc<ServerState>, path: &str, query: Option<&str>) -> Response {
     let id_text = &path["/jobs/".len()..path.len() - "/trace".len()];
     // An exact trace-id match wins (it is unambiguous even when the id
     // happens to be all digits); numeric ids then resolve through the
@@ -955,9 +1038,18 @@ fn handle_trace(state: &Arc<ServerState>, path: &str) -> Response {
             },
         },
     };
+    let raw = query
+        .map(|q| q.split('&').any(|kv| kv == "format=raw"))
+        .unwrap_or(false);
     match state.traces.by_trace_id(&trace_id) {
-        Some(stored) => Response::json(200, stored.chrome_json.as_ref().clone())
-            .with_header("X-Ptmap-Trace-Id", stored.trace_id),
+        Some(stored) => {
+            let body = if raw {
+                serde_json::to_string(stored.raw.as_ref()).unwrap_or_else(|_| "{}".to_string())
+            } else {
+                stored.chrome_json.as_ref().clone()
+            };
+            Response::json(200, body).with_header("X-Ptmap-Trace-Id", stored.trace_id)
+        }
         None => Response::json(
             404,
             format!("{{\"error\":{:?}}}", format!("no trace {trace_id}")),

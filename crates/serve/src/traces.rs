@@ -2,11 +2,15 @@
 //!
 //! Every leader compile that the sampling policy keeps (plus every
 //! compile whose client supplied an `X-Ptmap-Trace-Id`, and every
-//! compile slower than the slow-compile threshold) deposits its
-//! rendered Chrome trace-event JSON here. The store is a bounded FIFO:
-//! a long-lived daemon holds at most [`TRACE_RETENTION`] traces and
-//! evicts the oldest, so memory stays bounded no matter the request
-//! rate — the store is a flight recorder, not an archive.
+//! compile slower than the slow-compile threshold) deposits its span
+//! tree here, both as the raw [`Trace`] and as rendered Chrome
+//! trace-event JSON. The raw tree is what the gateway fetches (via
+//! `GET /jobs/<id>/trace?format=raw`) to stitch a cluster-wide trace;
+//! the rendered document serves direct viewer requests. The store is
+//! a bounded FIFO: a long-lived daemon holds at most
+//! [`TRACE_RETENTION`] traces and evicts the oldest, so memory stays
+//! bounded no matter the request rate — the store is a flight
+//! recorder, not an archive.
 //!
 //! Lookup is by trace id (the value round-tripped in the
 //! `X-Ptmap-Trace-Id` response header). Numeric async-job ids are
@@ -14,22 +18,25 @@
 //! before reaching this store.
 
 use crate::lock_unpoisoned;
+use ptmap_trace::{chrome_trace_json, Trace};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 /// How many traces the ring buffer retains before evicting the oldest.
 pub const TRACE_RETENTION: usize = 256;
 
-/// One retained trace: the id, the compile's display name, and the
-/// fully rendered Chrome trace-event JSON document. The JSON is behind
-/// an `Arc` so handing it to a response never copies the (potentially
-/// large) document under the store lock.
+/// One retained trace: the id, the compile's display name, the raw
+/// span tree, and the fully rendered Chrome trace-event JSON document.
+/// Both payloads sit behind `Arc`s so handing them to a response (or
+/// the stitcher) never copies under the store lock.
 #[derive(Debug, Clone)]
 pub struct StoredTrace {
     /// The trace id (`X-Ptmap-Trace-Id`).
     pub trace_id: String,
     /// The compile's display name (job name).
     pub name: String,
+    /// The raw span tree, for stitching.
+    pub raw: Arc<Trace>,
     /// Rendered Chrome trace-event JSON.
     pub chrome_json: Arc<String>,
 }
@@ -55,15 +62,18 @@ impl TraceStore {
         }
     }
 
-    /// Inserts a rendered trace, evicting the oldest beyond capacity.
-    /// Re-inserting an id (a client replaying its own trace id)
-    /// replaces the older entry rather than duplicating it.
-    pub fn insert(&self, trace_id: String, name: String, chrome_json: String) {
+    /// Renders and inserts a finished trace, evicting the oldest
+    /// beyond capacity. Re-inserting an id (a client replaying its
+    /// own trace id) replaces the older entry rather than
+    /// duplicating it.
+    pub fn insert(&self, trace: Trace) {
+        let chrome_json = chrome_trace_json(&trace);
         let mut inner = lock_unpoisoned(&self.inner);
-        inner.retain(|t| t.trace_id != trace_id);
+        inner.retain(|t| t.trace_id != trace.trace_id);
         inner.push_back(StoredTrace {
-            trace_id,
-            name,
+            trace_id: trace.trace_id.clone(),
+            name: trace.name.clone(),
+            raw: Arc::new(trace),
             chrome_json: Arc::new(chrome_json),
         });
         while inner.len() > self.cap {
@@ -94,19 +104,26 @@ impl TraceStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ptmap_trace::Tracer;
+
+    fn trace(id: &str, name: &str) -> Trace {
+        let t = Tracer::root_with_id(name, id);
+        {
+            let _root = t.span("compile");
+        }
+        t.finish().unwrap()
+    }
 
     #[test]
     fn insert_and_lookup() {
         let s = TraceStore::new();
         assert!(s.is_empty());
-        s.insert(
-            "aa11".into(),
-            "gemm:16@S4".into(),
-            "{\"traceEvents\":[]}".into(),
-        );
+        s.insert(trace("aa11", "gemm:16@S4"));
         let t = s.by_trace_id("aa11").expect("stored");
         assert_eq!(t.name, "gemm:16@S4");
         assert!(t.chrome_json.contains("traceEvents"));
+        assert_eq!(t.raw.trace_id, "aa11");
+        assert_eq!(t.raw.spans.len(), 1);
         assert!(s.by_trace_id("missing").is_none());
         assert_eq!(s.len(), 1);
     }
@@ -115,7 +132,7 @@ mod tests {
     fn ring_evicts_oldest() {
         let s = TraceStore::with_capacity(3);
         for i in 0..5 {
-            s.insert(format!("id{i}"), format!("job{i}"), "{}".into());
+            s.insert(trace(&format!("id{i}"), &format!("job{i}")));
         }
         assert_eq!(s.len(), 3);
         assert!(s.by_trace_id("id0").is_none(), "oldest evicted");
@@ -127,8 +144,8 @@ mod tests {
     #[test]
     fn reinsert_replaces_not_duplicates() {
         let s = TraceStore::with_capacity(4);
-        s.insert("same".into(), "first".into(), "{}".into());
-        s.insert("same".into(), "second".into(), "{}".into());
+        s.insert(trace("same", "first"));
+        s.insert(trace("same", "second"));
         assert_eq!(s.len(), 1);
         assert_eq!(s.by_trace_id("same").unwrap().name, "second");
     }

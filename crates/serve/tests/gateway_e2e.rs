@@ -14,6 +14,7 @@ use ptmap_serve::{
     run_loadtest, DrainSummary, Gateway, GatewayConfig, GatewayHandle, GatewaySummary,
     LoadtestConfig, ServeConfig, Server, ServerHandle,
 };
+use ptmap_trace::AttrValue;
 use serde_json::Value;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -588,4 +589,215 @@ fn gateway_metrics_rollup_covers_the_cluster() {
     for d in daemons {
         d.stop();
     }
+}
+
+#[test]
+fn stitched_trace_covers_gateway_and_daemon_under_one_id() {
+    let daemons: Vec<Daemon> = (0..3).map(|_| Daemon::boot()).collect();
+    let peers: Vec<SocketAddr> = daemons.iter().map(|d| d.addr).collect();
+    let gw = Gw::boot(&peers, |_| {});
+
+    let spec = compile_spec("stitched", "vecsum:24");
+    let reply = http(gw.addr, "POST", "/compile", &[], &spec);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let trace_id = reply
+        .header("x-ptmap-trace-id")
+        .expect("compile responses carry the trace id")
+        .to_string();
+
+    // The raw stitched tree: gateway spans and the daemon's compile
+    // tree under one trace id, with the compile root grafted onto the
+    // winning forward span.
+    let raw = http(
+        gw.addr,
+        "GET",
+        &format!("/jobs/{trace_id}/trace?format=raw"),
+        &[],
+        "",
+    );
+    assert_eq!(raw.status, 200, "{}", raw.body);
+    let trace: ptmap_trace::Trace = serde_json::from_str(&raw.body).expect("raw trace parses");
+    assert_eq!(trace.trace_id, trace_id);
+    let winner = trace
+        .spans_named(ptmap_trace::FORWARD_SPAN)
+        .find(|s| {
+            s.attrs
+                .iter()
+                .any(|(k, v)| k == ptmap_trace::WINNER_ATTR && *v == AttrValue::Bool(true))
+        })
+        .expect("a winning forward span");
+    let compile = trace
+        .spans_named("compile")
+        .next()
+        .expect("daemon compile root grafted in");
+    assert_eq!(
+        compile.parent,
+        Some(winner.id),
+        "daemon tree must hang off the winning forward"
+    );
+    assert!(trace.spans_named("admission").next().is_some());
+    assert!(trace.spans_named("ring_lookup").next().is_some());
+    let roots = trace.spans.iter().filter(|s| s.parent.is_none()).count();
+    assert_eq!(roots, 1, "stitched trace is a single tree");
+    for (i, s) in trace.spans.iter().enumerate() {
+        assert_eq!(s.id as usize, i, "span ids stay index-aligned");
+        if let Some(p) = s.parent {
+            assert!((p as usize) < i, "parents precede children");
+        }
+    }
+
+    // The Chrome rendering of the same trace is balanced and names
+    // both tiers' spans.
+    let chrome = http(gw.addr, "GET", &format!("/jobs/{trace_id}/trace"), &[], "");
+    assert_eq!(chrome.status, 200, "{}", chrome.body);
+    let doc = json(&chrome.body);
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    let mut depth = 0i64;
+    let mut names = std::collections::BTreeSet::new();
+    for ev in events {
+        match ev.get("ph").and_then(Value::as_str) {
+            Some("B") => {
+                depth += 1;
+                if let Some(n) = ev.get("name").and_then(Value::as_str) {
+                    names.insert(n.to_string());
+                }
+            }
+            Some("E") => {
+                depth -= 1;
+                assert!(depth >= 0, "E without a matching B");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(depth, 0, "unbalanced B/E events");
+    for required in ["gateway", "admission", "forward", "compile"] {
+        assert!(
+            names.contains(required),
+            "missing span {required:?}: {names:?}"
+        );
+    }
+
+    gw.stop();
+    for d in daemons {
+        d.stop();
+    }
+}
+
+#[test]
+fn failover_leaves_retry_evidence_in_the_stitched_trace() {
+    let daemons: Vec<Daemon> = (0..3).map(|_| Daemon::boot()).collect();
+    let peers: Vec<SocketAddr> = daemons.iter().map(|d| d.addr).collect();
+    let gw = Gw::boot(&peers, |_| {});
+
+    // Learn which peer owns this key, then refuse all forwards to it.
+    let spec = compile_spec("traced-failover", "vecsum:28");
+    let first = http(gw.addr, "POST", "/compile", &[], &spec);
+    assert_eq!(first.status, 200, "{}", first.body);
+    let owner = first.header("x-ptmap-peer").unwrap().to_string();
+    let _fault = faultpoint::install(&format!("gateway_forward:refuse@{owner}")).unwrap();
+
+    let reply = http(gw.addr, "POST", "/compile", &[], &spec);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let trace_id = reply.header("x-ptmap-trace-id").unwrap().to_string();
+
+    // The stitched trace must show the refused attempt AND the retry
+    // that won — the whole failover story in one tree. Fetching it
+    // also exercises the budget-sliced peer fan-out: the probe to the
+    // refused owner fails without eating the other peers' budget.
+    let raw = http(
+        gw.addr,
+        "GET",
+        &format!("/jobs/{trace_id}/trace?format=raw"),
+        &[],
+        "",
+    );
+    assert_eq!(raw.status, 200, "{}", raw.body);
+    let trace: ptmap_trace::Trace = serde_json::from_str(&raw.body).expect("raw trace parses");
+    let forwards: Vec<_> = trace.spans_named(ptmap_trace::FORWARD_SPAN).collect();
+    assert!(
+        forwards.len() >= 2,
+        "refused attempt plus failover, got {}",
+        forwards.len()
+    );
+    let refused = forwards
+        .iter()
+        .find(|s| s.attrs.iter().any(|(k, _)| k == "error"))
+        .expect("the refused attempt records its error");
+    assert!(
+        refused
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "attempt" && *v == AttrValue::UInt(0)),
+        "{:?}",
+        refused.attrs
+    );
+    let winner = forwards
+        .iter()
+        .find(|s| {
+            s.attrs
+                .iter()
+                .any(|(k, v)| k == ptmap_trace::WINNER_ATTR && *v == AttrValue::Bool(true))
+        })
+        .expect("a winning forward span");
+    assert!(
+        winner
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "attempt" && matches!(v, AttrValue::UInt(n) if *n >= 1)),
+        "the winner must have been a retry: {:?}",
+        winner.attrs
+    );
+    assert!(
+        trace.spans_named("compile").next().is_some(),
+        "the stand-in daemon's compile tree is stitched in"
+    );
+
+    gw.stop();
+    for d in daemons {
+        d.stop();
+    }
+}
+
+#[test]
+fn gateway_flight_recorder_replays_schema_valid_events() {
+    let daemon = Daemon::boot();
+    let gw = Gw::boot(&[daemon.addr], |_| {});
+
+    let spec = compile_spec("evented", "vecsum:10");
+    let reply = http(gw.addr, "POST", "/compile", &[], &spec);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let trace_id = reply.header("x-ptmap-trace-id").unwrap().to_string();
+
+    // Every flight-recorder line is schema-valid JSON; at least one is
+    // correlated to the compile's trace id.
+    let events = http(gw.addr, "GET", "/debug/events", &[], "");
+    assert_eq!(events.status, 200);
+    assert!(!events.body.is_empty(), "the compile must have logged");
+    let mut correlated = false;
+    for line in events.body.lines() {
+        let ev = json(line);
+        for key in ["ts", "level", "component", "event"] {
+            assert!(ev.get(key).is_some(), "event missing {key:?}: {line}");
+        }
+        assert_eq!(ev.get("component").and_then(Value::as_str), Some("gateway"));
+        if ev.get("trace_id").and_then(Value::as_str) == Some(trace_id.as_str()) {
+            correlated = true;
+        }
+    }
+    assert!(
+        correlated,
+        "no event correlated to trace {trace_id}:\n{}",
+        events.body
+    );
+
+    // `n=` bounds the replay to the most recent lines.
+    let one = http(gw.addr, "GET", "/debug/events?n=1", &[], "");
+    assert_eq!(one.status, 200);
+    assert_eq!(one.body.lines().count(), 1, "{}", one.body);
+
+    gw.stop();
+    daemon.stop();
 }

@@ -41,8 +41,11 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 mod chrome;
+pub mod obs;
+mod stitch;
 
 pub use chrome::chrome_trace_json;
+pub use stitch::{stitch, FORWARD_SPAN, WINNER_ATTR};
 
 /// Locks a mutex, recovering from poisoning. A panicking compile (the
 /// pipeline isolates it with `catch_unwind`) must not wedge the trace
